@@ -1,0 +1,25 @@
+"""Shared benchmark reporting.
+
+Each bench regenerates one of the paper's tables or figures.  Besides
+pytest-benchmark's timing table, the actual *content* rows (the numbers
+the paper reports) are printed and persisted under
+``benchmarks/reports/`` so EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def report(name: str, title: str, rows: Iterable[str]) -> None:
+    """Print and persist one table/figure reproduction."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    lines = [title, "=" * len(title)]
+    lines.extend(rows)
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(os.path.join(REPORT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,17 @@
+"""Benchmark suite configuration.
+
+The benches are one-shot system experiments, not microbenchmarks, so
+every ``benchmark`` call uses a single round by default.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,41 @@
+"""Extension table — per-application cost on the event switch.
+
+Table 3 prices the event *infrastructure*; this bench prices each §3
+application's program (externs + handler logic) on top of it, from the
+same structural cost model.
+"""
+
+from _util import report
+
+from repro.resources.programs import application_cost_rows
+from repro.resources.report import event_logic_build
+
+
+def test_application_costs_are_small(once):
+    """Every §3 program fits in a small slice of the Virtex-7."""
+    rows = once(application_cost_rows)
+    lines = [f"{'application':<30}{'state bits':>12}{'LUT %':>8}{'BRAM %':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['application']:<30}{row['state_bits']:>12}"
+            f"{row['luts_percent']:>8.3f}{row['bram_percent']:>8.3f}"
+        )
+    report(
+        "app_resources",
+        "Extension: per-application cost on the event switch",
+        lines,
+    )
+    by_name = {row["application"]: row for row in rows}
+    # Every application fits comfortably (far under the device).
+    for row in rows:
+        assert row["luts_percent"] < 2.0
+        assert row["bram_percent"] < 5.0
+    # The §2 state claim shows up here too: Snappy needs ≥4x the bits.
+    event_driven = by_name["microburst (event-driven)"]
+    snappy = by_name["microburst (Snappy baseline)"]
+    assert snappy["state_bits"] >= 4 * event_driven["state_bits"]
+    # The PIFO-based scheduler is the logic-heaviest design (priority
+    # insertion hardware scales with PIFO capacity), as the scheduling
+    # literature predicts.
+    wfq = by_name["WFQ scheduler"]
+    assert wfq["luts_percent"] == max(row["luts_percent"] for row in rows)

@@ -1,0 +1,46 @@
+"""§6 — emulating events on a fixed-function device, and its cost.
+
+The same dequeue-auditing program runs on the SUME Event Switch
+(native) and on a Tofino-like device that emulates timer events with
+its packet generator and dequeue events with recirculation.  Emulation
+works at low rates, degrades in latency as the recirculation port
+fills, and loses events outright once it saturates.
+"""
+
+from _util import report
+
+from repro.experiments.emulation_exp import run_emulation_point, sweep_event_rate
+
+
+def test_native_vs_emulated_event_delivery(once):
+    """Native delivery is flat; emulation saturates and drops."""
+    results = once(
+        sweep_event_rate, [100_000.0, 1_000_000.0, 2_000_000.0], 3_000_000_000
+    )
+    rows = []
+    for arch in ("sume", "tofino-emulated"):
+        rows.extend(r.summary_row() for r in results[arch])
+    report("emulation_ablation", "§6: native events vs Tofino-style emulation", rows)
+
+    native = results["sume"]
+    emulated = results["tofino-emulated"]
+    # Native: no loss, constant tiny lag at every rate.
+    for point in native:
+        assert point.events_lost == 0
+        assert point.max_lag_ns < 100
+    # Emulated: lag at least an order of magnitude above native even
+    # when keeping up...
+    assert emulated[0].mean_lag_ns > 10 * native[0].mean_lag_ns
+    # ...and collapse at the highest rate: saturated recirculation and
+    # lost events.
+    assert emulated[-1].recirc_utilization > 0.95
+    assert emulated[-1].events_lost > 0
+    assert native[-1].events_lost == 0
+
+
+def test_emulation_steals_pipeline_bandwidth(once):
+    """Every emulated event burns an ingress pipeline slot."""
+    point = once(run_emulation_point, "tofino-emulated", 1_000_000.0)
+    # One marker per dequeue plus the timer markers.
+    assert point.pipeline_slot_fraction > 0
+    assert point.dequeues_delivered > 0

@@ -1,0 +1,31 @@
+"""Figure 1 — the baseline Portable Switch Architecture.
+
+Packets traverse ingress pipeline → traffic manager → egress pipeline
+and are forwarded correctly; but every buffer transition the TM
+performs is suppressed before the programming model — the paper's
+motivating gap, made countable.
+"""
+
+from _util import report
+
+from repro.arch.events import EventType
+from repro.experiments.psa_fig_exp import run_architecture
+
+
+def test_baseline_psa_forwards_but_hides_buffer_events(once):
+    """The PSA forwards at line rate yet exposes zero buffer events."""
+    trace = once(run_architecture, "baseline")
+    report(
+        "fig1_baseline_psa",
+        "Figure 1: baseline PSA — packet path works, events hidden",
+        [trace.summary_row()],
+    )
+    assert trace.packets_forwarded == 200
+    # Ingress and egress packet events reached the program...
+    assert trace.events_handled[EventType.INGRESS_PACKET] == 200
+    assert trace.events_handled[EventType.EGRESS_PACKET] == 200
+    # ...but every enqueue/dequeue/transmit transition was suppressed.
+    assert trace.buffer_events_visible() == 0
+    assert trace.events_suppressed[EventType.ENQUEUE] == 200
+    assert trace.events_suppressed[EventType.DEQUEUE] == 200
+    assert trace.events_suppressed[EventType.PACKET_TRANSMITTED] == 200

@@ -1,0 +1,23 @@
+"""§5 — time-windowed flow-rate measurement with timer events."""
+
+from _util import report
+
+from repro.experiments.flow_rate_exp import run_flow_rate
+
+
+def test_windowed_rates_are_accurate_and_decay(once):
+    """Sliding windows measure active flows well and decay when idle."""
+    window = once(run_flow_rate, "window")
+    ewma = run_flow_rate("ewma")
+    report(
+        "flow_rate",
+        "§5: flow-rate measurement — timer windows vs packet-only EWMA",
+        [window.summary_row(), ewma.summary_row()],
+    )
+    # Both track an active CBR flow closely.
+    assert window.active_error < 0.1
+    assert ewma.active_error < 0.25
+    # The stopped flow: the window decays to ~zero; the EWMA — which
+    # can only update on packet arrivals — freezes at its last rate.
+    assert window.stopped_flow_residual_gbps < 0.05
+    assert ewma.stopped_flow_residual_gbps > 1.0

@@ -1,0 +1,61 @@
+"""§3/§5 — fast re-route vs. control-plane re-route.
+
+A diamond topology loses its primary link mid-flow.  The LINK_STATUS
+handler flips to the backup within the event-handling latency; the
+control plane takes its detection timeout plus recompute plus install.
+"""
+
+from _util import report
+
+from repro.experiments.frr_exp import run_failover
+from repro.sim.units import MILLISECONDS
+
+
+def test_frr_recovers_orders_of_magnitude_faster(once):
+    """FRR outage is microseconds; control-plane outage is ~110 ms."""
+    frr = once(run_failover, "frr")
+    control = run_failover("control-plane")
+    report(
+        "frr_recovery",
+        "§3: failover — data-plane FRR vs control plane",
+        [frr.summary_row(), control.summary_row()],
+    )
+    # Loss: at most the packets in flight for FRR, thousands for the CP.
+    assert frr.packets_lost <= 5
+    assert control.packets_lost > 1_000
+    assert control.packets_lost > 100 * max(1, frr.packets_lost)
+    # Outage duration: ≥3 orders of magnitude apart.
+    assert frr.outage_ps < 1 * MILLISECONDS
+    assert control.outage_ps > 100 * MILLISECONDS
+    # The data plane rerouted the instant the event fired.
+    assert frr.reroute_delay_ps is not None
+    assert frr.reroute_delay_ps < 10_000_000  # under 10 µs
+
+
+def test_frr_reverts_on_recovery(once):
+    """When the link comes back, FRR restores the primary path."""
+    from repro.experiments.frr_exp import (
+        FastRerouteProgram,
+        H1_IP,
+        _build_diamond,
+        _install_transit_routes,
+    )
+    from repro.experiments.factories import make_sume_switch
+
+    def run():
+        network = _build_diamond(make_sume_switch())
+        program = FastRerouteProgram()
+        program.install_protected_route(H1_IP, primary=1, backup=2)
+        program.install_route(0x0A00_0001, 0)
+        _install_transit_routes(network, FastRerouteProgram)
+        network.switches["s0"].load_program(program)
+        link = network.link_between("s0", "s1")
+        link.fail_at(10 * MILLISECONDS)
+        link.recover_at(20 * MILLISECONDS)
+        network.run(until_ps=30 * MILLISECONDS)
+        return program
+
+    program = once(run)
+    assert len(program.failovers) == 1
+    assert len(program.reverts) == 1
+    assert program.routes[H1_IP] == 1  # back on the primary

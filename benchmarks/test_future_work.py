@@ -1,0 +1,70 @@
+"""§4/§7 future-work questions, made quantitative.
+
+The paper leaves two questions open and promises future work; this
+bench implements both so the design space is measurable:
+
+* **§4**: "how memory accesses are scheduled, depending on which events
+  are the most important and urgent" — the drain-priority ablation.
+* **§7**: "Defining a consistency model for multi-threaded data-plane
+  programs remains an area of future work" — the lost-update rate of
+  non-atomic read-modify-writes across event threads, versus the atomic
+  single-stage semantics the paper's shared_register provides.
+"""
+
+from _util import report
+
+from repro.experiments.staleness_exp import sweep_drain_policy
+from repro.state.consistency import run_contention
+
+
+def test_drain_priority_policies(once):
+    """Largest-pending-first minimizes value error; LIFO starves."""
+    results = once(sweep_drain_policy, ["fifo", "largest", "lifo"])
+    report(
+        "drain_policies",
+        "§4 future work: drain-priority policies",
+        [
+            f"{policy:<8} {result.staleness.row()}"
+            for policy, result in zip(["fifo", "largest", "lifo"], results)
+        ],
+    )
+    by_policy = dict(zip(["fifo", "largest", "lifo"], results))
+    # Prioritizing the most-wrong entries beats FIFO on value error...
+    assert (
+        by_policy["largest"].staleness.mean_error
+        < by_policy["fifo"].staleness.mean_error
+    )
+    # ...while LIFO is strictly worse than FIFO and starves old entries.
+    assert (
+        by_policy["lifo"].staleness.mean_error
+        > by_policy["fifo"].staleness.mean_error
+    )
+    assert (
+        by_policy["lifo"].staleness.max_lag_cycles
+        > 5 * by_policy["fifo"].staleness.max_lag_cycles
+    )
+
+
+def test_consistency_lost_updates(once):
+    """Atomic RMW loses nothing; multi-stage RMW loses updates fast."""
+    latencies = [0, 1, 2, 4, 8]
+    results = once(lambda: [run_contention(lat) for lat in latencies])
+    report(
+        "consistency",
+        "§7 future work: lost updates vs RMW latency (3 threads, 4 counters)",
+        [result.summary_row() for result in results],
+    )
+    by_latency = dict(zip(latencies, results))
+    # The paper's shared_register / Domino-transaction case: exact.
+    assert by_latency[0].lost_updates == 0
+    # Loss grows monotonically with the read-to-write distance.
+    losses = [result.loss_rate for result in results]
+    assert losses == sorted(losses)
+    assert by_latency[8].loss_rate > 0.3
+
+
+def test_contention_scales_with_threads(once):
+    """More threads on the same counters → more lost updates."""
+    few = run_contention(4, thread_count=2, cycles=30_000)
+    many = once(run_contention, 4, 6, 4, 30_000)
+    assert many.loss_rate > few.loss_rate

@@ -1,0 +1,31 @@
+"""§3 — INT telemetry volume reduction with event-driven aggregation."""
+
+from _util import report
+
+from repro.experiments.int_exp import run_int
+
+
+def test_aggregation_reduces_report_volume(once):
+    """Orders of magnitude fewer reports, no congestion episode missed."""
+    aggregate = once(run_int, "aggregate")
+    all_windows = run_int("all-windows")
+    postcards = run_int("postcards")
+    report(
+        "int_volume",
+        "§3: telemetry volume — aggregation + filtering vs postcards",
+        [
+            postcards.summary_row(),
+            all_windows.summary_row(),
+            aggregate.summary_row(),
+        ],
+    )
+    # Postcards: one report per packet.
+    assert postcards.reports_received == postcards.data_packets
+    # Windowed aggregation alone: >100x reduction.
+    assert all_windows.reduction_factor > 100
+    # Anomaly filtering: a further large cut...
+    assert aggregate.reports_received < all_windows.reports_received
+    assert aggregate.reduction_factor > 500
+    # ...while still reporting every anomalous window.
+    assert aggregate.anomalous_windows > 0
+    assert aggregate.windows_reported == aggregate.anomalous_windows

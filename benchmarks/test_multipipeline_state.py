@@ -1,0 +1,37 @@
+"""§4 — state sharing across independent pipelines.
+
+"Things get more complicated when a device has multiple independent
+pipelines (e.g. Tofino has four independent pipelines)."  Replicated
+registers with periodic delta exchange: the sync period trades
+cross-pipeline read accuracy against interconnect bandwidth.
+"""
+
+from _util import report
+
+from repro.state.replication import run_multipipe
+
+
+def test_sync_period_trades_accuracy_for_bandwidth(once):
+    """Shorter sync periods → fresher replicas, more entries exchanged."""
+    periods = [8, 64, 512, None]
+    results = once(lambda: [run_multipipe(sync_period_cycles=p) for p in periods])
+    report(
+        "multipipe_state",
+        "§4: cross-pipeline state sync (4 pipelines, delta exchange)",
+        [result.summary_row() for result in results],
+    )
+    errors = [result.mean_read_error for result in results]
+    costs = [result.sync_entries_per_cycle for result in results]
+    # Error grows monotonically as syncs get rarer; cost shrinks.
+    assert errors == sorted(errors)
+    assert costs == sorted(costs, reverse=True)
+    # Never syncing is catastrophic versus a tight sync.
+    assert errors[-1] > 20 * errors[0]
+    assert costs[-1] == 0.0
+
+
+def test_more_pipelines_more_staleness(once):
+    """Each extra pipeline hides more concurrent deltas from a reader."""
+    two = run_multipipe(pipelines=2, sync_period_cycles=128)
+    eight = once(run_multipipe, 8, 128)
+    assert eight.mean_read_error > two.mean_read_error

@@ -1,0 +1,22 @@
+"""§3 — NDP-style trimming from buffer-overflow events."""
+
+from _util import report
+
+from repro.experiments.ndp_exp import run_incast
+
+
+def test_trimming_makes_losses_visible(once):
+    """Every loss produces a delivered trim under NDP; none under tail-drop."""
+    ndp = once(run_incast, "ndp")
+    tail = run_incast("tail-drop")
+    report(
+        "ndp_trimming",
+        "§3: incast loss visibility — NDP trimming vs tail-drop",
+        [tail.summary_row(), ndp.summary_row()],
+    )
+    assert tail.loss_visibility == 0.0
+    assert ndp.loss_visibility >= 0.95
+    assert ndp.trims_delivered > 0
+    # Both schemes lost comparable amounts of data (same incast).
+    assert tail.data_lost > 0
+    assert abs(ndp.data_lost - tail.data_lost) < 0.25 * tail.data_lost

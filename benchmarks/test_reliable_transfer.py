@@ -1,0 +1,28 @@
+"""§8 — what failover means to an application.
+
+A reliable sliding-window transfer (the §8 "simple reliable delivery
+protocol") crosses the diamond while its primary path fails.
+"""
+
+from _util import report
+
+from repro.experiments.reliable_exp import run_reliable_transfer
+
+
+def test_transfer_survives_frr_stalls_under_control_plane(once):
+    """FRR: a handful of retransmissions; control plane: a long stall."""
+    frr = once(run_reliable_transfer, "frr")
+    control = run_reliable_transfer("control-plane")
+    report(
+        "reliable_transfer",
+        "§8: reliable transfer across a failover",
+        [frr.summary_row(), control.summary_row()],
+    )
+    assert frr.completed and control.completed
+    # Both eventually deliver everything (reliability works)...
+    assert frr.delivered == control.delivered == frr.total_packets
+    # ...but FRR loses only the in-flight window; the control plane
+    # stalls for its full repair latency.
+    assert frr.retransmissions < 50
+    assert control.retransmissions > 5 * frr.retransmissions
+    assert control.completion_ms > frr.completion_ms + 80  # the ~110 ms hole

@@ -1,0 +1,59 @@
+"""Simulator micro-benchmarks.
+
+Not a paper result — these time the reproduction itself (kernel event
+throughput and full-switch packet throughput) so regressions in the
+substrate are visible in CI like any other number.
+"""
+
+from repro.apps.microburst import MicroburstDetector
+from repro.experiments.factories import make_sume_switch
+from repro.net.topology import build_linear
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch rate of bare kernel callbacks."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.call_after(1, tick)
+
+        sim.call_at(0, tick)
+        sim.run()
+        return count[0]
+
+    executed = benchmark(run)
+    assert executed == 20_000
+
+
+def test_switch_packet_throughput(benchmark):
+    """End-to-end packets through a SUME switch with a real program."""
+
+    def run():
+        network = build_linear(make_sume_switch(), switch_count=1)
+        program = MicroburstDetector(num_regs=256, flow_thresh_bytes=1 << 30)
+        program.install_routes({H1_IP: 1, H0_IP: 0})
+        network.switches["s0"].load_program(program)
+        received = []
+        network.hosts["h1"].add_sink(received.append)
+        h0 = network.hosts["h0"]
+        for i in range(500):
+            network.sim.call_at(
+                1_000 + i * 200_000,
+                h0.send,
+                make_udp_packet(H0_IP, H1_IP, payload_len=200),
+            )
+        network.run()
+        return len(received)
+
+    delivered = benchmark(run)
+    assert delivered == 500

@@ -1,0 +1,49 @@
+"""§4 — staleness is bounded and trades against bandwidth.
+
+Two sweeps: staleness vs. pipeline overspeed, and staleness vs.
+disabled external ports.  The paper's claims: staleness is *bounded* if
+the pipeline runs slightly faster than line rate, shrinks with
+headroom, and can be bought down by giving up packet-processing
+bandwidth.
+"""
+
+from _util import report
+
+from repro.experiments.staleness_exp import sweep_overspeed, sweep_port_disable
+
+
+def test_staleness_shrinks_with_overspeed(once):
+    """More pipeline headroom → lower staleness, always bounded."""
+    results = once(sweep_overspeed, [1.05, 1.25, 1.5, 2.0])
+    report(
+        "staleness_overspeed",
+        "§4: staleness vs pipeline overspeed",
+        [result.summary_row() for result in results],
+    )
+    lags = [result.staleness.mean_lag_cycles for result in results]
+    errors = [result.staleness.mean_error for result in results]
+    # Monotone improvement along the sweep.
+    assert lags == sorted(lags, reverse=True)
+    assert errors[0] > errors[-1]
+    for result in results:
+        # Bounded: pending work never exceeds the number of entries.
+        assert result.max_pending_ops <= result.config.num_queues
+        assert result.port_conflicts == 0
+
+
+def test_disabling_ports_buys_accuracy(once):
+    """§4's trade-off: fewer used ports → fresher state."""
+    results = once(sweep_port_disable, [0.0, 0.25, 0.5, 0.75])
+    report(
+        "staleness_ports",
+        "§4: staleness vs disabled external ports (bandwidth ↔ accuracy)",
+        [
+            f"disabled={result.config.port_disable_fraction:4.2f} "
+            + result.summary_row()
+            for result in results
+        ],
+    )
+    errors = [result.staleness.mean_error for result in results]
+    assert errors[0] > errors[-1]
+    # At 75% disabled ports the state is nearly always fresh.
+    assert results[-1].staleness.mean_error < 0.25 * results[0].staleness.mean_error

@@ -1,0 +1,69 @@
+"""Table 3 — the FPGA cost of adding event support.
+
+Regenerates the paper's resource table from the structural cost model:
+the event logic (Event Merger, timer unit, packet generator, link
+monitor, queue event tap, metadata bus widening) as a percentage of a
+Virtex-7 XC7V690T.  Paper: +0.5% LUTs, +0.4% FFs, +2.0% BRAM.
+"""
+
+from _util import report
+
+from repro.resources import table3_rows
+from repro.resources.report import (
+    event_logic_build,
+    event_switch_build,
+    reference_switch_build,
+    utilization_report,
+)
+
+
+def test_table3_resource_increase(once):
+    """Event support stays within the paper's ≤2% envelope."""
+    rows = once(table3_rows)
+    lines = [f"{'FPGA Resource':<16}{'paper %':>10}{'model %':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['resource']:<16}{row['paper_percent_increase']:>10.1f}"
+            f"{row['measured_percent_increase']:>10.2f}"
+        )
+    util = utilization_report()
+    lines.append("")
+    lines.append(
+        "context: reference switch uses "
+        f"{util['reference_switch']['luts']:.1f}% LUTs / "
+        f"{util['reference_switch']['bram']:.1f}% BRAM; "
+        "event switch "
+        f"{util['event_switch']['luts']:.1f}% / "
+        f"{util['event_switch']['bram']:.1f}%"
+    )
+    report("table3_resources", "Table 3: cost of event support (Virtex-7)", lines)
+
+    by_resource = {row["resource"]: row for row in rows}
+    # The paper's claim: at most 2% additional resources, with BRAM the
+    # dominant term and logic well under 1%.
+    assert by_resource["Lookup Tables"]["measured_percent_increase"] < 1.0
+    assert by_resource["Flip Flops"]["measured_percent_increase"] < 1.0
+    assert by_resource["Block RAM"]["measured_percent_increase"] <= 2.5
+    assert (
+        by_resource["Block RAM"]["measured_percent_increase"]
+        > by_resource["Lookup Tables"]["measured_percent_increase"]
+    )
+    # Within 0.5 percentage points of the published row everywhere.
+    for row in rows:
+        assert abs(
+            row["measured_percent_increase"] - row["paper_percent_increase"]
+        ) <= 0.5
+
+
+def test_event_logic_is_small_versus_reference(once):
+    """The event blocks are a small fraction of the reference switch."""
+    def build_both():
+        return reference_switch_build().total(), event_logic_build().total()
+
+    reference, events = once(build_both)
+    assert events.luts < 0.1 * reference.luts
+    assert events.flip_flops < 0.1 * reference.flip_flops
+    assert events.bram_36kb < 0.2 * reference.bram_36kb
+    # And the composite build is exactly reference + events.
+    combined = event_switch_build().total()
+    assert abs(combined.luts - (reference.luts + events.luts)) < 1e-6

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Fast re-route on link-status events vs. control-plane re-route.
+
+A diamond topology loses its primary link halfway through a flow.  The
+event-driven program flips to the backup path the instant the
+LINK_STATUS event fires; the baseline waits for the control plane.
+
+Run:  python examples/fast_reroute.py
+"""
+
+from repro.experiments.frr_exp import run_failover
+from repro.sim.units import MICROSECONDS
+
+
+def main() -> None:
+    print("Failing the primary link at t=50 ms during a 1 Gb/s flow...\n")
+    frr = run_failover("frr")
+    control = run_failover("control-plane")
+
+    print("scheme          packets lost   forwarding outage")
+    for result in (frr, control):
+        print(
+            f"{result.scheme:<15} {result.packets_lost:>8}       "
+            f"{result.outage_ps / MICROSECONDS:>12.1f} us"
+        )
+    ratio = control.outage_ps / max(1, frr.outage_ps)
+    print(
+        f"\nLINK_STATUS events recover {ratio:,.0f}x faster than the "
+        f"control plane,\nlosing {frr.packets_lost} packet(s) instead of "
+        f"{control.packets_lost}."
+    )
+
+
+if __name__ == "__main__":
+    main()

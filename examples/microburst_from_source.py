@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The paper's microburst.p4, written as source text.
+
+"We propose a common, general way to express event processing using
+the P4 language" — this example compiles an event-driven program from
+source (per-event blocks + a shared_register extern, the paper's §2
+syntax) and runs it on the SUME Event Switch.
+
+Run:  python examples/microburst_from_source.py
+"""
+
+from repro.experiments.factories import make_sume_switch
+from repro.lang import compile_program
+from repro.net.topology import build_dumbbell
+from repro.packet.hashing import ip_pair_hash
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.bursts import OnOffBurst
+from repro.workloads.cbr import ConstantBitRate
+
+RX_IP = 0x0A00_0000 + 101
+
+MICROBURST_P4 = """
+program microburst;
+
+shared_register<32>(1024) bufSize_reg;
+const FLOW_THRESH = 8000;
+
+on ingress_packet {
+    // compute flowID = hash(hdr.ip.src ++ hdr.ip.dst)
+    var flowID = hash(ip.src, ip.dst, 1024);
+    // initialize enq & deq metadata for this pkt
+    set_enq_meta("flowID", flowID);
+    set_enq_meta("pkt_len", pkt.len);
+    set_deq_meta("flowID", flowID);
+    set_deq_meta("pkt_len", pkt.len);
+    // read buffer occupancy of this flow
+    var bufSize = bufSize_reg.read(flowID);
+    // detect microburst
+    if (bufSize > FLOW_THRESH) {
+        mark(flowID);       /* microburst culprit! */
+    }
+    forward_by_ip();
+}
+
+on buffer_enqueue {
+    bufSize_reg.add(event.flowID, event.pkt_len);
+}
+
+on buffer_dequeue {
+    bufSize_reg.sub(event.flowID, event.pkt_len);
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(MICROBURST_P4)
+    print(f"compiled {program!r}\n")
+
+    network = build_dumbbell(
+        make_sume_switch(queue_capacity_bytes=128 * 1024), senders=4, receivers=1
+    )
+    program.install_route(RX_IP, 0)
+    network.switches["s0"].load_program(program)
+
+    passthrough = compile_program(
+        'program passthrough;\non ingress_packet { forward_by_ip(); }\n'
+    )
+    passthrough.install_route(RX_IP, 1)
+    network.switches["s1"].load_program(passthrough)
+
+    for i in range(3):
+        tx = network.hosts[f"tx{i}"]
+        ConstantBitRate(
+            network.sim, tx.send,
+            FlowSpec(tx.ip, RX_IP, sport=7_000 + i, dport=9_000),
+            rate_gbps=1.0, payload_len=1400, name=f"bg{i}",
+        ).start(at_ps=10 * MICROSECONDS)
+    culprit_host = network.hosts["tx3"]
+    culprit = OnOffBurst(
+        network.sim, culprit_host.send,
+        FlowSpec(culprit_host.ip, RX_IP, sport=7_999, dport=9_000),
+        burst_packets=48, intra_gap_ps=1_200_000,
+        mean_off_ps=int(1.5 * MILLISECONDS), payload_len=1400,
+        seed=11, name="culprit",
+    )
+    culprit.start(at_ps=100 * MICROSECONDS)
+
+    network.run(until_ps=20 * MILLISECONDS)
+
+    culprit_fid = ip_pair_hash(culprit_host.ip, RX_IP, 1024)
+    flagged = sorted(set(program.marked_values()))
+    print(f"flows flagged by the source-level program : {flagged}")
+    print(f"the actual culprit's flow id              : {culprit_fid}")
+    print(f"detections                                : {len(program.marks)}")
+    print(f"state bits (one shared_register)          : {program.state_bits()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""NetCache-style in-network caching with timer-driven maintenance.
+
+Zipf-skewed GETs flow through a switch cache to a key-value server.
+Halfway through, the hot set shifts.  With timer events the switch
+decays hit counters (approximate LRU) and clears miss statistics each
+window, re-learning the new hot keys quickly; without timers the stale
+statistics pin the old keys.
+
+Run:  python examples/netcache_hot_keys.py
+"""
+
+from repro.experiments.netcache_exp import run_netcache
+
+
+def main() -> None:
+    print("512-key Zipf GET workload; hot set shifts at t=20 ms...\n")
+    with_timer = run_netcache(True)
+    without = run_netcache(False)
+
+    print("maintenance     overall hit   post-shift hit   server load")
+    for label, result in (("timer LRU", with_timer), ("none", without)):
+        print(
+            f"{label:<15} {100 * result.hit_ratio:>9.1f}%   "
+            f"{100 * result.post_shift_hit_ratio:>12.1f}%   "
+            f"{result.server_requests:>9}"
+        )
+    print(
+        f"\nTimer-driven decay performed {with_timer.evictions} evictions and kept "
+        f"the cache hot\nthrough the workload change "
+        f"({100 * with_timer.post_shift_hit_ratio:.0f}% vs "
+        f"{100 * without.post_shift_hit_ratio:.0f}% hit ratio after the shift)."
+    )
+
+
+if __name__ == "__main__":
+    main()

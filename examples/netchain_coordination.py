@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""NetChain-style coordination surviving a link failure.
+
+A three-switch replication chain serves sequential writes; the
+head→mid link dies mid-run.  The event-driven chain splices itself over
+a pre-provisioned bypass within one write period; the control-plane
+baseline blackholes writes for ~110 ms.
+
+Run:  python examples/netchain_coordination.py
+"""
+
+from repro.experiments.netchain_exp import run_netchain
+from repro.sim.units import MICROSECONDS
+
+
+def main() -> None:
+    print("Sequential writes through a 3-switch chain; mid-chain link "
+          "fails at t=50 ms...\n")
+    event_driven = run_netchain("event-driven")
+    control = run_netchain("control-plane")
+
+    print("repair scheme    writes   lost    ack outage     consistent read")
+    for result in (event_driven, control):
+        print(
+            f"{result.scheme:<16} {result.writes_sent:>6} "
+            f"{result.writes_lost:>6}  "
+            f"{result.outage_ps / MICROSECONDS:>10.1f} us   "
+            f"{result.read_matches_last_ack}"
+        )
+    print(
+        "\nThe LINK_STATUS handler re-splices the chain in the data plane;\n"
+        "chain consistency (read ≥ last acknowledged write) holds in both\n"
+        "runs — the event-driven one just stops losing writes ~2000x sooner."
+    )
+
+
+if __name__ == "__main__":
+    main()

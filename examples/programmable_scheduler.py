@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""A complete programmable packet scheduler: PIFO + dequeue events.
+
+Weighted fair queueing (start-time fair queueing) where the virtual
+clock advances from DEQUEUE events — the state update a baseline PISA
+architecture cannot express.  Two flows with weights 3:1 contend for a
+2 Gb/s bottleneck.
+
+Run:  python examples/programmable_scheduler.py
+"""
+
+from repro.experiments.scheduling_exp import run_scheduling
+
+
+def main() -> None:
+    print("Two flows, WFQ weights 3:1, contending for a 2 Gb/s port...\n")
+    fifo = run_scheduling("fifo")
+    wfq = run_scheduling("wfq")
+
+    print("scheduler   heavy pkts   light pkts   service ratio")
+    for result in (fifo, wfq):
+        print(
+            f"{result.scheme:<11} {result.heavy_packets:>8}   "
+            f"{result.light_packets:>10}   {result.measured_ratio:>10.2f}"
+        )
+    print(
+        "\nThe WFQ program stamps each packet's PIFO rank at ingress and\n"
+        "advances its virtual clock from dequeue events; the measured\n"
+        f"service ratio ({wfq.measured_ratio:.2f}) matches the configured "
+        f"weights ({wfq.configured_ratio:.1f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` in
+offline environments where the `wheel` package is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Event-driven packet processing — a behavioral reproduction.
+
+Reproduces Ibanez, Antichi, Brebner, McKeown, *Event-Driven Packet
+Processing* (HotNets 2019): an event-driven PISA architecture whose
+programming model exposes the full set of data-plane events of the
+paper's Table 1, together with the baseline PSA it generalizes, the
+SUME Event Switch prototype, the paper's state-distribution machinery,
+and the application classes of its Table 2.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.arch import SumeEventSwitch
+    from repro.apps.microburst import MicroburstDetector
+
+    sim = Simulator()
+    switch = SumeEventSwitch(sim)
+    switch.load_program(MicroburstDetector(num_regs=1024, flow_thresh_bytes=8000))
+    ...
+
+See ``examples/quickstart.py`` for the complete runnable version.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""Applications (paper Table 2).
+
+One module per application, each built on the event-driven programming
+model of :mod:`repro.arch`:
+
+======================  ====================================================
+Module                  Paper application (events used)
+======================  ====================================================
+``microburst``          §2's worked example: microburst culprit detection
+                        (ingress, enqueue, dequeue)
+``snappy``              Baseline-PISA competitor (ingress/egress only),
+                        for the ≥4× state-reduction comparison
+``hula``                HULA load balancing (timer-generated probes)
+``ndp``                 NDP-style trimming/priority (buffer overflow)
+``frr``                 Fast re-route (link status)
+``liveness``            Neighbor liveness monitoring (timer)
+``flow_rate``           Time-windowed flow-rate measurement (timer)
+``aqm``                 RED / FRED-like fair AQM (enqueue, dequeue, timer)
+``policing``            Token-bucket policing from registers + timers
+``heavy_hitters``       Count-min sketch with data-plane reset (timer)
+``netcache``            NetCache-style KV cache (timer)
+``netchain``            NetChain-style chain replication (link status)
+``int_telemetry``       INT aggregation and filtering (timer, buffer events)
+``scheduling``          Programmable WFQ over a PIFO (dequeue events)
+``ecn``                 Multi-bit / single-bit ECN marking (buffer events)
+``state_migration``     Swing-state migration on failover (link status)
+======================  ====================================================
+"""

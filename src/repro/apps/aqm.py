@@ -1,0 +1,283 @@
+"""Active queue management from events (paper §3, §5).
+
+AQM "was one of the motivating applications for our work": RED needs
+the average queue occupancy, FRED needs per-active-flow occupancy and
+the active flow count — congestion signals that enqueue and dequeue
+events provide directly in the ingress pipeline, where the drop
+decision must be made.
+
+* :class:`RedAqm` — Random Early Detection: an EWMA of the queue depth
+  maintained by enqueue events; the ingress control drops
+  probabilistically between two thresholds.
+* :class:`FredAqm` — FRED-like flow fairness (the §5 student project):
+  per-active-flow occupancy and active flow count from enqueue/dequeue
+  events; flows above their fair share are dropped at ingress.  A timer
+  event samples the buffer occupancy into a time series for a monitor.
+* :class:`DropTailProgram` — the baseline: no AQM, queues overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.hashing import flow_hash
+from repro.packet.headers import Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.rng import SeededRng
+
+AQM_TIMER = 2
+
+
+class RedAqm(ForwardingProgram):
+    """Random Early Detection with event-maintained average occupancy.
+
+    The EWMA updates on every enqueue and dequeue event:
+    ``avg ← avg + w·(instant − avg)`` with ``w = 1/2**weight_shift``
+    (shift-friendly, as hardware RED implementations use).
+    """
+
+    name = "red"
+
+    def __init__(
+        self,
+        min_thresh_bytes: int = 15_000,
+        max_thresh_bytes: int = 45_000,
+        max_drop_prob: float = 0.1,
+        weight_shift: int = 4,
+        seed: int = 7,
+    ) -> None:
+        super().__init__()
+        if min_thresh_bytes >= max_thresh_bytes:
+            raise ValueError("min threshold must be below max threshold")
+        if not 0 < max_drop_prob <= 1:
+            raise ValueError(f"max drop prob must be in (0, 1], got {max_drop_prob}")
+        self.min_thresh_bytes = min_thresh_bytes
+        self.max_thresh_bytes = max_thresh_bytes
+        self.max_drop_prob = max_drop_prob
+        self.weight_shift = weight_shift
+        # avg_qdepth[0] holds the EWMA, scaled by 2**weight_shift for
+        # integer arithmetic.
+        self.avg_qdepth = SharedRegister(1, width_bits=32, name="avg_qdepth")
+        self.early_drops = 0
+        self.admitted = 0
+        self._rng = SeededRng(seed, "red")
+
+    def _avg(self) -> int:
+        return self.avg_qdepth.read(0) >> self.weight_shift
+
+    def _update_avg(self, instant_bytes: int) -> None:
+        scaled = self.avg_qdepth.read(0)
+        avg = scaled >> self.weight_shift
+        scaled += instant_bytes - avg
+        self.avg_qdepth.write(0, max(0, scaled))
+
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx: ProgramContext, event: Event) -> None:
+        self._update_avg(event.meta["buffer_bytes"])
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        self._update_avg(event.meta["buffer_bytes"])
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        avg = self._avg()
+        if avg >= self.max_thresh_bytes:
+            self.early_drops += 1
+            meta.drop()
+            return
+        if avg > self.min_thresh_bytes:
+            span = self.max_thresh_bytes - self.min_thresh_bytes
+            prob = self.max_drop_prob * (avg - self.min_thresh_bytes) / span
+            if self._rng.random() < prob:
+                self.early_drops += 1
+                meta.drop()
+                return
+        self.admitted += 1
+        self.forward_by_ip(pkt, meta)
+
+
+class FredAqm(ForwardingProgram):
+    """FRED-like per-flow fairness from enqueue/dequeue events.
+
+    Congestion signals (total occupancy, per-active-flow occupancy,
+    active flow count) are exactly the three the §5 student project
+    computed.  A flow whose buffered bytes exceed
+    ``fairness_factor × total / active_flows`` is dropped at ingress
+    once the buffer passes ``min_buffer_bytes``.
+    """
+
+    name = "fred"
+
+    def __init__(
+        self,
+        num_regs: int = 1024,
+        fairness_factor: float = 2.0,
+        min_buffer_bytes: int = 10_000,
+        sample_period_ps: int = 100_000_000,  # 100 µs buffer samples
+    ) -> None:
+        super().__init__()
+        if fairness_factor <= 0:
+            raise ValueError(f"fairness factor must be positive, got {fairness_factor}")
+        self.fairness_factor = fairness_factor
+        self.min_buffer_bytes = min_buffer_bytes
+        self.sample_period_ps = sample_period_ps
+        self.flow_bytes = SharedRegister(num_regs, width_bits=32, name="flow_bytes")
+        # totals[0] = buffered bytes, totals[1] = active flow count.
+        self.totals = SharedRegister(2, width_bits=32, name="totals")
+        self.unfair_drops = 0
+        self.admitted = 0
+        #: (time_ps, buffer_bytes, active_flows) samples from the timer.
+        self.occupancy_series: List[Tuple[int, int, int]] = []
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        ctx.configure_timer(AQM_TIMER, self.sample_period_ps)
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        self.occupancy_series.append(
+            (ctx.now_ps, self.totals.read(0), self.totals.read(1))
+        )
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        flow_id = flow_hash(pkt, self.flow_bytes.size)
+        if flow_id is None:
+            meta.drop()
+            return
+        total = self.totals.read(0)
+        if total > self.min_buffer_bytes:
+            active = max(1, self.totals.read(1))
+            fair_share = self.fairness_factor * total / active
+            if self.flow_bytes.read(flow_id) > fair_share:
+                self.unfair_drops += 1
+                meta.drop()
+                return
+        self.admitted += 1
+        meta.enq_meta["flowID"] = flow_id
+        meta.enq_meta["pkt_len"] = pkt.total_len
+        meta.deq_meta["flowID"] = flow_id
+        meta.deq_meta["pkt_len"] = pkt.total_len
+        self.forward_by_ip(pkt, meta)
+
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx: ProgramContext, event: Event) -> None:
+        flow_id = event.meta["flowID"]
+        before = self.flow_bytes.read(flow_id)
+        self.flow_bytes.write(flow_id, before + event.meta["pkt_len"])
+        self.totals.add(0, event.meta["pkt_len"])
+        if before == 0:
+            self.totals.add(1, 1)  # flow became active
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        flow_id = event.meta["flowID"]
+        after = self.flow_bytes.sub(flow_id, event.meta["pkt_len"])
+        self.totals.sub(0, event.meta["pkt_len"])
+        if after == 0:
+            self.totals.sub(1, 1)  # flow drained out
+
+
+class PieAqm(ForwardingProgram):
+    """PIE (Proportional Integral controller Enhanced, RFC 8033 shape).
+
+    PIE is the AQM whose core *requires* periodic work: every update
+    interval a controller recomputes the drop probability from the
+    queueing latency and its trend::
+
+        p += alpha * (latency - target) + beta * (latency - latency_old)
+
+    On a baseline PISA device that control loop must live in the
+    control plane; with timer events it runs in the data plane.  The
+    queueing latency comes from the buffer occupancy (enqueue/dequeue
+    events) divided by the drain rate.
+    """
+
+    name = "pie"
+
+    #: Fixed-point scale for the drop probability register.
+    PROB_SCALE = 1 << 20
+
+    def __init__(
+        self,
+        target_delay_ps: int = 20 * 1_000_000,  # 20 µs target latency
+        update_period_ps: int = 100 * 1_000_000,  # 100 µs control interval
+        drain_rate_gbps: float = 10.0,
+        alpha: float = 0.25,
+        beta: float = 2.5,
+        seed: int = 19,
+    ) -> None:
+        super().__init__()
+        if target_delay_ps <= 0 or update_period_ps <= 0:
+            raise ValueError("target delay and update period must be positive")
+        if drain_rate_gbps <= 0:
+            raise ValueError("drain rate must be positive")
+        self.target_delay_ps = target_delay_ps
+        self.update_period_ps = update_period_ps
+        self.drain_rate_gbps = drain_rate_gbps
+        self.alpha = alpha
+        self.beta = beta
+        # state[0] = drop probability (fixed point), state[1] = buffered
+        # bytes, state[2] = previous latency sample (ps).
+        self.state = SharedRegister(3, width_bits=64, name="pie_state")
+        self.early_drops = 0
+        self.admitted = 0
+        self.updates = 0
+        self._rng = SeededRng(seed, "pie")
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        ctx.configure_timer(AQM_TIMER, self.update_period_ps)
+
+    def _latency_ps(self) -> int:
+        buffered = self.state.read(1)
+        return int(buffered * 8 * 1_000 / self.drain_rate_gbps)
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        self.updates += 1
+        latency = self._latency_ps()
+        previous = self.state.read(2)
+        error = (latency - self.target_delay_ps) / self.target_delay_ps
+        trend = (latency - previous) / self.target_delay_ps
+        prob = self.state.read(0) / self.PROB_SCALE
+        prob += self.alpha * error * 0.01 + self.beta * trend * 0.01
+        prob = min(1.0, max(0.0, prob))
+        self.state.write(0, int(prob * self.PROB_SCALE))
+        self.state.write(2, latency)
+
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx: ProgramContext, event: Event) -> None:
+        self.state.write(1, event.meta["buffer_bytes"])
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        self.state.write(1, event.meta["buffer_bytes"])
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        prob = self.state.read(0) / self.PROB_SCALE
+        if prob > 0 and self._rng.random() < prob:
+            self.early_drops += 1
+            meta.drop()
+            return
+        self.admitted += 1
+        self.forward_by_ip(pkt, meta)
+
+    def drop_probability(self) -> float:
+        """The controller's current drop probability."""
+        return self.state.read(0) / self.PROB_SCALE
+
+
+class DropTailProgram(ForwardingProgram):
+    """No AQM at all: forward and let the buffer tail-drop."""
+
+    name = "drop-tail"
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.forward_by_ip(pkt, meta)

@@ -1,0 +1,71 @@
+"""Shared application plumbing.
+
+Most programs need plain destination-IP forwarding underneath their
+interesting logic.  :class:`ForwardingProgram` provides it: a
+dict-backed route table (dst IP → output port), an installation helper
+the experiments call after route computation, and a default ingress
+handler subclasses invoke.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arch.program import P4Program, ProgramContext
+from repro.packet.headers import Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+
+class ForwardingProgram(P4Program):
+    """A program with destination-IP forwarding state.
+
+    ``routes`` maps destination IP to output port.  Unroutable packets
+    are dropped (and counted), which keeps experiments honest about
+    missing table entries.  When ``ttl_handling`` is on (the default),
+    forwarding decrements the IPv4 TTL and drops expired packets — the
+    guard that contains forwarding loops in any experiment topology.
+    """
+
+    def __init__(self, ttl_handling: bool = True) -> None:
+        super().__init__()
+        self.routes: Dict[int, int] = {}
+        self.ttl_handling = ttl_handling
+        self.unrouted_drops = 0
+        self.ttl_drops = 0
+
+    def install_route(self, dst_ip: int, port: int) -> None:
+        """Install (or replace) one forwarding entry."""
+        if port < 0:
+            raise ValueError(f"port must be non-negative, got {port}")
+        self.routes[dst_ip] = port
+
+    def install_routes(self, routes: Dict[int, int]) -> None:
+        """Bulk route installation."""
+        for dst_ip, port in routes.items():
+            self.install_route(dst_ip, port)
+
+    def forward_by_ip(self, pkt: Packet, meta: StandardMetadata) -> Optional[int]:
+        """Set ``egress_spec`` from the route table.
+
+        Returns the chosen port, or None when the packet was dropped
+        (non-IP or unrouted).
+        """
+        ip = pkt.get(Ipv4)
+        if ip is None:
+            self.unrouted_drops += 1
+            meta.drop()
+            return None
+        port = self.routes.get(ip.dst)
+        if port is None:
+            self.unrouted_drops += 1
+            meta.drop()
+            return None
+        if self.ttl_handling:
+            if ip.ttl <= 1:
+                self.ttl_drops += 1
+                meta.drop()
+                return None
+            ip.set(ttl=ip.ttl - 1)
+        meta.send_to_port(port)
+        return port

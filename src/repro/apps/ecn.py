@@ -1,0 +1,134 @@
+"""Multi-bit ECN marking from enqueue/dequeue events (paper §3).
+
+"This allows for variants of ECN marking, with packets carrying
+multiple bits rather than just one, to communicate queue occupancy
+along the path, or just the maximum queue occupancy at the
+bottleneck."
+
+* :class:`MultiBitEcnProgram` — enqueue/dequeue events maintain the
+  true buffer occupancy; the ingress thread quantizes it into the
+  6-bit DSCP field, keeping the *maximum* along the path (so the
+  receiver learns the bottleneck's occupancy).
+* :class:`SingleBitEcnProgram` — classic ECN: one bit, set when the
+  occupancy exceeds a threshold.  The receiver can only infer
+  "above/below K".
+
+Receivers decode with :func:`decode_multi_bit` / :func:`decode_single_bit`;
+the experiment scores both decoders against the true occupancy recorded
+at marking time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.headers import Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+
+#: DSCP is 6 bits: 64 quantization levels.
+DSCP_LEVELS = 64
+
+
+class _OccupancyBase(ForwardingProgram):
+    """Shared enqueue/dequeue occupancy accounting."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # occupancy[0]: current buffered bytes on this switch.
+        self.occupancy = SharedRegister(1, width_bits=32, name="occupancy")
+
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx: ProgramContext, event: Event) -> None:
+        self.occupancy.write(0, event.meta["buffer_bytes"])
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        self.occupancy.write(0, event.meta["buffer_bytes"])
+
+
+class MultiBitEcnProgram(_OccupancyBase):
+    """Quantized occupancy in DSCP, max along the path."""
+
+    name = "ecn-multibit"
+
+    def __init__(self, buffer_capacity_bytes: int) -> None:
+        super().__init__()
+        if buffer_capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.buffer_capacity_bytes = buffer_capacity_bytes
+        self.quantum = max(1, buffer_capacity_bytes // DSCP_LEVELS)
+
+    def level_of(self, occupancy_bytes: int) -> int:
+        """Quantize an occupancy into a DSCP level."""
+        return min(DSCP_LEVELS - 1, occupancy_bytes // self.quantum)
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        ip = pkt.get(Ipv4)
+        if ip is None:
+            meta.drop()
+            return
+        occupancy = self.occupancy.read(0)
+        level = self.level_of(occupancy)
+        if level > ip.dscp:
+            ip.set(dscp=level)  # max along the path
+        # Ground truth for the experiment's decoder scoring.
+        pkt.meta["true_bottleneck_occ"] = max(
+            pkt.meta.get("true_bottleneck_occ", 0), occupancy
+        )
+        self.forward_by_ip(pkt, meta)
+
+
+class SingleBitEcnProgram(_OccupancyBase):
+    """Classic one-bit ECN above a fixed threshold."""
+
+    name = "ecn-singlebit"
+
+    def __init__(self, mark_threshold_bytes: int) -> None:
+        super().__init__()
+        if mark_threshold_bytes <= 0:
+            raise ValueError("mark threshold must be positive")
+        self.mark_threshold_bytes = mark_threshold_bytes
+        self.marks = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        ip = pkt.get(Ipv4)
+        if ip is None:
+            meta.drop()
+            return
+        occupancy = self.occupancy.read(0)
+        if occupancy > self.mark_threshold_bytes and ip.ecn != 3:
+            ip.set(ecn=3)  # CE mark
+            self.marks += 1
+        pkt.meta["true_bottleneck_occ"] = max(
+            pkt.meta.get("true_bottleneck_occ", 0), occupancy
+        )
+        self.forward_by_ip(pkt, meta)
+
+
+def decode_multi_bit(pkt: Packet, quantum: int) -> Optional[int]:
+    """Receiver-side decoding of the multi-bit signal (midpoint of bin)."""
+    ip = pkt.get(Ipv4)
+    if ip is None:
+        return None
+    return ip.dscp * quantum + quantum // 2
+
+
+def decode_single_bit(pkt: Packet, mark_threshold_bytes: int) -> Optional[int]:
+    """Receiver-side decoding of classic ECN.
+
+    The best an endpoint can do with one bit: assume the queue sat at
+    the marking threshold when marked, and at half of it when not.
+    """
+    ip = pkt.get(Ipv4)
+    if ip is None:
+        return None
+    if ip.ecn == 3:
+        return mark_threshold_bytes
+    return mark_threshold_bytes // 2

@@ -1,0 +1,113 @@
+"""Fast re-route on link-status events (paper §3, §5).
+
+"By introducing link status change events, the data plane can
+immediately respond to link failures, autonomously re-route affected
+flows" — versus the baseline where the control plane must detect the
+failure, recompute, and push new entries (hundreds of milliseconds).
+
+:class:`FastRerouteProgram` keeps a primary and a backup port per
+destination; a LINK_STATUS down event flips every affected destination
+to its backup within the event-handling latency of the architecture.
+The control-plane comparison is staged by the experiment harness with
+:class:`~repro.control.plane.ControlPlane` latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+
+@dataclass
+class Failover:
+    """One recorded re-route action."""
+
+    time_ps: int
+    port_down: int
+    rerouted_destinations: int
+
+
+class FastRerouteProgram(ForwardingProgram):
+    """Data-plane fast re-route with per-destination backup ports."""
+
+    name = "fast-reroute"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.primary: Dict[int, int] = {}
+        self.backup: Dict[int, int] = {}
+        self.failovers: List[Failover] = []
+        self.reverts: List[Failover] = []
+
+    def install_protected_route(self, dst_ip: int, primary: int, backup: int) -> None:
+        """Install a destination with a pre-computed backup port."""
+        if primary == backup:
+            raise ValueError("backup must differ from primary")
+        self.primary[dst_ip] = primary
+        self.backup[dst_ip] = backup
+        self.install_route(dst_ip, primary)
+
+    # ------------------------------------------------------------------
+    # Link status: the fast path
+    # ------------------------------------------------------------------
+    @handler(EventType.LINK_STATUS)
+    def on_link_status(self, ctx: ProgramContext, event: Event) -> None:
+        port = event.meta["port"]
+        if event.meta["up"]:
+            self._revert(ctx, port)
+        else:
+            self._fail_over(ctx, port)
+
+    def _fail_over(self, ctx: ProgramContext, port: int) -> None:
+        moved = 0
+        for dst_ip, primary in self.primary.items():
+            if primary == port and dst_ip in self.backup:
+                self.routes[dst_ip] = self.backup[dst_ip]
+                moved += 1
+        self.failovers.append(Failover(ctx.now_ps, port, moved))
+
+    def _revert(self, ctx: ProgramContext, port: int) -> None:
+        moved = 0
+        for dst_ip, primary in self.primary.items():
+            if primary == port:
+                self.routes[dst_ip] = primary
+                moved += 1
+        self.reverts.append(Failover(ctx.now_ps, port, moved))
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.forward_by_ip(pkt, meta)
+
+
+class StaticRouteProgram(ForwardingProgram):
+    """The baseline: routes only change when the control plane says so.
+
+    The program ignores link transitions entirely; the experiment
+    harness models the control plane noticing the failure (detection
+    timeout), recomputing, and installing the backup via
+    :meth:`control_update`.
+    """
+
+    name = "static-routes"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.control_updates = 0
+
+    def control_update(self, dst_ip: int, port: int) -> None:
+        """A control-plane table write."""
+        self.install_route(dst_ip, port)
+        self.control_updates += 1
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.forward_by_ip(pkt, meta)

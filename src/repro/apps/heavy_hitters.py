@@ -1,0 +1,119 @@
+"""Heavy-hitter detection with a periodically reset count-min sketch.
+
+The paper's §1 motivating example of control-plane overhead: "the
+Count-Min Sketch is a commonly used data-plane primitive that must be
+periodically reset.  When a CMS is used in a baseline PISA
+architecture, the control plane must be responsible for performing the
+reset operation.  This can lead to significant overhead for the control
+plane, especially if the data structure must be frequently reset."
+
+:class:`HeavyHitterDetector` supports three reset modes:
+
+* ``"timer"`` — a TIMER event clears the sketch in the data plane
+  (zero control-plane involvement, exact window boundaries),
+* ``"control"`` — the experiment wires a
+  :class:`~repro.control.plane.ControlPlane` that clears the sketch
+  over the PCIe path (latency → late/blurred windows, busy controller),
+* ``"none"`` — never reset (estimates blur across the whole run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.packet import Packet
+from repro.pisa.externs.sketch import CountMinSketch
+from repro.pisa.metadata import StandardMetadata
+
+HH_TIMER = 5
+
+
+@dataclass
+class HeavyHitterReport:
+    """One flow flagged as a heavy hitter."""
+
+    time_ps: int
+    flow_key: Tuple
+    estimate: int
+
+
+class HeavyHitterDetector(ForwardingProgram):
+    """CMS-based heavy-hitter detection with selectable reset mode."""
+
+    name = "heavy-hitters"
+
+    RESET_MODES = ("timer", "control", "none")
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 3,
+        threshold_packets: int = 200,
+        window_ps: int = 1_000_000_000,  # 1 ms windows
+        reset_mode: str = "timer",
+    ) -> None:
+        super().__init__()
+        if reset_mode not in self.RESET_MODES:
+            raise ValueError(f"unknown reset mode {reset_mode!r}")
+        if threshold_packets <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold_packets}")
+        self.sketch = CountMinSketch(width, depth, name="hh_cms")
+        self.threshold_packets = threshold_packets
+        self.window_ps = window_ps
+        self.reset_mode = reset_mode
+        self.reports: List[HeavyHitterReport] = []
+        self._reported_this_window: Set[Tuple] = set()
+        self.windows_elapsed = 0
+        self.resets_performed = 0
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        if self.reset_mode == "timer":
+            ctx.configure_timer(HH_TIMER, self.window_ps)
+
+    # ------------------------------------------------------------------
+    # Timer: the data-plane reset
+    # ------------------------------------------------------------------
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        self.sketch.clear()
+        self._reported_this_window.clear()
+        self.windows_elapsed += 1
+        self.resets_performed += 1
+
+    # ------------------------------------------------------------------
+    # Control-plane reset entry point (called by the ControlPlane model)
+    # ------------------------------------------------------------------
+    def control_reset(self) -> None:
+        """What a control-plane clear does when it finally lands."""
+        self.sketch.clear()
+        self._reported_this_window.clear()
+        self.resets_performed += 1
+
+    # ------------------------------------------------------------------
+    # Ingress: update + threshold test
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        ftuple = pkt.five_tuple()
+        if ftuple is None:
+            meta.drop()
+            return
+        key = ftuple.as_bytes()
+        self.sketch.update(key)
+        estimate = self.sketch.query(key)
+        flow_key = (ftuple.src_ip, ftuple.dst_ip, ftuple.sport, ftuple.dport)
+        if estimate >= self.threshold_packets and flow_key not in self._reported_this_window:
+            self._reported_this_window.add(flow_key)
+            self.reports.append(HeavyHitterReport(ctx.now_ps, flow_key, estimate))
+        self.forward_by_ip(pkt, meta)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def reported_flow_keys(self) -> Set[Tuple]:
+        """All distinct flows ever reported."""
+        return {report.flow_key for report in self.reports}

@@ -1,0 +1,192 @@
+"""INT-style telemetry aggregation and filtering (paper §3).
+
+"One challenge with INT is the potentially huge volume of measurement
+data ... data planes can use timer events to aggregate congestion
+information (e.g. queue size, packet loss, or active flow count) and
+only report anomalous events to the monitoring system periodically."
+
+* :class:`IntAggregator` — the event-driven design: enqueue/dequeue/
+  overflow events feed per-window aggregates (max queue depth, drop
+  count, distinct-flow estimate via a Bloom filter); a timer event
+  flushes one report per window — and only when the window was
+  anomalous, if filtering is on.
+* :class:`PostcardTelemetry` — the baseline: one postcard report per
+  data packet, the volume INT is notorious for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.builder import make_int_report
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.externs.sketch import BloomFilter
+from repro.pisa.metadata import StandardMetadata
+
+INT_TIMER = 7
+
+
+@dataclass
+class WindowStats:
+    """One flushed telemetry window."""
+
+    window_id: int
+    time_ps: int
+    max_queue_bytes: int
+    drops: int
+    active_flows: int
+    reported: bool
+
+
+class IntAggregator(ForwardingProgram):
+    """Windowed, filtered telemetry from buffer events and timers."""
+
+    name = "int-aggregator"
+
+    def __init__(
+        self,
+        switch_id: int,
+        monitor_port: int,
+        window_ps: int = 1_000_000_000,  # 1 ms windows
+        anomaly_queue_bytes: int = 30_000,
+        filter_reports: bool = True,
+    ) -> None:
+        super().__init__()
+        self.switch_id = switch_id
+        self.monitor_port = monitor_port
+        self.window_ps = window_ps
+        self.anomaly_queue_bytes = anomaly_queue_bytes
+        self.filter_reports = filter_reports
+        # window_state: [0]=max queue bytes, [1]=drops this window.
+        self.window_state = SharedRegister(2, width_bits=32, name="int_window")
+        self.flow_filter = BloomFilter(bits=4096, hashes=3, name="int_flows")
+        self.flows_this_window = 0
+        self.window_id = 0
+        self.windows: List[WindowStats] = []
+        self.reports_sent = 0
+        self.packets_seen = 0
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        ctx.configure_timer(INT_TIMER, self.window_ps)
+
+    # ------------------------------------------------------------------
+    # Buffer events: aggregate congestion signals
+    # ------------------------------------------------------------------
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx: ProgramContext, event: Event) -> None:
+        depth = event.meta["buffer_bytes"]
+        if depth > self.window_state.read(0):
+            self.window_state.write(0, depth)
+
+    @handler(EventType.BUFFER_OVERFLOW)
+    def on_overflow(self, ctx: ProgramContext, event: Event) -> None:
+        self.window_state.add(1, 1)
+
+    # ------------------------------------------------------------------
+    # Timer: flush one (filtered) report per window
+    # ------------------------------------------------------------------
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        max_queue = self.window_state.read(0)
+        drops = self.window_state.read(1)
+        anomalous = max_queue > self.anomaly_queue_bytes or drops > 0
+        should_report = anomalous or not self.filter_reports
+        if should_report:
+            report = make_int_report(
+                switch_id=self.switch_id,
+                window_id=self.window_id,
+                max_queue_bytes=max_queue,
+                drops=drops,
+                active_flows=self.flows_this_window,
+                ts_ps=ctx.now_ps,
+            )
+            report.meta["probe_out_port"] = self.monitor_port
+            ctx.generate_packet(report)
+            self.reports_sent += 1
+        self.windows.append(
+            WindowStats(
+                window_id=self.window_id,
+                time_ps=ctx.now_ps,
+                max_queue_bytes=max_queue,
+                drops=drops,
+                active_flows=self.flows_this_window,
+                reported=should_report,
+            )
+        )
+        self.window_id += 1
+        self.window_state.write(0, 0)
+        self.window_state.write(1, 0)
+        self.flow_filter.clear()
+        self.flows_this_window = 0
+
+    @handler(EventType.GENERATED_PACKET)
+    def on_generated(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        meta.send_to_port(pkt.meta["probe_out_port"])
+
+    # ------------------------------------------------------------------
+    # Ingress: count flows, forward
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.packets_seen += 1
+        ftuple = pkt.five_tuple()
+        if ftuple is not None:
+            key = ftuple.as_bytes()
+            if not self.flow_filter.contains(key):
+                self.flow_filter.insert(key)
+                self.flows_this_window += 1
+        self.forward_by_ip(pkt, meta)
+
+    def report_reduction(self) -> float:
+        """Reports per data packet (lower is better; postcards = 1.0)."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.reports_sent / self.packets_seen
+
+
+class PostcardTelemetry(ForwardingProgram):
+    """The baseline: one report per packet (INT postcards)."""
+
+    name = "postcards"
+
+    def __init__(self, switch_id: int, monitor_port: int) -> None:
+        super().__init__()
+        self.switch_id = switch_id
+        self.monitor_port = monitor_port
+        self.reports_sent = 0
+        self.packets_seen = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.packets_seen += 1
+        postcard = make_int_report(
+            switch_id=self.switch_id,
+            window_id=self.packets_seen,
+            max_queue_bytes=0,
+            drops=0,
+            active_flows=1,
+            ts_ps=ctx.now_ps,
+        )
+        postcard.meta["probe_out_port"] = self.monitor_port
+        ctx.generate_packet(postcard)
+        self.reports_sent += 1
+        self.forward_by_ip(pkt, meta)
+
+    @handler(EventType.GENERATED_PACKET)
+    def on_generated(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        meta.send_to_port(pkt.meta["probe_out_port"])
+
+    def report_reduction(self) -> float:
+        """Reports per data packet (always ≈ 1.0 for postcards)."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.reports_sent / self.packets_seen

@@ -1,0 +1,164 @@
+"""Liveness monitoring in the data plane (paper §5, student project).
+
+"The event-driven programming model was used to implement a protocol in
+the data plane that periodically checks the liveness of neighboring
+network devices by transmitting echo request packets and waiting for
+replies.  Upon detecting failure of a neighbor, the data plane
+transmits notifications to a central monitor, with no intervention by
+the control plane."
+
+:class:`LivenessMonitor` implements exactly that: a timer event sends
+an echo request out each monitored port and checks reply deadlines; the
+ingress handler answers requests and timestamps replies; a missed
+deadline emits a notification packet toward the monitor port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.builder import make_liveness_echo
+from repro.packet.headers import LivenessEcho
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+
+LIVENESS_TIMER = 1
+
+
+@dataclass
+class NeighborFailure:
+    """One detected neighbor failure."""
+
+    time_ps: int
+    port: int
+
+
+class LivenessMonitor(ForwardingProgram):
+    """Data-plane neighbor liveness with echo requests and deadlines."""
+
+    name = "liveness"
+
+    def __init__(
+        self,
+        switch_id: int,
+        neighbor_ports: List[int],
+        period_ps: int = 10_000_000,  # 10 µs probing interval
+        misses_allowed: int = 3,
+        monitor_port: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not neighbor_ports:
+            raise ValueError("need at least one monitored port")
+        if misses_allowed < 1:
+            raise ValueError(f"misses allowed must be >= 1, got {misses_allowed}")
+        self.switch_id = switch_id
+        self.neighbor_ports = list(neighbor_ports)
+        self.period_ps = period_ps
+        self.misses_allowed = misses_allowed
+        self.monitor_port = monitor_port
+        size = max(neighbor_ports) + 1
+        self.last_reply = SharedRegister(size, width_bits=64, name="last_reply")
+        self.alive = SharedRegister(size, width_bits=1, name="alive")
+        for port in neighbor_ports:
+            self.alive.write(port, 1)
+        self.nonce = 0
+        self.failures: List[NeighborFailure] = []
+        self.recoveries: List[NeighborFailure] = []
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.notifications_sent = 0
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        # Treat load time as the last-heard time so startup isn't a
+        # spurious failure.
+        for port in self.neighbor_ports:
+            self.last_reply.write(port, ctx.now_ps)
+        ctx.configure_timer(LIVENESS_TIMER, self.period_ps)
+
+    # ------------------------------------------------------------------
+    # Timer: probe and check deadlines
+    # ------------------------------------------------------------------
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        deadline = self.misses_allowed * self.period_ps
+        for port in self.neighbor_ports:
+            self.nonce += 1
+            request = make_liveness_echo(
+                kind=LivenessEcho.KIND_REQUEST,
+                origin=self.switch_id,
+                target=port,
+                nonce=self.nonce & 0xFFFFFFFF,
+                ts_ps=ctx.now_ps,
+            )
+            request.meta["probe_out_port"] = port
+            ctx.generate_packet(request)
+            self.requests_sent += 1
+            silent_for = ctx.now_ps - self.last_reply.read(port)
+            if self.alive.read(port) and silent_for > deadline:
+                self.alive.write(port, 0)
+                self.failures.append(NeighborFailure(ctx.now_ps, port))
+                self._notify(ctx, port)
+
+    def _notify(self, ctx: ProgramContext, port: int) -> None:
+        if self.monitor_port is None:
+            ctx.notify_control_plane({"failed_port": port, "switch": self.switch_id})
+            return
+        notification = make_liveness_echo(
+            kind=LivenessEcho.KIND_NOTIFY,
+            origin=self.switch_id,
+            target=port,
+            nonce=0,
+            ts_ps=ctx.now_ps,
+        )
+        notification.meta["probe_out_port"] = self.monitor_port
+        ctx.generate_packet(notification)
+        self.notifications_sent += 1
+
+    @handler(EventType.GENERATED_PACKET)
+    def on_generated(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        meta.send_to_port(pkt.meta["probe_out_port"])
+
+    # ------------------------------------------------------------------
+    # Ingress: answer requests, timestamp replies
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        echo = pkt.get(LivenessEcho)
+        if echo is None:
+            self.forward_by_ip(pkt, meta)
+            return
+        if echo.kind == LivenessEcho.KIND_REQUEST:
+            # Bounce a reply back out of the arrival port.
+            echo.set(kind=LivenessEcho.KIND_REPLY, target=echo.origin, origin=self.switch_id)
+            meta.send_to_port(meta.ingress_port)
+            self.replies_sent += 1
+            return
+        if echo.kind == LivenessEcho.KIND_REPLY:
+            port = meta.ingress_port
+            if port < self.last_reply.size:
+                self.last_reply.write(port, ctx.now_ps)
+                if not self.alive.read(port):
+                    self.alive.write(port, 1)
+                    self.recoveries.append(NeighborFailure(ctx.now_ps, port))
+            meta.drop()
+            return
+        # Notifications transit toward the monitor via normal forwarding
+        # if this switch is not their origin.
+        if self.monitor_port is not None:
+            meta.send_to_port(self.monitor_port)
+        else:
+            meta.drop()
+
+    def detection_delay_ps(self, failure_at_ps: int) -> Optional[int]:
+        """Delay from an actual failure to its first detection."""
+        for failure in self.failures:
+            if failure.time_ps >= failure_at_ps:
+                return failure.time_ps - failure_at_ps
+        return None

@@ -1,0 +1,89 @@
+"""NDP-style trimming and priority forwarding (paper §3).
+
+NDP (Handley et al. 2017) keeps switch queues tiny and, when a queue
+overflows, *trims* the packet to its headers and forwards the header at
+high priority so the receiver learns exactly what was lost.  On a
+baseline PISA device there is no way to act on the drop; with a
+BUFFER_OVERFLOW event the program regenerates the dropped packet's
+headers and sends them through the priority queue.
+
+Deploy on an architecture with two queues per port and a strict
+priority scheduler: queue 0 carries (high-priority) trimmed headers and
+control, queue 1 carries data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.headers import Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+#: Queue indices under the strict-priority scheduler.
+CONTROL_QUEUE = 0
+DATA_QUEUE = 1
+
+
+class NdpProgram(ForwardingProgram):
+    """Trim-on-overflow with priority forwarding of headers."""
+
+    name = "ndp"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trimmed = 0
+        self.trim_failures = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        port = self.forward_by_ip(pkt, meta)
+        if port is None:
+            return
+        if pkt.meta.get("ndp_trimmed"):
+            meta.queue_id = CONTROL_QUEUE
+        else:
+            meta.queue_id = DATA_QUEUE
+
+    # ------------------------------------------------------------------
+    # Buffer overflow: trim and resend the header
+    # ------------------------------------------------------------------
+    @handler(EventType.BUFFER_OVERFLOW)
+    def on_overflow(self, ctx: ProgramContext, event: Event) -> None:
+        dropped = event.pkt
+        if dropped is None or dropped.meta.get("ndp_trimmed"):
+            # Never trim a trim: if even the control queue overflows,
+            # the notification is simply lost (as in NDP).
+            self.trim_failures += 1
+            return
+        header_only = dropped.clone()
+        header_only.payload_len = 0
+        ip = header_only.get(Ipv4)
+        if ip is not None:
+            ip.set(total_len=header_only.header_len - 14)
+        header_only.meta["ndp_trimmed"] = 1
+        header_only.meta["probe_out_port"] = event.meta["port"]
+        self.trimmed += 1
+        ctx.generate_packet(header_only)
+
+    @handler(EventType.GENERATED_PACKET)
+    def on_generated(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        meta.send_to_port(pkt.meta["probe_out_port"])
+        meta.queue_id = CONTROL_QUEUE
+
+
+class TailDropProgram(ForwardingProgram):
+    """The baseline: overflow means silent loss."""
+
+    name = "tail-drop"
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        port = self.forward_by_ip(pkt, meta)
+        if port is not None:
+            meta.queue_id = DATA_QUEUE

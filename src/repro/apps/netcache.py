@@ -1,0 +1,220 @@
+"""NetCache-style in-network key-value caching (paper §3).
+
+NetCache (Jin et al. 2017) caches hot items in the switch to absorb
+skewed key-value load.  The paper adds two event-driven improvements:
+"Timer events allow the programmer to write more sophisticated cache
+replacement policies, such as approximate least-recently-used (LRU),
+entirely in the data plane.  Timer events can also be used to quickly
+clear all NetCache statistics, which ... would allow the cache to more
+rapidly react to workload changes."
+
+:class:`NetCacheProgram` implements GET/PUT handling with a bounded
+cache, per-slot hit counters, a miss count-min sketch for admission,
+and a timer that (a) decays hit counters — approximate LRU — and
+(b) clears the miss statistics each window.  Setting
+``timer_enabled=False`` yields the baseline whose statistics only the
+control plane could clear (so the cache adapts slowly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.builder import make_kv_request
+from repro.packet.headers import Ipv4, KeyValue, Udp
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.externs.sketch import CountMinSketch
+from repro.pisa.metadata import StandardMetadata
+
+CACHE_TIMER = 6
+
+
+@dataclass
+class CacheSlot:
+    """One cache entry."""
+
+    key: int
+    value: int
+
+
+class NetCacheProgram(ForwardingProgram):
+    """A switch KV cache with timer-driven approximate LRU."""
+
+    name = "netcache"
+
+    def __init__(
+        self,
+        cache_slots: int = 64,
+        admit_threshold: int = 4,
+        decay_period_ps: int = 1_000_000_000,  # 1 ms stat windows
+        timer_enabled: bool = True,
+    ) -> None:
+        super().__init__()
+        if cache_slots <= 0:
+            raise ValueError(f"cache size must be positive, got {cache_slots}")
+        if admit_threshold <= 0:
+            raise ValueError(f"admit threshold must be positive, got {admit_threshold}")
+        self.cache_slots = cache_slots
+        self.admit_threshold = admit_threshold
+        self.decay_period_ps = decay_period_ps
+        self.timer_enabled = timer_enabled
+        self._cache: Dict[int, CacheSlot] = {}  # key -> slot
+        self.hit_counters = SharedRegister(cache_slots, width_bits=32, name="hits")
+        self._slot_of_key: Dict[int, int] = {}
+        self._key_of_slot: Dict[int, int] = {}
+        self.miss_sketch = CountMinSketch(512, 2, name="miss_cms")
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.evictions = 0
+        self.decay_ticks = 0
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        if self.timer_enabled:
+            ctx.configure_timer(CACHE_TIMER, self.decay_period_ps)
+
+    # ------------------------------------------------------------------
+    # Timer: approximate LRU decay + miss-stat clearing
+    # ------------------------------------------------------------------
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        self.decay_ticks += 1
+        for slot in range(self.hit_counters.size):
+            self.hit_counters.write(slot, self.hit_counters.read(slot) // 2)
+        self.miss_sketch.clear()
+
+    # ------------------------------------------------------------------
+    # Ingress: GET/PUT handling
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        kv = pkt.get(KeyValue)
+        if kv is None:
+            self.forward_by_ip(pkt, meta)
+            return
+        if kv.op == KeyValue.OP_GET:
+            self._handle_get(ctx, pkt, kv, meta)
+        elif kv.op == KeyValue.OP_PUT:
+            self._handle_put(pkt, kv, meta)
+        else:
+            # Replies from the server pass through toward the client.
+            self.forward_by_ip(pkt, meta)
+
+    def _handle_get(
+        self, ctx: ProgramContext, pkt: Packet, kv: KeyValue, meta: StandardMetadata
+    ) -> None:
+        slot_index = self._slot_of_key.get(kv.key)
+        if slot_index is not None:
+            self.hits += 1
+            self.hit_counters.add(slot_index, 1)
+            # Reply directly from the switch: turn the request around.
+            kv.set(op=KeyValue.OP_REPLY_HIT, value=self._cache[kv.key].value)
+            ip = pkt.get(Ipv4)
+            if ip is not None:
+                src, dst = ip.src, ip.dst
+                ip.set(src=dst, dst=src)
+            meta.send_to_port(meta.ingress_port)
+            return
+        self.misses += 1
+        key_bytes = kv.key.to_bytes(8, "big")
+        self.miss_sketch.update(key_bytes)
+        if self.miss_sketch.query(key_bytes) >= self.admit_threshold:
+            pkt.meta["netcache_admit"] = 1  # admit on the reply path
+        self.forward_by_ip(pkt, meta)
+
+    def _handle_put(self, pkt: Packet, kv: KeyValue, meta: StandardMetadata) -> None:
+        if kv.key in self._cache:
+            self._cache[kv.key].value = kv.value
+        self.forward_by_ip(pkt, meta)
+
+    # ------------------------------------------------------------------
+    # Admission (invoked when a server reply transits back)
+    # ------------------------------------------------------------------
+    def observe_reply(self, key: int, value: int) -> None:
+        """Cache-admission hook for replies to flagged misses."""
+        if key in self._cache:
+            self._cache[key].value = value
+            return
+        if self.miss_sketch.query(key.to_bytes(8, "big")) < self.admit_threshold:
+            return
+        self.admissions += 1
+        if len(self._cache) >= self.cache_slots:
+            self._evict_coldest()
+        slot = self._free_slot()
+        self._cache[key] = CacheSlot(key, value)
+        self._slot_of_key[key] = slot
+        self._key_of_slot[slot] = key
+        self.hit_counters.write(slot, 1)
+
+    def _free_slot(self) -> int:
+        for slot in range(self.cache_slots):
+            if slot not in self._key_of_slot:
+                return slot
+        raise RuntimeError("no free slot after eviction")
+
+    def _evict_coldest(self) -> None:
+        coldest = min(
+            self._key_of_slot, key=lambda slot: self.hit_counters.read(slot)
+        )
+        key = self._key_of_slot.pop(coldest)
+        del self._slot_of_key[key]
+        del self._cache[key]
+        self.hit_counters.write(coldest, 0)
+        self.evictions += 1
+
+    @property
+    def hit_ratio(self) -> float:
+        """GET hit ratio so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def cached_keys(self) -> List[int]:
+        """Currently cached keys."""
+        return sorted(self._cache)
+
+
+class KvServerApp:
+    """A host-side key-value server.
+
+    Attach to a :class:`~repro.net.host.Host` as a sink; it answers
+    GETs from its store, applies PUTs, and (for GETs the switch flagged
+    for admission) tells the switch program to cache the reply —
+    modeling NetCache's reply-path admission.
+    """
+
+    def __init__(self, host, store: Dict[int, int], cache: Optional[NetCacheProgram] = None) -> None:
+        self.host = host
+        self.store = dict(store)
+        self.cache = cache
+        self.requests_served = 0
+        host.add_sink(self._on_packet)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        kv = pkt.get(KeyValue)
+        if kv is None:
+            return
+        if kv.op == KeyValue.OP_PUT:
+            self.store[kv.key] = kv.value
+            return
+        if kv.op != KeyValue.OP_GET:
+            return
+        self.requests_served += 1
+        value = self.store.get(kv.key, 0)
+        hit = kv.key in self.store
+        ip = pkt.get(Ipv4)
+        reply = make_kv_request(
+            op=KeyValue.OP_REPLY_HIT if hit else KeyValue.OP_REPLY_MISS,
+            key=kv.key,
+            value=value,
+            src_ip=ip.dst if ip else 0,
+            dst_ip=ip.src if ip else 0,
+            ts_ps=self.host.sim.now_ps,
+        )
+        if self.cache is not None and pkt.meta.get("netcache_admit"):
+            self.cache.observe_reply(kv.key, value)
+        self.host.send(reply)

@@ -1,0 +1,201 @@
+"""NetChain-style in-network coordination (paper §3, Table 2).
+
+NetChain (Jin et al. 2018) stores coordination state (locks, leases,
+configuration) in a chain of switches: writes traverse the chain
+head→tail and are acknowledged by the tail; reads go to the tail.  Its
+weak spot is failure handling — the original relies on a controller to
+repair the chain.  The paper's point: "Link status change events enable
+coordination services, such as NetChain, to quickly react to network
+failures."
+
+:class:`ChainNodeProgram` is a chain node built on the fast-re-route
+machinery: chain forwarding uses protected routes (primary = next chain
+hop, backup = the hop after it), so a LINK_STATUS event repairs the
+chain in the data plane within the event-handling latency.  Built on a
+baseline architecture instead (``StaticRouteProgram``-style, no link
+handler), writes blackhole until the control plane repairs the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.frr import FastRerouteProgram
+from repro.arch.events import EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.builder import make_kv_request
+from repro.packet.headers import Ipv4, KeyValue
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+
+class _ChainLogicMixin:
+    """The chain datapath shared by both node variants.
+
+    Writes (``PUT`` addressed to the chain's service IP) are applied to
+    the local store and forwarded along the chain; the tail turns them
+    into acknowledgements back to the client.  Reads (``GET`` to the
+    service IP) are answered by the tail.  Non-KV traffic follows the
+    node's routes.
+    """
+
+    def _init_chain(self, node_id: int, service_ip: int, is_tail: bool) -> None:
+        self.node_id = node_id
+        self.service_ip = service_ip
+        self.is_tail = is_tail
+        self.store: Dict[int, int] = {}
+        self.writes_applied = 0
+        self.reads_served = 0
+        self.acks_sent = 0
+
+    def _chain_ingress(self, pkt: Packet, meta: StandardMetadata) -> None:
+        kv = pkt.get(KeyValue)
+        ip = pkt.get(Ipv4)
+        if kv is None or ip is None or ip.dst != self.service_ip:
+            self.forward_by_ip(pkt, meta)
+            return
+        if kv.op == KeyValue.OP_PUT:
+            self.store[kv.key] = kv.value
+            self.writes_applied += 1
+            if self.is_tail:
+                self._acknowledge(pkt, kv, ip, meta)
+                return
+            self.forward_by_ip(pkt, meta)  # down the chain
+            return
+        if kv.op == KeyValue.OP_GET:
+            if self.is_tail:
+                self.reads_served += 1
+                kv.set(
+                    op=(
+                        KeyValue.OP_REPLY_HIT
+                        if kv.key in self.store
+                        else KeyValue.OP_REPLY_MISS
+                    ),
+                    value=self.store.get(kv.key, 0),
+                )
+                self._turn_around(pkt, ip, meta)
+                return
+            self.forward_by_ip(pkt, meta)  # toward the tail
+            return
+        # Replies/acks transiting back toward the client.
+        self.forward_by_ip(pkt, meta)
+
+    def _acknowledge(self, pkt: Packet, kv: KeyValue, ip: Ipv4, meta: StandardMetadata) -> None:
+        self.acks_sent += 1
+        kv.set(op=KeyValue.OP_WRITE_ACK)
+        self._turn_around(pkt, ip, meta)
+
+    def _turn_around(self, pkt: Packet, ip: Ipv4, meta: StandardMetadata) -> None:
+        client = ip.src
+        ip.set(src=self.service_ip, dst=client)
+        self.forward_by_ip(pkt, meta)
+
+
+class ChainNodeProgram(_ChainLogicMixin, FastRerouteProgram):
+    """An event-driven chain node: LINK_STATUS splices the chain.
+
+    Chain repair is inherited from the fast-re-route base: a link-down
+    event flips the protected route for the service IP to the
+    pre-provisioned bypass within the event-handling latency.
+    """
+
+    name = "netchain-node"
+
+    def __init__(self, node_id: int, service_ip: int, is_tail: bool) -> None:
+        super().__init__()
+        self._init_chain(node_id, service_ip, is_tail)
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self._chain_ingress(pkt, meta)
+
+
+class StaticChainNodeProgram(_ChainLogicMixin, FastRerouteProgram):
+    """The baseline chain node: no link-status handler.
+
+    Identical datapath, but the chain can only be repaired by the
+    control plane rewriting its routes — the NetChain failure story the
+    paper improves on.
+    """
+
+    name = "netchain-node-static"
+
+    def __init__(self, node_id: int, service_ip: int, is_tail: bool) -> None:
+        super().__init__()
+        self._init_chain(node_id, service_ip, is_tail)
+        # Drop the inherited LINK_STATUS handler: this node is blind to
+        # link transitions (as on a baseline architecture).
+        self._handlers.pop(EventType.LINK_STATUS, None)
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self._chain_ingress(pkt, meta)
+
+
+@dataclass
+class ChainClientStats:
+    """Client-side accounting for one run."""
+
+    writes_sent: int = 0
+    acks_received: int = 0
+    reads_sent: int = 0
+    read_replies: int = 0
+    last_acked_value: int = 0
+    last_read_value: int = 0
+    ack_times_ps: Optional[List[int]] = None
+
+    @property
+    def writes_lost(self) -> int:
+        """Writes never acknowledged."""
+        return self.writes_sent - self.acks_received
+
+
+class ChainClient:
+    """A host-side client issuing sequential writes and final reads."""
+
+    def __init__(self, host, service_ip: int, key: int = 1) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.key = key
+        self.stats = ChainClientStats(ack_times_ps=[])
+        self._sequence = 0
+        host.add_sink(self._on_packet)
+
+    def write_next(self) -> None:
+        """Issue the next sequential write (value = sequence number)."""
+        self._sequence += 1
+        self.stats.writes_sent += 1
+        request = make_kv_request(
+            op=KeyValue.OP_PUT,
+            key=self.key,
+            value=self._sequence,
+            src_ip=self.host.ip,
+            dst_ip=self.service_ip,
+            ts_ps=self.host.sim.now_ps,
+        )
+        self.host.send(request)
+
+    def read(self) -> None:
+        """Issue a read of the key."""
+        self.stats.reads_sent += 1
+        request = make_kv_request(
+            op=KeyValue.OP_GET,
+            key=self.key,
+            src_ip=self.host.ip,
+            dst_ip=self.service_ip,
+            ts_ps=self.host.sim.now_ps,
+        )
+        self.host.send(request)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        kv = pkt.get(KeyValue)
+        if kv is None or kv.key != self.key:
+            return
+        if kv.op == KeyValue.OP_WRITE_ACK:
+            self.stats.acks_received += 1
+            self.stats.last_acked_value = max(self.stats.last_acked_value, kv.value)
+            self.stats.ack_times_ps.append(self.host.sim.now_ps)
+        elif kv.op in (KeyValue.OP_REPLY_HIT, KeyValue.OP_REPLY_MISS):
+            self.stats.read_replies += 1
+            self.stats.last_read_value = kv.value

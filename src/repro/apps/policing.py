@@ -1,0 +1,146 @@
+"""Token-bucket policing built from registers and timer events (paper §3).
+
+"While baseline PISA architectures might expose fixed-function meters
+to P4 programmers as primitive elements, if we use timer events, token
+bucket meters can be constructed from simple registers.  This approach
+allows data-plane developers to build and customize their own policing
+algorithms."
+
+* :class:`TimerTokenBucketPolicer` — tokens live in a plain register
+  array; a timer event refills them; ingress conforms or drops.  Being
+  self-built, it is trivially customizable (the ``borrowing`` flag
+  demonstrates one such customization: unused budget can be borrowed
+  from a shared pool — something a fixed-function meter cannot do).
+* :class:`FixedFunctionPolicer` — the baseline using the
+  :class:`~repro.pisa.externs.meter.Meter` extern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.hashing import flow_hash
+from repro.packet.packet import Packet
+from repro.pisa.externs.meter import Meter, MeterColor
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import SECONDS
+
+POLICER_TIMER = 3
+
+
+class TimerTokenBucketPolicer(ForwardingProgram):
+    """A register + timer token bucket, one bucket per flow index."""
+
+    name = "timer-policer"
+
+    def __init__(
+        self,
+        num_flows: int = 64,
+        rate_bps: float = 1e9,
+        burst_bytes: int = 15_000,
+        refill_period_ps: int = 100_000_000,  # 100 µs refill tick
+        borrowing: bool = False,
+    ) -> None:
+        super().__init__()
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self.refill_period_ps = refill_period_ps
+        self.borrowing = borrowing
+        self.tokens = SharedRegister(num_flows, width_bits=32, name="tokens")
+        self.shared_pool = SharedRegister(1, width_bits=32, name="shared_pool")
+        for flow in range(num_flows):
+            self.tokens.write(flow, burst_bytes)
+        self.refill_bytes = max(
+            1, int(rate_bps * refill_period_ps / (8 * SECONDS))
+        )
+        self.conformed: Dict[int, int] = {}
+        self.dropped: Dict[int, int] = {}
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        ctx.configure_timer(POLICER_TIMER, self.refill_period_ps)
+
+    # ------------------------------------------------------------------
+    # Timer: refill every bucket
+    # ------------------------------------------------------------------
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        for flow in range(self.tokens.size):
+            level = self.tokens.read(flow)
+            refill = self.refill_bytes
+            new_level = level + refill
+            if new_level > self.burst_bytes:
+                if self.borrowing:
+                    # Customization: spill unused budget into a shared
+                    # pool other flows may borrow from.
+                    self.shared_pool.add(0, new_level - self.burst_bytes)
+                new_level = self.burst_bytes
+            self.tokens.write(flow, new_level)
+        if self.borrowing and self.shared_pool.read(0) > 4 * self.burst_bytes:
+            self.shared_pool.write(0, 4 * self.burst_bytes)
+
+    # ------------------------------------------------------------------
+    # Ingress: conform or drop
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        flow_id = flow_hash(pkt, self.tokens.size)
+        if flow_id is None:
+            meta.drop()
+            return
+        nbytes = pkt.total_len
+        level = self.tokens.read(flow_id)
+        if level >= nbytes:
+            self.tokens.write(flow_id, level - nbytes)
+            self._conform(pkt, meta, flow_id)
+            return
+        if self.borrowing and self.shared_pool.read(0) >= nbytes:
+            self.shared_pool.sub(0, nbytes)
+            self._conform(pkt, meta, flow_id)
+            return
+        self.dropped[flow_id] = self.dropped.get(flow_id, 0) + 1
+        meta.drop()
+
+    def _conform(self, pkt: Packet, meta: StandardMetadata, flow_id: int) -> None:
+        self.conformed[flow_id] = self.conformed.get(flow_id, 0) + 1
+        self.forward_by_ip(pkt, meta)
+
+
+class FixedFunctionPolicer(ForwardingProgram):
+    """The baseline: a fixed-function srTCM meter extern."""
+
+    name = "meter-policer"
+
+    def __init__(
+        self,
+        num_flows: int = 64,
+        rate_bps: float = 1e9,
+        burst_bytes: int = 15_000,
+    ) -> None:
+        super().__init__()
+        self.meter = Meter(
+            num_flows, cir_bps=rate_bps, cbs_bytes=burst_bytes, name="policer_meter"
+        )
+        self.conformed: Dict[int, int] = {}
+        self.dropped: Dict[int, int] = {}
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        flow_id = flow_hash(pkt, self.meter.size)
+        if flow_id is None:
+            meta.drop()
+            return
+        color = self.meter.execute(flow_id, pkt.total_len, ctx.now_ps)
+        if color is MeterColor.RED:
+            self.dropped[flow_id] = self.dropped.get(flow_id, 0) + 1
+            meta.drop()
+            return
+        self.conformed[flow_id] = self.conformed.get(flow_id, 0) + 1
+        self.forward_by_ip(pkt, meta)

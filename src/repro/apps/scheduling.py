@@ -1,0 +1,106 @@
+"""Programmable packet scheduling: PIFO + event-driven state (paper §3).
+
+"Taking this one step further, we can construct a complete,
+programmable packet scheduler using our event-driven model in
+combination with the recently proposed Push-In-First-Out (PIFO)
+queue."
+
+:class:`WfqSchedulerProgram` implements start-time fair queueing
+(STFQ), the canonical PIFO program:
+
+* the ingress thread computes each packet's **rank** — the flow's
+  virtual start time ``max(V, finish[flow])`` — and advances the flow's
+  finish tag by ``pkt_len / weight``,
+* the **dequeue event thread** advances the virtual time ``V`` to the
+  rank of the packet just served — the state update that baseline PISA
+  architectures cannot express, because the scheduler's state must
+  change when the buffer *releases* a packet, not when one arrives.
+
+The architecture is built with a :class:`~repro.tm.scheduler.PifoScheduler`
+whose rank function reads the rank the program stamped into the packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.hashing import flow_hash
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+
+#: Key under which the ingress thread stamps the PIFO rank.
+RANK_KEY = "pifo_rank"
+
+
+def rank_of(pkt: Packet) -> int:
+    """The rank function handed to :class:`PifoScheduler`."""
+    return pkt.meta.get(RANK_KEY, 0)
+
+
+class WfqSchedulerProgram(ForwardingProgram):
+    """Start-time fair queueing over a PIFO, with event-driven V.
+
+    ``weights`` maps flow index (hash bucket) to its weight; unlisted
+    flows get weight 1.  Ranks are kept integral by scaling virtual
+    time in units of bytes-per-unit-weight.
+    """
+
+    name = "wfq"
+
+    def __init__(self, num_flows: int = 256, weights: Optional[Dict[int, int]] = None) -> None:
+        super().__init__()
+        self.num_flows = num_flows
+        self.weights = dict(weights or {})
+        for flow, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for flow {flow} must be positive")
+        # virtual_time[0] holds V; finish_tags[i] the per-flow finish tag.
+        self.virtual_time = SharedRegister(1, width_bits=64, name="virtual_time")
+        self.finish_tags = SharedRegister(num_flows, width_bits=64, name="finish_tags")
+        self.ranks_assigned = 0
+
+    def weight_of(self, flow_id: int) -> int:
+        """The configured weight of ``flow_id`` (default 1)."""
+        return self.weights.get(flow_id, 1)
+
+    # ------------------------------------------------------------------
+    # Ingress: compute the packet's rank (STFQ start tag)
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        flow_id = flow_hash(pkt, self.num_flows)
+        if flow_id is None:
+            meta.drop()
+            return
+        v_now = self.virtual_time.read(0)
+        start = max(v_now, self.finish_tags.read(flow_id))
+        self.finish_tags.write(
+            flow_id, start + pkt.total_len // self.weight_of(flow_id)
+        )
+        pkt.meta[RANK_KEY] = start
+        meta.deq_meta["rank"] = start
+        self.ranks_assigned += 1
+        self.forward_by_ip(pkt, meta)
+
+    # ------------------------------------------------------------------
+    # Dequeue event: advance virtual time (the event-driven piece)
+    # ------------------------------------------------------------------
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        rank = event.meta.get("rank", 0)
+        if rank > self.virtual_time.read(0):
+            self.virtual_time.write(0, rank)
+
+
+class FifoSchedulerProgram(ForwardingProgram):
+    """The baseline: no ranks, plain FIFO service."""
+
+    name = "fifo-sched"
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.forward_by_ip(pkt, meta)

@@ -1,0 +1,169 @@
+"""Data-plane state migration on re-route (paper §3, swing state).
+
+"re-routing traffic when links fail usually requires the control plane
+to detect the failure, re-route the affected flows, and potentially
+migrate data-plane state from a flow's old path to its new one.  By
+introducing link status change events, the data plane can immediately
+respond to link failures, autonomously re-route affected flows and
+migrate data-plane state.  This makes it much easier to implement Fast
+Re-Route and swing-state."
+
+The scenario: transit switches police each flow with a per-flow byte
+budget.  When the primary path fails, the head-end switch re-routes
+*and* ships each flow's consumed-budget counter to the backup path in a
+state-transfer packet it generates from the LINK_STATUS handler.
+Without migration the backup switch starts every flow at zero and
+over-admits traffic that already spent its budget.
+
+* :class:`BudgetTransitProgram` — a transit switch that enforces the
+  per-flow budget and accepts incoming state-transfer packets.
+* :class:`SwingStateHeadProgram` — FRR plus state migration via
+  generated packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.frr import FastRerouteProgram
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.packet.builder import make_udp_packet
+from repro.packet.hashing import flow_hash
+from repro.packet.headers import EtherType, Ethernet, Ipv4, Udp
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import SharedRegister
+from repro.pisa.metadata import StandardMetadata
+
+#: UDP destination port carrying state-transfer records.
+MIGRATION_PORT = 9901
+
+
+def make_state_transfer(flow_index: int, consumed_bytes: int, ts_ps: int = 0) -> Packet:
+    """A state-transfer packet carrying one flow's consumed budget.
+
+    The record rides the UDP sport/ipv4 identification fields (a compact
+    fixed-format header, as a real P4 program would define).
+    """
+    udp = Udp(sport=flow_index, dport=MIGRATION_PORT, length=8)
+    ip = Ipv4(
+        src=0x7F000001,
+        dst=0x7F000002,
+        protocol=17,
+        total_len=28,
+        identification=consumed_bytes & 0xFFFF,
+        frag_offset=(consumed_bytes >> 16) & 0x1FFF,
+    )
+    eth = Ethernet(src=0, dst=0, ethertype=int(EtherType.IPV4))
+    pkt = Packet(headers=[eth, ip, udp], payload_len=22, ts_created_ps=ts_ps)
+    pkt.generated = True
+    return pkt
+
+
+def read_state_transfer(pkt: Packet) -> Optional[Dict[str, int]]:
+    """Decode a state-transfer packet, or None if it is not one."""
+    udp = pkt.get(Udp)
+    ip = pkt.get(Ipv4)
+    if udp is None or ip is None or udp.dport != MIGRATION_PORT:
+        return None
+    return {
+        "flow_index": udp.sport,
+        "consumed_bytes": (ip.frag_offset << 16) | ip.identification,
+    }
+
+
+class BudgetTransitProgram(ForwardingProgram):
+    """A transit switch enforcing a per-flow byte budget.
+
+    Flows that exhaust ``budget_bytes`` are dropped.  Incoming
+    state-transfer packets pre-load a flow's consumed counter — the
+    migration receive side.
+    """
+
+    name = "budget-transit"
+
+    def __init__(self, budget_bytes: int = 50_000, num_flows: int = 256) -> None:
+        super().__init__()
+        if budget_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.consumed = SharedRegister(num_flows, width_bits=32, name="consumed")
+        self.over_budget_drops = 0
+        self.admitted_bytes = 0
+        self.transfers_received = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        record = read_state_transfer(pkt)
+        if record is not None:
+            self.consumed.write(
+                record["flow_index"] % self.consumed.size, record["consumed_bytes"]
+            )
+            self.transfers_received += 1
+            meta.drop()  # consumed by this switch
+            return
+        flow_id = flow_hash(pkt, self.consumed.size)
+        if flow_id is None:
+            meta.drop()
+            return
+        used = self.consumed.read(flow_id)
+        if used + pkt.total_len > self.budget_bytes:
+            self.over_budget_drops += 1
+            meta.drop()
+            return
+        self.consumed.add(flow_id, pkt.total_len)
+        self.admitted_bytes += pkt.total_len
+        self.forward_by_ip(pkt, meta)
+
+
+class SwingStateHeadProgram(FastRerouteProgram):
+    """FRR plus swing-state migration from the LINK_STATUS handler.
+
+    The head-end mirrors the transit budget accounting (it sees every
+    flow's packets), so on failover it can generate one state-transfer
+    packet per active flow toward the backup path.
+    """
+
+    name = "swing-state"
+
+    def __init__(self, num_flows: int = 256, migrate: bool = True) -> None:
+        super().__init__()
+        self.migrate = migrate
+        self.mirror = SharedRegister(num_flows, width_bits=32, name="mirror")
+        self.transfers_sent = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        flow_id = flow_hash(pkt, self.mirror.size)
+        if flow_id is not None:
+            self.mirror.add(flow_id, pkt.total_len)
+        self.forward_by_ip(pkt, meta)
+
+    @handler(EventType.LINK_STATUS)
+    def on_link_status(self, ctx: ProgramContext, event: Event) -> None:
+        super().on_link_status(ctx, event)
+        if event.meta["up"] or not self.migrate:
+            return
+        port = event.meta["port"]
+        backup_ports = {
+            self.backup[dst]
+            for dst, primary in self.primary.items()
+            if primary == port and dst in self.backup
+        }
+        for backup_port in backup_ports:
+            for flow_index in range(self.mirror.size):
+                consumed = self.mirror.read(flow_index)
+                if consumed == 0:
+                    continue
+                transfer = make_state_transfer(flow_index, consumed, ctx.now_ps)
+                transfer.meta["probe_out_port"] = backup_port
+                ctx.generate_packet(transfer)
+                self.transfers_sent += 1
+
+    @handler(EventType.GENERATED_PACKET)
+    def on_generated(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        meta.send_to_port(pkt.meta["probe_out_port"])

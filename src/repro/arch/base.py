@@ -1,0 +1,359 @@
+"""Common machinery shared by all switch architectures.
+
+:class:`SwitchBase` owns the pieces every architecture has — a parser,
+a traffic manager, a loaded program, the context object handed to
+handlers, link state, and event accounting — and defines the external
+interface the network substrate drives:
+
+* :meth:`receive` — a packet arrives on an input port,
+* :meth:`set_tx_callback` — transmitted packets leave the device,
+* :meth:`set_link_status` — the physical layer reports a link change,
+* :meth:`control_event` — the control plane triggers an event.
+
+Subclasses decide *how events reach program handlers*: synchronously in
+dedicated logical pipelines (:class:`~repro.arch.event_driven.LogicalEventSwitch`),
+through the Event Merger of a single physical pipeline
+(:class:`~repro.arch.sume.SumeEventSwitch`), or not at all
+(:class:`~repro.arch.baseline.BaselinePsaSwitch`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.description import ArchitectureDescription, UnsupportedEventError
+from repro.arch.events import Event, EventType
+from repro.arch.program import P4Program, ProgramContext
+from repro.packet.packet import Packet
+from repro.packet.parser import Parser, standard_parser
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.tm.traffic_manager import TrafficManager
+
+TxCallback = Callable[[Packet, int], None]
+
+
+class SwitchContext(ProgramContext):
+    """The :class:`ProgramContext` implementation for real switches."""
+
+    def __init__(self, switch: "SwitchBase") -> None:
+        self._switch = switch
+
+    @property
+    def now_ps(self) -> int:
+        return self._switch.sim.now_ps
+
+    def configure_timer(self, timer_id: int, period_ps: int) -> None:
+        self._switch.configure_timer(timer_id, period_ps)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._switch.cancel_timer(timer_id)
+
+    def generate_packet(self, pkt: Packet) -> None:
+        self._switch.inject_generated(pkt)
+
+    def raise_user_event(self, meta: Dict[str, int], delay_ps: int = 0) -> None:
+        self._switch.raise_user_event(meta, delay_ps)
+
+    def notify_control_plane(self, message: Dict[str, int]) -> None:
+        self._switch.notify_control_plane(message)
+
+    def link_up(self, port: int) -> bool:
+        return self._switch.link_up(port)
+
+    def queue_depth_bytes(self, port: int, queue_id: int = 0) -> int:
+        return self._switch.tm.queue_depth_bytes(port, queue_id)
+
+
+class SwitchBase:
+    """Base switch: ports, parser, traffic manager, program, accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        description: ArchitectureDescription,
+        name: str = "switch",
+        parser: Optional[Parser] = None,
+        queues_per_port: int = 1,
+        queue_capacity_bytes: int = 64 * 1024,
+        buffer_capacity_bytes: Optional[int] = None,
+        scheduler_factory=None,
+    ) -> None:
+        self.sim = sim
+        self.description = description
+        self.name = name
+        self.parser = parser or standard_parser()
+        self.tm = TrafficManager(
+            sim,
+            port_count=description.port_count,
+            queues_per_port=queues_per_port,
+            queue_capacity_bytes=queue_capacity_bytes,
+            buffer_capacity_bytes=buffer_capacity_bytes,
+            port_rate_gbps=description.port_rate_gbps,
+            scheduler_factory=scheduler_factory,
+            name=f"{name}.tm",
+        )
+        self.tm.hooks.on_enqueue = self._tm_hook(EventType.ENQUEUE)
+        self.tm.hooks.on_dequeue = self._tm_hook(EventType.DEQUEUE)
+        self.tm.hooks.on_overflow = self._tm_hook(EventType.BUFFER_OVERFLOW)
+        self.tm.hooks.on_underflow = self._tm_hook(EventType.BUFFER_UNDERFLOW)
+        self.tm.hooks.on_transmit = self._tm_hook(EventType.PACKET_TRANSMITTED)
+        self.program: Optional[P4Program] = None
+        self.ctx = SwitchContext(self)
+        self._tx_callback: Optional[TxCallback] = None
+        self._link_up: List[bool] = [True] * description.port_count
+        self._timers: Dict[int, PeriodicProcess] = {}
+        self.events_fired: Dict[EventType, int] = {kind: 0 for kind in EventType}
+        self.events_handled: Dict[EventType, int] = {kind: 0 for kind in EventType}
+        self.events_suppressed: Dict[EventType, int] = {kind: 0 for kind in EventType}
+        self.cpu_notifications: List[Dict[str, int]] = []
+        self._cpu_callback: Optional[Callable[[Dict[str, int]], None]] = None
+        self.rx_packets = 0
+        self.dropped_by_program = 0
+
+    # ------------------------------------------------------------------
+    # Program lifecycle
+    # ------------------------------------------------------------------
+    def load_program(self, program: P4Program) -> None:
+        """Validate and load ``program`` onto this architecture.
+
+        Checks the program's handled events against the architecture
+        description (paper §2) and rejects shared state on targets whose
+        programming model is single-threaded (paper §7's observation
+        about Domino/FlowBlaze-style models).
+        """
+        self.description.validate_events(program.handled_events())
+        if program.shared_registers() and not self.description.supports_shared_state:
+            names = ", ".join(reg.name for reg in program.shared_registers())
+            raise UnsupportedEventError(
+                f"architecture {self.description.name!r} has a single-threaded "
+                f"programming model and cannot host shared_register(s): {names}"
+            )
+        self.program = program
+        program.on_load(self.ctx)
+
+    def require_program(self) -> P4Program:
+        """The loaded program; raises if none is loaded."""
+        if self.program is None:
+            raise RuntimeError(f"switch {self.name!r} has no program loaded")
+        return self.program
+
+    # ------------------------------------------------------------------
+    # External interface (driven by the network substrate)
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, port: int) -> None:
+        """A packet arrives on input ``port``."""
+        raise NotImplementedError
+
+    def set_tx_callback(self, callback: TxCallback) -> None:
+        """Register where transmitted packets go."""
+        self._tx_callback = callback
+
+    def set_link_status(self, port: int, up: bool) -> None:
+        """The physical layer reports a link transition on ``port``."""
+        if not 0 <= port < len(self._link_up):
+            raise IndexError(f"port {port} out of range")
+        if self._link_up[port] == up:
+            return
+        self._link_up[port] = up
+        self.tm.set_port_enabled(port, up)
+        if self.description.supports(EventType.LINK_STATUS):
+            self.fire_event(
+                Event(
+                    kind=EventType.LINK_STATUS,
+                    time_ps=self.sim.now_ps,
+                    meta={"port": port, "up": int(up)},
+                )
+            )
+
+    def link_up(self, port: int) -> bool:
+        """Current link status of ``port``."""
+        return self._link_up[port]
+
+    def control_event(self, meta: Dict[str, int]) -> None:
+        """The control plane triggers a CONTROL_PLANE event."""
+        if not self.description.supports(EventType.CONTROL_PLANE):
+            raise UnsupportedEventError(
+                f"architecture {self.description.name!r} has no "
+                f"control-plane-triggered events"
+            )
+        self.fire_event(
+            Event(kind=EventType.CONTROL_PLANE, time_ps=self.sim.now_ps, meta=dict(meta))
+        )
+
+    # ------------------------------------------------------------------
+    # Services used by SwitchContext
+    # ------------------------------------------------------------------
+    def configure_timer(self, timer_id: int, period_ps: int) -> None:
+        """Arm (or re-arm) periodic timer ``timer_id``."""
+        if not self.description.supports(EventType.TIMER):
+            raise UnsupportedEventError(
+                f"architecture {self.description.name!r} has no timer events"
+            )
+        existing = self._timers.get(timer_id)
+        if existing is not None:
+            existing.stop()
+        process = PeriodicProcess(
+            self.sim,
+            period_ps,
+            lambda: self._timer_fired(timer_id),
+            name=f"{self.name}.timer{timer_id}",
+        )
+        self._timers[timer_id] = process
+        process.start()
+
+    def cancel_timer(self, timer_id: int) -> None:
+        """Disarm periodic timer ``timer_id`` (no-op if not armed)."""
+        process = self._timers.pop(timer_id, None)
+        if process is not None:
+            process.stop()
+
+    def _timer_fired(self, timer_id: int) -> None:
+        self.fire_event(
+            Event(
+                kind=EventType.TIMER,
+                time_ps=self.sim.now_ps,
+                meta={"timer_id": timer_id},
+            )
+        )
+
+    def inject_generated(self, pkt: Packet) -> None:
+        """Inject a program/generator-built packet into the ingress path."""
+        raise NotImplementedError
+
+    def raise_user_event(self, meta: Dict[str, int], delay_ps: int = 0) -> None:
+        """Fire a USER event, optionally after ``delay_ps``."""
+        if not self.description.supports(EventType.USER):
+            raise UnsupportedEventError(
+                f"architecture {self.description.name!r} has no user events"
+            )
+        if delay_ps:
+            self.sim.call_after(
+                delay_ps,
+                lambda: self.fire_event(
+                    Event(kind=EventType.USER, time_ps=self.sim.now_ps, meta=dict(meta))
+                ),
+            )
+        else:
+            self.fire_event(
+                Event(kind=EventType.USER, time_ps=self.sim.now_ps, meta=dict(meta))
+            )
+
+    def notify_control_plane(self, message: Dict[str, int]) -> None:
+        """Record (and deliver) a digest to the control plane."""
+        self.cpu_notifications.append(dict(message))
+        if self._cpu_callback is not None:
+            self._cpu_callback(dict(message))
+
+    def set_cpu_callback(self, callback: Callable[[Dict[str, int]], None]) -> None:
+        """Register the control plane's digest receiver."""
+        self._cpu_callback = callback
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def fire_event(self, event: Event) -> None:
+        """Record and route a fired event to the program (subclass hook).
+
+        Events the architecture description does not expose are
+        *suppressed*: the underlying state transition happened (the TM
+        still dropped the packet), but the programming model never sees
+        it — the precise gap the paper describes for baseline targets.
+        """
+        if not self.description.supports(event.kind):
+            self.events_suppressed[event.kind] += 1
+            return
+        self.events_fired[event.kind] += 1
+        self._route_event(event)
+
+    def _route_event(self, event: Event) -> None:
+        """How a fired event reaches the program; subclasses override."""
+        raise NotImplementedError
+
+    def _dispatch_event(self, event: Event) -> None:
+        """Actually run the program's handler for a non-pipeline event."""
+        program = self.program
+        if program is None:
+            return
+        fn = program.handler_for(event.kind)
+        if fn is None:
+            return
+        self.events_handled[event.kind] += 1
+        self._set_thread(event.kind.value)
+        try:
+            fn(self.ctx, event)
+        finally:
+            self._set_thread(None)
+
+    def _dispatch_packet_event(
+        self, kind: EventType, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        """Run a pipeline packet-event handler with thread attribution."""
+        program = self.program
+        if program is None:
+            return
+        self.events_fired[kind] += 1
+        fn = program.handler_for(kind)
+        if fn is None:
+            return
+        self.events_handled[kind] += 1
+        self._set_thread(kind.value)
+        try:
+            fn(self.ctx, pkt, meta)
+        finally:
+            self._set_thread(None)
+
+    def _tm_hook(self, kind: EventType):
+        """A traffic-manager hook that fires ``kind`` data-plane events.
+
+        Every architecture's TM transitions fire events; whether the
+        programming model sees them is decided by :meth:`fire_event`
+        against the architecture description (baseline PSA suppresses
+        all of them — the paper's motivating gap).
+        """
+
+        def hook(tm_event) -> None:
+            meta = dict(tm_event.user_meta)
+            meta.setdefault("pkt_len", tm_event.pkt.total_len)
+            meta["port"] = tm_event.port
+            meta["queue_id"] = tm_event.queue_id
+            meta["qdepth_bytes"] = tm_event.queue_depth_bytes
+            meta["buffer_bytes"] = tm_event.buffer_occupancy_bytes
+            self.fire_event(
+                Event(kind=kind, time_ps=tm_event.time_ps, pkt=tm_event.pkt, meta=meta)
+            )
+
+        return hook
+
+    def _set_thread(self, thread: Optional[str]) -> None:
+        program = self.program
+        if program is None:
+            return
+        for reg in program.shared_registers():
+            reg.set_thread(thread)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def events_fired_of(self, kind) -> int:
+        """Fired count for an event kind (EventType or its value string)."""
+        if isinstance(kind, str):
+            kind = EventType(kind)
+        return self.events_fired[kind]
+
+    def events_handled_of(self, kind) -> int:
+        """Handled count for an event kind (EventType or its value string)."""
+        if isinstance(kind, str):
+            kind = EventType(kind)
+        return self.events_handled[kind]
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _transmit(self, pkt: Packet, port: int) -> None:
+        if self._tx_callback is not None:
+            self._tx_callback(pkt, port)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, arch={self.description.name})"

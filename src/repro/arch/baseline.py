@@ -1,0 +1,157 @@
+"""The baseline Portable Switch Architecture (paper Figure 1).
+
+Two P4-programmable pipelines — ingress and egress — around a traffic
+manager.  The programming model is synchronous packet-by-packet: the
+only events a program may handle are ingress, egress, and recirculated
+packet events.  The traffic manager's enqueue/dequeue/drop transitions
+happen, of course, but the architecture gives the program *no way to
+observe them* — this is the gap the paper's event-driven architectures
+close.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.base import SwitchBase
+from repro.arch.description import BASELINE_PSA, ArchitectureDescription
+from repro.arch.events import Event, EventType
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+from repro.pisa.pipeline import Pipeline
+from repro.sim.kernel import Simulator
+
+
+class BaselinePsaSwitch(SwitchBase):
+    """Figure 1's PSA: ingress pipeline → traffic manager → egress pipeline."""
+
+    #: Safety bound on recirculations per packet, as real targets impose.
+    MAX_RECIRCULATIONS = 16
+
+    def __init__(
+        self,
+        sim: Simulator,
+        description: ArchitectureDescription = BASELINE_PSA,
+        name: str = "psa",
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, description, name=name, **kwargs)
+        self.ingress_pipeline = Pipeline(
+            f"{name}.ingress",
+            self._run_ingress,
+            stage_count=description.pipeline_stages,
+            clock_mhz=description.clock_mhz,
+        )
+        self.egress_pipeline = Pipeline(
+            f"{name}.egress",
+            self._run_egress,
+            stage_count=description.pipeline_stages,
+            clock_mhz=description.clock_mhz,
+        )
+        self.tm.set_egress_callback(self._after_tm)
+        self.recirculations = 0
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, port: int) -> None:
+        """Packet arrival: parse, then enter the ingress pipeline."""
+        if not self._link_up[port]:
+            return  # arrivals on a dead link are lost at the MAC
+        self.rx_packets += 1
+        pkt.ingress_port = port
+        self.sim.call_after(
+            self.ingress_pipeline.latency_ps, self._ingress_done, pkt, port
+        )
+
+    def inject_generated(self, pkt: Packet) -> None:
+        """Baseline PSA has no data-plane generator; the description of a
+        Tofino-like target may still expose GENERATED_PACKET via its
+        control-plane-configured generator (paper §6)."""
+        if not self.description.supports(EventType.GENERATED_PACKET):
+            raise NotImplementedError(
+                f"architecture {self.description.name!r} cannot generate packets"
+            )
+        pkt.generated = True
+        self.sim.call_after(
+            self.ingress_pipeline.latency_ps, self._ingress_done, pkt, pkt.ingress_port
+        )
+
+    def _ingress_done(self, pkt: Packet, port: int) -> None:
+        meta = StandardMetadata(
+            ingress_port=port,
+            packet_length=pkt.total_len,
+            ingress_timestamp_ps=self.sim.now_ps,
+        )
+        self.ingress_pipeline.process(pkt, meta)
+        self._steer(pkt, meta)
+
+    def _run_ingress(self, pkt: Packet, meta: StandardMetadata) -> None:
+        if pkt.recirculated:
+            kind = EventType.RECIRCULATED_PACKET
+        elif pkt.generated:
+            kind = EventType.GENERATED_PACKET
+        else:
+            kind = EventType.INGRESS_PACKET
+        self._dispatch_packet_event(kind, pkt, meta)
+
+    def _steer(self, pkt: Packet, meta: StandardMetadata) -> None:
+        if meta.egress_spec is None or meta.dropped:
+            self.dropped_by_program += 1
+            return
+        if meta.to_cpu:
+            self.notify_control_plane({"pkt_id": pkt.pkt_id, "reason": 0})
+            return
+        if meta.recirculate:
+            self._recirculate(pkt)
+            return
+        pkt.egress_port = meta.egress_spec
+        pkt.queue_id = meta.queue_id
+        pkt.priority = meta.priority
+        pkt.meta["enq_meta"] = meta.enq_meta
+        pkt.meta["deq_meta"] = meta.deq_meta
+        self.tm.enqueue(pkt)
+
+    def _recirculate(self, pkt: Packet) -> None:
+        count = pkt.meta.get("recirc_count", 0)
+        if count >= self.MAX_RECIRCULATIONS:
+            self.dropped_by_program += 1
+            return
+        self.recirculations += 1
+        pkt.meta["recirc_count"] = count + 1
+        pkt.recirculated = True
+        self.sim.call_after(
+            self.ingress_pipeline.latency_ps, self._ingress_done, pkt, pkt.ingress_port
+        )
+
+    def _after_tm(self, pkt: Packet, port: int) -> None:
+        """Dequeued and serialized: run the egress pipeline, then transmit."""
+        meta = StandardMetadata(
+            ingress_port=pkt.ingress_port,
+            egress_port=port,
+            packet_length=pkt.total_len,
+            egress_timestamp_ps=self.sim.now_ps,
+            deq_qdepth_bytes=self.tm.port_depth_bytes(port),
+        )
+        meta.egress_spec = port
+        self.egress_pipeline.process(pkt, meta)
+        if meta.dropped:
+            self.dropped_by_program += 1
+            return
+        if meta.recirculate:
+            self._recirculate(pkt)
+            return
+        self.sim.call_after(
+            self.egress_pipeline.latency_ps, self._transmit, pkt, port
+        )
+
+    def _run_egress(self, pkt: Packet, meta: StandardMetadata) -> None:
+        self._dispatch_packet_event(EventType.EGRESS_PACKET, pkt, meta)
+
+    # ------------------------------------------------------------------
+    # Event routing: baseline PSA has no non-packet event path
+    # ------------------------------------------------------------------
+    def _route_event(self, event: Event) -> None:
+        raise AssertionError(
+            f"baseline PSA should never fire non-packet event {event.kind}"
+        )

@@ -1,0 +1,101 @@
+"""Data-plane events (paper Table 1).
+
+A *data-plane event* is an architectural state change that triggers
+processing in the programming model.  Table 1 of the paper lists the
+thirteen events an event-driven architecture should support; this module
+defines them as :class:`EventType` plus the :class:`Event` record the
+architectures deliver to program handlers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Optional
+
+from repro.packet.packet import Packet
+
+
+class EventType(Enum):
+    """The data-plane events of paper Table 1."""
+
+    INGRESS_PACKET = "ingress_packet"
+    EGRESS_PACKET = "egress_packet"
+    RECIRCULATED_PACKET = "recirculated_packet"
+    GENERATED_PACKET = "generated_packet"
+    PACKET_TRANSMITTED = "packet_transmitted"
+    ENQUEUE = "buffer_enqueue"
+    DEQUEUE = "buffer_dequeue"
+    BUFFER_OVERFLOW = "buffer_overflow"
+    BUFFER_UNDERFLOW = "buffer_underflow"
+    TIMER = "timer_expiration"
+    CONTROL_PLANE = "control_plane_triggered"
+    LINK_STATUS = "link_status_change"
+    USER = "user_event"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Events carried by a packet traversing the device.  Baseline PISA
+#: architectures expose (a subset of) these and nothing else.
+PACKET_EVENTS: FrozenSet[EventType] = frozenset(
+    {
+        EventType.INGRESS_PACKET,
+        EventType.EGRESS_PACKET,
+        EventType.RECIRCULATED_PACKET,
+        EventType.GENERATED_PACKET,
+        EventType.PACKET_TRANSMITTED,
+    }
+)
+
+#: Events that fire independently of (or orthogonally to) any single
+#: packet's traversal — the ones baseline architectures cannot express.
+NON_PACKET_EVENTS: FrozenSet[EventType] = frozenset(EventType) - PACKET_EVENTS
+
+#: Packet events whose handler runs *as the packet traverses a
+#: pipeline*, with mutable standard metadata.  PACKET_TRANSMITTED is a
+#: packet event but fires after the packet has left, so its handler
+#: receives an :class:`Event` like the non-packet kinds.
+PIPELINE_PACKET_EVENTS: FrozenSet[EventType] = frozenset(
+    {
+        EventType.INGRESS_PACKET,
+        EventType.EGRESS_PACKET,
+        EventType.RECIRCULATED_PACKET,
+        EventType.GENERATED_PACKET,
+    }
+)
+
+_event_ids = itertools.count()
+
+
+@dataclass
+class Event:
+    """One fired data-plane event, as delivered to a program handler.
+
+    ``pkt`` is present for packet-derived events (enqueue/dequeue carry
+    a reference to the packet whose transition fired them); timer, link
+    status, control-plane and user events carry None.  ``meta`` holds
+    the event's metadata: for enqueue/dequeue this is the user metadata
+    the ingress control initialized (the paper's ``enq_meta`` /
+    ``deq_meta``), merged with the architecture-provided fields such as
+    queue depth; for link events it holds ``port`` and ``up``; for timer
+    events ``timer_id``.
+    """
+
+    kind: EventType
+    time_ps: int
+    pkt: Optional[Packet] = None
+    meta: Dict[str, int] = field(default_factory=dict)
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def require_pkt(self) -> Packet:
+        """The event's packet; raises if this event kind carries none."""
+        if self.pkt is None:
+            raise ValueError(f"{self.kind} event #{self.event_id} carries no packet")
+        return self.pkt
+
+    def __repr__(self) -> str:
+        pkt = f", pkt=#{self.pkt.pkt_id}" if self.pkt is not None else ""
+        return f"Event({self.kind.value}, t={self.time_ps}ps{pkt}, meta={self.meta})"

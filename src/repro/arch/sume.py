@@ -1,0 +1,187 @@
+"""The SUME Event Switch (paper Figure 4, §5).
+
+A single physical P4 pipeline processes *all* events: the Event Merger
+gathers newly fired events (enqueue, dequeue, drop, timer, link status,
+…) and places them in metadata that flows through the pipeline — riding
+on an ingress packet when one is available, or on an injected empty
+packet otherwise.  A configurable packet generator and a timer unit
+provide packet-generation and periodic events; output queues fire the
+buffer events.
+
+Compared to the logical architecture of Figure 2, event handling here
+is *asynchronous*: an event waits in the merger until a carrier takes
+it through the pipeline, so shared state read by the ingress thread can
+be momentarily stale — exactly the bounded-staleness behaviour §4
+discusses.  The merger statistics and per-event delivery latencies make
+that observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.base import SwitchBase
+from repro.arch.description import SUME_EVENT_SWITCH, ArchitectureDescription
+from repro.arch.events import Event, EventType
+from repro.arch.generator import GeneratorConfig, PacketGenerator
+from repro.arch.merger import EventMerger
+from repro.packet.headers import Ethernet, EtherType
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+from repro.pisa.pipeline import Pipeline
+from repro.sim.kernel import Simulator
+from repro.tm.traffic_manager import TmEvent
+
+
+class SumeEventSwitch(SwitchBase):
+    """Figure 4's SUME Event Switch on a single physical P4 pipeline."""
+
+    MAX_RECIRCULATIONS = 16
+
+    def __init__(
+        self,
+        sim: Simulator,
+        description: ArchitectureDescription = SUME_EVENT_SWITCH,
+        name: str = "sume",
+        merger_slots_per_kind: int = 1,
+        merger_queue_capacity: int = 64,
+        merger_injection_enabled: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, description, name=name, **kwargs)
+        self.pipeline = Pipeline(
+            f"{name}.p4",
+            self._pipeline_control,
+            stage_count=description.pipeline_stages,
+            clock_mhz=description.clock_mhz,
+        )
+        self.merger = EventMerger(
+            sim,
+            clock_ps=self.pipeline.cycle_ps,
+            slots_per_kind=merger_slots_per_kind,
+            queue_capacity=merger_queue_capacity,
+            injection_enabled=merger_injection_enabled,
+        )
+        self.merger.set_inject_fn(self._inject_empty_packet)
+        self.generator = PacketGenerator(sim, self.inject_generated)
+        self.tm.set_egress_callback(self._after_tm)
+        self.recirculations = 0
+        self.empty_packets_injected = 0
+
+    # ------------------------------------------------------------------
+    # External interface
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, port: int) -> None:
+        """Packet arrival: becomes an event carrier through the pipeline."""
+        if not self._link_up[port]:
+            return
+        self.rx_packets += 1
+        pkt.ingress_port = port
+        self._enter_pipeline(pkt, EventType.INGRESS_PACKET)
+
+    def inject_generated(self, pkt: Packet) -> None:
+        """Generator/program-built packets enter as GENERATED_PACKET."""
+        pkt.generated = True
+        self._enter_pipeline(pkt, EventType.GENERATED_PACKET)
+
+    def configure_generator(self, config: GeneratorConfig) -> None:
+        """Install a packet-generator stream (control-plane operation)."""
+        self.generator.configure(config)
+
+    # ------------------------------------------------------------------
+    # Pipeline entry and traversal
+    # ------------------------------------------------------------------
+    def _enter_pipeline(self, pkt: Packet, kind: Optional[EventType]) -> None:
+        """Attach pending events and start the pipeline traversal.
+
+        ``kind`` is the packet event this carrier represents, or None
+        for an injected empty packet (which carries events only).
+        """
+        events = self.merger.take_for_carrier(piggyback=kind is not None)
+        self.sim.call_after(
+            self.pipeline.latency_ps, self._pipeline_exit, pkt, kind, events
+        )
+
+    def _inject_empty_packet(self, events: List[Event]) -> None:
+        carrier = Packet(
+            headers=[
+                Ethernet(
+                    src=0, dst=0, ethertype=int(EtherType.EVENT_METADATA)
+                )
+            ],
+            payload_len=50,  # pad to a 64B minimum frame
+            ts_created_ps=self.sim.now_ps,
+        )
+        carrier.meta["event_carrier"] = 1
+        self.empty_packets_injected += 1
+        self.sim.call_after(
+            self.pipeline.latency_ps, self._pipeline_exit, carrier, None, events
+        )
+
+    def _pipeline_exit(
+        self, pkt: Packet, kind: Optional[EventType], events: List[Event]
+    ) -> None:
+        meta = StandardMetadata(
+            ingress_port=pkt.ingress_port,
+            packet_length=pkt.total_len,
+            ingress_timestamp_ps=self.sim.now_ps,
+        )
+        self.pipeline.packets_processed += 1
+        # Event handlers run first (their metadata words sit ahead of
+        # the packet's own headers in the physical layout), then the
+        # packet event's handler.
+        for event in events:
+            self._dispatch_event(event)
+        if kind is not None:
+            if pkt.recirculated and kind == EventType.INGRESS_PACKET:
+                kind = EventType.RECIRCULATED_PACKET
+            self._dispatch_packet_event(kind, pkt, meta)
+        self._steer(pkt, meta, carrier_only=kind is None)
+
+    def _pipeline_control(self, pkt: Packet, meta: StandardMetadata) -> None:
+        # Dispatch happens in _pipeline_exit; the Pipeline object exists
+        # for latency and resource accounting.
+        return None
+
+    # ------------------------------------------------------------------
+    # Steering after the pipeline
+    # ------------------------------------------------------------------
+    def _steer(
+        self, pkt: Packet, meta: StandardMetadata, carrier_only: bool
+    ) -> None:
+        if meta.egress_spec is None:
+            if not carrier_only:
+                self.dropped_by_program += 1
+            return  # empty carriers die silently unless explicitly steered
+        if meta.dropped:
+            self.dropped_by_program += 1
+            return
+        if meta.to_cpu:
+            self.notify_control_plane({"pkt_id": pkt.pkt_id, "reason": 0})
+            return
+        if meta.recirculate:
+            count = pkt.meta.get("recirc_count", 0)
+            if count >= self.MAX_RECIRCULATIONS:
+                self.dropped_by_program += 1
+                return
+            self.recirculations += 1
+            pkt.meta["recirc_count"] = count + 1
+            pkt.recirculated = True
+            self._enter_pipeline(pkt, EventType.INGRESS_PACKET)
+            return
+        pkt.egress_port = meta.egress_spec
+        pkt.queue_id = meta.queue_id
+        pkt.priority = meta.priority
+        pkt.meta["enq_meta"] = meta.enq_meta
+        pkt.meta["deq_meta"] = meta.deq_meta
+        self.tm.enqueue(pkt)
+
+    def _after_tm(self, pkt: Packet, port: int) -> None:
+        """Serialized out of the output queues: transmit on the wire."""
+        self._transmit(pkt, port)
+
+    # ------------------------------------------------------------------
+    # Event routing: everything goes through the Event Merger
+    # ------------------------------------------------------------------
+    def _route_event(self, event: Event) -> None:
+        self.merger.offer(event)

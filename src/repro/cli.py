@@ -1,0 +1,227 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's tables, figures, and claims without pytest::
+
+    python -m repro.cli list            # available experiments
+    python -m repro.cli table3          # one experiment
+    python -m repro.cli all             # everything (a few minutes)
+
+Each experiment prints the same rows the benchmark suite persists under
+``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _print(title: str, rows: List[str]) -> None:
+    print(f"\n{title}")
+    print("=" * len(title))
+    for row in rows:
+        print(row)
+
+
+def run_table1() -> None:
+    """Table 1: event catalog + live demonstration."""
+    from repro.arch.events import EventType
+    from repro.experiments.events_exp import run_catalog_demo, support_matrix
+
+    matrix = support_matrix()
+    names = [row["architecture"] for row in matrix]
+    rows = [f"{'event':<26}" + "".join(f"{n:>22}" for n in names)]
+    for kind in EventType:
+        rows.append(
+            f"{kind.value:<26}"
+            + "".join(f"{row[kind.value]:>22}" for row in matrix)
+        )
+    _print("Table 1: event support by architecture", rows)
+    result = run_catalog_demo()
+    _print("Table 1: live demonstration", result.summary_rows())
+
+
+def run_table2() -> None:
+    """Table 2: one live run per application class."""
+    from repro.experiments.table2_exp import build_table2
+
+    rows = build_table2()
+    _print("Table 2: application classes", [row.summary_row() for row in rows])
+
+
+def run_table3() -> None:
+    """Table 3: FPGA cost of event support."""
+    from repro.resources import table3_rows
+
+    rows = [
+        f"{row['resource']:<16} paper={row['paper_percent_increase']:>5.1f}% "
+        f"model={row['measured_percent_increase']:>5.2f}%"
+        for row in table3_rows()
+    ]
+    _print("Table 3: cost of event support (Virtex-7)", rows)
+
+
+def run_figures() -> None:
+    """Figures 1, 2, 4: the three architectures under identical traffic."""
+    from repro.experiments.psa_fig_exp import run_architecture
+
+    rows = [
+        run_architecture(arch).summary_row()
+        for arch in ("baseline", "logical", "sume")
+    ]
+    _print("Figures 1/2/4: architecture comparison", rows)
+
+
+def run_fig3() -> None:
+    """Figure 3 & §4: aggregation registers and staleness sweeps."""
+    from repro.experiments.staleness_exp import (
+        run_naive_single_array,
+        sweep_overspeed,
+    )
+
+    rows = [result.summary_row() for result in sweep_overspeed()]
+    rows.append(run_naive_single_array().summary_row())
+    _print("Figure 3 / §4: aggregation + staleness", rows)
+
+
+def run_microburst() -> None:
+    """§2: microburst detection, event-driven vs Snappy."""
+    from repro.experiments.microburst_exp import (
+        run_event_driven,
+        run_snappy_baseline,
+        state_reduction_factor,
+    )
+
+    event = run_event_driven()
+    snappy = run_snappy_baseline()
+    _print(
+        "§2: microburst detection",
+        [
+            event.summary_row(),
+            snappy.summary_row(),
+            f"state reduction: {state_reduction_factor(event, snappy):.2f}x",
+        ],
+    )
+
+
+def run_applications() -> None:
+    """§3/§5 applications: one line per experiment."""
+    from repro.experiments.aqm_exp import run_aqm
+    from repro.experiments.ecn_exp import run_ecn
+    from repro.experiments.flow_rate_exp import run_flow_rate
+    from repro.experiments.frr_exp import run_failover
+    from repro.experiments.hula_exp import run_load_balance
+    from repro.experiments.int_exp import run_int
+    from repro.experiments.liveness_exp import run_liveness
+    from repro.experiments.migration_exp import run_migration
+    from repro.experiments.ndp_exp import run_incast
+    from repro.experiments.netcache_exp import run_netcache
+    from repro.experiments.policing_exp import run_policing
+    from repro.experiments.scheduling_exp import run_scheduling
+
+    rows = []
+    rows.append(run_failover("frr").summary_row())
+    rows.append(run_failover("control-plane").summary_row())
+    rows.append(run_liveness().summary_row())
+    rows.append(run_load_balance("ecmp").summary_row())
+    rows.append(run_load_balance("hula").summary_row())
+    rows.append(run_aqm("drop-tail").summary_row())
+    rows.append(run_aqm("fred").summary_row())
+    rows.append(run_incast("tail-drop").summary_row())
+    rows.append(run_incast("ndp").summary_row())
+    rows.append(run_policing("timer").summary_row())
+    rows.append(run_flow_rate("window").summary_row())
+    rows.append(run_flow_rate("ewma").summary_row())
+    rows.append(run_netcache(True).summary_row())
+    rows.append(run_netcache(False).summary_row())
+    rows.append(run_int("aggregate").summary_row())
+    rows.append(run_scheduling("wfq").summary_row())
+    rows.append(run_ecn("multi-bit").summary_row())
+    rows.append(run_ecn("single-bit").summary_row())
+    rows.append(run_migration(True).summary_row())
+    rows.append(run_migration(False).summary_row())
+    _print("§3/§5 applications", rows)
+
+
+def run_cms() -> None:
+    """§1: CMS reset — timer vs control plane."""
+    from repro.experiments.cms_exp import run_cms_reset
+
+    rows = [run_cms_reset(mode).summary_row() for mode in ("timer", "control", "none")]
+    _print("§1: CMS periodic reset", rows)
+
+
+def run_emulation() -> None:
+    """§6: native events vs Tofino-style emulation."""
+    from repro.experiments.emulation_exp import sweep_event_rate
+
+    results = sweep_event_rate()
+    rows = []
+    for arch in ("sume", "tofino-emulated"):
+        rows.extend(r.summary_row() for r in results[arch])
+    _print("§6: emulation ablation", rows)
+
+
+def run_future_work() -> None:
+    """§4/§7 future-work questions, quantified."""
+    from repro.experiments.staleness_exp import sweep_drain_policy
+    from repro.state.consistency import run_contention
+    from repro.state.replication import run_multipipe
+
+    rows = [
+        f"{policy:<8} {result.staleness.row()}"
+        for policy, result in zip(
+            ("fifo", "largest", "lifo"), sweep_drain_policy()
+        )
+    ]
+    _print("§4 future work: drain policies", rows)
+    rows = [run_contention(lat).summary_row() for lat in (0, 1, 2, 4, 8)]
+    _print("§7 future work: consistency (lost updates)", rows)
+    rows = [
+        run_multipipe(sync_period_cycles=p).summary_row()
+        for p in (8, 64, 512, None)
+    ]
+    _print("§4: multi-pipeline state sync", rows)
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figures": run_figures,
+    "fig3": run_fig3,
+    "microburst": run_microburst,
+    "applications": run_applications,
+    "cms": run_cms,
+    "emulation": run_emulation,
+    "future-work": run_future_work,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the paper's tables, figures, and claims.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('all' for everything, 'list' to enumerate)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            EXPERIMENTS[name]()
+        return 0
+    EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

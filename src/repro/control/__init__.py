@@ -1,0 +1,12 @@
+"""Control plane model.
+
+The paper's comparisons repeatedly pit data-plane event handling
+against the traditional control-plane path (CMS resets, failure
+re-routing).  :class:`~repro.control.plane.ControlPlane` models that
+path: a software agent with a round-trip latency to the switch, a
+bounded operation rate, and per-operation accounting.
+"""
+
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+
+__all__ = ["ControlPlane", "ControlPlaneConfig"]

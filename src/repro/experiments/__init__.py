@@ -1,0 +1,23 @@
+"""Experiment runners.
+
+One module per paper experiment (see DESIGN.md's per-experiment index).
+Each runner assembles a topology, loads programs, drives a workload,
+and returns a plain-data result object.  The benchmark suite prints
+these as the paper's tables/figures; the integration tests assert the
+qualitative claims (who wins, by roughly what factor); the examples
+narrate single runs.
+"""
+
+from repro.experiments.factories import (
+    make_baseline_switch,
+    make_emulated_switch,
+    make_logical_switch,
+    make_sume_switch,
+)
+
+__all__ = [
+    "make_baseline_switch",
+    "make_logical_switch",
+    "make_sume_switch",
+    "make_emulated_switch",
+]

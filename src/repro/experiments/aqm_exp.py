@@ -1,0 +1,147 @@
+"""AQM from events (paper §3, §5): FRED-like fairness vs. drop-tail.
+
+A dumbbell where one unresponsive blaster competes with well-behaved
+senders for the bottleneck.  Under drop-tail the blaster monopolizes
+the buffer; under the event-driven FRED the per-active-flow occupancy
+(computed from enqueue/dequeue events) caps its share.  RED is included
+as the classic average-occupancy AQM.
+
+Reported: per-flow goodput at the receiver, Jain's fairness index,
+bottleneck queue statistics, and (for FRED) the timer-sampled occupancy
+time series length — the §5 "report to a monitor" behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.aqm import DropTailProgram, FredAqm, PieAqm, RedAqm
+from repro.experiments.factories import make_sume_switch
+from repro.net.topology import build_dumbbell
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.cbr import ConstantBitRate
+from repro.workloads.sink import PacketSink
+
+RX_IP = 0x0A00_0000 + 101
+
+
+def jain_fairness(values: List[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)
+
+
+@dataclass
+class AqmResult:
+    """One AQM scheme run."""
+
+    scheme: str
+    per_flow_packets: List[int]
+    fairness: float
+    blaster_share: float
+    overflow_drops: int
+    aqm_drops: int
+    occupancy_samples: int
+    peak_buffer_bytes: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        flows = "/".join(str(p) for p in self.per_flow_packets)
+        return (
+            f"{self.scheme:<10} goodput(pkts)={flows:<22} fairness={self.fairness:5.3f} "
+            f"blaster_share={100 * self.blaster_share:5.1f}% "
+            f"tail_drops={self.overflow_drops:<6} aqm_drops={self.aqm_drops:<6} "
+            f"peak_buffer={self.peak_buffer_bytes}B"
+        )
+
+
+def run_aqm(
+    scheme: str = "fred",
+    duration_ps: int = 20 * MILLISECONDS,
+    polite_senders: int = 3,
+    polite_gbps: float = 2.5,
+    blaster_gbps: float = 9.0,
+    seed: int = 17,
+) -> AqmResult:
+    """Run one AQM scheme ('fred', 'red', 'pie', or 'drop-tail')."""
+    if scheme not in ("fred", "red", "pie", "drop-tail"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    network = build_dumbbell(
+        make_sume_switch(queue_capacity_bytes=64 * 1024),
+        senders=polite_senders + 1,
+        receivers=1,
+    )
+    if scheme == "fred":
+        program = FredAqm(
+            num_regs=1024,
+            fairness_factor=1.2,
+            min_buffer_bytes=8_000,
+            sample_period_ps=100 * MICROSECONDS,
+        )
+    elif scheme == "red":
+        program = RedAqm(
+            min_thresh_bytes=12_000, max_thresh_bytes=48_000, max_drop_prob=0.2
+        )
+    elif scheme == "pie":
+        program = PieAqm(
+            target_delay_ps=15 * MICROSECONDS, update_period_ps=100 * MICROSECONDS
+        )
+    else:
+        program = DropTailProgram()
+    program.install_route(RX_IP, 0)
+    network.switches["s0"].load_program(program)
+
+    egress = DropTailProgram()
+    egress.install_route(RX_IP, 1)
+    network.switches["s1"].load_program(egress)
+
+    sink = PacketSink("rx")
+    network.hosts["rx0"].add_sink(sink)
+
+    generators = []
+    flows: List[FlowSpec] = []
+    for i in range(polite_senders):
+        tx = network.hosts[f"tx{i}"]
+        flow = FlowSpec(tx.ip, RX_IP, sport=4_000 + i, dport=5_000)
+        flows.append(flow)
+        gen = ConstantBitRate(
+            network.sim, tx.send, flow, rate_gbps=polite_gbps, payload_len=1400,
+            name=f"polite{i}",
+        )
+        gen.start(at_ps=50 * MICROSECONDS)
+        generators.append(gen)
+    blaster_tx = network.hosts[f"tx{polite_senders}"]
+    blaster_flow = FlowSpec(blaster_tx.ip, RX_IP, sport=4_999, dport=5_000)
+    flows.append(blaster_flow)
+    blaster = ConstantBitRate(
+        network.sim, blaster_tx.send, blaster_flow,
+        rate_gbps=blaster_gbps, payload_len=1400, name="blaster",
+    )
+    blaster.start(at_ps=50 * MICROSECONDS)
+    generators.append(blaster)
+
+    network.run(until_ps=duration_ps)
+
+    per_flow = []
+    for flow in flows:
+        key = (flow.src_ip, flow.dst_ip, 17, flow.sport, flow.dport)
+        per_flow.append(sink.per_flow.get(key, 0))
+    total = sum(per_flow) or 1
+    aqm_drops = getattr(program, "unfair_drops", 0) + getattr(program, "early_drops", 0)
+    return AqmResult(
+        scheme=scheme,
+        per_flow_packets=per_flow,
+        fairness=jain_fairness([float(p) for p in per_flow]),
+        blaster_share=per_flow[-1] / total,
+        overflow_drops=network.switches["s0"].tm.drops_overflow,
+        aqm_drops=aqm_drops,
+        occupancy_samples=len(getattr(program, "occupancy_series", [])),
+        peak_buffer_bytes=network.switches["s0"].tm.buffer.max_occupancy_bytes,
+    )

@@ -1,0 +1,129 @@
+"""Count-min-sketch reset: data-plane timers vs. the control plane.
+
+The paper's §1 motivating overhead: a CMS that must be periodically
+reset.  Three modes on the same Zipf heavy-hitter workload:
+
+* ``timer`` — the TIMER event clears the sketch at exact window
+  boundaries; the control plane does nothing.
+* ``control`` — a modeled control plane clears the sketch over PCIe:
+  every reset costs an RTT plus a per-counter write, the controller is
+  single-threaded, and clears land late — windows blur together and
+  mice get reported as heavy hitters.
+* ``none`` — no resets at all: the sketch saturates.
+
+Reported per mode: precision/recall of heavy-hitter reports against
+the generator's ground truth, resets completed, and controller busy
+fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.apps.heavy_hitters import HeavyHitterDetector
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.experiments.factories import make_sume_switch
+from repro.net.topology import build_linear
+from repro.sim.process import PeriodicProcess
+from repro.sim.units import MILLISECONDS
+from repro.workloads.zipf import ZipfFlowMix
+
+H1_IP = 0x0A00_0002
+
+
+@dataclass
+class CmsResult:
+    """One reset-mode run."""
+
+    mode: str
+    precision: float
+    recall: float
+    resets_completed: int
+    controller_busy_fraction: float
+    reports: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"{self.mode:<8} precision={self.precision:5.2f} recall={self.recall:5.2f} "
+            f"resets={self.resets_completed:<4} "
+            f"controller_busy={100 * self.controller_busy_fraction:5.1f}% "
+            f"reports={self.reports}"
+        )
+
+
+def run_cms_reset(
+    mode: str = "timer",
+    duration_ps: int = 20 * MILLISECONDS,
+    window_ps: int = 1 * MILLISECONDS,
+    threshold_packets: int = 60,
+    flow_count: int = 400,
+    mean_pps: float = 2_000_000.0,
+    seed: int = 5,
+    control_config: ControlPlaneConfig = ControlPlaneConfig(),
+) -> CmsResult:
+    """Run one reset mode and score detection quality."""
+    network = build_linear(make_sume_switch(), switch_count=1)
+    switch = network.switches["s0"]
+    detector = HeavyHitterDetector(
+        width=2048,
+        depth=3,
+        threshold_packets=threshold_packets,
+        window_ps=window_ps,
+        reset_mode=mode,
+    )
+    detector.install_route(H1_IP, 1)
+    switch.load_program(detector)
+
+    # Drive the switch via h0's link so arrival timing is realistic.
+    h0 = network.hosts["h0"]
+    workload = ZipfFlowMix(
+        network.sim,
+        h0.send,
+        flow_count=flow_count,
+        skew=1.2,
+        mean_pps=mean_pps,
+        seed=seed,
+        name="zipf",
+        dst_ip=H1_IP,  # routable toward h1
+    )
+    workload.start(at_ps=10_000)
+
+    controller = ControlPlane(network.sim, control_config)
+    if mode == "control":
+        # The control plane tries to clear the sketch every window.
+        ticker = PeriodicProcess(
+            network.sim,
+            window_ps,
+            lambda: controller.submit(
+                control_config.rtt_ps
+                + detector.sketch.counter_count * control_config.per_entry_write_ps,
+                detector.control_reset,
+            ),
+            name="cp-reset",
+        )
+        ticker.start()
+
+    network.run(until_ps=duration_ps)
+
+    # Ground truth: flows averaging at least the threshold per window.
+    windows = max(1, duration_ps // window_ps)
+    truth: Set[Tuple] = set()
+    for index, count in workload.true_counts.items():
+        if count / windows >= threshold_packets:
+            flow = workload.flows[index]
+            truth.add((flow.src_ip, flow.dst_ip, flow.sport, flow.dport))
+
+    reported = detector.reported_flow_keys()
+    true_positives = len(reported & truth)
+    precision = true_positives / len(reported) if reported else 1.0
+    recall = true_positives / len(truth) if truth else 1.0
+    return CmsResult(
+        mode=mode,
+        precision=precision,
+        recall=recall,
+        resets_completed=detector.resets_performed,
+        controller_busy_fraction=controller.utilization(duration_ps),
+        reports=len(detector.reports),
+    )

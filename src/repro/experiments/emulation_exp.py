@@ -1,0 +1,157 @@
+"""Native events vs. Tofino-style emulation (paper §6).
+
+The same program — a dequeue auditor that consumes DEQUEUE and TIMER
+events and records how late each one arrives — runs on:
+
+* the **SUME Event Switch** (native events through the Event Merger),
+* the **Tofino-like emulated switch**: timers via the packet generator,
+  dequeues via recirculation through a fixed-rate internal port.
+
+Sweeping the packet (= dequeue-event) rate shows the §6 claim: emulation
+*works* but pays in recirculation bandwidth and latency, and collapses
+(drops events) once the recirculation port saturates — hardware changes
+are needed for the full Table 1 event set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext, handler
+from repro.experiments.factories import make_emulated_switch, make_sume_switch
+from repro.net.topology import build_linear
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import MICROSECONDS, MILLISECONDS, NANOSECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.poisson import PoissonTraffic
+
+H1_IP = 0x0A00_0002
+AUDIT_TIMER = 9
+
+
+class DequeueAuditor(ForwardingProgram):
+    """Records the delivery lag of every DEQUEUE and TIMER event."""
+
+    name = "dequeue-auditor"
+
+    def __init__(self, timer_period_ps: int = 100 * MICROSECONDS) -> None:
+        super().__init__()
+        self.timer_period_ps = timer_period_ps
+        self.dequeue_lags_ps: List[int] = []
+        self.timer_fires = 0
+
+    def on_load(self, ctx: ProgramContext) -> None:
+        ctx.configure_timer(AUDIT_TIMER, self.timer_period_ps)
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+        self.forward_by_ip(pkt, meta)
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx: ProgramContext, event: Event) -> None:
+        self.dequeue_lags_ps.append(ctx.now_ps - event.time_ps)
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx: ProgramContext, event: Event) -> None:
+        self.timer_fires += 1
+
+
+@dataclass
+class EmulationResult:
+    """One architecture at one event rate."""
+
+    architecture: str
+    event_rate_pps: float
+    dequeues_fired: int
+    dequeues_delivered: int
+    events_lost: int
+    mean_lag_ns: float
+    max_lag_ns: float
+    recirc_utilization: float
+    pipeline_slot_fraction: float
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"{self.architecture:<18} rate={self.event_rate_pps / 1e6:5.2f}Mpps "
+            f"delivered={self.dequeues_delivered:<6} lost={self.events_lost:<5} "
+            f"lag(mean/max)={self.mean_lag_ns:7.1f}/{self.max_lag_ns:8.1f}ns "
+            f"recirc={100 * self.recirc_utilization:5.1f}%"
+        )
+
+
+def run_emulation_point(
+    architecture: str = "sume",
+    event_rate_pps: float = 500_000.0,
+    duration_ps: int = 5 * MILLISECONDS,
+    recirc_rate_gbps: float = 1.0,
+    seed: int = 13,
+) -> EmulationResult:
+    """One (architecture, dequeue-rate) measurement."""
+    if architecture == "sume":
+        factory = make_sume_switch()
+    elif architecture == "tofino-emulated":
+        factory = make_emulated_switch(recirc_rate_gbps=recirc_rate_gbps)
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    network = build_linear(factory, switch_count=1)
+    switch = network.switches["s0"]
+    auditor = DequeueAuditor()
+    auditor.install_route(H1_IP, 1)
+    switch.load_program(auditor)
+
+    workload = PoissonTraffic(
+        network.sim,
+        network.hosts["h0"].send,
+        FlowSpec(0x0A00_0001, H1_IP, sport=321, dport=654),
+        mean_pps=event_rate_pps,
+        payload_len=200,
+        seed=seed,
+        name="audit-load",
+    )
+    workload.start(at_ps=10_000)
+    network.run(until_ps=duration_ps)
+
+    lags = auditor.dequeue_lags_ps
+    fired = switch.events_fired[EventType.DEQUEUE]
+    delivered = len(lags)
+    recirc_util = 0.0
+    slot_fraction = 0.0
+    lost = 0
+    if architecture == "tofino-emulated":
+        report = switch.emulation_overhead_report(duration_ps)
+        recirc_util = report["recirc_utilization"]
+        slot_fraction = report["pipeline_slot_fraction"]
+        lost = report["events_lost"]
+    else:
+        lost = switch.merger.stats.dropped
+    return EmulationResult(
+        architecture=architecture,
+        event_rate_pps=event_rate_pps,
+        dequeues_fired=fired,
+        dequeues_delivered=delivered,
+        events_lost=lost,
+        mean_lag_ns=(sum(lags) / len(lags) / NANOSECONDS) if lags else 0.0,
+        max_lag_ns=(max(lags) / NANOSECONDS) if lags else 0.0,
+        recirc_utilization=recirc_util,
+        pipeline_slot_fraction=slot_fraction,
+    )
+
+
+def sweep_event_rate(
+    rates_pps: List[float] = (100_000.0, 500_000.0, 1_000_000.0, 2_000_000.0),
+    duration_ps: int = 5 * MILLISECONDS,
+    recirc_rate_gbps: float = 1.0,
+) -> Dict[str, List[EmulationResult]]:
+    """Native vs. emulated across dequeue-event rates."""
+    return {
+        arch: [
+            run_emulation_point(arch, rate, duration_ps, recirc_rate_gbps)
+            for rate in rates_pps
+        ]
+        for arch in ("sume", "tofino-emulated")
+    }

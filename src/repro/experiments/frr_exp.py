@@ -1,0 +1,187 @@
+"""Fast re-route vs. control-plane re-route (paper §3, §5).
+
+A diamond topology::
+
+        ┌─ s1 ─┐
+    h0—s0      s3—h1
+        └─ s2 ─┘
+
+traffic h0→h1 follows the primary path via s1.  At ``fail_at_ps`` the
+s0–s1 link dies.
+
+* **FRR** (event-driven): s0's LINK_STATUS handler flips the route to
+  the backup port (via s2) within the event-handling latency —
+  nanoseconds to microseconds.
+* **Control-plane** (baseline): the program keeps forwarding into the
+  dead link until the controller's failure detection fires (default
+  100 ms), recomputes, and installs the backup route.
+
+Reported: packets lost and the forwarding outage duration measured at
+the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.frr import FastRerouteProgram, StaticRouteProgram
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import EventType
+from repro.arch.program import ProgramContext, handler
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.cbr import ConstantBitRate
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+@dataclass
+class FrrResult:
+    """One failover run."""
+
+    scheme: str
+    packets_sent: int
+    packets_delivered: int
+    packets_lost: int
+    outage_ps: int
+    reroute_delay_ps: Optional[int]
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        delay = (
+            f"{self.reroute_delay_ps / MICROSECONDS:.1f}us"
+            if self.reroute_delay_ps is not None
+            else "n/a"
+        )
+        return (
+            f"{self.scheme:<14} sent={self.packets_sent:<6} "
+            f"lost={self.packets_lost:<6} outage={self.outage_ps / MICROSECONDS:8.1f}us "
+            f"reroute_delay={delay}"
+        )
+
+
+def _build_diamond(factory) -> Network:
+    network = Network()
+    s0 = network.add_switch(factory(network.sim, "s0", 3))
+    s1 = network.add_switch(factory(network.sim, "s1", 2))
+    s2 = network.add_switch(factory(network.sim, "s2", 2))
+    s3 = network.add_switch(factory(network.sim, "s3", 3))
+    h0 = network.add_host(Host(network.sim, "h0", H0_IP))
+    h1 = network.add_host(Host(network.sim, "h1", H1_IP))
+    network.connect(h0, 0, s0, 0, latency_ps=500_000)
+    network.connect(s0, 1, s1, 0, latency_ps=500_000)  # primary
+    network.connect(s0, 2, s2, 0, latency_ps=500_000)  # backup
+    network.connect(s1, 1, s3, 1, latency_ps=500_000)
+    network.connect(s2, 1, s3, 2, latency_ps=500_000)
+    network.connect(s3, 0, h1, 0, latency_ps=500_000)
+    return network
+
+
+def _install_transit_routes(network: Network, transit_cls) -> None:
+    for name, routes in (
+        ("s1", {H1_IP: 1, H0_IP: 0}),
+        ("s2", {H1_IP: 1, H0_IP: 0}),
+        ("s3", {H1_IP: 0, H0_IP: 1}),
+    ):
+        program = transit_cls()
+        program.install_routes(routes)
+        network.switches[name].load_program(program)
+
+
+def run_failover(
+    scheme: str = "frr",
+    duration_ps: int = 300 * MILLISECONDS,
+    fail_at_ps: int = 50 * MILLISECONDS,
+    rate_gbps: float = 1.0,
+    control_config: ControlPlaneConfig = ControlPlaneConfig(),
+) -> FrrResult:
+    """Run one failover scheme ('frr' or 'control-plane')."""
+    if scheme not in ("frr", "control-plane"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    if scheme == "frr":
+        network = _build_diamond(make_sume_switch())
+        program: ForwardingProgram = FastRerouteProgram()
+        program.install_protected_route(H1_IP, primary=1, backup=2)
+        program.install_route(H0_IP, 0)
+        _install_transit_routes(network, FastRerouteProgram)
+    else:
+        network = _build_diamond(make_baseline_switch())
+        program = StaticRouteProgram()
+        program.install_routes({H1_IP: 1, H0_IP: 0})
+        _install_transit_routes(network, StaticRouteProgram)
+
+    network.switches["s0"].load_program(program)
+
+    # Receiver-side arrival log for outage measurement.
+    arrivals: List[int] = []
+    network.hosts["h1"].add_sink(lambda pkt: arrivals.append(network.sim.now_ps))
+
+    flow = FlowSpec(H0_IP, H1_IP, sport=5_000, dport=6_000)
+    generator = ConstantBitRate(
+        network.sim,
+        network.hosts["h0"].send,
+        flow,
+        rate_gbps=rate_gbps,
+        payload_len=1000,
+        name="frr-flow",
+    )
+    generator.start(at_ps=1 * MILLISECONDS)
+
+    link = network.link_between("s0", "s1")
+    assert link is not None
+    link.fail_at(fail_at_ps)
+
+    reroute_delay: Optional[int] = None
+    if scheme == "control-plane":
+        controller = ControlPlane(network.sim, control_config)
+        # The controller notices the failure after its detection timeout,
+        # then recomputes and installs the backup route.
+        def on_detected() -> None:
+            controller.install_route(lambda: program.control_update(H1_IP, 2))
+
+        network.sim.call_at(
+            fail_at_ps + control_config.failure_detection_ps, on_detected
+        )
+
+    network.run(until_ps=duration_ps)
+
+    if scheme == "frr" and isinstance(program, FastRerouteProgram) and program.failovers:
+        reroute_delay = program.failovers[0].time_ps - fail_at_ps
+    elif scheme == "control-plane" and isinstance(program, StaticRouteProgram):
+        if program.control_updates:
+            reroute_delay = (
+                control_config.failure_detection_ps
+                + control_config.reroute_compute_ps
+                + control_config.rtt_ps
+                + control_config.per_entry_write_ps
+            )
+
+    # Outage: the largest inter-arrival gap after the failure instant
+    # (covers both the in-flight drain and the recovery gap), including
+    # a never-recovered tail.
+    outage = 0
+    for before, after in zip(arrivals, arrivals[1:]):
+        if after >= fail_at_ps:
+            outage = max(outage, after - before)
+    if arrivals and arrivals[-1] < duration_ps - 2 * MILLISECONDS:
+        outage = max(outage, duration_ps - arrivals[-1])  # never recovered
+
+    sent = generator.packets_sent
+    delivered = len(arrivals)
+    return FrrResult(
+        scheme=scheme,
+        packets_sent=sent,
+        packets_delivered=delivered,
+        packets_lost=sent - delivered,
+        outage_ps=outage,
+        reroute_delay_ps=reroute_delay,
+    )

@@ -1,0 +1,173 @@
+"""HULA vs. ECMP load balancing on a leaf-spine fabric (paper §3).
+
+Two elephant flows leave leaf0 for hosts behind leaf1.  Their five-
+tuples are chosen so static ECMP hashes both onto the *same* uplink —
+the pathological (but common) collision HULA exists to fix.  HULA's
+timer-generated probes measure path utilization and move one elephant
+to the idle spine at the next flowlet boundary.
+
+Reported: bytes transmitted per leaf0 uplink, an imbalance score
+(max/mean uplink load), bottleneck drops, and receiver goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.hula import EcmpLeafProgram, HulaLeafProgram, HulaSpineProgram
+from repro.experiments.factories import make_sume_switch
+from repro.net.topology import build_leaf_spine
+from repro.packet.packet import FiveTuple
+from repro.packet.hashing import tuple_hash
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.bursts import OnOffBurst
+from repro.workloads.sink import PacketSink
+
+
+@dataclass
+class HulaResult:
+    """One load-balancing run."""
+
+    scheme: str
+    uplink_tx_bytes: List[int]
+    imbalance: float
+    drops: int
+    delivered_packets: int
+    probes_sent: int
+    path_switches: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        loads = "/".join(f"{b // 1000}kB" for b in self.uplink_tx_bytes)
+        return (
+            f"{self.scheme:<6} uplinks={loads:<22} imbalance={self.imbalance:5.2f} "
+            f"drops={self.drops:<5} delivered={self.delivered_packets}"
+        )
+
+
+def _sport_hashing_to(src_ip: int, dst_ip: int, uplinks: int, target: int) -> int:
+    """A source port whose five-tuple ECMP-hashes onto ``target``."""
+    for sport in range(20_000, 30_000):
+        ftuple = FiveTuple(src_ip, dst_ip, 17, sport, 9_000)
+        if tuple_hash(ftuple, uplinks) == target:
+            return sport
+    raise RuntimeError("no port hashing to the target uplink found")
+
+
+def _setup(scheme: str, seed: int):
+    fabric = build_leaf_spine(
+        make_sume_switch(queue_capacity_bytes=256 * 1024),
+        leaf_count=2,
+        spine_count=2,
+        hosts_per_leaf=2,
+    )
+    network = fabric.network
+    uplinks = fabric.uplink_ports["leaf0"]
+
+    leaf_programs = {}
+    for leaf_index, leaf in enumerate(fabric.leaves):
+        if scheme == "hula":
+            program = HulaLeafProgram(
+                tor_id=leaf_index,
+                uplink_ports=fabric.uplink_ports[leaf.name],
+                tor_count=2,
+                probe_period_ps=50 * MICROSECONDS,
+                flowlet_gap_ps=200 * MICROSECONDS,
+            )
+        else:
+            program = EcmpLeafProgram(uplink_ports=fabric.uplink_ports[leaf.name])
+        # Local hosts.
+        base = fabric.host_port_base[leaf.name]
+        for host_index, host in enumerate(fabric.hosts[leaf.name]):
+            program.install_route(host.ip, base + host_index)
+        leaf_programs[leaf.name] = program
+
+    # Remote host mappings.
+    for leaf_index, leaf in enumerate(fabric.leaves):
+        other = fabric.leaves[1 - leaf_index]
+        for host in fabric.hosts[other.name]:
+            leaf_programs[leaf.name].install_remote(host.ip, 1 - leaf_index)
+
+    for leaf in fabric.leaves:
+        leaf.load_program(leaf_programs[leaf.name])
+
+    for spine_index, spine in enumerate(fabric.spines):
+        spine_program = HulaSpineProgram(
+            leaf_ports=fabric.downlink_ports[spine.name],
+            decay_period_ps=50 * MICROSECONDS,
+        )
+        # Spines route by destination leaf: host IPs behind leaf i exit
+        # via downlink port i.
+        for leaf_index, leaf in enumerate(fabric.leaves):
+            for host in fabric.hosts[leaf.name]:
+                spine_program.install_route(host.ip, leaf_index)
+        spine.load_program(spine_program)
+
+    return fabric, leaf_programs
+
+
+def run_load_balance(
+    scheme: str = "hula",
+    duration_ps: int = 10 * MILLISECONDS,
+    elephant_gbps: float = 6.0,
+    seed: int = 3,
+) -> HulaResult:
+    """Run one scheme ('hula' or 'ecmp') and report uplink balance."""
+    if scheme not in ("hula", "ecmp"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    fabric, leaf_programs = _setup(scheme, seed)
+    network = fabric.network
+
+    src0, src1 = fabric.hosts["leaf0"]
+    dst0, dst1 = fabric.hosts["leaf1"]
+    # Both elephants ECMP-hash onto uplink 0: the collision HULA fixes.
+    sport_a = _sport_hashing_to(src0.ip, dst0.ip, 2, target=0)
+    sport_b = _sport_hashing_to(src1.ip, dst0.ip, 2, target=0)
+    sink0, sink1 = PacketSink("dst0"), PacketSink("dst1")
+    dst0.add_sink(sink0)
+    dst1.add_sink(sink1)
+
+    flows = [
+        (src0, FlowSpec(src0.ip, dst0.ip, sport=sport_a, dport=9_000)),
+        (src1, FlowSpec(src1.ip, dst0.ip, sport=sport_b, dport=9_000)),
+    ]
+    # ON/OFF elephants: bursts at ~6 Gb/s with quiet gaps long enough to
+    # cross HULA's flowlet boundary, so paths can migrate.
+    sample_wire = (1400 + 42 + 20) * 8  # payload + headers + preamble/IFG
+    intra_gap = max(1, int(sample_wire * 1_000 / elephant_gbps))
+    generators = []
+    for index, (host, flow) in enumerate(flows):
+        gen = OnOffBurst(
+            network.sim,
+            host.send,
+            flow,
+            burst_packets=200,
+            intra_gap_ps=intra_gap,
+            mean_off_ps=400 * MICROSECONDS,
+            payload_len=1400,
+            seed=seed + index,
+            name=f"elephant:{flow.sport}",
+        )
+        gen.start(at_ps=200 * MICROSECONDS)
+        generators.append(gen)
+
+    network.run(until_ps=duration_ps)
+
+    leaf0 = fabric.leaves[0]
+    uplink_bytes = [
+        leaf0.tm.port_stats(port)["tx_bytes"] for port in fabric.uplink_ports["leaf0"]
+    ]
+    mean_load = sum(uplink_bytes) / len(uplink_bytes)
+    imbalance = max(uplink_bytes) / mean_load if mean_load else 0.0
+    program = leaf_programs["leaf0"]
+    return HulaResult(
+        scheme=scheme,
+        uplink_tx_bytes=uplink_bytes,
+        imbalance=imbalance,
+        drops=leaf0.tm.drops_overflow,
+        delivered_packets=sink0.packets + sink1.packets,
+        probes_sent=getattr(program, "probes_sent", 0),
+        path_switches=getattr(program, "path_switches", 0),
+    )

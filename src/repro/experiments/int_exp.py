@@ -1,0 +1,133 @@
+"""INT telemetry: event-driven aggregation vs. postcards (paper §3).
+
+Incast waves push the bottleneck queue up and cause drops.  The
+event-driven aggregator summarizes each window from enqueue/overflow
+events and reports only anomalous windows; the postcard baseline emits
+one report per packet.  Reported: telemetry volume (reports and report
+bytes on the monitor link), the volume-reduction factor, and whether
+every loss/congestion episode was still captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.int_telemetry import IntAggregator, PostcardTelemetry
+from repro.apps.ndp import TailDropProgram
+from repro.experiments.factories import make_sume_switch
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.packet.headers import IntReport
+from repro.packet.packet import Packet
+from repro.sim.units import MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.incast import IncastWave
+from repro.workloads.poisson import PoissonTraffic
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+MONITOR_IP = 0x0A00_00FE
+
+
+@dataclass
+class IntResult:
+    """One telemetry run."""
+
+    scheme: str
+    data_packets: int
+    reports_received: int
+    reduction_factor: float
+    anomalous_windows: int
+    windows_reported: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"{self.scheme:<12} data_pkts={self.data_packets:<6} "
+            f"reports={self.reports_received:<6} "
+            f"reduction={self.reduction_factor:8.1f}x "
+            f"anomalies={self.anomalous_windows}/{self.windows_reported} reported"
+        )
+
+
+def run_int(
+    scheme: str = "aggregate",
+    duration_ps: int = 20 * MILLISECONDS,
+    background_pps: float = 200_000.0,
+    waves: int = 4,
+    seed: int = 29,
+) -> IntResult:
+    """Run one telemetry scheme ('aggregate', 'all-windows', 'postcards')."""
+    network = Network()
+    factory = make_sume_switch(queue_capacity_bytes=24 * 1024)
+    switch = network.add_switch(factory(network.sim, "s0", 4))
+    h0 = network.add_host(Host(network.sim, "h0", H0_IP))
+    h2 = network.add_host(Host(network.sim, "h2", H0_IP + 0x100))
+    h1 = network.add_host(Host(network.sim, "h1", H1_IP))
+    monitor = network.add_host(Host(network.sim, "monitor", MONITOR_IP))
+    network.connect(h0, 0, switch, 0)
+    network.connect(switch, 1, h1, 0)
+    network.connect(switch, 2, monitor, 0)
+    network.connect(h2, 0, switch, 3)
+
+    if scheme == "aggregate":
+        program = IntAggregator(
+            switch_id=1, monitor_port=2, window_ps=1 * MILLISECONDS,
+            anomaly_queue_bytes=12_000, filter_reports=True,
+        )
+    elif scheme == "all-windows":
+        program = IntAggregator(
+            switch_id=1, monitor_port=2, window_ps=1 * MILLISECONDS,
+            anomaly_queue_bytes=12_000, filter_reports=False,
+        )
+    elif scheme == "postcards":
+        program = PostcardTelemetry(switch_id=1, monitor_port=2)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    program.install_route(H1_IP, 1)
+    program.install_route(H0_IP, 0)
+    switch.load_program(program)
+
+    reports: List[Packet] = []
+    monitor.add_sink(lambda pkt: reports.append(pkt) if pkt.get(IntReport) else None)
+
+    background = PoissonTraffic(
+        network.sim,
+        h0.send,
+        FlowSpec(H0_IP, H1_IP, sport=1_111, dport=2_222),
+        mean_pps=background_pps,
+        payload_len=600,
+        seed=seed,
+        name="bg",
+    )
+    background.start(at_ps=50_000)
+    wave = IncastWave(
+        network.sim,
+        [h0.send, h2.send] * 2,
+        [
+            FlowSpec(H0_IP if i % 2 == 0 else H0_IP + 0x100, H1_IP,
+                     sport=1_200 + i, dport=2_222)
+            for i in range(4)
+        ],
+        packets_per_sender=24,
+        payload_len=1400,
+    )
+    for w in range(waves):
+        wave.fire_at((w + 1) * 4 * MILLISECONDS)
+
+    network.run(until_ps=duration_ps)
+
+    windows = getattr(program, "windows", [])
+    anomalous = sum(1 for w in windows if w.max_queue_bytes > 12_000 or w.drops > 0)
+    reported = sum(1 for w in windows if w.reported)
+    data_packets = program.packets_seen
+    reduction = data_packets / len(reports) if reports else float("inf")
+    return IntResult(
+        scheme=scheme,
+        data_packets=data_packets,
+        reports_received=len(reports),
+        reduction_factor=reduction,
+        anomalous_windows=anomalous,
+        windows_reported=reported,
+    )

@@ -1,0 +1,244 @@
+"""Microburst detection experiment (paper §2's worked example).
+
+A dumbbell with background senders plus one ON/OFF *culprit* flow that
+periodically slams the bottleneck queue.  The event-driven detector
+(paper's ``microburst.p4``) runs on a SUME Event Switch; the Snappy
+baseline runs on a baseline PSA switch.  Reported per detector:
+
+* whether the culprit was caught, and how fast after burst start,
+* false positives (other flows flagged),
+* total stateful footprint in bits — the ≥4× claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.microburst import CmsMicroburstDetector, MicroburstDetector
+from repro.apps.snappy import SnappyDetector
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.topology import build_dumbbell
+from repro.packet.hashing import ip_pair_hash
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.workloads.base import FlowSpec
+from repro.workloads.bursts import OnOffBurst
+from repro.workloads.cbr import ConstantBitRate
+
+#: The receiver's IP in the dumbbell (rx0 is host index 100).
+RX_IP = 0x0A00_0000 + 101
+
+NUM_REGS = 1024
+FLOW_THRESH_BYTES = 8_000
+
+
+@dataclass
+class MicroburstResult:
+    """Outcome of one detector run."""
+
+    detector: str
+    architecture: str
+    detection_stage: str
+    state_bits: int
+    culprit_flow_id: int
+    culprit_detected: bool
+    detections_total: int
+    false_positive_flows: int
+    detection_latency_ps: Optional[int]
+    bursts_sent: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        latency = (
+            f"{self.detection_latency_ps / MICROSECONDS:.1f}us"
+            if self.detection_latency_ps is not None
+            else "never"
+        )
+        return (
+            f"{self.detector:<12} arch={self.architecture:<18} "
+            f"stage={self.detection_stage:<7} state={self.state_bits:>8}b "
+            f"caught={str(self.culprit_detected):<5} fp_flows={self.false_positive_flows} "
+            f"latency={latency}"
+        )
+
+
+def _drive_workload(network, background_senders: int, duration_ps: int, seed: int):
+    """Attach background CBR flows and the bursty culprit; returns culprit."""
+    hosts = network.hosts
+    background = []
+    for i in range(background_senders):
+        tx = hosts[f"tx{i}"]
+        flow = FlowSpec(src_ip=tx.ip, dst_ip=RX_IP, sport=7_000 + i, dport=9_000)
+        gen = ConstantBitRate(
+            network.sim, tx.send, flow, rate_gbps=1.0, payload_len=1400,
+            name=f"bg{i}",
+        )
+        gen.start(at_ps=10 * MICROSECONDS)
+        background.append(gen)
+    culprit_tx = hosts[f"tx{background_senders}"]
+    culprit_flow = FlowSpec(
+        src_ip=culprit_tx.ip, dst_ip=RX_IP, sport=7_999, dport=9_000
+    )
+    culprit = OnOffBurst(
+        network.sim,
+        culprit_tx.send,
+        culprit_flow,
+        burst_packets=48,
+        intra_gap_ps=1_200_000,  # ≈ 1460B @ 10 Gb/s back-to-back
+        mean_off_ps=int(1.5 * MILLISECONDS),
+        payload_len=1400,
+        seed=seed,
+        name="culprit",
+    )
+    culprit.start(at_ps=100 * MICROSECONDS)
+    return culprit, culprit_flow
+
+
+def _evaluate(
+    detector,
+    detector_name: str,
+    architecture: str,
+    detection_stage: str,
+    culprit,
+    culprit_flow: FlowSpec,
+    num_regs: int,
+) -> MicroburstResult:
+    culprit_fid = ip_pair_hash(culprit_flow.src_ip, culprit_flow.dst_ip, num_regs)
+    detected_flows = detector.detected_flows()
+    latency: Optional[int] = None
+    first = detector.first_detection_ps(culprit_fid)
+    if first is not None and culprit.burst_start_times:
+        starts = [t for t in culprit.burst_start_times if t <= first]
+        if starts:
+            latency = first - starts[-1]
+    return MicroburstResult(
+        detector=detector_name,
+        architecture=architecture,
+        detection_stage=detection_stage,
+        state_bits=detector.state_bits(),
+        culprit_flow_id=culprit_fid,
+        culprit_detected=culprit_fid in detected_flows,
+        detections_total=len(detector.detections),
+        false_positive_flows=len([f for f in detected_flows if f != culprit_fid]),
+        detection_latency_ps=latency,
+        bursts_sent=culprit.bursts_sent,
+    )
+
+
+def run_event_driven(
+    duration_ps: int = 20 * MILLISECONDS,
+    background_senders: int = 3,
+    seed: int = 11,
+) -> MicroburstResult:
+    """The paper's detector on the SUME Event Switch."""
+    network = build_dumbbell(
+        make_sume_switch(queue_capacity_bytes=128 * 1024),
+        senders=background_senders + 1,
+        receivers=1,
+    )
+    detector = MicroburstDetector(
+        num_regs=NUM_REGS, flow_thresh_bytes=FLOW_THRESH_BYTES
+    )
+    detector.install_route(RX_IP, 0)  # s0: toward s1
+    network.switches["s0"].load_program(detector)
+    passthrough = MicroburstDetector(num_regs=16, flow_thresh_bytes=1 << 30)
+    passthrough.install_route(RX_IP, 1)  # s1: toward rx0
+    network.switches["s1"].load_program(passthrough)
+    culprit, culprit_flow = _drive_workload(
+        network, background_senders, duration_ps, seed
+    )
+    network.run(until_ps=duration_ps)
+    return _evaluate(
+        detector,
+        "event-driven",
+        "sume-event-switch",
+        "ingress",
+        culprit,
+        culprit_flow,
+        NUM_REGS,
+    )
+
+
+def run_cms_variant(
+    duration_ps: int = 20 * MILLISECONDS,
+    background_senders: int = 3,
+    seed: int = 11,
+    width: int = 128,
+    depth: int = 2,
+) -> MicroburstResult:
+    """The §2-footnote variant: occupancy in a count-min sketch."""
+    network = build_dumbbell(
+        make_sume_switch(queue_capacity_bytes=128 * 1024),
+        senders=background_senders + 1,
+        receivers=1,
+    )
+    detector = CmsMicroburstDetector(
+        width=width, depth=depth, flow_thresh_bytes=FLOW_THRESH_BYTES
+    )
+    detector.install_route(RX_IP, 0)
+    network.switches["s0"].load_program(detector)
+    passthrough = MicroburstDetector(num_regs=16, flow_thresh_bytes=1 << 30)
+    passthrough.install_route(RX_IP, 1)
+    network.switches["s1"].load_program(passthrough)
+    culprit, culprit_flow = _drive_workload(
+        network, background_senders, duration_ps, seed
+    )
+    network.run(until_ps=duration_ps)
+    return _evaluate(
+        detector,
+        "event-cms",
+        "sume-event-switch",
+        "ingress",
+        culprit,
+        culprit_flow,
+        1 << 20,  # reporting identity space used by the CMS variant
+    )
+
+
+def run_snappy_baseline(
+    duration_ps: int = 20 * MILLISECONDS,
+    background_senders: int = 3,
+    seed: int = 11,
+    snapshot_count: int = 4,
+) -> MicroburstResult:
+    """The Snappy approximation on a baseline PSA switch."""
+    network = build_dumbbell(
+        make_baseline_switch(queue_capacity_bytes=128 * 1024),
+        senders=background_senders + 1,
+        receivers=1,
+    )
+    detector = SnappyDetector(
+        num_regs=NUM_REGS,
+        flow_thresh_bytes=FLOW_THRESH_BYTES,
+        snapshot_count=snapshot_count,
+        window_ps=50 * MICROSECONDS,
+    )
+    detector.install_route(RX_IP, 0)
+    network.switches["s0"].load_program(detector)
+    passthrough = SnappyDetector(
+        num_regs=16, flow_thresh_bytes=1 << 30, snapshot_count=2
+    )
+    passthrough.install_route(RX_IP, 1)
+    network.switches["s1"].load_program(passthrough)
+    culprit, culprit_flow = _drive_workload(
+        network, background_senders, duration_ps, seed
+    )
+    network.run(until_ps=duration_ps)
+    return _evaluate(
+        detector,
+        "snappy",
+        "baseline-psa",
+        "egress",
+        culprit,
+        culprit_flow,
+        NUM_REGS,
+    )
+
+
+def state_reduction_factor(
+    event_result: MicroburstResult, snappy_result: MicroburstResult
+) -> float:
+    """The paper's headline: Snappy state / event-driven state."""
+    if event_result.state_bits == 0:
+        raise ValueError("event-driven detector reports zero state")
+    return snappy_result.state_bits / event_result.state_bits

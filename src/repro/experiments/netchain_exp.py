@@ -1,0 +1,139 @@
+"""NetChain-style coordination under chain failure (paper §3).
+
+A three-switch replication chain (head → mid → tail) with a
+pre-provisioned bypass link serves sequential writes from a client.
+Mid-chain connectivity dies mid-run:
+
+* **event-driven**: the head's LINK_STATUS handler splices the chain to
+  head → tail over the bypass within microseconds — a handful of writes
+  in flight are lost, and every acknowledged write remains readable at
+  the tail (chain consistency holds);
+* **control-plane**: writes blackhole until the controller's detection
+  + recompute + install completes (~110 ms), losing thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.netchain import ChainClient, ChainNodeProgram, StaticChainNodeProgram
+from repro.control.plane import ControlPlaneConfig
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.sim.process import PeriodicProcess
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+CLIENT_IP = 0x0A00_0001
+SERVICE_IP = 0x0A00_00AA
+
+
+@dataclass
+class NetChainResult:
+    """One chain-failure run."""
+
+    scheme: str
+    writes_sent: int
+    acks_received: int
+    writes_lost: int
+    outage_ps: int
+    read_matches_last_ack: bool
+    tail_writes_applied: int
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"{self.scheme:<14} writes={self.writes_sent:<5} "
+            f"lost={self.writes_lost:<5} "
+            f"outage={self.outage_ps / MICROSECONDS:9.1f}us "
+            f"consistent_read={self.read_matches_last_ack}"
+        )
+
+
+def run_netchain(
+    scheme: str = "event-driven",
+    duration_ps: int = 300 * MILLISECONDS,
+    fail_at_ps: int = 50 * MILLISECONDS,
+    write_period_ps: int = 50 * MICROSECONDS,
+    control_config: ControlPlaneConfig = ControlPlaneConfig(),
+) -> NetChainResult:
+    """Run one repair scheme ('event-driven' or 'control-plane')."""
+    if scheme == "event-driven":
+        factory = make_sume_switch()
+        node_cls = ChainNodeProgram
+    elif scheme == "control-plane":
+        factory = make_baseline_switch()
+        node_cls = StaticChainNodeProgram
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    network = Network()
+    head = network.add_switch(factory(network.sim, "head", 3))
+    mid = network.add_switch(factory(network.sim, "mid", 2))
+    tail = network.add_switch(factory(network.sim, "tail", 2))
+    client_host = network.add_host(Host(network.sim, "client", CLIENT_IP))
+    network.connect(client_host, 0, head, 0, latency_ps=500_000)
+    network.connect(head, 1, mid, 0, latency_ps=500_000)
+    network.connect(mid, 1, tail, 0, latency_ps=500_000)
+    network.connect(head, 2, tail, 1, latency_ps=500_000)  # bypass
+
+    head_program = node_cls(node_id=0, service_ip=SERVICE_IP, is_tail=False)
+    head_program.install_protected_route(SERVICE_IP, primary=1, backup=2)
+    head_program.install_route(CLIENT_IP, 0)
+    head.load_program(head_program)
+
+    mid_program = node_cls(node_id=1, service_ip=SERVICE_IP, is_tail=False)
+    mid_program.install_route(SERVICE_IP, 1)
+    mid_program.install_route(CLIENT_IP, 0)
+    mid.load_program(mid_program)
+
+    tail_program = node_cls(node_id=2, service_ip=SERVICE_IP, is_tail=True)
+    tail_program.install_route(CLIENT_IP, 1)  # acks return over the bypass
+    tail.load_program(tail_program)
+
+    client = ChainClient(client_host, SERVICE_IP)
+    writer = PeriodicProcess(
+        network.sim, write_period_ps, client.write_next, name="chain-writer"
+    )
+    writer.start()
+    # Stop writing shortly before the end and issue the consistency read.
+    read_at = duration_ps - 5 * MILLISECONDS
+    network.sim.call_at(read_at - 1, writer.stop)
+    network.sim.call_at(read_at, client.read)
+
+    link = network.link_between("head", "mid")
+    assert link is not None
+    link.fail_at(fail_at_ps)
+
+    if scheme == "control-plane":
+        repair_at = (
+            fail_at_ps
+            + control_config.failure_detection_ps
+            + control_config.reroute_compute_ps
+            + control_config.rtt_ps
+        )
+        network.sim.call_at(
+            repair_at, lambda: head_program.install_route(SERVICE_IP, 2)
+        )
+
+    network.run(until_ps=duration_ps)
+
+    stats = client.stats
+    outage = 0
+    acks = stats.ack_times_ps or []
+    for before, after in zip(acks, acks[1:]):
+        if after >= fail_at_ps:
+            outage = max(outage, after - before)
+    return NetChainResult(
+        scheme=scheme,
+        writes_sent=stats.writes_sent,
+        acks_received=stats.acks_received,
+        writes_lost=stats.writes_lost,
+        outage_ps=outage,
+        read_matches_last_ack=(
+            stats.read_replies == 1
+            and stats.last_read_value >= stats.last_acked_value
+        ),
+        tail_writes_applied=tail_program.writes_applied,
+    )

@@ -1,0 +1,122 @@
+"""Figures 1 and 2: baseline PSA vs. the logical event-driven model.
+
+**Figure 1** (baseline PSA): packets traverse ingress pipeline →
+traffic manager → egress pipeline.  The experiment shows the
+architecture working — and shows the paper's gap: the TM's enqueue/
+dequeue/drop transitions all happen, but every one of them is
+*suppressed* before reaching the programming model.
+
+**Figure 2** (logical event-driven architecture): the same traffic on
+the logical model, where each event kind has its own logical pipeline
+with a dedicated port into shared state.  Every event is delivered, and
+delivered *synchronously* — zero lag between an event firing and its
+handler running — which is the multi-ported-memory ideal the SUME
+switch approximates (its merger adds a small, measurable delivery
+wait; see the Figure 4 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.apps.microburst import MicroburstDetector
+from repro.apps.snappy import SnappyDetector
+from repro.arch.events import EventType
+from repro.experiments.factories import (
+    make_baseline_switch,
+    make_logical_switch,
+    make_sume_switch,
+)
+from repro.net.topology import build_linear
+from repro.packet.builder import make_udp_packet
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+@dataclass
+class ArchitectureTrace:
+    """What one architecture let the program see."""
+
+    architecture: str
+    packets_forwarded: int
+    events_fired: Dict[EventType, int]
+    events_handled: Dict[EventType, int]
+    events_suppressed: Dict[EventType, int]
+    mean_event_wait_ps: float
+
+    def buffer_events_visible(self) -> int:
+        """Enqueue+dequeue events the program actually handled."""
+        return (
+            self.events_handled[EventType.ENQUEUE]
+            + self.events_handled[EventType.DEQUEUE]
+        )
+
+    def buffer_events_suppressed(self) -> int:
+        """Enqueue+dequeue transitions hidden from the program."""
+        return (
+            self.events_suppressed[EventType.ENQUEUE]
+            + self.events_suppressed[EventType.DEQUEUE]
+        )
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"{self.architecture:<22} forwarded={self.packets_forwarded:<5} "
+            f"buffer_events_visible={self.buffer_events_visible():<6} "
+            f"suppressed={self.buffer_events_suppressed():<6} "
+            f"event_wait={self.mean_event_wait_ps / 1000:.1f}ns"
+        )
+
+
+def _drive(network, packets: int) -> None:
+    h0 = network.hosts["h0"]
+    for i in range(packets):
+        network.sim.call_at(
+            (i + 1) * 10 * MICROSECONDS,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, sport=500 + (i % 7), dport=600,
+                            payload_len=400),
+        )
+
+
+def run_architecture(
+    architecture: str = "baseline",
+    packets: int = 200,
+    duration_ps: int = 5 * MILLISECONDS,
+) -> ArchitectureTrace:
+    """Trace one architecture ('baseline', 'logical', or 'sume')."""
+    if architecture == "baseline":
+        factory = make_baseline_switch()
+        program = SnappyDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+    elif architecture == "logical":
+        factory = make_logical_switch()
+        program = MicroburstDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+    elif architecture == "sume":
+        factory = make_sume_switch()
+        program = MicroburstDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    network = build_linear(factory, switch_count=1)
+    switch = network.switches["s0"]
+    program.install_routes({H1_IP: 1, H0_IP: 0})
+    switch.load_program(program)
+    delivered = []
+    network.hosts["h1"].add_sink(lambda pkt: delivered.append(pkt))
+    _drive(network, packets)
+    network.run(until_ps=duration_ps)
+
+    wait = 0.0
+    merger = getattr(switch, "merger", None)
+    if merger is not None:
+        wait = merger.stats.mean_wait_ps
+    return ArchitectureTrace(
+        architecture=switch.description.name,
+        packets_forwarded=len(delivered),
+        events_fired=dict(switch.events_fired),
+        events_handled=dict(switch.events_handled),
+        events_suppressed=dict(switch.events_suppressed),
+        mean_event_wait_ps=wait,
+    )

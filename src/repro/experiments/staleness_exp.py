@@ -1,0 +1,157 @@
+"""Figure 3 and the §4 staleness trade-offs, quantitatively.
+
+Three sweeps over the cycle-level pipeline model:
+
+1. **Aggregation works** (Figure 3): with the main + aggregation
+   register layout, an enqueue, a dequeue, and a packet read can land
+   on the same cycle with *zero* port conflicts; the naive layout (one
+   single-ported array for everything) conflicts constantly.
+2. **Overspeed sweep**: staleness is bounded, and shrinks as the
+   pipeline runs faster than line rate.
+3. **Port-disable sweep** (§4's "not using some of the external
+   ports"): freeing packet cycles converts them into drain cycles,
+   buying accuracy with bandwidth — the paper's bandwidth-vs-accuracy
+   trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import SeededRng
+from repro.state.cyclesim import CyclePipelineSim, CycleSimConfig, CycleSimResult
+from repro.state.memory import MemoryPortModel
+from repro.pisa.externs.register import Register
+
+
+@dataclass
+class NaiveResult:
+    """The no-aggregation ablation: everything on one array."""
+
+    cycles: int
+    conflict_cycles: int
+    conflict_fraction: float
+
+    def summary_row(self) -> str:
+        """A printable summary row."""
+        return (
+            f"naive single-ported array: {self.conflict_cycles}/{self.cycles} "
+            f"cycles over-subscribed ({100 * self.conflict_fraction:.1f}%)"
+        )
+
+
+def run_naive_single_array(
+    cycles: int = 50_000,
+    num_queues: int = 64,
+    overspeed: float = 1.25,
+    enqueue_rate: float = 0.4,
+    dequeue_rate: float = 0.4,
+    seed: int = 1,
+) -> NaiveResult:
+    """Count port conflicts when all three event streams share one array."""
+    rng = SeededRng(seed, "naive")
+    memory = MemoryPortModel(
+        Register(num_queues, name="naive"), ports=1, strict=False
+    )
+    packet_fraction = 1.0 / overspeed
+    outstanding = [0] * num_queues
+    for cycle in range(cycles):
+        if rng.random() < enqueue_rate:
+            queue = rng.randint(0, num_queues - 1)
+            memory.add(cycle, queue, 64)
+            outstanding[queue] += 1
+        if rng.random() < dequeue_rate:
+            candidates = [q for q, n in enumerate(outstanding) if n > 0]
+            if candidates:
+                queue = rng.choice(candidates)
+                memory.add(cycle, queue, -64)
+                outstanding[queue] -= 1
+        if rng.random() < packet_fraction:
+            memory.read(cycle, rng.randint(0, num_queues - 1))
+    return NaiveResult(
+        cycles=cycles,
+        conflict_cycles=memory.conflict_cycles,
+        conflict_fraction=memory.conflict_cycles / cycles,
+    )
+
+
+def run_aggregated(
+    cycles: int = 50_000,
+    overspeed: float = 1.25,
+    enqueue_rate: float = 0.4,
+    dequeue_rate: float = 0.4,
+    num_queues: int = 64,
+    seed: int = 1,
+) -> CycleSimResult:
+    """One Figure 3 run with the aggregation register file."""
+    return CyclePipelineSim(
+        CycleSimConfig(
+            cycles=cycles,
+            num_queues=num_queues,
+            overspeed=overspeed,
+            enqueue_rate=enqueue_rate,
+            dequeue_rate=dequeue_rate,
+            seed=seed,
+        )
+    ).run()
+
+
+def sweep_overspeed(
+    overspeeds: List[float] = (1.0, 1.1, 1.25, 1.5, 2.0),
+    cycles: int = 50_000,
+    seed: int = 1,
+) -> List[CycleSimResult]:
+    """Staleness vs. pipeline overspeed (the §4 bound)."""
+    return [
+        run_aggregated(cycles=cycles, overspeed=overspeed, seed=seed)
+        for overspeed in overspeeds
+    ]
+
+
+def sweep_drain_policy(
+    policies: List[str] = ("fifo", "largest", "lifo"),
+    cycles: int = 50_000,
+    overspeed: float = 1.15,
+    seed: int = 1,
+) -> List[CycleSimResult]:
+    """§4's open question: how should aggregated accesses be scheduled?
+
+    Compares drain priorities: first-touched-first, largest-pending-
+    delta-first (prioritizes the most-wrong entries), and most-recent-
+    first (a deliberately bad policy that starves old entries).
+    """
+    return [
+        CyclePipelineSim(
+            CycleSimConfig(
+                cycles=cycles, overspeed=overspeed, drain_policy=policy, seed=seed
+            )
+        ).run()
+        for policy in policies
+    ]
+
+
+def sweep_port_disable(
+    fractions: List[float] = (0.0, 0.25, 0.5, 0.75),
+    cycles: int = 50_000,
+    overspeed: float = 1.1,
+    seed: int = 1,
+) -> List[CycleSimResult]:
+    """Staleness vs. disabled external ports (bandwidth ↔ accuracy).
+
+    Event rates shrink with the packet rate — fewer ports also means
+    fewer enqueues/dequeues — which is exactly why the trade buys
+    accuracy.
+    """
+    results = []
+    for fraction in fractions:
+        config = CycleSimConfig(
+            cycles=cycles,
+            overspeed=overspeed,
+            port_disable_fraction=fraction,
+            enqueue_rate=0.4 * (1 - fraction),
+            dequeue_rate=0.4 * (1 - fraction),
+            seed=seed,
+        )
+        results.append(CyclePipelineSim(config).run())
+    return results

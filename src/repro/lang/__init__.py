@@ -1,0 +1,67 @@
+"""An event-driven P4-like language frontend.
+
+The paper's thesis is that *the P4 language* should express event
+processing: per-event ``control`` blocks plus a ``shared_register``
+extern.  This subpackage provides a small textual language in that
+style and compiles it onto the reproduction's programming model, so the
+paper's ``microburst.p4`` can be written as source text and loaded onto
+any architecture::
+
+    from repro.lang import compile_program
+
+    SOURCE = '''
+    program microburst;
+
+    shared_register<32>(1024) bufSize_reg;
+    const FLOW_THRESH = 8000;
+
+    on ingress_packet {
+        var flowID = hash(ip.src, ip.dst, 1024);
+        set_enq_meta("flowID", flowID);
+        set_enq_meta("pkt_len", pkt.len);
+        set_deq_meta("flowID", flowID);
+        set_deq_meta("pkt_len", pkt.len);
+        var bufSize = bufSize_reg.read(flowID);
+        if (bufSize > FLOW_THRESH) {
+            mark(flowID);          /* microburst culprit! */
+        }
+        forward_by_ip();
+    }
+
+    on buffer_enqueue {
+        bufSize_reg.add(event.flowID, event.pkt_len);
+    }
+
+    on buffer_dequeue {
+        bufSize_reg.sub(event.flowID, event.pkt_len);
+    }
+    '''
+
+    program = compile_program(SOURCE)
+    switch.load_program(program)
+
+The pipeline: :mod:`repro.lang.lexer` tokenizes,
+:mod:`repro.lang.parser` builds the AST, and :mod:`repro.lang.compiler`
+validates declarations/events/builtins and produces a
+:class:`~repro.lang.compiler.CompiledProgram` (a
+:class:`~repro.arch.program.P4Program`) whose handlers interpret the
+AST.
+"""
+
+from repro.lang.errors import LangError, LangSyntaxError, LangSemanticError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.compiler import CompiledProgram, compile_program
+from repro.lang.printer import pretty
+
+__all__ = [
+    "LangError",
+    "LangSyntaxError",
+    "LangSemanticError",
+    "Token",
+    "tokenize",
+    "parse",
+    "compile_program",
+    "CompiledProgram",
+    "pretty",
+]

@@ -1,0 +1,167 @@
+"""AST node definitions for the event-driven language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Position:
+    """Source position for error reporting."""
+
+    line: int
+    column: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Number:
+    """Integer literal."""
+
+    value: int
+    pos: Position
+
+
+@dataclass(frozen=True)
+class String:
+    """String literal (metadata keys)."""
+
+    value: str
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Name:
+    """Bare identifier reference (local, const, or special object field)."""
+
+    ident: str
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Field:
+    """Dotted access: ``ip.src``, ``meta.flowID``, ``event.pkt_len``."""
+
+    obj: str
+    field: str
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Call:
+    """Builtin call ``hash(a, b, n)`` (obj is None) or register method
+    ``reg.read(i)`` (obj is the register name)."""
+
+    obj: Optional[str]
+    name: str
+    args: Tuple["Expr", ...]
+    pos: Position
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operation."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    pos: Position
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operation: ``-`` or ``!``."""
+
+    op: str
+    operand: "Expr"
+    pos: Position
+
+
+Expr = Union[Number, String, Name, Field, Call, BinOp, UnaryOp]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VarDecl:
+    """``var x = expr;`` — declares a handler-local variable."""
+
+    name: str
+    value: Expr
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``x = expr;`` — re-assigns an existing local."""
+
+    name: str
+    value: Expr
+    pos: Position
+
+
+@dataclass(frozen=True)
+class If:
+    """``if (cond) { … } else { … }``."""
+
+    condition: Expr
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...]
+    pos: Position
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    """A call used as a statement (builtin action or register write)."""
+
+    call: Call
+    pos: Position
+
+
+Stmt = Union[VarDecl, Assign, If, ExprStmt]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegisterDecl:
+    """``shared_register<32>(1024) name;`` or ``register<…>(…) name;``."""
+
+    shared: bool
+    width_bits: int
+    size: int
+    name: str
+    pos: Position
+
+
+@dataclass(frozen=True)
+class ConstDecl:
+    """``const NAME = 8000;``."""
+
+    name: str
+    value: int
+    pos: Position
+
+
+@dataclass(frozen=True)
+class HandlerDecl:
+    """``on <event> { … }`` or ``init { … }`` (event is None for init)."""
+
+    event: Optional[str]
+    body: Tuple[Stmt, ...]
+    pos: Position
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    """A complete parsed program."""
+
+    name: str
+    registers: Tuple[RegisterDecl, ...]
+    consts: Tuple[ConstDecl, ...]
+    handlers: Tuple[HandlerDecl, ...]

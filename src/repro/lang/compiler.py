@@ -1,0 +1,551 @@
+"""Compiler + interpreter: AST → a loadable :class:`P4Program`.
+
+Compilation validates the program against the language's static rules —
+known events, declared registers, known builtins with correct arity,
+assign-before-use locals, and placement rules (packet actions only in
+packet-event handlers, ``configure_timer`` only in ``init``) — then
+produces a :class:`CompiledProgram` whose handlers interpret the AST.
+
+Builtins
+--------
+
+Expressions:
+
+========================  ====================================================
+``hash(v…, buckets)``     CRC-32 of the concatenated values, folded to buckets
+``flow_hash(buckets)``    five-tuple hash (packet handlers only)
+``now()``                 current simulated time in picoseconds
+``queue_depth(port)``     egress queue depth in bytes
+========================  ====================================================
+
+Actions (packet-event handlers only unless noted):
+
+==============================  ==============================================
+``forward(port)``               set the egress port
+``forward_by_ip()``             destination-IP route lookup
+``drop()`` / ``to_cpu()``       drop / punt the packet
+``recirculate()``               recirculate to ingress
+``set_priority(p)``             scheduling priority
+``set_queue(q)``                egress queue id
+``set_enq_meta(key, v)``        user metadata for the enqueue event
+``set_deq_meta(key, v)``        user metadata for the dequeue event
+``configure_timer(id, period)`` arm a periodic timer (``init`` only)
+``mark(v…)``                    record a detection (any handler)
+``log(v…)``                     record a debug tuple (any handler)
+``notify(code)``                digest to the control plane (any handler)
+==============================  ==============================================
+
+Register methods (any handler): ``read(i)``, ``write(i, v)``,
+``add(i, v)``, ``sub(i, v)``, ``clear()``.
+
+Field objects: ``pkt.len`` / ``pkt.ingress_port``, ``eth.*``, ``ip.*``,
+``udp.*``, ``tcp.*`` (packet handlers); ``event.<key>`` (non-packet
+handlers, reading the event's metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps.common import ForwardingProgram
+from repro.arch.events import Event, EventType, PIPELINE_PACKET_EVENTS
+from repro.arch.program import ProgramContext
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    ExprStmt,
+    Field,
+    HandlerDecl,
+    If,
+    Name,
+    Number,
+    ProgramAst,
+    Stmt,
+    String,
+    UnaryOp,
+    VarDecl,
+)
+from repro.lang.errors import LangRuntimeError, LangSemanticError
+from repro.lang.parser import _apply_binop, parse
+from repro.packet.hashing import crc32, fold_hash, flow_hash
+from repro.packet.headers import Ethernet, Ipv4, Tcp, Udp
+from repro.packet.packet import Packet
+from repro.pisa.externs.register import Register, SharedRegister
+from repro.pisa.metadata import StandardMetadata
+
+#: builtin name -> (min arity, max arity, packet_only, init_only, is_expr)
+BUILTINS: Dict[str, Tuple[int, Optional[int], bool, bool, bool]] = {
+    "hash": (2, None, False, False, True),
+    "flow_hash": (1, 1, True, False, True),
+    "now": (0, 0, False, False, True),
+    "queue_depth": (1, 1, False, False, True),
+    "forward": (1, 1, True, False, False),
+    "forward_by_ip": (0, 0, True, False, False),
+    "drop": (0, 0, True, False, False),
+    "to_cpu": (0, 0, True, False, False),
+    "recirculate": (0, 0, True, False, False),
+    "set_priority": (1, 1, True, False, False),
+    "set_queue": (1, 1, True, False, False),
+    "set_enq_meta": (2, 2, True, False, False),
+    "set_deq_meta": (2, 2, True, False, False),
+    "configure_timer": (2, 2, False, True, False),
+    "mark": (1, None, False, False, False),
+    "log": (1, None, False, False, False),
+    "notify": (1, 1, False, False, False),
+}
+
+REGISTER_METHODS: Dict[str, Tuple[int, int, bool]] = {
+    # name -> (arity, returns value, writes)
+    "read": (1, True, False),
+    "write": (2, False, True),
+    "add": (2, True, True),
+    "sub": (2, True, True),
+    "clear": (0, False, True),
+}
+
+HEADER_OBJECTS = {"eth": Ethernet, "ip": Ipv4, "udp": Udp, "tcp": Tcp}
+
+EVENT_NAMES = {kind.value: kind for kind in EventType}
+PACKET_EVENT_NAMES = {kind.value for kind in PIPELINE_PACKET_EVENTS}
+
+
+class CompiledProgram(ForwardingProgram):
+    """A program compiled from source text.
+
+    ``marks`` collects every ``mark(...)`` tuple and ``logs`` every
+    ``log(...)`` tuple, so experiments can read detections out of a
+    source-level program exactly as they would from a native one.
+    """
+
+    def __init__(self, ast: ProgramAst) -> None:
+        super().__init__()
+        self.name = ast.name
+        self.ast = ast
+        self.consts: Dict[str, int] = {c.name: c.value for c in ast.consts}
+        self.registers: Dict[str, Register] = {}
+        for decl in ast.registers:
+            cls = SharedRegister if decl.shared else Register
+            register = cls(decl.size, width_bits=decl.width_bits, name=decl.name)
+            self.registers[decl.name] = register
+            setattr(self, f"reg_{decl.name}", register)  # extern discovery
+        self.marks: List[Tuple[int, ...]] = []
+        self.logs: List[Tuple[int, ...]] = []
+        self._init_body: Tuple[Stmt, ...] = ()
+        for handler_decl in ast.handlers:
+            if handler_decl.event is None:
+                self._init_body = handler_decl.body
+                continue
+            kind = EVENT_NAMES[handler_decl.event]
+            if kind in PIPELINE_PACKET_EVENTS:
+                self._handlers[kind] = self._make_packet_handler(handler_decl)
+            else:
+                self._handlers[kind] = self._make_event_handler(handler_decl)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_load(self, ctx: ProgramContext) -> None:
+        if self._init_body:
+            env = _Env(self, ctx, pkt=None, meta=None, event=None)
+            for stmt in self._init_body:
+                env.execute(stmt)
+
+    # ------------------------------------------------------------------
+    # Handler factories
+    # ------------------------------------------------------------------
+    def _make_packet_handler(self, decl: HandlerDecl):
+        def run(ctx: ProgramContext, pkt: Packet, meta: StandardMetadata) -> None:
+            env = _Env(self, ctx, pkt=pkt, meta=meta, event=None)
+            for stmt in decl.body:
+                env.execute(stmt)
+
+        return run
+
+    def _make_event_handler(self, decl: HandlerDecl):
+        def run(ctx: ProgramContext, event: Event) -> None:
+            env = _Env(self, ctx, pkt=None, meta=None, event=event)
+            for stmt in decl.body:
+                env.execute(stmt)
+
+        return run
+
+    def marked_values(self) -> List[int]:
+        """First element of every mark tuple (the common single-value case)."""
+        return [mark[0] for mark in self.marks]
+
+    def __repr__(self) -> str:
+        events = ", ".join(sorted(k.value for k in self._handlers))
+        return f"CompiledProgram({self.name!r}, handles: {events})"
+
+
+class _Env:
+    """One handler invocation's execution environment."""
+
+    def __init__(self, program, ctx, pkt, meta, event) -> None:
+        self.program = program
+        self.ctx = ctx
+        self.pkt = pkt
+        self.meta = meta
+        self.event = event
+        self.locals: Dict[str, int] = {}
+
+    # -- statements -----------------------------------------------------
+    def execute(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            self.locals[stmt.name] = self.eval(stmt.value)
+        elif isinstance(stmt, Assign):
+            if stmt.name not in self.locals:
+                raise LangRuntimeError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.pos.line,
+                    stmt.pos.column,
+                )
+            self.locals[stmt.name] = self.eval(stmt.value)
+        elif isinstance(stmt, If):
+            branch = stmt.then_body if self.eval(stmt.condition) else stmt.else_body
+            for inner in branch:
+                self.execute(inner)
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.call)
+        else:  # pragma: no cover - parser produces no other kinds
+            raise LangRuntimeError(f"unknown statement {stmt!r}")
+
+    # -- expressions ------------------------------------------------------
+    def eval(self, expr: Expr):
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, String):
+            return expr.value
+        if isinstance(expr, Name):
+            return self._name(expr)
+        if isinstance(expr, Field):
+            return self._field(expr)
+        if isinstance(expr, BinOp):
+            return _apply_binop(expr.op, self.eval(expr.left), self.eval(expr.right))
+        if isinstance(expr, UnaryOp):
+            value = self.eval(expr.operand)
+            return -value if expr.op == "-" else int(not value)
+        if isinstance(expr, Call):
+            return self._call(expr)
+        raise LangRuntimeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _name(self, expr: Name):
+        if expr.ident in self.locals:
+            return self.locals[expr.ident]
+        if expr.ident in self.program.consts:
+            return self.program.consts[expr.ident]
+        raise LangRuntimeError(
+            f"unknown name {expr.ident!r}", expr.pos.line, expr.pos.column
+        )
+
+    def _field(self, expr: Field):
+        if expr.obj == "event":
+            if self.event is None:
+                raise LangRuntimeError(
+                    "event.* is only available in event handlers",
+                    expr.pos.line,
+                    expr.pos.column,
+                )
+            try:
+                return self.event.meta[expr.field]
+            except KeyError:
+                raise LangRuntimeError(
+                    f"event metadata has no key {expr.field!r}",
+                    expr.pos.line,
+                    expr.pos.column,
+                )
+        if self.pkt is None:
+            raise LangRuntimeError(
+                f"{expr.obj}.* is only available in packet handlers",
+                expr.pos.line,
+                expr.pos.column,
+            )
+        if expr.obj == "pkt":
+            if expr.field == "len":
+                return self.pkt.total_len
+            if expr.field == "ingress_port":
+                return self.meta.ingress_port
+            raise LangRuntimeError(
+                f"pkt has no field {expr.field!r}", expr.pos.line, expr.pos.column
+            )
+        header_cls = HEADER_OBJECTS[expr.obj]
+        header = self.pkt.get(header_cls)
+        if header is None:
+            raise LangRuntimeError(
+                f"packet carries no {expr.obj} header",
+                expr.pos.line,
+                expr.pos.column,
+            )
+        try:
+            return getattr(header, expr.field)
+        except AttributeError:
+            raise LangRuntimeError(
+                f"{expr.obj} has no field {expr.field!r}",
+                expr.pos.line,
+                expr.pos.column,
+            )
+
+    # -- calls ------------------------------------------------------------
+    def _call(self, call: Call):
+        args = [self.eval(arg) for arg in call.args]
+        if call.obj is not None:
+            register = self.program.registers[call.obj]
+            return getattr(register, call.name)(*args)
+        return self._builtin(call, args)
+
+    def _builtin(self, call: Call, args: List[int]):
+        name = call.name
+        program = self.program
+        if name == "hash":
+            *values, buckets = args
+            data = b"".join(_hash_encode(int(v)) for v in values)
+            return fold_hash(crc32(data), buckets)
+        if name == "flow_hash":
+            result = flow_hash(self.pkt, args[0])
+            if result is None:
+                raise LangRuntimeError(
+                    "flow_hash on a non-IP packet", call.pos.line, call.pos.column
+                )
+            return result
+        if name == "now":
+            return self.ctx.now_ps
+        if name == "queue_depth":
+            return self.ctx.queue_depth_bytes(args[0])
+        if name == "forward":
+            self.meta.send_to_port(args[0])
+            return None
+        if name == "forward_by_ip":
+            program.forward_by_ip(self.pkt, self.meta)
+            return None
+        if name == "drop":
+            self.meta.drop()
+            return None
+        if name == "to_cpu":
+            self.meta.send_to_cpu()
+            return None
+        if name == "recirculate":
+            self.meta.request_recirculation()
+            return None
+        if name == "set_priority":
+            self.meta.priority = args[0]
+            return None
+        if name == "set_queue":
+            self.meta.queue_id = args[0]
+            return None
+        if name == "set_enq_meta":
+            self.meta.enq_meta[args[0]] = args[1]
+            return None
+        if name == "set_deq_meta":
+            self.meta.deq_meta[args[0]] = args[1]
+            return None
+        if name == "configure_timer":
+            self.ctx.configure_timer(args[0], args[1])
+            return None
+        if name == "mark":
+            program.marks.append(tuple(args))
+            return None
+        if name == "log":
+            program.logs.append(tuple(args))
+            return None
+        if name == "notify":
+            self.ctx.notify_control_plane({"code": args[0]})
+            return None
+        raise LangRuntimeError(  # pragma: no cover - compiler rejects these
+            f"unknown builtin {name!r}", call.pos.line, call.pos.column
+        )
+
+
+def _hash_encode(value: int) -> bytes:
+    """Field encoding for the ``hash`` builtin.
+
+    32-bit fields (the common case: IPv4 addresses, lengths) are
+    encoded in 4 bytes so ``hash(ip.src, ip.dst, n)`` matches the
+    library's :func:`~repro.packet.hashing.ip_pair_hash`; wider or
+    negative values take 8 bytes.
+    """
+    if 0 <= value < (1 << 32):
+        return value.to_bytes(4, "big")
+    return value.to_bytes(8, "big", signed=True)
+
+
+# ----------------------------------------------------------------------
+# Compile-time validation
+# ----------------------------------------------------------------------
+class _Checker:
+    """Static checks over one parsed program."""
+
+    def __init__(self, ast: ProgramAst) -> None:
+        self.ast = ast
+        self.registers = {decl.name for decl in ast.registers}
+        self.consts = {decl.name for decl in ast.consts}
+
+    def check(self) -> None:
+        seen_registers = set()
+        for decl in self.ast.registers:
+            if decl.name in seen_registers:
+                raise LangSemanticError(
+                    f"duplicate register {decl.name!r}", decl.pos.line, decl.pos.column
+                )
+            seen_registers.add(decl.name)
+            if decl.size <= 0 or decl.width_bits <= 0:
+                raise LangSemanticError(
+                    f"register {decl.name!r} needs positive size and width",
+                    decl.pos.line,
+                    decl.pos.column,
+                )
+        seen_events = set()
+        for handler in self.ast.handlers:
+            if handler.event is None:
+                self._check_body(handler.body, packet=False, init=True, scope=set())
+                continue
+            if handler.event not in EVENT_NAMES:
+                raise LangSemanticError(
+                    f"unknown event {handler.event!r}",
+                    handler.pos.line,
+                    handler.pos.column,
+                )
+            if handler.event in seen_events:
+                raise LangSemanticError(
+                    f"duplicate handler for {handler.event!r}",
+                    handler.pos.line,
+                    handler.pos.column,
+                )
+            seen_events.add(handler.event)
+            packet = handler.event in PACKET_EVENT_NAMES
+            self._check_body(handler.body, packet=packet, init=False, scope=set())
+
+    def _check_body(self, body, packet: bool, init: bool, scope: set) -> None:
+        for stmt in body:
+            if isinstance(stmt, VarDecl):
+                self._check_expr(stmt.value, packet, init, scope)
+                scope.add(stmt.name)
+            elif isinstance(stmt, Assign):
+                if stmt.name not in scope:
+                    raise LangSemanticError(
+                        f"assignment to undeclared variable {stmt.name!r} "
+                        f"(use 'var')",
+                        stmt.pos.line,
+                        stmt.pos.column,
+                    )
+                self._check_expr(stmt.value, packet, init, scope)
+            elif isinstance(stmt, If):
+                self._check_expr(stmt.condition, packet, init, scope)
+                # Branch-local scopes: names declared inside do not leak.
+                self._check_body(stmt.then_body, packet, init, set(scope))
+                self._check_body(stmt.else_body, packet, init, set(scope))
+            elif isinstance(stmt, ExprStmt):
+                self._check_expr(stmt.call, packet, init, scope)
+
+    def _check_expr(self, expr: Expr, packet: bool, init: bool, scope: set) -> None:
+        if isinstance(expr, Number) or isinstance(expr, String):
+            return
+        if isinstance(expr, Name):
+            if expr.ident not in scope and expr.ident not in self.consts:
+                raise LangSemanticError(
+                    f"unknown name {expr.ident!r}", expr.pos.line, expr.pos.column
+                )
+            return
+        if isinstance(expr, Field):
+            if expr.obj == "event":
+                if packet or init:
+                    raise LangSemanticError(
+                        "event.* is only available in non-packet event handlers",
+                        expr.pos.line,
+                        expr.pos.column,
+                    )
+                return
+            if expr.obj in HEADER_OBJECTS or expr.obj == "pkt":
+                if not packet:
+                    raise LangSemanticError(
+                        f"{expr.obj}.* is only available in packet handlers",
+                        expr.pos.line,
+                        expr.pos.column,
+                    )
+                if expr.obj == "pkt" and expr.field not in ("len", "ingress_port"):
+                    raise LangSemanticError(
+                        f"pkt has no field {expr.field!r}",
+                        expr.pos.line,
+                        expr.pos.column,
+                    )
+                if expr.obj in HEADER_OBJECTS:
+                    fields = {f.name for f in HEADER_OBJECTS[expr.obj].FIELDS}
+                    if expr.field not in fields:
+                        raise LangSemanticError(
+                            f"{expr.obj} has no field {expr.field!r}",
+                            expr.pos.line,
+                            expr.pos.column,
+                        )
+                return
+            raise LangSemanticError(
+                f"unknown object {expr.obj!r}", expr.pos.line, expr.pos.column
+            )
+        if isinstance(expr, BinOp):
+            self._check_expr(expr.left, packet, init, scope)
+            self._check_expr(expr.right, packet, init, scope)
+            return
+        if isinstance(expr, UnaryOp):
+            self._check_expr(expr.operand, packet, init, scope)
+            return
+        if isinstance(expr, Call):
+            self._check_call(expr, packet, init, scope)
+            return
+
+    def _check_call(self, call: Call, packet: bool, init: bool, scope: set) -> None:
+        for arg in call.args:
+            self._check_expr(arg, packet, init, scope)
+        if call.obj is not None:
+            if call.obj not in self.registers:
+                raise LangSemanticError(
+                    f"unknown register {call.obj!r}", call.pos.line, call.pos.column
+                )
+            spec = REGISTER_METHODS.get(call.name)
+            if spec is None:
+                raise LangSemanticError(
+                    f"registers have no method {call.name!r}",
+                    call.pos.line,
+                    call.pos.column,
+                )
+            arity = spec[0]
+            if len(call.args) != arity:
+                raise LangSemanticError(
+                    f"{call.obj}.{call.name} takes {arity} argument(s), "
+                    f"got {len(call.args)}",
+                    call.pos.line,
+                    call.pos.column,
+                )
+            return
+        spec = BUILTINS.get(call.name)
+        if spec is None:
+            raise LangSemanticError(
+                f"unknown builtin {call.name!r}", call.pos.line, call.pos.column
+            )
+        minimum, maximum, packet_only, init_only, _is_expr = spec
+        if len(call.args) < minimum or (maximum is not None and len(call.args) > maximum):
+            raise LangSemanticError(
+                f"{call.name} takes "
+                + (f"{minimum}" if maximum == minimum else f"{minimum}+")
+                + f" argument(s), got {len(call.args)}",
+                call.pos.line,
+                call.pos.column,
+            )
+        if packet_only and not packet:
+            raise LangSemanticError(
+                f"{call.name} is only available in packet-event handlers",
+                call.pos.line,
+                call.pos.column,
+            )
+        if init_only and not init:
+            raise LangSemanticError(
+                f"{call.name} is only available in the init block",
+                call.pos.line,
+                call.pos.column,
+            )
+
+
+def compile_program(source: str) -> CompiledProgram:
+    """Parse, validate, and instantiate a program from source text."""
+    ast = parse(source)
+    _Checker(ast).check()
+    return CompiledProgram(ast)

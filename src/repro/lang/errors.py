@@ -1,0 +1,25 @@
+"""Language-frontend error types, all carrying source positions."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for language-frontend failures."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LangSyntaxError(LangError):
+    """Tokenizer or parser failure."""
+
+
+class LangSemanticError(LangError):
+    """Compile-time validation failure (unknown event, register, …)."""
+
+
+class LangRuntimeError(LangError):
+    """Interpreter failure while executing a handler."""

@@ -1,0 +1,142 @@
+"""Tokenizer for the event-driven P4-like language.
+
+Token kinds: identifiers/keywords, integer literals (decimal and
+``0x…``), string literals (double-quoted, for metadata keys), and
+punctuation.  Comments: ``//`` to end of line and ``/* … */`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.lang.errors import LangSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "on",
+        "init",
+        "if",
+        "else",
+        "var",
+        "const",
+        "register",
+        "shared_register",
+    }
+)
+
+#: Multi-character punctuation, longest first so matching is greedy.
+MULTI_PUNCT = ("==", "!=", "<=", ">=", "&&", "||")
+SINGLE_PUNCT = "{}()<>;,.=+-*/%!\""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident' | 'keyword' | 'number' | 'string' | 'punct' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LangSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> LangSyntaxError:
+        return LangSyntaxError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace ------------------------------------------------------
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # Comments ---------------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+            i = end + 2
+            continue
+        # Numbers ------------------------------------------------------
+        if ch.isdigit():
+            start = i
+            start_col = column
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i] in "0123456789abcdefABCDEF_"):
+                    i += 1
+            else:
+                while i < n and (source[i].isdigit() or source[i] == "_"):
+                    i += 1
+            text = source[start:i]
+            column = start_col + (i - start)
+            tokens.append(Token("number", text, line, start_col))
+            continue
+        # Identifiers / keywords ----------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            column = start_col + (i - start)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        # Strings --------------------------------------------------------
+        if ch == '"':
+            start_col = column
+            end = source.find('"', i + 1)
+            if end < 0 or "\n" in source[i + 1 : end]:
+                raise error("unterminated string literal")
+            text = source[i + 1 : end]
+            column = start_col + (end - i + 1)
+            i = end + 1
+            tokens.append(Token("string", text, line, start_col))
+            continue
+        # Punctuation -----------------------------------------------------
+        matched = False
+        for punct in MULTI_PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line, column))
+                i += len(punct)
+                column += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_PUNCT:
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

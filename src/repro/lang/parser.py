@@ -1,0 +1,342 @@
+"""Recursive-descent parser for the event-driven language.
+
+Grammar (EBNF-ish)::
+
+    program   := "program" IDENT ";" decl* handler*
+    decl      := regdecl | constdecl
+    regdecl   := ("register" | "shared_register") "<" NUMBER ">"
+                 "(" NUMBER ")" IDENT ";"
+    constdecl := "const" IDENT "=" expr ";"     (constant-folded)
+    handler   := ("on" IDENT | "init") block
+    block     := "{" stmt* "}"
+    stmt      := "var" IDENT "=" expr ";"
+               | IDENT "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | call ";"
+    call      := IDENT ("." IDENT)? "(" [expr {"," expr}] ")"
+    expr      := standard precedence: ||, &&, ==/!=, </>/<=/>=,
+                 +/-, *//%, unary !/-, primary
+    primary   := NUMBER | STRING | call | IDENT "." IDENT | IDENT
+               | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ConstDecl,
+    Expr,
+    ExprStmt,
+    Field,
+    HandlerDecl,
+    If,
+    Name,
+    Number,
+    Position,
+    ProgramAst,
+    RegisterDecl,
+    Stmt,
+    String,
+    UnaryOp,
+    VarDecl,
+)
+from repro.lang.errors import LangSyntaxError
+from repro.lang.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise LangSyntaxError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def pos(self) -> Position:
+        token = self.peek()
+        return Position(token.line, token.column)
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> ProgramAst:
+        self.expect("keyword", "program")
+        name = self.expect("ident").text
+        self.expect("punct", ";")
+        registers: List[RegisterDecl] = []
+        consts: List[ConstDecl] = []
+        while self.check("keyword", "register") or self.check(
+            "keyword", "shared_register"
+        ) or self.check("keyword", "const"):
+            if self.check("keyword", "const"):
+                consts.append(self.parse_const())
+            else:
+                registers.append(self.parse_register())
+        handlers: List[HandlerDecl] = []
+        while not self.check("eof"):
+            handlers.append(self.parse_handler())
+        return ProgramAst(
+            name=name,
+            registers=tuple(registers),
+            consts=tuple(consts),
+            handlers=tuple(handlers),
+        )
+
+    def parse_register(self) -> RegisterDecl:
+        pos = self.pos()
+        keyword = self.advance()  # register | shared_register
+        self.expect("punct", "<")
+        width = self._int_token()
+        self.expect("punct", ">")
+        self.expect("punct", "(")
+        size = self._int_token()
+        self.expect("punct", ")")
+        name = self.expect("ident").text
+        self.expect("punct", ";")
+        return RegisterDecl(
+            shared=keyword.text == "shared_register",
+            width_bits=width,
+            size=size,
+            name=name,
+            pos=pos,
+        )
+
+    def parse_const(self) -> ConstDecl:
+        pos = self.pos()
+        self.expect("keyword", "const")
+        name = self.expect("ident").text
+        self.expect("punct", "=")
+        value = self.parse_expr()
+        self.expect("punct", ";")
+        folded = _fold_const(value)
+        if folded is None:
+            raise LangSyntaxError(
+                f"const {name!r} must be a constant expression", pos.line, pos.column
+            )
+        return ConstDecl(name=name, value=folded, pos=pos)
+
+    def parse_handler(self) -> HandlerDecl:
+        pos = self.pos()
+        if self.accept("keyword", "init"):
+            event = None
+        else:
+            self.expect("keyword", "on")
+            event = self.expect("ident").text
+        body = self.parse_block()
+        return HandlerDecl(event=event, body=body, pos=pos)
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect("punct", "{")
+        statements: List[Stmt] = []
+        while not self.check("punct", "}"):
+            statements.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return tuple(statements)
+
+    def parse_stmt(self) -> Stmt:
+        pos = self.pos()
+        if self.accept("keyword", "var"):
+            name = self.expect("ident").text
+            self.expect("punct", "=")
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return VarDecl(name=name, value=value, pos=pos)
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        # Either an assignment or a call statement; both start with ident.
+        token = self.expect("ident")
+        if self.accept("punct", "="):
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return Assign(name=token.text, value=value, pos=pos)
+        call = self._finish_call(token, pos)
+        self.expect("punct", ";")
+        return ExprStmt(call=call, pos=pos)
+
+    def parse_if(self) -> If:
+        pos = self.pos()
+        self.expect("keyword", "if")
+        self.expect("punct", "(")
+        condition = self.parse_expr()
+        self.expect("punct", ")")
+        then_body = self.parse_block()
+        else_body: Tuple[Stmt, ...] = ()
+        if self.accept("keyword", "else"):
+            else_body = self.parse_block()
+        return If(condition=condition, then_body=then_body, else_body=else_body, pos=pos)
+
+    def _finish_call(self, first: Token, pos: Position) -> Call:
+        """Parse the rest of ``name(…)`` or ``obj.method(…)``."""
+        if self.accept("punct", "."):
+            method = self.expect("ident").text
+            args = self._parse_args()
+            return Call(obj=first.text, name=method, args=args, pos=pos)
+        args = self._parse_args()
+        return Call(obj=None, name=first.text, args=args, pos=pos)
+
+    def _parse_args(self) -> Tuple[Expr, ...]:
+        self.expect("punct", "(")
+        args: List[Expr] = []
+        if not self.check("punct", ")"):
+            args.append(self.parse_expr())
+            while self.accept("punct", ","):
+                args.append(self.parse_expr())
+        self.expect("punct", ")")
+        return tuple(args)
+
+    # -- expressions (precedence climbing) -------------------------------
+    _LEVELS = (
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text in self._LEVELS[level]:
+                self.advance()
+                right = self.parse_expr(level + 1)
+                left = BinOp(
+                    op=token.text,
+                    left=left,
+                    right=right,
+                    pos=Position(token.line, token.column),
+                )
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "punct" and token.text in ("!", "-"):
+            self.advance()
+            operand = self.parse_unary()
+            return UnaryOp(
+                op=token.text, operand=operand, pos=Position(token.line, token.column)
+            )
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        pos = Position(token.line, token.column)
+        if token.kind == "number":
+            self.advance()
+            return Number(value=int(token.text.replace("_", ""), 0), pos=pos)
+        if token.kind == "string":
+            self.advance()
+            return String(value=token.text, pos=pos)
+        if self.accept("punct", "("):
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return inner
+        if token.kind == "ident":
+            self.advance()
+            if self.check("punct", "("):
+                return self._finish_call(token, pos)
+            if self.accept("punct", "."):
+                member = self.expect("ident").text
+                if self.check("punct", "("):
+                    args = self._parse_args()
+                    return Call(obj=token.text, name=member, args=args, pos=pos)
+                return Field(obj=token.text, field=member, pos=pos)
+            return Name(ident=token.text, pos=pos)
+        raise LangSyntaxError(
+            f"unexpected token {token.text or token.kind!r}", token.line, token.column
+        )
+
+    def _int_token(self) -> int:
+        token = self.expect("number")
+        return int(token.text.replace("_", ""), 0)
+
+
+def _fold_const(expr: Expr) -> Optional[int]:
+    """Evaluate a constant expression at parse time, or None."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, UnaryOp):
+        inner = _fold_const(expr.operand)
+        if inner is None:
+            return None
+        return -inner if expr.op == "-" else int(not inner)
+    if isinstance(expr, BinOp):
+        left = _fold_const(expr.left)
+        right = _fold_const(expr.right)
+        if left is None or right is None:
+            return None
+        return _apply_binop(expr.op, left, right)
+    return None
+
+
+def _apply_binop(op: str, left: int, right: int) -> int:
+    """Shared integer semantics for binary operators."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ZeroDivisionError("division by zero")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise ZeroDivisionError("modulo by zero")
+        return left % right
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def parse(source: str) -> ProgramAst:
+    """Parse source text into a :class:`ProgramAst`."""
+    return _Parser(tokenize(source)).parse_program()

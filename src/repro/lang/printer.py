@@ -1,0 +1,98 @@
+"""Pretty-printer: AST → canonical source text.
+
+``parse(pretty(ast))`` reproduces an equivalent AST (the round-trip
+property the language tests verify), which makes compiled programs
+serializable and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ConstDecl,
+    Expr,
+    ExprStmt,
+    Field,
+    HandlerDecl,
+    If,
+    Name,
+    Number,
+    ProgramAst,
+    RegisterDecl,
+    Stmt,
+    String,
+    UnaryOp,
+    VarDecl,
+)
+
+INDENT = "    "
+
+
+def pretty(ast: ProgramAst) -> str:
+    """Render a full program as canonical source text."""
+    lines: List[str] = [f"program {ast.name};", ""]
+    for decl in ast.registers:
+        keyword = "shared_register" if decl.shared else "register"
+        lines.append(f"{keyword}<{decl.width_bits}>({decl.size}) {decl.name};")
+    for decl in ast.consts:
+        lines.append(f"const {decl.name} = {decl.value};")
+    if ast.registers or ast.consts:
+        lines.append("")
+    for handler in ast.handlers:
+        header = "init" if handler.event is None else f"on {handler.event}"
+        lines.append(f"{header} {{")
+        lines.extend(_stmts(handler.body, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _stmts(body, depth: int) -> List[str]:
+    pad = INDENT * depth
+    lines: List[str] = []
+    for stmt in body:
+        if isinstance(stmt, VarDecl):
+            lines.append(f"{pad}var {stmt.name} = {pretty_expr(stmt.value)};")
+        elif isinstance(stmt, Assign):
+            lines.append(f"{pad}{stmt.name} = {pretty_expr(stmt.value)};")
+        elif isinstance(stmt, ExprStmt):
+            lines.append(f"{pad}{pretty_expr(stmt.call)};")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({pretty_expr(stmt.condition)}) {{")
+            lines.extend(_stmts(stmt.then_body, depth + 1))
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_stmts(stmt.else_body, depth + 1))
+            lines.append(f"{pad}}}")
+    return lines
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render one expression (fully parenthesized where nested)."""
+    if isinstance(expr, Number):
+        return str(expr.value)
+    if isinstance(expr, String):
+        return f'"{expr.value}"'
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Field):
+        return f"{expr.obj}.{expr.field}"
+    if isinstance(expr, Call):
+        args = ", ".join(pretty_expr(arg) for arg in expr.args)
+        prefix = f"{expr.obj}." if expr.obj else ""
+        return f"{prefix}{expr.name}({args})"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}{_maybe_paren(expr.operand)}"
+    if isinstance(expr, BinOp):
+        return f"{_maybe_paren(expr.left)} {expr.op} {_maybe_paren(expr.right)}"
+    raise TypeError(f"cannot print {expr!r}")  # pragma: no cover
+
+
+def _maybe_paren(expr: Expr) -> str:
+    if isinstance(expr, (BinOp, UnaryOp)):
+        return f"({pretty_expr(expr)})"
+    return pretty_expr(expr)

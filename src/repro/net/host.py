@@ -1,0 +1,109 @@
+"""End hosts.
+
+A :class:`Host` has one NIC (port 0) attached to a link, a send path
+with NIC-rate serialization and a small transmit queue, and a receive
+path that fans out to registered sinks.  Traffic applications
+(:mod:`repro.workloads`) drive :meth:`send`; measurement code registers
+sinks to observe arrivals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.units import bytes_to_time_ps
+
+Sink = Callable[[Packet], None]
+
+
+class Host:
+    """A traffic-sourcing and -sinking endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        nic_rate_gbps: float = 10.0,
+        tx_queue_packets: int = 1024,
+    ) -> None:
+        if nic_rate_gbps <= 0:
+            raise ValueError(f"NIC rate must be positive, got {nic_rate_gbps}")
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.nic_rate_gbps = nic_rate_gbps
+        self.tx_queue_packets = tx_queue_packets
+        self._link = None  # set by Network.connect
+        self._tx_queue: Deque[Packet] = deque()
+        self._tx_busy = False
+        self._sinks: List[Sink] = []
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.received_packets = 0
+        self.received_bytes = 0
+        self.tx_drops = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, link) -> None:
+        """Called by the network when connecting this host."""
+        if self._link is not None:
+            raise RuntimeError(f"host {self.name!r} already attached")
+        self._link = link
+
+    def add_sink(self, sink: Sink) -> None:
+        """Register a receive observer."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Queue ``pkt`` for transmission; False if the NIC queue is full."""
+        if self._link is None:
+            raise RuntimeError(f"host {self.name!r} is not attached to a link")
+        if len(self._tx_queue) >= self.tx_queue_packets:
+            self.tx_drops += 1
+            return False
+        self._tx_queue.append(pkt)
+        self._pump()
+        return True
+
+    def _pump(self) -> None:
+        if self._tx_busy or not self._tx_queue:
+            return
+        self._tx_busy = True
+        pkt = self._tx_queue.popleft()
+        tx_ps = bytes_to_time_ps(pkt.wire_len, self.nic_rate_gbps)
+        self.sim.call_after(tx_ps, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self._tx_busy = False
+        self.sent_packets += 1
+        self.sent_bytes += pkt.total_len
+        self._link.transmit_from(self, pkt)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Receive path (LinkEndpoint interface)
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, port: int) -> None:
+        """A packet arrives from the link."""
+        self.received_packets += 1
+        self.received_bytes += pkt.total_len
+        for sink in self._sinks:
+            sink(pkt)
+
+    def set_link_status(self, port: int, up: bool) -> None:
+        """Hosts ignore link transitions (no data-plane program)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"Host({self.name!r}, ip={self.ip:#010x}, "
+            f"sent={self.sent_packets}, recv={self.received_packets})"
+        )

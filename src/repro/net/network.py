@@ -1,0 +1,135 @@
+"""Wiring switches, hosts, and links into a network.
+
+:class:`Network` owns the simulator, the nodes, and the links.  It
+routes each switch's transmit callback to the right link by output
+port, exposes a networkx graph view for route computation, and provides
+failure-injection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.arch.base import SwitchBase
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+
+
+class Network:
+    """A simulated network of switches, hosts, and links."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.switches: Dict[str, SwitchBase] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: List[Link] = []
+        # (switch name, port) -> link
+        self._switch_port_links: Dict[Tuple[str, int], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, switch: SwitchBase) -> SwitchBase:
+        """Register a switch and wire its transmit path."""
+        if switch.name in self.switches:
+            raise ValueError(f"duplicate switch name {switch.name!r}")
+        self.switches[switch.name] = switch
+        switch.set_tx_callback(self._make_tx(switch))
+        return switch
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def connect(
+        self,
+        node_a,
+        port_a: int,
+        node_b,
+        port_b: int,
+        latency_ps: int = 1_000_000,
+        name: Optional[str] = None,
+    ) -> Link:
+        """Create a link between two registered nodes."""
+        link_name = name or f"{self._node_name(node_a)}:{port_a}-{self._node_name(node_b)}:{port_b}"
+        link = Link(self.sim, node_a, port_a, node_b, port_b, latency_ps, link_name)
+        self.links.append(link)
+        for node, port in ((node_a, port_a), (node_b, port_b)):
+            if isinstance(node, SwitchBase):
+                key = (node.name, port)
+                if key in self._switch_port_links:
+                    raise ValueError(f"switch port {key} already connected")
+                self._switch_port_links[key] = link
+            elif isinstance(node, Host):
+                node.attach_link(link)
+            else:
+                raise TypeError(f"cannot connect node of type {type(node)}")
+        return link
+
+    def _make_tx(self, switch: SwitchBase):
+        def tx(pkt: Packet, port: int) -> None:
+            link = self._switch_port_links.get((switch.name, port))
+            if link is None:
+                return  # unconnected port: packet leaves the simulation
+            link.transmit_from(switch, pkt)
+
+        return tx
+
+    def _node_name(self, node) -> str:
+        return getattr(node, "name", repr(node))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def link_between(self, name_a: str, name_b: str) -> Optional[Link]:
+        """The first link joining two named nodes, or None."""
+        for link in self.links:
+            ends = {self._node_name(link.node_a), self._node_name(link.node_b)}
+            if ends == {name_a, name_b}:
+                return link
+        return None
+
+    def port_towards(self, switch_name: str, neighbor_name: str) -> Optional[int]:
+        """The port of ``switch_name`` facing ``neighbor_name``, or None."""
+        for (name, port), link in self._switch_port_links.items():
+            if name != switch_name:
+                continue
+            if self._node_name(link.other_end(self.switches[switch_name])) == neighbor_name:
+                return port
+        return None
+
+    def graph(self) -> "nx.Graph":
+        """A networkx view (nodes are names; edges carry the Link)."""
+        graph = nx.Graph()
+        for name in self.switches:
+            graph.add_node(name, kind="switch")
+        for name in self.hosts:
+            graph.add_node(name, kind="host")
+        for link in self.links:
+            graph.add_edge(
+                self._node_name(link.node_a),
+                self._node_name(link.node_b),
+                link=link,
+                latency_ps=link.latency_ps,
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Advance the shared simulator."""
+        return self.sim.run(until_ps=until_ps, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({len(self.switches)} switches, {len(self.hosts)} hosts, "
+            f"{len(self.links)} links)"
+        )

@@ -1,0 +1,69 @@
+"""Route computation over a :class:`~repro.net.network.Network`.
+
+Shortest paths come from networkx over the network graph; the helpers
+translate paths into the per-switch output ports that forwarding
+programs install in their tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def shortest_path_ports(
+    network: Network, src: str, dst: str, avoid_down_links: bool = True
+) -> List[Tuple[str, int]]:
+    """Per-switch (switch name, output port) hops from ``src`` to ``dst``.
+
+    ``src``/``dst`` are node names (hosts or switches).  When
+    ``avoid_down_links`` is set, failed links are excluded — the route a
+    control plane would compute after re-convergence.
+    """
+    graph = network.graph()
+    if avoid_down_links:
+        dead = [
+            (u, v) for u, v, data in graph.edges(data=True) if not data["link"].up
+        ]
+        graph.remove_edges_from(dead)
+    path = nx.shortest_path(graph, src, dst, weight="latency_ps")
+    hops: List[Tuple[str, int]] = []
+    for here, nxt in zip(path, path[1:]):
+        if here in network.switches:
+            port = network.port_towards(here, nxt)
+            if port is None:
+                raise ValueError(f"no port from {here} towards {nxt}")
+            hops.append((here, port))
+    return hops
+
+
+def all_pairs_ports(network: Network) -> Dict[Tuple[str, str], List[Tuple[str, int]]]:
+    """Shortest-path hops for every (host, host) pair."""
+    routes: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+    names = sorted(network.hosts)
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            routes[(src, dst)] = shortest_path_ports(network, src, dst)
+    return routes
+
+
+def install_ip_routes(
+    network: Network,
+    forwarding_tables: Dict[str, Dict[int, int]],
+) -> None:
+    """Populate per-switch {dst_ip: port} dicts from shortest paths.
+
+    ``forwarding_tables`` maps switch name → its (mutable) table; the
+    helper fills each with an entry per destination host IP.
+    """
+    for (src, dst), hops in all_pairs_ports(network).items():
+        dst_ip = network.hosts[dst].ip
+        for switch_name, port in hops:
+            table = forwarding_tables.get(switch_name)
+            if table is not None:
+                table[dst_ip] = port

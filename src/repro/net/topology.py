@@ -1,0 +1,151 @@
+"""Topology builders.
+
+Each builder assembles a :class:`~repro.net.network.Network` from a
+caller-supplied *switch factory* — ``factory(sim, name, port_count)`` —
+so the same topology can be instantiated with baseline PSA switches,
+logical event-driven switches, or SUME Event Switches for side-by-side
+experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.arch.base import SwitchBase
+from repro.arch.description import ArchitectureDescription
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+SwitchFactory = Callable[[Simulator, str, int], SwitchBase]
+
+
+def with_ports(description: ArchitectureDescription, port_count: int) -> ArchitectureDescription:
+    """A copy of ``description`` with a different port count."""
+    return dataclasses.replace(description, port_count=port_count)
+
+
+def _host_ip(index: int) -> int:
+    """10.0.x.y addressing for generated hosts."""
+    return 0x0A00_0000 + index + 1
+
+
+def build_linear(
+    factory: SwitchFactory,
+    switch_count: int = 3,
+    link_latency_ps: int = 1_000_000,
+    sim: Simulator = None,
+) -> Network:
+    """A chain: host h0 — s0 — s1 — … — s(n−1) — host h1.
+
+    Switch ports: 0 faces the previous hop, 1 the next hop.
+    """
+    if switch_count < 1:
+        raise ValueError(f"need at least one switch, got {switch_count}")
+    network = Network(sim)
+    switches = [
+        network.add_switch(factory(network.sim, f"s{i}", 2)) for i in range(switch_count)
+    ]
+    h0 = network.add_host(Host(network.sim, "h0", _host_ip(0)))
+    h1 = network.add_host(Host(network.sim, "h1", _host_ip(1)))
+    network.connect(h0, 0, switches[0], 0, latency_ps=link_latency_ps)
+    for left, right in zip(switches, switches[1:]):
+        network.connect(left, 1, right, 0, latency_ps=link_latency_ps)
+    network.connect(switches[-1], 1, h1, 0, latency_ps=link_latency_ps)
+    return network
+
+
+def build_dumbbell(
+    factory: SwitchFactory,
+    senders: int = 4,
+    receivers: int = 1,
+    link_latency_ps: int = 1_000_000,
+    sim: Simulator = None,
+) -> Network:
+    """The classic dumbbell: N senders → s0 — s1 → M receivers.
+
+    The s0→s1 link is the bottleneck.  Sender hosts are ``tx0..``,
+    receivers ``rx0..``.  On s0, port 0 faces s1 and ports 1.. face the
+    senders; on s1, port 0 faces s0 and ports 1.. face receivers.
+    """
+    if senders < 1 or receivers < 1:
+        raise ValueError("need at least one sender and one receiver")
+    network = Network(sim)
+    s0 = network.add_switch(factory(network.sim, "s0", senders + 1))
+    s1 = network.add_switch(factory(network.sim, "s1", receivers + 1))
+    network.connect(s0, 0, s1, 0, latency_ps=link_latency_ps)
+    for i in range(senders):
+        host = network.add_host(Host(network.sim, f"tx{i}", _host_ip(i)))
+        network.connect(host, 0, s0, i + 1, latency_ps=link_latency_ps)
+    for i in range(receivers):
+        host = network.add_host(Host(network.sim, f"rx{i}", _host_ip(100 + i)))
+        network.connect(host, 0, s1, i + 1, latency_ps=link_latency_ps)
+    return network
+
+
+@dataclass
+class LeafSpine:
+    """A built leaf-spine fabric and its wiring maps."""
+
+    network: Network
+    leaves: List[SwitchBase]
+    spines: List[SwitchBase]
+    hosts: Dict[str, List[Host]] = field(default_factory=dict)
+    #: leaf name -> list of spine-facing ports (index = spine index).
+    uplink_ports: Dict[str, List[int]] = field(default_factory=dict)
+    #: spine name -> list of leaf-facing ports (index = leaf index).
+    downlink_ports: Dict[str, List[int]] = field(default_factory=dict)
+    #: leaf name -> first host-facing port.
+    host_port_base: Dict[str, int] = field(default_factory=dict)
+
+
+def build_leaf_spine(
+    factory: SwitchFactory,
+    leaf_count: int = 2,
+    spine_count: int = 2,
+    hosts_per_leaf: int = 2,
+    link_latency_ps: int = 1_000_000,
+    sim: Simulator = None,
+) -> LeafSpine:
+    """A leaf-spine fabric (the HULA evaluation topology shape).
+
+    Leaf ports 0..spine_count−1 are uplinks (port j to spine j); ports
+    spine_count.. face hosts.  Spine ports 0..leaf_count−1 face leaves
+    (port i to leaf i).  Hosts are named ``h<leaf>_<i>``.
+    """
+    if leaf_count < 1 or spine_count < 1:
+        raise ValueError("need at least one leaf and one spine")
+    network = Network(sim)
+    leaves = [
+        network.add_switch(factory(network.sim, f"leaf{i}", spine_count + hosts_per_leaf))
+        for i in range(leaf_count)
+    ]
+    spines = [
+        network.add_switch(factory(network.sim, f"spine{j}", leaf_count))
+        for j in range(spine_count)
+    ]
+    fabric = LeafSpine(network=network, leaves=leaves, spines=spines)
+    for leaf_index, leaf in enumerate(leaves):
+        fabric.uplink_ports[leaf.name] = list(range(spine_count))
+        fabric.host_port_base[leaf.name] = spine_count
+        for spine_index, spine in enumerate(spines):
+            network.connect(
+                leaf, spine_index, spine, leaf_index, latency_ps=link_latency_ps
+            )
+        fabric.hosts[leaf.name] = []
+        for host_index in range(hosts_per_leaf):
+            host = Host(
+                network.sim,
+                f"h{leaf_index}_{host_index}",
+                _host_ip(leaf_index * hosts_per_leaf + host_index),
+            )
+            network.add_host(host)
+            network.connect(
+                host, 0, leaf, spine_count + host_index, latency_ps=link_latency_ps
+            )
+            fabric.hosts[leaf.name].append(host)
+    for spine_index, spine in enumerate(spines):
+        fabric.downlink_ports[spine.name] = list(range(leaf_count))
+    return fabric

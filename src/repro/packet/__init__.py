@@ -1,0 +1,63 @@
+"""Packet substrate: headers, packets, parsing, and hashing.
+
+Packets in the reproduction carry real, byte-serializable protocol
+headers (Ethernet / IPv4 / TCP / UDP plus the reproduction's probe and
+telemetry headers), so the programmable parser and deparser operate on
+genuine wire formats rather than opaque dictionaries.
+"""
+
+from repro.packet.headers import (
+    EtherType,
+    Ethernet,
+    Header,
+    HeaderField,
+    HulaProbe,
+    IntReport,
+    IpProto,
+    Ipv4,
+    KeyValue,
+    LivenessEcho,
+    Tcp,
+    Udp,
+)
+from repro.packet.hashing import crc16, crc32, fold_hash, flow_hash
+from repro.packet.packet import Packet, FiveTuple
+from repro.packet.parser import DeparseError, Deparser, ParseError, Parser, ParserState
+from repro.packet.builder import (
+    make_hula_probe,
+    make_liveness_echo,
+    make_kv_request,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+__all__ = [
+    "Header",
+    "HeaderField",
+    "Ethernet",
+    "Ipv4",
+    "Tcp",
+    "Udp",
+    "HulaProbe",
+    "LivenessEcho",
+    "IntReport",
+    "KeyValue",
+    "EtherType",
+    "IpProto",
+    "Packet",
+    "FiveTuple",
+    "Parser",
+    "ParserState",
+    "Deparser",
+    "ParseError",
+    "DeparseError",
+    "crc16",
+    "crc32",
+    "fold_hash",
+    "flow_hash",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "make_hula_probe",
+    "make_liveness_echo",
+    "make_kv_request",
+]

@@ -1,0 +1,173 @@
+"""Packet trace capture and replay.
+
+The paper's evaluation environments replay real traffic; we have none,
+so besides synthetic generators the reproduction supports a simple
+binary trace format — capture any experiment's packets, then replay
+them byte-exactly with original timing into another experiment.
+
+Format: an 8-byte magic header, then per record an 8-byte big-endian
+timestamp (picoseconds), a 4-byte length, and the packet bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, Iterator, List, Optional
+
+from repro.packet.packet import Packet
+from repro.packet.parser import Deparser, Parser, standard_parser
+from repro.sim.kernel import Simulator
+
+MAGIC = b"EVPPTRC1"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured packet: arrival time and wire bytes."""
+
+    ts_ps: int
+    data: bytes
+
+
+class TraceWriter:
+    """Writes trace records to a binary stream or file."""
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            self._stream: BinaryIO = open(target, "wb")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+        self._stream.write(MAGIC)
+        self.records_written = 0
+        self._deparser = Deparser()
+        self._last_ts = -1
+
+    def write(self, ts_ps: int, data: bytes) -> None:
+        """Append one raw record; timestamps must be non-decreasing."""
+        if ts_ps < 0:
+            raise ValueError(f"timestamp must be non-negative, got {ts_ps}")
+        if ts_ps < self._last_ts:
+            raise ValueError(
+                f"timestamps must be non-decreasing ({ts_ps} < {self._last_ts})"
+            )
+        self._last_ts = ts_ps
+        self._stream.write(ts_ps.to_bytes(8, "big"))
+        self._stream.write(len(data).to_bytes(4, "big"))
+        self._stream.write(data)
+        self.records_written += 1
+
+    def write_packet(self, ts_ps: int, pkt: Packet) -> None:
+        """Deparse and append one packet."""
+        self.write(ts_ps, self._deparser.deparse(pkt))
+
+    def sink(self, sim: Simulator) -> Callable[[Packet], None]:
+        """A host/switch sink that captures packets at current sim time."""
+
+        def capture(pkt: Packet) -> None:
+            self.write_packet(sim.now_ps, pkt)
+
+        return capture
+
+    def close(self) -> None:
+        """Flush and close (closes the file only if we opened it)."""
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Reads trace records from a binary stream or file."""
+
+    def __init__(self, source) -> None:
+        if isinstance(source, (str, os.PathLike)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns = True
+        else:
+            self._stream = source
+            self._owns = False
+        magic = self._stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"not a trace file (bad magic {magic!r})")
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        while True:
+            header = self._stream.read(12)
+            if not header:
+                return
+            if len(header) < 12:
+                raise ValueError("truncated trace record header")
+            ts_ps = int.from_bytes(header[:8], "big")
+            length = int.from_bytes(header[8:12], "big")
+            data = self._stream.read(length)
+            if len(data) < length:
+                raise ValueError("truncated trace record body")
+            yield TraceRecord(ts_ps=ts_ps, data=data)
+
+    def read_all(self) -> List[TraceRecord]:
+        """Materialize every record."""
+        return list(self)
+
+    def close(self) -> None:
+        """Close (the file only if we opened it)."""
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReplayer:
+    """Replays a trace into a send function with original timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        records: List[TraceRecord],
+        send: Callable[[Packet], object],
+        parser: Optional[Parser] = None,
+        offset_ps: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time scale must be positive, got {time_scale}")
+        self.sim = sim
+        self.records = list(records)
+        self.send = send
+        self.parser = parser or standard_parser()
+        self.offset_ps = offset_ps
+        self.time_scale = time_scale
+        self.packets_replayed = 0
+
+    def schedule(self) -> int:
+        """Schedule every record; returns the number scheduled.
+
+        Record timestamps are normalized so the first packet fires at
+        ``offset_ps``; ``time_scale`` stretches (>1) or compresses (<1)
+        the inter-arrival gaps.
+        """
+        if not self.records:
+            return 0
+        base = self.records[0].ts_ps
+        for record in self.records:
+            when = self.offset_ps + int((record.ts_ps - base) * self.time_scale)
+            self.sim.call_at(max(when, self.sim.now_ps), self._fire, record)
+        return len(self.records)
+
+    def _fire(self, record: TraceRecord) -> None:
+        pkt = self.parser.parse(record.data, ts_ps=self.sim.now_ps)
+        pkt.ts_created_ps = self.sim.now_ps
+        self.packets_replayed += 1
+        self.send(pkt)

@@ -1,0 +1,92 @@
+"""Match-action table actions.
+
+An :class:`Action` is a named callable bound with compile-time parameter
+names; a :class:`ActionCall` is that action plus the control-plane
+supplied argument values, as stored in a table entry.  Actions receive
+the packet and its standard metadata, mirroring P4 action bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+ActionFn = Callable[..., None]
+
+
+class Action:
+    """A named data-plane action with declared parameters.
+
+    The wrapped function is invoked as ``fn(pkt, meta, **params)``.
+    """
+
+    def __init__(self, name: str, fn: ActionFn, param_names: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.fn = fn
+        self.param_names = param_names
+
+    def bind(self, **params: int) -> "ActionCall":
+        """Bind control-plane arguments, validating names."""
+        missing = set(self.param_names) - set(params)
+        extra = set(params) - set(self.param_names)
+        if missing:
+            raise TypeError(f"action {self.name!r} missing params {sorted(missing)}")
+        if extra:
+            raise TypeError(f"action {self.name!r} unknown params {sorted(extra)}")
+        return ActionCall(self, params)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r}, params={list(self.param_names)})"
+
+
+class ActionCall:
+    """An action with bound parameters, ready to execute on a packet."""
+
+    def __init__(self, action: Action, params: Dict[str, int]) -> None:
+        self.action = action
+        self.params = dict(params)
+
+    def execute(self, pkt: Packet, meta: StandardMetadata) -> None:
+        """Run the action body."""
+        self.action.fn(pkt, meta, **self.params)
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.action.name}({args})"
+
+
+# ----------------------------------------------------------------------
+# Library of common actions
+# ----------------------------------------------------------------------
+def _forward(pkt: Packet, meta: StandardMetadata, port: int) -> None:
+    meta.send_to_port(port)
+
+
+def _drop(pkt: Packet, meta: StandardMetadata) -> None:
+    meta.drop()
+
+
+def _send_to_cpu(pkt: Packet, meta: StandardMetadata) -> None:
+    meta.send_to_cpu()
+
+
+def _set_priority(pkt: Packet, meta: StandardMetadata, priority: int) -> None:
+    meta.priority = priority
+
+
+def _noop(pkt: Packet, meta: StandardMetadata) -> None:
+    return None
+
+
+#: Forward out of a given port.
+FORWARD = Action("forward", _forward, ("port",))
+#: Drop the packet.
+DROP = Action("drop", _drop)
+#: Punt to the control plane.
+TO_CPU = Action("send_to_cpu", _send_to_cpu)
+#: Set scheduling priority.
+SET_PRIORITY = Action("set_priority", _set_priority, ("priority",))
+#: Do nothing (the P4 NoAction).
+NO_ACTION = Action("NoAction", _noop)

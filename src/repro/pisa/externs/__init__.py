@@ -1,0 +1,30 @@
+"""Stateful externs exposed to data-plane programs.
+
+An *extern* is an element whose functionality is not described in P4;
+the architecture exposes it to programs through a typed interface
+(paper §2).  The reproduction provides the externs of baseline PISA
+targets (``Register``, ``Counter``, ``Meter``, sketches) plus the
+paper's new ``SharedRegister``, which multiple event-handling threads
+may read and write, and the PIFO priority queue used for programmable
+scheduling.
+"""
+
+from repro.pisa.externs.register import Register, SharedRegister
+from repro.pisa.externs.counter import Counter
+from repro.pisa.externs.meter import Meter, MeterColor
+from repro.pisa.externs.sketch import BloomFilter, CountMinSketch
+from repro.pisa.externs.pifo import PifoQueue
+from repro.pisa.externs.window import ShiftRegister, SlidingWindow
+
+__all__ = [
+    "Register",
+    "SharedRegister",
+    "Counter",
+    "Meter",
+    "MeterColor",
+    "CountMinSketch",
+    "BloomFilter",
+    "PifoQueue",
+    "ShiftRegister",
+    "SlidingWindow",
+]

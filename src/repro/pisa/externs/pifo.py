@@ -1,0 +1,97 @@
+"""Push-In-First-Out (PIFO) priority queue extern.
+
+Sivaraman et al. (SIGCOMM 2016) proposed the PIFO as the universal
+scheduling primitive: entries are pushed with a *rank* and always popped
+in rank order.  The paper (§3, traffic management) combines PIFOs with
+event-driven programming to build complete programmable packet
+schedulers; :mod:`repro.tm.scheduler` uses this extern for its
+programmable scheduling policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class PifoQueue(Generic[T]):
+    """A bounded push-in-first-out queue.
+
+    ``push(rank, item)`` inserts at the position given by ``rank``;
+    ``pop()`` removes the minimum-rank item.  Ties break FIFO (stable),
+    matching the hardware PIFO design.  When full, pushes whose rank is
+    worse than the current maximum are rejected; otherwise the
+    worst-ranked entry is evicted — the "push out the tail" behaviour of
+    a fixed-size PIFO block.
+    """
+
+    def __init__(self, capacity: int, name: str = "pifo") -> None:
+        if capacity <= 0:
+            raise ValueError(f"PIFO capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = itertools.count()
+        self.push_count = 0
+        self.reject_count = 0
+        self.evict_count = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True when at capacity."""
+        return len(self._heap) >= self.capacity
+
+    def push(self, rank: int, item: T) -> Optional[T]:
+        """Insert ``item`` at ``rank``.
+
+        Returns the evicted item if the queue was full and this push
+        displaced the tail, or the pushed item itself if it was rejected
+        (rank no better than the tail); returns None on a clean insert.
+        """
+        self.push_count += 1
+        if self.full:
+            worst_rank = max(entry[0] for entry in self._heap)
+            if rank >= worst_rank:
+                self.reject_count += 1
+                return item
+            evicted = self._evict_worst()
+            self.evict_count += 1
+            heapq.heappush(self._heap, (rank, next(self._seq), item))
+            return evicted
+        heapq.heappush(self._heap, (rank, next(self._seq), item))
+        return None
+
+    def pop(self) -> T:
+        """Remove and return the minimum-rank item (FIFO among ties)."""
+        if not self._heap:
+            raise IndexError(f"pop from empty PIFO {self.name!r}")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_rank(self) -> Optional[int]:
+        """Rank of the head item, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def _evict_worst(self) -> T:
+        worst_pos = max(
+            range(len(self._heap)),
+            key=lambda i: (self._heap[i][0], self._heap[i][1]),
+        )
+        entry = self._heap.pop(worst_pos)
+        heapq.heapify(self._heap)
+        return entry[2]
+
+    def drain(self) -> List[T]:
+        """Pop everything, in rank order."""
+        items = []
+        while self._heap:
+            items.append(self.pop())
+        return items
+
+    def __repr__(self) -> str:
+        return f"PifoQueue({self.name!r}, {len(self)}/{self.capacity})"

@@ -1,0 +1,79 @@
+"""Standard metadata carried alongside each packet through a pipeline.
+
+Mirrors the PSA/v1model standard metadata: ingress port, egress
+specification, drop and recirculate flags, queueing information filled
+in by the traffic manager, and the enqueue/dequeue metadata the paper's
+programming model initializes in the ingress control ("initialize enq &
+deq metadata for this pkt" in microburst.p4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Egress specification value meaning "drop the packet".
+DROP_PORT = -1
+#: Egress specification value meaning "send to the control plane (CPU)".
+CPU_PORT = -2
+#: Egress specification value meaning "recirculate to ingress".
+RECIRCULATE_PORT = -3
+
+
+@dataclass
+class StandardMetadata:
+    """Per-packet standard metadata.
+
+    ``egress_spec`` is set by the ingress control block; the special
+    values :data:`DROP_PORT`, :data:`CPU_PORT` and
+    :data:`RECIRCULATE_PORT` steer the packet away from the output
+    ports.  ``enq_meta`` / ``deq_meta`` are the user-initialized
+    dictionaries that the traffic manager copies into the enqueue and
+    dequeue events it fires for this packet.
+    """
+
+    ingress_port: int = 0
+    egress_spec: Optional[int] = None
+    egress_port: Optional[int] = None
+    packet_length: int = 0
+    priority: int = 0
+    queue_id: int = 0
+    ingress_timestamp_ps: int = 0
+    egress_timestamp_ps: int = 0
+    enq_qdepth_bytes: int = 0
+    deq_qdepth_bytes: int = 0
+    enq_meta: Dict[str, int] = field(default_factory=dict)
+    deq_meta: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> bool:
+        """True when the ingress control asked for a drop."""
+        return self.egress_spec == DROP_PORT
+
+    @property
+    def to_cpu(self) -> bool:
+        """True when the packet is punted to the control plane."""
+        return self.egress_spec == CPU_PORT
+
+    @property
+    def recirculate(self) -> bool:
+        """True when the packet should be recirculated to ingress."""
+        return self.egress_spec == RECIRCULATE_PORT
+
+    def drop(self) -> None:
+        """Mark the packet for dropping."""
+        self.egress_spec = DROP_PORT
+
+    def send_to_port(self, port: int) -> None:
+        """Forward the packet out of ``port``."""
+        if port < 0:
+            raise ValueError(f"port must be non-negative, got {port}")
+        self.egress_spec = port
+
+    def send_to_cpu(self) -> None:
+        """Punt the packet to the control plane."""
+        self.egress_spec = CPU_PORT
+
+    def request_recirculation(self) -> None:
+        """Ask the architecture to recirculate the packet to ingress."""
+        self.egress_spec = RECIRCULATE_PORT

@@ -1,0 +1,90 @@
+"""A physical match-action stage.
+
+PISA hardware lays control logic out across a fixed number of physical
+stages; stateful externs live in exactly one stage's local memory and
+are only reachable from that stage (the root of the paper's §4 state-
+distribution problem).  :class:`Stage` models that placement: it owns a
+set of tables and externs, and the cycle-level simulator in
+:mod:`repro.state.cyclesim` charges memory-port usage per stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pisa.table import Table
+
+
+class Stage:
+    """One physical pipeline stage with local tables and extern memory.
+
+    ``memory_ports`` is the number of simultaneous register accesses the
+    stage's local SRAM can serve per clock cycle (1 for single-ported
+    memory — the high-line-rate case the paper's §4 designs around).
+    """
+
+    def __init__(self, index: int, memory_ports: int = 1) -> None:
+        if memory_ports <= 0:
+            raise ValueError(f"memory ports must be positive, got {memory_ports}")
+        self.index = index
+        self.memory_ports = memory_ports
+        self.tables: Dict[str, Table] = {}
+        self.externs: Dict[str, object] = {}
+
+    def place_table(self, table: Table) -> None:
+        """Place a table in this stage."""
+        if table.name in self.tables:
+            raise ValueError(f"stage {self.index} already has table {table.name!r}")
+        self.tables[table.name] = table
+
+    def place_extern(self, name: str, extern: object) -> None:
+        """Place a stateful extern in this stage's local memory."""
+        if name in self.externs:
+            raise ValueError(f"stage {self.index} already has extern {name!r}")
+        self.externs[name] = extern
+
+    def __repr__(self) -> str:
+        return (
+            f"Stage({self.index}, tables={list(self.tables)}, "
+            f"externs={list(self.externs)}, ports={self.memory_ports})"
+        )
+
+
+class StageAllocator:
+    """Assigns tables and externs to stages in declaration order.
+
+    A simple first-fit allocator standing in for a P4 compiler's
+    placement phase: each stage takes at most ``tables_per_stage`` tables
+    and ``externs_per_stage`` externs.
+    """
+
+    def __init__(
+        self,
+        stage_count: int,
+        tables_per_stage: int = 4,
+        externs_per_stage: int = 4,
+        memory_ports: int = 1,
+    ) -> None:
+        if stage_count <= 0:
+            raise ValueError(f"stage count must be positive, got {stage_count}")
+        self.stages: List[Stage] = [
+            Stage(i, memory_ports=memory_ports) for i in range(stage_count)
+        ]
+        self.tables_per_stage = tables_per_stage
+        self.externs_per_stage = externs_per_stage
+
+    def allocate_table(self, table: Table) -> Stage:
+        """Place ``table`` in the first stage with a free table slot."""
+        for stage in self.stages:
+            if len(stage.tables) < self.tables_per_stage:
+                stage.place_table(table)
+                return stage
+        raise OverflowError(f"no stage has room for table {table.name!r}")
+
+    def allocate_extern(self, name: str, extern: object) -> Stage:
+        """Place ``extern`` in the first stage with a free extern slot."""
+        for stage in self.stages:
+            if len(stage.externs) < self.externs_per_stage:
+                stage.place_extern(name, extern)
+                return stage
+        raise OverflowError(f"no stage has room for extern {name!r}")

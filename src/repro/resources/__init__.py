@@ -1,0 +1,53 @@
+"""FPGA resource model (paper Table 3).
+
+The paper reports that adding event support to the SUME Event Switch
+costs at most 2% additional resources on a Xilinx Virtex-7 FPGA:
++0.5% LUTs, +0.4% flip-flops, +2.0% block RAM.  We cannot synthesize
+Verilog here, so the reproduction uses a *structural cost model*: every
+architectural component (parser states, match-action stages, tables,
+register externs, queues, and the event-specific blocks — Event Merger,
+timer unit, packet generator, link monitor, event metadata bus) carries
+a LUT/FF/BRAM estimate, calibrated against the published capacities of
+the SUME's XC7V690T part and the P4→NetFPGA reference switch reports.
+The Table 3 bench assembles a reference switch and an event switch from
+these components and reports the percentage increase.
+"""
+
+from repro.resources.model import (
+    Component,
+    ResourceVector,
+    SwitchBudget,
+    estimate_parser,
+    estimate_pipeline_stage,
+    estimate_register,
+    estimate_table,
+)
+from repro.resources.virtex7 import VIRTEX7_690T, DeviceCapacity
+from repro.resources.report import (
+    event_switch_build,
+    reference_switch_build,
+    table3_rows,
+)
+from repro.resources.programs import (
+    application_cost_rows,
+    estimate_extern,
+    estimate_program,
+)
+
+__all__ = [
+    "ResourceVector",
+    "Component",
+    "SwitchBudget",
+    "estimate_register",
+    "estimate_table",
+    "estimate_parser",
+    "estimate_pipeline_stage",
+    "DeviceCapacity",
+    "VIRTEX7_690T",
+    "reference_switch_build",
+    "event_switch_build",
+    "table3_rows",
+    "estimate_program",
+    "estimate_extern",
+    "application_cost_rows",
+]

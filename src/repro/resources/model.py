@@ -1,0 +1,212 @@
+"""Structural resource estimation.
+
+Each architectural component carries a :class:`ResourceVector` of LUTs,
+flip-flops, and 36Kb block RAMs.  Per-component estimates follow the
+usual FPGA sizing rules of thumb:
+
+* a register/table memory of ``bits`` capacity occupies
+  ``ceil(bits / 36Kb)`` BRAMs plus a little RMW/match logic,
+* pipeline registers (the metadata bus) cost flip-flops proportional to
+  bus width per stage,
+* small FSMs (parser states, timers, monitors) cost tens-to-hundreds of
+  LUTs/FFs.
+
+Absolute numbers are calibrated, not synthesized (see the subpackage
+docstring); *relative* accounting — which blocks event support adds and
+how they compare to a reference switch — is the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.packet.parser import Parser
+from repro.resources.virtex7 import DeviceCapacity
+
+BRAM_BITS = 36 * 1024
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A (LUTs, flip-flops, BRAMs) triple with vector arithmetic."""
+
+    luts: float = 0.0
+    flip_flops: float = 0.0
+    bram_36kb: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.flip_flops + other.flip_flops,
+            self.bram_36kb + other.bram_36kb,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """This vector times ``factor``."""
+        return ResourceVector(
+            self.luts * factor, self.flip_flops * factor, self.bram_36kb * factor
+        )
+
+    def percent_of(self, device: DeviceCapacity) -> Dict[str, float]:
+        """Utilization of ``device``, in percent per resource class."""
+        return {
+            "luts": 100.0 * self.luts / device.luts,
+            "flip_flops": 100.0 * self.flip_flops / device.flip_flops,
+            "bram": 100.0 * self.bram_36kb / device.bram_36kb,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceVector(luts={self.luts:.0f}, ffs={self.flip_flops:.0f}, "
+            f"bram={self.bram_36kb:.1f})"
+        )
+
+
+ZERO = ResourceVector()
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named block with its resource estimate."""
+
+    name: str
+    vector: ResourceVector
+    category: str = "logic"
+
+
+# ----------------------------------------------------------------------
+# Per-component estimators
+# ----------------------------------------------------------------------
+def estimate_register(size: int, width_bits: int = 32) -> ResourceVector:
+    """A register-array extern: BRAM for storage, LUTs for RMW logic."""
+    if size <= 0 or width_bits <= 0:
+        raise ValueError("register size and width must be positive")
+    bits = size * width_bits
+    brams = max(1, math.ceil(bits / BRAM_BITS))
+    return ResourceVector(luts=180 + width_bits * 2, flip_flops=width_bits * 4, bram_36kb=brams)
+
+
+def estimate_table(entries: int, key_bits: int, kind: str = "exact") -> ResourceVector:
+    """A match-action table.
+
+    Exact tables hash into BRAM; ternary tables burn LUTs as TCAM
+    emulation (the standard FPGA trade-off), LPM sits between.
+    """
+    if entries <= 0 or key_bits <= 0:
+        raise ValueError("table entries and key width must be positive")
+    entry_bits = key_bits + 64  # key + action data/overhead
+    storage_bits = entries * entry_bits
+    if kind == "exact":
+        return ResourceVector(
+            luts=400,
+            flip_flops=key_bits * 4,
+            bram_36kb=max(1, math.ceil(storage_bits / BRAM_BITS)),
+        )
+    if kind == "lpm":
+        return ResourceVector(
+            luts=700 + key_bits * 6,
+            flip_flops=key_bits * 6,
+            bram_36kb=max(1, math.ceil(2 * storage_bits / BRAM_BITS)),
+        )
+    if kind == "ternary":
+        # LUT-based CAM emulation: cost scales with entries * key bits.
+        return ResourceVector(
+            luts=entries * key_bits / 4,
+            flip_flops=entries * key_bits / 2,
+            bram_36kb=0,
+        )
+    raise ValueError(f"unknown table kind {kind!r}")
+
+
+def estimate_parser(parser: Parser) -> ResourceVector:
+    """A programmable parser: one extract/select FSM node per state."""
+    per_state = ResourceVector(luts=280, flip_flops=420, bram_36kb=0)
+    return per_state.scaled(parser.state_count)
+
+
+def estimate_pipeline_stage(bus_width_bits: int = 512) -> ResourceVector:
+    """One match-action stage's fixed logic plus its pipeline registers."""
+    if bus_width_bits <= 0:
+        raise ValueError("bus width must be positive")
+    return ResourceVector(
+        luts=900 + bus_width_bits / 4,
+        flip_flops=bus_width_bits * 2,
+        bram_36kb=0,
+    )
+
+
+def estimate_metadata_bus_widening(
+    extra_bits: int, stage_count: int
+) -> ResourceVector:
+    """Widening the per-stage metadata bus to carry event words."""
+    if extra_bits < 0 or stage_count <= 0:
+        raise ValueError("extra bits must be >= 0 and stages positive")
+    per_stage = ResourceVector(
+        luts=extra_bits / 4, flip_flops=extra_bits * 2, bram_36kb=0
+    )
+    return per_stage.scaled(stage_count)
+
+
+def estimate_fifo(depth: int, width_bits: int) -> ResourceVector:
+    """A FIFO (queue memory + pointers)."""
+    if depth <= 0 or width_bits <= 0:
+        raise ValueError("depth and width must be positive")
+    bits = depth * width_bits
+    return ResourceVector(
+        luts=60,
+        flip_flops=90,
+        bram_36kb=max(1, math.ceil(bits / BRAM_BITS)),
+    )
+
+
+def estimate_mac_port() -> ResourceVector:
+    """One 10GbE MAC + AXI-Stream plumbing."""
+    return ResourceVector(luts=9_000, flip_flops=12_000, bram_36kb=18)
+
+
+def estimate_dma_engine() -> ResourceVector:
+    """PCIe DMA engine (the SUME reference design's host path)."""
+    return ResourceVector(luts=26_000, flip_flops=34_000, bram_36kb=60)
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+class SwitchBudget:
+    """A named collection of components with resource totals."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.components: List[Component] = []
+
+    def add(self, name: str, vector: ResourceVector, category: str = "logic") -> None:
+        """Add a component."""
+        self.components.append(Component(name, vector, category))
+
+    def extend(self, other: "SwitchBudget") -> None:
+        """Absorb another budget's components."""
+        self.components.extend(other.components)
+
+    def total(self) -> ResourceVector:
+        """Sum across components."""
+        acc = ZERO
+        for component in self.components:
+            acc = acc + component.vector
+        return acc
+
+    def total_category(self, category: str) -> ResourceVector:
+        """Sum across components of one category."""
+        acc = ZERO
+        for component in self.components:
+            if component.category == category:
+                acc = acc + component.vector
+        return acc
+
+    def utilization(self, device: DeviceCapacity) -> Dict[str, float]:
+        """Percent utilization of ``device``."""
+        return self.total().percent_of(device)
+
+    def __repr__(self) -> str:
+        return f"SwitchBudget({self.name!r}, {len(self.components)} components)"

@@ -1,0 +1,125 @@
+"""Per-program resource estimation.
+
+An extension of the Table 3 model: estimate what each *application*
+adds on top of the event switch, from its declared externs and
+handlers.  This answers the practical deployment question the paper's
+resource table raises — if event support itself is ~2%, what do the §3
+programs cost on top?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.arch.program import P4Program
+from repro.pisa.externs.counter import Counter
+from repro.pisa.externs.meter import Meter
+from repro.pisa.externs.pifo import PifoQueue
+from repro.pisa.externs.register import Register
+from repro.pisa.externs.sketch import BloomFilter, CountMinSketch
+from repro.pisa.externs.window import ShiftRegister, SlidingWindow
+from repro.resources.model import BRAM_BITS, ResourceVector, estimate_register
+from repro.resources.virtex7 import VIRTEX7_690T, DeviceCapacity
+
+#: Control logic per event handler (comparison/branch/ALU slice).
+HANDLER_LOGIC = ResourceVector(luts=350, flip_flops=500, bram_36kb=0)
+
+
+def estimate_extern(extern: object) -> ResourceVector:
+    """Resource estimate for one extern instance."""
+    if isinstance(extern, Register):
+        return estimate_register(extern.size, extern.width_bits)
+    if isinstance(extern, Counter):
+        return estimate_register(extern.size, 64)
+    if isinstance(extern, Meter):
+        # Two bucket levels + timestamp per index, plus refill logic.
+        storage = estimate_register(extern.size, 96)
+        return storage + ResourceVector(luts=300, flip_flops=200, bram_36kb=0)
+    if isinstance(extern, CountMinSketch):
+        rows = ResourceVector()
+        for _row in range(extern.depth):
+            rows = rows + estimate_register(extern.width, 32)
+        # One hash unit per row.
+        return rows + ResourceVector(
+            luts=220 * extern.depth, flip_flops=150 * extern.depth, bram_36kb=0
+        )
+    if isinstance(extern, BloomFilter):
+        brams = max(1, math.ceil(extern.bits / BRAM_BITS))
+        return ResourceVector(
+            luts=220 * extern.hashes, flip_flops=150 * extern.hashes, bram_36kb=brams
+        )
+    if isinstance(extern, PifoQueue):
+        # A PIFO block is expensive: shift-register-based priority
+        # insertion scales with capacity.
+        return ResourceVector(
+            luts=extern.capacity * 8,
+            flip_flops=extern.capacity * 16,
+            bram_36kb=max(1, math.ceil(extern.capacity * 128 / BRAM_BITS)),
+        )
+    if isinstance(extern, ShiftRegister):
+        return estimate_register(extern.slots, 32)
+    if isinstance(extern, SlidingWindow):
+        return estimate_register(extern.size * extern.slots, 32)
+    return ResourceVector()
+
+
+def estimate_program(program: P4Program) -> ResourceVector:
+    """Total estimate for a program: externs + handler logic."""
+    total = ResourceVector()
+    for _name, extern in program.externs():
+        total = total + estimate_extern(extern)
+    total = total + HANDLER_LOGIC.scaled(len(program.handled_events()))
+    return total
+
+
+def application_cost_rows(
+    device: DeviceCapacity = VIRTEX7_690T,
+) -> List[Dict[str, object]]:
+    """The extension table: per-application cost on the event switch."""
+    from repro.apps.aqm import FredAqm, RedAqm
+    from repro.apps.ecn import MultiBitEcnProgram
+    from repro.apps.flow_rate import FlowRateMonitor
+    from repro.apps.frr import FastRerouteProgram
+    from repro.apps.heavy_hitters import HeavyHitterDetector
+    from repro.apps.hula import HulaLeafProgram
+    from repro.apps.liveness import LivenessMonitor
+    from repro.apps.microburst import MicroburstDetector
+    from repro.apps.netcache import NetCacheProgram
+    from repro.apps.policing import TimerTokenBucketPolicer
+    from repro.apps.scheduling import WfqSchedulerProgram
+    from repro.apps.snappy import SnappyDetector
+
+    applications: List[Tuple[str, P4Program]] = [
+        ("microburst (event-driven)", MicroburstDetector()),
+        ("microburst (Snappy baseline)", SnappyDetector()),
+        ("HULA leaf", HulaLeafProgram(tor_id=0, uplink_ports=[0, 1], tor_count=4)),
+        ("fast re-route", FastRerouteProgram()),
+        ("liveness monitor", LivenessMonitor(switch_id=0, neighbor_ports=[0, 1, 2])),
+        ("flow-rate windows", FlowRateMonitor()),
+        ("FRED AQM", FredAqm()),
+        ("RED AQM", RedAqm()),
+        ("timer token bucket", TimerTokenBucketPolicer()),
+        ("heavy hitters (CMS)", HeavyHitterDetector()),
+        ("NetCache", NetCacheProgram()),
+        ("WFQ scheduler", WfqSchedulerProgram()),
+        ("multi-bit ECN", MultiBitEcnProgram(buffer_capacity_bytes=64 * 1024)),
+    ]
+    rows = []
+    for name, program in applications:
+        vector = estimate_program(program)
+        if isinstance(program, WfqSchedulerProgram):
+            # The scheduler's PIFO block lives in the traffic manager,
+            # not the program; price the capacity the WFQ experiment
+            # configures.
+            vector = vector + estimate_extern(PifoQueue(512, name="sched_pifo"))
+        percent = vector.percent_of(device)
+        rows.append(
+            {
+                "application": name,
+                "state_bits": program.state_bits(),
+                "luts_percent": round(percent["luts"], 3),
+                "bram_percent": round(percent["bram"], 3),
+            }
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""Table 3: the cost of adding event support.
+
+Builds the SUME reference switch and the SUME Event Switch out of the
+component estimators and reports the *increase* as a percentage of the
+total Virtex-7 resources — the exact quantity of the paper's Table 3:
+
+    FPGA Resource | % Increase
+    Lookup Tables |   0.5
+    Flip Flops    |   0.4
+    Block RAM     |   2.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.events import EventType
+from repro.packet.parser import standard_parser
+from repro.resources.model import (
+    ResourceVector,
+    SwitchBudget,
+    estimate_dma_engine,
+    estimate_fifo,
+    estimate_mac_port,
+    estimate_metadata_bus_widening,
+    estimate_parser,
+    estimate_pipeline_stage,
+    estimate_register,
+    estimate_table,
+)
+from repro.resources.virtex7 import VIRTEX7_690T, DeviceCapacity
+
+#: Width of one event's metadata word on the widened bus (flow id,
+#: length, queue id, depth — matching the SUME event metadata format).
+EVENT_WORD_BITS = 96
+
+
+def reference_switch_build(
+    stage_count: int = 8,
+    port_count: int = 4,
+    queue_capacity_bytes: int = 64 * 1024,
+) -> SwitchBudget:
+    """The P4→NetFPGA reference switch (no event support)."""
+    budget = SwitchBudget("sume-reference-switch")
+    for port in range(port_count):
+        budget.add(f"mac{port}", estimate_mac_port(), category="infrastructure")
+    budget.add("dma", estimate_dma_engine(), category="infrastructure")
+    budget.add("parser", estimate_parser(standard_parser()), category="pipeline")
+    for stage in range(stage_count):
+        budget.add(
+            f"stage{stage}", estimate_pipeline_stage(bus_width_bits=512), category="pipeline"
+        )
+    budget.add(
+        "forwarding_table",
+        estimate_table(entries=1024, key_bits=48, kind="exact"),
+        category="pipeline",
+    )
+    budget.add(
+        "ip_lpm_table",
+        estimate_table(entries=512, key_bits=32, kind="lpm"),
+        category="pipeline",
+    )
+    for port in range(port_count):
+        budget.add(
+            f"output_queue{port}",
+            estimate_fifo(depth=queue_capacity_bytes // 32, width_bits=256),
+            category="queues",
+        )
+    budget.add("deparser", estimate_parser(standard_parser()).scaled(0.5), category="pipeline")
+    return budget
+
+
+def event_logic_build(
+    stage_count: int = 8,
+    event_kinds: int = 9,
+) -> SwitchBudget:
+    """Just the blocks event support adds (paper Figure 4's new boxes).
+
+    * the Event Merger with one small metadata FIFO per event kind,
+    * the timer unit,
+    * the configurable packet generator (template memory in BRAM),
+    * the link status monitor,
+    * a drop/enq/deq event tap on the output queues,
+    * metadata bus widening to carry the event words through the
+      pipeline.
+    """
+    budget = SwitchBudget("event-logic")
+    merger_control = ResourceVector(luts=600, flip_flops=600, bram_36kb=0)
+    budget.add("event_merger.control", merger_control, category="events")
+    for kind in range(event_kinds):
+        budget.add(
+            f"event_merger.fifo{kind}",
+            estimate_fifo(depth=256, width_bits=EVENT_WORD_BITS),
+            category="events",
+        )
+    budget.add(
+        "timer_unit",
+        ResourceVector(luts=120, flip_flops=150, bram_36kb=0),
+        category="events",
+    )
+    budget.add(
+        "packet_generator",
+        ResourceVector(luts=300, flip_flops=300, bram_36kb=10),
+        category="events",
+    )
+    budget.add(
+        "link_status_monitor",
+        ResourceVector(luts=80, flip_flops=60, bram_36kb=0),
+        category="events",
+    )
+    budget.add(
+        "queue_event_tap",
+        ResourceVector(luts=160, flip_flops=200, bram_36kb=10),
+        category="events",
+    )
+    budget.add(
+        "event_metadata_bus",
+        estimate_metadata_bus_widening(EVENT_WORD_BITS, stage_count),
+        category="events",
+    )
+    return budget
+
+
+def event_switch_build(
+    stage_count: int = 8,
+    port_count: int = 4,
+    queue_capacity_bytes: int = 64 * 1024,
+) -> SwitchBudget:
+    """The full SUME Event Switch: reference switch + event logic."""
+    budget = SwitchBudget("sume-event-switch")
+    budget.extend(reference_switch_build(stage_count, port_count, queue_capacity_bytes))
+    budget.extend(event_logic_build(stage_count))
+    return budget
+
+
+def table3_rows(device: DeviceCapacity = VIRTEX7_690T) -> List[Dict[str, float]]:
+    """The reproduction of Table 3: % increase per FPGA resource class.
+
+    "% increase" follows the paper: the event logic's footprint as a
+    percentage of the device's total resources.
+    """
+    delta = event_logic_build().total()
+    percent = delta.percent_of(device)
+    paper = {"luts": 0.5, "flip_flops": 0.4, "bram": 2.0}
+    label = {"luts": "Lookup Tables", "flip_flops": "Flip Flops", "bram": "Block RAM"}
+    return [
+        {
+            "resource": label[key],
+            "paper_percent_increase": paper[key],
+            "measured_percent_increase": round(percent[key], 2),
+        }
+        for key in ("luts", "flip_flops", "bram")
+    ]
+
+
+def utilization_report(device: DeviceCapacity = VIRTEX7_690T) -> Dict[str, Dict[str, float]]:
+    """Full utilization context: reference vs. event switch."""
+    return {
+        "reference_switch": reference_switch_build().utilization(device),
+        "event_switch": event_switch_build().utilization(device),
+        "event_logic_only": event_logic_build().total().percent_of(device),
+    }

@@ -1,0 +1,35 @@
+"""Device capacities.
+
+The NetFPGA SUME carries a Xilinx Virtex-7 XC7V690T.  Capacities below
+are the published datasheet numbers; the Table 3 percentages are
+computed against them, exactly as the paper's "% of the total resources
+available in a Xilinx Virtex-7 FPGA".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceCapacity:
+    """Total programmable resources of one FPGA part."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram_36kb: int
+
+    @property
+    def bram_bits(self) -> int:
+        """Total block RAM capacity in bits."""
+        return self.bram_36kb * 36 * 1024
+
+
+#: Xilinx Virtex-7 XC7V690T (the NetFPGA SUME part).
+VIRTEX7_690T = DeviceCapacity(
+    name="XC7V690T",
+    luts=433_200,
+    flip_flops=866_400,
+    bram_36kb=1_470,
+)

@@ -1,0 +1,191 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of scheduled callbacks keyed
+by (time, priority, sequence-number).  The sequence number makes the
+ordering of same-time, same-priority events deterministic: they run in
+the order they were scheduled.  All components of the reproduction — the
+PISA pipelines, traffic managers, timer units, links, and hosts — share
+one simulator, so a whole multi-switch network advances on a single
+totally-ordered virtual clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Holding a reference to the returned object lets the scheduler cancel
+    it later; cancellation is O(1) (the heap entry is tombstoned).
+    """
+
+    __slots__ = ("time_ps", "priority", "seqno", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time_ps: int,
+        priority: int,
+        seqno: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time_ps = time_ps
+        self.priority = priority
+        self.seqno = seqno
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time_ps, self.priority, self.seqno) < (
+            other.time_ps,
+            other.priority,
+            other.seqno,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"ScheduledEvent(t={self.time_ps}ps, prio={self.priority}, cb={name})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.call_at(1_000, lambda: print("one nanosecond"))
+        sim.run()
+
+    Callbacks may schedule further callbacks.  ``run`` drains the queue
+    until it is empty or until an optional time/event bound is hit.
+    """
+
+    def __init__(self) -> None:
+        self._now_ps: int = 0
+        self._queue: List[ScheduledEvent] = []
+        self._seqno: int = 0
+        self._running: bool = False
+        self._events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now_ps(self) -> int:
+        """The current simulated time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks the kernel has run so far."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks still queued (including cancelled stubs)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute time ``time_ps``.
+
+        Lower ``priority`` runs first among same-time events.  Raises
+        :class:`SimulationError` if ``time_ps`` is in the past.
+        """
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps}ps, now is t={self._now_ps}ps"
+            )
+        event = ScheduledEvent(time_ps, priority, self._seqno, callback, args)
+        self._seqno += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(
+        self,
+        delay_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` after a relative delay."""
+        if delay_ps < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_ps}")
+        return self.call_at(self._now_ps + delay_ps, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until_ps: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue drains, ``until_ps`` passes, or ``max_events``.
+
+        Returns the number of callbacks executed by this call.  When
+        ``until_ps`` is given, the clock is advanced to exactly
+        ``until_ps`` on return even if the queue drained earlier, so
+        repeated bounded runs observe monotonically advancing time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and head.time_ps > until_ps:
+                    break
+                heapq.heappop(self._queue)
+                self._now_ps = head.time_ps
+                head.callback(*head.args)
+                executed += 1
+                self._events_executed += 1
+        finally:
+            self._running = False
+        if until_ps is not None and until_ps > self._now_ps:
+            self._now_ps = until_ps
+        return executed
+
+    def step(self) -> bool:
+        """Execute the single next pending callback; False if queue empty."""
+        return self.run(max_events=1) == 1
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now_ps = 0
+        self._seqno = 0
+        self._events_executed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now_ps}ps, pending={self.pending_events}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,72 @@
+"""Periodic processes on top of the simulation kernel.
+
+The paper's timer events, packet generators, and control-plane pollers
+are all periodic activities.  :class:`PeriodicProcess` captures the
+common machinery: a callback fired every ``period_ps``, which can be
+started, stopped, and re-armed with a new period (the SUME Event Switch
+exposes its timer period as a run-time configurable register).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import ScheduledEvent, SimulationError, Simulator
+
+
+class PeriodicProcess:
+    """Fires ``callback()`` every ``period_ps`` picoseconds once started.
+
+    The first firing happens one full period after :meth:`start` (or at
+    ``start(offset_ps=...)``).  Changing :attr:`period_ps` while running
+    takes effect from the next firing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_ps: int,
+        callback: Callable[[], None],
+        name: str = "periodic",
+    ) -> None:
+        if period_ps <= 0:
+            raise ValueError(f"period must be positive, got {period_ps}")
+        self.sim = sim
+        self.period_ps = period_ps
+        self.callback = callback
+        self.name = name
+        self.fire_count = 0
+        self._pending: Optional[ScheduledEvent] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the process has a firing scheduled."""
+        return self._pending is not None and not self._pending.cancelled
+
+    def start(self, offset_ps: Optional[int] = None) -> None:
+        """Arm the process; first firing after ``offset_ps`` (default period)."""
+        if self.running:
+            raise SimulationError(f"process {self.name!r} already running")
+        delay = self.period_ps if offset_ps is None else offset_ps
+        self._pending = self.sim.call_after(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the process; safe to call when already stopped."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def set_period(self, period_ps: int) -> None:
+        """Change the period; applies from the next firing."""
+        if period_ps <= 0:
+            raise ValueError(f"period must be positive, got {period_ps}")
+        self.period_ps = period_ps
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        self._pending = self.sim.call_after(self.period_ps, self._fire)
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"PeriodicProcess({self.name!r}, {self.period_ps}ps, {state})"

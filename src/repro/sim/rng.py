@@ -1,0 +1,93 @@
+"""Seeded random number generation.
+
+Every stochastic component (workload generators, RED drop decisions,
+link failure injectors) takes a :class:`SeededRng` so whole experiments
+are reproducible from one integer seed.  Child generators are derived
+deterministically by name, so adding a new consumer does not perturb the
+streams seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A named, seeded random stream with deterministic children."""
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+        digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "big"))
+
+    def child(self, name: str) -> "SeededRng":
+        """Derive an independent stream identified by ``name``."""
+        return SeededRng(self.seed, f"{self.name}/{name}")
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential variate with the given rate (mean 1/rate)."""
+        return self._rng.expovariate(rate)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly choose one element."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq: List[T]) -> None:
+        """Shuffle ``seq`` in place."""
+        self._rng.shuffle(seq)
+
+    def zipf_index(self, n: int, skew: float) -> int:
+        """Draw an index in [0, n) from a Zipf distribution with ``skew``.
+
+        Uses inverse-CDF sampling over the truncated Zipf pmf; suitable
+        for the heavy-hitter flow popularity used in the monitoring
+        benchmarks.  ``skew=0`` degenerates to uniform.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if skew <= 0:
+            return self.randint(0, n - 1)
+        weights = getattr(self, "_zipf_cache", None)
+        if weights is None or weights[0] != (n, skew):
+            probs = [1.0 / (i + 1) ** skew for i in range(n)]
+            total = sum(probs)
+            cdf = []
+            acc = 0.0
+            for p in probs:
+                acc += p / total
+                cdf.append(acc)
+            weights = ((n, skew), cdf)
+            self._zipf_cache = weights
+        u = self._rng.random()
+        cdf = weights[1]
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeededRng(seed={self.seed}, name={self.name!r})"

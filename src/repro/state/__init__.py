@@ -1,0 +1,54 @@
+"""Global vs. distributed state (paper §4).
+
+High-line-rate devices cannot afford multi-ported memory, so the paper
+merges the logical event pipelines into one physical pipeline and keeps
+algorithmic state in *single-ported* register arrays, coordinated by
+aggregation registers (Figure 3):
+
+* packet-event read-modify-writes always operate on the **main**
+  register holding the algorithmic state,
+* enqueue and dequeue read-modify-writes accumulate in separate
+  **aggregation** register arrays,
+* during **idle clock cycles** the aggregated operations are applied to
+  the main register.
+
+The result is bounded staleness: the main register lags truth by at
+most the backlog the aggregation arrays can accumulate between idle
+cycles, which shrinks as the pipeline runs faster than line rate.
+This subpackage provides the memory-port cost model, the Figure 3
+register file, the staleness tracker, and a clock-cycle pipeline
+simulator that the Figure 3 / staleness benches drive.
+"""
+
+from repro.state.memory import MemoryPortModel, PortConflictError
+from repro.state.aggregation import AggregationRegisterFile, PendingOp
+from repro.state.staleness import StalenessTracker, StalenessReport
+from repro.state.cyclesim import CyclePipelineSim, CycleSimConfig, CycleSimResult
+from repro.state.consistency import (
+    ContentionResult,
+    DelayedRmwRegister,
+    run_contention,
+)
+from repro.state.replication import (
+    MultiPipeResult,
+    ReplicatedRegister,
+    run_multipipe,
+)
+
+__all__ = [
+    "MemoryPortModel",
+    "PortConflictError",
+    "AggregationRegisterFile",
+    "PendingOp",
+    "StalenessTracker",
+    "StalenessReport",
+    "CyclePipelineSim",
+    "CycleSimConfig",
+    "CycleSimResult",
+    "DelayedRmwRegister",
+    "ContentionResult",
+    "run_contention",
+    "ReplicatedRegister",
+    "MultiPipeResult",
+    "run_multipipe",
+]

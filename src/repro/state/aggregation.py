@@ -1,0 +1,212 @@
+"""The aggregation register mechanism of paper Figure 3.
+
+Three single-ported register arrays cooperate to keep one piece of
+algorithmic state (per-queue size, in the paper's example) up to date:
+
+* the **main register** holds the algorithmic state and serves packet
+  events' reads and read-modify-writes,
+* the **enqueue aggregation register** accumulates pending ADDs from
+  enqueue events (``0: ADD 200`` in Figure 3 is two aggregated 100-byte
+  enqueues),
+* the **dequeue aggregation register** accumulates pending SUBs from
+  dequeue events.
+
+"During idle clock cycles when there is spare memory bandwidth
+available, the aggregated operations are applied to the main register."
+A drain visits one *index* per idle cycle, applying that index's entire
+accumulated net delta in a single main-register operation — this is
+what makes the backlog (and therefore the staleness) bounded: pending
+work is capped by the number of state entries, not by the event rate.
+
+Every array is wrapped in a :class:`MemoryPortModel`, so a correctly
+operating file shows **zero** port conflicts even when an enqueue, a
+dequeue, and a packet read land on the same cycle — the claim the
+Figure 3 bench verifies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.pisa.externs.register import Register
+from repro.state.memory import MemoryPortModel
+
+
+@dataclass
+class PendingOp:
+    """Drain-queue entry: a dirty index and when it was first touched."""
+
+    index: int
+    cycle_issued: int
+
+
+class AggregationRegisterFile:
+    """Figure 3's main + enqueue-aggregation + dequeue-aggregation file.
+
+    ``size`` is the number of state entries (queues).  Aggregation
+    arrays accumulate per-index deltas; a FIFO of *dirty indices*
+    (ordered by first touch) decides drain order, and a drain clears
+    both aggregation entries of its index jointly, preserving per-index
+    event ordering so the main register never transiently underflows.
+    """
+
+    #: Register width; queue sizes fit comfortably in 32 bits.
+    WIDTH_BITS = 32
+
+    #: Drain-priority policies (§4's open question about how memory
+    #: accesses should be scheduled): first-touched-first ("fifo"),
+    #: largest pending delta first ("largest"), or most recently
+    #: touched first ("lifo", a deliberately bad policy for contrast).
+    DRAIN_POLICIES = ("fifo", "largest", "lifo")
+
+    def __init__(
+        self, size: int, strict_ports: bool = True, drain_policy: str = "fifo"
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if drain_policy not in self.DRAIN_POLICIES:
+            raise ValueError(f"unknown drain policy {drain_policy!r}")
+        self.size = size
+        self.drain_policy = drain_policy
+        self.main = MemoryPortModel(
+            Register(size, self.WIDTH_BITS, name="main"), ports=1, strict=strict_ports
+        )
+        self.enq_agg = MemoryPortModel(
+            Register(size, self.WIDTH_BITS, name="enq_agg"),
+            ports=1,
+            strict=strict_ports,
+        )
+        self.deq_agg = MemoryPortModel(
+            Register(size, self.WIDTH_BITS, name="deq_agg"),
+            ports=1,
+            strict=strict_ports,
+        )
+        # Dirty indices in first-touch order (index -> cycle first touched).
+        self._dirty: "OrderedDict[int, int]" = OrderedDict()
+        # Ground truth for staleness measurement (not a hardware array).
+        self._truth: List[int] = [0] * size
+        self.drained_indices = 0
+        self.total_drain_lag_cycles = 0
+        self.max_drain_lag_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Event-side operations (one per cycle per array)
+    # ------------------------------------------------------------------
+    def enqueue_update(self, cycle: int, index: int, delta: int) -> None:
+        """An enqueue event aggregates +delta for ``index``."""
+        self._check(index)
+        if delta < 0:
+            raise ValueError(f"enqueue delta must be non-negative, got {delta}")
+        self.enq_agg.add(cycle, index, delta)
+        self._dirty.setdefault(index, cycle)
+        self._truth[index] += delta
+
+    def dequeue_update(self, cycle: int, index: int, delta: int) -> None:
+        """A dequeue event aggregates −delta for ``index``."""
+        self._check(index)
+        if delta < 0:
+            raise ValueError(f"dequeue delta must be non-negative, got {delta}")
+        if self._truth[index] < delta:
+            raise ValueError(
+                f"dequeue of {delta} from index {index} exceeds true "
+                f"occupancy {self._truth[index]}"
+            )
+        self.deq_agg.add(cycle, index, delta)
+        self._dirty.setdefault(index, cycle)
+        self._truth[index] -= delta
+
+    def packet_read(self, cycle: int, index: int) -> int:
+        """A packet event reads the (possibly stale) main register."""
+        self._check(index)
+        return self.main.read(cycle, index)
+
+    # ------------------------------------------------------------------
+    # Idle-cycle drain
+    # ------------------------------------------------------------------
+    def drain(self, cycle: int, max_indices: int = 1) -> int:
+        """Apply pending deltas of up to ``max_indices`` dirty indices.
+
+        Called on idle cycles (the main register's port is free, and so
+        are the aggregation arrays' — no event landed this cycle).  For
+        each visited index both aggregation entries are read-and-cleared
+        and the net delta folds into the main register in one operation.
+        Returns the number of indices drained.
+        """
+        drained = 0
+        while drained < max_indices and self._dirty:
+            index, first_touch = self._pick_dirty()
+            add = self.enq_agg.register.snapshot()[index]
+            sub = self.deq_agg.register.snapshot()[index]
+            self.enq_agg.write(cycle, index, 0)
+            self.deq_agg.write(cycle, index, 0)
+            self.main.add(cycle, index, add - sub)
+            self.drained_indices += 1
+            lag = cycle - first_touch
+            self.total_drain_lag_cycles += lag
+            self.max_drain_lag_cycles = max(self.max_drain_lag_cycles, lag)
+            drained += 1
+        return drained
+
+    def _pick_dirty(self):
+        """Select the next dirty index according to the drain policy."""
+        if self.drain_policy == "fifo":
+            return self._dirty.popitem(last=False)
+        if self.drain_policy == "lifo":
+            return self._dirty.popitem(last=True)
+        # "largest": the index with the biggest absolute pending delta —
+        # prioritizes the most-wrong entries (§4's "most important").
+        enq = self.enq_agg.register.snapshot()
+        deq = self.deq_agg.register.snapshot()
+        index = max(self._dirty, key=lambda i: abs(enq[i] - deq[i]))
+        first_touch = self._dirty.pop(index)
+        return index, first_touch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_indices(self) -> int:
+        """Dirty indices awaiting a drain."""
+        return len(self._dirty)
+
+    def truth(self, index: int) -> int:
+        """The exact current value (as multi-ported memory would hold)."""
+        self._check(index)
+        return self._truth[index]
+
+    def staleness(self, index: int) -> int:
+        """Absolute error of the main register vs. truth at ``index``."""
+        return abs(self.truth(index) - self.main.register.snapshot()[index])
+
+    def max_staleness(self) -> int:
+        """Worst-case absolute error across all entries."""
+        snapshot = self.main.register.snapshot()
+        return max(abs(t - m) for t, m in zip(self._truth, snapshot))
+
+    def mean_drain_lag_cycles(self) -> float:
+        """Mean cycles an index stayed dirty before draining."""
+        return (
+            self.total_drain_lag_cycles / self.drained_indices
+            if self.drained_indices
+            else 0.0
+        )
+
+    def port_report(self) -> Dict[str, Dict[str, int]]:
+        """Port-usage reports for all three arrays."""
+        return {
+            "main": self.main.report(),
+            "enq_agg": self.enq_agg.report(),
+            "deq_agg": self.deq_agg.report(),
+        }
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationRegisterFile(size={self.size}, "
+            f"dirty={self.pending_indices}, max_staleness={self.max_staleness()})"
+        )

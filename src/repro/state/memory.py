@@ -1,0 +1,99 @@
+"""Memory-port accounting.
+
+The §4 design question: "an enqueue event wants to increment the size
+of queue 0, a dequeue event wants to decrement the size of queue 1, and
+an ingress packet event wants to read the size of queue 2 — is it
+possible to support all of these memory operations simultaneously
+without resorting to multi-ported memory?"
+
+:class:`MemoryPortModel` wraps a register array with per-cycle port
+accounting so experiments can count exactly how often a design would
+have needed more ports than the hardware provides.  In *strict* mode an
+over-subscription raises; in counting mode it is tallied (the ablation
+for "what if we had just used one array for everything").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.pisa.externs.register import Register
+
+
+class PortConflictError(RuntimeError):
+    """More same-cycle accesses than the memory has ports."""
+
+
+class MemoryPortModel:
+    """Port-usage accounting wrapper around a :class:`Register`.
+
+    Every access passes the current clock cycle; the model counts
+    accesses per cycle and flags cycles that exceed ``ports``.
+    """
+
+    def __init__(self, register: Register, ports: int = 1, strict: bool = False) -> None:
+        if ports <= 0:
+            raise ValueError(f"port count must be positive, got {ports}")
+        self.register = register
+        self.ports = ports
+        self.strict = strict
+        self._current_cycle: Optional[int] = None
+        self._accesses_this_cycle = 0
+        self.total_accesses = 0
+        self.conflict_cycles = 0
+        self.conflict_accesses = 0
+        self.busiest_cycle_accesses = 0
+
+    def _account(self, cycle: int) -> None:
+        if cycle != self._current_cycle:
+            self._current_cycle = cycle
+            self._accesses_this_cycle = 0
+        self._accesses_this_cycle += 1
+        self.total_accesses += 1
+        self.busiest_cycle_accesses = max(
+            self.busiest_cycle_accesses, self._accesses_this_cycle
+        )
+        if self._accesses_this_cycle > self.ports:
+            if self._accesses_this_cycle == self.ports + 1:
+                self.conflict_cycles += 1
+            self.conflict_accesses += 1
+            if self.strict:
+                raise PortConflictError(
+                    f"register {self.register.name!r}: "
+                    f"{self._accesses_this_cycle} accesses in cycle {cycle} "
+                    f"but only {self.ports} port(s)"
+                )
+
+    # ------------------------------------------------------------------
+    # Ported operations
+    # ------------------------------------------------------------------
+    def read(self, cycle: int, index: int) -> int:
+        """Read through one port at ``cycle``."""
+        self._account(cycle)
+        return self.register.read(index)
+
+    def write(self, cycle: int, index: int, value: int) -> None:
+        """Write through one port at ``cycle``."""
+        self._account(cycle)
+        self.register.write(index, value)
+
+    def add(self, cycle: int, index: int, delta: int) -> int:
+        """Read-modify-write through one port at ``cycle``."""
+        self._account(cycle)
+        return self.register.add(index, delta)
+
+    def report(self) -> Dict[str, int]:
+        """Port-usage summary."""
+        return {
+            "ports": self.ports,
+            "total_accesses": self.total_accesses,
+            "conflict_cycles": self.conflict_cycles,
+            "conflict_accesses": self.conflict_accesses,
+            "busiest_cycle_accesses": self.busiest_cycle_accesses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryPortModel({self.register.name!r}, ports={self.ports}, "
+            f"conflicts={self.conflict_cycles})"
+        )

@@ -1,0 +1,79 @@
+"""Staleness measurement.
+
+Paper §4: "whenever state is distributed across pipeline stages, the
+algorithmic state will sometimes be stale ... staleness is bounded if
+the pipeline runs slightly faster than the line rate."
+
+:class:`StalenessTracker` samples (truth, observed) pairs over time and
+summarizes the error — both in value terms (how wrong was the queue
+size a packet event read) and lag terms (how many cycles behind the
+main register ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class StalenessReport:
+    """Summary statistics of observed staleness."""
+
+    samples: int
+    max_error: int
+    mean_error: float
+    stale_fraction: float
+    max_lag_cycles: int
+    mean_lag_cycles: float
+
+    def row(self) -> str:
+        """A printable report row."""
+        return (
+            f"samples={self.samples} max_err={self.max_error} "
+            f"mean_err={self.mean_error:.2f} stale%={100 * self.stale_fraction:.1f} "
+            f"max_lag={self.max_lag_cycles}cyc mean_lag={self.mean_lag_cycles:.1f}cyc"
+        )
+
+
+class StalenessTracker:
+    """Accumulates staleness samples cheaply (no per-sample storage)."""
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self.stale_samples = 0
+        self.max_error = 0
+        self.total_error = 0
+        self.max_lag_cycles = 0
+        self.total_lag_cycles = 0
+        self.lag_samples = 0
+
+    def record_value(self, truth: int, observed: int) -> None:
+        """Record one packet-event read of possibly stale state."""
+        error = abs(truth - observed)
+        self.samples += 1
+        if error:
+            self.stale_samples += 1
+        self.max_error = max(self.max_error, error)
+        self.total_error += error
+
+    def record_lag(self, lag_cycles: int) -> None:
+        """Record how long one aggregated op waited before draining."""
+        if lag_cycles < 0:
+            raise ValueError(f"lag must be non-negative, got {lag_cycles}")
+        self.lag_samples += 1
+        self.max_lag_cycles = max(self.max_lag_cycles, lag_cycles)
+        self.total_lag_cycles += lag_cycles
+
+    def report(self) -> StalenessReport:
+        """Summarize everything recorded so far."""
+        return StalenessReport(
+            samples=self.samples,
+            max_error=self.max_error,
+            mean_error=self.total_error / self.samples if self.samples else 0.0,
+            stale_fraction=self.stale_samples / self.samples if self.samples else 0.0,
+            max_lag_cycles=self.max_lag_cycles,
+            mean_lag_cycles=(
+                self.total_lag_cycles / self.lag_samples if self.lag_samples else 0.0
+            ),
+        )

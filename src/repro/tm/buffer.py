@@ -1,0 +1,63 @@
+"""Shared packet buffer accounting.
+
+Switch ASICs share one packet buffer across all ports; a packet is
+admitted only if both its queue's limit and the shared-buffer limit
+allow it.  :class:`SharedBuffer` tracks the global occupancy and the
+high-water mark — the "total buffer occupancy" congestion signal of the
+paper's AQM application.
+"""
+
+from __future__ import annotations
+
+from repro.packet.packet import Packet
+
+
+class SharedBuffer:
+    """Global byte budget shared by every queue of a switch."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"buffer capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.occupancy_bytes = 0
+        self.max_occupancy_bytes = 0
+        self.admitted_packets = 0
+        self.rejected_packets = 0
+
+    def fits(self, pkt: Packet) -> bool:
+        """Would ``pkt`` fit in the remaining shared budget?"""
+        return self.occupancy_bytes + pkt.total_len <= self.capacity_bytes
+
+    def admit(self, pkt: Packet) -> None:
+        """Charge ``pkt`` against the shared budget."""
+        if not self.fits(pkt):
+            raise OverflowError(
+                f"shared buffer overflow: {self.occupancy_bytes}B + "
+                f"{pkt.total_len}B > {self.capacity_bytes}B"
+            )
+        self.occupancy_bytes += pkt.total_len
+        self.admitted_packets += 1
+        self.max_occupancy_bytes = max(self.max_occupancy_bytes, self.occupancy_bytes)
+
+    def release(self, pkt: Packet) -> None:
+        """Return ``pkt``'s bytes to the shared budget."""
+        if self.occupancy_bytes < pkt.total_len:
+            raise ValueError(
+                f"releasing {pkt.total_len}B but only {self.occupancy_bytes}B held"
+            )
+        self.occupancy_bytes -= pkt.total_len
+
+    def reject(self) -> None:
+        """Record an admission failure (buffer overflow drop)."""
+        self.rejected_packets += 1
+
+    @property
+    def empty(self) -> bool:
+        """True when no packet bytes are buffered anywhere."""
+        return self.occupancy_bytes == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedBuffer({self.occupancy_bytes}/{self.capacity_bytes}B, "
+            f"peak={self.max_occupancy_bytes}B)"
+        )

@@ -1,0 +1,99 @@
+"""Packet queues with byte-accurate occupancy accounting.
+
+Each output port owns one or more :class:`PacketQueue` instances.  The
+queue tracks occupancy in both packets and bytes, plus the high-water
+mark and cumulative statistics that the monitoring applications and the
+benches read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.packet.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Cumulative statistics for one queue."""
+
+    enqueued_packets: int = 0
+    enqueued_bytes: int = 0
+    dequeued_packets: int = 0
+    dequeued_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    max_depth_bytes: int = 0
+    max_depth_packets: int = 0
+
+
+class PacketQueue:
+    """A FIFO packet queue with a byte-capacity limit.
+
+    ``capacity_bytes`` bounds this queue alone; the shared-buffer limit
+    is enforced separately by :class:`repro.tm.buffer.SharedBuffer`.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "queue") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._packets: Deque[Packet] = deque()
+        self.depth_bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def empty(self) -> bool:
+        """True when the queue holds no packets."""
+        return not self._packets
+
+    def fits(self, pkt: Packet) -> bool:
+        """Would ``pkt`` fit within this queue's own capacity?"""
+        return self.depth_bytes + pkt.total_len <= self.capacity_bytes
+
+    def push(self, pkt: Packet) -> None:
+        """Enqueue at the tail; caller must have checked :meth:`fits`."""
+        if not self.fits(pkt):
+            raise OverflowError(
+                f"queue {self.name!r} overflow: {self.depth_bytes}B + "
+                f"{pkt.total_len}B > {self.capacity_bytes}B"
+            )
+        self._packets.append(pkt)
+        self.depth_bytes += pkt.total_len
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += pkt.total_len
+        self.stats.max_depth_bytes = max(self.stats.max_depth_bytes, self.depth_bytes)
+        self.stats.max_depth_packets = max(
+            self.stats.max_depth_packets, len(self._packets)
+        )
+
+    def pop(self) -> Packet:
+        """Dequeue from the head; IndexError when empty."""
+        if not self._packets:
+            raise IndexError(f"pop from empty queue {self.name!r}")
+        pkt = self._packets.popleft()
+        self.depth_bytes -= pkt.total_len
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += pkt.total_len
+        return pkt
+
+    def peek(self) -> Optional[Packet]:
+        """The head packet without removing it, or None when empty."""
+        return self._packets[0] if self._packets else None
+
+    def account_drop(self, pkt: Packet) -> None:
+        """Record a drop that was charged against this queue."""
+        self.stats.dropped_packets += 1
+        self.stats.dropped_bytes += pkt.total_len
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketQueue({self.name!r}, {len(self)} pkts / "
+            f"{self.depth_bytes}B of {self.capacity_bytes}B)"
+        )

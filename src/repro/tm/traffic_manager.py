@@ -1,0 +1,358 @@
+"""The traffic manager: admission, queueing, scheduling, transmission.
+
+Responsibilities (paper Figures 1, 2 and 4):
+
+* **Admission**: a packet is admitted if its target queue and the shared
+  buffer both have room; otherwise it is dropped and a *buffer overflow*
+  event fires.
+* **Enqueue**: on admission the TM "extracts some metadata from the
+  packet and uses it to fire an enqueue event" — the hook receives the
+  user's ``enq_meta`` plus queue-depth information.
+* **Dequeue / transmit**: each output port serializes packets at its
+  line rate; dequeue fires a *dequeue* event, and the end of
+  serialization fires a *packet transmitted* event.
+* **Underflow**: when a dequeue leaves a port with no buffered packets,
+  a *buffer underflow* event fires (the link is about to go idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.units import bytes_to_time_ps
+from repro.tm.buffer import SharedBuffer
+from repro.tm.queues import PacketQueue
+from repro.tm.scheduler import FifoScheduler, PifoScheduler, Scheduler
+
+
+@dataclass
+class TmEvent:
+    """Context passed to traffic-manager event hooks."""
+
+    pkt: Packet
+    port: int
+    queue_id: int
+    queue_depth_bytes: int
+    buffer_occupancy_bytes: int
+    time_ps: int
+    user_meta: Dict[str, int] = field(default_factory=dict)
+
+
+Hook = Callable[[TmEvent], None]
+
+
+@dataclass
+class TmEventHooks:
+    """Hook points the owning architecture wires to its event threads."""
+
+    on_enqueue: Optional[Hook] = None
+    on_dequeue: Optional[Hook] = None
+    on_overflow: Optional[Hook] = None
+    on_underflow: Optional[Hook] = None
+    on_transmit: Optional[Hook] = None
+
+
+class _Port:
+    """One output port: queues, a scheduler, and transmit state."""
+
+    def __init__(
+        self,
+        index: int,
+        queues: List[PacketQueue],
+        scheduler: Scheduler,
+        rate_gbps: float,
+    ) -> None:
+        self.index = index
+        self.queues = queues
+        self.scheduler = scheduler
+        self.rate_gbps = rate_gbps
+        self.busy = False
+        self.enabled = True
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.busy_time_ps = 0
+
+    def depth_bytes(self) -> int:
+        if isinstance(self.scheduler, PifoScheduler):
+            return self.scheduler.depth_bytes
+        return sum(q.depth_bytes for q in self.queues)
+
+    def has_packets(self) -> bool:
+        return self.scheduler.has_packets()
+
+
+SchedulerFactory = Callable[[List[PacketQueue]], Scheduler]
+
+
+class TrafficManager:
+    """Queueing and scheduling engine for one switch.
+
+    Packets arrive via :meth:`enqueue` with ``pkt.egress_port`` and
+    ``pkt.queue_id`` already chosen by the ingress pipeline; transmitted
+    packets are handed to ``egress_callback(pkt, port)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port_count: int,
+        queues_per_port: int = 1,
+        queue_capacity_bytes: int = 64 * 1024,
+        buffer_capacity_bytes: Optional[int] = None,
+        port_rate_gbps: float = 10.0,
+        scheduler_factory: Optional[SchedulerFactory] = None,
+        name: str = "tm",
+    ) -> None:
+        if port_count <= 0:
+            raise ValueError(f"port count must be positive, got {port_count}")
+        if queues_per_port <= 0:
+            raise ValueError(f"queue count must be positive, got {queues_per_port}")
+        self.sim = sim
+        self.name = name
+        self.queues_per_port = queues_per_port
+        if buffer_capacity_bytes is None:
+            buffer_capacity_bytes = port_count * queues_per_port * queue_capacity_bytes
+        self.buffer = SharedBuffer(buffer_capacity_bytes)
+        factory = scheduler_factory or (lambda queues: FifoScheduler(queues))
+        self.ports: List[_Port] = []
+        for port_index in range(port_count):
+            queues = [
+                PacketQueue(
+                    queue_capacity_bytes, name=f"{name}.p{port_index}q{queue_index}"
+                )
+                for queue_index in range(queues_per_port)
+            ]
+            self.ports.append(
+                _Port(port_index, queues, factory(queues), port_rate_gbps)
+            )
+        self.hooks = TmEventHooks()
+        self.egress_callback: Optional[Callable[[Packet, int], None]] = None
+        self.drops_overflow = 0
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_egress_callback(self, callback: Callable[[Packet, int], None]) -> None:
+        """Where transmitted packets go (the architecture's egress path)."""
+        self.egress_callback = callback
+
+    def set_port_rate(self, port: int, rate_gbps: float) -> None:
+        """Change a port's line rate."""
+        if rate_gbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_gbps}")
+        self._port(port).rate_gbps = rate_gbps
+
+    def set_port_enabled(self, port: int, enabled: bool) -> None:
+        """Administratively enable or disable a port (link failure)."""
+        port_obj = self._port(port)
+        port_obj.enabled = enabled
+        if enabled:
+            self._kick(port_obj)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def queue_depth_bytes(self, port: int, queue_id: int = 0) -> int:
+        """Current depth of one queue in bytes."""
+        return self._port(port).queues[queue_id].depth_bytes
+
+    def port_depth_bytes(self, port: int) -> int:
+        """Total buffered bytes destined to ``port``."""
+        return self._port(port).depth_bytes()
+
+    def occupancy_bytes(self) -> int:
+        """Total shared-buffer occupancy in bytes."""
+        return self.buffer.occupancy_bytes
+
+    @property
+    def port_count(self) -> int:
+        """Number of output ports."""
+        return len(self.ports)
+
+    def port_stats(self, port: int) -> Dict[str, int]:
+        """Transmit statistics for one port."""
+        port_obj = self._port(port)
+        return {
+            "tx_packets": port_obj.tx_packets,
+            "tx_bytes": port_obj.tx_bytes,
+            "busy_time_ps": port_obj.busy_time_ps,
+        }
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> bool:
+        """Admit ``pkt`` to its egress port's queue.
+
+        Returns True on admission; on overflow the packet is dropped,
+        the overflow hook fires, and False is returned.
+        """
+        if pkt.egress_port is None:
+            raise ValueError(f"packet {pkt.pkt_id} has no egress port set")
+        port_obj = self._port(pkt.egress_port)
+        queue_id = min(pkt.queue_id, len(port_obj.queues) - 1)
+        queue = port_obj.queues[queue_id]
+
+        if isinstance(port_obj.scheduler, PifoScheduler):
+            return self._enqueue_pifo(pkt, port_obj, queue)
+
+        if not queue.fits(pkt) or not self.buffer.fits(pkt):
+            self._drop_overflow(pkt, port_obj, queue_id, queue)
+            return False
+        self.buffer.admit(pkt)
+        queue.push(pkt)
+        pkt.ts_enqueued_ps = self.sim.now_ps
+        self.total_enqueued += 1
+        self._fire(
+            self.hooks.on_enqueue,
+            pkt,
+            port_obj.index,
+            queue_id,
+            queue.depth_bytes,
+            dict(pkt.meta.get("enq_meta") or {}),
+        )
+        self._kick(port_obj)
+        return True
+
+    def _enqueue_pifo(self, pkt: Packet, port_obj: _Port, queue: PacketQueue) -> bool:
+        if not self.buffer.fits(pkt):
+            self._drop_overflow(pkt, port_obj, pkt.queue_id, queue)
+            return False
+        scheduler = port_obj.scheduler
+        assert isinstance(scheduler, PifoScheduler)
+        self.buffer.admit(pkt)
+        displaced = scheduler.on_enqueue(pkt)
+        if displaced is pkt:
+            # Rejected: rank no better than the PIFO tail.
+            self.buffer.release(pkt)
+            self._drop_overflow(pkt, port_obj, pkt.queue_id, queue, admitted=False)
+            return False
+        pkt.ts_enqueued_ps = self.sim.now_ps
+        self.total_enqueued += 1
+        self._fire(
+            self.hooks.on_enqueue,
+            pkt,
+            port_obj.index,
+            pkt.queue_id,
+            scheduler.depth_bytes,
+            dict(pkt.meta.get("enq_meta") or {}),
+        )
+        if displaced is not None:
+            # Pushed out of the tail: a late overflow drop.
+            self.buffer.release(displaced)
+            self._drop_overflow(displaced, port_obj, displaced.queue_id, queue, admitted=False)
+        self._kick(port_obj)
+        return True
+
+    def _drop_overflow(
+        self,
+        pkt: Packet,
+        port_obj: _Port,
+        queue_id: int,
+        queue: PacketQueue,
+        admitted: bool = False,
+    ) -> None:
+        self.drops_overflow += 1
+        self.buffer.reject()
+        queue.account_drop(pkt)
+        self._fire(
+            self.hooks.on_overflow,
+            pkt,
+            port_obj.index,
+            queue_id,
+            queue.depth_bytes,
+            dict(pkt.meta.get("enq_meta") or {}),
+        )
+
+    def _kick(self, port_obj: _Port) -> None:
+        """Start transmitting if the port is idle and has work."""
+        if port_obj.busy or not port_obj.enabled:
+            return
+        pkt = port_obj.scheduler.dequeue()
+        if pkt is None:
+            return
+        self.buffer.release(pkt)
+        pkt.ts_dequeued_ps = self.sim.now_ps
+        self.total_dequeued += 1
+        queue_id = min(pkt.queue_id, len(port_obj.queues) - 1)
+        self._fire(
+            self.hooks.on_dequeue,
+            pkt,
+            port_obj.index,
+            queue_id,
+            port_obj.depth_bytes(),
+            dict(pkt.meta.get("deq_meta") or {}),
+        )
+        if not port_obj.has_packets():
+            self._fire(
+                self.hooks.on_underflow,
+                pkt,
+                port_obj.index,
+                queue_id,
+                0,
+                {},
+            )
+        port_obj.busy = True
+        tx_time = bytes_to_time_ps(pkt.wire_len, port_obj.rate_gbps)
+        port_obj.busy_time_ps += tx_time
+        self.sim.call_after(tx_time, self._finish_tx, port_obj, pkt)
+
+    def _finish_tx(self, port_obj: _Port, pkt: Packet) -> None:
+        port_obj.busy = False
+        port_obj.tx_packets += 1
+        port_obj.tx_bytes += pkt.total_len
+        self._fire(
+            self.hooks.on_transmit,
+            pkt,
+            port_obj.index,
+            min(pkt.queue_id, len(port_obj.queues) - 1),
+            port_obj.depth_bytes(),
+            {},
+        )
+        if self.egress_callback is not None:
+            self.egress_callback(pkt, port_obj.index)
+        self._kick(port_obj)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _port(self, port: int) -> _Port:
+        if not 0 <= port < len(self.ports):
+            raise IndexError(
+                f"TM {self.name!r} port {port} out of range [0, {len(self.ports)})"
+            )
+        return self.ports[port]
+
+    def _fire(
+        self,
+        hook: Optional[Hook],
+        pkt: Packet,
+        port: int,
+        queue_id: int,
+        depth: int,
+        user_meta: Dict[str, int],
+    ) -> None:
+        if hook is None:
+            return
+        hook(
+            TmEvent(
+                pkt=pkt,
+                port=port,
+                queue_id=queue_id,
+                queue_depth_bytes=depth,
+                buffer_occupancy_bytes=self.buffer.occupancy_bytes,
+                time_ps=self.sim.now_ps,
+                user_meta=user_meta,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficManager({self.name!r}, ports={len(self.ports)}, "
+            f"occupancy={self.buffer.occupancy_bytes}B)"
+        )

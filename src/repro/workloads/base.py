@@ -1,0 +1,83 @@
+"""Workload generator base machinery.
+
+A generator schedules packet transmissions on the simulator and hands
+each built packet to a caller-supplied ``send`` callable — typically
+``host.send`` or a closure around ``switch.receive`` for single-switch
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.packet.builder import make_udp_packet
+from repro.packet.packet import Packet
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.rng import SeededRng
+
+SendFn = Callable[[Packet], object]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Identity of one synthetic flow."""
+
+    src_ip: int
+    dst_ip: int
+    sport: int = 10_000
+    dport: int = 2000
+
+    def build_packet(self, payload_len: int, ts_ps: int = 0) -> Packet:
+        """A UDP packet belonging to this flow."""
+        return make_udp_packet(
+            self.src_ip,
+            self.dst_ip,
+            sport=self.sport,
+            dport=self.dport,
+            payload_len=payload_len,
+            ts_ps=ts_ps,
+        )
+
+
+class TrafficGenerator:
+    """Base class: start/stop lifecycle plus send accounting."""
+
+    def __init__(self, sim: Simulator, send: SendFn, name: str = "gen") -> None:
+        self.sim = sim
+        self.send = send
+        self.name = name
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._stopped = True
+        self._pending: Optional[ScheduledEvent] = None
+
+    def start(self, at_ps: Optional[int] = None) -> None:
+        """Begin generating (immediately or at an absolute time)."""
+        self._stopped = False
+        when = self.sim.now_ps if at_ps is None else at_ps
+        self._pending = self.sim.call_at(when, self._tick)
+
+    def stop(self) -> None:
+        """Stop generating; safe to call repeatedly."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _emit(self, pkt: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += pkt.total_len
+        self.send(pkt)
+
+    def _tick(self) -> None:
+        """Generate one step and reschedule; subclasses implement."""
+        raise NotImplementedError
+
+    def _schedule_next(self, delay_ps: int) -> None:
+        if self._stopped:
+            return
+        self._pending = self.sim.call_after(max(1, delay_ps), self._tick)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, sent={self.packets_sent})"

@@ -1,0 +1,68 @@
+"""ON/OFF microburst traffic.
+
+The microburst-detection experiments need flows that are quiet most of
+the time and then slam the buffer for a short burst — the behaviour
+Snappy (Chen et al. 2018) and the paper's §2 example target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
+
+
+class OnOffBurst(TrafficGenerator):
+    """Bursts of back-to-back packets separated by silent gaps.
+
+    During an ON period the generator emits ``burst_packets`` packets
+    spaced ``intra_gap_ps`` apart (near line rate); it then sleeps for
+    an exponentially distributed OFF period with mean ``mean_off_ps``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: SendFn,
+        flow: FlowSpec,
+        burst_packets: int = 32,
+        intra_gap_ps: int = 70_000,  # ≈ 64B @ 10 Gb/s back-to-back
+        mean_off_ps: int = 200_000_000,  # 200 µs quiet
+        payload_len: int = 1400,
+        seed: int = 1,
+        name: str = "burst",
+        max_bursts: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, send, name)
+        if burst_packets <= 0:
+            raise ValueError(f"burst size must be positive, got {burst_packets}")
+        if mean_off_ps <= 0:
+            raise ValueError(f"mean off period must be positive, got {mean_off_ps}")
+        self.flow = flow
+        self.burst_packets = burst_packets
+        self.intra_gap_ps = intra_gap_ps
+        self.mean_off_ps = mean_off_ps
+        self.payload_len = payload_len
+        self.max_bursts = max_bursts
+        self.bursts_sent = 0
+        self.burst_start_times: list = []
+        self._in_burst_remaining = 0
+        self._rng = SeededRng(seed, f"burst/{name}")
+
+    def _tick(self) -> None:
+        if self._in_burst_remaining == 0:
+            if self.max_bursts is not None and self.bursts_sent >= self.max_bursts:
+                self.stop()
+                return
+            self.bursts_sent += 1
+            self.burst_start_times.append(self.sim.now_ps)
+            self._in_burst_remaining = self.burst_packets
+        self._emit(self.flow.build_packet(self.payload_len, ts_ps=self.sim.now_ps))
+        self._in_burst_remaining -= 1
+        if self._in_burst_remaining > 0:
+            self._schedule_next(self.intra_gap_ps)
+        else:
+            off = int(self._rng.expovariate(1.0 / self.mean_off_ps))
+            self._schedule_next(max(self.intra_gap_ps, off))

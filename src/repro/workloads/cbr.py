@@ -1,0 +1,46 @@
+"""Constant-bit-rate traffic."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.units import SECONDS
+from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
+
+
+class ConstantBitRate(TrafficGenerator):
+    """Fixed-size packets at a fixed rate for one flow.
+
+    ``rate_gbps`` sets the goodput target; the inter-packet gap is
+    derived from the packet's on-wire size so the offered load matches
+    the requested rate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: SendFn,
+        flow: FlowSpec,
+        rate_gbps: float,
+        payload_len: int = 1400,
+        name: str = "cbr",
+        max_packets: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, send, name)
+        if rate_gbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_gbps}")
+        self.flow = flow
+        self.rate_gbps = rate_gbps
+        self.payload_len = payload_len
+        self.max_packets = max_packets
+        sample = flow.build_packet(payload_len)
+        bits = sample.wire_len * 8
+        self.gap_ps = max(1, int(bits * 1_000 / rate_gbps))
+
+    def _tick(self) -> None:
+        if self.max_packets is not None and self.packets_sent >= self.max_packets:
+            self.stop()
+            return
+        self._emit(self.flow.build_packet(self.payload_len, ts_ps=self.sim.now_ps))
+        self._schedule_next(self.gap_ps)

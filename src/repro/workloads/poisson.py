@@ -1,0 +1,44 @@
+"""Poisson-arrival traffic."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.units import SECONDS
+from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
+
+
+class PoissonTraffic(TrafficGenerator):
+    """Exponentially spaced packets of one flow at ``mean_pps``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: SendFn,
+        flow: FlowSpec,
+        mean_pps: float,
+        payload_len: int = 400,
+        seed: int = 1,
+        name: str = "poisson",
+        max_packets: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, send, name)
+        if mean_pps <= 0:
+            raise ValueError(f"mean rate must be positive, got {mean_pps}")
+        self.flow = flow
+        self.mean_pps = mean_pps
+        self.payload_len = payload_len
+        self.max_packets = max_packets
+        self._rng = SeededRng(seed, f"poisson/{name}")
+
+    def _gap_ps(self) -> int:
+        return max(1, int(self._rng.expovariate(self.mean_pps) * SECONDS))
+
+    def _tick(self) -> None:
+        if self.max_packets is not None and self.packets_sent >= self.max_packets:
+            self.stop()
+            return
+        self._emit(self.flow.build_packet(self.payload_len, ts_ps=self.sim.now_ps))
+        self._schedule_next(self._gap_ps())

@@ -1,0 +1,104 @@
+"""Self-similar (long-range-dependent) traffic.
+
+Real packet traffic is famously self-similar: aggregating many ON/OFF
+sources whose period lengths are Pareto-distributed (infinite variance)
+produces burstiness at every time scale, unlike Poisson traffic which
+smooths out.  Monitoring and AQM results can look very different under
+the two, so the reproduction offers this generator alongside Poisson.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
+
+
+class ParetoOnOffSource:
+    """One ON/OFF source with Pareto-distributed period lengths."""
+
+    def __init__(self, rng: SeededRng, shape: float, mean_on_ps: int, mean_off_ps: int) -> None:
+        if not 1.0 < shape <= 2.0:
+            raise ValueError(
+                f"shape must be in (1, 2] for self-similarity, got {shape}"
+            )
+        self.rng = rng
+        self.shape = shape
+        # Pareto mean = shape * xm / (shape - 1) → solve for xm.
+        self.on_scale = mean_on_ps * (shape - 1) / shape
+        self.off_scale = mean_off_ps * (shape - 1) / shape
+        self.on_until_ps = 0
+        self.off_until_ps = 0
+
+    def _pareto(self, scale: float) -> int:
+        # Inverse CDF: xm / U^(1/shape).
+        u = max(self.rng.random(), 1e-12)
+        return max(1, int(scale / (u ** (1.0 / self.shape))))
+
+    def is_on(self, now_ps: int) -> bool:
+        """Advance the ON/OFF state machine to ``now_ps``; True if ON."""
+        while now_ps >= self.off_until_ps:
+            self.on_until_ps = self.off_until_ps + self._pareto(self.on_scale)
+            self.off_until_ps = self.on_until_ps + self._pareto(self.off_scale)
+        return now_ps < self.on_until_ps
+
+
+class SelfSimilarTraffic(TrafficGenerator):
+    """Aggregated Pareto ON/OFF sources → long-range-dependent load.
+
+    ``sources`` independent ON/OFF processes each emit at
+    ``per_source_pps`` while ON.  The generator polls on a fixed tick
+    and emits one packet per currently-ON source slot, rotating flow
+    identities so downstream per-flow structures see realistic churn.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: SendFn,
+        sources: int = 16,
+        per_source_pps: float = 50_000.0,
+        shape: float = 1.5,
+        mean_on_ps: int = 500_000_000,  # 0.5 ms
+        mean_off_ps: int = 1_500_000_000,  # 1.5 ms
+        payload_len: int = 700,
+        dst_ip: int = 0x0A00_0002,
+        seed: int = 1,
+        name: str = "selfsimilar",
+    ) -> None:
+        super().__init__(sim, send, name)
+        if sources <= 0:
+            raise ValueError(f"need at least one source, got {sources}")
+        if per_source_pps <= 0:
+            raise ValueError(f"rate must be positive, got {per_source_pps}")
+        self.payload_len = payload_len
+        rng = SeededRng(seed, f"selfsimilar/{name}")
+        self._emit_rng = rng.child("emit")
+        self.sources: List[ParetoOnOffSource] = [
+            ParetoOnOffSource(rng.child(f"src{i}"), shape, mean_on_ps, mean_off_ps)
+            for i in range(sources)
+        ]
+        self.flows: List[FlowSpec] = [
+            FlowSpec(
+                src_ip=0x0A00_0001, dst_ip=dst_ip, sport=15_000 + i, dport=4_242
+            )
+            for i in range(sources)
+        ]
+        self.tick_ps = max(1, int(1e12 / per_source_pps))
+        self.on_samples = 0
+        self.state_samples = 0
+
+    def _tick(self) -> None:
+        now = self.sim.now_ps
+        for source, flow in zip(self.sources, self.flows):
+            self.state_samples += 1
+            if source.is_on(now):
+                self.on_samples += 1
+                self._emit(flow.build_packet(self.payload_len, ts_ps=now))
+        self._schedule_next(self.tick_ps)
+
+    def duty_cycle(self) -> float:
+        """Observed fraction of source-slots that were ON."""
+        return self.on_samples / self.state_samples if self.state_samples else 0.0

@@ -1,0 +1,75 @@
+"""Measurement sinks.
+
+Receive-side observers that the benches attach to hosts or switch
+transmit callbacks: per-flow packet/byte counts and one-way latency
+statistics (packets carry their creation timestamp).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.packet.packet import Packet
+
+
+class PacketSink:
+    """Counts packets and bytes, total and per flow five-tuple."""
+
+    def __init__(self, name: str = "sink") -> None:
+        self.name = name
+        self.packets = 0
+        self.bytes = 0
+        self.per_flow: Dict[Tuple, int] = {}
+
+    def __call__(self, pkt: Packet) -> None:
+        self.packets += 1
+        self.bytes += pkt.total_len
+        ftuple = pkt.five_tuple()
+        if ftuple is not None:
+            key = (ftuple.src_ip, ftuple.dst_ip, ftuple.proto, ftuple.sport, ftuple.dport)
+            self.per_flow[key] = self.per_flow.get(key, 0) + 1
+
+    def flow_count(self) -> int:
+        """Distinct flows observed."""
+        return len(self.per_flow)
+
+    def __repr__(self) -> str:
+        return f"PacketSink({self.name!r}, packets={self.packets})"
+
+
+class LatencySink:
+    """One-way latency statistics from packet creation timestamps."""
+
+    def __init__(self, sim, name: str = "latency") -> None:
+        self.sim = sim
+        self.name = name
+        self.samples: List[int] = []
+
+    def __call__(self, pkt: Packet) -> None:
+        self.samples.append(self.sim.now_ps - pkt.ts_created_ps)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    def mean_ps(self) -> float:
+        """Mean latency."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def max_ps(self) -> int:
+        """Worst-case latency."""
+        return max(self.samples) if self.samples else 0
+
+    def percentile_ps(self, pct: float) -> int:
+        """The ``pct`` percentile latency (nearest-rank)."""
+        if not self.samples:
+            return 0
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {pct}")
+        ordered = sorted(self.samples)
+        rank = max(1, int(round(pct / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def __repr__(self) -> str:
+        return f"LatencySink({self.name!r}, n={self.count})"

@@ -1,0 +1,76 @@
+"""Zipf-popularity flow mixes (heavy hitters).
+
+The monitoring experiments (count-min sketch, heavy-hitter detection)
+use a flow population whose packet counts follow a Zipf distribution —
+a few elephant flows and a long tail of mice, the standard model of
+datacenter and WAN traffic skew.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.units import SECONDS
+from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
+
+
+class ZipfFlowMix(TrafficGenerator):
+    """Poisson arrivals whose flow identity is Zipf-distributed.
+
+    Flow ``i`` has popularity ∝ 1/(i+1)^skew.  The generator tracks the
+    true per-flow packet counts so experiments can compare sketch
+    estimates against ground truth.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: SendFn,
+        flow_count: int = 1000,
+        skew: float = 1.1,
+        mean_pps: float = 100_000.0,
+        payload_len: int = 200,
+        seed: int = 1,
+        name: str = "zipf",
+        max_packets: Optional[int] = None,
+        dst_ip: int = 0x0C00_0001,
+    ) -> None:
+        super().__init__(sim, send, name)
+        if flow_count <= 0:
+            raise ValueError(f"flow count must be positive, got {flow_count}")
+        if mean_pps <= 0:
+            raise ValueError(f"mean rate must be positive, got {mean_pps}")
+        self.flow_count = flow_count
+        self.skew = skew
+        self.mean_pps = mean_pps
+        self.payload_len = payload_len
+        self.max_packets = max_packets
+        self.flows: List[FlowSpec] = [
+            FlowSpec(
+                src_ip=0x0B00_0000 + i,
+                dst_ip=dst_ip,
+                sport=20_000 + (i % 40_000),
+                dport=443,
+            )
+            for i in range(flow_count)
+        ]
+        self.true_counts: Dict[int, int] = {}
+        self._rng = SeededRng(seed, f"zipf/{name}")
+
+    def _tick(self) -> None:
+        if self.max_packets is not None and self.packets_sent >= self.max_packets:
+            self.stop()
+            return
+        flow_index = self._rng.zipf_index(self.flow_count, self.skew)
+        self.true_counts[flow_index] = self.true_counts.get(flow_index, 0) + 1
+        flow = self.flows[flow_index]
+        self._emit(flow.build_packet(self.payload_len, ts_ps=self.sim.now_ps))
+        gap = max(1, int(self._rng.expovariate(self.mean_pps) * SECONDS))
+        self._schedule_next(gap)
+
+    def top_flows(self, k: int) -> List[int]:
+        """Indices of the ``k`` truly most popular flows so far."""
+        ranked = sorted(self.true_counts.items(), key=lambda kv: -kv[1])
+        return [index for index, _count in ranked[:k]]

@@ -1,0 +1,35 @@
+"""Shared harness for application unit tests.
+
+A single SUME Event Switch (full event set) with two connected hosts:
+h0 on port 0 (ip 0x0A000001), h1 on port 1 (ip 0x0A000002).  Tests
+load a program, push packets from h0, and inspect what reaches h1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.topology import build_linear
+from repro.workloads.sink import PacketSink
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+def single_switch(
+    program, arch="sume", full_events=True, install_routes=True, **factory_kwargs
+):
+    """Build the harness; returns (network, switch, sink at h1)."""
+    if arch == "sume":
+        factory = make_sume_switch(full_events=full_events, **factory_kwargs)
+    elif arch == "baseline":
+        factory = make_baseline_switch(**factory_kwargs)
+    else:
+        raise ValueError(f"unknown arch {arch!r}")
+    network = build_linear(factory, switch_count=1)
+    if install_routes and hasattr(program, "install_route"):
+        program.install_route(H1_IP, 1)
+        program.install_route(H0_IP, 0)
+    network.switches["s0"].load_program(program)
+    sink = PacketSink("h1")
+    network.hosts["h1"].add_sink(sink)
+    return network, network.switches["s0"], sink

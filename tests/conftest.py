@@ -1,0 +1,6 @@
+"""Test suite configuration: make shared helpers importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,143 @@
+"""Unit and property tests for the Figure 3 aggregation register file."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.state.aggregation import AggregationRegisterFile
+
+
+def test_figure3_scenario():
+    """The exact picture from Figure 3: ADD 200 / 300 / SUB 100."""
+    file = AggregationRegisterFile(size=4)
+    # Queue 0 accumulated two 100B enqueues; main holds 300 from earlier.
+    file.enqueue_update(0, 0, 300)
+    file.drain(1)  # main[0] = 300
+    file.enqueue_update(2, 0, 100)
+    file.enqueue_update(3, 0, 100)
+    assert file.enq_agg.register.read(0) == 200  # "0: ADD 200"
+    assert file.main.register.read(0) == 300  # "0: 300"
+    file.dequeue_update(4, 0, 100)
+    assert file.deq_agg.register.read(0) == 100  # "0: SUB 100"
+    # Idle cycle: everything folds into the main register.
+    file.drain(5)
+    assert file.main.register.read(0) == 400
+    assert file.truth(0) == 400
+    assert file.staleness(0) == 0
+
+
+def test_same_cycle_enqueue_dequeue_and_read_no_conflicts():
+    """§4's question answered: no multi-ported memory required."""
+    file = AggregationRegisterFile(size=4, strict_ports=True)
+    file.enqueue_update(0, 0, 64)
+    file.drain(1)
+    # Cycle 2: an enqueue on queue 0, a dequeue on queue 0, and a packet
+    # read of queue 2 all in the same cycle — three different arrays.
+    file.enqueue_update(2, 0, 64)
+    file.dequeue_update(2, 0, 64)
+    assert file.packet_read(2, 2) == 0
+    report = file.port_report()
+    assert all(r["conflict_cycles"] == 0 for r in report.values())
+
+
+def test_packet_read_sees_stale_then_fresh():
+    file = AggregationRegisterFile(size=2)
+    file.enqueue_update(0, 1, 500)
+    # Before the drain the main register still reads 0 (stale).
+    assert file.packet_read(1, 1) == 0
+    assert file.staleness(1) == 500
+    file.drain(2)
+    assert file.packet_read(3, 1) == 500
+    assert file.max_staleness() == 0
+
+
+def test_drain_applies_whole_backlog_of_one_index():
+    file = AggregationRegisterFile(size=4)
+    for cycle in range(5):
+        file.enqueue_update(cycle, 3, 100)
+    assert file.pending_indices == 1
+    drained = file.drain(10)
+    assert drained == 1
+    assert file.main.register.read(3) == 500
+    assert file.pending_indices == 0
+
+
+def test_drain_order_is_first_touched_first():
+    file = AggregationRegisterFile(size=4)
+    file.enqueue_update(0, 2, 10)
+    file.enqueue_update(1, 0, 10)
+    file.drain(5, max_indices=1)
+    assert file.main.register.read(2) == 10  # first-touched drains first
+    assert file.main.register.read(0) == 0
+
+
+def test_drain_lag_statistics():
+    file = AggregationRegisterFile(size=2)
+    file.enqueue_update(0, 0, 1)
+    file.drain(10)
+    assert file.max_drain_lag_cycles == 10
+    assert file.mean_drain_lag_cycles() == 10.0
+
+
+def test_dequeue_cannot_exceed_truth():
+    file = AggregationRegisterFile(size=2)
+    file.enqueue_update(0, 0, 50)
+    with pytest.raises(ValueError):
+        file.dequeue_update(1, 0, 100)
+
+
+def test_negative_deltas_rejected():
+    file = AggregationRegisterFile(size=2)
+    with pytest.raises(ValueError):
+        file.enqueue_update(0, 0, -1)
+
+
+def test_index_bounds():
+    file = AggregationRegisterFile(size=2)
+    with pytest.raises(IndexError):
+        file.enqueue_update(0, 2, 1)
+    with pytest.raises(IndexError):
+        file.packet_read(0, -1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["enq", "deq", "drain"]),
+            st.integers(0, 7),
+            st.integers(1, 500),
+        ),
+        max_size=120,
+    )
+)
+def test_invariants_under_random_schedules(ops):
+    """Invariants of the Figure 3 design under arbitrary op orders.
+
+    1. The main register never goes transiently negative (no 2^32 wrap),
+       because drains clear both aggregation sides jointly.
+    2. main + pending_net == truth for every index at all times.
+    3. After draining everything, main == truth exactly.
+    """
+    file = AggregationRegisterFile(size=8)
+    cycle = 0
+    for op, index, amount in ops:
+        cycle += 1
+        if op == "enq":
+            file.enqueue_update(cycle, index, amount)
+        elif op == "deq":
+            available = file.truth(index)
+            if available > 0:
+                file.dequeue_update(cycle, index, min(amount, available))
+        else:
+            file.drain(cycle, max_indices=1)
+        # Invariant 1: no wraparound (values stay far below 2^31).
+        for value in file.main.register.snapshot():
+            assert value < (1 << 31)
+        # Invariant 2: main + pending == truth.
+        for i in range(8):
+            pending = file.enq_agg.register.read(i) - file.deq_agg.register.read(i)
+            assert file.main.register.snapshot()[i] + pending == file.truth(i)
+    while file.pending_indices:
+        cycle += 1
+        file.drain(cycle, max_indices=1)
+    assert file.max_staleness() == 0

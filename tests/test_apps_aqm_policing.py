@@ -1,0 +1,258 @@
+"""Unit tests for the AQM and policing programs."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP, single_switch
+
+from repro.apps.aqm import DropTailProgram, FredAqm, RedAqm
+from repro.apps.policing import FixedFunctionPolicer, TimerTokenBucketPolicer
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_udp_packet
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import MICROSECONDS
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self, now=0):
+        self._now = now
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def configure_timer(self, timer_id, period_ps):
+        pass
+
+
+def enq_event(buffer_bytes, flow=0, length=500):
+    return Event(
+        EventType.ENQUEUE,
+        0,
+        meta={"buffer_bytes": buffer_bytes, "flowID": flow, "pkt_len": length},
+    )
+
+
+def deq_event(buffer_bytes, flow=0, length=500):
+    return Event(
+        EventType.DEQUEUE,
+        0,
+        meta={"buffer_bytes": buffer_bytes, "flowID": flow, "pkt_len": length},
+    )
+
+
+class TestRed:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedAqm(min_thresh_bytes=100, max_thresh_bytes=100)
+        with pytest.raises(ValueError):
+            RedAqm(max_drop_prob=0)
+
+    def test_ewma_tracks_buffer(self):
+        red = RedAqm(min_thresh_bytes=1_000, max_thresh_bytes=5_000, weight_shift=0)
+        ctx = FakeCtx()
+        red.on_enqueue(ctx, enq_event(4_000))
+        # weight_shift=0 → avg snaps to the instantaneous value.
+        assert red._avg() == 4_000
+
+    def test_below_min_never_drops(self):
+        red = RedAqm(min_thresh_bytes=10_000, max_thresh_bytes=20_000)
+        red.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        for _ in range(100):
+            meta = StandardMetadata()
+            red.ingress(ctx, make_udp_packet(H0_IP, H1_IP), meta)
+            assert not meta.dropped
+        assert red.early_drops == 0
+
+    def test_above_max_always_drops(self):
+        red = RedAqm(min_thresh_bytes=100, max_thresh_bytes=200, weight_shift=0)
+        red.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        red.on_enqueue(ctx, enq_event(10_000))
+        meta = StandardMetadata()
+        red.ingress(ctx, make_udp_packet(H0_IP, H1_IP), meta)
+        assert meta.dropped
+        assert red.early_drops == 1
+
+    def test_probabilistic_region(self):
+        red = RedAqm(
+            min_thresh_bytes=0, max_thresh_bytes=10_000, max_drop_prob=0.5,
+            weight_shift=0, seed=1,
+        )
+        red.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        red.on_enqueue(ctx, enq_event(5_000))  # middle → p = 0.25
+        drops = 0
+        for _ in range(2_000):
+            meta = StandardMetadata()
+            red.ingress(ctx, make_udp_packet(H0_IP, H1_IP), meta)
+            if meta.dropped:
+                drops += 1
+        assert 0.18 < drops / 2_000 < 0.32
+
+
+class TestFred:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FredAqm(fairness_factor=0)
+
+    def test_active_flow_accounting(self):
+        fred = FredAqm(num_regs=64)
+        ctx = FakeCtx()
+        fred.on_enqueue(ctx, enq_event(0, flow=1, length=500))
+        fred.on_enqueue(ctx, enq_event(0, flow=2, length=500))
+        fred.on_enqueue(ctx, enq_event(0, flow=1, length=500))
+        assert fred.totals.read(0) == 1_500
+        assert fred.totals.read(1) == 2  # two active flows
+        fred.on_dequeue(ctx, deq_event(0, flow=1, length=500))
+        fred.on_dequeue(ctx, deq_event(0, flow=1, length=500))
+        assert fred.totals.read(1) == 1  # flow 1 drained out
+
+    def test_over_share_flow_dropped(self):
+        fred = FredAqm(num_regs=64, fairness_factor=1.0, min_buffer_bytes=100)
+        fred.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        # Flow occupying everything while another flow is active.
+        from repro.packet.hashing import flow_hash
+
+        hog_pkt = make_udp_packet(H0_IP, H1_IP, sport=1, dport=2)
+        hog = flow_hash(hog_pkt, 64)
+        fred.on_enqueue(ctx, enq_event(0, flow=hog, length=9_000))
+        other = (hog + 1) % 64
+        fred.on_enqueue(ctx, enq_event(0, flow=other, length=100))
+        meta = StandardMetadata()
+        fred.ingress(ctx, hog_pkt, meta)
+        assert meta.dropped
+        assert fred.unfair_drops == 1
+
+    def test_timer_samples_series(self):
+        fred = FredAqm(sample_period_ps=100)
+        ctx = FakeCtx(now=500)
+        fred.on_enqueue(ctx, enq_event(0, flow=3, length=700))
+        fred.on_timer(ctx, Event(EventType.TIMER, 500))
+        assert fred.occupancy_series == [(500, 700, 1)]
+
+    def test_end_to_end_fairness_signals(self):
+        fred = FredAqm(num_regs=64, sample_period_ps=100 * MICROSECONDS)
+        network, switch, sink = single_switch(fred)
+        h0 = network.hosts["h0"]
+        for i in range(5):
+            network.sim.call_at(
+                1_000 + i * 100_000,
+                h0.send,
+                make_udp_packet(H0_IP, H1_IP, payload_len=958),
+            )
+        network.run(until_ps=2_000 * MICROSECONDS)
+        assert sink.packets == 5
+        assert fred.totals.read(0) == 0  # all drained
+        assert len(fred.occupancy_series) >= 10
+
+
+class TestPie:
+    def make(self, **kwargs):
+        from repro.apps.aqm import PieAqm
+
+        defaults = dict(target_delay_ps=10_000_000, update_period_ps=100_000_000)
+        defaults.update(kwargs)
+        program = PieAqm(**defaults)
+        program.install_route(H1_IP, 1)
+        return program
+
+    def test_validation(self):
+        from repro.apps.aqm import PieAqm
+
+        with pytest.raises(ValueError):
+            PieAqm(target_delay_ps=0)
+        with pytest.raises(ValueError):
+            PieAqm(drain_rate_gbps=0)
+
+    def test_probability_rises_when_latency_exceeds_target(self):
+        program = self.make()
+        ctx = FakeCtx()
+        # 50 KB buffered at 10 Gb/s ≈ 40 µs latency, over the 10 µs target.
+        program.on_enqueue(ctx, enq_event(50_000))
+        program.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert program.drop_probability() > 0
+
+    def test_probability_falls_back_when_queue_drains(self):
+        program = self.make()
+        ctx = FakeCtx()
+        program.on_enqueue(ctx, enq_event(50_000))
+        for _ in range(5):
+            program.on_timer(ctx, Event(EventType.TIMER, 0))
+        high = program.drop_probability()
+        program.on_dequeue(ctx, deq_event(0))
+        for _ in range(50):
+            program.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert program.drop_probability() < high
+
+    def test_probability_clamped_to_unit_interval(self):
+        program = self.make()
+        ctx = FakeCtx()
+        program.on_enqueue(ctx, enq_event(10_000_000))
+        for _ in range(1_000):
+            program.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert program.drop_probability() <= 1.0
+
+    def test_zero_probability_never_drops(self):
+        program = self.make()
+        ctx = FakeCtx()
+        for _ in range(50):
+            meta = StandardMetadata()
+            program.ingress(ctx, make_udp_packet(H0_IP, H1_IP), meta)
+            assert not meta.dropped
+
+
+class TestTimerPolicer:
+    def test_refill_capped_at_burst(self):
+        policer = TimerTokenBucketPolicer(
+            num_flows=4, rate_bps=1e9, burst_bytes=1_000, refill_period_ps=1_000_000
+        )
+        ctx = FakeCtx()
+        policer.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert policer.tokens.read(0) == 1_000  # capped
+
+    def test_conform_and_drop(self):
+        policer = TimerTokenBucketPolicer(
+            num_flows=64, rate_bps=1e9, burst_bytes=600
+        )
+        policer.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=458)  # 500B
+        meta = StandardMetadata()
+        policer.ingress(ctx, pkt, meta)
+        assert not meta.dropped
+        meta2 = StandardMetadata()
+        policer.ingress(ctx, pkt.clone(), meta2)
+        assert meta2.dropped  # only 100B left in the bucket
+        assert sum(policer.dropped.values()) == 1
+
+    def test_borrowing_pool(self):
+        policer = TimerTokenBucketPolicer(
+            num_flows=4, rate_bps=1e9, burst_bytes=1_000, borrowing=True
+        )
+        ctx = FakeCtx()
+        # Refill with all buckets full spills into the shared pool.
+        policer.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert policer.shared_pool.read(0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimerTokenBucketPolicer(rate_bps=0)
+        with pytest.raises(ValueError):
+            TimerTokenBucketPolicer(burst_bytes=0)
+
+
+class TestFixedPolicer:
+    def test_meter_colors_drive_drops(self):
+        policer = FixedFunctionPolicer(num_flows=64, rate_bps=1e9, burst_bytes=600)
+        policer.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=458)
+        meta = StandardMetadata()
+        policer.ingress(ctx, pkt, meta)
+        assert not meta.dropped
+        meta2 = StandardMetadata()
+        policer.ingress(ctx, pkt.clone(), meta2)
+        assert meta2.dropped

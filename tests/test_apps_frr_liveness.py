@@ -1,0 +1,186 @@
+"""Unit tests for fast re-route and liveness monitoring."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP, single_switch
+
+from repro.apps.frr import FastRerouteProgram, StaticRouteProgram
+from repro.apps.liveness import LivenessMonitor
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_liveness_echo, make_udp_packet
+from repro.packet.headers import LivenessEcho
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import MICROSECONDS
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self):
+        self.generated = []
+        self.notifications = []
+        self._now = 0
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def configure_timer(self, timer_id, period_ps):
+        pass
+
+    def generate_packet(self, pkt):
+        self.generated.append(pkt)
+
+    def notify_control_plane(self, message):
+        self.notifications.append(message)
+
+
+class TestFastReroute:
+    def test_protected_route_validation(self):
+        frr = FastRerouteProgram()
+        with pytest.raises(ValueError):
+            frr.install_protected_route(1, primary=2, backup=2)
+
+    def test_link_down_flips_affected_routes_only(self):
+        frr = FastRerouteProgram()
+        frr.install_protected_route(0xA, primary=1, backup=2)
+        frr.install_protected_route(0xB, primary=3, backup=2)
+        ctx = FakeCtx()
+        frr.on_link_status(
+            ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0})
+        )
+        assert frr.routes[0xA] == 2  # failed over
+        assert frr.routes[0xB] == 3  # untouched
+        assert len(frr.failovers) == 1
+        assert frr.failovers[0].rerouted_destinations == 1
+
+    def test_link_up_reverts(self):
+        frr = FastRerouteProgram()
+        frr.install_protected_route(0xA, primary=1, backup=2)
+        ctx = FakeCtx()
+        frr.on_link_status(ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0}))
+        frr.on_link_status(ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 1}))
+        assert frr.routes[0xA] == 1
+        assert len(frr.reverts) == 1
+
+    def test_unprotected_destination_stays_on_dead_port(self):
+        frr = FastRerouteProgram()
+        frr.install_route(0xC, 1)  # no backup
+        ctx = FakeCtx()
+        frr.on_link_status(ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0}))
+        assert frr.routes[0xC] == 1
+
+    def test_end_to_end_failover_on_switch(self):
+        frr = FastRerouteProgram()
+        network, switch, sink = single_switch(frr, install_routes=False)
+        frr.install_protected_route(H1_IP, primary=1, backup=0)
+        frr.install_route(H0_IP, 0)
+        switch.set_link_status(1, False)
+        network.run()
+        assert frr.routes[H1_IP] == 0
+
+    def test_static_program_only_changes_via_control(self):
+        static = StaticRouteProgram()
+        static.install_routes({0xA: 1})
+        assert static.handler_for(EventType.LINK_STATUS) is None
+        static.control_update(0xA, 2)
+        assert static.routes[0xA] == 2
+        assert static.control_updates == 1
+
+
+class TestLiveness:
+    def make(self, **kwargs):
+        defaults = dict(
+            switch_id=1, neighbor_ports=[0], period_ps=10 * MICROSECONDS,
+            misses_allowed=3, monitor_port=1,
+        )
+        defaults.update(kwargs)
+        return LivenessMonitor(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LivenessMonitor(switch_id=1, neighbor_ports=[])
+        with pytest.raises(ValueError):
+            LivenessMonitor(switch_id=1, neighbor_ports=[0], misses_allowed=0)
+
+    def test_timer_sends_requests(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert monitor.requests_sent == 1
+        echo = ctx.generated[0].require(LivenessEcho)
+        assert echo.kind == LivenessEcho.KIND_REQUEST
+        assert ctx.generated[0].meta["probe_out_port"] == 0
+
+    def test_request_bounced_as_reply(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        request = make_liveness_echo(
+            LivenessEcho.KIND_REQUEST, origin=2, target=0, nonce=7
+        )
+        meta = StandardMetadata(ingress_port=0)
+        monitor.ingress(ctx, request, meta)
+        assert meta.egress_spec == 0  # bounced back out the arrival port
+        echo = request.require(LivenessEcho)
+        assert echo.kind == LivenessEcho.KIND_REPLY
+        assert monitor.replies_sent == 1
+
+    def test_reply_refreshes_deadline(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 5 * MICROSECONDS
+        reply = make_liveness_echo(LivenessEcho.KIND_REPLY, origin=2, target=1, nonce=7)
+        monitor.ingress(ctx, reply, StandardMetadata(ingress_port=0))
+        assert monitor.last_reply.read(0) == 5 * MICROSECONDS
+
+    def test_missed_deadline_marks_dead_and_notifies(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 50 * MICROSECONDS  # 5 periods of silence
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert len(monitor.failures) == 1
+        assert monitor.failures[0].port == 0
+        assert monitor.notifications_sent == 1
+        notify = ctx.generated[-1].require(LivenessEcho)
+        assert notify.kind == LivenessEcho.KIND_NOTIFY
+
+    def test_no_duplicate_failure_reports(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 50 * MICROSECONDS
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        ctx._now = 60 * MICROSECONDS
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert len(monitor.failures) == 1
+
+    def test_recovery_detected_on_new_reply(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 50 * MICROSECONDS
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        reply = make_liveness_echo(LivenessEcho.KIND_REPLY, origin=2, target=1, nonce=9)
+        monitor.ingress(ctx, reply, StandardMetadata(ingress_port=0))
+        assert monitor.alive.read(0) == 1
+        assert len(monitor.recoveries) == 1
+
+    def test_notify_without_monitor_port_goes_to_cpu(self):
+        monitor = self.make(monitor_port=None)
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 50 * MICROSECONDS
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert ctx.notifications
+        assert ctx.notifications[0]["failed_port"] == 0
+
+    def test_detection_delay_helper(self):
+        monitor = self.make()
+        ctx = FakeCtx()
+        monitor.on_load(ctx)
+        ctx._now = 45 * MICROSECONDS
+        monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert monitor.detection_delay_ps(10 * MICROSECONDS) == 35 * MICROSECONDS
+        assert monitor.detection_delay_ps(60 * MICROSECONDS) is None

@@ -1,0 +1,202 @@
+"""Unit tests for the HULA programs."""
+
+import pytest
+
+from repro.apps.hula import (
+    EcmpLeafProgram,
+    HulaLeafProgram,
+    HulaSpineProgram,
+    UTIL_INFINITY,
+)
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_hula_probe, make_udp_packet
+from repro.packet.headers import HulaProbe
+from repro.pisa.metadata import StandardMetadata
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self):
+        self.generated = []
+        self.timers = []
+        self._now = 0
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def configure_timer(self, timer_id, period_ps):
+        self.timers.append((timer_id, period_ps))
+
+    def generate_packet(self, pkt):
+        self.generated.append(pkt)
+
+
+def make_leaf(**kwargs):
+    defaults = dict(tor_id=0, uplink_ports=[0, 1], tor_count=2)
+    defaults.update(kwargs)
+    return HulaLeafProgram(**defaults)
+
+
+def test_leaf_validation():
+    with pytest.raises(ValueError):
+        HulaLeafProgram(tor_id=0, uplink_ports=[], tor_count=2)
+
+
+def test_on_load_arms_probe_timer():
+    leaf = make_leaf(probe_period_ps=12_345)
+    ctx = FakeCtx()
+    leaf.on_load(ctx)
+    assert ctx.timers == [(0, 12_345)]
+
+
+def test_timer_generates_one_probe_per_uplink():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    leaf.on_timer(ctx, Event(kind=EventType.TIMER, time_ps=0))
+    assert len(ctx.generated) == 2
+    ports = {pkt.meta["probe_out_port"] for pkt in ctx.generated}
+    assert ports == {0, 1}
+    assert all(pkt.get(HulaProbe).tor_id == 0 for pkt in ctx.generated)
+
+
+def test_probe_updates_best_hop_when_better():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    # Initially best_util is infinite; any probe wins.
+    probe_pkt = make_hula_probe(tor_id=1, path_id=0, max_util_centi=500)
+    meta = StandardMetadata(ingress_port=1)
+    leaf.ingress(ctx, probe_pkt, meta)
+    assert leaf.best_hop.read(1) == 1
+    assert leaf.best_util.read(1) == 500
+    assert meta.dropped  # probes terminate at the leaf
+    # A worse probe on another port does not displace it.
+    worse = make_hula_probe(tor_id=1, path_id=0, max_util_centi=9_000)
+    leaf.ingress(ctx, worse, StandardMetadata(ingress_port=0))
+    assert leaf.best_hop.read(1) == 1
+
+
+def test_probe_on_current_hop_refreshes_even_if_worse():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    leaf.ingress(
+        ctx,
+        make_hula_probe(tor_id=1, path_id=0, max_util_centi=100),
+        StandardMetadata(ingress_port=0),
+    )
+    leaf.ingress(
+        ctx,
+        make_hula_probe(tor_id=1, path_id=0, max_util_centi=7_000),
+        StandardMetadata(ingress_port=0),
+    )
+    assert leaf.best_util.read(1) == 7_000  # refreshed upward
+
+
+def test_probe_folds_in_local_uplink_utilization():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    leaf.util.on_transmit(0, 9_999)
+    leaf.ingress(
+        ctx,
+        make_hula_probe(tor_id=1, path_id=0, max_util_centi=5),
+        StandardMetadata(ingress_port=0),
+    )
+    assert leaf.best_util.read(1) == 9_999
+
+
+def test_data_follows_best_hop_with_flowlet_stickiness():
+    leaf = make_leaf(flowlet_gap_ps=1_000_000)
+    ctx = FakeCtx()
+    leaf.install_remote(0x0B000001, 1)
+    leaf.ingress(
+        ctx,
+        make_hula_probe(tor_id=1, path_id=0, max_util_centi=10),
+        StandardMetadata(ingress_port=1),
+    )
+    pkt = make_udp_packet(0x0A000001, 0x0B000001, sport=5, dport=6)
+    meta = StandardMetadata(ingress_port=2)
+    ctx._now = 100
+    leaf.ingress(ctx, pkt, meta)
+    assert meta.egress_spec == 1
+    # Best hop flips, but the flowlet is still live → sticks to port 1.
+    leaf.best_hop.write(1, 0)
+    meta2 = StandardMetadata(ingress_port=2)
+    ctx._now = 200
+    leaf.ingress(ctx, pkt.clone(), meta2)
+    assert meta2.egress_spec == 1
+    # After the flowlet gap the flow adopts the new best hop.
+    meta3 = StandardMetadata(ingress_port=2)
+    ctx._now = 200 + 2_000_000
+    leaf.ingress(ctx, pkt.clone(), meta3)
+    assert meta3.egress_spec == 0
+    assert leaf.flowlet_switches == 1
+
+
+def test_unknown_destination_dropped():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    meta = StandardMetadata()
+    leaf.ingress(ctx, make_udp_packet(1, 0x0D0D0D0D), meta)
+    assert meta.dropped
+    assert leaf.unrouted_drops == 1
+
+
+def test_transmit_event_feeds_util_estimator():
+    leaf = make_leaf()
+    ctx = FakeCtx()
+    event = Event(
+        kind=EventType.PACKET_TRANSMITTED,
+        time_ps=0,
+        meta={"port": 1, "pkt_len": 1_000},
+    )
+    leaf.on_transmit(ctx, event)
+    assert leaf.util.read(1) == 1_000
+    # Decay halves it.
+    leaf.util.decay()
+    assert leaf.util.read(1) == 500
+
+
+class TestSpine:
+    def test_floods_probe_to_other_leaves(self):
+        spine = HulaSpineProgram(leaf_ports=[0, 1, 2])
+        ctx = FakeCtx()
+        probe = make_hula_probe(tor_id=0, path_id=0, max_util_centi=50)
+        meta = StandardMetadata(ingress_port=0)
+        spine.ingress(ctx, probe, meta)
+        # Original goes out the first other port; one clone generated.
+        assert meta.egress_spec in (1, 2)
+        assert len(ctx.generated) == 1
+        assert spine.probes_forwarded == 2
+
+    def test_stamps_downlink_utilization(self):
+        spine = HulaSpineProgram(leaf_ports=[0, 1])
+        ctx = FakeCtx()
+        spine.util.on_transmit(0, 8_888)  # data direction toward leaf 0
+        pkt = make_hula_probe(tor_id=0, path_id=0, max_util_centi=3)
+        meta = StandardMetadata(ingress_port=0)
+        spine.ingress(ctx, pkt, meta)
+        assert pkt.require(HulaProbe).max_util_centi == 8_888
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HulaSpineProgram(leaf_ports=[])
+
+
+class TestEcmp:
+    def test_hash_is_deterministic_per_flow(self):
+        ecmp = EcmpLeafProgram(uplink_ports=[0, 1])
+        ecmp.install_remote(0x0B000001)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(1, 0x0B000001, sport=5, dport=6)
+        chosen = set()
+        for _ in range(5):
+            meta = StandardMetadata()
+            ecmp.ingress(ctx, pkt.clone(), meta)
+            chosen.add(meta.egress_spec)
+        assert len(chosen) == 1  # same flow, same uplink, always
+
+    def test_probes_dropped(self):
+        ecmp = EcmpLeafProgram(uplink_ports=[0, 1])
+        meta = StandardMetadata()
+        ecmp.ingress(FakeCtx(), make_hula_probe(1, 0), meta)
+        assert meta.dropped

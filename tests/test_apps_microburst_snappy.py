@@ -1,0 +1,170 @@
+"""Unit tests for the microburst detectors (event-driven and Snappy)."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP, single_switch
+
+from repro.apps.microburst import MicroburstDetector
+from repro.apps.snappy import SnappyDetector
+from repro.packet.builder import make_udp_packet
+from repro.packet.hashing import ip_pair_hash
+from repro.sim.units import MICROSECONDS
+
+
+def burst_into(network, count, payload=1400, gap_ps=100_000):
+    h0 = network.hosts["h0"]
+    for i in range(count):
+        network.sim.call_at(
+            1_000 + i * gap_ps,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=payload),
+        )
+
+
+class TestMicroburstDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroburstDetector(num_regs=0)
+        with pytest.raises(ValueError):
+            MicroburstDetector(flow_thresh_bytes=0)
+        with pytest.raises(ValueError):
+            MicroburstDetector(action="explode")
+
+    def test_detects_when_occupancy_exceeds_threshold(self):
+        detector = MicroburstDetector(num_regs=64, flow_thresh_bytes=3_000)
+        network, switch, sink = single_switch(detector)
+        switch.tm.set_port_rate(1, 0.5)  # slow egress → queue builds
+        burst_into(network, 10, gap_ps=10_000)
+        network.run(until_ps=2_000 * MICROSECONDS)
+        flow_id = ip_pair_hash(H0_IP, H1_IP, 64)
+        assert flow_id in detector.detected_flows()
+        assert detector.first_detection_ps(flow_id) is not None
+
+    def test_no_detection_below_threshold(self):
+        detector = MicroburstDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+        network, switch, sink = single_switch(detector)
+        burst_into(network, 10)
+        network.run(until_ps=3_000 * MICROSECONDS)
+        assert detector.detections == []
+        assert sink.packets == 10
+
+    def test_occupancy_returns_to_zero_after_drain(self):
+        detector = MicroburstDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+        network, switch, sink = single_switch(detector)
+        burst_into(network, 5)
+        network.run(until_ps=5_000 * MICROSECONDS)
+        assert detector.flow_buf_size.nonzero_count() == 0
+
+    def test_drop_action_drops_culprit_packets(self):
+        detector = MicroburstDetector(
+            num_regs=64, flow_thresh_bytes=2_000, action="drop"
+        )
+        network, switch, sink = single_switch(detector)
+        switch.tm.set_port_rate(1, 0.1)
+        burst_into(network, 20, gap_ps=5_000)
+        network.run(until_ps=5_000 * MICROSECONDS)
+        assert switch.dropped_by_program > 0
+        assert sink.packets < 20
+
+    def test_deprioritize_action(self):
+        detector = MicroburstDetector(
+            num_regs=64, flow_thresh_bytes=2_000, action="deprioritize"
+        )
+        network, switch, sink = single_switch(detector)
+        switch.tm.set_port_rate(1, 0.1)
+        burst_into(network, 20, gap_ps=5_000)
+        network.run(until_ps=5_000 * MICROSECONDS)
+        assert detector.detections  # flagged, but nothing dropped
+        assert switch.dropped_by_program == 0
+
+    def test_non_ip_dropped(self):
+        from repro.packet.headers import Ethernet
+        from repro.packet.packet import Packet
+
+        detector = MicroburstDetector(num_regs=64)
+        network, switch, sink = single_switch(detector)
+        switch.receive(Packet(headers=[Ethernet()], payload_len=50), 0)
+        network.run()
+        assert sink.packets == 0
+
+    def test_state_bits_is_single_register(self):
+        detector = MicroburstDetector(num_regs=256)
+        assert detector.state_bits() == 256 * 32
+
+
+class TestCmsMicroburst:
+    def test_validation(self):
+        from repro.apps.microburst import CmsMicroburstDetector
+
+        with pytest.raises(ValueError):
+            CmsMicroburstDetector(flow_thresh_bytes=0)
+
+    def test_detects_culprit_with_less_state(self):
+        from repro.apps.microburst import CmsMicroburstDetector
+
+        detector = CmsMicroburstDetector(width=64, depth=2, flow_thresh_bytes=3_000)
+        # Versus a register provisioned for the default flow space, the
+        # sketch (sized to the *buffered* flows) is much smaller.
+        register_version = MicroburstDetector(flow_thresh_bytes=3_000)
+        assert detector.state_bits() < register_version.state_bits() / 4
+        network, switch, sink = single_switch(detector)
+        switch.tm.set_port_rate(1, 0.5)
+        burst_into(network, 10, gap_ps=10_000)
+        network.run(until_ps=2_000 * MICROSECONDS)
+        assert detector.detected_flows()
+        # Occupancy drains back to zero in the sketch too.
+        assert detector.sketch.total() == 0
+
+    def test_signed_updates_never_underestimate(self):
+        from repro.pisa.externs.sketch import CountMinSketch
+
+        sketch = CountMinSketch(64, 2)
+        sketch.add_signed(b"a", 500)
+        sketch.add_signed(b"b", 300)
+        sketch.add_signed(b"a", -200)
+        assert sketch.query(b"a") >= 300
+        assert sketch.query(b"b") >= 300
+
+    def test_negative_net_rejected(self):
+        from repro.pisa.externs.sketch import CountMinSketch
+
+        sketch = CountMinSketch(64, 2)
+        sketch.add_signed(b"a", 100)
+        with pytest.raises(ValueError):
+            sketch.add_signed(b"a", -200)
+
+
+class TestSnappyDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnappyDetector(snapshot_count=1)
+        with pytest.raises(ValueError):
+            SnappyDetector(window_ps=0)
+        with pytest.raises(ValueError):
+            SnappyDetector(line_rate_gbps=0)
+
+    def test_state_is_snapshot_count_times_larger(self):
+        event_driven = MicroburstDetector(num_regs=512)
+        snappy = SnappyDetector(num_regs=512, snapshot_count=4)
+        assert snappy.state_bits() >= 4 * event_driven.state_bits()
+
+    def test_window_rotation(self):
+        snappy = SnappyDetector(num_regs=16, snapshot_count=3, window_ps=1_000)
+        snappy._rotate_if_needed(now_ps=0)
+        snappy.snapshots[int(snappy.window_meta.read(0))].write(0, 99)
+        snappy._rotate_if_needed(now_ps=5_000)  # several windows pass
+        # After full rotation the old snapshot was cleared.
+        total = sum(s.read(0) for s in snappy.snapshots)
+        assert total == 0
+
+    def test_detects_heavy_arrivals_in_egress(self):
+        snappy = SnappyDetector(
+            num_regs=64, flow_thresh_bytes=3_000, snapshot_count=4,
+            window_ps=500 * MICROSECONDS,
+        )
+        network, switch, sink = single_switch(snappy, arch="baseline")
+        switch.tm.set_port_rate(1, 0.5)
+        burst_into(network, 10, gap_ps=10_000)
+        network.run(until_ps=2_000 * MICROSECONDS)
+        flow_id = ip_pair_hash(H0_IP, H1_IP, 64)
+        assert flow_id in snappy.detected_flows()

@@ -1,0 +1,191 @@
+"""Unit tests for the monitoring apps: flow rate, heavy hitters, INT."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP, single_switch
+
+from repro.apps.flow_rate import EwmaRateEstimator, FlowRateMonitor
+from repro.apps.heavy_hitters import HeavyHitterDetector
+from repro.apps.int_telemetry import IntAggregator, PostcardTelemetry
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_udp_packet
+from repro.packet.hashing import flow_hash
+from repro.pisa.metadata import StandardMetadata
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self, now=0):
+        self._now = now
+        self.generated = []
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def configure_timer(self, timer_id, period_ps):
+        pass
+
+    def generate_packet(self, pkt):
+        self.generated.append(pkt)
+
+
+class TestFlowRateMonitor:
+    def test_rate_measurement(self):
+        monitor = FlowRateMonitor(num_flows=64, slots=4, slot_period_ps=1_000_000)
+        monitor.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)  # 1000B
+        flow_id = flow_hash(pkt, 64)
+        for _ in range(4):
+            monitor.ingress(ctx, pkt.clone(), StandardMetadata())
+        # 4000B over a 4 µs window = 8 Gb/s.
+        assert monitor.rate_bps(flow_id) == pytest.approx(8e9)
+
+    def test_rate_decays_after_shifts(self):
+        monitor = FlowRateMonitor(num_flows=64, slots=2, slot_period_ps=1_000_000)
+        monitor.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        flow_id = flow_hash(pkt, 64)
+        monitor.ingress(ctx, pkt, StandardMetadata())
+        for _ in range(2):
+            monitor.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert monitor.rate_bps(flow_id) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowRateMonitor(slot_period_ps=0)
+
+
+class TestEwmaEstimator:
+    def test_estimate_rises_with_traffic(self):
+        est = EwmaRateEstimator(num_flows=64, tau_ps=1_000_000)
+        est.install_route(H1_IP, 1)
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        flow_id = flow_hash(pkt, 64)
+        now = 0
+        for _ in range(20):
+            now += 100_000
+            est.ingress(FakeCtx(now), pkt.clone(), StandardMetadata())
+        assert est.rate_bps(flow_id) > 0
+
+    def test_estimate_frozen_without_packets(self):
+        est = EwmaRateEstimator(num_flows=64, tau_ps=1_000_000)
+        est.install_route(H1_IP, 1)
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        flow_id = flow_hash(pkt, 64)
+        for now in (100, 200, 300):
+            est.ingress(FakeCtx(now), pkt.clone(), StandardMetadata())
+        frozen = est.rate_bps(flow_id)
+        # Time passes, no packets: the estimate cannot change.
+        assert est.rate_bps(flow_id) == frozen
+
+
+class TestHeavyHitters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(reset_mode="sometimes")
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(threshold_packets=0)
+
+    def test_reports_over_threshold_once_per_window(self):
+        detector = HeavyHitterDetector(
+            width=256, depth=2, threshold_packets=5, reset_mode="timer"
+        )
+        detector.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, sport=9, dport=9)
+        for _ in range(10):
+            detector.ingress(ctx, pkt.clone(), StandardMetadata())
+        assert len(detector.reports) == 1  # deduplicated within a window
+
+    def test_timer_reset_reopens_reporting(self):
+        detector = HeavyHitterDetector(
+            width=256, depth=2, threshold_packets=3, reset_mode="timer"
+        )
+        detector.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, sport=9, dport=9)
+        for _ in range(5):
+            detector.ingress(ctx, pkt.clone(), StandardMetadata())
+        detector.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert detector.sketch.total() == 0
+        for _ in range(5):
+            detector.ingress(ctx, pkt.clone(), StandardMetadata())
+        assert len(detector.reports) == 2
+
+    def test_control_reset_entry_point(self):
+        detector = HeavyHitterDetector(reset_mode="control")
+        detector.sketch.update(b"x", 10)
+        detector.control_reset()
+        assert detector.sketch.total() == 0
+        assert detector.resets_performed == 1
+
+    def test_mice_not_reported(self):
+        detector = HeavyHitterDetector(width=2048, depth=3, threshold_packets=100)
+        detector.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        for i in range(50):
+            pkt = make_udp_packet(H0_IP, H1_IP, sport=i, dport=1)
+            detector.ingress(ctx, pkt, StandardMetadata())
+        assert detector.reports == []
+
+
+class TestIntTelemetry:
+    def test_window_aggregation_and_flush(self):
+        aggregator = IntAggregator(
+            switch_id=7, monitor_port=2, window_ps=1 * MILLISECONDS,
+            anomaly_queue_bytes=1_000, filter_reports=True,
+        )
+        aggregator.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        aggregator.on_enqueue(ctx, Event(EventType.ENQUEUE, 0, meta={"buffer_bytes": 5_000}))
+        aggregator.on_overflow(ctx, Event(EventType.BUFFER_OVERFLOW, 0, meta={}))
+        aggregator.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert aggregator.reports_sent == 1
+        assert len(aggregator.windows) == 1
+        window = aggregator.windows[0]
+        assert window.max_queue_bytes == 5_000
+        assert window.drops == 1
+        # Window state reset afterwards.
+        assert aggregator.window_state.read(0) == 0
+
+    def test_quiet_window_filtered(self):
+        aggregator = IntAggregator(
+            switch_id=7, monitor_port=2, anomaly_queue_bytes=10_000,
+            filter_reports=True,
+        )
+        ctx = FakeCtx()
+        aggregator.on_enqueue(ctx, Event(EventType.ENQUEUE, 0, meta={"buffer_bytes": 100}))
+        aggregator.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert aggregator.reports_sent == 0
+        assert aggregator.windows[0].reported is False
+
+    def test_unfiltered_mode_reports_everything(self):
+        aggregator = IntAggregator(
+            switch_id=7, monitor_port=2, filter_reports=False,
+        )
+        ctx = FakeCtx()
+        aggregator.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert aggregator.reports_sent == 1
+
+    def test_flow_counting_distinct(self):
+        aggregator = IntAggregator(switch_id=7, monitor_port=2)
+        aggregator.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        for sport in (1, 1, 2, 3, 3, 3):
+            pkt = make_udp_packet(H0_IP, H1_IP, sport=sport, dport=9)
+            aggregator.ingress(ctx, pkt, StandardMetadata())
+        assert aggregator.flows_this_window == 3
+
+    def test_postcards_one_report_per_packet(self):
+        postcards = PostcardTelemetry(switch_id=1, monitor_port=2)
+        postcards.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        for _ in range(7):
+            postcards.ingress(ctx, make_udp_packet(H0_IP, H1_IP), StandardMetadata())
+        assert postcards.reports_sent == 7
+        assert postcards.report_reduction() == 1.0
+        assert len(ctx.generated) == 7

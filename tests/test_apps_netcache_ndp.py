@@ -1,0 +1,210 @@
+"""Unit tests for the NetCache and NDP programs."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP, single_switch
+
+from repro.apps.ndp import CONTROL_QUEUE, DATA_QUEUE, NdpProgram, TailDropProgram
+from repro.apps.netcache import CacheSlot, KvServerApp, NetCacheProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_kv_request, make_udp_packet
+from repro.packet.headers import Ipv4, KeyValue
+from repro.pisa.metadata import StandardMetadata
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self):
+        self.generated = []
+        self._now = 0
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def configure_timer(self, timer_id, period_ps):
+        pass
+
+    def generate_packet(self, pkt):
+        self.generated.append(pkt)
+
+
+class TestNetCache:
+    def make(self, **kwargs):
+        defaults = dict(cache_slots=4, admit_threshold=2)
+        defaults.update(kwargs)
+        program = NetCacheProgram(**defaults)
+        program.install_route(H1_IP, 1)
+        program.install_route(H0_IP, 0)
+        return program
+
+    def seed(self, program, key, value):
+        program.miss_sketch.update(key.to_bytes(8, "big"), program.admit_threshold)
+        program.observe_reply(key, value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetCacheProgram(cache_slots=0)
+        with pytest.raises(ValueError):
+            NetCacheProgram(admit_threshold=0)
+
+    def test_get_hit_replies_from_switch(self):
+        program = self.make()
+        self.seed(program, 42, 4_200)
+        ctx = FakeCtx()
+        request = make_kv_request(KeyValue.OP_GET, 42, src_ip=H0_IP, dst_ip=H1_IP)
+        meta = StandardMetadata(ingress_port=0)
+        program.ingress(ctx, request, meta)
+        assert meta.egress_spec == 0  # turned around
+        kv = request.require(KeyValue)
+        assert kv.op == KeyValue.OP_REPLY_HIT
+        assert kv.value == 4_200
+        ip = request.require(Ipv4)
+        assert (ip.src, ip.dst) == (H1_IP, H0_IP)  # swapped
+        assert program.hits == 1
+
+    def test_get_miss_forwards_to_server(self):
+        program = self.make()
+        ctx = FakeCtx()
+        request = make_kv_request(KeyValue.OP_GET, 7, src_ip=H0_IP, dst_ip=H1_IP)
+        meta = StandardMetadata(ingress_port=0)
+        program.ingress(ctx, request, meta)
+        assert meta.egress_spec == 1
+        assert program.misses == 1
+
+    def test_admission_after_threshold_misses(self):
+        program = self.make(admit_threshold=3)
+        ctx = FakeCtx()
+        admitted = []
+        for i in range(3):
+            request = make_kv_request(KeyValue.OP_GET, 9, src_ip=H0_IP, dst_ip=H1_IP)
+            meta = StandardMetadata(ingress_port=0)
+            program.ingress(ctx, request, meta)
+            admitted.append(bool(request.meta.get("netcache_admit")))
+        assert admitted == [False, False, True]
+        program.observe_reply(9, 900)
+        assert 9 in program.cached_keys()
+
+    def test_eviction_picks_coldest(self):
+        program = self.make(cache_slots=2)
+        self.seed(program, 1, 100)
+        self.seed(program, 2, 200)
+        # Warm key 1 with hits.
+        ctx = FakeCtx()
+        for _ in range(3):
+            request = make_kv_request(KeyValue.OP_GET, 1, src_ip=H0_IP, dst_ip=H1_IP)
+            program.ingress(ctx, request, StandardMetadata(ingress_port=0))
+        self.seed(program, 3, 300)  # forces an eviction
+        assert program.evictions == 1
+        assert 1 in program.cached_keys()  # the hot key survived
+        assert 2 not in program.cached_keys()
+
+    def test_put_updates_cached_value(self):
+        program = self.make()
+        self.seed(program, 5, 50)
+        ctx = FakeCtx()
+        put = make_kv_request(KeyValue.OP_PUT, 5, value=55, src_ip=H0_IP, dst_ip=H1_IP)
+        meta = StandardMetadata(ingress_port=0)
+        program.ingress(ctx, put, meta)
+        assert meta.egress_spec == 1  # still forwarded to the server
+        assert program._cache[5].value == 55
+
+    def test_timer_decays_counters_and_clears_misses(self):
+        program = self.make()
+        self.seed(program, 5, 50)
+        slot = program._slot_of_key[5]
+        program.hit_counters.write(slot, 8)
+        program.miss_sketch.update(b"stale", 10)
+        ctx = FakeCtx()
+        program.on_timer(ctx, Event(EventType.TIMER, 0))
+        assert program.hit_counters.read(slot) == 4
+        assert program.miss_sketch.total() == 0
+
+    def test_non_kv_traffic_forwarded_normally(self):
+        program = self.make()
+        ctx = FakeCtx()
+        meta = StandardMetadata()
+        program.ingress(ctx, make_udp_packet(H0_IP, H1_IP, dport=53), meta)
+        assert meta.egress_spec == 1
+
+    def test_server_app_replies_and_admits(self):
+        from repro.net.host import Host
+        from repro.net.link import Link
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        host = Host(sim, "server", H1_IP)
+
+        class Peer:
+            def __init__(self):
+                self.received = []
+
+            def receive(self, pkt, port):
+                self.received.append(pkt)
+
+            def set_link_status(self, port, up):
+                pass
+
+        peer = Peer()
+        link = Link(sim, host, 0, peer, 0)
+        host.attach_link(link)
+        program = self.make(admit_threshold=1)
+        server = KvServerApp(host, {10: 1_000}, cache=program)
+        request = make_kv_request(KeyValue.OP_GET, 10, src_ip=H0_IP, dst_ip=H1_IP)
+        program.miss_sketch.update((10).to_bytes(8, "big"))
+        request.meta["netcache_admit"] = 1
+        host.receive(request, 0)
+        sim.run()
+        assert server.requests_served == 1
+        assert peer.received  # reply went back out
+        reply = peer.received[0].require(KeyValue)
+        assert reply.op == KeyValue.OP_REPLY_HIT
+        assert reply.value == 1_000
+        assert 10 in program.cached_keys()
+
+
+class TestNdp:
+    def test_overflow_generates_trimmed_header(self):
+        program = NdpProgram()
+        program.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        victim = make_udp_packet(H0_IP, H1_IP, payload_len=1_400)
+        event = Event(
+            EventType.BUFFER_OVERFLOW, 0, pkt=victim, meta={"port": 1}
+        )
+        program.on_overflow(ctx, event)
+        assert program.trimmed == 1
+        trimmed = ctx.generated[0]
+        assert trimmed.payload_len == 0
+        assert trimmed.meta["ndp_trimmed"] == 1
+        assert trimmed.total_len < victim.total_len
+
+    def test_trimmed_packets_take_control_queue(self):
+        program = NdpProgram()
+        program.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        trimmed = make_udp_packet(H0_IP, H1_IP)
+        trimmed.meta["ndp_trimmed"] = 1
+        meta = StandardMetadata()
+        program.ingress(ctx, trimmed, meta)
+        assert meta.queue_id == CONTROL_QUEUE
+        data = make_udp_packet(H0_IP, H1_IP)
+        meta2 = StandardMetadata()
+        program.ingress(ctx, data, meta2)
+        assert meta2.queue_id == DATA_QUEUE
+
+    def test_never_trims_a_trim(self):
+        program = NdpProgram()
+        ctx = FakeCtx()
+        already = make_udp_packet(H0_IP, H1_IP)
+        already.meta["ndp_trimmed"] = 1
+        program.on_overflow(
+            ctx, Event(EventType.BUFFER_OVERFLOW, 0, pkt=already, meta={"port": 1})
+        )
+        assert program.trimmed == 0
+        assert program.trim_failures == 1
+        assert ctx.generated == []
+
+    def test_tail_drop_baseline_has_no_overflow_handler(self):
+        baseline = TailDropProgram()
+        assert baseline.handler_for(EventType.BUFFER_OVERFLOW) is None

@@ -1,0 +1,149 @@
+"""Unit tests for the NetChain chain-node programs."""
+
+import pytest
+
+from repro.apps.netchain import (
+    ChainClient,
+    ChainNodeProgram,
+    StaticChainNodeProgram,
+)
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_kv_request
+from repro.packet.headers import Ipv4, KeyValue
+from repro.pisa.metadata import StandardMetadata
+
+CLIENT_IP = 0x0A00_0001
+SERVICE_IP = 0x0A00_00AA
+
+
+class FakeCtx(ProgramContext):
+    @property
+    def now_ps(self):
+        return 0
+
+
+def put(value, key=1):
+    return make_kv_request(
+        KeyValue.OP_PUT, key, value=value, src_ip=CLIENT_IP, dst_ip=SERVICE_IP
+    )
+
+
+def get(key=1):
+    return make_kv_request(KeyValue.OP_GET, key, src_ip=CLIENT_IP, dst_ip=SERVICE_IP)
+
+
+class TestChainNode:
+    def make_middle(self):
+        node = ChainNodeProgram(node_id=1, service_ip=SERVICE_IP, is_tail=False)
+        node.install_route(SERVICE_IP, 1)
+        node.install_route(CLIENT_IP, 0)
+        return node
+
+    def make_tail(self):
+        node = ChainNodeProgram(node_id=2, service_ip=SERVICE_IP, is_tail=True)
+        node.install_route(CLIENT_IP, 0)
+        return node
+
+    def test_middle_applies_and_forwards_write(self):
+        node = self.make_middle()
+        pkt = put(41)
+        meta = StandardMetadata()
+        node.ingress(FakeCtx(), pkt, meta)
+        assert node.store[1] == 41
+        assert meta.egress_spec == 1  # down the chain
+        assert pkt.require(KeyValue).op == KeyValue.OP_PUT  # unchanged
+
+    def test_tail_acknowledges_write(self):
+        node = self.make_tail()
+        pkt = put(42)
+        meta = StandardMetadata()
+        node.ingress(FakeCtx(), pkt, meta)
+        assert node.store[1] == 42
+        kv = pkt.require(KeyValue)
+        assert kv.op == KeyValue.OP_WRITE_ACK
+        ip = pkt.require(Ipv4)
+        assert ip.dst == CLIENT_IP and ip.src == SERVICE_IP
+        assert meta.egress_spec == 0  # toward the client
+        assert node.acks_sent == 1
+
+    def test_tail_answers_read(self):
+        node = self.make_tail()
+        node.ingress(FakeCtx(), put(7), StandardMetadata())
+        pkt = get()
+        meta = StandardMetadata()
+        node.ingress(FakeCtx(), pkt, meta)
+        kv = pkt.require(KeyValue)
+        assert kv.op == KeyValue.OP_REPLY_HIT
+        assert kv.value == 7
+        assert node.reads_served == 1
+
+    def test_tail_read_miss(self):
+        node = self.make_tail()
+        pkt = get(key=99)
+        node.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert pkt.require(KeyValue).op == KeyValue.OP_REPLY_MISS
+
+    def test_middle_forwards_read_toward_tail(self):
+        node = self.make_middle()
+        pkt = get()
+        meta = StandardMetadata()
+        node.ingress(FakeCtx(), pkt, meta)
+        assert meta.egress_spec == 1
+        assert node.reads_served == 0
+
+    def test_non_service_traffic_forwarded(self):
+        from repro.packet.builder import make_udp_packet
+
+        node = self.make_middle()
+        pkt = make_udp_packet(CLIENT_IP, 0x0B000001)
+        node.install_route(0x0B000001, 1)
+        meta = StandardMetadata()
+        node.ingress(FakeCtx(), pkt, meta)
+        assert meta.egress_spec == 1
+        assert node.writes_applied == 0
+
+    def test_link_event_splices_chain(self):
+        node = ChainNodeProgram(node_id=0, service_ip=SERVICE_IP, is_tail=False)
+        node.install_protected_route(SERVICE_IP, primary=1, backup=2)
+        node.on_link_status(
+            FakeCtx(), Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0})
+        )
+        assert node.routes[SERVICE_IP] == 2
+
+    def test_static_variant_ignores_link_events(self):
+        node = StaticChainNodeProgram(node_id=0, service_ip=SERVICE_IP, is_tail=False)
+        assert node.handler_for(EventType.LINK_STATUS) is None
+
+
+class TestChainClient:
+    def test_sequential_writes_and_acks(self):
+        from repro.net.host import Host
+        from repro.net.link import Link
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        host = Host(sim, "client", CLIENT_IP)
+
+        class Echo:
+            """Acks every write immediately, like a zero-latency tail."""
+
+            def receive(self, pkt, port):
+                kv = pkt.require(KeyValue)
+                kv.set(op=KeyValue.OP_WRITE_ACK)
+                link.transmit_from(self, pkt)
+
+            def set_link_status(self, port, up):
+                pass
+
+        echo = Echo()
+        link = Link(sim, host, 0, echo, 0, latency_ps=1_000)
+        host.attach_link(link)
+        client = ChainClient(host, SERVICE_IP)
+        for _ in range(3):
+            client.write_next()
+        sim.run()
+        assert client.stats.writes_sent == 3
+        assert client.stats.acks_received == 3
+        assert client.stats.writes_lost == 0
+        assert client.stats.last_acked_value == 3

@@ -1,0 +1,141 @@
+"""Unit tests for the WFQ scheduler program and the ECN programs."""
+
+import pytest
+
+from app_harness import H0_IP, H1_IP
+
+from repro.apps.ecn import (
+    DSCP_LEVELS,
+    MultiBitEcnProgram,
+    SingleBitEcnProgram,
+    decode_multi_bit,
+    decode_single_bit,
+)
+from repro.apps.scheduling import RANK_KEY, WfqSchedulerProgram, rank_of
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_udp_packet
+from repro.packet.hashing import flow_hash
+from repro.packet.headers import Ipv4
+from repro.pisa.metadata import StandardMetadata
+
+
+class FakeCtx(ProgramContext):
+    @property
+    def now_ps(self):
+        return 0
+
+
+class TestWfq:
+    def make(self, weights=None):
+        program = WfqSchedulerProgram(num_flows=64, weights=weights or {})
+        program.install_route(H1_IP, 1)
+        return program
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            WfqSchedulerProgram(weights={0: 0})
+
+    def test_rank_is_start_tag(self):
+        program = self.make()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)  # 1000B
+        program.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert pkt.meta[RANK_KEY] == 0  # V=0, first packet starts at 0
+        flow = flow_hash(pkt, 64)
+        assert program.finish_tags.read(flow) == 1_000
+
+    def test_back_to_back_packets_serialize_tags(self):
+        program = self.make()
+        pkt_template = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        ranks = []
+        for _ in range(3):
+            pkt = pkt_template.clone()
+            program.ingress(FakeCtx(), pkt, StandardMetadata())
+            ranks.append(pkt.meta[RANK_KEY])
+        assert ranks == [0, 1_000, 2_000]
+
+    def test_weight_divides_finish_increment(self):
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        flow = flow_hash(pkt, 64)
+        program = self.make(weights={flow: 4})
+        program.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert program.finish_tags.read(flow) == 250  # 1000 / weight 4
+
+    def test_dequeue_advances_virtual_time_monotonically(self):
+        program = self.make()
+        program.on_dequeue(FakeCtx(), Event(EventType.DEQUEUE, 0, meta={"rank": 500}))
+        assert program.virtual_time.read(0) == 500
+        # Older rank does not move V backwards.
+        program.on_dequeue(FakeCtx(), Event(EventType.DEQUEUE, 0, meta={"rank": 100}))
+        assert program.virtual_time.read(0) == 500
+
+    def test_idle_flow_restarts_at_virtual_time(self):
+        program = self.make()
+        program.virtual_time.write(0, 9_000)
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        program.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert pkt.meta[RANK_KEY] == 9_000  # no credit for being idle
+
+    def test_rank_of_helper(self):
+        pkt = make_udp_packet(H0_IP, H1_IP)
+        assert rank_of(pkt) == 0
+        pkt.meta[RANK_KEY] = 7
+        assert rank_of(pkt) == 7
+
+
+class TestEcn:
+    def test_multibit_quantization(self):
+        program = MultiBitEcnProgram(buffer_capacity_bytes=64 * 1024)
+        assert program.level_of(0) == 0
+        assert program.level_of(64 * 1024) == DSCP_LEVELS - 1
+        mid = program.level_of(32 * 1024)
+        assert 0 < mid < DSCP_LEVELS - 1
+
+    def test_stamp_keeps_path_maximum(self):
+        program = MultiBitEcnProgram(buffer_capacity_bytes=64 * 1024)
+        program.install_route(H1_IP, 1)
+        program.occupancy.write(0, 10_000)
+        pkt = make_udp_packet(H0_IP, H1_IP)
+        pkt.require(Ipv4).set(dscp=50)  # an earlier hop was more congested
+        program.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert pkt.require(Ipv4).dscp == 50  # max preserved
+        # And a higher local occupancy overrides a lower stamp.
+        pkt2 = make_udp_packet(H0_IP, H1_IP)
+        program.occupancy.write(0, 63 * 1024)
+        program.ingress(FakeCtx(), pkt2, StandardMetadata())
+        assert pkt2.require(Ipv4).dscp == program.level_of(63 * 1024)
+
+    def test_occupancy_tracks_buffer_events(self):
+        program = MultiBitEcnProgram(buffer_capacity_bytes=1_000)
+        program.on_enqueue(
+            FakeCtx(), Event(EventType.ENQUEUE, 0, meta={"buffer_bytes": 700})
+        )
+        assert program.occupancy.read(0) == 700
+        program.on_dequeue(
+            FakeCtx(), Event(EventType.DEQUEUE, 0, meta={"buffer_bytes": 200})
+        )
+        assert program.occupancy.read(0) == 200
+
+    def test_single_bit_marks_above_threshold(self):
+        program = SingleBitEcnProgram(mark_threshold_bytes=1_000)
+        program.install_route(H1_IP, 1)
+        program.occupancy.write(0, 2_000)
+        pkt = make_udp_packet(H0_IP, H1_IP)
+        program.ingress(FakeCtx(), pkt, StandardMetadata())
+        assert pkt.require(Ipv4).ecn == 3
+        assert program.marks == 1
+
+    def test_decoders(self):
+        pkt = make_udp_packet(H0_IP, H1_IP)
+        pkt.require(Ipv4).set(dscp=10)
+        assert decode_multi_bit(pkt, quantum=1_024) == 10 * 1_024 + 512
+        pkt.require(Ipv4).set(ecn=3)
+        assert decode_single_bit(pkt, 8_000) == 8_000
+        pkt.require(Ipv4).set(ecn=0)
+        assert decode_single_bit(pkt, 8_000) == 4_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiBitEcnProgram(buffer_capacity_bytes=0)
+        with pytest.raises(ValueError):
+            SingleBitEcnProgram(mark_threshold_bytes=0)

@@ -1,0 +1,66 @@
+"""Edge-case tests: link flapping and repeated failovers."""
+
+import pytest
+
+from repro.apps.frr import FastRerouteProgram
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self):
+        self._now = 0
+
+    @property
+    def now_ps(self):
+        return self._now
+
+
+def link_event(port, up):
+    return Event(EventType.LINK_STATUS, 0, meta={"port": port, "up": int(up)})
+
+
+def test_rapid_flapping_converges_to_final_state():
+    frr = FastRerouteProgram()
+    frr.install_protected_route(0xA, primary=1, backup=2)
+    ctx = FakeCtx()
+    for _ in range(10):
+        frr.on_link_status(ctx, link_event(1, False))
+        frr.on_link_status(ctx, link_event(1, True))
+    assert frr.routes[0xA] == 1  # ended up
+    assert len(frr.failovers) == 10
+    assert len(frr.reverts) == 10
+    frr.on_link_status(ctx, link_event(1, False))
+    assert frr.routes[0xA] == 2  # ended down
+
+
+def test_unrelated_port_events_do_not_touch_routes():
+    frr = FastRerouteProgram()
+    frr.install_protected_route(0xA, primary=1, backup=2)
+    frr.on_link_status(FakeCtx(), link_event(7, False))
+    assert frr.routes[0xA] == 1
+    assert frr.failovers[0].rerouted_destinations == 0
+
+
+def test_backup_port_failure_is_not_cascaded():
+    """If the backup port itself dies, routes pointing at it stay (no
+    further backup exists); the program records zero reroutes."""
+    frr = FastRerouteProgram()
+    frr.install_protected_route(0xA, primary=1, backup=2)
+    ctx = FakeCtx()
+    frr.on_link_status(ctx, link_event(1, False))  # -> backup 2
+    frr.on_link_status(ctx, link_event(2, False))  # backup dies too
+    assert frr.routes[0xA] == 2  # nothing better available
+    assert frr.failovers[1].rerouted_destinations == 0
+
+
+def test_double_down_events_idempotent():
+    frr = FastRerouteProgram()
+    frr.install_protected_route(0xA, primary=1, backup=2)
+    ctx = FakeCtx()
+    frr.on_link_status(ctx, link_event(1, False))
+    frr.on_link_status(ctx, link_event(1, False))
+    assert frr.routes[0xA] == 2
+    # The second event still records a failover action with 0 moved
+    # (route already on backup — the 'moved' count keys off primary).
+    assert len(frr.failovers) == 2

@@ -1,0 +1,210 @@
+"""Unit tests for the baseline PSA switch (paper Figure 1)."""
+
+import pytest
+
+from repro.arch.baseline import BaselinePsaSwitch
+from repro.arch.description import BASELINE_PSA, UnsupportedEventError
+from repro.arch.events import EventType
+from repro.arch.program import P4Program, handler
+from repro.packet.builder import make_udp_packet
+from repro.pisa.externs.register import SharedRegister
+from repro.sim.kernel import Simulator
+
+
+class Forwarder(P4Program):
+    """Forward everything out a fixed port; count egress runs."""
+
+    def __init__(self, out_port=1, recirculate_once=False):
+        super().__init__()
+        self.out_port = out_port
+        self.recirculate_once = recirculate_once
+        self.ingress_runs = 0
+        self.egress_runs = 0
+        self.recirc_runs = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        self.ingress_runs += 1
+        if self.recirculate_once:
+            self.recirculate_once = False
+            meta.request_recirculation()
+            return
+        meta.send_to_port(self.out_port)
+
+    @handler(EventType.RECIRCULATED_PACKET)
+    def recirculated(self, ctx, pkt, meta):
+        self.recirc_runs += 1
+        meta.send_to_port(self.out_port)
+
+    @handler(EventType.EGRESS_PACKET)
+    def egress(self, ctx, pkt, meta):
+        self.egress_runs += 1
+
+
+def make_switch(program=None):
+    sim = Simulator()
+    switch = BaselinePsaSwitch(sim)
+    if program is not None:
+        switch.load_program(program)
+    return sim, switch
+
+
+def test_forwarding_through_both_pipelines():
+    program = Forwarder(out_port=2)
+    sim, switch = make_switch(program)
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append((pkt.pkt_id, port)))
+    pkt = make_udp_packet(1, 2)
+    switch.receive(pkt, 0)
+    sim.run()
+    assert sent == [(pkt.pkt_id, 2)]
+    assert program.ingress_runs == 1
+    assert program.egress_runs == 1
+    assert switch.rx_packets == 1
+
+
+def test_pipeline_latency_is_applied():
+    program = Forwarder()
+    sim, switch = make_switch(program)
+    times = []
+    switch.set_tx_callback(lambda pkt, port: times.append(sim.now_ps))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    # Two pipeline traversals (8 stages @ 5 ns) plus serialization.
+    assert times[0] >= 2 * switch.ingress_pipeline.latency_ps
+
+
+def test_drop_in_ingress():
+    class Dropper(P4Program):
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            meta.drop()
+
+    sim, switch = make_switch(Dropper())
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append(pkt))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert sent == []
+    assert switch.dropped_by_program == 1
+
+
+def test_no_egress_spec_means_drop():
+    class Silent(P4Program):
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            pass  # never sets egress_spec
+
+    sim, switch = make_switch(Silent())
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append(pkt))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert sent == []
+    assert switch.dropped_by_program == 1
+
+
+def test_recirculation_runs_recirculated_handler():
+    program = Forwarder(recirculate_once=True)
+    sim, switch = make_switch(program)
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append(pkt))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert program.recirc_runs == 1
+    assert switch.recirculations == 1
+    assert len(sent) == 1
+
+
+def test_recirculation_loop_is_bounded():
+    class Spinner(P4Program):
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            meta.request_recirculation()
+
+        @handler(EventType.RECIRCULATED_PACKET)
+        def recirc(self, ctx, pkt, meta):
+            meta.request_recirculation()
+
+    sim, switch = make_switch(Spinner())
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert switch.recirculations == BaselinePsaSwitch.MAX_RECIRCULATIONS
+    assert switch.dropped_by_program == 1
+
+
+def test_cpu_punt():
+    class Punter(P4Program):
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            meta.send_to_cpu()
+
+    sim, switch = make_switch(Punter())
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert len(switch.cpu_notifications) == 1
+
+
+def test_event_program_rejected():
+    class NeedsEvents(P4Program):
+        @handler(EventType.ENQUEUE)
+        def on_enqueue(self, ctx, event):
+            pass
+
+    sim, switch = make_switch()
+    with pytest.raises(UnsupportedEventError):
+        switch.load_program(NeedsEvents())
+
+
+def test_shared_state_rejected_on_single_threaded_model():
+    class SharedState(P4Program):
+        def __init__(self):
+            super().__init__()
+            self.reg = SharedRegister(4, name="shared")
+
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            pass
+
+    sim, switch = make_switch()
+    with pytest.raises(UnsupportedEventError) as excinfo:
+        switch.load_program(SharedState())
+    assert "shared" in str(excinfo.value)
+
+
+def test_tm_events_are_suppressed_not_delivered():
+    program = Forwarder()
+    sim, switch = make_switch(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert switch.events_suppressed[EventType.ENQUEUE] == 1
+    assert switch.events_suppressed[EventType.DEQUEUE] == 1
+    assert switch.events_fired[EventType.ENQUEUE] == 0
+
+
+def test_dead_link_drops_arrivals():
+    program = Forwarder()
+    sim, switch = make_switch(program)
+    switch.set_link_status(0, False)
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert switch.rx_packets == 0
+
+
+def test_timer_unsupported():
+    sim, switch = make_switch(Forwarder())
+    with pytest.raises(UnsupportedEventError):
+        switch.configure_timer(0, 1_000)
+
+
+def test_control_event_unsupported():
+    sim, switch = make_switch(Forwarder())
+    with pytest.raises(UnsupportedEventError):
+        switch.control_event({"x": 1})
+
+
+def test_require_program():
+    sim, switch = make_switch()
+    with pytest.raises(RuntimeError):
+        switch.require_program()

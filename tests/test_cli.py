@@ -1,0 +1,42 @@
+"""Unit tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Block RAM" in out
+    assert "paper=  2.0%" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "buffer_enqueue" in out
+    assert "live demonstration" in out
+
+
+def test_fig3(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "overspeed" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])
+
+
+def test_every_experiment_is_documented():
+    for name, fn in EXPERIMENTS.items():
+        assert fn.__doc__, f"experiment {name} lacks a docstring"

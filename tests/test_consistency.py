@@ -1,0 +1,137 @@
+"""Unit and property tests for the §7 consistency model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.state.consistency import DelayedRmwRegister, run_contention
+
+
+class TestDelayedRmw:
+    def test_atomic_latency_zero_is_exact(self):
+        register = DelayedRmwRegister(2, latency_cycles=0)
+        for cycle in range(100):
+            register.add_rmw(cycle, cycle % 2, 1)
+        assert register.total() == 100
+        assert register.interference_commits == 0
+
+    def test_lost_update_on_overlap(self):
+        register = DelayedRmwRegister(1, latency_cycles=5)
+        register.add_rmw(0, 0, 1)  # reads 0, commits 1 at cycle 5
+        register.add_rmw(2, 0, 1)  # reads 0 too, commits 1 at cycle 7
+        register.advance_to(10)
+        assert register.read(10, 0) == 1  # one update lost
+        assert register.interference_commits == 1
+
+    def test_no_overlap_no_loss(self):
+        register = DelayedRmwRegister(1, latency_cycles=2)
+        register.add_rmw(0, 0, 1)
+        register.advance_to(2)
+        register.add_rmw(3, 0, 1)  # reads after the first commit
+        register.advance_to(10)
+        assert register.read(10, 0) == 2
+        assert register.interference_commits == 0
+
+    def test_different_indices_never_conflict(self):
+        register = DelayedRmwRegister(4, latency_cycles=8)
+        for cycle in range(4):
+            register.add_rmw(cycle, cycle, 1)
+        register.advance_to(100)
+        assert register.total() == 4
+        assert register.interference_commits == 0
+
+    def test_reads_do_not_see_in_flight_writes(self):
+        register = DelayedRmwRegister(1, latency_cycles=5)
+        register.add_rmw(0, 0, 7)
+        assert register.read(3, 0) == 0  # still uncommitted
+        register.advance_to(5)
+        assert register.read(6, 0) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayedRmwRegister(0, 1)
+        with pytest.raises(ValueError):
+            DelayedRmwRegister(1, -1)
+        register = DelayedRmwRegister(1, 0)
+        with pytest.raises(IndexError):
+            register.add_rmw(0, 5, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 8),
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 50)), max_size=80),
+    )
+    def test_shortfall_conservation_property(self, latency, schedule):
+        """issued − applied == lost, and never negative."""
+        register = DelayedRmwRegister(4, latency)
+        for index, cycle in schedule:
+            register.advance_to(cycle)
+            register.add_rmw(cycle, index, 1)
+        register.advance_to(10_000)
+        applied = register.total()
+        assert 0 <= applied <= register.issued
+        if latency == 0:
+            assert applied == register.issued
+
+
+class TestContention:
+    def test_atomic_baseline(self):
+        result = run_contention(0, cycles=10_000)
+        assert result.lost_updates == 0
+        assert result.loss_rate == 0.0
+
+    def test_loss_grows_with_latency(self):
+        small = run_contention(1, cycles=10_000)
+        large = run_contention(8, cycles=10_000)
+        assert large.loss_rate > small.loss_rate > 0
+
+    def test_deterministic(self):
+        assert run_contention(4, cycles=5_000).lost_updates == run_contention(
+            4, cycles=5_000
+        ).lost_updates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_contention(1, thread_count=0)
+        with pytest.raises(ValueError):
+            run_contention(1, fire_probability=0)
+
+
+class TestDrainPolicies:
+    def test_unknown_policy_rejected(self):
+        from repro.state.aggregation import AggregationRegisterFile
+
+        with pytest.raises(ValueError):
+            AggregationRegisterFile(4, drain_policy="random")
+
+    def test_largest_drains_biggest_backlog_first(self):
+        from repro.state.aggregation import AggregationRegisterFile
+
+        file = AggregationRegisterFile(4, drain_policy="largest")
+        file.enqueue_update(0, 0, 10)
+        file.enqueue_update(1, 1, 9_000)
+        file.drain(5, max_indices=1)
+        assert file.main.register.read(1) == 9_000
+        assert file.main.register.read(0) == 0
+
+    def test_lifo_drains_most_recent_first(self):
+        from repro.state.aggregation import AggregationRegisterFile
+
+        file = AggregationRegisterFile(4, drain_policy="lifo")
+        file.enqueue_update(0, 0, 10)
+        file.enqueue_update(1, 1, 20)
+        file.drain(5, max_indices=1)
+        assert file.main.register.read(1) == 20
+        assert file.main.register.read(0) == 0
+
+    def test_all_policies_converge_when_fully_drained(self):
+        from repro.state.aggregation import AggregationRegisterFile
+
+        for policy in AggregationRegisterFile.DRAIN_POLICIES:
+            file = AggregationRegisterFile(4, drain_policy=policy)
+            for cycle in range(10):
+                file.enqueue_update(cycle, cycle % 4, 50)
+            cycle = 100
+            while file.pending_indices:
+                file.drain(cycle)
+                cycle += 1
+            assert file.max_staleness() == 0

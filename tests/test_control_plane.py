@@ -1,0 +1,96 @@
+"""Unit tests for the control-plane model."""
+
+import pytest
+
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.pisa.externs.register import Register
+from repro.pisa.externs.sketch import CountMinSketch
+from repro.sim.kernel import Simulator
+from repro.sim.units import MICROSECONDS
+
+
+def test_operation_completes_after_duration():
+    sim = Simulator()
+    controller = ControlPlane(sim)
+    done = []
+    controller.submit(1_000, lambda: done.append(sim.now_ps))
+    sim.run()
+    assert done == [1_000]
+    assert controller.operations_completed == 1
+
+
+def test_single_threaded_serialization():
+    sim = Simulator()
+    controller = ControlPlane(sim)
+    done = []
+    controller.submit(1_000, lambda: done.append(sim.now_ps))
+    controller.submit(2_000, lambda: done.append(sim.now_ps))
+    assert controller.backlog == 1  # second op waits
+    sim.run()
+    assert done == [1_000, 3_000]
+
+
+def test_clear_sketch_cost_scales_with_counters():
+    sim = Simulator()
+    config = ControlPlaneConfig(rtt_ps=10_000, per_entry_write_ps=100)
+    controller = ControlPlane(sim, config)
+    sketch = CountMinSketch(width=100, depth=2)
+    sketch.update(b"x", 5)
+    controller.clear_sketch(sketch)
+    sim.run()
+    assert sketch.query(b"x") == 0
+    assert sim.now_ps == 10_000 + 200 * 100
+
+
+def test_clear_register_cost():
+    sim = Simulator()
+    config = ControlPlaneConfig(rtt_ps=1_000, per_entry_write_ps=10)
+    controller = ControlPlane(sim, config)
+    register = Register(50)
+    register.write(0, 9)
+    controller.clear_register(register)
+    sim.run()
+    assert register.read(0) == 0
+    assert sim.now_ps == 1_000 + 500
+
+
+def test_install_route_includes_compute_time():
+    sim = Simulator()
+    config = ControlPlaneConfig(
+        rtt_ps=1_000, per_entry_write_ps=10, reroute_compute_ps=100_000
+    )
+    controller = ControlPlane(sim, config)
+    done = []
+    controller.install_route(lambda: done.append(sim.now_ps), entries=3)
+    sim.run()
+    assert done == [100_000 + 1_000 + 30]
+
+
+def test_utilization():
+    sim = Simulator()
+    controller = ControlPlane(sim)
+    controller.submit(5_000, lambda: None)
+    sim.run()
+    assert controller.utilization(10_000) == pytest.approx(0.5)
+    assert controller.utilization(1_000) == 1.0  # clamped
+    with pytest.raises(ValueError):
+        controller.utilization(0)
+
+
+def test_digest_reception():
+    sim = Simulator()
+    controller = ControlPlane(sim)
+    controller.receive_digest({"failed_port": 3})
+    assert controller.digests_received == [{"failed_port": 3}]
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    controller = ControlPlane(sim)
+    with pytest.raises(ValueError):
+        controller.submit(-1, lambda: None)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ControlPlaneConfig(rtt_ps=-1)

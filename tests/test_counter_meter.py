@@ -1,0 +1,106 @@
+"""Unit tests for counter and meter externs."""
+
+import pytest
+
+from repro.pisa.externs.counter import Counter, CounterKind
+from repro.pisa.externs.meter import Meter, MeterColor
+from repro.sim.units import MILLISECONDS, SECONDS
+
+
+class TestCounter:
+    def test_counts_packets_and_bytes(self):
+        counter = Counter(4)
+        counter.count(1, 100)
+        counter.count(1, 50)
+        assert counter.read(1) == (2, 150)
+        assert counter.read(0) == (0, 0)
+
+    def test_packets_only_kind(self):
+        counter = Counter(2, kind=CounterKind.PACKETS)
+        counter.count(0, 1_000)
+        assert counter.read(0) == (1, 0)
+
+    def test_bytes_only_kind(self):
+        counter = Counter(2, kind=CounterKind.BYTES)
+        counter.count(0, 1_000)
+        assert counter.read(0) == (0, 1_000)
+
+    def test_bounds(self):
+        counter = Counter(2)
+        with pytest.raises(IndexError):
+            counter.count(2)
+        with pytest.raises(IndexError):
+            counter.read(-1)
+
+    def test_read_all_and_totals(self):
+        counter = Counter(3)
+        counter.count(0, 10)
+        counter.count(2, 20)
+        assert counter.read_all() == [(1, 10), (0, 0), (1, 20)]
+        assert counter.total_packets() == 2
+        assert counter.total_bytes() == 30
+
+    def test_clear(self):
+        counter = Counter(2)
+        counter.count(0, 5)
+        counter.clear()
+        assert counter.total_packets() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Counter(0)
+
+
+class TestMeter:
+    def test_burst_passes_then_red(self):
+        # 1 Gb/s committed, 1500B burst, no excess.
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=1_500)
+        assert meter.execute(0, 1_000, now_ps=0) is MeterColor.GREEN
+        assert meter.execute(0, 1_000, now_ps=0) is MeterColor.RED
+
+    def test_tokens_refill_over_time(self):
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=1_500)
+        assert meter.execute(0, 1_500, now_ps=0) is MeterColor.GREEN
+        # 1 Gb/s = 125 bytes/µs → after 12 µs, 1500 bytes have refilled.
+        assert meter.execute(0, 1_500, now_ps=12 * 1_000_000) is MeterColor.GREEN
+
+    def test_refill_caps_at_burst(self):
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=1_500)
+        meter.execute(0, 1_500, now_ps=0)
+        # A long silence cannot accumulate more than the burst.
+        assert meter.tokens(0, now_ps=1 * SECONDS) == pytest.approx(1_500)
+
+    def test_yellow_from_excess_bucket(self):
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=1_000, ebs_bytes=1_000)
+        assert meter.execute(0, 1_000, now_ps=0) is MeterColor.GREEN
+        assert meter.execute(0, 1_000, now_ps=0) is MeterColor.YELLOW
+        assert meter.execute(0, 1_000, now_ps=0) is MeterColor.RED
+
+    def test_long_run_rate_conformance(self):
+        # Offer 2x the committed rate; about half should be green.
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=3_000)
+        green = 0
+        offered = 0
+        t = 0
+        for _ in range(2_000):
+            if meter.execute(0, 1_000, now_ps=t) is MeterColor.GREEN:
+                green += 1
+            offered += 1
+            t += 4 * 1_000_000  # 1000B every 4 µs = 2 Gb/s offered
+        assert 0.45 <= green / offered <= 0.55
+
+    def test_independent_indices(self):
+        meter = Meter(2, cir_bps=1e9, cbs_bytes=1_000)
+        assert meter.execute(0, 1_000, 0) is MeterColor.GREEN
+        assert meter.execute(1, 1_000, 0) is MeterColor.GREEN
+
+    def test_bounds_and_validation(self):
+        meter = Meter(1, cir_bps=1e9, cbs_bytes=100)
+        with pytest.raises(IndexError):
+            meter.execute(1, 10, 0)
+        with pytest.raises(ValueError):
+            Meter(1, cir_bps=0, cbs_bytes=100)
+        with pytest.raises(ValueError):
+            Meter(1, cir_bps=1e9, cbs_bytes=0)
+        with pytest.raises(ValueError):
+            Meter(0, cir_bps=1e9, cbs_bytes=100)

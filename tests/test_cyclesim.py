@@ -1,0 +1,70 @@
+"""Unit tests for the clock-cycle pipeline simulator (§4)."""
+
+import pytest
+
+from repro.state.cyclesim import CyclePipelineSim, CycleSimConfig
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CycleSimConfig(cycles=0)
+    with pytest.raises(ValueError):
+        CycleSimConfig(num_queues=0)
+    with pytest.raises(ValueError):
+        CycleSimConfig(overspeed=0.9)  # pipeline slower than line rate
+    with pytest.raises(ValueError):
+        CycleSimConfig(port_disable_fraction=1.0)
+    with pytest.raises(ValueError):
+        CycleSimConfig(enqueue_rate=1.5)
+
+
+def test_packet_fraction_math():
+    config = CycleSimConfig(overspeed=2.0, port_disable_fraction=0.5)
+    assert config.packet_fraction == pytest.approx(0.25)
+
+
+def test_deterministic_by_seed():
+    a = CyclePipelineSim(CycleSimConfig(cycles=5_000, seed=7)).run()
+    b = CyclePipelineSim(CycleSimConfig(cycles=5_000, seed=7)).run()
+    assert a.staleness.mean_error == b.staleness.mean_error
+    assert a.drained_ops == b.drained_ops
+    c = CyclePipelineSim(CycleSimConfig(cycles=5_000, seed=8)).run()
+    assert (a.drained_ops, a.packet_cycles) != (c.drained_ops, c.packet_cycles)
+
+
+def test_cycle_conservation():
+    result = CyclePipelineSim(CycleSimConfig(cycles=10_000)).run()
+    assert result.packet_cycles + result.idle_cycles == 10_000
+
+
+def test_no_port_conflicts_by_construction():
+    result = CyclePipelineSim(
+        CycleSimConfig(cycles=20_000, overspeed=1.0, enqueue_rate=0.5, dequeue_rate=0.5)
+    ).run()
+    assert result.port_conflicts == 0
+
+
+def test_pending_bounded_by_entry_count():
+    result = CyclePipelineSim(
+        CycleSimConfig(cycles=20_000, num_queues=32, overspeed=1.05)
+    ).run()
+    assert result.max_pending_ops <= 32
+
+
+def test_full_line_rate_never_drains():
+    result = CyclePipelineSim(CycleSimConfig(cycles=5_000, overspeed=1.0)).run()
+    assert result.idle_cycles == 0
+    assert result.drained_ops == 0
+
+
+def test_overspeed_reduces_staleness():
+    slow = CyclePipelineSim(CycleSimConfig(cycles=30_000, overspeed=1.05)).run()
+    fast = CyclePipelineSim(CycleSimConfig(cycles=30_000, overspeed=2.0)).run()
+    assert fast.staleness.mean_error < slow.staleness.mean_error
+    assert fast.staleness.mean_lag_cycles < slow.staleness.mean_lag_cycles
+
+
+def test_summary_row_prints():
+    result = CyclePipelineSim(CycleSimConfig(cycles=1_000)).run()
+    row = result.summary_row()
+    assert "overspeed" in row and "max_pending" in row

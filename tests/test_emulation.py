@@ -1,0 +1,114 @@
+"""Unit tests for the §6 Tofino-style event emulation."""
+
+import pytest
+
+from repro.arch.emulation import EmulatedEventSwitch, MARKER_WIRE_BYTES
+from repro.arch.events import EventType
+from repro.arch.program import P4Program, handler
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+from repro.sim.units import bytes_to_time_ps
+
+
+class Auditor(P4Program):
+    def __init__(self):
+        super().__init__()
+        self.dequeues = []
+        self.timers = []
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        meta.send_to_port(1)
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx, event):
+        self.dequeues.append((event.time_ps, ctx.now_ps))
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx, event):
+        self.timers.append((event.time_ps, ctx.now_ps))
+
+
+def make_switch(**kwargs):
+    sim = Simulator()
+    switch = EmulatedEventSwitch(sim, **kwargs)
+    program = Auditor()
+    switch.load_program(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    return sim, switch, program
+
+
+def test_timer_emulated_via_generator_marker():
+    sim, switch, program = make_switch()
+    switch.configure_timer(0, 1_000_000)
+    sim.run(until_ps=2_500_000)
+    assert len(program.timers) == 2
+    assert switch.emu_timer_markers == 2
+    # Each delivery is delayed by the pipeline traversal.
+    for fired, handled in program.timers:
+        assert handled == fired + switch.ingress_pipeline.latency_ps
+
+
+def test_dequeue_emulated_via_recirculation():
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert len(program.dequeues) == 1
+    assert switch.emu_dequeue_markers == 1
+    fired, handled = program.dequeues[0]
+    expected_delay = (
+        bytes_to_time_ps(MARKER_WIRE_BYTES, switch.recirc_rate_gbps)
+        + switch.ingress_pipeline.latency_ps
+    )
+    assert handled == fired + expected_delay
+
+
+def test_recirc_port_serializes_markers():
+    sim, switch, program = make_switch(recirc_rate_gbps=0.01)
+    for i in range(3):
+        sim.call_at(i + 1, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run()
+    handled_times = [handled for _f, handled in program.dequeues]
+    gaps = [b - a for a, b in zip(handled_times, handled_times[1:])]
+    marker_time = bytes_to_time_ps(MARKER_WIRE_BYTES, 0.01)
+    assert all(gap >= marker_time * 0.99 for gap in gaps)
+
+
+def test_saturated_recirc_drops_events():
+    sim, switch, program = make_switch(
+        recirc_rate_gbps=0.0001, recirc_queue_capacity=2
+    )
+    for i in range(10):
+        sim.call_at(i + 1, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run(until_ps=10_000_000)
+    assert switch.emu_events_lost > 0
+
+
+def test_unsupported_events_stay_suppressed():
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    # Enqueue fired in the TM but Tofino-like devices cannot deliver it.
+    assert switch.events_suppressed[EventType.ENQUEUE] == 1
+    assert switch.events_fired[EventType.ENQUEUE] == 0
+
+
+def test_overhead_report():
+    sim, switch, program = make_switch()
+    switch.configure_timer(0, 500_000)
+    for i in range(5):
+        sim.call_at(i * 1_000 + 1, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run(until_ps=5_000_000)
+    report = switch.emulation_overhead_report(5_000_000)
+    assert report["dequeue_markers"] == 5
+    assert report["timer_markers"] > 0
+    assert 0 < report["recirc_utilization"] < 1
+    assert report["pipeline_slot_fraction"] > 0
+    with pytest.raises(ValueError):
+        switch.emulation_overhead_report(0)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        EmulatedEventSwitch(sim, recirc_rate_gbps=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the shared ForwardingProgram plumbing."""
+
+import pytest
+
+from repro.apps.common import ForwardingProgram
+from repro.packet.builder import make_udp_packet
+from repro.packet.headers import Ethernet, Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.metadata import StandardMetadata
+
+
+def make_program(**kwargs):
+    program = ForwardingProgram(**kwargs)
+    program.install_route(0x0A000002, 3)
+    return program
+
+
+def test_forwards_known_destination():
+    program = make_program()
+    pkt = make_udp_packet(0x0A000001, 0x0A000002)
+    meta = StandardMetadata()
+    assert program.forward_by_ip(pkt, meta) == 3
+    assert meta.egress_spec == 3
+
+
+def test_unknown_destination_dropped_and_counted():
+    program = make_program()
+    meta = StandardMetadata()
+    assert program.forward_by_ip(make_udp_packet(1, 0xDEAD), meta) is None
+    assert meta.dropped
+    assert program.unrouted_drops == 1
+
+
+def test_non_ip_dropped():
+    program = make_program()
+    meta = StandardMetadata()
+    assert program.forward_by_ip(Packet(headers=[Ethernet()]), meta) is None
+    assert program.unrouted_drops == 1
+
+
+def test_ttl_decremented_per_hop():
+    program = make_program()
+    pkt = make_udp_packet(0x0A000001, 0x0A000002)
+    program.forward_by_ip(pkt, StandardMetadata())
+    assert pkt.require(Ipv4).ttl == 63
+
+
+def test_expired_ttl_dropped():
+    program = make_program()
+    pkt = make_udp_packet(0x0A000001, 0x0A000002)
+    pkt.require(Ipv4).set(ttl=1)
+    meta = StandardMetadata()
+    assert program.forward_by_ip(pkt, meta) is None
+    assert meta.dropped
+    assert program.ttl_drops == 1
+
+
+def test_ttl_handling_can_be_disabled():
+    program = make_program(ttl_handling=False)
+    pkt = make_udp_packet(0x0A000001, 0x0A000002)
+    pkt.require(Ipv4).set(ttl=1)
+    meta = StandardMetadata()
+    assert program.forward_by_ip(pkt, meta) == 3
+    assert pkt.require(Ipv4).ttl == 1  # untouched
+
+
+def test_forwarding_loop_contained_by_ttl():
+    """Two switches with routes pointing at each other: the TTL guard
+    terminates the loop instead of simulating forever."""
+    from repro.experiments.factories import make_sume_switch
+    from repro.net.network import Network
+
+    network = Network()
+    factory = make_sume_switch()
+    a = network.add_switch(factory(network.sim, "a", 2))
+    b = network.add_switch(factory(network.sim, "b", 2))
+    network.connect(a, 1, b, 1, latency_ps=1_000)
+    prog_a, prog_b = ForwardingProgram(), ForwardingProgram()
+    for prog in (prog_a, prog_b):
+        prog.install_route(0xDEAD, 1)  # both point across the link
+
+    class Loopy(ForwardingProgram):
+        from repro.arch.events import EventType
+        from repro.arch.program import handler as _handler
+
+        @_handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            self.forward_by_ip(pkt, meta)
+
+    la, lb = Loopy(), Loopy()
+    la.install_route(0xDEAD, 1)
+    lb.install_route(0xDEAD, 1)
+    a.load_program(la)
+    b.load_program(lb)
+    pkt = make_udp_packet(1, 0xDEAD)
+    a.receive(pkt, 0)
+    network.run(until_ps=50_000_000_000)
+    assert la.ttl_drops + lb.ttl_drops == 1  # the loop ended
+    assert network.sim.pending_events == 0
+
+
+def test_install_route_validation():
+    program = ForwardingProgram()
+    with pytest.raises(ValueError):
+        program.install_route(1, -1)
+    program.install_routes({1: 2, 3: 4})
+    assert program.routes == {1: 2, 3: 4}

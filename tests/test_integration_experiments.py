@@ -1,0 +1,277 @@
+"""Integration tests: every experiment runner executes end-to-end.
+
+Short-duration versions of the benchmark experiments, asserting the
+qualitative shape of each result (who wins, roughly by how much) so a
+regression anywhere in the stack — kernel, packets, PISA, TM,
+architectures, network, apps — surfaces here.
+"""
+
+import pytest
+
+from repro.sim.units import MILLISECONDS
+
+
+def test_microburst_comparison():
+    from repro.experiments.microburst_exp import (
+        run_event_driven,
+        run_snappy_baseline,
+        state_reduction_factor,
+    )
+
+    event = run_event_driven(duration_ps=8 * MILLISECONDS)
+    snappy = run_snappy_baseline(duration_ps=8 * MILLISECONDS)
+    assert event.culprit_detected
+    assert state_reduction_factor(event, snappy) >= 4.0
+    assert event.false_positive_flows == 0
+
+
+def test_hula_vs_ecmp():
+    from repro.experiments.hula_exp import run_load_balance
+
+    hula = run_load_balance("hula", duration_ps=8 * MILLISECONDS)
+    ecmp = run_load_balance("ecmp", duration_ps=8 * MILLISECONDS)
+    assert ecmp.imbalance > 1.8
+    assert hula.imbalance < 1.3
+    with pytest.raises(ValueError):
+        run_load_balance("magic")
+
+
+def test_frr_vs_control_plane():
+    from repro.experiments.frr_exp import run_failover
+
+    frr = run_failover("frr", duration_ps=120 * MILLISECONDS)
+    control = run_failover("control-plane", duration_ps=200 * MILLISECONDS)
+    assert frr.packets_lost <= 5
+    assert control.packets_lost > 100 * max(1, frr.packets_lost)
+    with pytest.raises(ValueError):
+        run_failover("carrier-pigeon")
+
+
+def test_liveness_detection():
+    from repro.experiments.liveness_exp import run_liveness
+
+    result = run_liveness()
+    assert result.detection_delay_ps is not None
+    assert result.notifications_at_monitor == 1
+
+
+def test_cms_reset_modes():
+    from repro.experiments.cms_exp import run_cms_reset
+
+    timer = run_cms_reset("timer", duration_ps=8 * MILLISECONDS)
+    control = run_cms_reset("control", duration_ps=8 * MILLISECONDS)
+    assert timer.precision > control.precision
+    assert control.controller_busy_fraction > 0.9
+    assert timer.controller_busy_fraction == 0.0
+
+
+def test_merger_load_points():
+    from repro.experiments.merger_exp import run_merger_load
+
+    enabled = run_merger_load(0.5, True, duration_ps=1 * MILLISECONDS)
+    disabled = run_merger_load(0.5, False, duration_ps=1 * MILLISECONDS)
+    assert enabled.events_dropped == 0
+    assert disabled.mean_wait_ns > enabled.mean_wait_ns
+    with pytest.raises(ValueError):
+        run_merger_load(0.0)
+
+
+def test_staleness_sweeps():
+    from repro.experiments.staleness_exp import (
+        run_aggregated,
+        run_naive_single_array,
+        sweep_overspeed,
+    )
+
+    results = sweep_overspeed([1.1, 2.0], cycles=10_000)
+    # At short horizons the value error is noisy; the drain lag is the
+    # robust monotone signal (the long-horizon bench asserts both).
+    assert (
+        results[0].staleness.mean_lag_cycles
+        > 3 * results[1].staleness.mean_lag_cycles
+    )
+    naive = run_naive_single_array(cycles=10_000)
+    assert naive.conflict_cycles > 0
+    aggregated = run_aggregated(cycles=10_000)
+    assert aggregated.port_conflicts == 0
+
+
+def test_emulation_points():
+    from repro.experiments.emulation_exp import run_emulation_point
+
+    native = run_emulation_point("sume", 200_000.0, duration_ps=2 * MILLISECONDS)
+    emulated = run_emulation_point(
+        "tofino-emulated", 200_000.0, duration_ps=2 * MILLISECONDS
+    )
+    assert native.events_lost == 0
+    assert emulated.mean_lag_ns > native.mean_lag_ns
+    with pytest.raises(ValueError):
+        run_emulation_point("abacus")
+
+
+def test_aqm_schemes():
+    from repro.experiments.aqm_exp import jain_fairness, run_aqm
+
+    fred = run_aqm("fred", duration_ps=8 * MILLISECONDS)
+    tail = run_aqm("drop-tail", duration_ps=8 * MILLISECONDS)
+    assert fred.fairness > tail.fairness
+    assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+    assert jain_fairness([]) == 1.0
+
+
+def test_ndp_incast():
+    from repro.experiments.ndp_exp import run_incast
+
+    ndp = run_incast("ndp", waves=2, duration_ps=8 * MILLISECONDS)
+    tail = run_incast("tail-drop", waves=2, duration_ps=8 * MILLISECONDS)
+    assert ndp.loss_visibility > 0.9
+    assert tail.loss_visibility == 0.0
+
+
+def test_policing_schemes():
+    from repro.experiments.policing_exp import run_policing
+
+    timer = run_policing("timer", duration_ps=8 * MILLISECONDS)
+    meter = run_policing("meter", duration_ps=8 * MILLISECONDS)
+    for result in (timer, meter):
+        over_rate = result.flows[-1]
+        assert over_rate.delivered_gbps < 0.6 * over_rate.offered_gbps
+
+
+def test_flow_rate_estimators():
+    from repro.experiments.flow_rate_exp import run_flow_rate
+
+    window = run_flow_rate("window", duration_ps=10 * MILLISECONDS,
+                           stop_burst_at_ps=5 * MILLISECONDS)
+    ewma = run_flow_rate("ewma", duration_ps=10 * MILLISECONDS,
+                         stop_burst_at_ps=5 * MILLISECONDS)
+    assert window.stopped_flow_residual_gbps < 0.1
+    assert ewma.stopped_flow_residual_gbps > 1.0
+
+
+def test_netcache_adaptation():
+    from repro.experiments.netcache_exp import run_netcache
+
+    with_timer = run_netcache(True, duration_ps=16 * MILLISECONDS,
+                              shift_at_ps=8 * MILLISECONDS)
+    without = run_netcache(False, duration_ps=16 * MILLISECONDS,
+                           shift_at_ps=8 * MILLISECONDS)
+    assert with_timer.post_shift_hit_ratio > without.post_shift_hit_ratio
+
+
+def test_int_volume():
+    from repro.experiments.int_exp import run_int
+
+    aggregate = run_int("aggregate", duration_ps=10 * MILLISECONDS, waves=2)
+    postcards = run_int("postcards", duration_ps=10 * MILLISECONDS, waves=2)
+    assert aggregate.reports_received < postcards.reports_received / 50
+
+
+def test_event_catalog():
+    from repro.experiments.events_exp import run_catalog_demo, support_matrix
+
+    result = run_catalog_demo()
+    assert result.all_fired()
+    matrix = support_matrix()
+    assert len(matrix) == 4
+
+
+def test_architecture_traces():
+    from repro.experiments.psa_fig_exp import run_architecture
+
+    baseline = run_architecture("baseline", packets=50)
+    logical = run_architecture("logical", packets=50)
+    sume = run_architecture("sume", packets=50)
+    assert baseline.buffer_events_visible() == 0
+    assert logical.buffer_events_visible() == 100
+    assert sume.buffer_events_visible() == 100
+    assert sume.mean_event_wait_ps > logical.mean_event_wait_ps
+    with pytest.raises(ValueError):
+        run_architecture("quantum")
+
+
+def test_programmable_scheduling():
+    from repro.experiments.scheduling_exp import run_scheduling
+
+    wfq = run_scheduling("wfq", duration_ps=10 * MILLISECONDS)
+    fifo = run_scheduling("fifo", duration_ps=10 * MILLISECONDS)
+    assert 2.3 < wfq.measured_ratio < 3.7
+    assert 0.7 < fifo.measured_ratio < 1.4
+    with pytest.raises(ValueError):
+        run_scheduling("lottery")
+
+
+def test_ecn_signal_quality():
+    from repro.experiments.ecn_exp import run_ecn
+
+    multi = run_ecn("multi-bit", duration_ps=10 * MILLISECONDS)
+    single = run_ecn("single-bit", duration_ps=10 * MILLISECONDS)
+    assert multi.mean_abs_error_bytes < single.mean_abs_error_bytes / 5
+    with pytest.raises(ValueError):
+        run_ecn("zero-bit")
+
+
+def test_reliable_transfer_over_failover():
+    from repro.experiments.reliable_exp import run_reliable_transfer
+
+    frr = run_reliable_transfer("frr", total_packets=5_000,
+                                duration_ps=250 * MILLISECONDS)
+    assert frr.completed
+    assert frr.retransmissions < 50
+    with pytest.raises(ValueError):
+        run_reliable_transfer("smoke-signals")
+
+
+def test_netchain_repair():
+    from repro.experiments.netchain_exp import run_netchain
+
+    event_driven = run_netchain("event-driven", duration_ps=100 * MILLISECONDS,
+                                fail_at_ps=20 * MILLISECONDS)
+    assert event_driven.writes_lost <= 3
+    assert event_driven.read_matches_last_ack
+    with pytest.raises(ValueError):
+        run_netchain("telepathy")
+
+
+def test_pie_aqm():
+    from repro.experiments.aqm_exp import run_aqm
+
+    pie = run_aqm("pie", duration_ps=10 * MILLISECONDS)
+    tail = run_aqm("drop-tail", duration_ps=10 * MILLISECONDS)
+    assert pie.aqm_drops > 0
+    assert pie.overflow_drops < tail.overflow_drops
+
+
+def test_state_migration():
+    from repro.experiments.migration_exp import BUDGET_BYTES, run_migration
+
+    with_migration = run_migration(True, duration_ps=30 * MILLISECONDS)
+    without = run_migration(False, duration_ps=30 * MILLISECONDS)
+    assert with_migration.delivered_bytes <= 1.05 * BUDGET_BYTES
+    assert without.delivered_bytes >= 1.5 * BUDGET_BYTES
+
+
+def test_multipipe_replication():
+    from repro.state.replication import run_multipipe
+
+    tight = run_multipipe(sync_period_cycles=8, cycles=8_000)
+    never = run_multipipe(sync_period_cycles=None, cycles=8_000)
+    assert never.mean_read_error > 5 * tight.mean_read_error
+
+
+def test_consistency_contention():
+    from repro.state.consistency import run_contention
+
+    atomic = run_contention(0, cycles=10_000)
+    delayed = run_contention(4, cycles=10_000)
+    assert atomic.lost_updates == 0
+    assert delayed.lost_updates > 0
+
+
+def test_table2_rows_without_experiments():
+    from repro.experiments.table2_exp import build_table2
+
+    rows = build_table2(run_experiments=False)
+    assert len(rows) == 5
+    assert all(row.events_used for row in rows)

@@ -1,0 +1,149 @@
+"""Unit tests for the language tokenizer and parser."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStmt,
+    Field,
+    If,
+    Name,
+    Number,
+    VarDecl,
+)
+from repro.lang.errors import LangSyntaxError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+
+MINIMAL = "program p;\n"
+
+
+class TestLexer:
+    def kinds(self, source):
+        return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+    def test_keywords_vs_idents(self):
+        tokens = self.kinds("program foo on bar shared_register")
+        assert tokens == [
+            ("keyword", "program"),
+            ("ident", "foo"),
+            ("keyword", "on"),
+            ("ident", "bar"),
+            ("keyword", "shared_register"),
+        ]
+
+    def test_numbers(self):
+        tokens = self.kinds("42 0x1F 1_000")
+        assert [t for _k, t in tokens] == ["42", "0x1F", "1_000"]
+
+    def test_strings(self):
+        tokens = self.kinds('"flowID"')
+        assert tokens == [("string", "flowID")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LangSyntaxError):
+            tokenize('"oops')
+
+    def test_multichar_punct_greedy(self):
+        tokens = self.kinds("a <= b == c && d")
+        texts = [t for _k, t in tokens]
+        assert "<=" in texts and "==" in texts and "&&" in texts
+
+    def test_comments_skipped(self):
+        source = "a // line comment\n/* block\ncomment */ b"
+        assert self.kinds(source) == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LangSyntaxError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LangSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert "line 1" in str(excinfo.value)
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestParser:
+    def test_program_name(self):
+        ast = parse(MINIMAL)
+        assert ast.name == "p"
+        assert ast.handlers == ()
+
+    def test_register_declarations(self):
+        ast = parse(
+            "program p;\n"
+            "shared_register<32>(1024) shared;\n"
+            "register<64>(8) plain;\n"
+        )
+        shared, plain = ast.registers
+        assert shared.shared and shared.width_bits == 32 and shared.size == 1024
+        assert not plain.shared and plain.width_bits == 64
+
+    def test_const_folding(self):
+        ast = parse("program p;\nconst K = 2 * (3 + 4);\n")
+        assert ast.consts[0].value == 14
+
+    def test_const_must_be_constant(self):
+        with pytest.raises(LangSyntaxError):
+            parse("program p;\nconst K = x + 1;\n")
+
+    def test_handler_bodies(self):
+        ast = parse(
+            "program p;\n"
+            "on ingress_packet {\n"
+            "  var x = 1 + 2;\n"
+            "  x = x * 3;\n"
+            "  if (x > 5) { drop(); } else { forward(1); }\n"
+            "}\n"
+        )
+        body = ast.handlers[0].body
+        assert isinstance(body[0], VarDecl)
+        assert isinstance(body[1], Assign)
+        assert isinstance(body[2], If)
+        assert isinstance(body[2].then_body[0], ExprStmt)
+        assert body[2].else_body[0].call.name == "forward"
+
+    def test_init_block(self):
+        ast = parse("program p;\ninit { configure_timer(0, 1000); }\n")
+        assert ast.handlers[0].event is None
+
+    def test_precedence(self):
+        ast = parse("program p;\non timer_expiration { var x = 1 + 2 * 3; }\n")
+        expr = ast.handlers[0].body[0].value
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_field_access_and_method_call(self):
+        ast = parse(
+            "program p;\n"
+            "register<32>(4) r;\n"
+            "on ingress_packet { var x = ip.src + r.read(0); }\n"
+        )
+        expr = ast.handlers[0].body[0].value
+        assert isinstance(expr.left, Field) and expr.left.obj == "ip"
+        assert isinstance(expr.right, Call) and expr.right.obj == "r"
+
+    def test_unary_operators(self):
+        ast = parse("program p;\non timer_expiration { var x = -1 + !0; }\n")
+        assert ast.handlers[0].body[0].value is not None
+
+    def test_syntax_errors_carry_position(self):
+        with pytest.raises(LangSyntaxError) as excinfo:
+            parse("program p;\non ingress_packet { var = 3; }\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(LangSyntaxError):
+            parse("program p\n")
+
+    def test_hex_and_underscore_literals(self):
+        ast = parse("program p;\nconst A = 0xFF;\nconst B = 1_000;\n")
+        assert ast.consts[0].value == 255
+        assert ast.consts[1].value == 1000

@@ -1,0 +1,120 @@
+"""Round-trip tests for the language pretty-printer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast_nodes import ProgramAst
+from repro.lang.parser import parse
+from repro.lang.printer import pretty
+
+MICROBURST = """
+program microburst;
+shared_register<32>(1024) bufSize_reg;
+const FLOW_THRESH = 8000;
+on ingress_packet {
+    var flowID = hash(ip.src, ip.dst, 1024);
+    set_enq_meta("flowID", flowID);
+    var bufSize = bufSize_reg.read(flowID);
+    if (bufSize > FLOW_THRESH) { mark(flowID); } else { log(bufSize); }
+    forward_by_ip();
+}
+on buffer_enqueue { bufSize_reg.add(event.flowID, event.pkt_len); }
+init { configure_timer(0, 1000); }
+"""
+
+
+def strip_positions(ast: ProgramAst):
+    """A position-free structural fingerprint for comparison."""
+
+    def fingerprint(node):
+        if hasattr(node, "__dataclass_fields__"):
+            fields = {}
+            for name in node.__dataclass_fields__:
+                if name == "pos":
+                    continue
+                fields[name] = fingerprint(getattr(node, name))
+            return (type(node).__name__, tuple(sorted(fields.items())))
+        if isinstance(node, tuple):
+            return tuple(fingerprint(item) for item in node)
+        return node
+
+    return fingerprint(ast)
+
+
+def test_roundtrip_microburst():
+    ast = parse(MICROBURST)
+    reparsed = parse(pretty(ast))
+    assert strip_positions(ast) == strip_positions(reparsed)
+
+
+def test_pretty_output_is_stable():
+    """pretty is a fixed point: pretty(parse(pretty(x))) == pretty(x)."""
+    once = pretty(parse(MICROBURST))
+    twice = pretty(parse(once))
+    assert once == twice
+
+
+def test_parenthesization_preserves_semantics():
+    source = (
+        "program p;\n"
+        "on timer_expiration { var x = 1 + 2 * 3 - (4 + 5) / 2; mark(x); }\n"
+    )
+    ast = parse(source)
+    reparsed = parse(pretty(ast))
+    assert strip_positions(ast) == strip_positions(reparsed)
+
+
+def test_else_branch_printed():
+    source = "program p;\non timer_expiration { if (1) { mark(1); } else { mark(2); } }\n"
+    text = pretty(parse(source))
+    assert "else" in text
+    assert strip_positions(parse(text)) == strip_positions(parse(source))
+
+
+def test_unary_and_strings():
+    source = (
+        'program p;\non ingress_packet { var x = -1; var y = !0; '
+        'set_enq_meta("k", x + y); drop(); }\n'
+    )
+    assert strip_positions(parse(pretty(parse(source)))) == strip_positions(
+        parse(source)
+    )
+
+
+# ----------------------------------------------------------------------
+# Property: random expression trees round-trip through print + parse
+# ----------------------------------------------------------------------
+_numbers = st.integers(0, 10_000)
+
+
+def _expr_source(draw, depth=0):
+    choice = draw(st.integers(0, 4 if depth < 3 else 0))
+    if choice == 0:
+        return str(draw(_numbers))
+    if choice == 1:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+        left = _expr_source(draw, depth + 1)
+        right = _expr_source(draw, depth + 1)
+        if op in "/%":
+            right = f"({right} + 1)"  # avoid division by zero
+        return f"({left} {op} {right})"
+    if choice == 2:
+        op = draw(st.sampled_from(["==", "!=", "<", ">", "<=", ">="]))
+        return f"({_expr_source(draw, depth + 1)} {op} {_expr_source(draw, depth + 1)})"
+    if choice == 3:
+        return f"(!{_expr_source(draw, depth + 1)})"
+    return f"(-{_expr_source(draw, depth + 1)})"
+
+
+@st.composite
+def expression_programs(draw):
+    expr = _expr_source(draw)
+    return f"program p;\non timer_expiration {{ var x = {expr}; mark(x); }}\n"
+
+
+@settings(max_examples=60)
+@given(expression_programs())
+def test_random_expressions_roundtrip(source):
+    ast = parse(source)
+    reparsed = parse(pretty(ast))
+    assert strip_positions(ast) == strip_positions(reparsed)

@@ -1,0 +1,164 @@
+"""Unit tests for links and hosts."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+from repro.sim.units import bytes_to_time_ps
+
+
+class FakeNode:
+    """A minimal link endpoint for unit tests."""
+
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+        self.link_events = []
+
+    def receive(self, pkt, port):
+        self.received.append((pkt, port))
+
+    def set_link_status(self, port, up):
+        self.link_events.append((port, up))
+
+
+class TestLink:
+    def make(self, latency=1_000):
+        sim = Simulator()
+        a, b = FakeNode("a"), FakeNode("b")
+        link = Link(sim, a, 0, b, 1, latency_ps=latency)
+        return sim, a, b, link
+
+    def test_delivery_after_latency(self):
+        sim, a, b, link = self.make(latency=5_000)
+        pkt = make_udp_packet(1, 2)
+        link.transmit_from(a, pkt)
+        sim.run()
+        assert b.received == [(pkt, 1)]
+        assert sim.now_ps == 5_000
+        assert link.delivered_packets == 1
+
+    def test_bidirectional(self):
+        sim, a, b, link = self.make()
+        link.transmit_from(b, make_udp_packet(3, 4))
+        sim.run()
+        assert len(a.received) == 1
+        assert a.received[0][1] == 0
+
+    def test_foreign_sender_rejected(self):
+        sim, a, b, link = self.make()
+        with pytest.raises(ValueError):
+            link.transmit_from(FakeNode("c"), make_udp_packet(1, 2))
+
+    def test_down_link_loses_packets(self):
+        sim, a, b, link = self.make()
+        link.set_up(False)
+        link.transmit_from(a, make_udp_packet(1, 2))
+        sim.run()
+        assert b.received == []
+        assert link.lost_packets == 1
+
+    def test_in_flight_packets_lost_on_failure(self):
+        sim, a, b, link = self.make(latency=10_000)
+        link.transmit_from(a, make_udp_packet(1, 2))
+        sim.call_at(5_000, link.set_up, False)
+        sim.run()
+        assert b.received == []
+        assert link.lost_packets == 1
+
+    def test_status_change_notifies_endpoints(self):
+        sim, a, b, link = self.make()
+        link.set_up(False)
+        assert a.link_events == [(0, False)]
+        assert b.link_events == [(1, False)]
+        link.set_up(False)  # no change, no duplicate event
+        assert len(a.link_events) == 1
+
+    def test_scheduled_fail_and_recover(self):
+        sim, a, b, link = self.make()
+        link.fail_at(1_000)
+        link.recover_at(2_000)
+        sim.run()
+        assert a.link_events == [(0, False), (0, True)]
+        assert link.up
+
+    def test_other_end(self):
+        sim, a, b, link = self.make()
+        assert link.other_end(a) is b
+        assert link.other_end(b) is a
+        with pytest.raises(ValueError):
+            link.other_end(FakeNode("x"))
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, FakeNode("a"), 0, FakeNode("b"), 0, latency_ps=-1)
+
+
+class TestHost:
+    def make_pair(self, nic_rate=10.0):
+        sim = Simulator()
+        host = Host(sim, "h", ip=0x0A000001, nic_rate_gbps=nic_rate)
+        peer = FakeNode("peer")
+        link = Link(sim, host, 0, peer, 0, latency_ps=1_000)
+        host.attach_link(link)
+        return sim, host, peer
+
+    def test_send_serializes_then_transmits(self):
+        sim, host, peer = self.make_pair()
+        pkt = make_udp_packet(1, 2, payload_len=458)  # 520B wire
+        assert host.send(pkt)
+        sim.run()
+        assert len(peer.received) == 1
+        assert sim.now_ps == bytes_to_time_ps(520, 10.0) + 1_000
+        assert host.sent_packets == 1
+
+    def test_nic_is_fifo_and_serial(self):
+        sim, host, peer = self.make_pair()
+        first = make_udp_packet(1, 2)
+        second = make_udp_packet(1, 2)
+        host.send(first)
+        host.send(second)
+        sim.run()
+        assert [p.pkt_id for p, _port in peer.received] == [
+            first.pkt_id,
+            second.pkt_id,
+        ]
+
+    def test_tx_queue_overflow(self):
+        sim = Simulator()
+        host = Host(sim, "h", ip=1, tx_queue_packets=2)
+        peer = FakeNode("peer")
+        link = Link(sim, host, 0, peer, 0)
+        host.attach_link(link)
+        results = [host.send(make_udp_packet(1, 2)) for _ in range(5)]
+        # First starts transmitting immediately; two queue; rest dropped.
+        assert results.count(True) == 3
+        assert host.tx_drops == 2
+
+    def test_sinks_receive(self):
+        sim, host, peer = self.make_pair()
+        seen = []
+        host.add_sink(seen.append)
+        pkt = make_udp_packet(9, 9)
+        host.receive(pkt, 0)
+        assert seen == [pkt]
+        assert host.received_packets == 1
+
+    def test_send_without_link_raises(self):
+        sim = Simulator()
+        host = Host(sim, "h", ip=1)
+        with pytest.raises(RuntimeError):
+            host.send(make_udp_packet(1, 2))
+
+    def test_double_attach_raises(self):
+        sim, host, peer = self.make_pair()
+        with pytest.raises(RuntimeError):
+            host.attach_link(object())
+
+    def test_invalid_nic_rate(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Host(sim, "h", ip=1, nic_rate_gbps=0)

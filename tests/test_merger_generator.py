@@ -1,0 +1,159 @@
+"""Unit tests for the Event Merger and the packet generator."""
+
+import pytest
+
+from repro.arch.events import Event, EventType
+from repro.arch.generator import GeneratorConfig, PacketGenerator
+from repro.arch.merger import EventMerger
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+
+
+def ev(kind=EventType.ENQUEUE, t=0):
+    return Event(kind=kind, time_ps=t)
+
+
+class TestEventMerger:
+    def make(self, sim=None, **kwargs):
+        sim = sim or Simulator()
+        defaults = dict(clock_ps=5_000, slots_per_kind=1, queue_capacity=4)
+        defaults.update(kwargs)
+        return sim, EventMerger(sim, **defaults)
+
+    def test_carrier_takes_pending_events(self):
+        sim, merger = self.make(injection_enabled=False)
+        merger.offer(ev(EventType.ENQUEUE))
+        merger.offer(ev(EventType.DEQUEUE))
+        taken = merger.take_for_carrier()
+        assert [e.kind for e in taken] == [EventType.ENQUEUE, EventType.DEQUEUE]
+        assert merger.pending_count == 0
+        assert merger.stats.piggybacked == 2
+
+    def test_slots_per_kind_limit(self):
+        sim, merger = self.make(injection_enabled=False)
+        for _ in range(3):
+            merger.offer(ev(EventType.ENQUEUE))
+        taken = merger.take_for_carrier()
+        assert len(taken) == 1  # one slot per kind
+        assert merger.pending_count == 2
+
+    def test_multiple_slots(self):
+        sim, merger = self.make(slots_per_kind=2, injection_enabled=False)
+        for _ in range(3):
+            merger.offer(ev(EventType.ENQUEUE))
+        assert len(merger.take_for_carrier()) == 2
+
+    def test_oldest_first_within_kind(self):
+        sim, merger = self.make(injection_enabled=False)
+        first = ev(EventType.ENQUEUE, t=1)
+        second = ev(EventType.ENQUEUE, t=2)
+        merger.offer(first)
+        merger.offer(second)
+        assert merger.take_for_carrier()[0] is first
+
+    def test_queue_overflow_drops_oldest(self):
+        sim, merger = self.make(queue_capacity=2, injection_enabled=False)
+        events = [ev(EventType.ENQUEUE, t=i) for i in range(3)]
+        for event in events:
+            merger.offer(event)
+        assert merger.stats.dropped == 1
+        taken = merger.take_for_carrier()
+        assert taken[0] is events[1]  # the oldest surviving one
+
+    def test_injection_after_wait(self):
+        sim = Simulator()
+        _, merger = self.make(sim)
+        injected = []
+        merger.set_inject_fn(lambda events: injected.append(events))
+        merger.offer(ev())
+        sim.run()
+        assert len(injected) == 1
+        assert merger.stats.injected_packets == 1
+        assert merger.stats.injected_events == 1
+
+    def test_injection_disabled_leaves_events_pending(self):
+        sim = Simulator()
+        _, merger = self.make(sim, injection_enabled=False)
+        merger.set_inject_fn(lambda events: pytest.fail("should not inject"))
+        merger.offer(ev())
+        sim.run()
+        assert merger.pending_count == 1
+
+    def test_repeated_injection_drains_backlog(self):
+        sim = Simulator()
+        _, merger = self.make(sim, queue_capacity=16)
+        injected = []
+        merger.set_inject_fn(lambda events: injected.extend(events))
+        for i in range(5):
+            merger.offer(ev(EventType.ENQUEUE, t=i))
+        sim.run()
+        assert len(injected) == 5  # one slot per carrier → five carriers
+        assert merger.stats.injected_packets == 5
+
+    def test_wait_accounting(self):
+        sim = Simulator()
+        _, merger = self.make(sim, injection_enabled=False)
+        merger.offer(ev(t=0))
+        sim.call_at(10_000, lambda: merger.take_for_carrier())
+        sim.run()
+        assert merger.stats.mean_wait_ps == 10_000
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            EventMerger(sim, clock_ps=0)
+        with pytest.raises(ValueError):
+            EventMerger(sim, clock_ps=10, slots_per_kind=0)
+        with pytest.raises(ValueError):
+            EventMerger(sim, clock_ps=10, queue_capacity=0)
+
+
+class TestPacketGenerator:
+    def test_periodic_generation(self):
+        sim = Simulator()
+        out = []
+        generator = PacketGenerator(sim, out.append)
+        generator.configure(
+            GeneratorConfig(0, 1_000, lambda now: make_udp_packet(1, 2, ts_ps=now))
+        )
+        sim.run(until_ps=3_500)
+        assert len(out) == 3
+        assert all(pkt.generated for pkt in out)
+        assert [pkt.ts_created_ps for pkt in out] == [1_000, 2_000, 3_000]
+
+    def test_reconfigure_replaces_stream(self):
+        sim = Simulator()
+        out = []
+        generator = PacketGenerator(sim, out.append)
+        config = GeneratorConfig(0, 1_000, lambda now: make_udp_packet(1, 2))
+        generator.configure(config)
+        generator.configure(GeneratorConfig(0, 2_000, lambda now: make_udp_packet(3, 4)))
+        sim.run(until_ps=4_500)
+        assert len(out) == 2  # every 2 µs, not 1 µs
+
+    def test_remove_stream(self):
+        sim = Simulator()
+        out = []
+        generator = PacketGenerator(sim, out.append)
+        generator.configure(GeneratorConfig(5, 1_000, lambda now: make_udp_packet(1, 2)))
+        assert generator.stream_ids == [5]
+        generator.remove(5)
+        generator.remove(5)  # idempotent
+        sim.run(until_ps=5_000)
+        assert out == []
+
+    def test_set_period(self):
+        sim = Simulator()
+        out = []
+        generator = PacketGenerator(sim, out.append)
+        generator.configure(GeneratorConfig(0, 1_000, lambda now: make_udp_packet(1, 2)))
+        sim.run(until_ps=1_500)
+        generator.set_period(0, 3_000)
+        sim.run(until_ps=6_000)
+        # Fires at 1000 and (already scheduled) 2000, then every 3000:
+        # the new period takes effect from the next firing.
+        assert len(out) == 3
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(0, 0, lambda now: make_udp_packet(1, 2))

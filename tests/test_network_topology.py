@@ -1,0 +1,146 @@
+"""Unit tests for network wiring, topology builders, and routing."""
+
+import pytest
+
+from repro.arch.description import BASELINE_PSA
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.routing import all_pairs_ports, install_ip_routes, shortest_path_ports
+from repro.net.topology import (
+    build_dumbbell,
+    build_leaf_spine,
+    build_linear,
+    with_ports,
+)
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+
+
+class TestNetwork:
+    def test_duplicate_names_rejected(self):
+        network = Network()
+        factory = make_baseline_switch()
+        network.add_switch(factory(network.sim, "s0", 2))
+        with pytest.raises(ValueError):
+            network.add_switch(factory(network.sim, "s0", 2))
+        network.add_host(Host(network.sim, "h", 1))
+        with pytest.raises(ValueError):
+            network.add_host(Host(network.sim, "h", 2))
+
+    def test_double_connect_port_rejected(self):
+        network = Network()
+        factory = make_baseline_switch()
+        s0 = network.add_switch(factory(network.sim, "s0", 2))
+        h0 = network.add_host(Host(network.sim, "h0", 1))
+        h1 = network.add_host(Host(network.sim, "h1", 2))
+        network.connect(h0, 0, s0, 0)
+        with pytest.raises(ValueError):
+            network.connect(h1, 0, s0, 0)
+
+    def test_link_between_and_port_towards(self):
+        network = build_linear(make_baseline_switch(), switch_count=2)
+        assert network.link_between("s0", "s1") is not None
+        assert network.link_between("s0", "h1") is None
+        assert network.port_towards("s0", "s1") == 1
+        assert network.port_towards("s1", "s0") == 0
+        assert network.port_towards("s0", "h0") == 0
+
+    def test_graph_view(self):
+        network = build_linear(make_baseline_switch(), switch_count=2)
+        graph = network.graph()
+        assert set(graph.nodes) == {"s0", "s1", "h0", "h1"}
+        assert graph.number_of_edges() == 3
+
+    def test_unconnected_port_tx_is_silent(self):
+        network = Network()
+        factory = make_baseline_switch()
+        s0 = network.add_switch(factory(network.sim, "s0", 2))
+        # No links at all: transmitting must not raise.
+        s0._transmit(make_udp_packet(1, 2), 1)
+
+
+class TestTopologies:
+    def test_linear_wiring_end_to_end(self):
+        from repro.apps.frr import StaticRouteProgram
+
+        network = build_linear(make_sume_switch(), switch_count=3)
+        for name in ("s0", "s1", "s2"):
+            program = StaticRouteProgram()
+            program.install_routes(
+                {network.hosts["h1"].ip: 1, network.hosts["h0"].ip: 0}
+            )
+            network.switches[name].load_program(program)
+        received = []
+        network.hosts["h1"].add_sink(received.append)
+        network.hosts["h0"].send(
+            make_udp_packet(network.hosts["h0"].ip, network.hosts["h1"].ip)
+        )
+        network.run()
+        assert len(received) == 1
+
+    def test_dumbbell_shape(self):
+        network = build_dumbbell(make_baseline_switch(), senders=3, receivers=2)
+        assert set(network.switches) == {"s0", "s1"}
+        assert set(network.hosts) == {"tx0", "tx1", "tx2", "rx0", "rx1"}
+        assert network.port_towards("s0", "s1") == 0
+        assert network.port_towards("s0", "tx0") == 1
+
+    def test_leaf_spine_shape(self):
+        fabric = build_leaf_spine(
+            make_baseline_switch(), leaf_count=2, spine_count=3, hosts_per_leaf=2
+        )
+        assert len(fabric.leaves) == 2
+        assert len(fabric.spines) == 3
+        assert fabric.uplink_ports["leaf0"] == [0, 1, 2]
+        assert fabric.host_port_base["leaf0"] == 3
+        assert len(fabric.hosts["leaf1"]) == 2
+        # Leaf 0 port j reaches spine j.
+        assert fabric.network.port_towards("leaf0", "spine2") == 2
+        assert fabric.network.port_towards("spine1", "leaf1") == 1
+
+    def test_with_ports(self):
+        description = with_ports(BASELINE_PSA, 9)
+        assert description.port_count == 9
+        assert description.name == BASELINE_PSA.name
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            build_linear(make_baseline_switch(), switch_count=0)
+        with pytest.raises(ValueError):
+            build_dumbbell(make_baseline_switch(), senders=0)
+        with pytest.raises(ValueError):
+            build_leaf_spine(make_baseline_switch(), leaf_count=0)
+
+
+class TestRouting:
+    def test_shortest_path_ports(self):
+        network = build_linear(make_baseline_switch(), switch_count=3)
+        hops = shortest_path_ports(network, "h0", "h1")
+        assert hops == [("s0", 1), ("s1", 1), ("s2", 1)]
+        back = shortest_path_ports(network, "h1", "h0")
+        assert back == [("s2", 0), ("s1", 0), ("s0", 0)]
+
+    def test_avoids_down_links(self):
+        fabric = build_leaf_spine(make_baseline_switch(), 2, 2, 1)
+        network = fabric.network
+        via = shortest_path_ports(network, "h0_0", "h1_0")
+        first_uplink = via[0][1]
+        link = network.link_between("leaf0", f"spine{first_uplink}")
+        link.set_up(False)
+        rerouted = shortest_path_ports(network, "h0_0", "h1_0")
+        assert rerouted[0][1] != first_uplink
+
+    def test_all_pairs(self):
+        network = build_linear(make_baseline_switch(), switch_count=1)
+        routes = all_pairs_ports(network)
+        assert set(routes) == {("h0", "h1"), ("h1", "h0")}
+
+    def test_install_ip_routes(self):
+        network = build_linear(make_baseline_switch(), switch_count=2)
+        tables = {"s0": {}, "s1": {}}
+        install_ip_routes(network, tables)
+        h1_ip = network.hosts["h1"].ip
+        h0_ip = network.hosts["h0"].ip
+        assert tables["s0"][h1_ip] == 1
+        assert tables["s1"][h0_ip] == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the Packet container."""
+
+import pytest
+
+from repro.packet.builder import make_tcp_packet, make_udp_packet
+from repro.packet.headers import Ethernet, Ipv4, Tcp, Udp
+from repro.packet.packet import FiveTuple, Packet
+
+
+def test_lengths_account_headers_and_payload():
+    pkt = Packet(headers=[Ethernet(), Ipv4()], payload_len=100)
+    assert pkt.header_len == 34
+    assert pkt.total_len == 134
+    assert pkt.wire_len == 154  # + preamble/IFG
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        Packet(payload_len=-1)
+
+
+def test_packet_ids_are_unique():
+    a, b = Packet(), Packet()
+    assert a.pkt_id != b.pkt_id
+
+
+def test_get_require_has():
+    pkt = make_tcp_packet(1, 2)
+    assert pkt.has(Tcp)
+    assert not pkt.has(Udp)
+    assert pkt.get(Udp) is None
+    assert pkt.require(Tcp) is pkt.get(Tcp)
+    with pytest.raises(KeyError):
+        pkt.require(Udp)
+
+
+def test_push_prepends_pop_removes():
+    pkt = Packet(headers=[Ipv4()])
+    pkt.push(Ethernet())
+    assert type(pkt.headers[0]) is Ethernet
+    popped = pkt.pop(Ethernet)
+    assert type(popped) is Ethernet
+    assert not pkt.has(Ethernet)
+    with pytest.raises(KeyError):
+        pkt.pop(Ethernet)
+
+
+def test_five_tuple_tcp():
+    pkt = make_tcp_packet(0x0A000001, 0x0A000002, sport=1234, dport=80)
+    ftuple = pkt.five_tuple()
+    assert ftuple == FiveTuple(0x0A000001, 0x0A000002, 6, 1234, 80)
+
+
+def test_five_tuple_udp_and_none():
+    pkt = make_udp_packet(1, 2, sport=10, dport=20)
+    assert pkt.five_tuple().proto == 17
+    assert Packet(headers=[Ethernet()]).five_tuple() is None
+
+
+def test_five_tuple_bytes_encoding():
+    ftuple = FiveTuple(0x01020304, 0x05060708, 6, 0x0A0B, 0x0C0D)
+    assert ftuple.as_bytes() == bytes(
+        [1, 2, 3, 4, 5, 6, 7, 8, 6, 0x0A, 0x0B, 0x0C, 0x0D]
+    )
+
+
+def test_clone_is_deep_and_fresh_id():
+    pkt = make_tcp_packet(1, 2)
+    pkt.meta["key"] = 1
+    dup = pkt.clone()
+    assert dup.pkt_id != pkt.pkt_id
+    assert dup.meta == pkt.meta
+    dup.require(Ipv4).set(ttl=1)
+    assert pkt.require(Ipv4).ttl != 1
+    dup.meta["key"] = 2
+    assert pkt.meta["key"] == 1
+
+
+def test_minimum_frame_padding():
+    pkt = make_udp_packet(1, 2, payload_len=0)
+    assert pkt.total_len == 64  # padded to the Ethernet minimum
+    big = make_udp_packet(1, 2, payload_len=1400)
+    assert big.total_len == 14 + 20 + 8 + 1400
+
+
+def test_trace_notes():
+    pkt = Packet()
+    pkt.note("hello")
+    assert pkt.trace == ["hello"]

@@ -1,0 +1,152 @@
+"""Unit and property tests for the PIFO and time-window externs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pisa.externs.pifo import PifoQueue
+from repro.pisa.externs.window import ShiftRegister, SlidingWindow
+
+
+class TestPifo:
+    def test_pops_in_rank_order(self):
+        pifo = PifoQueue(8)
+        for rank, item in [(5, "e"), (1, "a"), (3, "c")]:
+            pifo.push(rank, item)
+        assert pifo.drain() == ["a", "c", "e"]
+
+    def test_ties_pop_fifo(self):
+        pifo = PifoQueue(8)
+        pifo.push(1, "first")
+        pifo.push(1, "second")
+        pifo.push(1, "third")
+        assert pifo.drain() == ["first", "second", "third"]
+
+    def test_full_rejects_worse_rank(self):
+        pifo = PifoQueue(2)
+        pifo.push(1, "a")
+        pifo.push(2, "b")
+        rejected = pifo.push(3, "c")  # worse than the tail
+        assert rejected == "c"
+        assert pifo.reject_count == 1
+        assert len(pifo) == 2
+
+    def test_full_evicts_tail_for_better_rank(self):
+        pifo = PifoQueue(2)
+        pifo.push(5, "worst")
+        pifo.push(1, "best")
+        evicted = pifo.push(3, "middle")
+        assert evicted == "worst"
+        assert pifo.evict_count == 1
+        assert pifo.drain() == ["best", "middle"]
+
+    def test_equal_rank_push_to_full_is_rejected(self):
+        pifo = PifoQueue(1)
+        pifo.push(2, "a")
+        assert pifo.push(2, "b") == "b"  # tie goes to the incumbent
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PifoQueue(1).pop()
+
+    def test_peek_rank(self):
+        pifo = PifoQueue(4)
+        assert pifo.peek_rank() is None
+        pifo.push(7, "x")
+        assert pifo.peek_rank() == 7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PifoQueue(0)
+
+    @given(st.lists(st.integers(0, 1_000), max_size=200))
+    def test_unbounded_pop_order_property(self, ranks):
+        pifo = PifoQueue(max(1, len(ranks)))
+        for i, rank in enumerate(ranks):
+            pifo.push(rank, (rank, i))
+        popped = pifo.drain()
+        assert [r for r, _i in popped] == sorted(ranks)
+        # FIFO among equal ranks: insertion index increases within ties.
+        for (ra, ia), (rb, ib) in zip(popped, popped[1:]):
+            if ra == rb:
+                assert ia < ib
+
+    @given(st.lists(st.integers(0, 100), min_size=5, max_size=100))
+    def test_bounded_keeps_best_property(self, ranks):
+        capacity = 4
+        pifo = PifoQueue(capacity)
+        for rank in ranks:
+            pifo.push(rank, rank)
+        kept = pifo.drain()
+        assert kept == sorted(kept)
+        assert len(kept) == min(capacity, len(ranks))
+        # Everything kept is no worse than the best rejected ranks.
+        assert max(kept) <= max(ranks)
+
+
+class TestShiftRegister:
+    def test_accumulate_and_shift(self):
+        shift = ShiftRegister(3)
+        shift.accumulate(10)
+        shift.accumulate(5)
+        assert shift.head() == 15
+        shift.shift()
+        shift.accumulate(20)
+        assert shift.snapshot() == [20, 15, 0]
+        assert shift.window_sum() == 35
+        assert shift.window_max() == 20
+
+    def test_shift_returns_expired_value(self):
+        shift = ShiftRegister(2)
+        shift.accumulate(1)
+        shift.shift()  # [0, 1]
+        shift.accumulate(2)
+        assert shift.shift() == 1  # the 1 fell out
+        assert shift.window_sum() == 2
+
+    def test_window_sum_over_exactly_n_slots(self):
+        shift = ShiftRegister(4)
+        for value in (1, 2, 3, 4, 5):
+            shift.accumulate(value)
+            shift.shift()
+        # Each value survives slots-1 = 3 shifts after its own; the head
+        # slot is a fresh zero, so only the last three values remain.
+        assert shift.snapshot() == [0, 5, 4, 3]
+        assert shift.window_sum() == 3 + 4 + 5
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(0)
+
+
+class TestSlidingWindow:
+    def test_per_index_isolation(self):
+        windows = SlidingWindow(4, slots=2)
+        windows.accumulate(0, 100)
+        windows.accumulate(3, 7)
+        assert windows.window_sum(0) == 100
+        assert windows.window_sum(3) == 7
+        assert windows.window_sum(1) == 0
+
+    def test_shift_all(self):
+        windows = SlidingWindow(2, slots=2)
+        windows.accumulate(0, 10)
+        windows.shift_all()
+        windows.shift_all()
+        assert windows.window_sum(0) == 0
+
+    def test_rate_math(self):
+        windows = SlidingWindow(1, slots=4)
+        # 1000 bytes over a 4 x 250 µs = 1 ms window → 8 Mb/s.
+        windows.accumulate(0, 1_000)
+        rate = windows.rate_bps(0, slot_duration_ps=250_000_000)
+        assert rate == pytest.approx(8e6)
+
+    def test_bounds(self):
+        windows = SlidingWindow(2, slots=2)
+        with pytest.raises(IndexError):
+            windows.accumulate(2, 1)
+        with pytest.raises(ValueError):
+            windows.rate_bps(0, 0)
+
+    def test_state_bits(self):
+        assert SlidingWindow(10, slots=4).state_bits == 10 * 4 * 32

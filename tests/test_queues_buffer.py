@@ -1,0 +1,115 @@
+"""Unit tests for packet queues and the shared buffer."""
+
+import pytest
+
+from repro.packet.builder import make_udp_packet
+from repro.tm.buffer import SharedBuffer
+from repro.tm.queues import PacketQueue
+
+
+def pkt(size_payload=0):
+    # 458B payload + 42B headers = 500B total.
+    return make_udp_packet(1, 2, payload_len=size_payload)
+
+
+class TestPacketQueue:
+    def test_fifo_order(self):
+        queue = PacketQueue(10_000)
+        first, second = pkt(), pkt()
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_byte_accounting(self):
+        queue = PacketQueue(10_000)
+        p = pkt(458)  # 500B total
+        queue.push(p)
+        assert queue.depth_bytes == 500
+        queue.pop()
+        assert queue.depth_bytes == 0
+        assert queue.empty
+
+    def test_fits_respects_capacity(self):
+        queue = PacketQueue(600)
+        queue.push(pkt(458))  # 500B
+        assert not queue.fits(pkt(458))
+        assert queue.fits(pkt(0))  # 64B still fits
+
+    def test_push_beyond_capacity_raises(self):
+        queue = PacketQueue(100)
+        with pytest.raises(OverflowError):
+            queue.push(pkt(458))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PacketQueue(100).pop()
+
+    def test_peek_does_not_remove(self):
+        queue = PacketQueue(1_000)
+        p = pkt()
+        queue.push(p)
+        assert queue.peek() is p
+        assert len(queue) == 1
+        assert PacketQueue(10).peek() is None
+
+    def test_stats_track_watermarks(self):
+        queue = PacketQueue(10_000)
+        queue.push(pkt(458))
+        queue.push(pkt(458))
+        queue.pop()
+        assert queue.stats.enqueued_packets == 2
+        assert queue.stats.dequeued_packets == 1
+        assert queue.stats.max_depth_bytes == 1_000
+        assert queue.stats.max_depth_packets == 2
+
+    def test_drop_accounting(self):
+        queue = PacketQueue(100)
+        queue.account_drop(pkt(458))
+        assert queue.stats.dropped_packets == 1
+        assert queue.stats.dropped_bytes == 500
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PacketQueue(0)
+
+
+class TestSharedBuffer:
+    def test_admit_and_release(self):
+        buffer = SharedBuffer(1_000)
+        p = pkt(458)
+        buffer.admit(p)
+        assert buffer.occupancy_bytes == 500
+        buffer.release(p)
+        assert buffer.occupancy_bytes == 0
+        assert buffer.empty
+
+    def test_fits_and_overflow(self):
+        buffer = SharedBuffer(600)
+        buffer.admit(pkt(458))
+        assert not buffer.fits(pkt(458))
+        with pytest.raises(OverflowError):
+            buffer.admit(pkt(458))
+
+    def test_release_more_than_held_raises(self):
+        buffer = SharedBuffer(1_000)
+        with pytest.raises(ValueError):
+            buffer.release(pkt(458))
+
+    def test_high_water_mark(self):
+        buffer = SharedBuffer(10_000)
+        a, b = pkt(458), pkt(458)
+        buffer.admit(a)
+        buffer.admit(b)
+        buffer.release(a)
+        assert buffer.max_occupancy_bytes == 1_000
+        assert buffer.occupancy_bytes == 500
+
+    def test_reject_counter(self):
+        buffer = SharedBuffer(100)
+        buffer.reject()
+        assert buffer.rejected_packets == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(0)

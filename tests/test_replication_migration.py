@@ -1,0 +1,177 @@
+"""Unit tests for replicated registers and swing-state migration."""
+
+import pytest
+
+from repro.apps.state_migration import (
+    BudgetTransitProgram,
+    SwingStateHeadProgram,
+    make_state_transfer,
+    read_state_transfer,
+)
+from repro.arch.events import Event, EventType
+from repro.arch.program import ProgramContext
+from repro.packet.builder import make_udp_packet
+from repro.packet.hashing import flow_hash
+from repro.pisa.metadata import StandardMetadata
+from repro.state.replication import ReplicatedRegister, run_multipipe
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+class FakeCtx(ProgramContext):
+    def __init__(self):
+        self.generated = []
+        self._now = 0
+
+    @property
+    def now_ps(self):
+        return self._now
+
+    def generate_packet(self, pkt):
+        self.generated.append(pkt)
+
+
+class TestReplicatedRegister:
+    def test_replica_sees_only_its_own_delta(self):
+        register = ReplicatedRegister(replicas=2, size=4)
+        register.add(0, 1, 100)
+        assert register.read(0, 1) == 100
+        assert register.read(1, 1) == 0  # other pipeline is blind
+        assert register.truth(1) == 100
+
+    def test_sync_converges_all_replicas(self):
+        register = ReplicatedRegister(replicas=3, size=2)
+        register.add(0, 0, 10)
+        register.add(1, 0, 20)
+        register.add(2, 0, 30)
+        exchanged = register.sync()
+        assert exchanged == 3
+        for replica in range(3):
+            assert register.read(replica, 0) == 60
+            assert register.read_error(replica, 0) == 0
+
+    def test_sync_cost_counts_dirty_entries_only(self):
+        register = ReplicatedRegister(replicas=4, size=8)
+        register.add(2, 5, 1)
+        assert register.sync() == 1
+        assert register.sync() == 0  # nothing dirty
+
+    def test_read_error(self):
+        register = ReplicatedRegister(replicas=2, size=1)
+        register.add(0, 0, 100)
+        register.add(1, 0, 50)
+        assert register.read_error(0, 0) == 50
+        assert register.read_error(1, 0) == 100
+
+    def test_bounds_and_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedRegister(0, 4)
+        with pytest.raises(ValueError):
+            ReplicatedRegister(2, 0)
+        register = ReplicatedRegister(2, 2)
+        with pytest.raises(IndexError):
+            register.add(2, 0, 1)
+        with pytest.raises(IndexError):
+            register.read(0, 2)
+
+    def test_run_multipipe_monotone_in_period(self):
+        tight = run_multipipe(sync_period_cycles=8, cycles=5_000)
+        loose = run_multipipe(sync_period_cycles=256, cycles=5_000)
+        assert tight.mean_read_error < loose.mean_read_error
+        assert tight.sync_entries_per_cycle > loose.sync_entries_per_cycle
+        with pytest.raises(ValueError):
+            run_multipipe(pipelines=0)
+        with pytest.raises(ValueError):
+            run_multipipe(sync_period_cycles=0)
+
+
+class TestStateTransferPackets:
+    def test_roundtrip(self):
+        pkt = make_state_transfer(flow_index=42, consumed_bytes=123_456)
+        record = read_state_transfer(pkt)
+        assert record == {"flow_index": 42, "consumed_bytes": 123_456}
+
+    def test_non_transfer_returns_none(self):
+        assert read_state_transfer(make_udp_packet(1, 2, dport=53)) is None
+
+    def test_survives_wire_roundtrip(self):
+        from repro.packet.parser import Deparser, standard_parser
+
+        pkt = make_state_transfer(7, 99_999)
+        parsed = standard_parser().parse(Deparser().deparse(pkt))
+        assert read_state_transfer(parsed) == {
+            "flow_index": 7,
+            "consumed_bytes": 99_999,
+        }
+
+
+class TestBudgetTransit:
+    def test_budget_enforced(self):
+        transit = BudgetTransitProgram(budget_bytes=1_500, num_flows=64)
+        transit.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)  # 1000B
+        meta = StandardMetadata()
+        transit.ingress(ctx, pkt, meta)
+        assert not meta.dropped
+        meta2 = StandardMetadata()
+        transit.ingress(ctx, pkt.clone(), meta2)
+        assert meta2.dropped  # 2000 > 1500
+        assert transit.over_budget_drops == 1
+
+    def test_transfer_preloads_counter(self):
+        transit = BudgetTransitProgram(budget_bytes=1_500, num_flows=64)
+        transit.install_route(H1_IP, 1)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        flow_id = flow_hash(pkt, 64)
+        transfer = make_state_transfer(flow_id, 1_000)
+        meta = StandardMetadata()
+        transit.ingress(ctx, transfer, meta)
+        assert meta.dropped  # consumed locally
+        assert transit.transfers_received == 1
+        # The flow only has 500B of budget left now.
+        meta2 = StandardMetadata()
+        transit.ingress(ctx, pkt, meta2)
+        assert meta2.dropped
+
+
+class TestSwingHead:
+    def test_failover_generates_transfers(self):
+        head = SwingStateHeadProgram(num_flows=64, migrate=True)
+        head.install_protected_route(H1_IP, primary=1, backup=2)
+        ctx = FakeCtx()
+        pkt = make_udp_packet(H0_IP, H1_IP, payload_len=958)
+        head.ingress(ctx, pkt, StandardMetadata())
+        head.on_link_status(
+            ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0})
+        )
+        assert head.transfers_sent == 1
+        transfer = ctx.generated[0]
+        assert transfer.meta["probe_out_port"] == 2
+        record = read_state_transfer(transfer)
+        assert record["consumed_bytes"] == 1_000
+        # FRR itself also happened.
+        assert head.routes[H1_IP] == 2
+
+    def test_migration_disabled_sends_nothing(self):
+        head = SwingStateHeadProgram(migrate=False)
+        head.install_protected_route(H1_IP, primary=1, backup=2)
+        ctx = FakeCtx()
+        head.ingress(ctx, make_udp_packet(H0_IP, H1_IP), StandardMetadata())
+        head.on_link_status(
+            ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 0})
+        )
+        assert head.transfers_sent == 0
+        assert head.routes[H1_IP] == 2  # FRR still fired
+
+    def test_link_up_does_not_migrate(self):
+        head = SwingStateHeadProgram(migrate=True)
+        head.install_protected_route(H1_IP, primary=1, backup=2)
+        ctx = FakeCtx()
+        head.ingress(ctx, make_udp_packet(H0_IP, H1_IP), StandardMetadata())
+        head.on_link_status(
+            ctx, Event(EventType.LINK_STATUS, 0, meta={"port": 1, "up": 1})
+        )
+        assert head.transfers_sent == 0

@@ -1,0 +1,156 @@
+"""Unit tests for the resource model (Table 3)."""
+
+import pytest
+
+from repro.packet.parser import standard_parser
+from repro.resources.model import (
+    Component,
+    ResourceVector,
+    SwitchBudget,
+    estimate_fifo,
+    estimate_metadata_bus_widening,
+    estimate_parser,
+    estimate_pipeline_stage,
+    estimate_register,
+    estimate_table,
+)
+from repro.resources.report import (
+    event_logic_build,
+    event_switch_build,
+    reference_switch_build,
+    table3_rows,
+    utilization_report,
+)
+from repro.resources.virtex7 import VIRTEX7_690T
+
+
+class TestResourceVector:
+    def test_addition(self):
+        total = ResourceVector(1, 2, 3) + ResourceVector(10, 20, 30)
+        assert (total.luts, total.flip_flops, total.bram_36kb) == (11, 22, 33)
+
+    def test_scaling(self):
+        scaled = ResourceVector(2, 4, 6).scaled(0.5)
+        assert (scaled.luts, scaled.flip_flops, scaled.bram_36kb) == (1, 2, 3)
+
+    def test_percent_of_device(self):
+        vector = ResourceVector(luts=4_332, flip_flops=8_664, bram_36kb=14.7)
+        percent = vector.percent_of(VIRTEX7_690T)
+        assert percent["luts"] == pytest.approx(1.0)
+        assert percent["flip_flops"] == pytest.approx(1.0)
+        assert percent["bram"] == pytest.approx(1.0)
+
+
+class TestEstimators:
+    def test_register_bram_scales_with_bits(self):
+        small = estimate_register(size=64, width_bits=32)  # 2 Kb → 1 BRAM
+        large = estimate_register(size=64 * 1024, width_bits=32)  # 2 Mb
+        assert small.bram_36kb == 1
+        assert large.bram_36kb > 50
+
+    def test_table_kinds(self):
+        exact = estimate_table(1024, 48, "exact")
+        lpm = estimate_table(1024, 32, "lpm")
+        ternary = estimate_table(256, 48, "ternary")
+        assert exact.bram_36kb > 0
+        assert ternary.bram_36kb == 0  # TCAM emulation burns LUTs
+        assert ternary.luts > exact.luts
+        with pytest.raises(ValueError):
+            estimate_table(10, 10, "quantum")
+
+    def test_parser_scales_with_states(self):
+        cost = estimate_parser(standard_parser())
+        assert cost.luts == 280 * 8
+
+    def test_bus_widening_scales_with_stages(self):
+        narrow = estimate_metadata_bus_widening(96, 4)
+        wide = estimate_metadata_bus_widening(96, 8)
+        assert wide.flip_flops == 2 * narrow.flip_flops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_register(0)
+        with pytest.raises(ValueError):
+            estimate_table(0, 8)
+        with pytest.raises(ValueError):
+            estimate_pipeline_stage(0)
+        with pytest.raises(ValueError):
+            estimate_fifo(0, 8)
+
+
+class TestBudgets:
+    def test_budget_totals(self):
+        budget = SwitchBudget("test")
+        budget.add("a", ResourceVector(1, 2, 3))
+        budget.add("b", ResourceVector(10, 20, 30), category="events")
+        total = budget.total()
+        assert total.luts == 11
+        events_only = budget.total_category("events")
+        assert events_only.luts == 10
+
+    def test_event_switch_is_reference_plus_events(self):
+        reference = reference_switch_build().total()
+        events = event_logic_build().total()
+        combined = event_switch_build().total()
+        assert combined.luts == pytest.approx(reference.luts + events.luts)
+        assert combined.bram_36kb == pytest.approx(
+            reference.bram_36kb + events.bram_36kb
+        )
+
+
+class TestProgramEstimation:
+    def test_extern_estimates(self):
+        from repro.pisa.externs.meter import Meter
+        from repro.pisa.externs.pifo import PifoQueue
+        from repro.pisa.externs.register import SharedRegister
+        from repro.pisa.externs.sketch import BloomFilter, CountMinSketch
+        from repro.pisa.externs.window import SlidingWindow
+        from repro.resources.programs import estimate_extern
+
+        assert estimate_extern(SharedRegister(1024)).bram_36kb >= 1
+        assert estimate_extern(CountMinSketch(2048, 3)).bram_36kb >= 3
+        assert estimate_extern(BloomFilter(8 * 36 * 1024)).bram_36kb == 8
+        assert estimate_extern(Meter(64, 1e9, 1_000)).luts > 0
+        assert estimate_extern(PifoQueue(512)).luts > 1_000
+        assert estimate_extern(SlidingWindow(64, 8)).bram_36kb >= 1
+        assert estimate_extern(object()).luts == 0  # unknown → free
+
+    def test_program_estimate_scales_with_handlers(self):
+        from repro.apps.microburst import MicroburstDetector
+        from repro.resources.programs import HANDLER_LOGIC, estimate_program
+
+        program = MicroburstDetector(num_regs=64)
+        vector = estimate_program(program)
+        # 3 handlers' control logic plus the register.
+        assert vector.luts >= 3 * HANDLER_LOGIC.luts
+
+    def test_application_rows_complete(self):
+        from repro.resources.programs import application_cost_rows
+
+        rows = application_cost_rows()
+        assert len(rows) >= 12
+        assert all(row["luts_percent"] > 0 for row in rows)
+
+
+class TestTable3:
+    def test_rows_shape(self):
+        rows = table3_rows()
+        assert [row["resource"] for row in rows] == [
+            "Lookup Tables",
+            "Flip Flops",
+            "Block RAM",
+        ]
+
+    def test_matches_paper_envelope(self):
+        rows = {row["resource"]: row["measured_percent_increase"] for row in table3_rows()}
+        assert rows["Lookup Tables"] <= 1.0
+        assert rows["Flip Flops"] <= 1.0
+        assert rows["Block RAM"] <= 2.5
+        # BRAM dominates, as in the paper.
+        assert rows["Block RAM"] > rows["Lookup Tables"]
+        assert rows["Block RAM"] > rows["Flip Flops"]
+
+    def test_utilization_context(self):
+        report = utilization_report()
+        assert report["event_switch"]["luts"] > report["reference_switch"]["luts"]
+        assert report["reference_switch"]["luts"] < 50  # plausible build

@@ -1,0 +1,123 @@
+"""Unit tests for the egress schedulers."""
+
+import pytest
+
+from repro.packet.builder import make_udp_packet
+from repro.tm.queues import PacketQueue
+from repro.tm.scheduler import (
+    DeficitRoundRobinScheduler,
+    FifoScheduler,
+    PifoScheduler,
+    StrictPriorityScheduler,
+)
+
+
+def pkt(payload=0, queue_id=0, priority=0):
+    p = make_udp_packet(1, 2, payload_len=payload)
+    p.queue_id = queue_id
+    p.priority = priority
+    return p
+
+
+def make_queues(n, capacity=100_000):
+    return [PacketQueue(capacity, name=f"q{i}") for i in range(n)]
+
+
+class TestFifo:
+    def test_serves_in_order(self):
+        queues = make_queues(1)
+        sched = FifoScheduler(queues)
+        a, b = pkt(), pkt()
+        queues[0].push(a)
+        queues[0].push(b)
+        assert sched.dequeue() is a
+        assert sched.dequeue() is b
+        assert sched.dequeue() is None
+
+    def test_requires_queues(self):
+        with pytest.raises(ValueError):
+            FifoScheduler([])
+
+
+class TestStrictPriority:
+    def test_lower_queue_always_first(self):
+        queues = make_queues(2)
+        sched = StrictPriorityScheduler(queues)
+        low = pkt()
+        high = pkt()
+        queues[1].push(low)
+        queues[0].push(high)
+        assert sched.dequeue() is high
+        assert sched.dequeue() is low
+
+    def test_high_queue_can_starve_low(self):
+        queues = make_queues(2)
+        sched = StrictPriorityScheduler(queues)
+        for _ in range(3):
+            queues[0].push(pkt())
+        queues[1].push(pkt())
+        order = [0 if sched.select() == 0 else 1 for _ in range(3)
+                 if sched.dequeue() is not None]
+        assert 1 not in order[:2]
+
+
+class TestDrr:
+    def test_byte_fair_service(self):
+        # Queue 0 holds big packets, queue 1 small ones; DRR should give
+        # both roughly equal bytes of service.
+        queues = make_queues(2)
+        sched = DeficitRoundRobinScheduler(queues, quantum_bytes=1_500)
+        for _ in range(20):
+            queues[0].push(pkt(1_458))  # 1500B total
+        for _ in range(60):
+            queues[1].push(pkt(458))  # 500B total
+        served = {0: 0, 1: 0}
+        for _ in range(30):
+            packet = sched.dequeue()
+            assert packet is not None
+            origin = 0 if packet.total_len == 1_500 else 1
+            served[origin] += packet.total_len
+        ratio = served[0] / served[1]
+        assert 0.5 < ratio < 2.0
+
+    def test_drains_to_empty(self):
+        queues = make_queues(2)
+        sched = DeficitRoundRobinScheduler(queues, quantum_bytes=100)
+        queues[0].push(pkt(1_436))
+        assert sched.dequeue() is not None
+        assert sched.dequeue() is None
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobinScheduler(make_queues(1), quantum_bytes=0)
+
+
+class TestPifoScheduler:
+    def test_pops_by_rank_function(self):
+        queues = make_queues(1)
+        sched = PifoScheduler(queues, rank_fn=lambda p: p.priority)
+        late = pkt(priority=9)
+        early = pkt(priority=1)
+        assert sched.on_enqueue(late) is None
+        assert sched.on_enqueue(early) is None
+        assert sched.dequeue() is early
+        assert sched.dequeue() is late
+
+    def test_depth_accounting(self):
+        queues = make_queues(1)
+        sched = PifoScheduler(queues, rank_fn=lambda p: 0)
+        sched.on_enqueue(pkt(458))
+        assert sched.depth_bytes == 500
+        sched.dequeue()
+        assert sched.depth_bytes == 0
+
+    def test_full_pifo_returns_displaced(self):
+        queues = make_queues(1)
+        sched = PifoScheduler(queues, rank_fn=lambda p: p.priority, capacity=1)
+        keeper = pkt(priority=1)
+        worse = pkt(priority=5)
+        assert sched.on_enqueue(keeper) is None
+        assert sched.on_enqueue(worse) is worse  # rejected
+        better = pkt(priority=0)
+        assert sched.on_enqueue(better) is keeper  # displaced
+        assert sched.dequeue() is better

@@ -1,0 +1,107 @@
+"""Unit tests for the self-similar traffic generator."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.units import MILLISECONDS
+from repro.workloads.selfsimilar import ParetoOnOffSource, SelfSimilarTraffic
+
+
+class TestParetoSource:
+    def test_shape_validation(self):
+        rng = SeededRng(1)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(rng, shape=1.0, mean_on_ps=10, mean_off_ps=10)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(rng, shape=2.5, mean_on_ps=10, mean_off_ps=10)
+
+    def test_alternates_on_off(self):
+        source = ParetoOnOffSource(
+            SeededRng(2), shape=1.5, mean_on_ps=1_000, mean_off_ps=1_000
+        )
+        states = [source.is_on(t) for t in range(0, 100_000, 100)]
+        assert any(states) and not all(states)
+
+    def test_duty_cycle_tracks_means(self):
+        source = ParetoOnOffSource(
+            SeededRng(3), shape=1.6, mean_on_ps=1_000, mean_off_ps=3_000
+        )
+        on = sum(1 for t in range(0, 10_000_000, 50) if source.is_on(t))
+        total = 10_000_000 // 50
+        # Expected ~25% ON; Pareto variance is huge, allow a wide band.
+        assert 0.05 < on / total < 0.6
+
+
+class TestSelfSimilarTraffic:
+    def run_gen(self, duration_ps=5 * MILLISECONDS, **kwargs):
+        sim = Simulator()
+        sent = []
+        gen = SelfSimilarTraffic(sim, sent.append, **kwargs)
+        gen.start(at_ps=0)
+        sim.run(until_ps=duration_ps)
+        return gen, sent
+
+    def test_generates_traffic(self):
+        gen, sent = self.run_gen(sources=8, per_source_pps=100_000.0)
+        assert sent
+        assert 0 < gen.duty_cycle() < 1
+
+    def test_flow_identities_rotate(self):
+        gen, sent = self.run_gen(sources=8, per_source_pps=100_000.0)
+        sports = {pkt.five_tuple().sport for pkt in sent}
+        assert len(sports) > 1
+
+    def test_burstier_than_poisson(self):
+        """The variance-time signature: self-similar traffic keeps high
+        variance when aggregated over larger windows; Poisson smooths."""
+        from repro.workloads.base import FlowSpec
+        from repro.workloads.poisson import PoissonTraffic
+
+        def window_cv(times, window_ps, duration_ps):
+            bins = [0] * (duration_ps // window_ps + 1)
+            for t in times:
+                bins[t // window_ps] += 1
+            usable = bins[:-1]
+            mean = sum(usable) / len(usable)
+            if mean == 0:
+                return 0.0
+            var = sum((b - mean) ** 2 for b in usable) / len(usable)
+            return var / mean  # index of dispersion
+
+        duration = 20 * MILLISECONDS
+        gen, sent = self.run_gen(
+            duration_ps=duration, sources=12, per_source_pps=50_000.0, seed=5
+        )
+        ss_times = [pkt.ts_created_ps for pkt in sent]
+
+        sim = Simulator()
+        poisson_sent = []
+        mean_rate = len(ss_times) / (duration / 1e12)
+        poisson = PoissonTraffic(
+            sim,
+            poisson_sent.append,
+            FlowSpec(1, 2, 3, 4),
+            mean_pps=max(1.0, mean_rate),
+            seed=5,
+        )
+        poisson.start(at_ps=0)
+        sim.run(until_ps=duration)
+        poisson_times = [pkt.ts_created_ps for pkt in poisson_sent]
+
+        window = 2 * MILLISECONDS
+        assert window_cv(ss_times, window, duration) > 3 * window_cv(
+            poisson_times, window, duration
+        )
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SelfSimilarTraffic(sim, lambda p: None, sources=0)
+        with pytest.raises(ValueError):
+            SelfSimilarTraffic(sim, lambda p: None, per_source_pps=0)
+
+    def test_deterministic_by_seed(self):
+        _gen1, sent1 = self.run_gen(sources=4, seed=9)
+        _gen2, sent2 = self.run_gen(sources=4, seed=9)
+        assert [p.ts_created_ps for p in sent1] == [p.ts_created_ps for p in sent2]

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_starts_at_time_zero():
+    sim = Simulator()
+    assert sim.now_ps == 0
+    assert sim.pending_events == 0
+
+
+def test_callbacks_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(300, order.append, "c")
+    sim.call_at(100, order.append, "a")
+    sim.call_at(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_runs_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in "abcd":
+        sim.call_at(50, order.append, label)
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    order = []
+    sim.call_at(50, order.append, "low", priority=10)
+    sim.call_at(50, order.append, "high", priority=0)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.call_at(123, lambda: seen.append(sim.now_ps))
+    sim.call_at(456, lambda: seen.append(sim.now_ps))
+    sim.run()
+    assert seen == [123, 456]
+    assert sim.now_ps == 456
+
+
+def test_call_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.call_at(100, lambda: sim.call_after(50, lambda: seen.append(sim.now_ps)))
+    sim.run()
+    assert seen == [150]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.call_at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(50, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1, lambda: None)
+
+
+def test_cancelled_events_do_not_run():
+    sim = Simulator()
+    ran = []
+    handle = sim.call_at(10, ran.append, "x")
+    handle.cancel()
+    sim.run()
+    assert ran == []
+    assert sim.events_executed == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_at(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_run_until_bound_stops_and_advances_clock():
+    sim = Simulator()
+    ran = []
+    sim.call_at(100, ran.append, 1)
+    sim.call_at(300, ran.append, 2)
+    executed = sim.run(until_ps=200)
+    assert executed == 1
+    assert ran == [1]
+    assert sim.now_ps == 200  # clock advanced to the bound
+    sim.run()
+    assert ran == [1, 2]
+
+
+def test_run_until_includes_events_at_bound():
+    sim = Simulator()
+    ran = []
+    sim.call_at(200, ran.append, 1)
+    sim.run(until_ps=200)
+    assert ran == [1]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    ran = []
+    for t in (10, 20, 30):
+        sim.call_at(t, ran.append, t)
+    assert sim.run(max_events=2) == 2
+    assert ran == [10, 20]
+
+
+def test_step_runs_one_event():
+    sim = Simulator()
+    ran = []
+    sim.call_at(10, ran.append, 1)
+    sim.call_at(20, ran.append, 2)
+    assert sim.step() is True
+    assert ran == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_callbacks_can_schedule_more_work():
+    sim = Simulator()
+    counter = []
+
+    def chain(n):
+        counter.append(n)
+        if n < 5:
+            sim.call_after(10, chain, n + 1)
+
+    sim.call_at(0, chain, 0)
+    sim.run()
+    assert counter == [0, 1, 2, 3, 4, 5]
+    assert sim.now_ps == 50
+
+
+def test_reset_clears_everything():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now_ps == 0
+    assert sim.pending_events == 0
+    assert sim.events_executed == 0
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.call_at(1, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.call_at(10, lambda: None)
+    drop = sim.call_at(20, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1

@@ -1,0 +1,126 @@
+"""Unit tests for periodic processes and seeded randomness."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import SeededRng
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fires = []
+        process = PeriodicProcess(sim, 100, lambda: fires.append(sim.now_ps))
+        process.start()
+        sim.run(until_ps=550)
+        assert fires == [100, 200, 300, 400, 500]
+        assert process.fire_count == 5
+
+    def test_start_with_offset(self):
+        sim = Simulator()
+        fires = []
+        process = PeriodicProcess(sim, 100, lambda: fires.append(sim.now_ps))
+        process.start(offset_ps=10)
+        sim.run(until_ps=250)
+        assert fires == [10, 110, 210]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        fires = []
+        process = PeriodicProcess(sim, 100, lambda: fires.append(sim.now_ps))
+        process.start()
+        sim.call_at(250, process.stop)
+        sim.run(until_ps=1_000)
+        assert fires == [100, 200]
+        assert not process.running
+
+    def test_double_start_raises(self):
+        sim = Simulator()
+        process = PeriodicProcess(sim, 100, lambda: None)
+        process.start()
+        with pytest.raises(SimulationError):
+            process.start()
+
+    def test_set_period_applies_from_next_fire(self):
+        sim = Simulator()
+        fires = []
+        process = PeriodicProcess(sim, 100, lambda: fires.append(sim.now_ps))
+        process.start()
+        sim.call_at(150, process.set_period, 200)
+        sim.run(until_ps=700)
+        # 100, 200 (already scheduled at old period), then every 200.
+        assert fires == [100, 200, 400, 600]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0, lambda: None)
+        process = PeriodicProcess(sim, 10, lambda: None)
+        with pytest.raises(ValueError):
+            process.set_period(-5)
+
+    def test_stop_then_restart(self):
+        sim = Simulator()
+        fires = []
+        process = PeriodicProcess(sim, 100, lambda: fires.append(sim.now_ps))
+        process.start()
+        sim.run(until_ps=150)
+        process.stop()
+        process.start()
+        sim.run(until_ps=300)
+        assert fires == [100, 250]
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_children_are_independent_of_sibling_consumption(self):
+        root1 = SeededRng(7)
+        left_values = [root1.child("left").random()]
+        root2 = SeededRng(7)
+        _ = [root2.child("right").random() for _ in range(3)]
+        assert root2.child("left").random() == left_values[0]
+
+    def test_child_names_give_distinct_streams(self):
+        root = SeededRng(7)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_randint_bounds(self):
+        rng = SeededRng(3)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert min(values) >= 2
+        assert max(values) <= 5
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_zipf_skew_concentrates_head(self):
+        rng = SeededRng(11)
+        draws = [rng.zipf_index(100, 1.5) for _ in range(5_000)]
+        head = sum(1 for d in draws if d < 5)
+        tail = sum(1 for d in draws if d >= 50)
+        assert head > 10 * max(1, tail)
+
+    def test_zipf_zero_skew_is_uniformish(self):
+        rng = SeededRng(11)
+        draws = [rng.zipf_index(10, 0.0) for _ in range(5_000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 300  # no bucket starved
+
+    def test_zipf_rejects_bad_n(self):
+        rng = SeededRng(1)
+        with pytest.raises(ValueError):
+            rng.zipf_index(0, 1.0)
+
+    def test_expovariate_mean(self):
+        rng = SeededRng(5)
+        samples = [rng.expovariate(2.0) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 0.5) < 0.02

@@ -1,0 +1,121 @@
+"""Unit and property tests for the sketch externs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pisa.externs.sketch import BloomFilter, CountMinSketch
+
+
+class TestCountMinSketch:
+    def test_query_counts_inserted_keys(self):
+        cms = CountMinSketch(width=256, depth=3)
+        cms.update(b"flow-a", 5)
+        cms.update(b"flow-a", 3)
+        assert cms.query(b"flow-a") >= 8
+
+    def test_unseen_key_can_only_overestimate(self):
+        cms = CountMinSketch(width=1024, depth=3)
+        for i in range(50):
+            cms.update(f"flow-{i}".encode(), 1)
+        assert cms.query(b"never-seen") >= 0
+
+    def test_clear(self):
+        cms = CountMinSketch(width=64, depth=2)
+        cms.update(b"x", 10)
+        cms.clear()
+        assert cms.query(b"x") == 0
+        assert cms.total() == 0
+
+    def test_total_tracks_insertions(self):
+        cms = CountMinSketch(width=64, depth=2)
+        cms.update(b"a", 3)
+        cms.update(b"b", 4)
+        assert cms.total() == 7
+
+    def test_counts_and_footprint(self):
+        cms = CountMinSketch(width=100, depth=4)
+        assert cms.counter_count == 400
+        assert cms.state_bits == 400 * 32
+
+    def test_negative_count_rejected(self):
+        cms = CountMinSketch(16, 2)
+        with pytest.raises(ValueError):
+            cms.update(b"x", -1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 2)
+        with pytest.raises(ValueError):
+            CountMinSketch(10, 0)
+
+    @settings(max_examples=40)
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=8),
+            st.integers(1, 50),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_never_underestimates_property(self, truth):
+        """The CMS guarantee: estimate >= true count, always."""
+        cms = CountMinSketch(width=512, depth=3)
+        for key, count in truth.items():
+            cms.update(key, count)
+        for key, count in truth.items():
+            assert cms.query(key) >= count
+
+    def test_error_bound_statistical(self):
+        """Estimate error stays within the 2N/width bound for most keys."""
+        cms = CountMinSketch(width=1024, depth=4)
+        total = 0
+        for i in range(300):
+            cms.update(f"k{i}".encode(), i % 7 + 1)
+            total += i % 7 + 1
+        bound = 2 * total / 1024
+        violations = sum(
+            1
+            for i in range(300)
+            if cms.query(f"k{i}".encode()) - (i % 7 + 1) > bound
+        )
+        assert violations < 300 * 0.1
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=1024, hashes=3)
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.insert(key)
+        assert all(bloom.contains(key) for key in keys)
+
+    @settings(max_examples=40)
+    @given(st.sets(st.binary(min_size=1, max_size=12), max_size=50))
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter(bits=2048, hashes=3)
+        for key in keys:
+            bloom.insert(key)
+        assert all(bloom.contains(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(bits=4096, hashes=3)
+        for i in range(200):
+            bloom.insert(f"in-{i}".encode())
+        false_positives = sum(
+            1 for i in range(1_000) if bloom.contains(f"out-{i}".encode())
+        )
+        assert false_positives < 100  # well under 10%
+
+    def test_clear_and_fill_ratio(self):
+        bloom = BloomFilter(bits=128, hashes=2)
+        assert bloom.fill_ratio() == 0.0
+        bloom.insert(b"x")
+        assert bloom.fill_ratio() > 0.0
+        bloom.clear()
+        assert not bloom.contains(b"x")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, hashes=0)

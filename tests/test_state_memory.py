@@ -1,0 +1,68 @@
+"""Unit tests for the memory-port model."""
+
+import pytest
+
+from repro.pisa.externs.register import Register
+from repro.state.memory import MemoryPortModel, PortConflictError
+
+
+def test_accesses_within_port_budget():
+    memory = MemoryPortModel(Register(8), ports=2, strict=True)
+    memory.read(cycle=0, index=0)
+    memory.write(cycle=0, index=1, value=5)
+    memory.read(cycle=1, index=2)
+    assert memory.conflict_cycles == 0
+    assert memory.total_accesses == 3
+    assert memory.busiest_cycle_accesses == 2
+
+
+def test_conflict_counted_in_lenient_mode():
+    memory = MemoryPortModel(Register(8), ports=1, strict=False)
+    memory.read(0, 0)
+    memory.read(0, 1)  # second access in the same cycle: conflict
+    memory.read(0, 2)  # third: another conflicting access, same cycle
+    assert memory.conflict_cycles == 1
+    assert memory.conflict_accesses == 2
+    assert memory.busiest_cycle_accesses == 3
+
+
+def test_conflict_raises_in_strict_mode():
+    memory = MemoryPortModel(Register(8), ports=1, strict=True)
+    memory.read(0, 0)
+    with pytest.raises(PortConflictError):
+        memory.write(0, 0, 1)
+
+
+def test_new_cycle_resets_port_budget():
+    memory = MemoryPortModel(Register(8), ports=1, strict=True)
+    for cycle in range(100):
+        memory.add(cycle, cycle % 8, 1)
+    assert memory.conflict_cycles == 0
+
+
+def test_operations_delegate_to_register():
+    register = Register(4)
+    memory = MemoryPortModel(register, ports=4)
+    memory.write(0, 2, 10)
+    assert memory.add(0, 2, 5) == 15
+    assert memory.read(0, 2) == 15
+    assert register.read(2) == 15
+
+
+def test_report():
+    memory = MemoryPortModel(Register(4), ports=1, strict=False)
+    memory.read(0, 0)
+    memory.read(0, 1)
+    report = memory.report()
+    assert report == {
+        "ports": 1,
+        "total_accesses": 2,
+        "conflict_cycles": 1,
+        "conflict_accesses": 1,
+        "busiest_cycle_accesses": 2,
+    }
+
+
+def test_invalid_ports():
+    with pytest.raises(ValueError):
+        MemoryPortModel(Register(4), ports=0)

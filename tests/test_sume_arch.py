@@ -1,0 +1,225 @@
+"""Unit tests for the SUME Event Switch (paper Figure 4)."""
+
+import pytest
+
+from repro.arch.description import SUME_EVENT_SWITCH, FULL_EVENT_SWITCH
+from repro.arch.events import EventType
+from repro.arch.generator import GeneratorConfig
+from repro.arch.program import P4Program, handler
+from repro.arch.sume import SumeEventSwitch
+from repro.packet.builder import make_udp_packet
+from repro.packet.headers import Ethernet, EtherType
+from repro.pisa.externs.register import SharedRegister
+from repro.sim.kernel import Simulator
+
+
+class EventSink(P4Program):
+    """Forward on port 1; log every event delivery time."""
+
+    def __init__(self):
+        super().__init__()
+        self.qsize = SharedRegister(4, name="qsize")
+        self.deliveries = []  # (kind, fired_ps, handled_ps)
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        meta.send_to_port(1)
+
+    @handler(EventType.ENQUEUE)
+    def on_enqueue(self, ctx, event):
+        self.deliveries.append(("enq", event.time_ps, ctx.now_ps))
+        self.qsize.add(0, event.meta["pkt_len"])  # architecture-provided
+
+    @handler(EventType.DEQUEUE)
+    def on_dequeue(self, ctx, event):
+        self.deliveries.append(("deq", event.time_ps, ctx.now_ps))
+        self.qsize.sub(0, event.meta["pkt_len"])
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx, event):
+        self.deliveries.append(("timer", event.time_ps, ctx.now_ps))
+
+    @handler(EventType.LINK_STATUS)
+    def on_link(self, ctx, event):
+        self.deliveries.append(("link", event.time_ps, ctx.now_ps))
+
+
+def make_switch(**kwargs):
+    sim = Simulator()
+    switch = SumeEventSwitch(sim, **kwargs)
+    program = EventSink()
+    switch.load_program(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    return sim, switch, program
+
+
+def test_single_pipeline_carries_events():
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2, payload_len=436), 0)
+    sim.run()
+    kinds = [kind for kind, _f, _h in program.deliveries]
+    assert kinds == ["enq", "deq"]
+    assert program.qsize.read(0) == 0
+
+
+def test_event_delivery_is_asynchronous():
+    """Unlike the logical model, handlers run after the merger wait."""
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    for _kind, fired, handled in program.deliveries:
+        assert handled > fired  # merger wait + pipeline latency
+
+
+def test_empty_packet_injection_for_idle_events():
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    # No follow-up packets arrived, so the events rode empty carriers
+    # (enqueue + dequeue + packet-transmitted; the program handles the
+    # first two).
+    assert switch.empty_packets_injected > 0
+    assert switch.merger.stats.injected_events == switch.merger.stats.offered == 3
+    assert len(program.deliveries) == 2
+
+
+def test_event_carriers_die_silently():
+    sim, switch, program = make_switch()
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append(pkt))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    # Only the data packet leaves; empty carriers are consumed, and
+    # their disappearance is not billed as a program drop.
+    assert len(sent) == 1
+    assert switch.dropped_by_program == 0
+
+
+def test_timer_unit_feeds_merger():
+    sim, switch, program = make_switch()
+    switch.configure_timer(1, 1_000_000)
+    sim.run(until_ps=2_500_000)
+    timers = [d for d in program.deliveries if d[0] == "timer"]
+    assert len(timers) == 2
+
+
+def test_packet_generator_fires_generated_events():
+    class GenProgram(EventSink):
+        def __init__(self):
+            super().__init__()
+            self.generated = 0
+
+        @handler(EventType.GENERATED_PACKET)
+        def on_generated(self, ctx, pkt, meta):
+            self.generated += 1
+            meta.send_to_port(0)
+
+    sim = Simulator()
+    switch = SumeEventSwitch(sim)
+    program = GenProgram()
+    switch.load_program(program)
+    out = []
+    switch.set_tx_callback(lambda pkt, port: out.append(port))
+    switch.configure_generator(
+        GeneratorConfig(
+            stream_id=0,
+            period_ps=1_000_000,
+            template=lambda now: make_udp_packet(9, 9, ts_ps=now),
+        )
+    )
+    sim.run(until_ps=3_500_000)
+    assert program.generated == 3
+    assert out == [0, 0, 0]
+    assert switch.generator.generated_count == 3
+
+
+def test_link_status_event():
+    sim, switch, program = make_switch()
+    switch.set_link_status(2, False)
+    sim.run()
+    links = [d for d in program.deliveries if d[0] == "link"]
+    assert len(links) == 1
+    # Repeating the same status is not a change.
+    switch.set_link_status(2, False)
+    sim.run()
+    assert len([d for d in program.deliveries if d[0] == "link"]) == 1
+
+
+def test_recirculation_on_sume():
+    class Recirc(EventSink):
+        def __init__(self):
+            super().__init__()
+            self.recirc_seen = 0
+            self.armed = True
+
+        @handler(EventType.INGRESS_PACKET)
+        def ingress(self, ctx, pkt, meta):
+            if self.armed:
+                self.armed = False
+                meta.request_recirculation()
+                return
+            meta.send_to_port(1)
+
+        @handler(EventType.RECIRCULATED_PACKET)
+        def recirculated(self, ctx, pkt, meta):
+            self.recirc_seen += 1
+            meta.send_to_port(1)
+
+    sim = Simulator()
+    switch = SumeEventSwitch(sim)
+    program = Recirc()
+    switch.load_program(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert program.recirc_seen == 1
+    assert switch.recirculations == 1
+
+
+def test_unsupported_events_suppressed_on_faithful_sume():
+    """The §5 SUME switch has no underflow events; they are suppressed."""
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert switch.events_suppressed[EventType.BUFFER_UNDERFLOW] == 1
+    assert switch.events_fired[EventType.BUFFER_UNDERFLOW] == 0
+
+
+def test_full_description_enables_underflow():
+    class UnderflowWatcher(EventSink):
+        def __init__(self):
+            super().__init__()
+            self.underflows = 0
+
+        @handler(EventType.BUFFER_UNDERFLOW)
+        def on_underflow(self, ctx, event):
+            self.underflows += 1
+
+    sim = Simulator()
+    switch = SumeEventSwitch(sim, description=FULL_EVENT_SWITCH)
+    program = UnderflowWatcher()
+    switch.load_program(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert program.underflows == 1
+
+
+def test_injected_carrier_is_event_metadata_frame():
+    sim, switch, program = make_switch()
+    carriers = []
+    original_exit = switch._pipeline_exit
+
+    def spy(pkt, kind, events):
+        if kind is None:
+            carriers.append(pkt)
+        original_exit(pkt, kind, events)
+
+    switch._pipeline_exit = spy
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert carriers, "expected at least one injected carrier"
+    eth = carriers[0].get(Ethernet)
+    assert eth is not None
+    assert eth.ethertype == int(EtherType.EVENT_METADATA)
+    assert carriers[0].total_len == 64

@@ -1,0 +1,91 @@
+"""Unit tests for the SwitchContext services exposed to programs."""
+
+import pytest
+
+from repro.arch.description import UnsupportedEventError
+from repro.arch.events import Event, EventType
+from repro.arch.program import P4Program, handler
+from repro.arch.sume import SumeEventSwitch
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+
+
+class ContextProber(P4Program):
+    """Records what the context reports inside handlers."""
+
+    def __init__(self):
+        super().__init__()
+        self.observations = []
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        self.observations.append(
+            {
+                "now": ctx.now_ps,
+                "queue_depth": ctx.queue_depth_bytes(1),
+                "link0_up": ctx.link_up(0),
+                "link2_up": ctx.link_up(2),
+            }
+        )
+        meta.send_to_port(1)
+
+
+def make_switch():
+    sim = Simulator()
+    switch = SumeEventSwitch(sim)
+    program = ContextProber()
+    switch.load_program(program)
+    switch.set_tx_callback(lambda pkt, port: None)
+    return sim, switch, program
+
+
+def test_now_matches_simulator_clock():
+    sim, switch, program = make_switch()
+    sim.call_at(123_456, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run()
+    observed = program.observations[0]["now"]
+    assert observed == 123_456 + switch.pipeline.latency_ps
+
+
+def test_queue_depth_visible_to_programs():
+    sim, switch, program = make_switch()
+    switch.tm.set_port_rate(1, 0.001)  # freeze the port so depth builds
+    for i in range(3):
+        sim.call_at(i + 1, switch.receive, make_udp_packet(1, 2, payload_len=958), 0)
+    sim.run(until_ps=1_000_000)
+    depths = [obs["queue_depth"] for obs in program.observations]
+    assert depths[0] == 0  # nothing buffered yet
+    assert depths[-1] > 0  # later packets see the backlog
+
+
+def test_link_status_visible_to_programs():
+    sim, switch, program = make_switch()
+    switch.set_link_status(2, False)
+    sim.call_after(1, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run()
+    assert program.observations[0]["link0_up"] is True
+    assert program.observations[0]["link2_up"] is False
+
+
+def test_notify_control_plane_reaches_callback():
+    sim, switch, program = make_switch()
+    digests = []
+    switch.set_cpu_callback(digests.append)
+    switch.notify_control_plane({"code": 9})
+    assert digests == [{"code": 9}]
+    assert switch.cpu_notifications == [{"code": 9}]
+
+
+def test_user_event_unsupported_on_faithful_sume():
+    sim, switch, program = make_switch()
+    with pytest.raises(UnsupportedEventError):
+        switch.raise_user_event({"x": 1})
+
+
+def test_events_fired_of_accepts_strings():
+    sim, switch, program = make_switch()
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert switch.events_fired_of("buffer_enqueue") == 1
+    assert switch.events_handled_of("ingress_packet") == 1
+    assert switch.events_fired_of(EventType.DEQUEUE) == 1

@@ -1,0 +1,149 @@
+"""Unit tests for match-action tables and actions."""
+
+import pytest
+
+from repro.packet.builder import make_udp_packet
+from repro.pisa.action import DROP, FORWARD, NO_ACTION, SET_PRIORITY, TO_CPU, Action
+from repro.pisa.metadata import StandardMetadata
+from repro.pisa.table import ExactTable, LpmTable, TernaryTable
+
+
+class TestActions:
+    def test_bind_validates_params(self):
+        call = FORWARD.bind(port=3)
+        assert call.params == {"port": 3}
+        with pytest.raises(TypeError):
+            FORWARD.bind()
+        with pytest.raises(TypeError):
+            FORWARD.bind(port=1, extra=2)
+        with pytest.raises(TypeError):
+            DROP.bind(port=1)
+
+    def test_execute_steers_metadata(self):
+        pkt = make_udp_packet(1, 2)
+        meta = StandardMetadata()
+        FORWARD.bind(port=2).execute(pkt, meta)
+        assert meta.egress_spec == 2
+        DROP.bind().execute(pkt, meta)
+        assert meta.dropped
+        TO_CPU.bind().execute(pkt, meta)
+        assert meta.to_cpu
+        SET_PRIORITY.bind(priority=5).execute(pkt, meta)
+        assert meta.priority == 5
+
+
+class TestExactTable:
+    def test_hit_and_miss(self):
+        table = ExactTable("fwd")
+        table.insert((0x0A000001,), FORWARD.bind(port=1))
+        hit = table.apply((0x0A000001,))
+        miss = table.apply((0x0A000099,))
+        assert hit.params["port"] == 1
+        assert miss.action is NO_ACTION
+        assert table.hit_count == 1
+        assert table.miss_count == 1
+
+    def test_default_action(self):
+        table = ExactTable("fwd")
+        table.set_default(DROP.bind())
+        assert table.apply((1,)).action is DROP
+
+    def test_overwrite_same_key(self):
+        table = ExactTable("fwd")
+        table.insert((1,), FORWARD.bind(port=1))
+        table.insert((1,), FORWARD.bind(port=2))
+        assert table.entry_count() == 1
+        assert table.apply((1,)).params["port"] == 2
+
+    def test_capacity_enforced(self):
+        table = ExactTable("tiny", max_entries=2)
+        table.insert((1,), NO_ACTION.bind())
+        table.insert((2,), NO_ACTION.bind())
+        with pytest.raises(OverflowError):
+            table.insert((3,), NO_ACTION.bind())
+
+    def test_remove(self):
+        table = ExactTable("fwd")
+        table.insert((1,), NO_ACTION.bind())
+        table.remove((1,))
+        assert table.lookup((1,)) is None
+        with pytest.raises(KeyError):
+            table.remove((1,))
+
+
+class TestLpmTable:
+    def test_longest_prefix_wins(self):
+        table = LpmTable("routes", width_bits=32)
+        table.insert(0x0A000000, 8, FORWARD.bind(port=1))  # 10/8
+        table.insert(0x0A010000, 16, FORWARD.bind(port=2))  # 10.1/16
+        table.insert(0x0A010200, 24, FORWARD.bind(port=3))  # 10.1.2/24
+        assert table.apply_value(0x0A010203).params["port"] == 3
+        assert table.apply_value(0x0A01FF01).params["port"] == 2
+        assert table.apply_value(0x0AFF0001).params["port"] == 1
+
+    def test_default_route_via_zero_prefix(self):
+        table = LpmTable("routes")
+        table.insert(0, 0, FORWARD.bind(port=9))
+        assert table.apply_value(0xDEADBEEF).params["port"] == 9
+
+    def test_miss_uses_default_action(self):
+        table = LpmTable("routes")
+        table.set_default(DROP.bind())
+        assert table.apply_value(1).action is DROP
+
+    def test_prefix_is_masked_on_insert(self):
+        table = LpmTable("routes")
+        # Host bits beyond the prefix length are ignored.
+        table.insert(0x0A0000FF, 8, FORWARD.bind(port=1))
+        assert table.lookup_value(0x0A123456) is not None
+
+    def test_invalid_prefix_len(self):
+        table = LpmTable("routes", width_bits=32)
+        with pytest.raises(ValueError):
+            table.insert(0, 33, NO_ACTION.bind())
+
+    def test_remove(self):
+        table = LpmTable("routes")
+        table.insert(0x0A000000, 8, NO_ACTION.bind())
+        table.remove(0x0A000000, 8)
+        assert table.lookup_value(0x0A000001) is None
+
+    def test_entry_count(self):
+        table = LpmTable("routes")
+        table.insert(0x0A000000, 8, NO_ACTION.bind())
+        table.insert(0x0B000000, 8, NO_ACTION.bind())
+        table.insert(0x0A010000, 16, NO_ACTION.bind())
+        assert table.entry_count() == 3
+
+
+class TestTernaryTable:
+    def test_masked_match(self):
+        table = TernaryTable("acl")
+        table.insert((0x0A000000,), (0xFF000000,), priority=10, action=DROP.bind())
+        assert table.apply((0x0A123456,)).action is DROP
+        assert table.apply((0x0B000000,)).action is NO_ACTION
+
+    def test_lower_priority_wins(self):
+        table = TernaryTable("acl")
+        table.insert((0,), (0,), priority=100, action=FORWARD.bind(port=1))
+        table.insert((0x0A000000,), (0xFF000000,), priority=1, action=DROP.bind())
+        assert table.apply((0x0A000001,)).action is DROP
+        assert table.apply((0x0B000001,)).params == {"port": 1}
+
+    def test_multi_field_keys(self):
+        table = TernaryTable("acl")
+        table.insert((6, 80), (0xFF, 0xFFFF), priority=1, action=DROP.bind())
+        assert table.apply((6, 80)).action is DROP
+        assert table.apply((6, 443)).action is NO_ACTION
+        assert table.apply((6,)).action is NO_ACTION  # arity mismatch
+
+    def test_arity_validated_on_insert(self):
+        table = TernaryTable("acl")
+        with pytest.raises(ValueError):
+            table.insert((1, 2), (0xFF,), priority=1, action=NO_ACTION.bind())
+
+    def test_capacity(self):
+        table = TernaryTable("acl", max_entries=1)
+        table.insert((1,), (1,), 1, NO_ACTION.bind())
+        with pytest.raises(OverflowError):
+            table.insert((2,), (2,), 2, NO_ACTION.bind())

@@ -1,0 +1,142 @@
+"""Unit tests for packet trace capture and replay."""
+
+import io
+
+import pytest
+
+from repro.packet.builder import make_tcp_packet, make_udp_packet
+from repro.packet.parser import Deparser
+from repro.packet.trace import TraceReader, TraceRecord, TraceReplayer, TraceWriter
+from repro.sim.kernel import Simulator
+
+
+def capture_stream(packets_with_ts):
+    stream = io.BytesIO()
+    writer = TraceWriter(stream)
+    for ts, pkt in packets_with_ts:
+        writer.write_packet(ts, pkt)
+    writer.close()
+    stream.seek(0)
+    return stream
+
+
+def test_roundtrip_bytes_and_timestamps():
+    packets = [
+        (100, make_udp_packet(1, 2, payload_len=50)),
+        (250, make_tcp_packet(3, 4, payload_len=10)),
+    ]
+    stream = capture_stream(packets)
+    records = TraceReader(stream).read_all()
+    deparser = Deparser()
+    assert [r.ts_ps for r in records] == [100, 250]
+    assert records[0].data == deparser.deparse(packets[0][1])
+    assert records[1].data == deparser.deparse(packets[1][1])
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        TraceReader(io.BytesIO(b"NOTTRACE" + b"\x00" * 16))
+
+
+def test_truncated_record_detected():
+    stream = capture_stream([(1, make_udp_packet(1, 2))])
+    data = stream.getvalue()[:-5]  # chop the body
+    with pytest.raises(ValueError):
+        TraceReader(io.BytesIO(data)).read_all()
+
+
+def test_timestamps_must_be_monotone():
+    writer = TraceWriter(io.BytesIO())
+    writer.write(100, b"x")
+    with pytest.raises(ValueError):
+        writer.write(50, b"y")
+    with pytest.raises(ValueError):
+        writer.write(-1, b"z")
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "capture.trc"
+    with TraceWriter(path) as writer:
+        writer.write_packet(10, make_udp_packet(1, 2))
+    with TraceReader(path) as reader:
+        records = reader.read_all()
+    assert len(records) == 1
+
+
+def test_sink_captures_at_sim_time():
+    sim = Simulator()
+    stream = io.BytesIO()
+    writer = TraceWriter(stream)
+    sink = writer.sink(sim)
+    sim.call_at(777, sink, make_udp_packet(1, 2))
+    sim.run()
+    stream.seek(0)
+    assert TraceReader(stream).read_all()[0].ts_ps == 777
+
+
+def test_replay_preserves_relative_timing():
+    packets = [
+        (1_000, make_udp_packet(1, 2, sport=1, dport=1)),
+        (3_000, make_udp_packet(1, 2, sport=2, dport=2)),
+    ]
+    stream = capture_stream(packets)
+    records = TraceReader(stream).read_all()
+    sim = Simulator()
+    arrivals = []
+    replayer = TraceReplayer(
+        sim, records, lambda pkt: arrivals.append((sim.now_ps, pkt)), offset_ps=500
+    )
+    assert replayer.schedule() == 2
+    sim.run()
+    assert [t for t, _ in arrivals] == [500, 2_500]  # normalized to offset
+    assert arrivals[0][1].five_tuple().sport == 1
+
+
+def test_replay_time_scaling():
+    records = [TraceRecord(0, make_udp_packet(1, 2).headers[0].pack() + b"")]
+    # Build real records via writer for valid parsing.
+    stream = capture_stream([(0, make_udp_packet(1, 2)), (1_000, make_udp_packet(1, 2))])
+    records = TraceReader(stream).read_all()
+    sim = Simulator()
+    arrivals = []
+    TraceReplayer(
+        sim, records, lambda pkt: arrivals.append(sim.now_ps), time_scale=2.0
+    ).schedule()
+    sim.run()
+    assert arrivals == [0, 2_000]
+    with pytest.raises(ValueError):
+        TraceReplayer(sim, records, lambda pkt: None, time_scale=0)
+
+
+def test_capture_then_replay_through_switch():
+    """Capture one experiment's egress, replay it into a fresh switch."""
+    from app_harness import H0_IP, H1_IP, single_switch
+    from repro.apps.aqm import DropTailProgram
+
+    program = DropTailProgram()
+    network, switch, sink = single_switch(program)
+    stream = io.BytesIO()
+    writer = TraceWriter(stream)
+    network.hosts["h1"].add_sink(writer.sink(network.sim))
+    for i in range(5):
+        network.sim.call_at(
+            1_000 + i * 50_000,
+            network.hosts["h0"].send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=100 + i),
+        )
+    network.run()
+    writer.close()
+    stream.seek(0)
+    records = TraceReader(stream).read_all()
+    assert len(records) == 5
+
+    # Replay into a second, fresh topology.
+    program2 = DropTailProgram()
+    network2, switch2, sink2 = single_switch(program2)
+    TraceReplayer(
+        network2.sim, records, network2.hosts["h0"].send, offset_ps=1_000
+    ).schedule()
+    network2.run()
+    assert sink2.packets == 5
+    # Byte-identical packet sizes survived the capture/replay cycle.
+    assert sink2.bytes == sum(100 + i + 42 for i in range(5))

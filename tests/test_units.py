@@ -1,0 +1,56 @@
+"""Unit tests for time/rate conversions."""
+
+import pytest
+
+from repro.sim.units import (
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+    bits_to_time_ps,
+    bytes_to_time_ps,
+    clock_period_ps,
+    time_ps_to_seconds,
+)
+
+
+def test_unit_ladder():
+    assert NANOSECONDS == 1_000
+    assert MICROSECONDS == 1_000 * NANOSECONDS
+    assert MILLISECONDS == 1_000 * MICROSECONDS
+    assert SECONDS == 1_000 * MILLISECONDS
+
+
+def test_bit_time_at_10g():
+    # One bit at 10 Gb/s is 100 ps.
+    assert bits_to_time_ps(1, 10.0) == 100
+    # A 64-byte frame: 512 bits → 51.2 ns.
+    assert bits_to_time_ps(512, 10.0) == 51_200
+
+
+def test_byte_time_matches_bit_time():
+    assert bytes_to_time_ps(64, 10.0) == bits_to_time_ps(512, 10.0)
+
+
+def test_serialization_rounds_up():
+    # 1 bit at 3 Gb/s = 333.33 ps → 334.
+    assert bits_to_time_ps(1, 3.0) == 334
+
+
+def test_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        bits_to_time_ps(8, 0)
+    with pytest.raises(ValueError):
+        bits_to_time_ps(8, -1)
+
+
+def test_clock_period():
+    assert clock_period_ps(200.0) == 5_000  # 200 MHz → 5 ns
+    assert clock_period_ps(1000.0) == 1_000
+    with pytest.raises(ValueError):
+        clock_period_ps(0)
+
+
+def test_seconds_roundtrip():
+    assert time_ps_to_seconds(SECONDS) == 1.0
+    assert time_ps_to_seconds(500 * MILLISECONDS) == 0.5

@@ -1,0 +1,173 @@
+"""Unit tests for the workload generators and measurement sinks."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
+from repro.workloads.base import FlowSpec, TrafficGenerator
+from repro.workloads.bursts import OnOffBurst
+from repro.workloads.cbr import ConstantBitRate
+from repro.workloads.incast import IncastWave
+from repro.workloads.poisson import PoissonTraffic
+from repro.workloads.sink import LatencySink, PacketSink
+from repro.workloads.zipf import ZipfFlowMix
+
+FLOW = FlowSpec(src_ip=0x0A000001, dst_ip=0x0A000002, sport=1, dport=2)
+
+
+def run_generator(gen, sim, duration_ps):
+    gen.start(at_ps=0)
+    sim.run(until_ps=duration_ps)
+    return gen
+
+
+class TestCbr:
+    def test_rate_accuracy(self):
+        sim = Simulator()
+        sent = []
+        gen = ConstantBitRate(sim, sent.append, FLOW, rate_gbps=1.0, payload_len=1400)
+        run_generator(gen, sim, 10 * MILLISECONDS)
+        bits = sum(p.wire_len * 8 for p in sent)
+        rate = bits / (10 * MILLISECONDS / SECONDS)
+        assert rate == pytest.approx(1e9, rel=0.02)
+
+    def test_max_packets(self):
+        sim = Simulator()
+        sent = []
+        gen = ConstantBitRate(
+            sim, sent.append, FLOW, rate_gbps=10.0, max_packets=5
+        )
+        run_generator(gen, sim, 1 * MILLISECONDS)
+        assert len(sent) == 5
+        assert not gen._pending or gen._pending.cancelled
+
+    def test_stop(self):
+        sim = Simulator()
+        sent = []
+        gen = ConstantBitRate(sim, sent.append, FLOW, rate_gbps=1.0)
+        gen.start(at_ps=0)
+        sim.call_at(1 * MILLISECONDS, gen.stop)
+        sim.run(until_ps=5 * MILLISECONDS)
+        count_at_stop = len(sent)
+        sim.run()
+        assert len(sent) == count_at_stop
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ConstantBitRate(sim, lambda p: None, FLOW, rate_gbps=0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        sim = Simulator()
+        sent = []
+        gen = PoissonTraffic(sim, sent.append, FLOW, mean_pps=1_000_000.0, seed=3)
+        run_generator(gen, sim, 20 * MILLISECONDS)
+        rate = len(sent) / (20 * MILLISECONDS / SECONDS)
+        assert rate == pytest.approx(1e6, rel=0.05)
+
+    def test_deterministic_by_seed(self):
+        def run(seed):
+            sim = Simulator()
+            sent = []
+            gen = PoissonTraffic(sim, sent.append, FLOW, mean_pps=1e5, seed=seed)
+            run_generator(gen, sim, 5 * MILLISECONDS)
+            return len(sent)
+
+        assert run(1) == run(1)
+
+
+class TestOnOff:
+    def test_burst_structure(self):
+        sim = Simulator()
+        sent = []
+        gen = OnOffBurst(
+            sim, sent.append, FLOW, burst_packets=10, intra_gap_ps=1_000,
+            mean_off_ps=1 * MILLISECONDS, max_bursts=3, seed=4,
+        )
+        run_generator(gen, sim, 50 * MILLISECONDS)
+        assert gen.bursts_sent == 3
+        assert len(sent) == 30
+        assert len(gen.burst_start_times) == 3
+        # Bursts are separated by silences much longer than intra gaps.
+        gaps = [b - a for a, b in zip(gen.burst_start_times, gen.burst_start_times[1:])]
+        assert all(gap > 9 * 1_000 for gap in gaps)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OnOffBurst(sim, lambda p: None, FLOW, burst_packets=0)
+
+
+class TestZipf:
+    def test_head_flows_dominate(self):
+        sim = Simulator()
+        gen = ZipfFlowMix(
+            sim, lambda p: None, flow_count=100, skew=1.3, mean_pps=1e6, seed=6
+        )
+        run_generator(gen, sim, 10 * MILLISECONDS)
+        top = gen.top_flows(5)
+        top_share = sum(gen.true_counts[i] for i in top) / gen.packets_sent
+        assert top_share > 0.5
+
+    def test_true_counts_match_sent(self):
+        sim = Simulator()
+        gen = ZipfFlowMix(sim, lambda p: None, flow_count=10, mean_pps=1e6, seed=6)
+        run_generator(gen, sim, 1 * MILLISECONDS)
+        assert sum(gen.true_counts.values()) == gen.packets_sent
+
+    def test_dst_ip_applied(self):
+        sim = Simulator()
+        gen = ZipfFlowMix(sim, lambda p: None, flow_count=4, dst_ip=0x7F000001)
+        assert all(flow.dst_ip == 0x7F000001 for flow in gen.flows)
+
+
+class TestIncast:
+    def test_wave_synchronization(self):
+        sim = Simulator()
+        arrivals = []
+        sends = [lambda p: arrivals.append(("a", sim.now_ps)),
+                 lambda p: arrivals.append(("b", sim.now_ps))]
+        flows = [FLOW, FlowSpec(3, 4, 5, 6)]
+        wave = IncastWave(sim, sends, flows, packets_per_sender=2, intra_gap_ps=100)
+        wave.fire_at(1_000)
+        sim.run()
+        assert wave.packets_sent == 4
+        starts = [t for _who, t in arrivals]
+        assert min(starts) == 1_000
+        assert max(starts) == 1_100
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            IncastWave(sim, [lambda p: None], [], packets_per_sender=1)
+        with pytest.raises(ValueError):
+            IncastWave(sim, [], [], packets_per_sender=1)
+
+
+class TestSinks:
+    def test_packet_sink_per_flow(self):
+        sink = PacketSink()
+        for _ in range(3):
+            sink(FLOW.build_packet(100))
+        sink(FlowSpec(9, 9, 9, 9).build_packet(100))
+        assert sink.packets == 4
+        assert sink.flow_count() == 2
+        key = (FLOW.src_ip, FLOW.dst_ip, 17, FLOW.sport, FLOW.dport)
+        assert sink.per_flow[key] == 3
+
+    def test_latency_sink_statistics(self):
+        sim = Simulator()
+        sink = LatencySink(sim)
+        for created, arrival in ((0, 100), (0, 200), (0, 300)):
+            pkt = FLOW.build_packet(0, ts_ps=created)
+            sim._now_ps = arrival  # direct clock poke for unit test
+            sink(pkt)
+        assert sink.count == 3
+        assert sink.mean_ps() == 200
+        assert sink.max_ps() == 300
+        assert sink.percentile_ps(50) == 200
+        assert sink.percentile_ps(100) == 300
+        with pytest.raises(ValueError):
+            sink.percentile_ps(0)
