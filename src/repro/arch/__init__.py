@@ -22,6 +22,7 @@ generator and recirculation, with the bandwidth cost made measurable.
 """
 
 from repro.arch.events import Event, EventType, PACKET_EVENTS, NON_PACKET_EVENTS
+from repro.arch.bus import BusObserver, EventBus
 from repro.arch.description import ArchitectureDescription, UnsupportedEventError
 from repro.arch.program import P4Program, handler
 from repro.arch.baseline import BaselinePsaSwitch
@@ -36,6 +37,8 @@ __all__ = [
     "EventType",
     "PACKET_EVENTS",
     "NON_PACKET_EVENTS",
+    "BusObserver",
+    "EventBus",
     "ArchitectureDescription",
     "UnsupportedEventError",
     "P4Program",

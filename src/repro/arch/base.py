@@ -10,9 +10,16 @@ interface the network substrate drives:
 * :meth:`set_link_status` — the physical layer reports a link change,
 * :meth:`control_event` — the control plane triggers an event.
 
-Subclasses decide *how events reach program handlers*: synchronously in
-dedicated logical pipelines (:class:`~repro.arch.event_driven.LogicalEventSwitch`),
-through the Event Merger of a single physical pipeline
+Every event, from every source, flows through the switch's
+:class:`~repro.arch.bus.EventBus`: sources publish, the architecture's
+routing hook is the bus's subscriber, and program handlers run via the
+bus's dispatcher — so counters, latency histograms, and trace sinks
+(:mod:`repro.obs`) observe the complete event path in one place.
+
+Subclasses decide *how admitted events reach program handlers*:
+synchronously in dedicated logical pipelines
+(:class:`~repro.arch.event_driven.LogicalEventSwitch`), through the
+Event Merger of a single physical pipeline
 (:class:`~repro.arch.sume.SumeEventSwitch`), or not at all
 (:class:`~repro.arch.baseline.BaselinePsaSwitch`).
 """
@@ -21,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.arch.bus import EventBus
 from repro.arch.description import ArchitectureDescription, UnsupportedEventError
 from repro.arch.events import Event, EventType
 from repro.arch.program import P4Program, ProgramContext
@@ -79,11 +87,20 @@ class SwitchBase:
         queue_capacity_bytes: int = 64 * 1024,
         buffer_capacity_bytes: Optional[int] = None,
         scheduler_factory=None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.sim = sim
         self.description = description
         self.name = name
         self.parser = parser or standard_parser()
+        # The central event path: sources publish here, the architecture
+        # subscribes its routing hook, and the program handler runs via
+        # the bus's dispatcher.  Passing a shared bus merges accounting
+        # across switches; the default is one bus per switch.
+        self.bus = bus or EventBus(sim, name=f"{name}.bus")
+        self.bus.set_admission(self._admits)
+        self.bus.set_dispatcher(self._run_handler)
+        self.bus.subscribe(self._route_event)
         self.tm = TrafficManager(
             sim,
             port_count=description.port_count,
@@ -104,9 +121,11 @@ class SwitchBase:
         self._tx_callback: Optional[TxCallback] = None
         self._link_up: List[bool] = [True] * description.port_count
         self._timers: Dict[int, PeriodicProcess] = {}
-        self.events_fired: Dict[EventType, int] = {kind: 0 for kind in EventType}
-        self.events_handled: Dict[EventType, int] = {kind: 0 for kind in EventType}
-        self.events_suppressed: Dict[EventType, int] = {kind: 0 for kind in EventType}
+        # Aliases of the bus's canonical counters (same dict objects):
+        # every reader of switch.events_* observes the bus directly.
+        self.events_fired: Dict[EventType, int] = self.bus.fired
+        self.events_handled: Dict[EventType, int] = self.bus.handled
+        self.events_suppressed: Dict[EventType, int] = self.bus.suppressed
         self.cpu_notifications: List[Dict[str, int]] = []
         self._cpu_callback: Optional[Callable[[Dict[str, int]], None]] = None
         self.rx_packets = 0
@@ -251,58 +270,85 @@ class SwitchBase:
         self._cpu_callback = callback
 
     # ------------------------------------------------------------------
-    # Event plumbing
+    # Event plumbing (all of it runs through the EventBus)
     # ------------------------------------------------------------------
-    def fire_event(self, event: Event) -> None:
-        """Record and route a fired event to the program (subclass hook).
+    def _admits(self, event: Event) -> bool:
+        """The bus's admission gate: the architecture description."""
+        return self.description.supports(event.kind)
 
-        Events the architecture description does not expose are
-        *suppressed*: the underlying state transition happened (the TM
-        still dropped the packet), but the programming model never sees
-        it — the precise gap the paper describes for baseline targets.
+    def fire_event(self, event: Event) -> None:
+        """Publish a fired event to the bus.
+
+        The bus suppresses events the architecture description does not
+        expose: the underlying state transition happened (the TM still
+        dropped the packet), but the programming model never sees it —
+        the precise gap the paper describes for baseline targets.
+        Admitted events reach :meth:`_route_event` via the bus's
+        subscription.
         """
-        if not self.description.supports(event.kind):
-            self.events_suppressed[event.kind] += 1
-            return
-        self.events_fired[event.kind] += 1
-        self._route_event(event)
+        self.bus.publish(event)
 
     def _route_event(self, event: Event) -> None:
-        """How a fired event reaches the program; subclasses override."""
+        """How an admitted event reaches the program; subclasses override."""
         raise NotImplementedError
 
-    def _dispatch_event(self, event: Event) -> None:
-        """Actually run the program's handler for a non-pipeline event."""
+    def _run_handler(self, event: Event) -> bool:
+        """The bus's dispatcher: run the handler for a non-pipeline event."""
         program = self.program
         if program is None:
-            return
+            return False
         fn = program.handler_for(event.kind)
         if fn is None:
-            return
-        self.events_handled[event.kind] += 1
+            return False
         self._set_thread(event.kind.value)
         try:
             fn(self.ctx, event)
         finally:
             self._set_thread(None)
+        return True
 
     def _dispatch_packet_event(
         self, kind: EventType, pkt: Packet, meta: StandardMetadata
     ) -> None:
-        """Run a pipeline packet-event handler with thread attribution."""
+        """Publish and run a pipeline packet event.
+
+        Delivery for these events *is* the pipeline traversal, so the
+        bus records the publish without routing (``route=False``) and
+        the handler runs inline with mutable standard metadata; the
+        description gate does not apply (handler sets were validated at
+        program load).
+        """
         program = self.program
         if program is None:
             return
-        self.events_fired[kind] += 1
+        bus = self.bus
+        if not bus._observers:
+            # Pipeline handlers receive (ctx, pkt, meta), never the
+            # Event record itself, so with nobody watching the bus only
+            # the counters matter — skip building the Event.
+            bus.fired[kind] += 1
+            fn = program.handler_for(kind)
+            if fn is None:
+                return
+            self._set_thread(kind.value)
+            try:
+                fn(self.ctx, pkt, meta)
+            finally:
+                self._set_thread(None)
+            bus.handled[kind] += 1
+            return
+        event = Event(kind=kind, time_ps=self.sim.now_ps, pkt=pkt)
+        bus.publish(event, route=False, gated=False)
         fn = program.handler_for(kind)
         if fn is None:
+            bus.delivered(event, handled=False)
             return
-        self.events_handled[kind] += 1
         self._set_thread(kind.value)
         try:
             fn(self.ctx, pkt, meta)
         finally:
             self._set_thread(None)
+        bus.delivered(event, handled=True)
 
     def _tm_hook(self, kind: EventType):
         """A traffic-manager hook that fires ``kind`` data-plane events.

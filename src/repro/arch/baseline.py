@@ -152,6 +152,10 @@ class BaselinePsaSwitch(SwitchBase):
     # Event routing: baseline PSA has no non-packet event path
     # ------------------------------------------------------------------
     def _route_event(self, event: Event) -> None:
+        """Bus subscriber that must never run: the description admits only
+        packet events, and those are published unrouted from the
+        pipeline dispatch path, so the bus suppresses everything that
+        would land here."""
         raise AssertionError(
-            f"baseline PSA should never fire non-packet event {event.kind}"
+            f"baseline PSA should never route non-packet event {event.kind}"
         )

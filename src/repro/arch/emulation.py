@@ -86,7 +86,7 @@ class EmulatedEventSwitch(BaselinePsaSwitch):
         self.emu_timer_markers += 1
         self.emu_pipeline_slots_used += 1
         self.sim.call_after(
-            self.ingress_pipeline.latency_ps, self._dispatch_event, event
+            self.ingress_pipeline.latency_ps, self.bus.dispatch, event
         )
 
     # ------------------------------------------------------------------
@@ -95,6 +95,7 @@ class EmulatedEventSwitch(BaselinePsaSwitch):
     def _emulate_dequeue(self, event: Event) -> None:
         if len(self._recirc_queue) >= self.recirc_queue_capacity:
             self.emu_events_lost += 1
+            self.bus.drop(event)
             return
         self._recirc_queue.append(event)
         self._serve_recirc()
@@ -112,9 +113,11 @@ class EmulatedEventSwitch(BaselinePsaSwitch):
 
     def _recirc_done(self, event: Event) -> None:
         self._recirc_busy = False
-        # The marker now traverses the ingress pipeline like any packet.
+        # The marker now traverses the ingress pipeline like any packet;
+        # the bus dispatch at the far end records the full emulation
+        # latency (recirc wait + pipeline) as the event's staleness.
         self.sim.call_after(
-            self.ingress_pipeline.latency_ps, self._dispatch_event, event
+            self.ingress_pipeline.latency_ps, self.bus.dispatch, event
         )
         self._serve_recirc()
 

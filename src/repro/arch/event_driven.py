@@ -87,7 +87,13 @@ class LogicalEventSwitch(BaselinePsaSwitch):
     # Event routing: synchronous, multi-ported memory (no staleness)
     # ------------------------------------------------------------------
     def _route_event(self, event: Event) -> None:
+        """Bus subscriber: account the logical pipeline, dispatch now.
+
+        Dispatch happens at the instant the event was published, so the
+        bus's dispatch-latency observers record zero staleness — the
+        multi-ported-memory ideal of Figure 2.
+        """
         pipeline = self.event_pipelines.get(event.kind)
         if pipeline is not None:
             pipeline.packets_processed += 1
-        self._dispatch_event(event)
+        self.bus.dispatch(event)

@@ -96,6 +96,19 @@ class Event:
             raise ValueError(f"{self.kind} event #{self.event_id} carries no packet")
         return self.pkt
 
+    def age_ps(self, now_ps: int) -> int:
+        """Staleness of this event at ``now_ps`` (time since it fired)."""
+        return now_ps - self.time_ps
+
+    def to_record(self) -> Dict[str, object]:
+        """A JSON-serializable view (the obs trace sink's record body)."""
+        return {
+            "kind": self.kind.value,
+            "t_ps": self.time_ps,
+            "pkt": self.pkt.pkt_id if self.pkt is not None else None,
+            "meta": dict(self.meta),
+        }
+
     def __repr__(self) -> str:
         pkt = f", pkt=#{self.pkt.pkt_id}" if self.pkt is not None else ""
         return f"Event({self.kind.value}, t={self.time_ps}ps{pkt}, meta={self.meta})"

@@ -51,6 +51,7 @@ class MergerStats:
 
 
 InjectFn = Callable[[List[Event]], None]
+DropFn = Callable[[Event], None]
 
 
 class EventMerger:
@@ -82,11 +83,16 @@ class EventMerger:
         self.stats = MergerStats()
         self._pending: Dict[EventType, List[Event]] = {kind: [] for kind in EventType}
         self._inject_fn: Optional[InjectFn] = None
+        self._drop_fn: Optional[DropFn] = None
         self._check_scheduled = False
 
     def set_inject_fn(self, fn: InjectFn) -> None:
         """Register the architecture's empty-packet injection path."""
         self._inject_fn = fn
+
+    def set_drop_fn(self, fn: DropFn) -> None:
+        """Register where overflow-dropped events are reported (the bus)."""
+        self._drop_fn = fn
 
     # ------------------------------------------------------------------
     # Event intake
@@ -97,9 +103,11 @@ class EventMerger:
         queue = self._pending[event.kind]
         if len(queue) >= self.queue_capacity:
             # The merger's per-kind queue is full; hardware would drop
-            # the oldest metadata word.  Count it and move on.
-            queue.pop(0)
+            # the oldest metadata word.  Count it, tell the bus, move on.
+            lost = queue.pop(0)
             self.stats.dropped += 1
+            if self._drop_fn is not None:
+                self._drop_fn(lost)
         queue.append(event)
         if self.injection_enabled and not self._check_scheduled:
             self._check_scheduled = True

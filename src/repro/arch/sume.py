@@ -63,6 +63,7 @@ class SumeEventSwitch(SwitchBase):
             injection_enabled=merger_injection_enabled,
         )
         self.merger.set_inject_fn(self._inject_empty_packet)
+        self.merger.set_drop_fn(self.bus.drop)
         self.generator = PacketGenerator(sim, self.inject_generated)
         self.tm.set_egress_callback(self._after_tm)
         self.recirculations = 0
@@ -129,9 +130,11 @@ class SumeEventSwitch(SwitchBase):
         self.pipeline.packets_processed += 1
         # Event handlers run first (their metadata words sit ahead of
         # the packet's own headers in the physical layout), then the
-        # packet event's handler.
+        # packet event's handler.  Dispatching through the bus records
+        # each event's staleness — the merger wait plus the pipeline
+        # traversal — for the observability layer.
         for event in events:
-            self._dispatch_event(event)
+            self.bus.dispatch(event)
         if kind is not None:
             if pkt.recirculated and kind == EventType.INGRESS_PACKET:
                 kind = EventType.RECIRCULATED_PACKET
@@ -184,4 +187,5 @@ class SumeEventSwitch(SwitchBase):
     # Event routing: everything goes through the Event Merger
     # ------------------------------------------------------------------
     def _route_event(self, event: Event) -> None:
+        """Bus subscriber: admitted events wait in the merger for a carrier."""
         self.merger.offer(event)

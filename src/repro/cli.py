@@ -8,6 +8,13 @@ Regenerates the paper's tables, figures, and claims without pytest::
 
 Each experiment prints the same rows the benchmark suite persists under
 ``benchmarks/reports/``.
+
+Two observability subcommands instrument an experiment's event buses
+(:mod:`repro.obs`) instead of printing paper rows::
+
+    python -m repro.cli events-stats                   # counters + latency
+    python -m repro.cli events-stats --source catalog
+    python -m repro.cli events-trace --out events.jsonl --limit 5
 """
 
 from __future__ import annotations
@@ -185,6 +192,78 @@ def run_future_work() -> None:
     _print("§4: multi-pipeline state sync", rows)
 
 
+# ----------------------------------------------------------------------
+# EventBus observability subcommands
+# ----------------------------------------------------------------------
+def _run_event_source(source: str) -> None:
+    """Run one event-producing experiment under the current observers."""
+    if source == "microburst":
+        from repro.experiments.microburst_exp import (
+            run_event_driven,
+            run_snappy_baseline,
+        )
+
+        run_event_driven()
+        run_snappy_baseline()
+    elif source == "catalog":
+        from repro.experiments.events_exp import run_catalog_demo
+
+        run_catalog_demo()
+    elif source == "figures":
+        from repro.experiments.psa_fig_exp import run_architecture
+
+        for arch in ("baseline", "logical", "sume"):
+            run_architecture(arch)
+    else:
+        raise ValueError(f"unknown event source {source!r}")
+
+
+#: Experiments `events-stats` / `events-trace` can instrument.
+EVENT_SOURCES = ("microburst", "catalog", "figures")
+
+
+def run_events_stats(source: str = "microburst") -> None:
+    """EventBus counters and dispatch-latency histograms for one experiment."""
+    from repro.obs import DispatchLatencyHistogram, EventCounters, observing
+
+    counters = EventCounters()
+    histogram = DispatchLatencyHistogram()
+    with observing(counters, histogram):
+        _run_event_source(source)
+    _print(f"EventBus counters ({source})", counters.summary_rows())
+    _print(
+        f"EventBus dispatch latency / staleness ({source})",
+        histogram.summary_rows(),
+    )
+    print(
+        f"\n{len(counters.nonzero_kinds())} event type(s) observed, "
+        f"{counters.total_published()} events published"
+    )
+
+
+def run_events_trace(
+    source: str = "microburst",
+    out: str = "events_trace.jsonl",
+    limit: int = 5,
+) -> None:
+    """Capture a JSONL EventBus trace for one experiment."""
+    from repro.obs import JsonlTraceSink, observing, read_events_trace
+
+    sink = JsonlTraceSink(out)
+    with observing(sink):
+        _run_event_source(source)
+    sink.close()
+    records = read_events_trace(out)
+    shown = records[:limit]
+    import json
+
+    rows = [json.dumps(record, sort_keys=True) for record in shown]
+    if len(records) > limit:
+        rows.append(f"… {len(records) - limit} more record(s)")
+    _print(f"EventBus trace ({source}) → {out}", rows)
+    print(f"\nwrote {len(records)} records to {out}")
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -207,13 +286,41 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "events-stats", "events-trace"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--source",
+        choices=EVENT_SOURCES,
+        default="microburst",
+        help="experiment events-stats/events-trace instrument",
+    )
+    parser.add_argument(
+        "--out",
+        default="events_trace.jsonl",
+        help="output path for events-trace",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="trace records events-trace prints",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name, fn in sorted(EXPERIMENTS.items()):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
+        for name, fn in (
+            ("events-stats", run_events_stats),
+            ("events-trace", run_events_trace),
+        ):
+            print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
+        return 0
+    if args.experiment == "events-stats":
+        run_events_stats(args.source)
+        return 0
+    if args.experiment == "events-trace":
+        run_events_trace(args.source, args.out, args.limit)
         return 0
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS):

@@ -117,7 +117,7 @@ def run_emulation_point(
     network.run(until_ps=duration_ps)
 
     lags = auditor.dequeue_lags_ps
-    fired = switch.events_fired[EventType.DEQUEUE]
+    fired = switch.bus.fired[EventType.DEQUEUE]
     delivered = len(lags)
     recirc_util = 0.0
     slot_fraction = 0.0

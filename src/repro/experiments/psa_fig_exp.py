@@ -112,11 +112,13 @@ def run_architecture(
     merger = getattr(switch, "merger", None)
     if merger is not None:
         wait = merger.stats.mean_wait_ps
+    # The switch's EventBus keeps the canonical per-kind counters; the
+    # trace snapshots them rather than re-counting anything itself.
     return ArchitectureTrace(
         architecture=switch.description.name,
         packets_forwarded=len(delivered),
-        events_fired=dict(switch.events_fired),
-        events_handled=dict(switch.events_handled),
-        events_suppressed=dict(switch.events_suppressed),
+        events_fired=dict(switch.bus.fired),
+        events_handled=dict(switch.bus.handled),
+        events_suppressed=dict(switch.bus.suppressed),
         mean_event_wait_ps=wait,
     )

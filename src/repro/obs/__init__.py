@@ -1,0 +1,63 @@
+"""Pluggable observability for the event dispatch path.
+
+Everything a switch does flows through its
+:class:`~repro.arch.bus.EventBus`; this subpackage provides the
+observers that turn that stream into numbers and artifacts:
+
+* :class:`EventCounters` — per-event-type published / suppressed /
+  handled / dropped counters,
+* :class:`DispatchLatencyHistogram` — log2-bucketed staleness of every
+  handler dispatch, keyed off ``Simulator.now_ps``,
+* :class:`JsonlTraceSink` — a JSONL event trace, optionally paired with
+  a binary packet capture replayable by
+  :class:`~repro.packet.trace.TraceReplayer`,
+* :class:`RecordingObserver` — the in-memory equivalent, used by the
+  determinism tests,
+* :class:`CallbackProfiler` — a kernel-level tap counting executed
+  simulator callbacks.
+
+The :func:`observing` context manager attaches observers to every bus
+created inside its block, which is how the ``events-stats`` and
+``events-trace`` CLI subcommands instrument whole experiments without
+modifying them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+from repro.arch.bus import BusObserver, EventBus
+from repro.obs.counters import EventCounters
+from repro.obs.kernel import CallbackProfiler
+from repro.obs.latency import DispatchLatencyHistogram
+from repro.obs.tracer import JsonlTraceSink, RecordingObserver, read_events_trace
+
+
+@contextmanager
+def observing(*observers: BusObserver) -> Iterator[Tuple[BusObserver, ...]]:
+    """Attach ``observers`` to every :class:`EventBus` created in the block.
+
+    Registration is global but scoped: buses created before the block or
+    after it are unaffected, so wrapping an experiment function
+    instruments exactly the switches it builds.
+    """
+    for observer in observers:
+        EventBus.register_global_observer(observer)
+    try:
+        yield observers
+    finally:
+        for observer in observers:
+            EventBus.unregister_global_observer(observer)
+
+
+__all__ = [
+    "BusObserver",
+    "CallbackProfiler",
+    "DispatchLatencyHistogram",
+    "EventCounters",
+    "JsonlTraceSink",
+    "RecordingObserver",
+    "observing",
+    "read_events_trace",
+]

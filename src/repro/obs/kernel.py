@@ -1,0 +1,64 @@
+"""Kernel-level observability: where do simulated callbacks go?
+
+The event bus observes the *semantic* event path; this module taps the
+simulation kernel itself via
+:meth:`~repro.sim.kernel.Simulator.add_execution_observer` and counts
+executed callbacks by qualified name — a cheap profile of which
+components (pipelines, traffic managers, timers, links) dominate a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+
+class CallbackProfiler:
+    """Counts kernel callback executions grouped by callback qualname.
+
+    Usage::
+
+        profiler = CallbackProfiler.attach(sim)
+        sim.run()
+        for name, count in profiler.top(5):
+            print(name, count)
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    @classmethod
+    def attach(cls, sim: Simulator) -> "CallbackProfiler":
+        """Create a profiler and register it on ``sim``."""
+        profiler = cls()
+        sim.add_execution_observer(profiler)
+        return profiler
+
+    def detach(self, sim: Simulator) -> None:
+        """Unregister from ``sim``."""
+        sim.remove_execution_observer(self)
+
+    def __call__(self, scheduled: ScheduledEvent) -> None:
+        callback = scheduled.callback
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        self.counts[name] += 1
+
+    def total(self) -> int:
+        """All callback executions observed."""
+        return sum(self.counts.values())
+
+    def top(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` most frequently executed callbacks."""
+        return self.counts.most_common(n)
+
+    def summary_rows(self, n: int = 10) -> List[str]:
+        """Printable rows for the ``n`` hottest callbacks."""
+        total = self.total()
+        rows = [f"{'callback':<48} {'count':>10} {'share':>7}"]
+        for name, count in self.top(n):
+            rows.append(f"{name:<48} {count:>10} {count / total:>6.1%}")
+        if len(rows) == 1:
+            rows.append("(no callbacks observed)")
+        return rows

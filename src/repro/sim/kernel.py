@@ -23,10 +23,19 @@ class ScheduledEvent:
     """A callback scheduled at a simulated time.
 
     Holding a reference to the returned object lets the scheduler cancel
-    it later; cancellation is O(1) (the heap entry is tombstoned).
+    it later; cancellation is O(1) (the heap entry is tombstoned and the
+    owning simulator keeps a live count of pending tombstones).
     """
 
-    __slots__ = ("time_ps", "priority", "seqno", "callback", "args", "cancelled")
+    __slots__ = (
+        "time_ps",
+        "priority",
+        "seqno",
+        "callback",
+        "args",
+        "cancelled",
+        "owner",
+    )
 
     def __init__(
         self,
@@ -35,6 +44,7 @@ class ScheduledEvent:
         seqno: int,
         callback: Callable[..., None],
         args: tuple,
+        owner: Optional["Simulator"] = None,
     ) -> None:
         self.time_ps = time_ps
         self.priority = priority
@@ -42,10 +52,16 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time_ps, self.priority, self.seqno) < (
@@ -72,12 +88,18 @@ class Simulator:
     until it is empty or until an optional time/event bound is hit.
     """
 
+    #: Never compact a heap smaller than this (the rebuild would cost
+    #: more than the tombstones it reclaims).
+    COMPACTION_FLOOR = 16
+
     def __init__(self) -> None:
         self._now_ps: int = 0
         self._queue: List[ScheduledEvent] = []
         self._seqno: int = 0
         self._running: bool = False
         self._events_executed: int = 0
+        self._cancelled_pending: int = 0
+        self._exec_observers: List[Callable[[ScheduledEvent], None]] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -94,8 +116,25 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of callbacks still queued (including cancelled stubs)."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of live (non-cancelled) callbacks still queued, in O(1)."""
+        return len(self._queue) - self._cancelled_pending
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_execution_observer(self, fn: Callable[[ScheduledEvent], None]) -> None:
+        """Call ``fn(scheduled_event)`` after every executed callback.
+
+        The hook is the kernel-level tap the observability layer builds
+        on (e.g. :class:`repro.obs.kernel.CallbackProfiler`); with no
+        observers registered the run loop pays a single truthiness
+        check per event.
+        """
+        self._exec_observers.append(fn)
+
+    def remove_execution_observer(self, fn: Callable[[ScheduledEvent], None]) -> None:
+        """Detach a previously added execution observer."""
+        self._exec_observers.remove(fn)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -116,10 +155,30 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ps}ps, now is t={self._now_ps}ps"
             )
-        event = ScheduledEvent(time_ps, priority, self._seqno, callback, args)
+        event = ScheduledEvent(time_ps, priority, self._seqno, callback, args, self)
         self._seqno += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancel(self) -> None:
+        """A queued event was tombstoned; compact when they dominate."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= self.COMPACTION_FLOOR
+            and self._cancelled_pending > len(self._queue) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones.
+
+        ``heapify`` over the surviving (time, priority, seqno) triples
+        reproduces the exact total order, so compaction never perturbs
+        deterministic event ordering.
+        """
+        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def call_after(
         self,
@@ -159,14 +218,20 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    head.owner = None
+                    self._cancelled_pending -= 1
                     continue
                 if until_ps is not None and head.time_ps > until_ps:
                     break
                 heapq.heappop(self._queue)
+                head.owner = None  # no longer queued; late cancel() is a no-op
                 self._now_ps = head.time_ps
                 head.callback(*head.args)
                 executed += 1
                 self._events_executed += 1
+                if self._exec_observers:
+                    for observer in self._exec_observers:
+                        observer(head)
         finally:
             self._running = False
         if until_ps is not None and until_ps > self._now_ps:
@@ -179,10 +244,13 @@ class Simulator:
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero."""
+        for ev in self._queue:
+            ev.owner = None  # detach so a late cancel() cannot corrupt counters
         self._queue.clear()
         self._now_ps = 0
         self._seqno = 0
         self._events_executed = 0
+        self._cancelled_pending = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

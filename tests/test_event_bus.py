@@ -1,0 +1,242 @@
+"""Unit tests for the central EventBus and its switch wiring."""
+
+from repro.arch.bus import BusObserver, EventBus
+from repro.arch.event_driven import LogicalEventSwitch
+from repro.arch.events import Event, EventType
+from repro.arch.program import P4Program, handler
+from repro.arch.sume import SumeEventSwitch
+from repro.packet.builder import make_udp_packet
+from repro.sim.kernel import Simulator
+
+
+class Recorder(BusObserver):
+    def __init__(self):
+        self.publishes = []
+        self.dispatches = []
+        self.drops = []
+
+    def on_publish(self, bus, event, admitted):
+        self.publishes.append((bus.name, event.kind, admitted))
+
+    def on_dispatch(self, bus, event, latency_ps, handled):
+        self.dispatches.append((bus.name, event.kind, latency_ps, handled))
+
+    def on_drop(self, bus, event):
+        self.drops.append((bus.name, event.kind))
+
+
+def timer_event(t_ps=0, timer_id=1):
+    return Event(kind=EventType.TIMER, time_ps=t_ps, meta={"timer_id": timer_id})
+
+
+# ----------------------------------------------------------------------
+# Publish / admission / routing
+# ----------------------------------------------------------------------
+def test_publish_admitted_counts_fired_and_routes():
+    sim = Simulator()
+    bus = EventBus(sim)
+    seen = []
+    bus.subscribe(seen.append)
+    assert bus.publish(timer_event()) is True
+    assert bus.fired[EventType.TIMER] == 1
+    assert bus.suppressed[EventType.TIMER] == 0
+    assert len(seen) == 1
+
+
+def test_admission_gate_suppresses():
+    sim = Simulator()
+    bus = EventBus(sim)
+    seen = []
+    bus.subscribe(seen.append)
+    bus.set_admission(lambda event: event.kind is EventType.TIMER)
+    assert bus.publish(timer_event()) is True
+    user = Event(kind=EventType.USER, time_ps=0)
+    assert bus.publish(user) is False
+    assert bus.suppressed[EventType.USER] == 1
+    assert bus.fired[EventType.USER] == 0
+    assert [event.kind for event in seen] == [EventType.TIMER]
+    assert bus.published_total() == 2
+
+
+def test_gated_false_bypasses_admission():
+    sim = Simulator()
+    bus = EventBus(sim)
+    bus.set_admission(lambda event: False)
+    assert bus.publish(timer_event(), gated=False) is True
+    assert bus.fired[EventType.TIMER] == 1
+
+
+def test_route_false_skips_subscribers_but_counts():
+    sim = Simulator()
+    bus = EventBus(sim)
+    seen = []
+    bus.subscribe(seen.append)
+    assert bus.publish(timer_event(), route=False) is True
+    assert seen == []
+    assert bus.fired[EventType.TIMER] == 1
+
+
+def test_per_kind_subscription():
+    sim = Simulator()
+    bus = EventBus(sim)
+    timers, everything = [], []
+    bus.subscribe(timers.append, kinds=[EventType.TIMER])
+    bus.subscribe(everything.append)
+    bus.publish(timer_event())
+    bus.publish(Event(kind=EventType.USER, time_ps=0))
+    assert [event.kind for event in timers] == [EventType.TIMER]
+    assert [event.kind for event in everything] == [
+        EventType.TIMER,
+        EventType.USER,
+    ]
+
+
+# ----------------------------------------------------------------------
+# Dispatch side
+# ----------------------------------------------------------------------
+def test_dispatch_runs_dispatcher_and_counts_handled():
+    sim = Simulator()
+    bus = EventBus(sim)
+    ran = []
+    bus.set_dispatcher(lambda event: (ran.append(event.kind), True)[1])
+    assert bus.dispatch(timer_event()) is True
+    assert ran == [EventType.TIMER]
+    assert bus.handled[EventType.TIMER] == 1
+
+
+def test_unhandled_dispatch_not_counted():
+    sim = Simulator()
+    bus = EventBus(sim)
+    bus.set_dispatcher(lambda event: False)
+    assert bus.dispatch(timer_event()) is False
+    assert bus.handled[EventType.TIMER] == 0
+
+
+def test_drop_counts_and_notifies():
+    sim = Simulator()
+    bus = EventBus(sim)
+    recorder = Recorder()
+    bus.add_observer(recorder)
+    bus.drop(timer_event())
+    assert bus.dropped[EventType.TIMER] == 1
+    assert recorder.drops == [("bus", EventType.TIMER)]
+
+
+# ----------------------------------------------------------------------
+# Observers
+# ----------------------------------------------------------------------
+def test_observer_sees_publish_and_dispatch_latency():
+    sim = Simulator()
+    bus = EventBus(sim)
+    recorder = Recorder()
+    bus.add_observer(recorder)
+    event = timer_event(t_ps=0)
+    bus.publish(event, route=False)
+    sim.call_at(700, bus.dispatch, event)
+    sim.run()
+    assert recorder.publishes == [("bus", EventType.TIMER, True)]
+    # Staleness = dispatch time - fire time.
+    assert recorder.dispatches == [("bus", EventType.TIMER, 700, False)]
+
+
+def test_observer_sees_suppressed_publish():
+    sim = Simulator()
+    bus = EventBus(sim)
+    recorder = Recorder()
+    bus.add_observer(recorder)
+    bus.set_admission(lambda event: False)
+    bus.publish(timer_event())
+    assert recorder.publishes == [("bus", EventType.TIMER, False)]
+
+
+def test_remove_observer():
+    sim = Simulator()
+    bus = EventBus(sim)
+    recorder = Recorder()
+    bus.add_observer(recorder)
+    bus.remove_observer(recorder)
+    bus.publish(timer_event())
+    assert recorder.publishes == []
+
+
+def test_global_observer_scoping():
+    """Global observers attach to buses created while registered — only."""
+    sim = Simulator()
+    before = EventBus(sim, name="before")
+    recorder = Recorder()
+    EventBus.register_global_observer(recorder)
+    try:
+        during = EventBus(sim, name="during")
+    finally:
+        EventBus.unregister_global_observer(recorder)
+    after = EventBus(sim, name="after")
+    for bus in (before, during, after):
+        bus.publish(timer_event())
+    assert recorder.publishes == [("during", EventType.TIMER, True)]
+
+
+# ----------------------------------------------------------------------
+# Switch integration
+# ----------------------------------------------------------------------
+class TimerCounter(P4Program):
+    def __init__(self):
+        super().__init__()
+        self.timers = 0
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        meta.send_to_port(1)
+
+    @handler(EventType.TIMER)
+    def on_timer(self, ctx, event):
+        self.timers += 1
+
+
+def test_switch_counters_alias_bus_counters():
+    sim = Simulator()
+    switch = LogicalEventSwitch(sim)
+    assert switch.events_fired is switch.bus.fired
+    assert switch.events_handled is switch.bus.handled
+    assert switch.events_suppressed is switch.bus.suppressed
+
+
+def test_fire_event_flows_through_bus_to_handler():
+    sim = Simulator()
+    switch = LogicalEventSwitch(sim)
+    program = TimerCounter()
+    switch.load_program(program)
+    switch.fire_event(timer_event(t_ps=0))
+    sim.run()
+    assert program.timers == 1
+    assert switch.bus.fired[EventType.TIMER] == 1
+    assert switch.bus.handled[EventType.TIMER] == 1
+
+
+def test_pipeline_packet_events_counted_on_bus():
+    sim = Simulator()
+    switch = LogicalEventSwitch(sim)
+    switch.load_program(TimerCounter())
+    sent = []
+    switch.set_tx_callback(lambda pkt, port: sent.append(port))
+    switch.receive(make_udp_packet(1, 2), 0)
+    sim.run()
+    assert sent == [1]
+    assert switch.bus.fired[EventType.INGRESS_PACKET] == 1
+    assert switch.bus.handled[EventType.INGRESS_PACKET] == 1
+
+
+def test_merger_overflow_reports_bus_drop():
+    sim = Simulator()
+    switch = SumeEventSwitch(
+        sim,
+        merger_queue_capacity=1,
+        merger_injection_enabled=False,
+    )
+    switch.load_program(TimerCounter())
+    # With injection off and no carrier traffic, a second offered timer
+    # evicts the first from the full per-kind queue.
+    switch.fire_event(timer_event(t_ps=0, timer_id=1))
+    switch.fire_event(timer_event(t_ps=0, timer_id=2))
+    sim.run()
+    assert switch.merger.stats.dropped == 1
+    assert switch.bus.dropped[EventType.TIMER] == 1

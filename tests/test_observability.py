@@ -1,0 +1,253 @@
+"""Tests for the pluggable observability layer (repro.obs)."""
+
+import io
+import json
+
+from repro.arch.bus import EventBus
+from repro.arch.event_driven import LogicalEventSwitch
+from repro.arch.events import Event, EventType
+from repro.arch.program import P4Program, handler
+from repro.cli import main
+from repro.experiments.psa_fig_exp import run_architecture
+from repro.obs import (
+    CallbackProfiler,
+    DispatchLatencyHistogram,
+    EventCounters,
+    JsonlTraceSink,
+    RecordingObserver,
+    observing,
+    read_events_trace,
+)
+from repro.packet.builder import make_udp_packet
+from repro.packet.trace import TraceReader, TraceReplayer, TraceWriter
+from repro.sim.kernel import Simulator
+
+
+def timer_event(t_ps=0, timer_id=1):
+    return Event(kind=EventType.TIMER, time_ps=t_ps, meta={"timer_id": timer_id})
+
+
+# ----------------------------------------------------------------------
+# EventCounters
+# ----------------------------------------------------------------------
+def test_counters_aggregate_across_buses():
+    sim = Simulator()
+    counters = EventCounters()
+    bus_a, bus_b = EventBus(sim, name="a"), EventBus(sim, name="b")
+    bus_a.add_observer(counters)
+    bus_b.add_observer(counters)
+    bus_a.publish(timer_event())
+    bus_b.publish(timer_event())
+    bus_b.set_admission(lambda event: False)
+    bus_b.publish(timer_event())
+    assert counters.published[EventType.TIMER] == 3
+    assert counters.suppressed[EventType.TIMER] == 1
+    assert counters.nonzero_kinds() == [EventType.TIMER]
+    assert counters.total_published() == 3
+
+
+def test_counters_track_handled_and_dropped():
+    sim = Simulator()
+    counters = EventCounters()
+    bus = EventBus(sim)
+    bus.add_observer(counters)
+    bus.set_dispatcher(lambda event: True)
+    bus.dispatch(timer_event())
+    bus.set_dispatcher(lambda event: False)
+    bus.dispatch(timer_event())
+    bus.drop(timer_event())
+    snapshot = counters.as_dict()["timer_expiration"]
+    assert snapshot == {
+        "published": 0,
+        "suppressed": 0,
+        "handled": 1,
+        "dropped": 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# DispatchLatencyHistogram
+# ----------------------------------------------------------------------
+def test_histogram_mean_and_max():
+    histogram = DispatchLatencyHistogram()
+    histogram.on_dispatch(None, timer_event(), 0, True)
+    histogram.on_dispatch(None, timer_event(), 100, True)
+    assert histogram.mean_ps(EventType.TIMER) == 50.0
+    assert histogram.mean_ps() == 50.0
+    assert histogram.max_ps[EventType.TIMER] == 100
+    assert histogram.total_count() == 2
+    assert histogram.observed_kinds() == [EventType.TIMER]
+
+
+def test_histogram_percentiles_are_bucket_bounds():
+    histogram = DispatchLatencyHistogram()
+    for _ in range(99):
+        histogram.on_dispatch(None, timer_event(), 0, True)
+    histogram.on_dispatch(None, timer_event(), 1000, True)
+    # Zero-latency dispatches land in bucket 0, whose upper bound is 0 ps.
+    assert histogram.percentile_ps(50) == 0
+    assert histogram.percentile_ps(99) == 0
+    # 1000 ps has bit_length 10, so its bucket's upper bound is 2**10-1.
+    assert histogram.percentile_ps(100) == 1023
+
+
+def test_histogram_empty():
+    histogram = DispatchLatencyHistogram()
+    assert histogram.mean_ps() == 0.0
+    assert histogram.percentile_ps(99) == 0
+    assert histogram.summary_rows()[-1] == "(no dispatches observed)"
+
+
+# ----------------------------------------------------------------------
+# JsonlTraceSink
+# ----------------------------------------------------------------------
+def test_jsonl_sink_round_trip():
+    sim = Simulator()
+    stream = io.StringIO()
+    sink = JsonlTraceSink(stream)
+    bus = EventBus(sim, name="roundtrip")
+    bus.add_observer(sink)
+    event = timer_event(t_ps=0, timer_id=7)
+    bus.publish(event, route=False)
+    sim.call_at(500, bus.dispatch, event)
+    sim.run()
+    sink.close()
+    stream.seek(0)
+    records = read_events_trace(stream)
+    assert [record["phase"] for record in records] == ["publish", "dispatch"]
+    assert records[0]["admitted"] is True
+    assert records[0]["bus"] == "roundtrip"
+    assert records[0]["meta"] == {"timer_id": 7}
+    assert records[1]["latency_ps"] == 500
+    assert [record["seq"] for record in records] == [0, 1]
+
+
+def test_jsonl_sink_can_exclude_dispatch():
+    sim = Simulator()
+    stream = io.StringIO()
+    sink = JsonlTraceSink(stream, include_dispatch=False)
+    bus = EventBus(sim)
+    bus.add_observer(sink)
+    event = timer_event()
+    bus.publish(event, route=False)
+    bus.delivered(event, handled=False)
+    stream.seek(0)
+    records = read_events_trace(stream)
+    assert [record["phase"] for record in records] == ["publish"]
+
+
+class Forwarder(P4Program):
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        meta.send_to_port(1)
+
+
+def test_packet_trace_side_channel_replays():
+    """Packets captured alongside the event trace replay byte-exactly."""
+    sim = Simulator()
+    switch = LogicalEventSwitch(sim)
+    switch.load_program(Forwarder())
+    switch.set_tx_callback(lambda pkt, port: None)
+    capture = io.BytesIO()
+    sink = JsonlTraceSink(io.StringIO(), packet_trace=TraceWriter(capture))
+    switch.bus.add_observer(sink)
+    for i in range(3):
+        sim.call_at((i + 1) * 1000, switch.receive, make_udp_packet(1, 2), 0)
+    sim.run()
+    sink.close()
+
+    capture.seek(0)
+    records = TraceReader(capture).read_all()
+    # Every admitted packet-carrying publish was captured.
+    assert len(records) >= 3
+
+    replay_sim = Simulator()
+    replayed = []
+    replayer = TraceReplayer(replay_sim, records, replayed.append)
+    assert replayer.schedule() == len(records)
+    replay_sim.run()
+    assert len(replayed) == len(records)
+    assert replayed[0].payload_len == make_udp_packet(1, 2).payload_len
+
+
+# ----------------------------------------------------------------------
+# Determinism (satellite: same seed ⇒ identical trace)
+# ----------------------------------------------------------------------
+def _sume_trace(packets=40):
+    recorder = RecordingObserver()
+    with observing(recorder):
+        run_architecture("sume", packets=packets)
+    return recorder
+
+
+def test_same_seed_produces_identical_event_trace():
+    first = _sume_trace().normalized()
+    second = _sume_trace().normalized()
+    assert len(first) > 100
+    assert first == second
+
+
+def test_determinism_covers_same_timestamp_ties():
+    """The trace must exercise (and stably order) same-timestamp events."""
+    trace = _sume_trace().normalized()
+    timestamps = [entry[3] for entry in trace]
+    assert len(timestamps) != len(set(timestamps)), (
+        "expected same-timestamp events; tie-breaking is not exercised"
+    )
+
+
+def test_recording_observer_clear():
+    recorder = RecordingObserver()
+    recorder.on_publish(EventBus(Simulator()), timer_event(), True)
+    assert recorder.records
+    recorder.clear()
+    assert recorder.records == []
+
+
+# ----------------------------------------------------------------------
+# CallbackProfiler (kernel tap)
+# ----------------------------------------------------------------------
+def test_callback_profiler_counts_by_qualname():
+    sim = Simulator()
+    profiler = CallbackProfiler.attach(sim)
+    hits = []
+    def tick():
+        hits.append(sim.now_ps)
+    sim.call_at(10, tick)
+    sim.call_at(20, tick)
+    sim.run()
+    assert profiler.total() == 2
+    (name, count), = profiler.top(1)
+    assert "tick" in name
+    assert count == 2
+    profiler.detach(sim)
+    sim.call_at(30, tick)
+    sim.run()
+    assert profiler.total() == 2
+
+
+# ----------------------------------------------------------------------
+# CLI subcommands
+# ----------------------------------------------------------------------
+def test_cli_events_stats(capsys):
+    assert main(["events-stats", "--source", "catalog"]) == 0
+    out = capsys.readouterr().out
+    assert "EventBus counters (catalog)" in out
+    assert "event type(s) observed" in out
+    assert "timer_expiration" in out
+
+
+def test_cli_events_trace(tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    assert main(["events-trace", "--source", "catalog",
+                 "--out", str(out_path), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    records = read_events_trace(str(out_path))
+    assert len(records) > 10
+    assert all("phase" in record for record in records)
+    # The printed preview is valid JSON.
+    preview = [line for line in out.splitlines() if line.startswith("{")]
+    assert len(preview) == 2
+    for line in preview:
+        json.loads(line)

@@ -172,3 +172,69 @@ def test_pending_excludes_cancelled():
     drop = sim.call_at(20, lambda: None)
     drop.cancel()
     assert sim.pending_events == 1
+
+
+def test_pending_counter_survives_mass_cancellation():
+    """The live counter stays exact through tombstone compaction."""
+    sim = Simulator()
+    handles = [sim.call_at(10 + i, lambda: None) for i in range(100)]
+    for handle in handles[:80]:
+        handle.cancel()
+    # Compaction has certainly triggered (80 > 20), yet the count and
+    # the executed schedule are unaffected.
+    assert sim.pending_events == 20
+    assert len(sim._queue) <= 40
+    assert sim.run() == 20
+    assert sim.pending_events == 0
+
+
+def test_compaction_preserves_order():
+    sim = Simulator()
+    order = []
+    doomed = [sim.call_at(50, order.append, f"x{i}") for i in range(40)]
+    survivors = ["a", "b", "c", "d"]
+    for label in survivors:
+        sim.call_at(50, order.append, label)
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert order == survivors  # same-time survivors still run in schedule order
+
+
+def test_cancel_after_execution_does_not_corrupt_pending():
+    sim = Simulator()
+    handle = sim.call_at(10, lambda: None)
+    sim.call_at(20, lambda: None)
+    sim.run(max_events=1)
+    handle.cancel()  # already ran; must not decrement anything
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_reset_is_harmless():
+    sim = Simulator()
+    handle = sim.call_at(10, lambda: None)
+    sim.reset()
+    handle.cancel()
+    assert sim.pending_events == 0
+
+
+def test_execution_observer_sees_every_callback():
+    sim = Simulator()
+    seen = []
+
+    def observe(ev):
+        seen.append(ev.time_ps)
+
+    sim.add_execution_observer(observe)
+    sim.call_at(10, lambda: None)
+    sim.call_at(20, lambda: None)
+    cancelled = sim.call_at(15, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert seen == [10, 20]
+    sim.remove_execution_observer(observe)
+    sim.call_at(30, lambda: None)
+    sim.run()
+    assert seen == [10, 20]  # detached observers see nothing further
