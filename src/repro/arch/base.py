@@ -34,7 +34,7 @@ from repro.arch.events import Event, EventType
 from repro.arch.program import P4Program, ProgramContext
 from repro.packet.packet import Packet
 from repro.packet.parser import Parser, standard_parser
-from repro.pisa.metadata import StandardMetadata
+from repro.pisa.metadata import MetadataPool, StandardMetadata
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.tm.traffic_manager import TrafficManager
@@ -118,6 +118,7 @@ class SwitchBase:
         self.tm.hooks.on_transmit = self._tm_hook(EventType.PACKET_TRANSMITTED)
         self.program: Optional[P4Program] = None
         self.ctx = SwitchContext(self)
+        self.meta_pool = MetadataPool()
         self._tx_callback: Optional[TxCallback] = None
         self._link_up: List[bool] = [True] * description.port_count
         self._timers: Dict[int, PeriodicProcess] = {}
@@ -360,6 +361,12 @@ class SwitchBase:
         """
 
         def hook(tm_event) -> None:
+            bus = self.bus
+            if not self.description.supports(kind) and not bus._observers:
+                # Suppressed with nobody watching: only the counter is
+                # observable, so skip building the Event and its meta.
+                bus.suppressed[kind] += 1
+                return
             meta = dict(tm_event.user_meta)
             meta.setdefault("pkt_len", tm_event.pkt.total_len)
             meta["port"] = tm_event.port
@@ -376,8 +383,10 @@ class SwitchBase:
         program = self.program
         if program is None:
             return
-        for reg in program.shared_registers():
-            reg.set_thread(thread)
+        regs = program.shared_registers()
+        if regs:
+            for reg in regs:
+                reg.set_thread(thread)
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -11,6 +11,7 @@ close.
 
 from __future__ import annotations
 
+from sys import getrefcount
 from typing import Optional
 
 from repro.arch.base import SwitchBase
@@ -78,13 +79,15 @@ class BaselinePsaSwitch(SwitchBase):
         )
 
     def _ingress_done(self, pkt: Packet, port: int) -> None:
-        meta = StandardMetadata(
+        meta = self.meta_pool.acquire(
             ingress_port=port,
             packet_length=pkt.total_len,
             ingress_timestamp_ps=self.sim.now_ps,
         )
         self.ingress_pipeline.process(pkt, meta)
         self._steer(pkt, meta)
+        if getrefcount(meta) == 2:
+            self.meta_pool.release(meta)
 
     def _run_ingress(self, pkt: Packet, meta: StandardMetadata) -> None:
         if pkt.recirculated:
@@ -126,7 +129,7 @@ class BaselinePsaSwitch(SwitchBase):
 
     def _after_tm(self, pkt: Packet, port: int) -> None:
         """Dequeued and serialized: run the egress pipeline, then transmit."""
-        meta = StandardMetadata(
+        meta = self.meta_pool.acquire(
             ingress_port=pkt.ingress_port,
             egress_port=port,
             packet_length=pkt.total_len,
@@ -135,15 +138,19 @@ class BaselinePsaSwitch(SwitchBase):
         )
         meta.egress_spec = port
         self.egress_pipeline.process(pkt, meta)
-        if meta.dropped:
-            self.dropped_by_program += 1
-            return
-        if meta.recirculate:
-            self._recirculate(pkt)
-            return
-        self.sim.call_after(
-            self.egress_pipeline.latency_ps, self._transmit, pkt, port
-        )
+        try:
+            if meta.dropped:
+                self.dropped_by_program += 1
+                return
+            if meta.recirculate:
+                self._recirculate(pkt)
+                return
+            self.sim.call_after(
+                self.egress_pipeline.latency_ps, self._transmit, pkt, port
+            )
+        finally:
+            if getrefcount(meta) == 2:
+                self.meta_pool.release(meta)
 
     def _run_egress(self, pkt: Packet, meta: StandardMetadata) -> None:
         self._dispatch_packet_event(EventType.EGRESS_PACKET, pkt, meta)

@@ -82,6 +82,7 @@ class EventMerger:
         self.injection_enabled = injection_enabled
         self.stats = MergerStats()
         self._pending: Dict[EventType, List[Event]] = {kind: [] for kind in EventType}
+        self._pending_total = 0
         self._inject_fn: Optional[InjectFn] = None
         self._drop_fn: Optional[DropFn] = None
         self._check_scheduled = False
@@ -105,10 +106,12 @@ class EventMerger:
             # The merger's per-kind queue is full; hardware would drop
             # the oldest metadata word.  Count it, tell the bus, move on.
             lost = queue.pop(0)
+            self._pending_total -= 1
             self.stats.dropped += 1
             if self._drop_fn is not None:
                 self._drop_fn(lost)
         queue.append(event)
+        self._pending_total += 1
         if self.injection_enabled and not self._check_scheduled:
             self._check_scheduled = True
             delay = max(1, self.wait_cycles * self.clock_ps)
@@ -116,8 +119,8 @@ class EventMerger:
 
     @property
     def pending_count(self) -> int:
-        """Events waiting for a carrier."""
-        return sum(len(q) for q in self._pending.values())
+        """Events waiting for a carrier (maintained O(1))."""
+        return self._pending_total
 
     # ------------------------------------------------------------------
     # Carrier interface
@@ -130,11 +133,17 @@ class EventMerger:
         enum declaration order (a fixed metadata layout, as in
         hardware).
         """
+        if self._pending_total == 0:
+            # Nothing waiting — the common case for packet-heavy runs;
+            # skip the walk over every event kind.
+            return []
         taken: List[Event] = []
         for kind in EventType:
             queue = self._pending[kind]
-            for _ in range(min(self.slots_per_kind, len(queue))):
-                taken.append(queue.pop(0))
+            if queue:
+                for _ in range(min(self.slots_per_kind, len(queue))):
+                    taken.append(queue.pop(0))
+        self._pending_total -= len(taken)
         now = self.sim.now_ps
         for event in taken:
             self.stats.delivered += 1

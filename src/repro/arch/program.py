@@ -117,6 +117,7 @@ class P4Program:
 
     def __init__(self) -> None:
         self._handlers: Dict[EventType, Callable] = {}
+        self._shared_regs: Optional[List[SharedRegister]] = None
         for attr in dir(type(self)):
             fn = getattr(type(self), attr)
             kind = getattr(fn, _HANDLER_ATTR, None)
@@ -162,8 +163,19 @@ class P4Program:
                 yield attr, value
 
     def shared_registers(self) -> List[SharedRegister]:
-        """All declared :class:`SharedRegister` externs."""
-        return [ext for _name, ext in self.externs() if isinstance(ext, SharedRegister)]
+        """All declared :class:`SharedRegister` externs.
+
+        Cached after the first call — architectures consult this around
+        every handler dispatch, and externs are declared in ``__init__``,
+        before any architecture can ask.
+        """
+        regs = self._shared_regs
+        if regs is None:
+            regs = [
+                ext for _name, ext in self.externs() if isinstance(ext, SharedRegister)
+            ]
+            self._shared_regs = regs
+        return regs
 
     def state_bits(self) -> int:
         """Total stateful footprint of all externs that report one.

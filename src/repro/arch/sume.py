@@ -18,6 +18,7 @@ that observable.
 
 from __future__ import annotations
 
+from sys import getrefcount
 from typing import Dict, List, Optional
 
 from repro.arch.base import SwitchBase
@@ -122,7 +123,7 @@ class SumeEventSwitch(SwitchBase):
     def _pipeline_exit(
         self, pkt: Packet, kind: Optional[EventType], events: List[Event]
     ) -> None:
-        meta = StandardMetadata(
+        meta = self.meta_pool.acquire(
             ingress_port=pkt.ingress_port,
             packet_length=pkt.total_len,
             ingress_timestamp_ps=self.sim.now_ps,
@@ -133,13 +134,18 @@ class SumeEventSwitch(SwitchBase):
         # packet event's handler.  Dispatching through the bus records
         # each event's staleness — the merger wait plus the pipeline
         # traversal — for the observability layer.
-        for event in events:
-            self.bus.dispatch(event)
+        if events:
+            for event in events:
+                self.bus.dispatch(event)
         if kind is not None:
             if pkt.recirculated and kind == EventType.INGRESS_PACKET:
                 kind = EventType.RECIRCULATED_PACKET
             self._dispatch_packet_event(kind, pkt, meta)
         self._steer(pkt, meta, carrier_only=kind is None)
+        if getrefcount(meta) == 2:
+            # Only this frame still holds the shell (handlers kept no
+            # reference), so it can be recycled.
+            self.meta_pool.release(meta)
 
     def _pipeline_control(self, pkt: Packet, meta: StandardMetadata) -> None:
         # Dispatch happens in _pipeline_exit; the Pipeline object exists

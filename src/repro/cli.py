@@ -264,6 +264,37 @@ def run_events_trace(
     print(f"\nwrote {len(records)} records to {out}")
 
 
+# ----------------------------------------------------------------------
+# Benchmark trajectory subcommand
+# ----------------------------------------------------------------------
+def run_bench(
+    label: str = "local",
+    out: str = "",
+    rounds: int = 5,
+    workers: int = 1,
+    compare_to: str = "",
+    max_regression: float = 0.25,
+) -> int:
+    """Run the perf suite, write BENCH_<label>.json, gate on regressions."""
+    from repro.experiments import bench
+
+    data = bench.collect(label, rounds=rounds, workers=workers)
+    path = out or f"BENCH_{label}.json"
+    bench.write_snapshot(data, path)
+    _print(f"benchmark trajectory → {path}", bench.summary_rows(data))
+    if compare_to:
+        baseline = bench.read_snapshot(compare_to)
+        problems = bench.compare(baseline, data, max_regression=max_regression)
+        if problems:
+            _print(f"REGRESSIONS vs {compare_to}", problems)
+            return 1
+        print(
+            f"\nno regressions vs {compare_to} "
+            f"(threshold {max_regression:.0%})"
+        )
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -286,7 +317,8 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "events-stats", "events-trace"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "events-stats", "events-trace", "bench"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
@@ -306,6 +338,35 @@ def main(argv: List[str] = None) -> int:
         default=5,
         help="trace records events-trace prints",
     )
+    parser.add_argument(
+        "--label",
+        default="local",
+        help="bench: trajectory point name (output defaults to BENCH_<label>.json)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="bench: timed rounds per benchmark",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="bench: processes to fan rounds across (1 = serial, best timing fidelity)",
+    )
+    parser.add_argument(
+        "--compare",
+        default="",
+        metavar="BENCH_JSON",
+        help="bench: baseline snapshot to gate against (non-zero exit on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="bench: allowed slowdown vs the baseline (0.25 = 25%%)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name, fn in sorted(EXPERIMENTS.items()):
@@ -313,9 +374,19 @@ def main(argv: List[str] = None) -> int:
         for name, fn in (
             ("events-stats", run_events_stats),
             ("events-trace", run_events_trace),
+            ("bench", run_bench),
         ):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
         return 0
+    if args.experiment == "bench":
+        return run_bench(
+            label=args.label,
+            out="" if args.out == "events_trace.jsonl" else args.out,
+            rounds=args.rounds,
+            workers=args.workers,
+            compare_to=args.compare,
+            max_regression=args.max_regression,
+        )
     if args.experiment == "events-stats":
         run_events_stats(args.source)
         return 0

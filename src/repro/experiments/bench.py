@@ -1,0 +1,219 @@
+"""Benchmark-trajectory harness: record the simulator's own speed.
+
+Runs the same two micro-benchmarks as
+``benchmarks/test_simulator_performance.py`` — bare-kernel event
+throughput and end-to-end packets through a SUME switch — and writes a
+``BENCH_<label>.json`` snapshot so the repo accumulates a perf
+trajectory over time and CI can fail on regressions.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "label": "pr2",                  # trajectory point name
+      "python": "3.11.7",
+      "scheduler": "heap",             # kernel backend measured
+      "benchmarks": {
+        "kernel": {
+          "rounds": 5,
+          "wall_s_min": 0.0123,        # best round (robust statistic)
+          "wall_s_mean": 0.0131,
+          "wall_s_all": [...],         # per-round wall seconds
+          "events": 20000,             # simulated events per round
+          "events_per_sec": 1626016.0  # events / best wall time
+        },
+        "switch": {
+          ... same shape ...,
+          "packets": 500,
+          "pkts_per_sec": 8347.0,
+          "events": 7504,              # kernel events behind the packets
+          "events_per_sec": 125275.0
+        }
+      }
+    }
+
+Regression checks (:func:`compare`) use ``wall_s_min``: on shared, noisy
+hosts the best round tracks the code's true cost while mean tracks the
+host's load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import run_points
+from repro.sim.kernel import SCHEDULER_ENV, Simulator
+
+#: Events dispatched per kernel round (matches the pytest benchmark).
+KERNEL_EVENTS = 20_000
+#: Packets pushed through the switch per round (matches the pytest benchmark).
+SWITCH_PACKETS = 500
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+def kernel_round() -> Tuple[float, int]:
+    """One timed round of chained-timer kernel dispatch.
+
+    Returns ``(wall_seconds, simulated_events)``.
+    """
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < KERNEL_EVENTS:
+            sim.call_after(1, tick)
+
+    sim.call_at(0, tick)
+    start = perf_counter()
+    sim.run()
+    wall = perf_counter() - start
+    if count[0] != KERNEL_EVENTS:
+        raise RuntimeError(f"kernel round ran {count[0]} events, expected {KERNEL_EVENTS}")
+    return wall, sim.events_executed
+
+
+def switch_round() -> Tuple[float, int]:
+    """One timed round of packets through a SUME switch with a program.
+
+    Returns ``(wall_seconds, simulated_events)``.  Topology build and
+    program load are inside the timed region, matching the pytest
+    benchmark.
+    """
+    from repro.apps.microburst import MicroburstDetector
+    from repro.experiments.factories import make_sume_switch
+    from repro.net.topology import build_linear
+    from repro.packet.builder import make_udp_packet
+
+    start = perf_counter()
+    network = build_linear(make_sume_switch(), switch_count=1)
+    program = MicroburstDetector(num_regs=256, flow_thresh_bytes=1 << 30)
+    program.install_routes({H1_IP: 1, H0_IP: 0})
+    network.switches["s0"].load_program(program)
+    received: List[object] = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(SWITCH_PACKETS):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    wall = perf_counter() - start
+    if len(received) != SWITCH_PACKETS:
+        raise RuntimeError(
+            f"switch round delivered {len(received)} packets, "
+            f"expected {SWITCH_PACKETS}"
+        )
+    return wall, network.sim.events_executed
+
+
+#: Named benchmark rounds the harness (and the parallel fan-out) runs.
+BENCH_ROUNDS = {"kernel": kernel_round, "switch": switch_round}
+
+
+def _run_named_round(name: str) -> Tuple[float, int]:
+    """Picklable worker entry for :func:`repro.experiments.parallel.run_points`."""
+    return BENCH_ROUNDS[name]()
+
+
+def collect(label: str, rounds: int = 5, workers: int = 1) -> Dict:
+    """Run every benchmark ``rounds`` times and build the snapshot dict.
+
+    ``workers > 1`` fans rounds across processes via the parallel sweep
+    runner — useful for many rounds on idle multi-core hosts; keep
+    ``workers=1`` for timing fidelity on busy or single-core machines.
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    benchmarks: Dict[str, Dict] = {}
+    for name in sorted(BENCH_ROUNDS):
+        outcomes = run_points(_run_named_round, [name] * rounds, workers=workers)
+        walls = [wall for wall, _events in outcomes]
+        events = outcomes[0][1]
+        best = min(walls)
+        entry: Dict = {
+            "rounds": rounds,
+            "wall_s_min": best,
+            "wall_s_mean": sum(walls) / len(walls),
+            "wall_s_all": walls,
+            "events": events,
+            "events_per_sec": events / best,
+        }
+        if name == "switch":
+            entry["packets"] = SWITCH_PACKETS
+            entry["pkts_per_sec"] = SWITCH_PACKETS / best
+        benchmarks[name] = entry
+    return {
+        "schema": 1,
+        "label": label,
+        "python": sys.version.split()[0],
+        "scheduler": os.environ.get(SCHEDULER_ENV) or "heap",
+        "benchmarks": benchmarks,
+    }
+
+
+def write_snapshot(data: Dict, path: str) -> None:
+    """Write a snapshot as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_snapshot(path: str) -> Dict:
+    """Read a snapshot written by :func:`write_snapshot`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported BENCH schema {data.get('schema')!r}")
+    return data
+
+
+def compare(
+    baseline: Dict, current: Dict, max_regression: float = 0.25
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns one message per benchmark whose best wall time regressed by
+    more than ``max_regression`` (0.25 == 25% slower); empty list means
+    the gate passes.  Benchmarks present in only one snapshot are
+    ignored — the trajectory may gain benchmarks over time.
+    """
+    problems: List[str] = []
+    base_marks = baseline.get("benchmarks", {})
+    cur_marks = current.get("benchmarks", {})
+    for name in sorted(set(base_marks) & set(cur_marks)):
+        base = base_marks[name]["wall_s_min"]
+        cur = cur_marks[name]["wall_s_min"]
+        allowed = base * (1.0 + max_regression)
+        if cur > allowed:
+            problems.append(
+                f"{name}: {cur:.4f}s vs baseline {base:.4f}s "
+                f"({cur / base:.2f}x, allowed {1.0 + max_regression:.2f}x)"
+            )
+    return problems
+
+
+def summary_rows(data: Dict) -> List[str]:
+    """Human-readable rows for one snapshot (CLI output)."""
+    rows = [
+        f"label={data['label']} scheduler={data['scheduler']} "
+        f"python={data['python']}"
+    ]
+    for name, entry in sorted(data["benchmarks"].items()):
+        extras = ""
+        if "pkts_per_sec" in entry:
+            extras = f"  {entry['pkts_per_sec']:>12,.0f} pkts/s"
+        rows.append(
+            f"{name:<8} best={entry['wall_s_min'] * 1e3:8.2f}ms "
+            f"mean={entry['wall_s_mean'] * 1e3:8.2f}ms "
+            f"{entry['events_per_sec']:>12,.0f} ev/s{extras}"
+        )
+    return rows

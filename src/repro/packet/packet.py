@@ -51,6 +51,8 @@ class Packet:
     __slots__ = (
         "pkt_id",
         "headers",
+        "_hdr_len",
+        "_hdr_count",
         "payload_len",
         "meta",
         "ingress_port",
@@ -76,6 +78,8 @@ class Packet:
             raise ValueError(f"payload length must be non-negative, got {payload_len}")
         self.pkt_id: int = next(_packet_ids)
         self.headers: List[Header] = list(headers or [])
+        self._hdr_len: int = -1
+        self._hdr_count: int = -1
         self.payload_len = payload_len
         self.meta: Dict[str, int] = {}
         self.ingress_port = ingress_port
@@ -94,8 +98,18 @@ class Packet:
     # ------------------------------------------------------------------
     @property
     def header_len(self) -> int:
-        """Total bytes of declared headers."""
-        return sum(h.width_bytes() for h in self.headers)
+        """Total bytes of declared headers.
+
+        Cached per packet; the cache keys on the header-stack length, so
+        any length-changing mutation (push/pop, direct list edits)
+        invalidates it.  Replacing a header in place with one of a
+        *different type* must go through :meth:`pop`/:meth:`push`.
+        """
+        headers = self.headers
+        if len(headers) != self._hdr_count:
+            self._hdr_len = sum(h.width_bytes() for h in headers)
+            self._hdr_count = len(headers)
+        return self._hdr_len
 
     @property
     def total_len(self) -> int:
@@ -130,12 +144,14 @@ class Packet:
 
     def push(self, header: Header) -> None:
         """Prepend a header (outermost position)."""
+        self._hdr_count = -1
         self.headers.insert(0, header)
 
     def pop(self, header_type: Type[Header]) -> Header:
         """Remove and return the first header of ``header_type``."""
         for i, header in enumerate(self.headers):
             if type(header) is header_type:
+                self._hdr_count = -1
                 return self.headers.pop(i)
         raise KeyError(f"packet {self.pkt_id} has no {header_type.__name__}")
 

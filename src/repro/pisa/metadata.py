@@ -10,7 +10,7 @@ deq metadata for this pkt" in microburst.p4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 #: Egress specification value meaning "drop the packet".
 DROP_PORT = -1
@@ -77,3 +77,71 @@ class StandardMetadata:
     def request_recirculation(self) -> None:
         """Ask the architecture to recirculate the packet to ingress."""
         self.egress_spec = RECIRCULATE_PORT
+
+
+class MetadataPool:
+    """Free-list of :class:`StandardMetadata` shells.
+
+    Architectures construct one standard-metadata object per pipeline
+    traversal; at hundreds of thousands of packets that dataclass
+    construction dominates.  The pool recycles dead shells instead:
+    :meth:`acquire` resets and returns a free shell (or builds a new
+    one), :meth:`release` returns a shell whose traversal finished.
+
+    ``release`` always detaches ``enq_meta`` / ``deq_meta`` rather than
+    clearing them — the steering path aliases those dicts into
+    ``pkt.meta`` for the traffic manager, so they can outlive the shell.
+    """
+
+    __slots__ = ("_free", "limit")
+
+    def __init__(self, limit: int = 256) -> None:
+        self._free: List[StandardMetadata] = []
+        self.limit = limit
+
+    def acquire(
+        self,
+        ingress_port: int = 0,
+        packet_length: int = 0,
+        ingress_timestamp_ps: int = 0,
+        egress_port: Optional[int] = None,
+        egress_timestamp_ps: int = 0,
+        deq_qdepth_bytes: int = 0,
+    ) -> StandardMetadata:
+        """A reset metadata shell ready for one pipeline traversal."""
+        free = self._free
+        if free:
+            meta = free.pop()
+            meta.ingress_port = ingress_port
+            meta.egress_spec = None
+            meta.egress_port = egress_port
+            meta.packet_length = packet_length
+            meta.priority = 0
+            meta.queue_id = 0
+            meta.ingress_timestamp_ps = ingress_timestamp_ps
+            meta.egress_timestamp_ps = egress_timestamp_ps
+            meta.enq_qdepth_bytes = 0
+            meta.deq_qdepth_bytes = deq_qdepth_bytes
+            return meta
+        return StandardMetadata(
+            ingress_port=ingress_port,
+            packet_length=packet_length,
+            ingress_timestamp_ps=ingress_timestamp_ps,
+            egress_port=egress_port,
+            egress_timestamp_ps=egress_timestamp_ps,
+            deq_qdepth_bytes=deq_qdepth_bytes,
+        )
+
+    def release(self, meta: StandardMetadata) -> None:
+        """Return a dead shell to the pool.
+
+        The caller must guarantee no other reference to ``meta`` exists
+        (architectures verify this with a refcount check before calling).
+        """
+        if len(self._free) < self.limit:
+            meta.enq_meta = {}
+            meta.deq_meta = {}
+            self._free.append(meta)
+
+    def __len__(self) -> int:
+        return len(self._free)

@@ -30,8 +30,22 @@ class TableEntry:
         return f"TableEntry({self.key} -> {self.action})"
 
 
+#: Sentinel distinguishing "not cached" from a cached miss (None).
+_UNCACHED = object()
+
+
 class Table:
-    """Base class with entry bookkeeping and the default action."""
+    """Base class with entry bookkeeping and the default action.
+
+    ``apply`` results are memoized in a small LRU cache so repeated
+    lookups with the same key (the common case for per-flow tables on
+    the packet fast path) skip the subclass's match logic.  Any entry
+    mutation (:meth:`insert` / :meth:`remove` in subclasses) or
+    :meth:`set_default` invalidates the cache.
+    """
+
+    #: Maximum number of keys memoized per table.
+    CACHE_LIMIT = 256
 
     def __init__(self, name: str, max_entries: int = 1024) -> None:
         if max_entries <= 0:
@@ -41,10 +55,18 @@ class Table:
         self.default_action: ActionCall = NO_ACTION.bind()
         self.hit_count = 0
         self.miss_count = 0
+        # key -> lookup result (None caches a miss); insertion order is
+        # recency order — hits reinsert, eviction pops the oldest.
+        self._cache: Dict[Tuple, Optional[ActionCall]] = {}
+
+    def invalidate_cache(self) -> None:
+        """Drop all memoized lookup results."""
+        self._cache.clear()
 
     def set_default(self, action: ActionCall) -> None:
         """Set the action returned on a miss."""
         self.default_action = action
+        self._cache.clear()
 
     def entry_count(self) -> int:
         """Number of installed entries."""
@@ -62,7 +84,13 @@ class Table:
 
     def apply(self, key: Tuple) -> ActionCall:
         """P4-style apply: returns the matched or default action."""
-        action = self.lookup(key)
+        cache = self._cache
+        action = cache.pop(key, _UNCACHED)
+        if action is _UNCACHED:
+            action = self.lookup(key)
+            if len(cache) >= self.CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+        cache[key] = action
         if action is None:
             self.miss_count += 1
             return self.default_action
@@ -88,10 +116,12 @@ class ExactTable(Table):
         if key not in self._entries:
             self._check_capacity()
         self._entries[key] = action
+        self._cache.clear()
 
     def remove(self, key: Tuple) -> None:
         """Remove the entry for ``key``; KeyError if absent."""
         del self._entries[key]
+        self._cache.clear()
 
     def entry_count(self) -> int:
         return len(self._entries)
@@ -113,6 +143,16 @@ class LpmTable(Table):
         self.width_bits = width_bits
         # prefix_len -> {masked_prefix: action}
         self._by_length: Dict[int, Dict[int, ActionCall]] = {}
+        # (prefix_len, mask, bucket) descending — rebuilt on mutation so
+        # lookups don't re-sort and re-derive masks per packet.
+        self._ordered: List[Tuple[int, int, Dict[int, ActionCall]]] = []
+
+    def _reindex(self) -> None:
+        self._ordered = [
+            (length, self._mask(length), self._by_length[length])
+            for length in sorted(self._by_length, reverse=True)
+        ]
+        self._cache.clear()
 
     def insert(self, prefix: int, prefix_len: int, action: ActionCall) -> None:
         """Install a ``prefix/prefix_len`` entry."""
@@ -126,11 +166,13 @@ class LpmTable(Table):
         if key not in bucket:
             self._check_capacity()
         bucket[key] = action
+        self._reindex()
 
     def remove(self, prefix: int, prefix_len: int) -> None:
         """Remove a ``prefix/prefix_len`` entry; KeyError if absent."""
         mask = self._mask(prefix_len)
         del self._by_length[prefix_len][prefix & mask]
+        self._reindex()
 
     def _mask(self, prefix_len: int) -> int:
         if prefix_len == 0:
@@ -142,9 +184,8 @@ class LpmTable(Table):
 
     def lookup(self, key: Tuple) -> Optional[ActionCall]:
         (value,) = key
-        for prefix_len in sorted(self._by_length, reverse=True):
-            masked = value & self._mask(prefix_len)
-            action = self._by_length[prefix_len].get(masked)
+        for _length, mask, bucket in self._ordered:
+            action = bucket.get(value & mask)
             if action is not None:
                 return action
         return None
@@ -185,6 +226,7 @@ class TernaryTable(Table):
             (tuple(v & m for v, m in zip(values, masks)), tuple(masks), priority, action)
         )
         self._entries.sort(key=lambda e: e[2])
+        self._cache.clear()
 
     def entry_count(self) -> int:
         return len(self._entries)

@@ -7,72 +7,576 @@ the order they were scheduled.  All components of the reproduction — the
 PISA pipelines, traffic managers, timer units, links, and hosts — share
 one simulator, so a whole multi-switch network advances on a single
 totally-ordered virtual clock.
+
+Two interchangeable scheduler backends implement that total order:
+
+* ``"heap"`` (the default) — a binary heap of scheduled events.  Events
+  are stored as flat lists so heap sift compares run element-wise at C
+  speed on the (time, priority, seqno) prefix instead of calling a
+  Python ``__lt__``.
+* ``"wheel"`` — a calendar queue for the dominant short-horizon
+  ``call_after`` pattern: events hash into per-timestamp buckets and a
+  small integer heap of bucket times orders the calendar, so far-future
+  events fall back to a heap of plain ints.  Same-time events drain in
+  (priority, seqno) order, byte-identical to the heap backend.
+
+Both backends produce identical event orderings; the determinism tests
+assert trace equality between them.  Pick a backend per simulator
+(``Simulator(scheduler="wheel")``) or process-wide via the
+``REPRO_SIM_SCHEDULER`` environment variable — see docs/PERFORMANCE.md.
+
+Implementation note: the per-event cost of ``call_after`` plus one run
+loop iteration bounds every experiment in the repo, so the hot paths are
+built as closures over the mutable kernel state (clock, seqno, queue,
+free-list).  Cell-variable access compiles to ``LOAD_DEREF``, which is
+several times cheaper than an attribute load on ``self``; across the
+~10 state touches per event this is worth roughly 15% of total event
+throughput.  The :class:`Simulator` object keeps the public API and
+exposes the same state through properties for tests and tooling.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, List, Optional
+
+#: Field indices of the :class:`ScheduledEvent` flat-list layout.
+_TIME, _PRIO, _SEQ, _CB, _ARGS, _CANCELLED, _OWNER = range(7)
+
+#: A virtual time no real event ever reaches (run-loop bound sentinel).
+_NEVER_PS = 1 << 63
+
+#: Recognized scheduler backends.
+SCHEDULER_BACKENDS = ("heap", "wheel")
+
+#: Environment variable selecting the default scheduler backend.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, etc.)."""
 
 
-class ScheduledEvent:
+class ScheduledEvent(list):
     """A callback scheduled at a simulated time.
 
     Holding a reference to the returned object lets the scheduler cancel
-    it later; cancellation is O(1) (the heap entry is tombstoned and the
+    it later; cancellation is O(1) (the queue entry is tombstoned and the
     owning simulator keeps a live count of pending tombstones).
+
+    The event *is* its queue entry: a flat list
+    ``[time_ps, priority, seqno, callback, args, cancelled, owner]``.
+    Heap ordering therefore uses list's C-level lexicographic compare on
+    the (time, priority, seqno) prefix — seqno is unique per simulator,
+    so comparison never reaches the callback.  The named attributes
+    below are the public API; the list layout is internal to the kernel,
+    and instances are built from the full 7-field tuple (list's own
+    constructor) so scheduling pays no Python-level ``__init__`` frame.
     """
 
-    __slots__ = (
-        "time_ps",
-        "priority",
-        "seqno",
-        "callback",
-        "args",
-        "cancelled",
-        "owner",
-    )
+    __slots__ = ()
 
-    def __init__(
-        self,
-        time_ps: int,
-        priority: int,
-        seqno: int,
-        callback: Callable[..., None],
-        args: tuple,
-        owner: Optional["Simulator"] = None,
-    ) -> None:
-        self.time_ps = time_ps
-        self.priority = priority
-        self.seqno = seqno
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        self.owner = owner
+    # ------------------------------------------------------------------
+    # Named access (public API; hot paths index the list directly)
+    # ------------------------------------------------------------------
+    @property
+    def time_ps(self) -> int:
+        return self[_TIME]
+
+    @property
+    def priority(self) -> int:
+        return self[_PRIO]
+
+    @property
+    def seqno(self) -> int:
+        return self[_SEQ]
+
+    @property
+    def callback(self) -> Callable[..., None]:
+        return self[_CB]
+
+    @property
+    def args(self) -> tuple:
+        return self[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[_CANCELLED]
+
+    @property
+    def owner(self) -> Optional["Simulator"]:
+        return self[_OWNER]
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call repeatedly."""
-        if self.cancelled:
+        if self[_CANCELLED]:
             return
-        self.cancelled = True
-        owner = self.owner
+        self[_CANCELLED] = True
+        owner = self[_OWNER]
         if owner is not None:
             owner._note_cancel()
 
-    def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time_ps, self.priority, self.seqno) < (
-            other.time_ps,
-            other.priority,
-            other.seqno,
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self[_CB], "__qualname__", repr(self[_CB]))
+        return (
+            f"ScheduledEvent(t={self[_TIME]}ps, prio={self[_PRIO]}, cb={name})"
         )
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"ScheduledEvent(t={self.time_ps}ps, prio={self.priority}, cb={name})"
+
+def _prio_of(event: ScheduledEvent) -> int:
+    """Sort key for draining a calendar bucket.
+
+    Buckets accumulate events in seqno order, so a *stable* sort by
+    priority alone yields (priority, seqno) order.
+    """
+    return event[_PRIO]
+
+
+def _build_heap_core(sim: "Simulator", observers: list, floor: int):
+    """Build the heap backend's hot-path closures.
+
+    All mutable kernel state lives in this scope's cells.  The returned
+    closures share those cells; the Simulator stores the closures in
+    slots and mirrors the state through read-only properties.
+
+    The literal indices in the loops are the ScheduledEvent layout:
+    ``0=time  1=priority  2=seqno  3=callback  4=args  5=cancelled
+    6=owner``.
+    """
+    now = 0
+    seqno = 0
+    executed_total = 0
+    cancelled = 0
+    queue: List[ScheduledEvent] = []
+    # Free-list of recycled event shells.  The run loop returns an
+    # executed event here only when its refcount proves the kernel holds
+    # the sole reference (the caller dropped the handle), so a held
+    # handle is never mutated behind the caller's back.  Reuse skips
+    # both the subclass allocation and the GC-generation churn of 10^5s
+    # of short-lived containers; the list never outgrows the peak number
+    # of concurrently pending events.  Shells in the free-list invariantly
+    # have cancelled=False (only executed, uncancelled events are
+    # recycled and no outside handle exists that could cancel them) and
+    # owner=sim, so reuse rewrites just the five leading fields.
+    free: List[ScheduledEvent] = []
+    push = heappush
+    pop_free = free.pop
+
+    def call_at(
+        time_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        nonlocal seqno
+        if time_ps < now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps}ps, now is t={now}ps"
+            )
+        s = seqno
+        seqno = s + 1
+        # EAFP on the free-list: at steady state it is never empty, so
+        # the hit path pays one bound-method call and no truth test.
+        try:
+            event = pop_free()
+            event[0] = time_ps
+            event[1] = priority
+            event[2] = s
+            event[3] = callback
+            event[4] = args
+        except IndexError:
+            event = ScheduledEvent(
+                (time_ps, priority, s, callback, args, False, sim)
+            )
+        if queue:
+            push(queue, event)
+        else:
+            queue.append(event)  # empty heap: skip the sift call
+        return event
+
+    def call_after(
+        delay_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        nonlocal seqno
+        if delay_ps < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_ps}")
+        time_ps = now + delay_ps
+        s = seqno
+        seqno = s + 1
+        try:
+            event = pop_free()
+            event[0] = time_ps
+            event[1] = priority
+            event[2] = s
+            event[3] = callback
+            event[4] = args
+        except IndexError:
+            event = ScheduledEvent(
+                (time_ps, priority, s, callback, args, False, sim)
+            )
+        if queue:
+            push(queue, event)
+        else:
+            queue.append(event)  # empty heap: skip the sift call
+        return event
+
+    def note_cancel() -> None:
+        # A queued event was tombstoned; compact when they dominate.
+        # Compaction filters *in place*: run loops hold a reference to
+        # the queue list, so its identity must never change.  Rebuilding
+        # over the surviving (time, priority, seqno) triples reproduces
+        # the exact total order, so compaction never perturbs
+        # deterministic event ordering.
+        nonlocal cancelled
+        cancelled += 1
+        size = len(queue)
+        if size >= floor and cancelled > size // 2:
+            queue[:] = [ev for ev in queue if not ev[5]]
+            heapify(queue)
+            cancelled = 0
+
+    def drain(bound: int, limit: int) -> int:
+        nonlocal now, executed_total, cancelled
+        q = queue
+        pop = heappop
+        refs = getrefcount
+        recycle = free.append
+        executed = 0
+        # ``events_executed`` is flushed once per drain rather than per
+        # event; only the post-run value is observable.
+        try:
+            if bound == _NEVER_PS and limit == _NEVER_PS:
+                # Unbounded full drain: the overwhelmingly common call
+                # and the one the event-throughput benchmark times, so
+                # it skips the per-event bound/limit compares and ends
+                # on heappop's own empty-queue IndexError instead of
+                # paying a truth test per iteration (zero-cost try; the
+                # except is scoped to the pop so callback exceptions
+                # propagate untouched).
+                while True:
+                    try:
+                        head = pop(q)
+                    except IndexError:
+                        return executed
+                    if head[5]:
+                        head[6] = None
+                        cancelled -= 1
+                        continue
+                    head[6] = None  # late cancel() is now a no-op
+                    now = head[0]
+                    args = head[4]
+                    if args:
+                        head[3](*args)
+                    else:
+                        head[3]()
+                    executed += 1
+                    if observers:
+                        for observer in observers:
+                            observer(head)
+                    # refcount 2 == the loop local plus getrefcount's
+                    # own argument: nobody kept the handle, recycle it.
+                    # A callback may have cancel()ed its own firing event
+                    # (harmless post-execution), so scrub the flag: with
+                    # no handles left the scrub is unobservable.
+                    if refs(head) == 2:
+                        head[5] = False
+                        head[6] = sim
+                        recycle(head)
+            while q:
+                head = pop(q)
+                if head[5]:
+                    head[6] = None
+                    cancelled -= 1
+                    continue
+                if head[0] > bound or executed >= limit:
+                    push(q, head)  # bounded run: leave the head queued
+                    break
+                head[6] = None
+                now = head[0]
+                head[3](*head[4])
+                executed += 1
+                if observers:
+                    for observer in observers:
+                        observer(head)
+                if refs(head) == 2:
+                    head[5] = False
+                    head[6] = sim
+                    recycle(head)
+        finally:
+            executed_total += executed
+        return executed
+
+    def peek():
+        # (now, seqno, executed, pending, queued_raw, queue) snapshot for
+        # the Simulator's properties and repr.
+        return (
+            now,
+            seqno,
+            executed_total,
+            len(queue) - cancelled,
+            len(queue),
+            queue,
+        )
+
+    def set_now(time_ps: int) -> None:
+        nonlocal now
+        now = time_ps
+
+    def reset_state() -> None:
+        nonlocal now, seqno, executed_total, cancelled
+        for ev in queue:
+            ev[6] = None  # detach so a late cancel() cannot corrupt counters
+        queue.clear()
+        free.clear()  # recycled shells pin old callbacks/args
+        now = 0
+        seqno = 0
+        executed_total = 0
+        cancelled = 0
+
+    return call_at, call_after, note_cancel, drain, peek, set_now, reset_state
+
+
+def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
+    """Build the calendar-queue backend's hot-path closures.
+
+    Same contract and event layout as :func:`_build_heap_core`; see
+    there for the free-list and in-place-compaction invariants.
+    """
+    now = 0
+    seqno = 0
+    executed_total = 0
+    cancelled = 0
+    # Per-timestamp buckets ordered by a heap of bucket times, plus the
+    # live drain window that keeps same-time scheduling deterministic.
+    buckets: dict = {}
+    times: List[int] = []
+    wheel_count = 0
+    drain_time = -1
+    drain_list: Optional[List[ScheduledEvent]] = None
+    drain_pos = 0
+    free: List[ScheduledEvent] = []
+    push = heappush
+
+    def insert(event: ScheduledEvent, time_ps: int) -> None:
+        # Scheduling *at the timestamp currently draining* inserts into
+        # the unexecuted tail of the live bucket by (priority, seqno),
+        # which is exactly where the heap backend would surface it.
+        nonlocal wheel_count
+        wheel_count += 1
+        if time_ps == drain_time:
+            d = drain_list
+            lo = drain_pos
+            hi = len(d)
+            key = (event[1], event[2])
+            while lo < hi:
+                mid = (lo + hi) // 2
+                other = d[mid]
+                if (other[1], other[2]) < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            d.insert(lo, event)
+            return
+        bucket = buckets.get(time_ps)
+        if bucket is None:
+            buckets[time_ps] = [event]
+            push(times, time_ps)
+        else:
+            bucket.append(event)
+
+    def call_at(
+        time_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        nonlocal seqno
+        if time_ps < now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps}ps, now is t={now}ps"
+            )
+        s = seqno
+        seqno = s + 1
+        if free:
+            event = free.pop()
+            event[0] = time_ps
+            event[1] = priority
+            event[2] = s
+            event[3] = callback
+            event[4] = args
+        else:
+            event = ScheduledEvent(
+                (time_ps, priority, s, callback, args, False, sim)
+            )
+        insert(event, time_ps)
+        return event
+
+    def call_after(
+        delay_ps: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        nonlocal seqno
+        if delay_ps < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_ps}")
+        time_ps = now + delay_ps
+        s = seqno
+        seqno = s + 1
+        if free:
+            event = free.pop()
+            event[0] = time_ps
+            event[1] = priority
+            event[2] = s
+            event[3] = callback
+            event[4] = args
+        else:
+            event = ScheduledEvent(
+                (time_ps, priority, s, callback, args, False, sim)
+            )
+        insert(event, time_ps)
+        return event
+
+    def note_cancel() -> None:
+        nonlocal cancelled, wheel_count
+        cancelled += 1
+        if wheel_count >= floor and cancelled > wheel_count // 2:
+            # In-place rebuild (times identity preserved for any running
+            # drain).  Tombstones sitting in the live drain window are
+            # not stored in ``buckets`` and stay counted until consumed.
+            removed = 0
+            for time_ps in list(buckets):
+                bucket = buckets[time_ps]
+                live = [ev for ev in bucket if not ev[5]]
+                if len(live) != len(bucket):
+                    removed += len(bucket) - len(live)
+                    if live:
+                        buckets[time_ps] = live
+                    else:
+                        del buckets[time_ps]
+            times[:] = list(buckets)
+            heapify(times)
+            wheel_count -= removed
+            cancelled -= removed
+
+    def drain(bound: int, limit: int) -> int:
+        nonlocal now, executed_total, cancelled, wheel_count
+        nonlocal drain_time, drain_list, drain_pos
+        pop = heappop
+        refs = getrefcount
+        recycle = free.append
+        executed = 0
+        try:
+            while times:
+                time_ps = times[0]
+                if time_ps > bound or executed >= limit:
+                    break
+                pop(times)
+                bucket = buckets.pop(time_ps, None)
+                if bucket is None:
+                    continue  # stale calendar slot left behind by compaction
+                if len(bucket) == 1:
+                    # Single-occupant bucket: skip the drain-window
+                    # bookkeeping.  A callback scheduling at this same
+                    # timestamp simply recreates the bucket, which the
+                    # outer loop pops next — identical to heap ordering.
+                    head = bucket.pop()  # drop the bucket's reference
+                    wheel_count -= 1
+                    head[6] = None
+                    if head[5]:
+                        cancelled -= 1
+                        continue
+                    now = time_ps
+                    args = head[4]
+                    if args:
+                        head[3](*args)
+                    else:
+                        head[3]()
+                    executed += 1
+                    if observers:
+                        for observer in observers:
+                            observer(head)
+                    if refs(head) == 2:
+                        head[5] = False
+                        head[6] = sim
+                        recycle(head)
+                    continue
+                bucket.sort(key=_prio_of)  # stable: yields (priority, seqno)
+                now = time_ps
+                drain_time = time_ps
+                drain_list = bucket
+                index = 0
+                while index < len(bucket):
+                    if executed >= limit:
+                        # Bounded run stopped mid-bucket: the unexecuted
+                        # tail (already in priority/seqno order) becomes
+                        # the bucket again, so the next run resumes
+                        # identically.
+                        buckets[time_ps] = bucket[index:]
+                        push(times, time_ps)
+                        break
+                    head = bucket[index]
+                    index += 1
+                    drain_pos = index
+                    wheel_count -= 1
+                    head[6] = None
+                    if head[5]:
+                        cancelled -= 1
+                        continue
+                    now = time_ps
+                    head[3](*head[4])
+                    executed += 1
+                    if observers:
+                        for observer in observers:
+                            observer(head)
+                drain_time = -1
+                drain_list = None
+                drain_pos = 0
+        finally:
+            executed_total += executed
+        return executed
+
+    def peek():
+        # Index 5 is a flattened debug snapshot of the calendar (the
+        # heap backend exposes its live queue there); built on demand,
+        # cold paths only.
+        return (
+            now,
+            seqno,
+            executed_total,
+            wheel_count - cancelled,
+            wheel_count,
+            [ev for bucket in buckets.values() for ev in bucket],
+        )
+
+    def set_now(time_ps: int) -> None:
+        nonlocal now
+        now = time_ps
+
+    def reset_state() -> None:
+        nonlocal now, seqno, executed_total, cancelled, wheel_count
+        nonlocal drain_time, drain_list, drain_pos
+        for bucket in buckets.values():
+            for ev in bucket:
+                ev[6] = None
+        buckets.clear()
+        times.clear()
+        free.clear()
+        wheel_count = 0
+        drain_time = -1
+        drain_list = None
+        drain_pos = 0
+        now = 0
+        seqno = 0
+        executed_total = 0
+        cancelled = 0
+
+    return call_at, call_after, note_cancel, drain, peek, set_now, reset_state
 
 
 class Simulator:
@@ -86,20 +590,60 @@ class Simulator:
 
     Callbacks may schedule further callbacks.  ``run`` drains the queue
     until it is empty or until an optional time/event bound is hit.
+
+    ``scheduler`` picks the queue backend (``"heap"`` or ``"wheel"``);
+    when omitted, the ``REPRO_SIM_SCHEDULER`` environment variable
+    decides, defaulting to the heap.  Both backends execute callbacks in
+    exactly the same (time, priority, seqno) order.
+
+    ``call_at`` and ``call_after`` are per-instance closures over the
+    kernel state (see the module docstring); their signatures are::
+
+        call_at(time_ps, callback, *args, priority=0)   -> ScheduledEvent
+        call_after(delay_ps, callback, *args, priority=0) -> ScheduledEvent
+
+    Lower ``priority`` runs first among same-time events; scheduling in
+    the past raises :class:`SimulationError`.
     """
 
-    #: Never compact a heap smaller than this (the rebuild would cost
+    #: Never compact a queue smaller than this (the rebuild would cost
     #: more than the tombstones it reclaims).
     COMPACTION_FLOOR = 16
 
-    def __init__(self) -> None:
-        self._now_ps: int = 0
-        self._queue: List[ScheduledEvent] = []
-        self._seqno: int = 0
-        self._running: bool = False
-        self._events_executed: int = 0
-        self._cancelled_pending: int = 0
+    __slots__ = (
+        "scheduler",
+        "call_at",
+        "call_after",
+        "_note_cancel",
+        "_drain",
+        "_peek",
+        "_set_now",
+        "_reset_state",
+        "_running",
+        "_exec_observers",
+    )
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV) or "heap"
+        if scheduler not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick one of "
+                f"{SCHEDULER_BACKENDS}"
+            )
+        self.scheduler = scheduler
+        self._running = False
         self._exec_observers: List[Callable[[ScheduledEvent], None]] = []
+        build = _build_wheel_core if scheduler == "wheel" else _build_heap_core
+        (
+            self.call_at,
+            self.call_after,
+            self._note_cancel,
+            self._drain,
+            self._peek,
+            self._set_now,
+            self._reset_state,
+        ) = build(self, self._exec_observers, self.COMPACTION_FLOOR)
 
     # ------------------------------------------------------------------
     # Clock
@@ -107,17 +651,31 @@ class Simulator:
     @property
     def now_ps(self) -> int:
         """The current simulated time in picoseconds."""
-        return self._now_ps
+        return self._peek()[0]
 
     @property
     def events_executed(self) -> int:
         """Number of callbacks the kernel has run so far."""
-        return self._events_executed
+        return self._peek()[2]
 
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) callbacks still queued, in O(1)."""
-        return len(self._queue) - self._cancelled_pending
+        return self._peek()[3]
+
+    # Internal state views kept for tests and debugging tools.
+    @property
+    def _now_ps(self) -> int:
+        return self._peek()[0]
+
+    @_now_ps.setter
+    def _now_ps(self, time_ps: int) -> None:
+        self._set_now(time_ps)
+
+    @property
+    def _queue(self) -> List[ScheduledEvent]:
+        """Raw queued-event view (live heap list, or a wheel snapshot)."""
+        return self._peek()[5]
 
     # ------------------------------------------------------------------
     # Observation
@@ -137,62 +695,6 @@ class Simulator:
         self._exec_observers.remove(fn)
 
     # ------------------------------------------------------------------
-    # Scheduling
-    # ------------------------------------------------------------------
-    def call_at(
-        self,
-        time_ps: int,
-        callback: Callable[..., None],
-        *args: Any,
-        priority: int = 0,
-    ) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` at absolute time ``time_ps``.
-
-        Lower ``priority`` runs first among same-time events.  Raises
-        :class:`SimulationError` if ``time_ps`` is in the past.
-        """
-        if time_ps < self._now_ps:
-            raise SimulationError(
-                f"cannot schedule at t={time_ps}ps, now is t={self._now_ps}ps"
-            )
-        event = ScheduledEvent(time_ps, priority, self._seqno, callback, args, self)
-        self._seqno += 1
-        heapq.heappush(self._queue, event)
-        return event
-
-    def _note_cancel(self) -> None:
-        """A queued event was tombstoned; compact when they dominate."""
-        self._cancelled_pending += 1
-        if (
-            len(self._queue) >= self.COMPACTION_FLOOR
-            and self._cancelled_pending > len(self._queue) // 2
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Rebuild the heap without tombstones.
-
-        ``heapify`` over the surviving (time, priority, seqno) triples
-        reproduces the exact total order, so compaction never perturbs
-        deterministic event ordering.
-        """
-        self._queue = [ev for ev in self._queue if not ev.cancelled]
-        heapq.heapify(self._queue)
-        self._cancelled_pending = 0
-
-    def call_after(
-        self,
-        delay_ps: int,
-        callback: Callable[..., None],
-        *args: Any,
-        priority: int = 0,
-    ) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` after a relative delay."""
-        if delay_ps < 0:
-            raise SimulationError(f"delay must be non-negative, got {delay_ps}")
-        return self.call_at(self._now_ps + delay_ps, callback, *args, priority=priority)
-
-    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(
@@ -210,32 +712,14 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        executed = 0
+        bound = _NEVER_PS if until_ps is None else until_ps
+        limit = _NEVER_PS if max_events is None else max_events
         try:
-            while self._queue:
-                if max_events is not None and executed >= max_events:
-                    break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    head.owner = None
-                    self._cancelled_pending -= 1
-                    continue
-                if until_ps is not None and head.time_ps > until_ps:
-                    break
-                heapq.heappop(self._queue)
-                head.owner = None  # no longer queued; late cancel() is a no-op
-                self._now_ps = head.time_ps
-                head.callback(*head.args)
-                executed += 1
-                self._events_executed += 1
-                if self._exec_observers:
-                    for observer in self._exec_observers:
-                        observer(head)
+            executed = self._drain(bound, limit)
         finally:
             self._running = False
-        if until_ps is not None and until_ps > self._now_ps:
-            self._now_ps = until_ps
+        if until_ps is not None and until_ps > self._peek()[0]:
+            self._set_now(until_ps)
         return executed
 
     def step(self) -> bool:
@@ -243,17 +727,18 @@ class Simulator:
         return self.run(max_events=1) == 1
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
-        for ev in self._queue:
-            ev.owner = None  # detach so a late cancel() cannot corrupt counters
-        self._queue.clear()
-        self._now_ps = 0
-        self._seqno = 0
-        self._events_executed = 0
-        self._cancelled_pending = 0
+        """Discard pending events, detach observers, rewind the clock.
+
+        Execution observers registered via :meth:`add_execution_observer`
+        are dropped too — a reused simulator must not keep profiling
+        callbacks from a previous run.
+        """
+        self._reset_state()
+        self._exec_observers.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        now, _, executed, pending, _, _ = self._peek()
         return (
-            f"Simulator(now={self._now_ps}ps, pending={self.pending_events}, "
-            f"executed={self._events_executed})"
+            f"Simulator(now={now}ps, pending={pending}, "
+            f"executed={executed}, scheduler={self.scheduler!r})"
         )
