@@ -26,6 +26,7 @@ Event Merger of a single physical pipeline
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.arch.bus import EventBus
@@ -37,9 +38,49 @@ from repro.packet.parser import Parser, standard_parser
 from repro.pisa.metadata import MetadataPool, StandardMetadata
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.state.store import StateStore, make_store
 from repro.tm.traffic_manager import TrafficManager
 
 TxCallback = Callable[[Packet, int], None]
+
+
+class _TmEventHook:
+    """Picklable traffic-manager hook firing ``kind`` data-plane events.
+
+    A named callable instead of a closure so whole-switch object graphs
+    survive checkpoint pickling (closures don't pickle).
+    """
+
+    __slots__ = ("switch", "kind")
+
+    def __init__(self, switch: "SwitchBase", kind: EventType) -> None:
+        self.switch = switch
+        self.kind = kind
+
+    def __getstate__(self):
+        return (self.switch, self.kind)
+
+    def __setstate__(self, state) -> None:
+        self.switch, self.kind = state
+
+    def __call__(self, tm_event) -> None:
+        switch = self.switch
+        kind = self.kind
+        bus = switch.bus
+        if not switch.description.supports(kind) and not bus._observers:
+            # Suppressed with nobody watching: only the counter is
+            # observable, so skip building the Event and its meta.
+            bus.suppressed[kind] += 1
+            return
+        meta = dict(tm_event.user_meta)
+        meta.setdefault("pkt_len", tm_event.pkt.total_len)
+        meta["port"] = tm_event.port
+        meta["queue_id"] = tm_event.queue_id
+        meta["qdepth_bytes"] = tm_event.queue_depth_bytes
+        meta["buffer_bytes"] = tm_event.buffer_occupancy_bytes
+        switch.fire_event(
+            Event(kind=kind, time_ps=tm_event.time_ps, pkt=tm_event.pkt, meta=meta)
+        )
 
 
 class SwitchContext(ProgramContext):
@@ -120,7 +161,9 @@ class SwitchBase:
         self.ctx = SwitchContext(self)
         self.meta_pool = MetadataPool()
         self._tx_callback: Optional[TxCallback] = None
-        self._link_up: List[bool] = [True] * description.port_count
+        # Link state as 0/1 ints in a StateStore (per-port state is
+        # switch state like any extern's and rides along in checkpoints).
+        self._link_up = make_store(description.port_count, 1, name=f"{name}.links")
         self._timers: Dict[int, PeriodicProcess] = {}
         # Aliases of the bus's canonical counters (same dict objects):
         # every reader of switch.events_* observes the bus directly.
@@ -174,9 +217,9 @@ class SwitchBase:
         """The physical layer reports a link transition on ``port``."""
         if not 0 <= port < len(self._link_up):
             raise IndexError(f"port {port} out of range")
-        if self._link_up[port] == up:
+        if bool(self._link_up[port]) == up:
             return
-        self._link_up[port] = up
+        self._link_up[port] = int(up)
         self.tm.set_port_enabled(port, up)
         if self.description.supports(EventType.LINK_STATUS):
             self.fire_event(
@@ -189,7 +232,7 @@ class SwitchBase:
 
     def link_up(self, port: int) -> bool:
         """Current link status of ``port``."""
-        return self._link_up[port]
+        return bool(self._link_up[port])
 
     def control_event(self, meta: Dict[str, int]) -> None:
         """The control plane triggers a CONTROL_PLANE event."""
@@ -217,7 +260,7 @@ class SwitchBase:
         process = PeriodicProcess(
             self.sim,
             period_ps,
-            lambda: self._timer_fired(timer_id),
+            partial(self._timer_fired, timer_id),
             name=f"{self.name}.timer{timer_id}",
         )
         self._timers[timer_id] = process
@@ -249,16 +292,14 @@ class SwitchBase:
                 f"architecture {self.description.name!r} has no user events"
             )
         if delay_ps:
-            self.sim.call_after(
-                delay_ps,
-                lambda: self.fire_event(
-                    Event(kind=EventType.USER, time_ps=self.sim.now_ps, meta=dict(meta))
-                ),
-            )
+            self.sim.call_after(delay_ps, self._fire_user_event, dict(meta))
         else:
-            self.fire_event(
-                Event(kind=EventType.USER, time_ps=self.sim.now_ps, meta=dict(meta))
-            )
+            self._fire_user_event(meta)
+
+    def _fire_user_event(self, meta: Dict[str, int]) -> None:
+        self.fire_event(
+            Event(kind=EventType.USER, time_ps=self.sim.now_ps, meta=dict(meta))
+        )
 
     def notify_control_plane(self, message: Dict[str, int]) -> None:
         """Record (and deliver) a digest to the control plane."""
@@ -351,7 +392,7 @@ class SwitchBase:
             self._set_thread(None)
         bus.delivered(event, handled=True)
 
-    def _tm_hook(self, kind: EventType):
+    def _tm_hook(self, kind: EventType) -> "_TmEventHook":
         """A traffic-manager hook that fires ``kind`` data-plane events.
 
         Every architecture's TM transitions fire events; whether the
@@ -359,25 +400,7 @@ class SwitchBase:
         against the architecture description (baseline PSA suppresses
         all of them — the paper's motivating gap).
         """
-
-        def hook(tm_event) -> None:
-            bus = self.bus
-            if not self.description.supports(kind) and not bus._observers:
-                # Suppressed with nobody watching: only the counter is
-                # observable, so skip building the Event and its meta.
-                bus.suppressed[kind] += 1
-                return
-            meta = dict(tm_event.user_meta)
-            meta.setdefault("pkt_len", tm_event.pkt.total_len)
-            meta["port"] = tm_event.port
-            meta["queue_id"] = tm_event.queue_id
-            meta["qdepth_bytes"] = tm_event.queue_depth_bytes
-            meta["buffer_bytes"] = tm_event.buffer_occupancy_bytes
-            self.fire_event(
-                Event(kind=kind, time_ps=tm_event.time_ps, pkt=tm_event.pkt, meta=meta)
-            )
-
-        return hook
+        return _TmEventHook(self, kind)
 
     def _set_thread(self, thread: Optional[str]) -> None:
         program = self.program
@@ -387,6 +410,29 @@ class SwitchBase:
         if regs:
             for reg in regs:
                 reg.set_thread(thread)
+
+    # ------------------------------------------------------------------
+    # State introspection (checkpoint manifests and reports)
+    # ------------------------------------------------------------------
+    def state_stores(self) -> List[StateStore]:
+        """Every :class:`StateStore` this switch owns.
+
+        Covers the per-port link store plus the backing stores of every
+        stateful extern the loaded program declares (via each extern's
+        ``stores()`` method).  Subclasses extend this with
+        architecture-specific state.
+        """
+        stores: List[StateStore] = [self._link_up]
+        if self.program is not None:
+            for _attr, extern in self.program.externs():
+                stores_fn = getattr(extern, "stores", None)
+                if stores_fn is not None:
+                    stores.extend(stores_fn())
+        return stores
+
+    def state_summary(self) -> List[Dict[str, object]]:
+        """Manifest rows (:meth:`StateStore.describe`) for this switch."""
+        return [store.describe() for store in self.state_stores()]
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -12,7 +12,7 @@ close.
 from __future__ import annotations
 
 from sys import getrefcount
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.arch.base import SwitchBase
 from repro.arch.description import BASELINE_PSA, ArchitectureDescription
@@ -154,6 +154,24 @@ class BaselinePsaSwitch(SwitchBase):
 
     def _run_egress(self, pkt: Packet, meta: StandardMetadata) -> None:
         self._dispatch_packet_event(EventType.EGRESS_PACKET, pkt, meta)
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    def state_summary(self) -> List[Dict[str, object]]:
+        """Store manifest plus per-pipeline throughput rows."""
+        rows = super().state_summary()
+        for pipeline in (self.ingress_pipeline, self.egress_pipeline):
+            rows.append(
+                {
+                    "name": pipeline.name,
+                    "kind": "pipeline",
+                    "size": pipeline.stage_count,
+                    "default": 0,
+                    "populated": pipeline.packets_processed,
+                }
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Event routing: baseline PSA has no non-packet event path

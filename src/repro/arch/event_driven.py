@@ -34,6 +34,14 @@ from repro.sim.kernel import Simulator
 from repro.tm.traffic_manager import TmEvent
 
 
+def _noop_control(pkt, meta) -> None:
+    """Placeholder control for accounting-only event pipelines.
+
+    A module-level function (not a lambda) so loaded switches stay
+    picklable for whole-simulator checkpoints.
+    """
+
+
 class LogicalEventSwitch(BaselinePsaSwitch):
     """Figure 2's logical architecture: one pipeline per event kind."""
 
@@ -59,7 +67,7 @@ class LogicalEventSwitch(BaselinePsaSwitch):
         self.event_pipelines = {
             kind: Pipeline(
                 f"{self.name}.{kind.value}",
-                lambda pkt, meta: None,
+                _noop_control,
                 stage_count=max(2, self.description.pipeline_stages // 2),
                 clock_mhz=self.description.clock_mhz,
             )

@@ -11,6 +11,7 @@ generator stream stands in for native timer events.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.packet.packet import Packet
@@ -49,7 +50,7 @@ class PacketGenerator:
         process = PeriodicProcess(
             self.sim,
             config.period_ps,
-            lambda: self._fire(config),
+            partial(self._fire, config),
             name=f"pktgen.{config.stream_id}",
         )
         self._streams[config.stream_id] = process

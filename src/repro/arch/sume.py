@@ -195,3 +195,36 @@ class SumeEventSwitch(SwitchBase):
     def _route_event(self, event: Event) -> None:
         """Bus subscriber: admitted events wait in the merger for a carrier."""
         self.merger.offer(event)
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    def state_summary(self) -> List[Dict[str, object]]:
+        """Store manifest plus the architecture's transient event state.
+
+        The merger's pending queues and the generator's configured
+        streams are switch state too — they travel inside checkpoints —
+        so they get manifest rows alongside the StateStores.
+        """
+        rows = super().state_summary()
+        rows.append(
+            {
+                "name": f"{self.name}.merger",
+                "kind": "merger",
+                "size": self.merger.queue_capacity,
+                "default": 0,
+                "populated": self.merger.pending_count,
+                "pending_by_kind": self.merger.export_pending(),
+            }
+        )
+        rows.append(
+            {
+                "name": f"{self.name}.generator",
+                "kind": "generator",
+                "size": len(self.generator.stream_ids),
+                "default": 0,
+                "populated": self.generator.generated_count,
+                "streams": self.generator.stream_ids,
+            }
+        )
+        return rows

@@ -15,6 +15,16 @@ Two observability subcommands instrument an experiment's event buses
     python -m repro.cli events-stats                   # counters + latency
     python -m repro.cli events-stats --source catalog
     python -m repro.cli events-trace --out events.jsonl --limit 5
+
+Long runs checkpoint mid-flight and resume in a fresh process (even on
+the other scheduler backend — event order is identical)::
+
+    python -m repro.cli checkpoint --ckpt mb.ckpt --at-ps 10000000000
+    python -m repro.cli resume --ckpt mb.ckpt --info
+    python -m repro.cli resume --ckpt mb.ckpt --scheduler wheel
+
+Benchmark sweeps are resumable too: ``bench --resume progress.json``
+skips benchmarks an interrupted sweep already recorded.
 """
 
 from __future__ import annotations
@@ -272,26 +282,107 @@ def run_bench(
     out: str = "",
     rounds: int = 5,
     workers: int = 1,
-    compare_to: str = "",
+    compare_to: List[str] = (),
     max_regression: float = 0.25,
+    resume_path: str = "",
 ) -> int:
     """Run the perf suite, write BENCH_<label>.json, gate on regressions."""
+    import os
+
     from repro.experiments import bench
 
-    data = bench.collect(label, rounds=rounds, workers=workers)
+    data = bench.collect(
+        label, rounds=rounds, workers=workers, progress_path=resume_path or None
+    )
     path = out or f"BENCH_{label}.json"
     bench.write_snapshot(data, path)
     _print(f"benchmark trajectory → {path}", bench.summary_rows(data))
-    if compare_to:
-        baseline = bench.read_snapshot(compare_to)
+    if resume_path and os.path.exists(resume_path) and resume_path != path:
+        os.remove(resume_path)  # sweep finished; progress file is spent
+    failed = False
+    for baseline_path in compare_to:
+        baseline = bench.read_snapshot(baseline_path)
         problems = bench.compare(baseline, data, max_regression=max_regression)
         if problems:
-            _print(f"REGRESSIONS vs {compare_to}", problems)
-            return 1
-        print(
-            f"\nno regressions vs {compare_to} "
-            f"(threshold {max_regression:.0%})"
+            _print(f"REGRESSIONS vs {baseline_path}", problems)
+            failed = True
+        else:
+            print(
+                f"\nno regressions vs {baseline_path} "
+                f"(threshold {max_regression:.0%})"
+            )
+    return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume subcommands
+# ----------------------------------------------------------------------
+def _header_rows(header: Dict) -> List[str]:
+    """Printable rows for a checkpoint header."""
+    rows = [
+        f"label={header.get('label') or '(none)'} "
+        f"version={header['version']} python={header.get('python')}",
+        f"scheduler={header['scheduler']} now={header['now_ps']}ps "
+        f"executed={header['events_executed']} pending={header['pending_events']}",
+    ]
+    stores = header.get("stores", [])
+    rows.append(f"{len(stores)} state store(s):")
+    for store in stores:
+        rows.append(
+            f"  {store['name']:<28} kind={store['kind']:<9} "
+            f"size={store['size']:>6} populated={store['populated']}"
         )
+    return rows
+
+
+def run_checkpoint(ckpt: str, at_ps: int, duration_ps: int) -> int:
+    """Run the §2 microburst experiment to --at-ps and checkpoint it."""
+    from repro.experiments.microburst_exp import prepare_event_driven
+    from repro.sim.checkpoint import save_checkpoint
+
+    if not 0 < at_ps < duration_ps:
+        print(
+            f"error: --at-ps must fall inside the run "
+            f"(0 < {at_ps} < {duration_ps})",
+            file=sys.stderr,
+        )
+        return 2
+    setup = prepare_event_driven(duration_ps=duration_ps)
+    setup.network.run(until_ps=at_ps)
+    header = save_checkpoint(
+        ckpt, setup.network.sim, state=setup, label="microburst-event-driven"
+    )
+    _print(f"checkpoint → {ckpt}", _header_rows(header))
+    print(f"\nresume with: python -m repro.cli resume --ckpt {ckpt}")
+    return 0
+
+
+def run_resume(ckpt: str, info: bool = False, scheduler: str = "") -> int:
+    """Resume a checkpointed microburst run (or --info: describe the file)."""
+    from repro.sim.checkpoint import inspect_checkpoint, load_checkpoint
+
+    if info:
+        _print(f"checkpoint {ckpt}", _header_rows(inspect_checkpoint(ckpt)))
+        return 0
+    from repro.experiments.microburst_exp import (
+        MicroburstSetup,
+        finish_event_driven,
+    )
+
+    sim, setup, header = load_checkpoint(ckpt, scheduler or None)
+    if not isinstance(setup, MicroburstSetup):
+        print(
+            f"error: {ckpt} holds {type(setup).__name__}, not a "
+            "MicroburstSetup (was it written by `repro.cli checkpoint`?)",
+            file=sys.stderr,
+        )
+        return 2
+    result = finish_event_driven(setup)
+    _print(
+        f"§2: microburst detection (resumed from {header['now_ps']}ps "
+        f"on {sim.scheduler})",
+        [result.summary_row()],
+    )
     return 0
 
 
@@ -318,7 +409,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "list", "events-stats", "events-trace", "bench"],
+        + ["all", "list", "events-stats", "events-trace", "bench",
+           "checkpoint", "resume"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
@@ -357,15 +449,52 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--compare",
-        default="",
+        action="append",
+        default=[],
         metavar="BENCH_JSON",
-        help="bench: baseline snapshot to gate against (non-zero exit on regression)",
+        help="bench: baseline snapshot(s) to gate against (repeatable; "
+        "non-zero exit on regression)",
     )
     parser.add_argument(
         "--max-regression",
         type=float,
         default=0.25,
         help="bench: allowed slowdown vs the baseline (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--resume",
+        default="",
+        metavar="PROGRESS_JSON",
+        help="bench: progress file making an interrupted sweep resumable",
+    )
+    parser.add_argument(
+        "--ckpt",
+        default="microburst.ckpt",
+        metavar="PATH",
+        help="checkpoint/resume: checkpoint file path",
+    )
+    parser.add_argument(
+        "--at-ps",
+        type=int,
+        default=10_000_000_000,  # 10 ms into the default 20 ms run
+        help="checkpoint: simulated time (ps) at which to snapshot",
+    )
+    parser.add_argument(
+        "--duration-ps",
+        type=int,
+        default=20_000_000_000,
+        help="checkpoint: total simulated duration (ps) of the run",
+    )
+    parser.add_argument(
+        "--info",
+        action="store_true",
+        help="resume: print the checkpoint header and exit",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("", "heap", "wheel"),
+        default="",
+        help="resume: re-backend the restored kernel (order is identical)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":
@@ -375,6 +504,8 @@ def main(argv: List[str] = None) -> int:
             ("events-stats", run_events_stats),
             ("events-trace", run_events_trace),
             ("bench", run_bench),
+            ("checkpoint", run_checkpoint),
+            ("resume", run_resume),
         ):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
         return 0
@@ -386,7 +517,12 @@ def main(argv: List[str] = None) -> int:
             workers=args.workers,
             compare_to=args.compare,
             max_regression=args.max_regression,
+            resume_path=args.resume,
         )
+    if args.experiment == "checkpoint":
+        return run_checkpoint(args.ckpt, args.at_ps, args.duration_ps)
+    if args.experiment == "resume":
+        return run_resume(args.ckpt, info=args.info, scheduler=args.scheduler)
     if args.experiment == "events-stats":
         run_events_stats(args.source)
         return 0

@@ -124,17 +124,65 @@ def _run_named_round(name: str) -> Tuple[float, int]:
     return BENCH_ROUNDS[name]()
 
 
-def collect(label: str, rounds: int = 5, workers: int = 1) -> Dict:
+def _snapshot(label: str, benchmarks: Dict[str, Dict]) -> Dict:
+    """Assemble the schema-1 snapshot dict around measured benchmarks."""
+    return {
+        "schema": 1,
+        "label": label,
+        "python": sys.version.split()[0],
+        "scheduler": os.environ.get(SCHEDULER_ENV) or "heap",
+        "benchmarks": benchmarks,
+    }
+
+
+def _load_progress(progress_path: Optional[str], label: str, rounds: int) -> Dict[str, Dict]:
+    """Benchmarks already recorded by an interrupted :func:`collect`.
+
+    A progress file is only trusted when its label, scheduler backend,
+    and per-benchmark round count match the current invocation — a
+    mismatched file is ignored, not an error, so stale progress can
+    never poison a sweep.
+    """
+    if not progress_path or not os.path.exists(progress_path):
+        return {}
+    try:
+        data = read_snapshot(progress_path)
+    except (OSError, ValueError):
+        return {}
+    if data.get("label") != label:
+        return {}
+    if data.get("scheduler") != (os.environ.get(SCHEDULER_ENV) or "heap"):
+        return {}
+    return {
+        name: entry
+        for name, entry in data.get("benchmarks", {}).items()
+        if name in BENCH_ROUNDS and entry.get("rounds") == rounds
+    }
+
+
+def collect(
+    label: str,
+    rounds: int = 5,
+    workers: int = 1,
+    progress_path: Optional[str] = None,
+) -> Dict:
     """Run every benchmark ``rounds`` times and build the snapshot dict.
 
     ``workers > 1`` fans rounds across processes via the parallel sweep
     runner — useful for many rounds on idle multi-core hosts; keep
     ``workers=1`` for timing fidelity on busy or single-core machines.
+
+    ``progress_path`` makes long sweeps resumable: the partial snapshot
+    is rewritten there after every completed benchmark, and benchmarks
+    already present in a matching progress file are skipped on the next
+    run (``repro bench --resume PATH``).
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
-    benchmarks: Dict[str, Dict] = {}
+    benchmarks: Dict[str, Dict] = _load_progress(progress_path, label, rounds)
     for name in sorted(BENCH_ROUNDS):
+        if name in benchmarks:
+            continue  # recorded before the interruption
         outcomes = run_points(_run_named_round, [name] * rounds, workers=workers)
         walls = [wall for wall, _events in outcomes]
         events = outcomes[0][1]
@@ -151,13 +199,9 @@ def collect(label: str, rounds: int = 5, workers: int = 1) -> Dict:
             entry["packets"] = SWITCH_PACKETS
             entry["pkts_per_sec"] = SWITCH_PACKETS / best
         benchmarks[name] = entry
-    return {
-        "schema": 1,
-        "label": label,
-        "python": sys.version.split()[0],
-        "scheduler": os.environ.get(SCHEDULER_ENV) or "heap",
-        "benchmarks": benchmarks,
-    }
+        if progress_path:
+            write_snapshot(_snapshot(label, benchmarks), progress_path)
+    return _snapshot(label, benchmarks)
 
 
 def write_snapshot(data: Dict, path: str) -> None:

@@ -125,12 +125,29 @@ def _evaluate(
     )
 
 
-def run_event_driven(
+@dataclass
+class MicroburstSetup:
+    """A built-but-unfinished event-driven microburst run.
+
+    Everything referenced here pickles, so an in-flight run can be
+    checkpointed (``Simulator.checkpoint(path, state=setup)``) and
+    finished later — possibly in a fresh process — with
+    :func:`finish_event_driven`.
+    """
+
+    network: object  # repro.net.network.Network
+    detector: MicroburstDetector
+    culprit: OnOffBurst
+    culprit_flow: FlowSpec
+    duration_ps: int
+
+
+def prepare_event_driven(
     duration_ps: int = 20 * MILLISECONDS,
     background_senders: int = 3,
     seed: int = 11,
-) -> MicroburstResult:
-    """The paper's detector on the SUME Event Switch."""
+) -> MicroburstSetup:
+    """Build the §2 event-driven run without advancing the clock."""
     network = build_dumbbell(
         make_sume_switch(queue_capacity_bytes=128 * 1024),
         senders=background_senders + 1,
@@ -147,15 +164,37 @@ def run_event_driven(
     culprit, culprit_flow = _drive_workload(
         network, background_senders, duration_ps, seed
     )
-    network.run(until_ps=duration_ps)
+    return MicroburstSetup(
+        network=network,
+        detector=detector,
+        culprit=culprit,
+        culprit_flow=culprit_flow,
+        duration_ps=duration_ps,
+    )
+
+
+def finish_event_driven(setup: MicroburstSetup) -> MicroburstResult:
+    """Run a prepared (or checkpoint-restored) setup to completion."""
+    setup.network.run(until_ps=setup.duration_ps)
     return _evaluate(
-        detector,
+        setup.detector,
         "event-driven",
         "sume-event-switch",
         "ingress",
-        culprit,
-        culprit_flow,
+        setup.culprit,
+        setup.culprit_flow,
         NUM_REGS,
+    )
+
+
+def run_event_driven(
+    duration_ps: int = 20 * MILLISECONDS,
+    background_senders: int = 3,
+    seed: int = 11,
+) -> MicroburstResult:
+    """The paper's detector on the SUME Event Switch."""
+    return finish_event_driven(
+        prepare_event_driven(duration_ps, background_senders, seed)
     )
 
 

@@ -19,6 +19,32 @@ from repro.packet.packet import Packet
 from repro.sim.kernel import Simulator
 
 
+class _SwitchTx:
+    """A switch's transmit callback: route to the link on that port.
+
+    A named class (not a closure) so a wired network stays picklable
+    for whole-simulator checkpoints.
+    """
+
+    __slots__ = ("network", "switch")
+
+    def __init__(self, network: "Network", switch: SwitchBase) -> None:
+        self.network = network
+        self.switch = switch
+
+    def __call__(self, pkt: Packet, port: int) -> None:
+        link = self.network._switch_port_links.get((self.switch.name, port))
+        if link is None:
+            return  # unconnected port: packet leaves the simulation
+        link.transmit_from(self.switch, pkt)
+
+    def __getstate__(self):
+        return (self.network, self.switch)
+
+    def __setstate__(self, state) -> None:
+        self.network, self.switch = state
+
+
 class Network:
     """A simulated network of switches, hosts, and links."""
 
@@ -38,7 +64,7 @@ class Network:
         if switch.name in self.switches:
             raise ValueError(f"duplicate switch name {switch.name!r}")
         self.switches[switch.name] = switch
-        switch.set_tx_callback(self._make_tx(switch))
+        switch.set_tx_callback(_SwitchTx(self, switch))
         return switch
 
     def add_host(self, host: Host) -> Host:
@@ -72,15 +98,6 @@ class Network:
             else:
                 raise TypeError(f"cannot connect node of type {type(node)}")
         return link
-
-    def _make_tx(self, switch: SwitchBase):
-        def tx(pkt: Packet, port: int) -> None:
-            link = self._switch_port_links.get((switch.name, port))
-            if link is None:
-                return  # unconnected port: packet leaves the simulation
-            link.transmit_from(switch, pkt)
-
-        return tx
 
     def _node_name(self, node) -> str:
         return getattr(node, "name", repr(node))

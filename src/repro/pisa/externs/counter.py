@@ -9,7 +9,9 @@ on baseline architectures — one of the paper's motivating gaps.
 from __future__ import annotations
 
 from enum import Enum
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+from repro.state.store import StateStore, make_store
 
 
 class CounterKind(Enum):
@@ -32,14 +34,15 @@ class Counter:
         size: int,
         kind: CounterKind = CounterKind.PACKETS_AND_BYTES,
         name: str = "counter",
+        backend: Optional[str] = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"counter size must be positive, got {size}")
         self.size = size
         self.kind = kind
         self.name = name
-        self._packets: List[int] = [0] * size
-        self._bytes: List[int] = [0] * size
+        self._packets = make_store(size, 0, backend, name=f"{name}.packets")
+        self._bytes = make_store(size, 0, backend, name=f"{name}.bytes")
 
     def count(self, index: int, nbytes: int = 0) -> None:
         """Data-plane increment of counter ``index``."""
@@ -62,20 +65,24 @@ class Counter:
 
     def read_all(self) -> List[Tuple[int, int]]:
         """Control-plane bulk read of all indices."""
-        return list(zip(self._packets, self._bytes))
+        return list(zip(self._packets.snapshot(), self._bytes.snapshot()))
 
     def clear(self) -> None:
         """Control-plane reset of all counters."""
-        self._packets = [0] * self.size
-        self._bytes = [0] * self.size
+        self._packets.fill(0)
+        self._bytes.fill(0)
 
     def total_packets(self) -> int:
         """Sum of the packet counts across all indices."""
-        return sum(self._packets)
+        return self._packets.sum_values()
 
     def total_bytes(self) -> int:
         """Sum of the byte counts across all indices."""
-        return sum(self._bytes)
+        return self._bytes.sum_values()
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._packets, self._bytes]
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, size={self.size}, kind={self.kind.value})"

@@ -10,9 +10,10 @@ emulation bench compares it against this fixed-function version.
 from __future__ import annotations
 
 from enum import Enum
-from typing import List
+from typing import List, Optional
 
 from repro.sim.units import SECONDS
+from repro.state.store import StateStore, make_store
 
 
 class MeterColor(Enum):
@@ -40,6 +41,7 @@ class Meter:
         cbs_bytes: int,
         ebs_bytes: int = 0,
         name: str = "meter",
+        backend: Optional[str] = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"meter size must be positive, got {size}")
@@ -54,9 +56,11 @@ class Meter:
         self.cbs_bytes = cbs_bytes
         self.ebs_bytes = ebs_bytes
         self.name = name
-        self._committed: List[float] = [float(cbs_bytes)] * size
-        self._excess: List[float] = [float(ebs_bytes)] * size
-        self._last_update_ps: List[int] = [0] * size
+        self._committed = make_store(
+            size, float(cbs_bytes), backend, name=f"{name}.committed"
+        )
+        self._excess = make_store(size, float(ebs_bytes), backend, name=f"{name}.excess")
+        self._last_update_ps = make_store(size, 0, backend, name=f"{name}.last_update")
 
     def execute(self, index: int, nbytes: int, now_ps: int) -> MeterColor:
         """Meter a packet of ``nbytes`` at simulated time ``now_ps``."""
@@ -91,6 +95,10 @@ class Meter:
         """Current committed-bucket level in bytes (after lazy refill)."""
         self._refill(index, now_ps)
         return self._committed[index]
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._committed, self._excess, self._last_update_ps]
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,6 @@ programmable scheduling policy.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -34,7 +33,9 @@ class PifoQueue(Generic[T]):
         self.capacity = capacity
         self.name = name
         self._heap: List[Tuple[int, int, T]] = []
-        self._seq = itertools.count()
+        # Plain int tie-breaker (not itertools.count: the queue must
+        # survive pickling for whole-simulator checkpoints).
+        self._seq = 0
         self.push_count = 0
         self.reject_count = 0
         self.evict_count = 0
@@ -62,10 +63,15 @@ class PifoQueue(Generic[T]):
                 return item
             evicted = self._evict_worst()
             self.evict_count += 1
-            heapq.heappush(self._heap, (rank, next(self._seq), item))
+            heapq.heappush(self._heap, (rank, self._next_seq(), item))
             return evicted
-        heapq.heappush(self._heap, (rank, next(self._seq), item))
+        heapq.heappush(self._heap, (rank, self._next_seq(), item))
         return None
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
 
     def pop(self) -> T:
         """Remove and return the minimum-rank item (FIFO among ties)."""
@@ -92,6 +98,10 @@ class PifoQueue(Generic[T]):
         while self._heap:
             items.append(self.pop())
         return items
+
+    def snapshot(self) -> List[T]:
+        """Items in pop order without mutating the queue."""
+        return [entry[2] for entry in sorted(self._heap)]
 
     def __repr__(self) -> str:
         return f"PifoQueue({self.name!r}, {len(self)}/{self.capacity})"

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.state.store import StateStore, make_store
+
 
 class Register:
     """A register array extern: ``size`` cells of ``width_bits`` each.
@@ -25,9 +27,19 @@ class Register:
     semantics.  Indices are range-checked; out-of-bounds access is a
     programming error and raises IndexError rather than silently
     aliasing.
+
+    Cells live in a :class:`repro.state.store.StateStore`; ``backend``
+    picks the representation (``dense`` by default, which keeps hot-path
+    indexing at raw-list cost).
     """
 
-    def __init__(self, size: int, width_bits: int = 32, name: str = "reg") -> None:
+    def __init__(
+        self,
+        size: int,
+        width_bits: int = 32,
+        name: str = "reg",
+        backend: Optional[str] = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"register size must be positive, got {size}")
         if width_bits <= 0:
@@ -36,7 +48,7 @@ class Register:
         self.width_bits = width_bits
         self.name = name
         self._mask = (1 << width_bits) - 1
-        self._cells: List[int] = [0] * size
+        self._cells = make_store(size, 0, backend, name=name)
         self.read_count = 0
         self.write_count = 0
 
@@ -80,18 +92,35 @@ class Register:
     def clear(self) -> None:
         """Reset every cell to zero (one write per cell)."""
         self.write_count += self.size
-        self._cells = [0] * self.size
+        self._cells.fill(0)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def peek(self, index: int) -> int:
+        """Read cell ``index`` without counting a hardware access.
+
+        For models and reports that need the value but must not perturb
+        the read/write accounting (e.g. the §4 aggregation drain).
+        """
+        self._check(index)
+        return self._cells[index]
+
     def snapshot(self) -> List[int]:
-        """A copy of all cells (for tests and reports; not an access)."""
-        return list(self._cells)
+        """All cells as a dense list (for tests and reports; not an access).
+
+        Delegates to the store: the dense and dict backends return a
+        fresh list, the shadowed backend a frozen shared one.
+        """
+        return self._cells.snapshot()
 
     def nonzero_count(self) -> int:
         """Number of cells holding a non-zero value."""
-        return sum(1 for v in self._cells if v)
+        return self._cells.nonzero_count()
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._cells]
 
     @property
     def state_bits(self) -> int:
@@ -125,8 +154,14 @@ class SharedRegister(Register):
     property baseline PISA architectures cannot offer.
     """
 
-    def __init__(self, size: int, width_bits: int = 32, name: str = "shared_reg") -> None:
-        super().__init__(size, width_bits, name)
+    def __init__(
+        self,
+        size: int,
+        width_bits: int = 32,
+        name: str = "shared_reg",
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(size, width_bits, name, backend=backend)
         self._thread: Optional[str] = None
         self.accesses_by_thread: Dict[str, int] = {}
 

@@ -9,9 +9,10 @@ plane resets it autonomously (paper §1, §3).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.packet.hashing import crc32, fold_hash
+from repro.state.store import StateStore, make_store
 
 
 class CountMinSketch:
@@ -22,7 +23,13 @@ class CountMinSketch:
     ≥ 1 − (1/2)^depth for total count N.
     """
 
-    def __init__(self, width: int, depth: int, name: str = "cms") -> None:
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        name: str = "cms",
+        backend: Optional[str] = None,
+    ) -> None:
         if width <= 0:
             raise ValueError(f"sketch width must be positive, got {width}")
         if depth <= 0:
@@ -30,7 +37,10 @@ class CountMinSketch:
         self.width = width
         self.depth = depth
         self.name = name
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        # One flat store of depth*width counters; row r occupies
+        # [r*width, (r+1)*width).  A flat layout means one manifest entry
+        # and one contiguous snapshot per sketch.
+        self._cells = make_store(width * depth, 0, backend, name=name)
         self.update_count = 0
 
     def _indices(self, key: bytes) -> List[int]:
@@ -44,8 +54,9 @@ class CountMinSketch:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         self.update_count += 1
+        width = self.width
         for row, idx in enumerate(self._indices(key)):
-            self._rows[row][idx] += count
+            self._cells[row * width + idx] += count
 
     def add_signed(self, key: bytes, delta: int) -> None:
         """Add a signed delta under ``key`` (occupancy-style usage).
@@ -57,26 +68,42 @@ class CountMinSketch:
         negative indicates misuse and raises.
         """
         self.update_count += 1
+        width = self.width
         for row, idx in enumerate(self._indices(key)):
-            new_value = self._rows[row][idx] + delta
+            flat = row * width + idx
+            new_value = self._cells[flat] + delta
             if new_value < 0:
                 raise ValueError(
                     f"sketch {self.name!r} cell went negative; add_signed "
                     f"requires non-negative per-key nets"
                 )
-            self._rows[row][idx] = new_value
+            self._cells[flat] = new_value
 
     def query(self, key: bytes) -> int:
         """Estimated count of ``key`` (never underestimates)."""
-        return min(self._rows[row][idx] for row, idx in enumerate(self._indices(key)))
+        width = self.width
+        return min(
+            self._cells[row * width + idx]
+            for row, idx in enumerate(self._indices(key))
+        )
 
     def clear(self) -> None:
         """Reset all counters (the paper's periodic reset operation)."""
-        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self._cells.fill(0)
+
+    def row(self, row: int) -> List[int]:
+        """Dense copy of one sketch row (for tests and reports)."""
+        if not 0 <= row < self.depth:
+            raise IndexError(f"sketch {self.name!r} row {row} out of range")
+        return self._cells.snapshot()[row * self.width : (row + 1) * self.width]
 
     def total(self) -> int:
         """Total count inserted since the last clear (row 0 sum)."""
-        return sum(self._rows[0])
+        return sum(self.row(0))
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._cells]
 
     @property
     def state_bits(self) -> int:
@@ -95,7 +122,13 @@ class CountMinSketch:
 class BloomFilter:
     """A Bloom filter over byte keys with ``hashes`` hash functions."""
 
-    def __init__(self, bits: int, hashes: int = 3, name: str = "bloom") -> None:
+    def __init__(
+        self,
+        bits: int,
+        hashes: int = 3,
+        name: str = "bloom",
+        backend: Optional[str] = None,
+    ) -> None:
         if bits <= 0:
             raise ValueError(f"filter size must be positive, got {bits}")
         if hashes <= 0:
@@ -103,7 +136,8 @@ class BloomFilter:
         self.bits = bits
         self.hashes = hashes
         self.name = name
-        self._bitset: List[bool] = [False] * bits
+        # Bits stored as 0/1 ints: sparse backends evict zero cells.
+        self._bitset = make_store(bits, 0, backend, name=name)
         self.insert_count = 0
 
     def _indices(self, key: bytes) -> List[int]:
@@ -118,7 +152,7 @@ class BloomFilter:
         """Add ``key`` to the set."""
         self.insert_count += 1
         for idx in self._indices(key):
-            self._bitset[idx] = True
+            self._bitset[idx] = 1
 
     def contains(self, key: bytes) -> bool:
         """Membership test; false positives possible, negatives exact."""
@@ -126,11 +160,15 @@ class BloomFilter:
 
     def clear(self) -> None:
         """Reset the filter."""
-        self._bitset = [False] * self.bits
+        self._bitset.fill(0)
 
     def fill_ratio(self) -> float:
         """Fraction of bits set (drives the false-positive rate)."""
-        return sum(self._bitset) / self.bits
+        return self._bitset.nonzero_count() / self.bits
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._bitset]
 
     def __repr__(self) -> str:
         return f"BloomFilter({self.name!r}, bits={self.bits}, hashes={self.hashes})"

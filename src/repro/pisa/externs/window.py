@@ -9,7 +9,9 @@ sum / mean / max over it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
+
+from repro.state.store import StateStore, make_store
 
 
 class ShiftRegister:
@@ -20,12 +22,14 @@ class ShiftRegister:
     all slots is then a moving-window total of the accumulated signal.
     """
 
-    def __init__(self, slots: int, name: str = "shift_reg") -> None:
+    def __init__(
+        self, slots: int, name: str = "shift_reg", backend: Optional[str] = None
+    ) -> None:
         if slots <= 0:
             raise ValueError(f"slot count must be positive, got {slots}")
         self.slots = slots
         self.name = name
-        self._values: List[int] = [0] * slots
+        self._values = make_store(slots, 0, backend, name=name)
         self.shift_count = 0
 
     def accumulate(self, amount: int) -> None:
@@ -35,25 +39,30 @@ class ShiftRegister:
     def shift(self) -> int:
         """Advance the window by one slot; returns the expired tail value."""
         self.shift_count += 1
-        expired = self._values[-1]
-        self._values = [0] + self._values[:-1]
+        values = self._values.snapshot()
+        expired = values[-1]
+        self._values.load([0] + values[:-1])
         return expired
 
     def window_sum(self) -> int:
         """Sum over all slots — the moving-window total."""
-        return sum(self._values)
+        return self._values.sum_values()
 
     def window_max(self) -> int:
         """Maximum slot value in the window."""
-        return max(self._values)
+        return self._values.max_value()
 
     def head(self) -> int:
         """The current (still-accumulating) slot value."""
         return self._values[0]
 
     def snapshot(self) -> List[int]:
-        """Copy of the slots, head first."""
-        return list(self._values)
+        """The slots as a dense list, head first (delegates to the store)."""
+        return self._values.snapshot()
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._values]
 
     @property
     def state_bits(self) -> int:
@@ -72,13 +81,21 @@ class SlidingWindow:
     event, and read rates as window-sum / window-duration.
     """
 
-    def __init__(self, size: int, slots: int, name: str = "windows") -> None:
+    def __init__(
+        self,
+        size: int,
+        slots: int,
+        name: str = "windows",
+        backend: Optional[str] = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"window array size must be positive, got {size}")
         self.size = size
         self.slots = slots
         self.name = name
-        self._windows = [ShiftRegister(slots, f"{name}[{i}]") for i in range(size)]
+        self._windows = [
+            ShiftRegister(slots, f"{name}[{i}]", backend=backend) for i in range(size)
+        ]
 
     def accumulate(self, index: int, amount: int) -> None:
         """Add ``amount`` to window ``index``'s head slot."""
@@ -113,6 +130,10 @@ class SlidingWindow:
     def state_bits(self) -> int:
         """Total footprint across all windows."""
         return self.size * self.slots * 32
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores of every window (manifest/checkpoint)."""
+        return [store for window in self._windows for store in window.stores()]
 
     def __repr__(self) -> str:
         return f"SlidingWindow({self.name!r}, size={self.size}, slots={self.slots})"

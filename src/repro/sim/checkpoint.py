@@ -1,0 +1,139 @@
+"""Whole-simulator checkpoint/restore.
+
+A checkpoint captures everything a deterministic resume needs:
+
+* the scheduler queue contents (both the ``heap`` and ``wheel``
+  backends export the same portable, (time, priority, seqno)-sorted
+  event list — see ``Simulator._export_state``),
+* the kernel clock, seqno counter, and executed-event count, so the
+  resumed total order continues exactly where it stopped,
+* the experiment object graph handed in as ``state`` — switches,
+  programs, hosts, links — which transitively pickles every
+  :class:`repro.state.store.StateStore` (extern cells, link state) and
+  every :class:`repro.sim.rng.SeededRng` (``random.Random`` pickles
+  with its Mersenne state), and
+* a manifest of live StateStores (extern metadata) for inspection
+  without loading the payload.
+
+On-disk format (version 1): two consecutive pickle frames in one file.
+Frame one is a small JSON-able **header** dict — magic, version,
+scheduler backend, clock, event counts, store manifest — so
+:func:`inspect_checkpoint` can describe a file without unpickling the
+full object graph.  Frame two is the **payload**:
+``{"sim": Simulator, "state": <user object>}``.
+
+What is deliberately *not* captured: execution observers (process-local
+instrumentation; re-attach after restore), cancelled tombstones and
+free-list shells (performance artifacts), and module-level id counters
+(packet/event ids restart in a fresh process — they are cosmetic labels
+and do not participate in event ordering).
+
+Checkpoints are Python pickles: load them only from trusted sources,
+and prefer the same interpreter version that wrote them.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "inspect_checkpoint",
+]
+
+#: Format marker in the header frame.
+CHECKPOINT_MAGIC = "repro-checkpoint"
+
+#: Current on-disk format version.
+CHECKPOINT_VERSION = 1
+
+#: Pickle protocol used for both frames (supported since Python 3.4).
+_PICKLE_PROTOCOL = 4
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unreadable, foreign, or future-versioned checkpoints."""
+
+
+def save_checkpoint(
+    path: str,
+    sim: Simulator,
+    state: Any = None,
+    label: str = "",
+) -> Dict[str, Any]:
+    """Write ``sim`` (and the experiment ``state`` riding along) to ``path``.
+
+    Returns the header dict that was written.
+    """
+    from repro.state.store import store_manifest
+
+    header: Dict[str, Any] = {
+        "format": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "label": label,
+        "python": sys.version.split()[0],
+        "scheduler": sim.scheduler,
+        "now_ps": sim.now_ps,
+        "events_executed": sim.events_executed,
+        "pending_events": sim.pending_events,
+        "stores": store_manifest(),
+    }
+    payload = {"sim": sim, "state": state}
+    with open(path, "wb") as fh:
+        pickle.dump(header, fh, protocol=_PICKLE_PROTOCOL)
+        pickle.dump(payload, fh, protocol=_PICKLE_PROTOCOL)
+    return header
+
+
+def _read_header(fh) -> Dict[str, Any]:
+    try:
+        header = pickle.load(fh)
+    except Exception as exc:
+        raise CheckpointError(f"not a repro checkpoint: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_MAGIC:
+        raise CheckpointError("not a repro checkpoint (bad magic)")
+    version = header.get("version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} is newer than supported "
+            f"version {CHECKPOINT_VERSION}"
+        )
+    return header
+
+
+def inspect_checkpoint(path: str) -> Dict[str, Any]:
+    """Read only the header frame: cheap metadata, no object graph."""
+    with open(path, "rb") as fh:
+        return _read_header(fh)
+
+
+def load_checkpoint(
+    path: str, scheduler: Optional[str] = None
+) -> Tuple[Simulator, Any, Dict[str, Any]]:
+    """Load a checkpoint; returns ``(sim, state, header)``.
+
+    ``scheduler`` optionally re-backends the restored kernel via
+    :meth:`Simulator.set_scheduler` — event order is identical across
+    backends, so a heap checkpoint resumes byte-identically on the
+    wheel and vice versa.
+    """
+    with open(path, "rb") as fh:
+        header = _read_header(fh)
+        try:
+            payload = pickle.load(fh)
+        except Exception as exc:
+            raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
+    sim = payload.get("sim")
+    if not isinstance(sim, Simulator):
+        raise CheckpointError("checkpoint payload holds no Simulator")
+    if scheduler is not None:
+        sim.set_scheduler(scheduler)
+    return sim, payload.get("state"), header

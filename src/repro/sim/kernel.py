@@ -338,7 +338,41 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
         executed_total = 0
         cancelled = 0
 
-    return call_at, call_after, note_cancel, drain, peek, set_now, reset_state
+    def export_state():
+        # Portable snapshot: (now, seqno, executed, live events sorted by
+        # the total (time, priority, seqno) order).  Tombstones and the
+        # free-list are deliberately dropped — they are performance
+        # artifacts, not simulation state.
+        events = sorted(ev for ev in queue if not ev[5])
+        return (now, seqno, executed_total, events)
+
+    def import_state(time_ps, seq, executed, events) -> None:
+        # Inverse of export_state, replacing all kernel state.  The
+        # imported list is (time, priority, seqno)-sorted, which is a
+        # valid binary heap as-is.
+        nonlocal now, seqno, executed_total, cancelled
+        for ev in queue:
+            ev[6] = None
+        queue[:] = list(events)
+        for ev in queue:
+            ev[6] = sim
+        free.clear()
+        now = time_ps
+        seqno = seq
+        executed_total = executed
+        cancelled = 0
+
+    return (
+        call_at,
+        call_after,
+        note_cancel,
+        drain,
+        peek,
+        set_now,
+        reset_state,
+        export_state,
+        import_state,
+    )
 
 
 def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
@@ -576,7 +610,60 @@ def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
         executed_total = 0
         cancelled = 0
 
-    return call_at, call_after, note_cancel, drain, peek, set_now, reset_state
+    def export_state():
+        # Same contract as the heap backend.  The unexecuted tail of a
+        # live drain window is included defensively, although pickling
+        # mid-run is refused at the Simulator level.
+        events = [
+            ev for bucket in buckets.values() for ev in bucket if not ev[5]
+        ]
+        if drain_list is not None:
+            events.extend(ev for ev in drain_list[drain_pos:] if not ev[5])
+        events.sort()
+        return (now, seqno, executed_total, events)
+
+    def import_state(time_ps, seq, executed, events) -> None:
+        nonlocal now, seqno, executed_total, cancelled, wheel_count
+        nonlocal drain_time, drain_list, drain_pos
+        for bucket in buckets.values():
+            for ev in bucket:
+                ev[6] = None
+        buckets.clear()
+        times.clear()
+        free.clear()
+        # Events arrive (time, priority, seqno)-sorted, so each bucket
+        # fills in (priority, seqno) order; the drain's stable priority
+        # sort then reproduces exactly the heap backend's total order.
+        for ev in events:
+            ev[6] = sim
+            time_key = ev[0]
+            bucket = buckets.get(time_key)
+            if bucket is None:
+                buckets[time_key] = [ev]
+            else:
+                bucket.append(ev)
+        times[:] = list(buckets)
+        heapify(times)
+        wheel_count = len(events)
+        drain_time = -1
+        drain_list = None
+        drain_pos = 0
+        now = time_ps
+        seqno = seq
+        executed_total = executed
+        cancelled = 0
+
+    return (
+        call_at,
+        call_after,
+        note_cancel,
+        drain,
+        peek,
+        set_now,
+        reset_state,
+        export_state,
+        import_state,
+    )
 
 
 class Simulator:
@@ -619,6 +706,8 @@ class Simulator:
         "_peek",
         "_set_now",
         "_reset_state",
+        "_export_state",
+        "_import_state",
         "_running",
         "_exec_observers",
     )
@@ -634,7 +723,11 @@ class Simulator:
         self.scheduler = scheduler
         self._running = False
         self._exec_observers: List[Callable[[ScheduledEvent], None]] = []
-        build = _build_wheel_core if scheduler == "wheel" else _build_heap_core
+        self._bind_core()
+
+    def _bind_core(self) -> None:
+        """(Re)build the backend closures for the current ``scheduler``."""
+        build = _build_wheel_core if self.scheduler == "wheel" else _build_heap_core
         (
             self.call_at,
             self.call_after,
@@ -643,6 +736,8 @@ class Simulator:
             self._peek,
             self._set_now,
             self._reset_state,
+            self._export_state,
+            self._import_state,
         ) = build(self, self._exec_observers, self.COMPACTION_FLOOR)
 
     # ------------------------------------------------------------------
@@ -735,6 +830,88 @@ class Simulator:
         """
         self._reset_state()
         self._exec_observers.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def set_scheduler(self, scheduler: str) -> None:
+        """Switch the queue backend in place, preserving all state.
+
+        Pending events, the clock, the seqno counter, and the executed
+        count migrate, so the run continues with exactly the same
+        (time, priority, seqno) total order.  Execution observers stay
+        attached.  Used by :meth:`restore` to re-backend a checkpoint.
+        """
+        if scheduler not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick one of "
+                f"{SCHEDULER_BACKENDS}"
+            )
+        if self._running:
+            raise SimulationError("cannot switch scheduler while running")
+        if scheduler == self.scheduler:
+            return
+        now, seqno, executed, events = self._export_state()
+        self.scheduler = scheduler
+        self._bind_core()
+        self._import_state(now, seqno, executed, events)
+
+    def __getstate__(self) -> dict:
+        """Pickle support: export the portable kernel state.
+
+        Execution observers are *not* captured (they are process-local
+        instrumentation, often closures); re-attach after restoring.
+        Pickling a running simulator is refused — a checkpoint taken
+        mid-callback could not be resumed faithfully because the rest of
+        the callback's effects would be missing.
+        """
+        if self._running:
+            raise SimulationError("cannot pickle a running simulator")
+        now, seqno, executed, events = self._export_state()
+        return {
+            "scheduler": self.scheduler,
+            "now_ps": now,
+            "seqno": seqno,
+            "events_executed": executed,
+            "events": events,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.scheduler = state["scheduler"]
+        self._running = False
+        self._exec_observers = []
+        self._bind_core()
+        self._import_state(
+            state["now_ps"],
+            state["seqno"],
+            state["events_executed"],
+            state["events"],
+        )
+
+    def checkpoint(self, path: str, state: Any = None, label: str = "") -> dict:
+        """Write a whole-simulator checkpoint to ``path``.
+
+        ``state`` is an arbitrary picklable object stored alongside the
+        simulator (an experiment's topology/handles); :meth:`restore`
+        returns it.  See :mod:`repro.sim.checkpoint` for the format.
+        Returns the checkpoint header (a JSON-able dict).
+        """
+        from repro.sim.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self, state=state, label=label)
+
+    @classmethod
+    def restore(cls, path: str, scheduler: Optional[str] = None) -> tuple:
+        """Load a checkpoint written by :meth:`checkpoint`.
+
+        Returns ``(simulator, state)``.  ``scheduler`` optionally
+        re-backends the restored kernel (checkpoints are portable across
+        the heap and wheel backends).
+        """
+        from repro.sim.checkpoint import load_checkpoint
+
+        sim, state, _header = load_checkpoint(path, scheduler=scheduler)
+        return sim, state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         now, _, executed, pending, _, _ = self._peek()

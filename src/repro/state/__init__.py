@@ -20,35 +20,52 @@ register file, the staleness tracker, and a clock-cycle pipeline
 simulator that the Figure 3 / staleness benches drive.
 """
 
-from repro.state.memory import MemoryPortModel, PortConflictError
-from repro.state.aggregation import AggregationRegisterFile, PendingOp
-from repro.state.staleness import StalenessTracker, StalenessReport
-from repro.state.cyclesim import CyclePipelineSim, CycleSimConfig, CycleSimResult
-from repro.state.consistency import (
-    ContentionResult,
-    DelayedRmwRegister,
-    run_contention,
-)
-from repro.state.replication import (
-    MultiPipeResult,
-    ReplicatedRegister,
-    run_multipipe,
-)
+# Re-exports are lazy (PEP 562): the stateful models below import the
+# low-level ``repro.state.store`` module, and the PISA externs import it
+# too — an eager package __init__ would make ``repro.state`` and
+# ``repro.pisa.externs`` mutually recursive.  Lazy loading keeps
+# ``import repro.state.store`` dependency-free from either direction.
+_EXPORTS = {
+    "MemoryPortModel": "repro.state.memory",
+    "PortConflictError": "repro.state.memory",
+    "AggregationRegisterFile": "repro.state.aggregation",
+    "PendingOp": "repro.state.aggregation",
+    "StalenessTracker": "repro.state.staleness",
+    "StalenessReport": "repro.state.staleness",
+    "CyclePipelineSim": "repro.state.cyclesim",
+    "CycleSimConfig": "repro.state.cyclesim",
+    "CycleSimResult": "repro.state.cyclesim",
+    "DelayedRmwRegister": "repro.state.consistency",
+    "ContentionResult": "repro.state.consistency",
+    "run_contention": "repro.state.consistency",
+    "ReplicatedRegister": "repro.state.replication",
+    "MultiPipeResult": "repro.state.replication",
+    "run_multipipe": "repro.state.replication",
+    "StateStore": "repro.state.store",
+    "DenseStore": "repro.state.store",
+    "DictStore": "repro.state.store",
+    "ShadowStore": "repro.state.store",
+    "make_store": "repro.state.store",
+    "registered_stores": "repro.state.store",
+    "store_manifest": "repro.state.store",
+    "STORE_BACKENDS": "repro.state.store",
+    "STORE_ENV": "repro.state.store",
+}
 
-__all__ = [
-    "MemoryPortModel",
-    "PortConflictError",
-    "AggregationRegisterFile",
-    "PendingOp",
-    "StalenessTracker",
-    "StalenessReport",
-    "CyclePipelineSim",
-    "CycleSimConfig",
-    "CycleSimResult",
-    "DelayedRmwRegister",
-    "ContentionResult",
-    "run_contention",
-    "ReplicatedRegister",
-    "MultiPipeResult",
-    "run_multipipe",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

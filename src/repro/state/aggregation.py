@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.pisa.externs.register import Register
 from repro.state.memory import MemoryPortModel
+from repro.state.store import StateStore, make_store
 
 
 @dataclass
@@ -86,7 +87,7 @@ class AggregationRegisterFile:
         # Dirty indices in first-touch order (index -> cycle first touched).
         self._dirty: "OrderedDict[int, int]" = OrderedDict()
         # Ground truth for staleness measurement (not a hardware array).
-        self._truth: List[int] = [0] * size
+        self._truth = make_store(size, 0, name="truth")
         self.drained_indices = 0
         self.total_drain_lag_cycles = 0
         self.max_drain_lag_cycles = 0
@@ -137,8 +138,8 @@ class AggregationRegisterFile:
         drained = 0
         while drained < max_indices and self._dirty:
             index, first_touch = self._pick_dirty()
-            add = self.enq_agg.register.snapshot()[index]
-            sub = self.deq_agg.register.snapshot()[index]
+            add = self.enq_agg.peek(index)
+            sub = self.deq_agg.peek(index)
             self.enq_agg.write(cycle, index, 0)
             self.deq_agg.write(cycle, index, 0)
             self.main.add(cycle, index, add - sub)
@@ -157,9 +158,9 @@ class AggregationRegisterFile:
             return self._dirty.popitem(last=True)
         # "largest": the index with the biggest absolute pending delta —
         # prioritizes the most-wrong entries (§4's "most important").
-        enq = self.enq_agg.register.snapshot()
-        deq = self.deq_agg.register.snapshot()
-        index = max(self._dirty, key=lambda i: abs(enq[i] - deq[i]))
+        # Dirty sets are small, so per-index peeks beat full snapshots.
+        enq, deq = self.enq_agg, self.deq_agg
+        index = max(self._dirty, key=lambda i: abs(enq.peek(i) - deq.peek(i)))
         first_touch = self._dirty.pop(index)
         return index, first_touch
 
@@ -178,12 +179,21 @@ class AggregationRegisterFile:
 
     def staleness(self, index: int) -> int:
         """Absolute error of the main register vs. truth at ``index``."""
-        return abs(self.truth(index) - self.main.register.snapshot()[index])
+        return abs(self.truth(index) - self.main.peek(index))
 
     def max_staleness(self) -> int:
         """Worst-case absolute error across all entries."""
         snapshot = self.main.register.snapshot()
-        return max(abs(t - m) for t, m in zip(self._truth, snapshot))
+        return max(abs(t - m) for t, m in zip(self._truth.snapshot(), snapshot))
+
+    def stores(self) -> List[StateStore]:
+        """All backing stores of the file (main, aggregations, truth)."""
+        return [
+            *self.main.stores(),
+            *self.enq_agg.stores(),
+            *self.deq_agg.stores(),
+            self._truth,
+        ]
 
     def mean_drain_lag_cycles(self) -> float:
         """Mean cycles an index stayed dirty before draining."""

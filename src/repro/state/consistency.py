@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.rng import SeededRng
+from repro.state.store import StateStore, make_store
 
 
 class DelayedRmwRegister:
@@ -43,7 +44,13 @@ class DelayedRmwRegister:
     commit that clobbered a concurrent one.
     """
 
-    def __init__(self, size: int, latency_cycles: int, name: str = "delayed") -> None:
+    def __init__(
+        self,
+        size: int,
+        latency_cycles: int,
+        name: str = "delayed",
+        backend: Optional[str] = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         if latency_cycles < 0:
@@ -51,10 +58,10 @@ class DelayedRmwRegister:
         self.size = size
         self.latency_cycles = latency_cycles
         self.name = name
-        self._cells: List[int] = [0] * size
+        self._cells = make_store(size, 0, backend, name=f"{name}.cells")
         # Pending: (commit_cycle, read_cycle, index, new_value)
         self._pending: List[Tuple[int, int, int, int]] = []
-        self._last_commit: List[int] = [-1] * size
+        self._last_commit = make_store(size, -1, backend, name=f"{name}.last_commit")
         self.issued = 0
         self.interference_commits = 0
 
@@ -92,12 +99,16 @@ class DelayedRmwRegister:
         self._last_commit[index] = commit_cycle
 
     def snapshot(self) -> List[int]:
-        """Committed cell values."""
-        return list(self._cells)
+        """Committed cell values (delegates to the store)."""
+        return self._cells.snapshot()
 
     def total(self) -> int:
         """Sum over all cells."""
-        return sum(self._cells)
+        return self._cells.sum_values()
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._cells, self._last_commit]
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.size:

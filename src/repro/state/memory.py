@@ -15,9 +15,10 @@ for "what if we had just used one array for everything").
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.pisa.externs.register import Register
+from repro.state.store import StateStore
 
 
 class PortConflictError(RuntimeError):
@@ -81,6 +82,18 @@ class MemoryPortModel:
         """Read-modify-write through one port at ``cycle``."""
         self._account(cycle)
         return self.register.add(index, delta)
+
+    def peek(self, index: int) -> int:
+        """Read without consuming a port (models/reports only).
+
+        Hardware has no free reads; this exists so staleness probes and
+        the idle-cycle drain bookkeeping don't distort the port counts.
+        """
+        return self.register.peek(index)
+
+    def stores(self) -> List[StateStore]:
+        """The wrapped register's backing stores."""
+        return self.register.stores()
 
     def report(self) -> Dict[str, int]:
         """Port-usage summary."""

@@ -26,12 +26,24 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sim.rng import SeededRng
+from repro.state.store import StateStore, make_store
 
 
 class ReplicatedRegister:
-    """One logical register array replicated across K pipelines."""
+    """One logical register array replicated across K pipelines.
 
-    def __init__(self, replicas: int, size: int, name: str = "replicated") -> None:
+    The base copy and each replica's delta are :class:`StateStore`
+    instances; delta arrays are a natural fit for the sparse ``dict``
+    backend since flows touch few indices between syncs.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        size: int,
+        name: str = "replicated",
+        backend: Optional[str] = None,
+    ) -> None:
         if replicas <= 0:
             raise ValueError(f"replica count must be positive, got {replicas}")
         if size <= 0:
@@ -39,8 +51,11 @@ class ReplicatedRegister:
         self.replicas = replicas
         self.size = size
         self.name = name
-        self._base: List[int] = [0] * size
-        self._delta: List[List[int]] = [[0] * size for _ in range(replicas)]
+        self._base = make_store(size, 0, backend, name=f"{name}.base")
+        self._delta = [
+            make_store(size, 0, backend, name=f"{name}.delta[{i}]")
+            for i in range(replicas)
+        ]
         self.syncs = 0
         self.entries_synced = 0
 
@@ -98,6 +113,10 @@ class ReplicatedRegister:
             raise IndexError(f"replica {replica} out of range [0, {self.replicas})")
         if not 0 <= index < self.size:
             raise IndexError(f"index {index} out of range [0, {self.size})")
+
+    def stores(self) -> List[StateStore]:
+        """The backing stores (for checkpoints and state manifests)."""
+        return [self._base, *self._delta]
 
     def __repr__(self) -> str:
         return (

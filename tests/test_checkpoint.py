@@ -1,0 +1,266 @@
+"""Checkpoint/restore: determinism across processes and scheduler backends.
+
+Satellite guarantees under test:
+
+* a restored kernel replays a byte-identical ``(time, priority, seqno)``
+  execution trace, on both the ``heap`` and ``wheel`` backends and in
+  every cross-backend combination (checkpoint on one, resume on the
+  other),
+* a microburst run checkpointed mid-simulation and resumed in a
+  **fresh process** reaches the same final extern state, detections,
+  and event counts as the uninterrupted run.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    inspect_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.sim.kernel import SCHEDULER_BACKENDS, SimulationError, Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+class Ticker:
+    """A self-rescheduling callback that pickles inside checkpoints."""
+
+    def __init__(self, period_ps: int, priority: int, tag: str) -> None:
+        self.period_ps = period_ps
+        self.priority = priority
+        self.tag = tag
+        self.fired = []
+        self.sim = None
+
+    def start(self, sim: Simulator) -> None:
+        self.sim = sim
+        sim.call_at(self.period_ps, self, priority=self.priority)
+
+    def __call__(self) -> None:
+        self.fired.append((self.sim.now_ps, self.tag))
+        self.sim.call_after(self.period_ps, self, priority=self.priority)
+
+
+class TraceRecorder:
+    """Execution observer recording the exact (time, priority, seqno) order."""
+
+    def __init__(self) -> None:
+        self.records = []
+
+    def __call__(self, event) -> None:
+        self.records.append((event[0], event[1], event[2]))
+
+
+def _build(scheduler: str):
+    sim = Simulator(scheduler=scheduler)
+    # Colliding times and priorities so the total order is non-trivial.
+    tickers = [
+        Ticker(30, priority=0, tag="a"),
+        Ticker(30, priority=-1, tag="urgent"),
+        Ticker(70, priority=0, tag="b"),
+        Ticker(1, priority=5, tag="background"),
+    ]
+    for ticker in tickers:
+        ticker.start(sim)
+    return sim, tickers
+
+
+@pytest.mark.parametrize("src_backend", SCHEDULER_BACKENDS)
+@pytest.mark.parametrize("dst_backend", SCHEDULER_BACKENDS)
+def test_restored_trace_identical_across_backends(tmp_path, src_backend, dst_backend):
+    path = str(tmp_path / "kernel.ckpt")
+    sim, tickers = _build(src_backend)
+    sim.run(until_ps=500)
+    save_checkpoint(path, sim, state=tickers)
+
+    # Finish the original with the trace recorder attached.
+    recorder = TraceRecorder()
+    sim.add_execution_observer(recorder)
+    sim.run(until_ps=2_000)
+
+    # Restore (possibly onto the other backend) and finish that copy.
+    sim2, tickers2, header = load_checkpoint(path, scheduler=dst_backend)
+    assert header["scheduler"] == src_backend
+    assert sim2.scheduler == dst_backend
+    recorder2 = TraceRecorder()
+    sim2.add_execution_observer(recorder2)
+    sim2.run(until_ps=2_000)
+
+    assert recorder2.records == recorder.records  # byte-identical total order
+    assert sim2.now_ps == sim.now_ps
+    assert sim2.events_executed == sim.events_executed
+    for orig, rest in zip(tickers, tickers2):
+        assert rest.fired == orig.fired
+        assert rest.tag == orig.tag
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_restore_matches_uninterrupted_run(tmp_path, backend):
+    path = str(tmp_path / "kernel.ckpt")
+    sim, tickers = _build(backend)
+    sim.run(until_ps=333)
+    save_checkpoint(path, sim, state=tickers)
+    _sim2, tickers2, _header = load_checkpoint(path)
+    for t in tickers2:
+        t.sim.run(until_ps=1_000)
+        break
+
+    # A never-interrupted reference run over the same horizon.
+    ref_sim, ref_tickers = _build(backend)
+    ref_sim.run(until_ps=1_000)
+    for restored, ref in zip(tickers2, ref_tickers):
+        assert restored.fired == ref.fired
+
+
+def test_header_contents_and_inspect(tmp_path):
+    path = str(tmp_path / "kernel.ckpt")
+    sim, tickers = _build("heap")
+    sim.run(until_ps=100)
+    written = save_checkpoint(path, sim, state=tickers, label="probe")
+    header = inspect_checkpoint(path)
+    assert header == written
+    assert header["format"] == CHECKPOINT_MAGIC
+    assert header["version"] == CHECKPOINT_VERSION
+    assert header["label"] == "probe"
+    assert header["scheduler"] == "heap"
+    assert header["now_ps"] == sim.now_ps
+    assert header["events_executed"] == sim.events_executed
+    assert header["pending_events"] == sim.pending_events
+
+
+def test_rejects_foreign_and_future_files(tmp_path):
+    garbage = tmp_path / "garbage.ckpt"
+    garbage.write_bytes(b"not a pickle at all")
+    with pytest.raises(CheckpointError):
+        inspect_checkpoint(str(garbage))
+
+    wrong_magic = tmp_path / "magic.ckpt"
+    with open(wrong_magic, "wb") as fh:
+        pickle.dump({"format": "something-else"}, fh)
+    with pytest.raises(CheckpointError, match="bad magic"):
+        inspect_checkpoint(str(wrong_magic))
+
+    future = tmp_path / "future.ckpt"
+    with open(future, "wb") as fh:
+        pickle.dump(
+            {"format": CHECKPOINT_MAGIC, "version": CHECKPOINT_VERSION + 1}, fh
+        )
+    with pytest.raises(CheckpointError, match="newer"):
+        inspect_checkpoint(str(future))
+
+
+def test_cannot_pickle_running_simulator():
+    sim = Simulator()
+    failures = []
+
+    def try_pickle() -> None:
+        try:
+            pickle.dumps(sim)
+        except SimulationError as exc:
+            failures.append(str(exc))
+
+    sim.call_at(10, try_pickle)
+    sim.run()
+    assert failures and "running" in failures[0]
+
+
+def test_set_scheduler_preserves_order_mid_run():
+    sim, tickers = _build("heap")
+    sim.run(until_ps=500)
+    sim.set_scheduler("wheel")
+    assert sim.scheduler == "wheel"
+    sim.run(until_ps=1_500)
+
+    ref_sim, ref_tickers = _build("heap")
+    ref_sim.run(until_ps=1_500)
+    for switched, ref in zip(tickers, ref_tickers):
+        assert switched.fired == ref.fired
+
+
+# ----------------------------------------------------------------------
+# Fresh-process microburst resume (the ISSUE's acceptance demo)
+# ----------------------------------------------------------------------
+_PHASE1 = """
+import json, sys
+from repro.experiments.microburst_exp import prepare_event_driven
+from repro.sim.checkpoint import save_checkpoint
+from repro.sim.units import MILLISECONDS
+
+setup = prepare_event_driven(duration_ps=6 * MILLISECONDS)
+setup.network.run(until_ps=3 * MILLISECONDS)
+header = save_checkpoint(sys.argv[1], setup.network.sim, state=setup)
+print(json.dumps({"now_ps": header["now_ps"]}))
+"""
+
+_PHASE2 = """
+import json, sys
+from repro.sim.checkpoint import load_checkpoint
+from repro.experiments.microburst_exp import finish_event_driven
+
+sim, setup, header = load_checkpoint(sys.argv[1])
+result = finish_event_driven(setup)
+print(json.dumps({
+    "now_ps": setup.network.sim.now_ps,
+    "events_executed": setup.network.sim.events_executed,
+    "detections": result.detections_total,
+    "caught": result.culprit_detected,
+    "latency_ps": result.detection_latency_ps,
+    "bursts": result.bursts_sent,
+    "state_sum": sum(setup.detector.flow_buf_size.snapshot()),
+    "state": setup.detector.flow_buf_size.snapshot(),
+}))
+"""
+
+_UNINTERRUPTED = """
+import json
+from repro.experiments.microburst_exp import finish_event_driven, prepare_event_driven
+from repro.sim.units import MILLISECONDS
+
+setup = prepare_event_driven(duration_ps=6 * MILLISECONDS)
+result = finish_event_driven(setup)
+print(json.dumps({
+    "now_ps": setup.network.sim.now_ps,
+    "events_executed": setup.network.sim.events_executed,
+    "detections": result.detections_total,
+    "caught": result.culprit_detected,
+    "latency_ps": result.detection_latency_ps,
+    "bursts": result.bursts_sent,
+    "state_sum": sum(setup.detector.flow_buf_size.snapshot()),
+    "state": setup.detector.flow_buf_size.snapshot(),
+}))
+"""
+
+
+def _run_snippet(code: str, args, scheduler: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_SIM_SCHEDULER"] = scheduler
+    proc = subprocess.run(
+        [sys.executable, "-c", code, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_BACKENDS)
+def test_microburst_resumes_identically_in_fresh_process(tmp_path, scheduler):
+    ckpt = str(tmp_path / "mb.ckpt")
+    _run_snippet(_PHASE1, [ckpt], scheduler)
+    resumed = _run_snippet(_PHASE2, [ckpt], scheduler)
+    straight = _run_snippet(_UNINTERRUPTED, [], scheduler)
+    assert resumed == straight

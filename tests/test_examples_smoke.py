@@ -1,0 +1,45 @@
+"""Every ``examples/`` script must run headless and exit cleanly.
+
+The examples are the repo's front door; this smoke suite keeps them
+compiling and running as the APIs underneath them evolve.  Each script
+runs in its own interpreter (as a reader would run it) with the repo's
+``src/`` on ``PYTHONPATH`` and no arguments.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLE_SCRIPTS = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_exist():
+    assert EXAMPLE_SCRIPTS, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[os.path.basename(s) for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_headless(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, script],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),  # scripts must not depend on the repo cwd
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{os.path.basename(script)} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{os.path.basename(script)} printed nothing"
