@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.arch.program import P4Program, ProgramContext
 from repro.packet.headers import Ipv4
 from repro.packet.packet import Packet
+from repro.pisa.flowcache import VersionedDict
 from repro.pisa.metadata import StandardMetadata
 
 
@@ -29,7 +30,11 @@ class ForwardingProgram(P4Program):
 
     def __init__(self, ttl_handling: bool = True) -> None:
         super().__init__()
-        self.routes: Dict[int, int] = {}
+        # A VersionedDict, not a plain dict: route flips from non-packet
+        # handlers (FRR rewires on LINK_STATUS) bump its generation, so
+        # the flow-decision cache evicts every forwarding decision that
+        # was recorded against the old routes before the next packet.
+        self.routes: Dict[int, int] = VersionedDict()
         self.ttl_handling = ttl_handling
         self.unrouted_drops = 0
         self.ttl_drops = 0

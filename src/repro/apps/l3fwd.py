@@ -1,0 +1,153 @@
+"""A classic multi-table L3 router — the flow cache's showcase program.
+
+Three match-action tables chained the way production L3 pipelines chain
+them:
+
+* ``acl`` — a ternary permit/deny filter on (src, dst, protocol),
+* ``routes`` — longest-prefix match on the destination address,
+  selecting a next-hop id,
+* ``nexthops`` — an exact table mapping next-hop id to the egress
+  rewrite (output port, DSCP remark, TTL decrement).
+
+A per-next-hop :class:`~repro.pisa.externs.counter.Counter` records
+traffic; ``Counter.count`` is a blind write, so the flow-decision cache
+replays it on every cached packet and the counters stay exact.
+
+Every decision lives in versioned tables, so the whole walk is pure:
+after the first packet of a flow records the pipeline's net effect,
+later packets replay it without re-running the three lookups — until a
+control-plane mutation bumps a table generation and evicts the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.arch.events import EventType
+from repro.arch.program import P4Program, ProgramContext, handler
+from repro.packet.headers import Ipv4
+from repro.packet.packet import Packet
+from repro.pisa.action import Action
+from repro.pisa.externs.counter import Counter
+from repro.pisa.metadata import StandardMetadata
+from repro.pisa.table import ExactTable, LpmTable, TernaryTable
+
+
+def _permit(pkt: Packet, meta: StandardMetadata) -> None:
+    return None
+
+
+def _deny(pkt: Packet, meta: StandardMetadata) -> None:
+    meta.drop()
+
+
+def _route_to(pkt: Packet, meta: StandardMetadata, nh: int = 0) -> None:
+    pkt.meta["l3_nh"] = nh
+
+
+def _forward(
+    pkt: Packet, meta: StandardMetadata, port: int = 0, dscp: int = 0
+) -> None:
+    ip = pkt.get(Ipv4)
+    ip.set(ttl=ip.ttl - 1, dscp=dscp)
+    meta.send_to_port(port)
+
+
+PERMIT = Action("permit", _permit)
+DENY = Action("deny", _deny)
+ROUTE_TO = Action("route_to", _route_to, ("nh",))
+FORWARD = Action("forward", _forward, ("port", "dscp"))
+
+
+class L3Router(P4Program):
+    """ACL → LPM → next-hop rewrite, all table-driven and cacheable."""
+
+    name = "l3fwd"
+
+    MAX_NEXT_HOPS = 64
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.acl = TernaryTable("l3fwd.acl")
+        self.routes = LpmTable("l3fwd.routes")
+        self.nexthops = ExactTable("l3fwd.nexthops")
+        self.acl.set_default(PERMIT.bind())
+        self.tx_counter = Counter(self.MAX_NEXT_HOPS, name="l3fwd.tx")
+        self.non_ip_drops = 0
+        self.acl_drops = 0
+        self.unrouted_drops = 0
+        self.ttl_drops = 0
+
+    # ------------------------------------------------------------------
+    # Control-plane helpers
+    # ------------------------------------------------------------------
+    def add_route(self, prefix: int, prefix_len: int, nh: int) -> None:
+        """Point ``prefix/prefix_len`` at next-hop ``nh``."""
+        self.routes.insert(prefix, prefix_len, ROUTE_TO.bind(nh=nh))
+
+    def add_next_hop(self, nh: int, port: int, dscp: int = 0) -> None:
+        """Define next-hop ``nh``: egress port plus a DSCP remark."""
+        self.nexthops.insert((nh,), FORWARD.bind(port=port, dscp=dscp))
+
+    def deny_flow(
+        self,
+        src: int = 0,
+        src_mask: int = 0,
+        dst: int = 0,
+        dst_mask: int = 0,
+        proto: int = 0,
+        proto_mask: int = 0,
+        priority: int = 10,
+    ) -> None:
+        """Install a ternary deny entry (masks of 0 wildcard a field)."""
+        self.acl.insert(
+            (src, dst, proto),
+            (src_mask, dst_mask, proto_mask),
+            priority,
+            DENY.bind(),
+        )
+
+    def install_host_routes(self, host_ports: Dict[int, int]) -> None:
+        """One /32 route + next-hop per (host IP → port) pair."""
+        for nh, (dst_ip, port) in enumerate(sorted(host_ports.items())):
+            self.add_next_hop(nh, port)
+            self.add_route(dst_ip, 32, nh)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(
+        self, ctx: ProgramContext, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        ip = pkt.get(Ipv4)
+        if ip is None:
+            self.non_ip_drops += 1
+            meta.drop()
+            return
+        self.acl.apply((ip.src, ip.dst, ip.protocol)).execute(pkt, meta)
+        if meta.dropped:
+            self.acl_drops += 1
+            return
+        route = self.routes.lookup_value(ip.dst)
+        if route is None:
+            self.unrouted_drops += 1
+            meta.drop()
+            return
+        if ip.ttl <= 1:
+            self.ttl_drops += 1
+            meta.drop()
+            return
+        route.execute(pkt, meta)
+        nh = pkt.meta["l3_nh"]
+        self.nexthops.apply((nh,)).execute(pkt, meta)
+        self.tx_counter.count(nh, pkt.total_len)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def next_hop_stats(self) -> Iterable[Tuple[int, int, int]]:
+        """(next-hop id, packets, bytes) rows for populated next hops."""
+        for nh, (packets, nbytes) in enumerate(self.tx_counter.read_all()):
+            if packets or nbytes:
+                yield nh, packets, nbytes

@@ -35,6 +35,7 @@ from repro.arch.events import Event, EventType
 from repro.arch.program import P4Program, ProgramContext
 from repro.packet.packet import Packet
 from repro.packet.parser import Parser, standard_parser
+from repro.pisa.flowcache import UNCACHEABLE, FlowCache, env_enabled
 from repro.pisa.metadata import MetadataPool, StandardMetadata
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
@@ -51,23 +52,52 @@ class _TmEventHook:
     survive checkpoint pickling (closures don't pickle).
     """
 
-    __slots__ = ("switch", "kind")
+    __slots__ = ("switch", "kind", "_unsupported")
 
     def __init__(self, switch: "SwitchBase", kind: EventType) -> None:
         self.switch = switch
         self.kind = kind
+        # Descriptions are immutable, so support is decided once here
+        # instead of per TM transition.
+        self._unsupported = not switch.description.supports(kind)
 
     def __getstate__(self):
         return (self.switch, self.kind)
 
     def __setstate__(self, state) -> None:
         self.switch, self.kind = state
+        # The switch is mid-unpickle here (the hook sits inside its
+        # object graph), so support is re-resolved lazily on first use.
+        self._unsupported = None
+
+    def suppresses_cheaply(self) -> bool:
+        """TM precheck: consume the event before it is even built.
+
+        True when the architecture suppresses ``kind`` and nobody is
+        observing — the only externally visible effect is the
+        suppressed counter, recorded here, so the TM can skip the
+        TmEvent construction and the user-meta copy entirely.
+        """
+        unsupported = self._unsupported
+        if unsupported is None:
+            unsupported = self._unsupported = not self.switch.description.supports(
+                self.kind
+            )
+        if unsupported:
+            bus = self.switch.bus
+            if not bus._observers:
+                bus.suppressed[self.kind] += 1
+                return True
+        return False
 
     def __call__(self, tm_event) -> None:
         switch = self.switch
         kind = self.kind
         bus = switch.bus
-        if not switch.description.supports(kind) and not bus._observers:
+        unsupported = self._unsupported
+        if unsupported is None:
+            unsupported = self._unsupported = not switch.description.supports(kind)
+        if unsupported and not bus._observers:
             # Suppressed with nobody watching: only the counter is
             # observable, so skip building the Event and its meta.
             bus.suppressed[kind] += 1
@@ -129,6 +159,7 @@ class SwitchBase:
         buffer_capacity_bytes: Optional[int] = None,
         scheduler_factory=None,
         bus: Optional[EventBus] = None,
+        flow_cache: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.description = description
@@ -174,6 +205,15 @@ class SwitchBase:
         self._cpu_callback: Optional[Callable[[Dict[str, int]], None]] = None
         self.rx_packets = 0
         self.dropped_by_program = 0
+        # The flow-decision cache (repro.pisa.flowcache): memoizes the
+        # per-packet pipeline walk behind generation vectors and purity
+        # detection.  ``flow_cache=`` overrides the REPRO_FLOW_CACHE
+        # environment default (on).
+        if flow_cache is None:
+            flow_cache = env_enabled()
+        self.flow_cache: Optional[FlowCache] = (
+            FlowCache(sim, name=name) if flow_cache else None
+        )
 
     # ------------------------------------------------------------------
     # Program lifecycle
@@ -194,6 +234,11 @@ class SwitchBase:
                 f"programming model and cannot host shared_register(s): {names}"
             )
         self.program = program
+        if self.flow_cache is not None:
+            # (Re)binding a program starts the memo cold and rediscovers
+            # the generation-vector dependencies (tables, versioned
+            # route dicts) and the externs to shim during recording.
+            self.flow_cache.attach(program)
         program.on_load(self.ctx)
 
     def require_program(self) -> P4Program:
@@ -372,6 +417,39 @@ class SwitchBase:
             fn = program.handler_for(kind)
             if fn is None:
                 return
+            cache = self.flow_cache
+            if cache is not None:
+                key = cache.flow_key(kind, pkt, meta)
+                entry = cache.lookup(key)
+                if entry is not None:
+                    if entry is UNCACHEABLE:
+                        # Known-impure flow: the walk runs in full.
+                        self._set_thread(kind.value)
+                        try:
+                            fn(self.ctx, pkt, meta)
+                        finally:
+                            self._set_thread(None)
+                    else:
+                        cache.replay(entry, pkt, meta)
+                        pipeline = self._pipeline_for_kind(kind)
+                        if pipeline is not None:
+                            pipeline.walks_elided += 1
+                    bus.handled[kind] += 1
+                    return
+                # First traversal of this flow: run it under the
+                # recording harness and memoize the decision.
+                rec, rctx, rmeta = cache.begin(self.ctx, pkt, meta)
+                self._set_thread(kind.value)
+                try:
+                    fn(rctx, pkt, rmeta)
+                except BaseException:
+                    cache.abort(rec)
+                    raise
+                finally:
+                    self._set_thread(None)
+                cache.commit(rec, key, pkt, meta)
+                bus.handled[kind] += 1
+                return
             self._set_thread(kind.value)
             try:
                 fn(self.ctx, pkt, meta)
@@ -385,12 +463,55 @@ class SwitchBase:
         if fn is None:
             bus.delivered(event, handled=False)
             return
+        cache = self.flow_cache
+        if cache is not None:
+            # Observers still see every publish/delivery; only the
+            # behavioral walk is answered from the memo.
+            self._cached_run(cache, fn, kind, pkt, meta)
+            bus.delivered(event, handled=True)
+            return
         self._set_thread(kind.value)
         try:
             fn(self.ctx, pkt, meta)
         finally:
             self._set_thread(None)
         bus.delivered(event, handled=True)
+
+    def _cached_run(
+        self, cache, fn, kind: EventType, pkt: Packet, meta: StandardMetadata
+    ) -> None:
+        """Run one packet-event handler through the flow-decision cache."""
+        key = cache.flow_key(kind, pkt, meta)
+        entry = cache.lookup(key)
+        if entry is not None:
+            if entry is UNCACHEABLE:
+                self._set_thread(kind.value)
+                try:
+                    fn(self.ctx, pkt, meta)
+                finally:
+                    self._set_thread(None)
+            else:
+                cache.replay(entry, pkt, meta)
+                pipeline = self._pipeline_for_kind(kind)
+                if pipeline is not None:
+                    pipeline.walks_elided += 1
+            return
+        rec, rctx, rmeta = cache.begin(self.ctx, pkt, meta)
+        self._set_thread(kind.value)
+        try:
+            fn(rctx, pkt, rmeta)
+        except BaseException:
+            cache.abort(rec)
+            raise
+        finally:
+            self._set_thread(None)
+        cache.commit(rec, key, pkt, meta)
+
+    def _pipeline_for_kind(self, kind: EventType):
+        """The :class:`~repro.pisa.pipeline.Pipeline` a packet event of
+        ``kind`` traverses, for walk-elision accounting; None when the
+        architecture keeps no such pipeline."""
+        return None
 
     def _tm_hook(self, kind: EventType) -> "_TmEventHook":
         """A traffic-manager hook that fires ``kind`` data-plane events.

@@ -89,6 +89,11 @@ class BaselinePsaSwitch(SwitchBase):
         if getrefcount(meta) == 2:
             self.meta_pool.release(meta)
 
+    def _pipeline_for_kind(self, kind: EventType):
+        if kind is EventType.EGRESS_PACKET:
+            return self.egress_pipeline
+        return self.ingress_pipeline
+
     def _run_ingress(self, pkt: Packet, meta: StandardMetadata) -> None:
         if pkt.recirculated:
             kind = EventType.RECIRCULATED_PACKET

@@ -147,6 +147,9 @@ class SumeEventSwitch(SwitchBase):
             # reference), so it can be recycled.
             self.meta_pool.release(meta)
 
+    def _pipeline_for_kind(self, kind: EventType):
+        return self.pipeline
+
     def _pipeline_control(self, pkt: Packet, meta: StandardMetadata) -> None:
         # Dispatch happens in _pipeline_exit; the Pipeline object exists
         # for latency and resource accounting.

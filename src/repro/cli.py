@@ -235,20 +235,52 @@ EVENT_SOURCES = ("microburst", "catalog", "figures")
 def run_events_stats(source: str = "microburst") -> None:
     """EventBus counters and dispatch-latency histograms for one experiment."""
     from repro.obs import DispatchLatencyHistogram, EventCounters, observing
+    from repro.pisa.flowcache import collecting_caches
 
     counters = EventCounters()
     histogram = DispatchLatencyHistogram()
-    with observing(counters, histogram):
+    with observing(counters, histogram), collecting_caches() as caches:
         _run_event_source(source)
     _print(f"EventBus counters ({source})", counters.summary_rows())
     _print(
         f"EventBus dispatch latency / staleness ({source})",
         histogram.summary_rows(),
     )
+    _print(f"flow-decision cache ({source})", _flow_cache_rows(caches))
     print(
         f"\n{len(counters.nonzero_kinds())} event type(s) observed, "
         f"{counters.total_published()} events published"
     )
+
+
+def _flow_cache_rows(caches) -> List[str]:
+    """Per-switch hit/miss/invalidation rows plus an aggregate line."""
+    if not caches:
+        return ["flow cache disabled (REPRO_FLOW_CACHE=0 or flow_cache=False)"]
+    header = (
+        f"{'switch':<16}{'hits':>10}{'misses':>10}{'uncacheable':>13}"
+        f"{'invalidated':>13}{'evicted':>9}{'hit rate':>10}"
+    )
+    rows = [header]
+    totals = {"hits": 0, "misses": 0, "uncacheable": 0, "invalidations": 0,
+              "evictions": 0}
+    for cache in caches:
+        stats = cache.stats
+        for key in totals:
+            totals[key] += getattr(stats, key)
+        rows.append(
+            f"{cache.name or '<anon>':<16}{stats.hits:>10}{stats.misses:>10}"
+            f"{stats.uncacheable:>13}{stats.invalidations:>13}"
+            f"{stats.evictions:>9}{stats.hit_rate:>10.1%}"
+        )
+    lookups = totals["hits"] + totals["misses"] + totals["uncacheable"]
+    rate = totals["hits"] / lookups if lookups else 0.0
+    rows.append(
+        f"{'total':<16}{totals['hits']:>10}{totals['misses']:>10}"
+        f"{totals['uncacheable']:>13}{totals['invalidations']:>13}"
+        f"{totals['evictions']:>9}{rate:>10.1%}"
+    )
+    return rows
 
 
 def run_events_trace(

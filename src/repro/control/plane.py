@@ -89,6 +89,19 @@ class ControlPlane:
         duration = self.config.rtt_ps + register.size * self.config.per_entry_write_ps
         self.submit(duration, register.clear)
 
+    def update_table(self, fn: Callable[[], None], entries: int = 1) -> None:
+        """Apply a table mutation over the control path.
+
+        ``fn`` must be a closure over the table's *mutating API*
+        (``insert`` / ``remove`` / ``set_default`` / ``update_action``)
+        — those bump the table's generation counter, which is what
+        invalidates both the per-table lookup memo and any flow-cache
+        entries recorded against the old contents.  Mutating a stored
+        action object in place bypasses both caches; never do that.
+        """
+        duration = self.config.rtt_ps + entries * self.config.per_entry_write_ps
+        self.submit(duration, fn)
+
     def install_route(self, action: Callable[[], None], entries: int = 1) -> None:
         """Recompute and install routes after a failure notification."""
         duration = (

@@ -28,6 +28,7 @@ def make_baseline_switch(
     queue_capacity_bytes: int = 64 * 1024,
     queues_per_port: int = 1,
     scheduler_factory=None,
+    flow_cache: Optional[bool] = None,
 ):
     """Factory for Figure 1 baseline PSA switches."""
 
@@ -39,6 +40,7 @@ def make_baseline_switch(
             queue_capacity_bytes=queue_capacity_bytes,
             queues_per_port=queues_per_port,
             scheduler_factory=scheduler_factory,
+            flow_cache=flow_cache,
         )
 
     return factory
@@ -48,6 +50,7 @@ def make_logical_switch(
     queue_capacity_bytes: int = 64 * 1024,
     queues_per_port: int = 1,
     scheduler_factory=None,
+    flow_cache: Optional[bool] = None,
 ):
     """Factory for Figure 2 logical event-driven switches."""
 
@@ -59,6 +62,7 @@ def make_logical_switch(
             queue_capacity_bytes=queue_capacity_bytes,
             queues_per_port=queues_per_port,
             scheduler_factory=scheduler_factory,
+            flow_cache=flow_cache,
         )
 
     return factory
@@ -68,6 +72,7 @@ def make_sume_switch(
     queue_capacity_bytes: int = 64 * 1024,
     queues_per_port: int = 1,
     scheduler_factory=None,
+    flow_cache: Optional[bool] = None,
     full_events: bool = False,
     merger_injection_enabled: bool = True,
     merger_queue_capacity: int = 64,
@@ -89,6 +94,7 @@ def make_sume_switch(
             scheduler_factory=scheduler_factory,
             merger_injection_enabled=merger_injection_enabled,
             merger_queue_capacity=merger_queue_capacity,
+            flow_cache=flow_cache,
         )
 
     return factory
@@ -98,6 +104,7 @@ def make_emulated_switch(
     queue_capacity_bytes: int = 64 * 1024,
     recirc_rate_gbps: float = 100.0,
     recirc_queue_capacity: int = 128,
+    flow_cache: Optional[bool] = None,
 ):
     """Factory for §6 Tofino-like switches with event emulation."""
 
@@ -109,6 +116,7 @@ def make_emulated_switch(
             queue_capacity_bytes=queue_capacity_bytes,
             recirc_rate_gbps=recirc_rate_gbps,
             recirc_queue_capacity=recirc_queue_capacity,
+            flow_cache=flow_cache,
         )
 
     return factory

@@ -114,7 +114,14 @@ class Packet:
     @property
     def total_len(self) -> int:
         """Total packet length in bytes (headers + payload)."""
-        return self.header_len + self.payload_len
+        # header_len's cache check is inlined: total_len is the hottest
+        # accessor on the packet (queue accounting, serialization, TM
+        # events all read it) and the nested property call showed up.
+        headers = self.headers
+        if len(headers) != self._hdr_count:
+            self._hdr_len = sum(h.width_bytes() for h in headers)
+            self._hdr_count = len(headers)
+        return self._hdr_len + self.payload_len
 
     @property
     def wire_len(self) -> int:

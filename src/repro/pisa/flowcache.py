@@ -1,0 +1,710 @@
+"""Flow-decision cache: memoize the per-packet pipeline walk.
+Design, purity rules, and knobs: [PERFORMANCE.md](PERFORMANCE.md#flow-cache).
+
+Software switches amortize the parser → match-action → deparser walk
+the same way real PISA targets do: memoize the pipeline's *net effect*
+for a flow (the megaflow cache of OVS, the flow cache every P4 software
+target grows) and let later packets of the same flow replay the decision
+without re-running the control function.
+
+Correctness is guarded two ways:
+
+* **Versioning** — every :class:`repro.pisa.table.Table` (and every
+  :class:`VersionedDict`, the route-table wrapper) bumps a generation
+  counter on mutation.  A cached entry carries the generation vector it
+  was recorded under; any mismatch evicts the entry before it can serve
+  a stale decision.
+* **Purity detection** — the first traversal of a flow runs under a
+  lightweight recording harness: stateful externs get per-instance
+  method shims, and the program context / standard metadata are wrapped
+  in proxies that flag reads of time- or queue-dependent values.  Flows
+  whose control touched read-modify-write state (register reads/writes,
+  meter colors, sketch queries, PIFO operations, ``ctx.now_ps``, …) are
+  marked **uncacheable** — their handler runs in full on every packet,
+  so shared-register semantics (microburst, HULA, NetCache) are never
+  short-circuited.  Blind-write externs (``Counter.count``,
+  ``CountMinSketch.update``, ``BloomFilter.insert``, window
+  ``accumulate``) are *recorded* and re-executed on every replay, so
+  their state evolves exactly as if the walk had run.
+
+The purity contract covers the extern data-plane methods listed in
+:data:`RECORDABLE_METHODS` / :data:`IMPURE_METHODS`, program attribute
+rebinding (``self.packets_seen += 1`` is detected by a before/after
+fingerprint of ``vars(program)``), and header/metadata/packet-meta
+mutation (captured as the replayed decision).  Handlers that mutate
+plain unversioned containers in place (``self.some_dict[k] = v``)
+without going through a :class:`~repro.pisa.table.Table` or
+:class:`VersionedDict` are outside the contract — every program in this
+repository keeps its mutable decision state in tables, versioned route
+dicts, or externs.
+
+The cache is per-switch, enabled by default, and disabled either with
+the ``REPRO_FLOW_CACHE=0`` environment variable or the switch's
+``flow_cache=False`` constructor argument.  Bus observers keep full
+visibility: on the observed dispatch path every packet event is still
+published and delivered as usual — only the behavioral walk itself is
+answered from the memo, and the cache's own hit/miss/invalidation
+counters are surfaced through ``repro events-stats``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from operator import attrgetter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.pisa.externs.counter import Counter
+from repro.pisa.externs.meter import Meter
+from repro.pisa.externs.pifo import PifoQueue
+from repro.pisa.externs.register import Register
+from repro.pisa.externs.sketch import BloomFilter, CountMinSketch
+from repro.pisa.externs.window import ShiftRegister, SlidingWindow
+from repro.pisa.metadata import StandardMetadata
+from repro.pisa.table import Table
+
+__all__ = [
+    "FLOW_CACHE_ENV",
+    "FlowCache",
+    "FlowCacheStats",
+    "VersionedDict",
+    "collecting_caches",
+    "env_enabled",
+    "RECORDABLE_METHODS",
+    "IMPURE_METHODS",
+]
+
+#: Environment toggle: ``0``/``false``/``off`` disables the cache.
+FLOW_CACHE_ENV = "REPRO_FLOW_CACHE"
+
+
+def env_enabled(default: bool = True) -> bool:
+    """The process-wide default from :data:`FLOW_CACHE_ENV`."""
+    raw = os.environ.get(FLOW_CACHE_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no", "")
+
+
+#: Extern methods that are blind writes: no return value the control can
+#: branch on, so they replay as recorded side-effect ops.
+RECORDABLE_METHODS = {
+    Counter: ("count",),
+    CountMinSketch: ("update", "add_signed"),
+    BloomFilter: ("insert",),
+    ShiftRegister: ("accumulate",),
+    SlidingWindow: ("accumulate", "shift_all"),
+}
+
+#: Extern methods whose result (or read-modify-write effect) depends on
+#: state: touching any of these marks the flow uncacheable.
+IMPURE_METHODS = {
+    Register: ("read", "write", "add", "sub", "modify", "clear", "peek"),
+    Counter: ("read", "read_all", "clear"),
+    Meter: ("execute", "tokens"),
+    CountMinSketch: ("query", "clear"),
+    BloomFilter: ("contains", "clear"),
+    ShiftRegister: ("shift", "window_sum", "window_max", "head"),
+    SlidingWindow: ("window_sum", "rate_bps"),
+    PifoQueue: ("push", "pop", "peek_rank", "drain"),
+}
+
+#: Sentinel stored for flows whose control touched impure state.
+UNCACHEABLE = object()
+
+#: Active collection scopes: every :class:`FlowCache` constructed while
+#: a scope is open registers itself there, so instrumentation commands
+#: (``repro events-stats``) can report per-switch cache counters for
+#: experiments they did not build themselves.
+_COLLECTORS: List[List["FlowCache"]] = []
+
+
+@contextmanager
+def collecting_caches() -> Iterator[List["FlowCache"]]:
+    """Collect every :class:`FlowCache` created inside the block."""
+    caches: List["FlowCache"] = []
+    _COLLECTORS.append(caches)
+    try:
+        yield caches
+    finally:
+        _COLLECTORS.remove(caches)
+
+#: Program-context attributes whose *read* poisons cacheability (they
+#: are time-, queue-, or topology-dependent) and methods whose call is
+#: an architectural side effect the replay could not reproduce.
+_IMPURE_CTX_ATTRS = frozenset(
+    {
+        "now_ps",
+        "link_up",
+        "queue_depth_bytes",
+        "configure_timer",
+        "cancel_timer",
+        "generate_packet",
+        "raise_user_event",
+        "notify_control_plane",
+    }
+)
+
+#: StandardMetadata attributes whose read is time/queue dependent.
+_IMPURE_META_READS = frozenset(
+    {
+        "ingress_timestamp_ps",
+        "egress_timestamp_ps",
+        "enq_qdepth_bytes",
+        "deq_qdepth_bytes",
+    }
+)
+
+#: Per-header-class compiled field getters: HeaderClass -> attrgetter.
+_FIELD_GETTERS: Dict[type, object] = {}
+
+
+def _field_getter(cls: type):
+    getter = _FIELD_GETTERS.get(cls)
+    if getter is None:
+        names = tuple(f.name for f in cls.FIELDS)
+        if len(names) == 1:
+            # attrgetter with one name returns a scalar; normalize.
+            single = attrgetter(names[0])
+            getter = lambda h, _g=single: (_g(h),)  # noqa: E731
+        else:
+            getter = attrgetter(*names)
+        _FIELD_GETTERS[cls] = getter
+    return getter
+
+
+class VersionedDict(dict):
+    """A dict whose mutations bump a generation counter.
+
+    Programs keep route tables (and similar decision state read on the
+    packet path but written from non-packet handlers — FRR flips routes
+    from LINK_STATUS) in one of these so the flow cache can put the
+    mapping in its generation vector.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.generation = 0
+
+    # dict subclasses with __slots__ pickle their slot state via
+    # __reduce_ex__ protocol 2+ item iteration; keep it explicit.
+    def __reduce__(self):
+        return (type(self), (dict(self),), {"generation": self.generation})
+
+    def __setstate__(self, state) -> None:
+        self.generation = state["generation"]
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.generation += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.generation += 1
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.generation += 1
+
+    def clear(self) -> None:
+        super().clear()
+        self.generation += 1
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self.generation += 1
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self.generation += 1
+        return result
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self.generation += 1
+        return result
+
+
+class FlowCacheStats:
+    """Hit/miss/invalidation accounting, surfaced by ``events-stats``."""
+
+    __slots__ = ("hits", "misses", "uncacheable", "invalidations", "evictions")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.uncacheable
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowCacheStats(hits={self.hits}, misses={self.misses}, "
+            f"uncacheable={self.uncacheable}, "
+            f"invalidations={self.invalidations})"
+        )
+
+
+class _RecordingContext:
+    """ProgramContext proxy: any target-service access poisons purity."""
+
+    __slots__ = ("_real", "_rec")
+
+    def __init__(self, real, rec: "_Recording") -> None:
+        object.__setattr__(self, "_real", real)
+        object.__setattr__(self, "_rec", rec)
+
+    def __getattr__(self, name):
+        if name in _IMPURE_CTX_ATTRS:
+            self._rec.impure = True
+        return getattr(self._real, name)
+
+
+class _RecordingMeta:
+    """StandardMetadata proxy flagging reads of time/queue fields.
+
+    Writes and pure reads forward to the real metadata object, so the
+    recorded traversal produces exactly the state a bare run would.
+    """
+
+    __slots__ = ("_real", "_rec")
+
+    def __init__(self, real: StandardMetadata, rec: "_Recording") -> None:
+        object.__setattr__(self, "_real", real)
+        object.__setattr__(self, "_rec", rec)
+
+    def __getattr__(self, name):
+        if name in _IMPURE_META_READS:
+            self._rec.impure = True
+        return getattr(self._real, name)
+
+    def __setattr__(self, name, value) -> None:
+        setattr(self._real, name, value)
+
+    # The mutators handlers actually call, forwarded explicitly so the
+    # proxy costs one indirection instead of __getattr__ + descriptor.
+    def drop(self) -> None:
+        self._real.drop()
+
+    def send_to_port(self, port: int) -> None:
+        self._real.send_to_port(port)
+
+    def send_to_cpu(self) -> None:
+        self._real.send_to_cpu()
+
+    def request_recirculation(self) -> None:
+        self._real.request_recirculation()
+
+    @property
+    def dropped(self) -> bool:
+        return self._real.dropped
+
+    @property
+    def to_cpu(self) -> bool:
+        return self._real.to_cpu
+
+    @property
+    def recirculate(self) -> bool:
+        return self._real.recirculate
+
+
+class _ShimOp:
+    """Per-instance extern-method shim recording one blind-write call."""
+
+    __slots__ = ("rec", "extern", "name", "orig")
+
+    def __init__(self, rec: "_Recording", extern, name: str) -> None:
+        self.rec = rec
+        self.extern = extern
+        self.name = name
+        self.orig = getattr(extern, name)
+
+    def __call__(self, *args, **kwargs):
+        self.rec.ops.append((self.extern, self.name, args, kwargs))
+        return self.orig(*args, **kwargs)
+
+
+class _ShimImpure:
+    """Per-instance extern-method shim marking the flow uncacheable."""
+
+    __slots__ = ("rec", "orig")
+
+    def __init__(self, rec: "_Recording", extern, name: str) -> None:
+        self.rec = rec
+        self.orig = getattr(extern, name)
+
+    def __call__(self, *args, **kwargs):
+        self.rec.impure = True
+        return self.orig(*args, **kwargs)
+
+
+class _Recording:
+    """State captured across one recorded traversal."""
+
+    __slots__ = (
+        "impure",
+        "ops",
+        "header_snapshot",
+        "pkt_meta_snapshot",
+        "payload_len",
+        "vars_fingerprint",
+        "shimmed",
+        "genvec",
+    )
+
+    def __init__(self) -> None:
+        self.impure = False
+        self.ops: List[Tuple[object, str, tuple, dict]] = []
+        self.header_snapshot: List[tuple] = []
+        self.pkt_meta_snapshot: Dict[str, object] = {}
+        self.payload_len = 0
+        self.vars_fingerprint: Dict[str, object] = {}
+        self.shimmed: List[Tuple[object, str]] = []
+        self.genvec: tuple = ()
+
+
+class _Entry:
+    """One cached flow decision."""
+
+    __slots__ = (
+        "genvec",
+        "egress_spec",
+        "queue_id",
+        "priority",
+        "enq_meta",
+        "deq_meta",
+        "rewrites",
+        "pkt_meta_writes",
+        "payload_len",
+        "ops",
+    )
+
+
+class FlowCache:
+    """Per-switch memo of pipeline decisions keyed by flow.
+
+    ``limit`` bounds the entry count; insertion order is recency order
+    (hits refresh), so eviction drops the least recently used flow.
+    """
+
+    #: Default maximum number of cached flows per switch.
+    DEFAULT_LIMIT = 4096
+
+    __slots__ = (
+        "sim",
+        "limit",
+        "stats",
+        "_entries",
+        "_deps",
+        "_externs",
+        "_program",
+        "_registered",
+        "name",
+        "__weakref__",
+    )
+
+    def __init__(self, sim, limit: int = DEFAULT_LIMIT, name: str = "") -> None:
+        if limit <= 0:
+            raise ValueError(f"flow cache limit must be positive, got {limit}")
+        self.sim = sim
+        self.limit = limit
+        self.name = name
+        self.stats = FlowCacheStats()
+        self._entries: Dict[tuple, object] = {}
+        self._deps: List[object] = []
+        self._externs: List[object] = []
+        self._program = None
+        self._registered = False
+        for collector in _COLLECTORS:
+            collector.append(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, program) -> None:
+        """Bind to a loaded program: discover versioned deps and externs."""
+        self._program = program
+        self._entries.clear()
+        deps: List[object] = []
+        externs: List[object] = []
+        if program is not None:
+            for _name, value in sorted(vars(program).items()):
+                if isinstance(value, (Table, VersionedDict)):
+                    deps.append(value)
+            for _name, ext in program.externs():
+                externs.append(ext)
+        self._deps = deps
+        self._externs = externs
+
+    def clear(self) -> None:
+        """Drop every cached flow (entries only; stats survive)."""
+        self._entries.clear()
+
+    def on_sim_reset(self) -> None:
+        """Simulator.reset(): start cold *and* with zeroed counters."""
+        self._entries.clear()
+        self.stats.reset()
+
+    def _ensure_registered(self) -> None:
+        if not self._registered:
+            self._registered = True
+            self.sim.add_reset_listener(self)
+
+    # Checkpoints drop the memo: a restored simulation starts cold and
+    # rebuilds warm, so resumed runs never replay decisions recorded
+    # under pre-checkpoint state.
+    def __getstate__(self):
+        return {
+            "sim": self.sim,
+            "limit": self.limit,
+            "name": self.name,
+            "program": self._program,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.sim = state["sim"]
+        self.limit = state["limit"]
+        self.name = state.get("name", "")
+        self.stats = FlowCacheStats()
+        self._entries = {}
+        self._deps = []
+        self._externs = []
+        self._program = None
+        self._registered = False
+        program = state["program"]
+        if program is not None:
+            self.attach(program)
+
+    # ------------------------------------------------------------------
+    # Key / generation vector
+    # ------------------------------------------------------------------
+    def flow_key(self, kind, pkt, meta) -> tuple:
+        """The flow key: event kind, arrival port, and every header field.
+
+        Keying on *all* fields (not a guessed 5-tuple) makes replay of
+        absolute header rewrites sound: identical key implies identical
+        input bits, so the recorded output bits are the walk's output.
+        """
+        parts: List[object] = [kind, meta.ingress_port, pkt.payload_len]
+        for header in pkt.headers:
+            cls = header.__class__
+            parts.append(cls)
+            parts.extend(_field_getter(cls)(header))
+        return tuple(parts)
+
+    def _generation_vector(self) -> tuple:
+        return tuple(dep.generation for dep in self._deps)
+
+    # ------------------------------------------------------------------
+    # Lookup / replay
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple):
+        """The valid entry for ``key``: an :class:`_Entry`,
+        :data:`UNCACHEABLE`, or None (miss)."""
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is None:
+            return None
+        if entry is UNCACHEABLE:
+            self.stats.uncacheable += 1
+            return entry
+        if entry.genvec != self._generation_vector():
+            del entries[key]
+            self.stats.invalidations += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def replay(self, entry: "_Entry", pkt, meta) -> None:
+        """Apply a recorded decision to ``pkt``/``meta``."""
+        for idx, field_values in entry.rewrites:
+            pkt.headers[idx].set(**field_values)
+        if entry.payload_len is not None:
+            pkt.payload_len = entry.payload_len
+        if entry.pkt_meta_writes:
+            pkt.meta.update(entry.pkt_meta_writes)
+        meta.egress_spec = entry.egress_spec
+        meta.queue_id = entry.queue_id
+        meta.priority = entry.priority
+        if entry.enq_meta:
+            meta.enq_meta.update(entry.enq_meta)
+        if entry.deq_meta:
+            meta.deq_meta.update(entry.deq_meta)
+        for extern, name, args, kwargs in entry.ops:
+            getattr(extern, name)(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(self, ctx, pkt, meta):
+        """Start recording one traversal.
+
+        Returns ``(recording, wrapped_ctx, wrapped_meta)``; the wrapped
+        objects go to the handler, the recording to :meth:`commit`.
+        """
+        self._ensure_registered()
+        rec = _Recording()
+        rec.genvec = self._generation_vector()
+        rec.payload_len = pkt.payload_len
+        rec.header_snapshot = [
+            _field_getter(h.__class__)(h) for h in pkt.headers
+        ]
+        rec.pkt_meta_snapshot = dict(pkt.meta)
+        rec.vars_fingerprint = self._fingerprint()
+        for extern in self._externs:
+            cls = type(extern)
+            for klass, names in RECORDABLE_METHODS.items():
+                if isinstance(extern, klass):
+                    for name in names:
+                        if hasattr(extern, name):
+                            setattr(extern, name, _ShimOp(rec, extern, name))
+                            rec.shimmed.append((extern, name))
+            for klass, names in IMPURE_METHODS.items():
+                if isinstance(extern, klass):
+                    for name in names:
+                        if hasattr(extern, name) and not any(
+                            e is extern and n == name for e, n in rec.shimmed
+                        ):
+                            setattr(extern, name, _ShimImpure(rec, extern, name))
+                            rec.shimmed.append((extern, name))
+        return rec, _RecordingContext(ctx, rec), _RecordingMeta(meta, rec)
+
+    def abort(self, rec: "_Recording") -> None:
+        """Tear down shims without storing (handler raised)."""
+        self._unshim(rec)
+
+    def commit(self, rec: "_Recording", key: tuple, pkt, meta) -> None:
+        """Finish recording: store a replayable entry or the sentinel."""
+        self._unshim(rec)
+        stats = self.stats
+        if (
+            rec.impure
+            or rec.genvec != self._generation_vector()
+            or len(pkt.headers) != len(rec.header_snapshot)
+            or rec.vars_fingerprint != self._fingerprint()
+        ):
+            # Impure control, self-mutating tables, structural header
+            # change (push/pop), or program attribute mutation: the
+            # walk must run for every packet of this flow.
+            self._store(key, UNCACHEABLE)
+            stats.uncacheable += 1
+            return
+        entry = _Entry()
+        entry.genvec = rec.genvec
+        entry.egress_spec = meta.egress_spec
+        entry.queue_id = meta.queue_id
+        entry.priority = meta.priority
+        entry.enq_meta = dict(meta.enq_meta) if meta.enq_meta else None
+        entry.deq_meta = dict(meta.deq_meta) if meta.deq_meta else None
+        rewrites = []
+        for idx, before in enumerate(rec.header_snapshot):
+            header = pkt.headers[idx]
+            after = _field_getter(header.__class__)(header)
+            if after != before:
+                fields = header.FIELDS
+                changed = {
+                    fields[i].name: after[i]
+                    for i in range(len(fields))
+                    if after[i] != before[i]
+                }
+                rewrites.append((idx, changed))
+        entry.rewrites = tuple(rewrites)
+        entry.payload_len = (
+            pkt.payload_len if pkt.payload_len != rec.payload_len else None
+        )
+        if pkt.meta != rec.pkt_meta_snapshot:
+            entry.pkt_meta_writes = {
+                k: v
+                for k, v in pkt.meta.items()
+                if rec.pkt_meta_snapshot.get(k, _MISSING) != v
+            }
+            removed = rec.pkt_meta_snapshot.keys() - pkt.meta.keys()
+            if removed:
+                # Key deletion can't be replayed by a dict update.
+                self._store(key, UNCACHEABLE)
+                stats.uncacheable += 1
+                return
+        else:
+            entry.pkt_meta_writes = None
+        entry.ops = tuple(rec.ops)
+        self._store(key, entry)
+        stats.misses += 1
+
+    def _store(self, key: tuple, value) -> None:
+        entries = self._entries
+        if key not in entries and len(entries) >= self.limit:
+            entries.pop(next(iter(entries)))
+            self.stats.evictions += 1
+        entries[key] = value
+
+    def _unshim(self, rec: "_Recording") -> None:
+        for extern, name in rec.shimmed:
+            try:
+                delattr(extern, name)
+            except AttributeError:
+                pass
+
+    def _fingerprint(self) -> Dict[str, object]:
+        """Shallow fingerprint of program attributes.
+
+        Scalars by value (catches ``self.packets_seen += 1``); sized
+        containers by (id, len) — versioned/extern/table state is
+        covered by the generation vector and the shims instead.
+        """
+        program = self._program
+        fp: Dict[str, object] = {}
+        if program is None:
+            return fp
+        for name, value in vars(program).items():
+            if name.startswith("_"):
+                continue
+            if isinstance(value, (int, float, str, bool, type(None))):
+                fp[name] = value
+            elif isinstance(value, (Table, VersionedDict)):
+                continue  # generation vector covers these
+            elif isinstance(value, (dict, list, set, tuple)):
+                fp[name] = (id(value), len(value))
+            else:
+                fp[name] = id(value)
+        return fp
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> Dict[str, object]:
+        """One manifest row for ``state_summary()`` / ``events-stats``."""
+        data: Dict[str, object] = {"entries": len(self._entries), "limit": self.limit}
+        data.update(self.stats.as_dict())
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowCache(entries={len(self._entries)}/{self.limit}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+_MISSING = object()

@@ -43,6 +43,11 @@ class Pipeline:
         self.stage_count = stage_count
         self.clock_mhz = clock_mhz
         self.packets_processed = 0
+        # Traversals answered from the flow-decision cache: the packet
+        # still crossed the pipeline (latency and packets_processed are
+        # unchanged — the hardware walk always happens), but the
+        # behavioral match-action walk was replayed from the memo.
+        self.walks_elided = 0
 
     @property
     def cycle_ps(self) -> int:

@@ -41,7 +41,16 @@ class Table:
     lookups with the same key (the common case for per-flow tables on
     the packet fast path) skip the subclass's match logic.  Any entry
     mutation (:meth:`insert` / :meth:`remove` in subclasses) or
-    :meth:`set_default` invalidates the cache.
+    :meth:`set_default` invalidates the cache and bumps
+    :attr:`generation` — the version the flow-decision cache
+    (:mod:`repro.pisa.flowcache`) records in its generation vectors, so
+    a table change evicts every dependent cached flow before the next
+    packet can see a stale decision.
+
+    Swapping an entry's *action* in place must go through
+    :meth:`update_action` (subclasses) so it invalidates too: mutating
+    the stored :class:`ActionCall` object directly leaves both the LRU
+    cache and the flow cache serving the old behavior.
     """
 
     #: Maximum number of keys memoized per table.
@@ -55,18 +64,25 @@ class Table:
         self.default_action: ActionCall = NO_ACTION.bind()
         self.hit_count = 0
         self.miss_count = 0
+        #: Bumped on every mutation; version stamp for external caches.
+        self.generation = 0
         # key -> lookup result (None caches a miss); insertion order is
         # recency order — hits reinsert, eviction pops the oldest.
         self._cache: Dict[Tuple, Optional[ActionCall]] = {}
 
-    def invalidate_cache(self) -> None:
-        """Drop all memoized lookup results."""
+    def _mutated(self) -> None:
+        """Entry/default change: drop memos and advance the generation."""
         self._cache.clear()
+        self.generation += 1
+
+    def invalidate_cache(self) -> None:
+        """Drop all memoized lookup results (and version the change)."""
+        self._mutated()
 
     def set_default(self, action: ActionCall) -> None:
         """Set the action returned on a miss."""
         self.default_action = action
-        self._cache.clear()
+        self._mutated()
 
     def entry_count(self) -> int:
         """Number of installed entries."""
@@ -116,12 +132,25 @@ class ExactTable(Table):
         if key not in self._entries:
             self._check_capacity()
         self._entries[key] = action
-        self._cache.clear()
+        self._mutated()
 
     def remove(self, key: Tuple) -> None:
         """Remove the entry for ``key``; KeyError if absent."""
         del self._entries[key]
-        self._cache.clear()
+        self._mutated()
+
+    def update_action(self, key: Tuple, action: ActionCall) -> None:
+        """Replace the action of an existing entry; KeyError if absent.
+
+        The control plane's path for changing what an installed entry
+        *does* (e.g. re-pointing a nexthop).  Unlike mutating the bound
+        :class:`ActionCall` in place, this invalidates the lookup memo
+        and bumps the generation counter.
+        """
+        if key not in self._entries:
+            raise KeyError(f"table {self.name!r} has no entry {key!r}")
+        self._entries[key] = action
+        self._mutated()
 
     def entry_count(self) -> int:
         return len(self._entries)
@@ -152,7 +181,7 @@ class LpmTable(Table):
             (length, self._mask(length), self._by_length[length])
             for length in sorted(self._by_length, reverse=True)
         ]
-        self._cache.clear()
+        self._mutated()
 
     def insert(self, prefix: int, prefix_len: int, action: ActionCall) -> None:
         """Install a ``prefix/prefix_len`` entry."""
@@ -172,6 +201,16 @@ class LpmTable(Table):
         """Remove a ``prefix/prefix_len`` entry; KeyError if absent."""
         mask = self._mask(prefix_len)
         del self._by_length[prefix_len][prefix & mask]
+        self._reindex()
+
+    def update_action(self, prefix: int, prefix_len: int, action: ActionCall) -> None:
+        """Replace the action of an existing prefix entry; KeyError if absent."""
+        mask = self._mask(prefix_len)
+        bucket = self._by_length[prefix_len]
+        key = prefix & mask
+        if key not in bucket:
+            raise KeyError(f"table {self.name!r} has no entry {prefix}/{prefix_len}")
+        bucket[key] = action
         self._reindex()
 
     def _mask(self, prefix_len: int) -> int:
@@ -226,7 +265,32 @@ class TernaryTable(Table):
             (tuple(v & m for v, m in zip(values, masks)), tuple(masks), priority, action)
         )
         self._entries.sort(key=lambda e: e[2])
-        self._cache.clear()
+        self._mutated()
+
+    def remove(self, values: Tuple[int, ...], masks: Tuple[int, ...]) -> None:
+        """Remove the entry matching ``values``/``masks``; KeyError if absent."""
+        masked = tuple(v & m for v, m in zip(values, masks))
+        for i, (evalues, emasks, _priority, _action) in enumerate(self._entries):
+            if evalues == masked and emasks == tuple(masks):
+                del self._entries[i]
+                self._mutated()
+                return
+        raise KeyError(f"table {self.name!r} has no entry {values!r}/{masks!r}")
+
+    def update_action(
+        self,
+        values: Tuple[int, ...],
+        masks: Tuple[int, ...],
+        action: ActionCall,
+    ) -> None:
+        """Replace the action of an existing ternary entry; KeyError if absent."""
+        masked = tuple(v & m for v, m in zip(values, masks))
+        for i, (evalues, emasks, priority, _action) in enumerate(self._entries):
+            if evalues == masked and emasks == tuple(masks):
+                self._entries[i] = (evalues, emasks, priority, action)
+                self._mutated()
+                return
+        raise KeyError(f"table {self.name!r} has no entry {values!r}/{masks!r}")
 
     def entry_count(self) -> int:
         return len(self._entries)

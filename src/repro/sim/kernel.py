@@ -38,6 +38,7 @@ exposes the same state through properties for tests and tooling.
 from __future__ import annotations
 
 import os
+import weakref
 from heapq import heapify, heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, List, Optional
@@ -710,6 +711,7 @@ class Simulator:
         "_import_state",
         "_running",
         "_exec_observers",
+        "_reset_listeners",
     )
 
     def __init__(self, scheduler: Optional[str] = None) -> None:
@@ -723,6 +725,7 @@ class Simulator:
         self.scheduler = scheduler
         self._running = False
         self._exec_observers: List[Callable[[ScheduledEvent], None]] = []
+        self._reset_listeners: List[weakref.ref] = []
         self._bind_core()
 
     def _bind_core(self) -> None:
@@ -789,6 +792,16 @@ class Simulator:
         """Detach a previously added execution observer."""
         self._exec_observers.remove(fn)
 
+    def add_reset_listener(self, listener: Any) -> None:
+        """Notify ``listener.on_sim_reset()`` whenever :meth:`reset` runs.
+
+        Held by weak reference — per-switch caches and counters register
+        here so A/B rounds reusing one simulator start cold, without the
+        kernel pinning dead switch graphs alive.  Listeners are not part
+        of kernel pickle state; they lazily re-register after a restore.
+        """
+        self._reset_listeners.append(weakref.ref(listener))
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -826,10 +839,20 @@ class Simulator:
 
         Execution observers registered via :meth:`add_execution_observer`
         are dropped too — a reused simulator must not keep profiling
-        callbacks from a previous run.
+        callbacks from a previous run.  Reset listeners (per-switch flow
+        caches and their counters) are told to go cold, so back-to-back
+        benchmark rounds on one simulator are deterministic.
         """
         self._reset_state()
         self._exec_observers.clear()
+        listeners = self._reset_listeners
+        if listeners:
+            live = [ref for ref in listeners if ref() is not None]
+            listeners[:] = live
+            for ref in live:
+                listener = ref()
+                if listener is not None:
+                    listener.on_sim_reset()
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -880,6 +903,7 @@ class Simulator:
         self.scheduler = state["scheduler"]
         self._running = False
         self._exec_observers = []
+        self._reset_listeners = []
         self._bind_core()
         self._import_state(
             state["now_ps"],

@@ -214,7 +214,7 @@ class TrafficManager:
             port_obj.index,
             queue_id,
             queue.depth_bytes,
-            dict(pkt.meta.get("enq_meta") or {}),
+            pkt.meta.get("enq_meta"),
         )
         self._kick(port_obj)
         return True
@@ -240,7 +240,7 @@ class TrafficManager:
             port_obj.index,
             pkt.queue_id,
             scheduler.depth_bytes,
-            dict(pkt.meta.get("enq_meta") or {}),
+            pkt.meta.get("enq_meta"),
         )
         if displaced is not None:
             # Pushed out of the tail: a late overflow drop.
@@ -266,7 +266,7 @@ class TrafficManager:
             port_obj.index,
             queue_id,
             queue.depth_bytes,
-            dict(pkt.meta.get("enq_meta") or {}),
+            pkt.meta.get("enq_meta"),
         )
 
     def _kick(self, port_obj: _Port) -> None:
@@ -286,7 +286,7 @@ class TrafficManager:
             port_obj.index,
             queue_id,
             port_obj.depth_bytes(),
-            dict(pkt.meta.get("deq_meta") or {}),
+            pkt.meta.get("deq_meta"),
         )
         if not port_obj.has_packets():
             self._fire(
@@ -335,9 +335,16 @@ class TrafficManager:
         port: int,
         queue_id: int,
         depth: int,
-        user_meta: Dict[str, int],
+        user_meta: Optional[Dict[str, int]] = None,
     ) -> None:
         if hook is None:
+            return
+        # Hooks that can tell the event will be suppressed without
+        # anyone watching (architecture hooks precompute description
+        # support) answer here, before the TmEvent and the user-meta
+        # copy are built — the TM fires several of these per packet.
+        precheck = getattr(hook, "suppresses_cheaply", None)
+        if precheck is not None and precheck():
             return
         hook(
             TmEvent(
@@ -347,7 +354,7 @@ class TrafficManager:
                 queue_depth_bytes=depth,
                 buffer_occupancy_bytes=self.buffer.occupancy_bytes,
                 time_ps=self.sim.now_ps,
-                user_meta=user_meta,
+                user_meta=dict(user_meta) if user_meta else {},
             )
         )
 

@@ -1,0 +1,467 @@
+"""Flow-decision cache: correctness, invalidation, and equivalence.
+
+The cache may only ever change *speed*, never *behavior*: every test
+here drives the same workload with the cache on and off and demands
+byte-identical outcomes, or exercises the versioning/purity machinery
+that makes that guarantee hold.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.common import ForwardingProgram
+from repro.apps.l3fwd import L3Router
+from repro.arch.events import EventType
+from repro.arch.program import handler
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
+from repro.net.topology import build_linear
+from repro.packet.builder import make_udp_packet
+from repro.packet.headers import Ipv4
+from repro.pisa.action import Action
+from repro.pisa.flowcache import (
+    FLOW_CACHE_ENV,
+    FlowCache,
+    VersionedDict,
+    env_enabled,
+)
+from repro.pisa.table import ExactTable, LpmTable, TernaryTable
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+MS = 1_000_000_000  # 1 ms in ps
+
+
+@pytest.fixture(autouse=True)
+def _cache_on_by_default(monkeypatch):
+    # CI runs the whole suite under both REPRO_FLOW_CACHE=1 and =0; this
+    # module exercises the cache itself, so pin the default ON here and
+    # let individual tests override the environment as needed.
+    monkeypatch.setenv(FLOW_CACHE_ENV, "1")
+
+
+class PlainForwarder(ForwardingProgram):
+    """Route-dict forwarding only: a fully cacheable pipeline."""
+
+    name = "plain-fwd"
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        self.forward_by_ip(pkt, meta)
+
+
+def _drive(factory, program, count=20, flows=1):
+    """Send ``count`` packets (round-robin over ``flows`` source IPs)
+    through a one-switch linear topology; returns (switch, received)."""
+    network = build_linear(factory, switch_count=1)
+    switch = network.switches["s0"]
+    if isinstance(program, ForwardingProgram):
+        program.install_routes({H1_IP: 1, H0_IP: 0})
+    switch.load_program(program)
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(count):
+        src = H0_IP + (i % flows)
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(src, H1_IP, payload_len=200),
+        )
+    network.run()
+    return switch, received
+
+
+def _delivery_fingerprint(received):
+    return [
+        (p.payload_len, [(type(h).__name__, h.field_values()) for h in p.headers])
+        for p in received
+    ]
+
+
+# ----------------------------------------------------------------------
+# VersionedDict / env toggle
+# ----------------------------------------------------------------------
+def test_versioned_dict_bumps_generation_on_every_mutation():
+    d = VersionedDict()
+    assert d.generation == 0
+    d[1] = 2
+    d.update({3: 4})
+    d.setdefault(5, 6)
+    d.setdefault(5, 7)  # present: still bumps (conservative is correct)
+    del d[1]
+    d.pop(3)
+    d.popitem()
+    d[8] = 9
+    d.clear()
+    assert d.generation == 9
+    assert dict(d) == {}
+
+
+def test_versioned_dict_survives_pickle_with_generation():
+    import pickle
+
+    d = VersionedDict({1: 2})
+    d[3] = 4
+    clone = pickle.loads(pickle.dumps(d))
+    assert dict(clone) == {1: 2, 3: 4}
+    assert clone.generation == d.generation
+
+
+def test_env_enabled_parsing(monkeypatch):
+    monkeypatch.delenv(FLOW_CACHE_ENV, raising=False)
+    assert env_enabled() is True
+    for off in ("0", "false", "OFF", "no", ""):
+        monkeypatch.setenv(FLOW_CACHE_ENV, off)
+        assert env_enabled() is False
+    monkeypatch.setenv(FLOW_CACHE_ENV, "1")
+    assert env_enabled() is True
+
+
+def test_constructor_and_env_toggles(monkeypatch):
+    network = build_linear(make_baseline_switch(flow_cache=False), switch_count=1)
+    assert network.switches["s0"].flow_cache is None
+    monkeypatch.setenv(FLOW_CACHE_ENV, "0")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert network.switches["s0"].flow_cache is None
+    monkeypatch.setenv(FLOW_CACHE_ENV, "1")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert network.switches["s0"].flow_cache is not None
+
+
+# ----------------------------------------------------------------------
+# Hit path: identical behavior, counted hits
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory_fn", [make_baseline_switch, make_sume_switch])
+def test_pure_program_hits_and_identical_delivery(factory_fn):
+    sw_on, recv_on = _drive(factory_fn(), PlainForwarder(), count=20)
+    sw_off, recv_off = _drive(
+        factory_fn(flow_cache=False), PlainForwarder(), count=20
+    )
+    assert sw_off.flow_cache is None
+    assert sw_on.flow_cache.stats.hits == 19
+    assert sw_on.flow_cache.stats.misses == 1
+    elided = sw_on._pipeline_for_kind(EventType.INGRESS_PACKET).walks_elided
+    assert elided == 19
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+    # TTL was decremented through the replay path too.
+    assert all(p.get(Ipv4).ttl == 63 for p in recv_on)
+
+
+def test_stateful_program_is_never_short_circuited():
+    from repro.apps.microburst import MicroburstDetector
+
+    def fresh():
+        return MicroburstDetector(num_regs=64, flow_thresh_bytes=1 << 30)
+
+    sw_on, recv_on = _drive(make_sume_switch(), fresh(), count=20)
+    sw_off, recv_off = _drive(make_sume_switch(flow_cache=False), fresh(), count=20)
+    stats = sw_on.flow_cache.stats
+    # The detector reads a shared register in ingress: uncacheable.
+    assert stats.hits == 0
+    assert stats.uncacheable > 0
+    assert sw_on.program.packets_seen == sw_off.program.packets_seen == 20
+    assert (
+        sw_on.program.flow_buf_size.snapshot()
+        == sw_off.program.flow_buf_size.snapshot()
+    )
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+
+
+def test_recordable_counter_stays_exact_through_replay():
+    def fresh():
+        program = L3Router()
+        program.install_host_routes({H0_IP: 0, H1_IP: 1})
+        return program
+
+    sw_on, recv_on = _drive(make_baseline_switch(), fresh(), count=30)
+    sw_off, recv_off = _drive(make_baseline_switch(flow_cache=False), fresh(), count=30)
+    assert sw_on.flow_cache.stats.hits > 0
+    # Counter.count is a blind write: replayed per cached packet.
+    assert list(sw_on.program.next_hop_stats()) == list(
+        sw_off.program.next_hop_stats()
+    )
+    assert sw_on.program.tx_counter.total_packets() == 30
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+
+
+def test_lru_eviction_is_counted():
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    switch = network.switches["s0"]
+    switch.flow_cache = FlowCache(network.sim, limit=2, name="tiny")
+    program = PlainForwarder()
+    program.install_routes({H1_IP: 1})
+    switch.load_program(program)
+    network.hosts["h1"].add_sink(lambda pkt: None)
+    h0 = network.hosts["h0"]
+    for i in range(4):  # 4 distinct flows through a 2-entry cache
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP + i, H1_IP, payload_len=200),
+        )
+    network.run()
+    stats = switch.flow_cache.stats
+    assert stats.misses == 4
+    assert stats.evictions == 2
+    assert len(switch.flow_cache) == 2
+
+
+# ----------------------------------------------------------------------
+# Generation-vector invalidation (satellite: no stale decision ever)
+# ----------------------------------------------------------------------
+def _noop(pkt, meta):
+    return None
+
+
+class _FibForwarder(ForwardingProgram):
+    """Forwarding driven by an ExactTable, so entries can be repointed."""
+
+    name = "table-fwd"
+
+    def __init__(self):
+        super().__init__()
+        self.fib = ExactTable("fib")
+
+    @handler(EventType.INGRESS_PACKET)
+    def ingress(self, ctx, pkt, meta):
+        ip = pkt.get(Ipv4)
+        self.fib.apply((ip.dst,)).execute(pkt, meta)
+
+
+def _run_mid_sim_repoint(flow_cache):
+    set_port = Action(
+        "set_port", lambda pkt, meta, port=0: meta.send_to_port(port), ("port",)
+    )
+    network = build_linear(
+        make_baseline_switch(flow_cache=flow_cache), switch_count=1
+    )
+    switch = network.switches["s0"]
+    program = _FibForwarder()
+    program.fib.insert((H1_IP,), set_port.bind(port=1))
+    switch.load_program(program)
+    to_h1, to_h0 = [], []
+    network.hosts["h1"].add_sink(to_h1.append)
+    network.hosts["h0"].add_sink(to_h0.append)
+    h0 = network.hosts["h0"]
+    for i in range(10):
+        network.sim.call_at(
+            1_000 + i * 2_000_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    # Mid-simulation the control plane repoints the entry at port 0:
+    # every packet processed afterwards must bounce back, even though
+    # the flow's old decision sits in the cache.  (Sends are 2 µs apart
+    # and the h0—s0 link adds 1 µs, so 9 µs lands between the ingress
+    # of packet 3 and packet 4.)
+    network.sim.call_at(
+        9_000_000,
+        program.fib.update_action,
+        (H1_IP,),
+        set_port.bind(port=0),
+    )
+    network.run()
+    return switch, len(to_h1), len(to_h0)
+
+
+def test_table_mutation_mid_sim_evicts_before_next_packet():
+    switch, h1_cached, h0_cached = _run_mid_sim_repoint(True)
+    _switch, h1_plain, h0_plain = _run_mid_sim_repoint(False)
+    # The repoint took effect mid-run and the cache observed exactly the
+    # same split as the uncached switch — no stale decision served.
+    assert h0_cached > 0
+    assert h1_cached > 0
+    assert (h1_cached, h0_cached) == (h1_plain, h0_plain)
+    assert h1_cached + h0_cached == 10
+    stats = switch.flow_cache.stats
+    assert stats.invalidations >= 1
+    assert stats.hits >= 1
+
+
+@pytest.mark.parametrize(
+    "make_table,mutate",
+    [
+        (
+            lambda: ExactTable("t"),
+            [
+                lambda t: t.insert((1,), Action("a", _noop).bind()),
+                lambda t: t.update_action((1,), Action("b", _noop).bind()),
+                lambda t: t.remove((1,)),
+            ],
+        ),
+        (
+            lambda: LpmTable("t"),
+            [
+                lambda t: t.insert(0x0A000000, 8, Action("a", _noop).bind()),
+                lambda t: t.update_action(0x0A000000, 8, Action("b", _noop).bind()),
+                lambda t: t.remove(0x0A000000, 8),
+            ],
+        ),
+        (
+            lambda: TernaryTable("t"),
+            [
+                lambda t: t.insert((1,), (0xFF,), 1, Action("a", _noop).bind()),
+                lambda t: t.update_action((1,), (0xFF,), Action("b", _noop).bind()),
+                lambda t: t.remove((1,), (0xFF,)),
+            ],
+        ),
+    ],
+    ids=["exact", "lpm", "ternary"],
+)
+def test_every_table_mutation_bumps_generation(make_table, mutate):
+    table = make_table()
+    generation = table.generation
+    for op in mutate:
+        op(table)
+        assert table.generation > generation
+        generation = table.generation
+    table.set_default(Action("d", _noop).bind())
+    assert table.generation > generation
+
+
+def test_update_action_missing_entry_raises():
+    exact = ExactTable("t")
+    with pytest.raises(KeyError):
+        exact.update_action((1,), Action("a", _noop).bind())
+    lpm = LpmTable("t")
+    with pytest.raises(KeyError):
+        lpm.update_action(0x0A000000, 8, Action("a", _noop).bind())
+    ternary = TernaryTable("t")
+    with pytest.raises(KeyError):
+        ternary.update_action((1,), (0xFF,), Action("a", _noop).bind())
+
+
+# ----------------------------------------------------------------------
+# Reset / checkpoint-restore: caches start cold and deterministic
+# ----------------------------------------------------------------------
+def test_sim_reset_clears_entries_and_counters():
+    switch, _received = _drive(make_baseline_switch(), PlainForwarder(), count=10)
+    cache = switch.flow_cache
+    assert cache.stats.hits == 9 and len(cache) == 1
+    switch.sim.reset()
+    assert len(cache) == 0
+    assert cache.stats.as_dict() == {
+        "hits": 0,
+        "misses": 0,
+        "uncacheable": 0,
+        "invalidations": 0,
+        "evictions": 0,
+    }
+
+
+def test_checkpoint_restore_starts_cold_then_rebuilds(tmp_path):
+    from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    switch = network.switches["s0"]
+    program = PlainForwarder()
+    program.install_routes({H1_IP: 1, H0_IP: 0})
+    switch.load_program(program)
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(10):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run(until_ps=2_500_000)
+    assert switch.flow_cache.stats.hits > 0
+
+    path = str(tmp_path / "fc.ckpt")
+    save_checkpoint(path, network.sim, state=network)
+    sim2, network2, _header = load_checkpoint(path)
+    cache2 = network2.switches["s0"].flow_cache
+    # The memo is deliberately not checkpointed: restored runs start
+    # cold (zero entries, zero counters) and rebuild warm.
+    assert len(cache2) == 0
+    assert cache2.stats.hits == 0
+    received2 = []
+    network2.hosts["h1"].add_sink(received2.append)
+    sim2.run()
+    network.run()
+    assert cache2.stats.misses == 1
+    assert cache2.stats.hits > 0
+    assert len(received) == 10
+    assert _delivery_fingerprint(received[-len(received2):]) == _delivery_fingerprint(
+        received2
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache-on/off equivalence matrix over the paper's experiments
+# ----------------------------------------------------------------------
+def _with_cache(monkeypatch, flag, fn, *args, **kwargs):
+    monkeypatch.setenv(FLOW_CACHE_ENV, flag)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        monkeypatch.delenv(FLOW_CACHE_ENV, raising=False)
+
+
+@pytest.mark.parametrize("experiment", ["microburst", "hula", "netcache"])
+def test_experiment_outputs_identical_with_cache_on_and_off(
+    experiment, monkeypatch
+):
+    if experiment == "microburst":
+        from repro.experiments.microburst_exp import run_event_driven
+
+        def run():
+            return dataclasses.asdict(
+                run_event_driven(duration_ps=4 * MS, seed=7)
+            )
+
+    elif experiment == "hula":
+        from repro.experiments.hula_exp import run_load_balance
+
+        def run():
+            return dataclasses.asdict(
+                run_load_balance(duration_ps=3 * MS, seed=7)
+            )
+
+    else:
+        from repro.experiments.netcache_exp import run_netcache
+
+        def run():
+            return dataclasses.asdict(
+                run_netcache(
+                    duration_ps=8 * MS, shift_at_ps=4 * MS, seed=7
+                )
+            )
+
+    off = _with_cache(monkeypatch, "0", run)
+    on = _with_cache(monkeypatch, "1", run)
+    assert on == off
+
+
+def test_state_summary_identical_with_cache_on_and_off():
+    def fresh():
+        program = L3Router()
+        program.install_host_routes({H0_IP: 0, H1_IP: 1})
+        return program
+
+    sw_on, _ = _drive(make_baseline_switch(), fresh(), count=15)
+    sw_off, _ = _drive(make_baseline_switch(flow_cache=False), fresh(), count=15)
+    assert sw_on.state_summary() == sw_off.state_summary()
+
+
+def test_observed_dispatch_still_counts_and_traces_identically():
+    from repro.obs import RecordingObserver, observing
+
+    def traced(flow_cache):
+        observer = RecordingObserver()
+        with observing(observer):
+            switch, received = _drive(
+                make_baseline_switch(flow_cache=flow_cache),
+                PlainForwarder(),
+                count=12,
+            )
+        return switch, received, observer
+
+    sw_on, recv_on, obs_on = traced(True)
+    sw_off, recv_off, obs_off = traced(False)
+    assert sw_on.flow_cache.stats.hits > 0  # cache active under observers
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+    assert obs_on.normalized() == obs_off.normalized()

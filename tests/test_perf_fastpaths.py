@@ -360,11 +360,12 @@ def test_bench_collect_write_read_compare(tmp_path):
     from repro.experiments import bench
 
     data = bench.collect("unit", rounds=1)
-    assert set(data["benchmarks"]) == {"kernel", "switch"}
+    assert set(data["benchmarks"]) == {"kernel", "switch", "switch_cached"}
     kern = data["benchmarks"]["kernel"]
     assert kern["events"] == bench.KERNEL_EVENTS
     assert kern["events_per_sec"] > 0
     assert data["benchmarks"]["switch"]["packets"] == bench.SWITCH_PACKETS
+    assert data["benchmarks"]["switch_cached"]["packets"] == bench.SWITCH_PACKETS
 
     path = tmp_path / "BENCH_unit.json"
     bench.write_snapshot(data, str(path))
