@@ -8,7 +8,6 @@ same structural cost model.
 from _util import report
 
 from repro.resources.programs import application_cost_rows
-from repro.resources.report import event_logic_build
 
 
 def test_application_costs_are_small(once):

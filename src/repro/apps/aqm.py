@@ -18,13 +18,12 @@ decision must be made.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext, handler
 from repro.packet.hashing import flow_hash
-from repro.packet.headers import Ipv4
 from repro.packet.packet import Packet
 from repro.pisa.externs.register import SharedRegister
 from repro.pisa.metadata import StandardMetadata

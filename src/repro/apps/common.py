@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.arch.program import P4Program, ProgramContext
+from repro.arch.program import P4Program
 from repro.packet.headers import Ipv4
 from repro.packet.packet import Packet
 from repro.pisa.flowcache import VersionedDict

@@ -16,7 +16,6 @@ data plane."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

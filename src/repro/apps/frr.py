@@ -15,7 +15,7 @@ The control-plane comparison is staged by the experiment harness with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -20,7 +20,7 @@ plane, especially if the data structure must be frequently reset."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

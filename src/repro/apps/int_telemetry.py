@@ -17,7 +17,7 @@ only report anomalous events to the monitoring system periodically."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

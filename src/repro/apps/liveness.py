@@ -16,7 +16,7 @@ deadline emits a notification packet toward the monitor port.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -18,8 +18,8 @@ is enqueued* — which is what lets the program take corrective action
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -14,7 +14,6 @@ control, queue 1 carries data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -25,7 +25,7 @@ from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext, handler
 from repro.packet.builder import make_kv_request
-from repro.packet.headers import Ipv4, KeyValue, Udp
+from repro.packet.headers import Ipv4, KeyValue
 from repro.packet.packet import Packet
 from repro.pisa.externs.register import SharedRegister
 from repro.pisa.externs.sketch import CountMinSketch

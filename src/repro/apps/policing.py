@@ -17,7 +17,7 @@ algorithms."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -22,7 +22,7 @@ whose rank function reads the rank the program stamped into the packet.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -22,7 +22,6 @@ Costs relative to the event-driven detector:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.apps.common import ForwardingProgram

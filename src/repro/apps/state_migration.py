@@ -23,14 +23,12 @@ over-admits traffic that already spent its budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.apps.frr import FastRerouteProgram
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext, handler
-from repro.packet.builder import make_udp_packet
 from repro.packet.hashing import flow_hash
 from repro.packet.headers import EtherType, Ethernet, Ipv4, Udp
 from repro.packet.packet import Packet

@@ -205,6 +205,12 @@ class SwitchBase:
         self._cpu_callback: Optional[Callable[[Dict[str, int]], None]] = None
         self.rx_packets = 0
         self.dropped_by_program = 0
+        # Fault-injection state (repro.faults): a stalled switch stops
+        # ingress processing and timer delivery; already-queued packets
+        # still drain (the TM keeps serializing).
+        self.stalled = False
+        self.stalled_rx_drops = 0
+        self.stalled_timer_misses = 0
         # The flow-decision cache (repro.pisa.flowcache): memoizes the
         # per-packet pipeline walk behind generation vectors and purity
         # detection.  ``flow_cache=`` overrides the REPRO_FLOW_CACHE
@@ -279,6 +285,22 @@ class SwitchBase:
         """Current link status of ``port``."""
         return bool(self._link_up[port])
 
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def stall(self) -> None:
+        """Freeze the switch: ingress packets are dropped at the door and
+        periodic timers stop delivering until :meth:`unstall`.
+
+        Packets already accepted into the traffic manager keep draining —
+        a stalled ASIC's serializers do not un-send what they queued.
+        """
+        self.stalled = True
+
+    def unstall(self) -> None:
+        """Resume ingress processing and timer delivery."""
+        self.stalled = False
+
     def control_event(self, meta: Dict[str, int]) -> None:
         """The control plane triggers a CONTROL_PLANE event."""
         if not self.description.supports(EventType.CONTROL_PLANE):
@@ -318,6 +340,9 @@ class SwitchBase:
             process.stop()
 
     def _timer_fired(self, timer_id: int) -> None:
+        if self.stalled:
+            self.stalled_timer_misses += 1
+            return
         self.fire_event(
             Event(
                 kind=EventType.TIMER,

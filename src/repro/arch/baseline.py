@@ -12,7 +12,7 @@ close.
 from __future__ import annotations
 
 from sys import getrefcount
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.arch.base import SwitchBase
 from repro.arch.description import BASELINE_PSA, ArchitectureDescription
@@ -59,6 +59,9 @@ class BaselinePsaSwitch(SwitchBase):
         """Packet arrival: parse, then enter the ingress pipeline."""
         if not self._link_up[port]:
             return  # arrivals on a dead link are lost at the MAC
+        if self.stalled:
+            self.stalled_rx_drops += 1
+            return
         self.rx_packets += 1
         pkt.ingress_port = port
         self.sim.call_after(

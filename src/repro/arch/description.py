@@ -11,10 +11,10 @@ program's handlers against this description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List
 
-from repro.arch.events import EventType, PACKET_EVENTS
+from repro.arch.events import EventType
 
 
 class UnsupportedEventError(TypeError):

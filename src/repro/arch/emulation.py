@@ -28,7 +28,7 @@ Switch delivers.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.arch.baseline import BaselinePsaSwitch
 from repro.arch.description import TOFINO_LIKE, ArchitectureDescription

@@ -22,7 +22,7 @@ all dispatched immediately to the program's handlers.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.arch.baseline import BaselinePsaSwitch
 from repro.arch.description import LOGICAL_EVENT_DRIVEN, ArchitectureDescription
@@ -31,7 +31,6 @@ from repro.arch.program import P4Program
 from repro.packet.packet import Packet
 from repro.pisa.pipeline import Pipeline
 from repro.sim.kernel import Simulator
-from repro.tm.traffic_manager import TmEvent
 
 
 def _noop_control(pkt, meta) -> None:

@@ -24,7 +24,7 @@ merger queue when injection is disabled (the ablation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.arch.events import Event, EventType

@@ -31,7 +31,6 @@ from repro.packet.packet import Packet
 from repro.pisa.metadata import StandardMetadata
 from repro.pisa.pipeline import Pipeline
 from repro.sim.kernel import Simulator
-from repro.tm.traffic_manager import TmEvent
 
 
 class SumeEventSwitch(SwitchBase):
@@ -76,6 +75,9 @@ class SumeEventSwitch(SwitchBase):
     def receive(self, pkt: Packet, port: int) -> None:
         """Packet arrival: becomes an event carrier through the pipeline."""
         if not self._link_up[port]:
+            return
+        if self.stalled:
+            self.stalled_rx_drops += 1
             return
         self.rx_packets += 1
         pkt.ingress_port = port

@@ -25,6 +25,13 @@ the other scheduler backend — event order is identical)::
 
 Benchmark sweeps are resumable too: ``bench --resume progress.json``
 skips benchmarks an interrupted sweep already recorded.
+
+The fault-injection grid (:mod:`repro.faults`) runs seeded chaos over
+the failure-handling applications and exits nonzero on any invariant
+violation::
+
+    python -m repro.cli chaos --plan linkflap --app frr --seed 7
+    python -m repro.cli chaos --seed-sweep 25 --out verdicts.jsonl
 """
 
 from __future__ import annotations
@@ -318,7 +325,13 @@ def run_bench(
     max_regression: float = 0.25,
     resume_path: str = "",
 ) -> int:
-    """Run the perf suite, write BENCH_<label>.json, gate on regressions."""
+    """Run the perf suite, write BENCH_<label>.json, gate on regressions.
+
+    ``--compare`` entries may be globs (``BENCH_pr*.json``), so the CI
+    gate picks up new trajectory snapshots without workflow edits.  When
+    ``$GITHUB_STEP_SUMMARY`` is set, a per-scenario delta table is
+    appended there.
+    """
     import os
 
     from repro.experiments import bench
@@ -332,8 +345,10 @@ def run_bench(
     if resume_path and os.path.exists(resume_path) and resume_path != path:
         os.remove(resume_path)  # sweep finished; progress file is spent
     failed = False
-    for baseline_path in compare_to:
+    baselines = []
+    for baseline_path in bench.expand_baselines(list(compare_to), exclude=path):
         baseline = bench.read_snapshot(baseline_path)
+        baselines.append((baseline_path, baseline))
         problems = bench.compare(baseline, data, max_regression=max_regression)
         if problems:
             _print(f"REGRESSIONS vs {baseline_path}", problems)
@@ -343,7 +358,37 @@ def run_bench(
                 f"\nno regressions vs {baseline_path} "
                 f"(threshold {max_regression:.0%})"
             )
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary and baselines:
+        table = bench.delta_markdown(data, baselines, max_regression=max_regression)
+        with open(step_summary, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(table) + "\n")
     return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# Chaos (fault-injection) subcommand
+# ----------------------------------------------------------------------
+def run_chaos(
+    plan: str = "all",
+    app: str = "all",
+    seed: int = 7,
+    seed_sweep: int = 0,
+    out: str = "chaos_verdicts.jsonl",
+) -> int:
+    """Run the fault-injection grid; nonzero exit on invariant violations."""
+    from repro.faults import chaos
+
+    plans = chaos.PLAN_NAMES if plan == "all" else (plan,)
+    apps = chaos.APP_NAMES if app == "all" else (app,)
+    seeds = list(range(seed, seed + seed_sweep)) if seed_sweep > 0 else [seed]
+    records = chaos.run_grid(plans, apps, seeds, out_path=out)
+    _print(
+        f"chaos grid: {len(plans)} plan(s) x {len(apps)} app(s) x "
+        f"{len(seeds)} seed(s) → {out}",
+        chaos.summary_rows(records),
+    )
+    return 1 if chaos.violation_count(records) else 0
 
 
 # ----------------------------------------------------------------------
@@ -442,7 +487,7 @@ def main(argv: List[str] = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "events-stats", "events-trace", "bench",
-           "checkpoint", "resume"],
+           "checkpoint", "resume", "chaos"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
@@ -500,6 +545,29 @@ def main(argv: List[str] = None) -> int:
         help="bench: progress file making an interrupted sweep resumable",
     )
     parser.add_argument(
+        "--plan",
+        default="all",
+        help="chaos: fault plan to run ('all' = the whole catalog)",
+    )
+    parser.add_argument(
+        "--app",
+        default="all",
+        help="chaos: application scenario to run ('all' = every app)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="chaos: base seed (every fault draw derives from it)",
+    )
+    parser.add_argument(
+        "--seed-sweep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos: run N consecutive seeds starting at --seed",
+    )
+    parser.add_argument(
         "--ckpt",
         default="microburst.ckpt",
         metavar="PATH",
@@ -536,6 +604,7 @@ def main(argv: List[str] = None) -> int:
             ("events-stats", run_events_stats),
             ("events-trace", run_events_trace),
             ("bench", run_bench),
+            ("chaos", run_chaos),
             ("checkpoint", run_checkpoint),
             ("resume", run_resume),
         ):
@@ -550,6 +619,16 @@ def main(argv: List[str] = None) -> int:
             compare_to=args.compare,
             max_regression=args.max_regression,
             resume_path=args.resume,
+        )
+    if args.experiment == "chaos":
+        return run_chaos(
+            plan=args.plan,
+            app=args.app,
+            seed=args.seed,
+            seed_sweep=args.seed_sweep,
+            out="chaos_verdicts.jsonl"
+            if args.out == "events_trace.jsonl"
+            else args.out,
         )
     if args.experiment == "checkpoint":
         return run_checkpoint(args.ckpt, args.at_ps, args.duration_ps)

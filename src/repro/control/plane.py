@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.units import MICROSECONDS, MILLISECONDS
@@ -59,6 +59,7 @@ class ControlPlane:
         self._busy = False
         self.operations_completed = 0
         self.busy_time_ps = 0
+        self.table_updates = 0
         self.digests_received: List[Dict[str, int]] = []
 
     # ------------------------------------------------------------------
@@ -100,6 +101,7 @@ class ControlPlane:
         action object in place bypasses both caches; never do that.
         """
         duration = self.config.rtt_ps + entries * self.config.per_entry_write_ps
+        self.table_updates += 1
         self.submit(duration, fn)
 
     def install_route(self, action: Callable[[], None], entries: int = 1) -> None:

@@ -14,7 +14,7 @@ time series length — the §5 "report to a monitor" behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.apps.aqm import DropTailProgram, FredAqm, PieAqm, RedAqm
 from repro.experiments.factories import make_sume_switch

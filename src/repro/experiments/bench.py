@@ -293,6 +293,69 @@ def compare(
     return problems
 
 
+def expand_baselines(patterns: List[str], exclude: str = "") -> List[str]:
+    """Expand ``--compare`` glob patterns into snapshot paths.
+
+    Keeps the workflow self-maintaining: a new ``BENCH_prN.json``
+    snapshot joins the gate without editing CI.  Non-glob entries pass
+    through untouched (a missing file should fail loudly downstream,
+    not vanish); ``exclude`` drops the snapshot being written right now
+    so a run never gates against itself.  Order-preserving, de-duped.
+    """
+    import glob as globlib
+
+    paths: List[str] = []
+    for pattern in patterns:
+        matches = sorted(globlib.glob(pattern))
+        for path in matches or [pattern]:
+            if path != exclude and path not in paths:
+                paths.append(path)
+    return paths
+
+
+def delta_markdown(
+    current: Dict,
+    baselines: List[Tuple[str, Dict]],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """A per-scenario delta table in GitHub-flavored markdown.
+
+    One row per benchmark, one column per baseline snapshot; each cell
+    is the best-wall-time delta vs that baseline (positive = slower).
+    Written into ``$GITHUB_STEP_SUMMARY`` by the CI benchmark job.
+    """
+    lines = [
+        f"### Benchmark deltas — label `{current['label']}`, "
+        f"scheduler `{current['scheduler']}`, python {current['python']}",
+        "",
+        "| benchmark | best | "
+        + " | ".join(label for label, _data in baselines)
+        + " |",
+        "|---|---|" + "---|" * len(baselines),
+    ]
+    cur_marks = current.get("benchmarks", {})
+    for name in sorted(cur_marks):
+        cur = cur_marks[name]["wall_s_min"]
+        cells = []
+        for _label, baseline in baselines:
+            base_entry = baseline.get("benchmarks", {}).get(name)
+            if base_entry is None:
+                cells.append("n/a")
+                continue
+            delta = cur / base_entry["wall_s_min"] - 1.0
+            flag = " ⚠" if delta > max_regression else ""
+            cells.append(f"{delta:+.1%}{flag}")
+        lines.append(
+            f"| {name} | {cur * 1e3:.2f} ms | " + " | ".join(cells) + " |"
+        )
+    lines.append("")
+    lines.append(
+        f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
+        "(positive deltas are slower; ⚠ exceeds the gate)."
+    )
+    return lines
+
+
 def summary_rows(data: Dict) -> List[str]:
     """Human-readable rows for one snapshot (CLI output)."""
     rows = [

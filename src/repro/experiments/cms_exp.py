@@ -19,7 +19,7 @@ fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import Set, Tuple
 
 from repro.apps.heavy_hitters import HeavyHitterDetector
 from repro.control.plane import ControlPlane, ControlPlaneConfig

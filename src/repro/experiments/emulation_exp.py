@@ -16,7 +16,7 @@ are needed for the full Table 1 event set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType

@@ -16,11 +16,11 @@ Two artifacts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.apps.common import ForwardingProgram
-from repro.arch.description import STOCK_DESCRIPTIONS, ArchitectureDescription
+from repro.arch.description import STOCK_DESCRIPTIONS
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext, handler
 from repro.experiments.factories import make_sume_switch

@@ -7,7 +7,7 @@ and experiment-friendly buffer defaults.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.arch.baseline import BaselinePsaSwitch
 from repro.arch.description import (

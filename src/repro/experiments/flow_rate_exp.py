@@ -15,7 +15,6 @@ fixed settle time after the bursty flow stops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.apps.flow_rate import EwmaRateEstimator, FlowRateMonitor
 from repro.experiments.factories import make_sume_switch

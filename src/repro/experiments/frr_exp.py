@@ -27,14 +27,10 @@ from typing import List, Optional
 
 from repro.apps.frr import FastRerouteProgram, StaticRouteProgram
 from repro.apps.common import ForwardingProgram
-from repro.arch.events import EventType
-from repro.arch.program import ProgramContext, handler
 from repro.control.plane import ControlPlane, ControlPlaneConfig
 from repro.experiments.factories import make_baseline_switch, make_sume_switch
 from repro.net.host import Host
 from repro.net.network import Network
-from repro.packet.packet import Packet
-from repro.pisa.metadata import StandardMetadata
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 from repro.workloads.base import FlowSpec
 from repro.workloads.cbr import ConstantBitRate

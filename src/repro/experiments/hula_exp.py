@@ -13,7 +13,7 @@ Reported: bytes transmitted per leaf0 uplink, an imbalance score
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.apps.hula import EcmpLeafProgram, HulaLeafProgram, HulaSpineProgram
 from repro.experiments.factories import make_sume_switch
@@ -63,9 +63,6 @@ def _setup(scheme: str, seed: int):
         spine_count=2,
         hosts_per_leaf=2,
     )
-    network = fabric.network
-    uplinks = fabric.uplink_ports["leaf0"]
-
     leaf_programs = {}
     for leaf_index, leaf in enumerate(fabric.leaves):
         if scheme == "hula":

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.apps.int_telemetry import IntAggregator, PostcardTelemetry
-from repro.apps.ndp import TailDropProgram
 from repro.experiments.factories import make_sume_switch
 from repro.net.host import Host
 from repro.net.network import Network

@@ -22,7 +22,7 @@ from typing import List
 from repro.apps.microburst import MicroburstDetector
 from repro.experiments.factories import make_sume_switch
 from repro.net.topology import build_linear
-from repro.sim.units import MICROSECONDS, MILLISECONDS, NANOSECONDS
+from repro.sim.units import MILLISECONDS, NANOSECONDS
 from repro.workloads.base import FlowSpec
 from repro.workloads.poisson import PoissonTraffic
 

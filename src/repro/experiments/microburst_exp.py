@@ -13,7 +13,7 @@ baseline runs on a baseline PSA switch.  Reported per detector:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.apps.microburst import CmsMicroburstDetector, MicroburstDetector
 from repro.apps.snappy import SnappyDetector

@@ -14,7 +14,6 @@ about.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.apps.ndp import NdpProgram, TailDropProgram
 from repro.experiments.factories import make_sume_switch
@@ -24,7 +23,6 @@ from repro.sim.units import MILLISECONDS
 from repro.tm.scheduler import StrictPriorityScheduler
 from repro.workloads.base import FlowSpec
 from repro.workloads.incast import IncastWave
-from repro.workloads.sink import PacketSink
 
 RX_IP = 0x0A00_0000 + 101
 

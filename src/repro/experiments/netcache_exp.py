@@ -15,14 +15,12 @@ Reported: overall hit ratio, server load, and the post-shift hit ratio
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.apps.netcache import KvServerApp, NetCacheProgram
 from repro.experiments.factories import make_sume_switch
 from repro.net.topology import build_linear
 from repro.packet.builder import make_kv_request
 from repro.packet.headers import KeyValue
-from repro.packet.packet import Packet
 from repro.sim.kernel import Simulator
 from repro.sim.rng import SeededRng
 from repro.sim.units import MICROSECONDS, MILLISECONDS

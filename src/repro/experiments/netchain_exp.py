@@ -15,7 +15,6 @@ Mid-chain connectivity dies mid-run:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.apps.netchain import ChainClient, ChainNodeProgram, StaticChainNodeProgram
 from repro.control.plane import ControlPlaneConfig

@@ -12,13 +12,11 @@ express.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.apps.policing import FixedFunctionPolicer, TimerTokenBucketPolicer
 from repro.experiments.factories import make_sume_switch
 from repro.net.topology import build_linear
-from repro.packet.hashing import tuple_hash
-from repro.packet.packet import FiveTuple
 from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
 from repro.workloads.base import FlowSpec
 from repro.workloads.cbr import ConstantBitRate

@@ -8,7 +8,6 @@ event WFQ program, delivered bytes track the weights (≈3:1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.apps.scheduling import FifoSchedulerProgram, WfqSchedulerProgram, rank_of
 from repro.experiments.factories import make_sume_switch

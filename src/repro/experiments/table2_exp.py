@@ -11,7 +11,7 @@ headline metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
 from repro.apps.aqm import FredAqm
 from repro.apps.frr import FastRerouteProgram

@@ -1,0 +1,49 @@
+"""Seeded, deterministic fault injection (the robustness layer).
+
+The paper's event catalog exists because data planes must *react to
+failure*; this package turns that from untested code paths into
+continuously verified behavior:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` /
+  :class:`FaultSpec` (link flap/degrade, switch stall/crash-restore,
+  control-plane churn, buffer bursts) placed by fractional windows,
+* :mod:`repro.faults.injector` — compiles a plan against a scenario
+  into timed kernel events, seeded by :class:`~repro.sim.rng.SeededRng`,
+* :mod:`repro.faults.monitors` — invariant monitors: exact per-link
+  packet conservation, reconvergence measurement, flow-cache coherence
+  under churn,
+* :mod:`repro.faults.scenarios` — compact builds of the FRR, liveness,
+  HULA, and state-migration applications with uniform fault targets,
+* :mod:`repro.faults.chaos` — the plan x app x seed grid behind the
+  ``repro chaos`` CLI subcommand, emitting a byte-stable JSONL verdict
+  report.
+
+See ``docs/ROBUSTNESS.md`` for the schema, the monitor catalog, and
+seed-replay recipes.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import Degradation, FaultInjector
+from repro.faults.monitors import (
+    FlowCacheCoherenceMonitor,
+    PacketConservationMonitor,
+    ReconvergenceMonitor,
+)
+from repro.faults.plan import BUILTIN_PLANS, FaultPlan, FaultSpec, get_plan
+from repro.faults.scenarios import SCENARIOS, Scenario, build_scenario
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "Degradation",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FlowCacheCoherenceMonitor",
+    "PacketConservationMonitor",
+    "ReconvergenceMonitor",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "get_plan",
+]

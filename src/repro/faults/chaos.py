@@ -1,0 +1,162 @@
+"""The chaos grid: plan x app x seed, with verdicts.
+
+Each grid cell runs its scenario **twice** — flow cache on, then off —
+with the same seed; the two behavior fingerprints must match exactly
+(the cache may only elide work, never change behavior, even mid-fault).
+The cache-on run carries the invariant monitors; the resulting verdict
+record is one JSON object with sorted keys, so the JSONL report is
+byte-identical across replays of the same grid and seed.
+
+Exit-code contract (``repro chaos``): nonzero iff any record carries a
+violation.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.faults.monitors import (
+    FlowCacheCoherenceMonitor,
+    PacketConservationMonitor,
+    ReconvergenceMonitor,
+)
+from repro.faults.plan import BUILTIN_PLANS, get_plan
+from repro.faults.scenarios import SCENARIOS, build_scenario
+from repro.obs.faultlog import FaultLog
+from repro.sim.rng import SeededRng
+
+#: Grid axes in their canonical (reported) order.
+PLAN_NAMES: Tuple[str, ...] = tuple(sorted(BUILTIN_PLANS))
+APP_NAMES: Tuple[str, ...] = tuple(sorted(SCENARIOS))
+
+
+def run_instance(
+    plan_name: str, app_name: str, seed: int, flow_cache: bool
+) -> Dict[str, object]:
+    """One monitored scenario run; returns raw instance results."""
+    plan = get_plan(plan_name)
+    scenario = build_scenario(app_name, seed, flow_cache=flow_cache)
+    rng = SeededRng(seed, f"chaos/{plan_name}/{app_name}")
+    log = FaultLog()
+    injector = FaultInjector(scenario, plan, rng, log=log)
+    conservation = PacketConservationMonitor(scenario.network)
+    reconvergence = ReconvergenceMonitor(scenario.network.sim, scenario.sink)
+    coherence = FlowCacheCoherenceMonitor(scenario.caches())
+
+    injector.arm()
+    scenario.network.run(until_ps=scenario.duration_ps)
+
+    violations: List[str] = []
+    violations.extend(conservation.check())
+    churned = "control_churn" in plan.kinds()
+    violations.extend(coherence.check(churned))
+
+    return {
+        "violations": violations,
+        "fingerprint": scenario.fingerprint(reconvergence.arrivals),
+        "delivered": len(reconvergence.arrivals),
+        "faults": log.count(),
+        "fault_kinds": log.kinds(),
+        "last_fault_ps": log.last_time_ps(),
+        "reconvergence_ps": reconvergence.reconvergence_ps(log.last_time_ps()),
+        "max_gap_ps": reconvergence.max_gap_ps(),
+        "cache": coherence.totals(),
+        "conservation": conservation.totals(),
+        "control_ops": scenario.control.operations_completed,
+        "table_updates": scenario.control.table_updates,
+    }
+
+
+def run_cell(plan_name: str, app_name: str, seed: int) -> Dict[str, object]:
+    """One verdict record: cache-on run, cache-off run, A/B comparison."""
+    on = run_instance(plan_name, app_name, seed, flow_cache=True)
+    off = run_instance(plan_name, app_name, seed, flow_cache=False)
+
+    violations = list(on["violations"])
+    violations.extend(f"cache-off:{message}" for message in off["violations"])
+    if on["fingerprint"] != off["fingerprint"]:
+        diverged = sorted(
+            key
+            for key in set(on["fingerprint"]) | set(off["fingerprint"])
+            if on["fingerprint"].get(key) != off["fingerprint"].get(key)
+        )
+        violations.append(
+            "flowcache-divergence: cache-on and cache-off runs disagree on "
+            + ", ".join(diverged)
+        )
+
+    fingerprint_crc = zlib.crc32(repr(sorted(on["fingerprint"].items())).encode())
+    return {
+        "plan": plan_name,
+        "app": app_name,
+        "seed": seed,
+        "ok": not violations,
+        "violations": violations,
+        "delivered": on["delivered"],
+        "faults": on["faults"],
+        "fault_kinds": on["fault_kinds"],
+        "reconvergence_ps": on["reconvergence_ps"],
+        "max_gap_ps": on["max_gap_ps"],
+        "fingerprint": f"{fingerprint_crc:08x}",
+        "cache": on["cache"],
+        "conservation": on["conservation"],
+        "table_updates": on["table_updates"],
+    }
+
+
+def run_grid(
+    plans: Sequence[str],
+    apps: Sequence[str],
+    seeds: Iterable[int],
+    out_path: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run every (plan, app, seed) cell; optionally stream JSONL to disk."""
+    records: List[Dict[str, object]] = []
+    out = open(out_path, "w", encoding="utf-8") if out_path else None
+    try:
+        for plan_name in plans:
+            for app_name in apps:
+                for seed in seeds:
+                    record = run_cell(plan_name, app_name, seed)
+                    records.append(record)
+                    if out is not None:
+                        out.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if out is not None:
+            out.close()
+    return records
+
+
+def violation_count(records: List[Dict[str, object]]) -> int:
+    """Total violations across a grid's verdict records."""
+    return sum(len(record["violations"]) for record in records)
+
+
+def summary_rows(records: List[Dict[str, object]]) -> List[str]:
+    """Printable per-(plan, app) summary of a grid run."""
+    rows = [
+        f"{'plan':<12}{'app':<11}{'cells':>6}{'viol':>6}{'delivered':>11}"
+        f"{'faults':>8}{'hits':>8}{'inval':>7}"
+    ]
+    by_pair: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for record in records:
+        by_pair.setdefault((str(record["plan"]), str(record["app"])), []).append(record)
+    for (plan_name, app_name), cell_records in sorted(by_pair.items()):
+        violations = sum(len(r["violations"]) for r in cell_records)
+        delivered = sum(int(r["delivered"]) for r in cell_records)
+        faults = sum(int(r["faults"]) for r in cell_records)
+        hits = sum(int(r["cache"]["hits"]) for r in cell_records)
+        invalidations = sum(int(r["cache"]["invalidations"]) for r in cell_records)
+        rows.append(
+            f"{plan_name:<12}{app_name:<11}{len(cell_records):>6}{violations:>6}"
+            f"{delivered:>11}{faults:>8}{hits:>8}{invalidations:>7}"
+        )
+    total_violations = violation_count(records)
+    rows.append(
+        f"{len(records)} cell(s), {total_violations} violation(s)"
+        + ("" if total_violations else " — all invariants held")
+    )
+    return rows

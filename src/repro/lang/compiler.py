@@ -45,7 +45,7 @@ handlers, reading the event's metadata).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps.common import ForwardingProgram
 from repro.arch.events import Event, EventType, PIPELINE_PACKET_EVENTS

@@ -8,7 +8,7 @@ punctuation.  Comments: ``//`` to end of line and ``/* … */`` blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.lang.errors import LangSyntaxError
 

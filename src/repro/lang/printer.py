@@ -13,17 +13,13 @@ from repro.lang.ast_nodes import (
     Assign,
     BinOp,
     Call,
-    ConstDecl,
     Expr,
     ExprStmt,
     Field,
-    HandlerDecl,
     If,
     Name,
     Number,
     ProgramAst,
-    RegisterDecl,
-    Stmt,
     String,
     UnaryOp,
     VarDecl,

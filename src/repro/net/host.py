@@ -10,7 +10,7 @@ sinks to observe arrivals.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List
 
 from repro.packet.packet import Packet
 from repro.sim.kernel import Simulator

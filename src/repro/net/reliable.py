@@ -14,8 +14,8 @@ failure, under fast re-route vs. control-plane repair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.net.host import Host
 from repro.packet.builder import make_tcp_packet

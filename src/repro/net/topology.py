@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.arch.base import SwitchBase
 from repro.arch.description import ArchitectureDescription

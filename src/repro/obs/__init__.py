@@ -14,7 +14,9 @@ observers that turn that stream into numbers and artifacts:
 * :class:`RecordingObserver` — the in-memory equivalent, used by the
   determinism tests,
 * :class:`CallbackProfiler` — a kernel-level tap counting executed
-  simulator callbacks.
+  simulator callbacks,
+* :class:`FaultLog` — the sim-time-ordered timeline of injected fault
+  actions (fed by :class:`~repro.faults.injector.FaultInjector`).
 
 The :func:`observing` context manager attaches observers to every bus
 created inside its block, which is how the ``events-stats`` and
@@ -29,6 +31,7 @@ from typing import Iterator, Tuple
 
 from repro.arch.bus import BusObserver, EventBus
 from repro.obs.counters import EventCounters
+from repro.obs.faultlog import FaultLog
 from repro.obs.kernel import CallbackProfiler
 from repro.obs.latency import DispatchLatencyHistogram
 from repro.obs.tracer import JsonlTraceSink, RecordingObserver, read_events_trace
@@ -56,6 +59,7 @@ __all__ = [
     "CallbackProfiler",
     "DispatchLatencyHistogram",
     "EventCounters",
+    "FaultLog",
     "JsonlTraceSink",
     "RecordingObserver",
     "observing",

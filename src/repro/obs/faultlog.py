@@ -1,0 +1,56 @@
+"""Fault-injection timeline recording.
+
+:class:`FaultLog` is the observer the
+:class:`~repro.faults.injector.FaultInjector` feeds: one record per
+executed fault action, stamped with simulated time.  Because every
+fault is dispatched through the kernel, the log is totally ordered and
+byte-identical across replays of the same seed — the chaos harness
+serializes it straight into the JSONL verdict report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class FaultLog:
+    """An in-memory, sim-time-ordered record of injected fault actions."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def record(
+        self, time_ps: int, plan: str, kind: str, action: str, target: str
+    ) -> None:
+        """Append one executed fault action."""
+        self.records.append(
+            {
+                "time_ps": time_ps,
+                "plan": plan,
+                "kind": kind,
+                "action": action,
+                "target": target,
+            }
+        )
+
+    def count(self) -> int:
+        """Number of recorded fault actions."""
+        return len(self.records)
+
+    def last_time_ps(self) -> int:
+        """Simulated time of the last action (-1 when nothing fired)."""
+        if not self.records:
+            return -1
+        return int(self.records[-1]["time_ps"])  # type: ignore[arg-type]
+
+    def kinds(self) -> List[str]:
+        """Distinct fault kinds that actually fired, sorted."""
+        return sorted({str(record["kind"]) for record in self.records})
+
+    def summary_rows(self) -> List[str]:
+        """Printable timeline rows."""
+        return [
+            f"{record['time_ps']:>14}ps {record['kind']:<14} "
+            f"{record['action']:<12} target={record['target']}"
+            for record in self.records
+        ]

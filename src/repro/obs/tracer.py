@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import BinaryIO, Dict, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from repro.arch.bus import BusObserver, EventBus
 from repro.arch.events import Event

@@ -9,7 +9,7 @@ hash into a register index range.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.packet.packet import FiveTuple, Packet
 

@@ -10,8 +10,8 @@ programming model).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
 
 from repro.packet.headers import Ethernet, Header, Ipv4, Tcp, Udp
 

@@ -11,7 +11,6 @@ timestamp (picoseconds), a 4-byte length, and the packet bytes.
 
 from __future__ import annotations
 
-import io
 import os
 from dataclasses import dataclass
 from typing import BinaryIO, Callable, Iterator, List, Optional

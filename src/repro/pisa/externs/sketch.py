@@ -9,7 +9,7 @@ plane resets it autonomously (paper §1, §3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.packet.hashing import crc32, fold_hash
 from repro.state.store import StateStore, make_store

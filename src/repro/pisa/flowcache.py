@@ -52,7 +52,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from operator import attrgetter
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.pisa.externs.counter import Counter
 from repro.pisa.externs.meter import Meter
@@ -535,6 +535,28 @@ class FlowCache:
         self.stats.hits += 1
         return entry
 
+    def verify_entries(self) -> int:
+        """Purge every cached entry whose generation vector is stale.
+
+        Lookup already evicts lazily, so the cache never *serves* a stale
+        decision; this eager sweep exists for invariant monitors
+        (:class:`repro.faults.monitors.FlowCacheCoherenceMonitor`) that
+        want to assert, right after a control-plane churn fault, that no
+        pre-churn entry survives.  Returns the number of entries purged
+        (each also counted in ``stats.invalidations``).
+        """
+        genvec = self._generation_vector()
+        entries = self._entries
+        stale = [
+            key
+            for key, entry in entries.items()
+            if entry is not UNCACHEABLE and entry.genvec != genvec
+        ]
+        for key in stale:
+            del entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
     def replay(self, entry: "_Entry", pkt, meta) -> None:
         """Apply a recorded decision to ``pkt``/``meta``."""
         for idx, field_values in entry.rewrites:
@@ -572,7 +594,6 @@ class FlowCache:
         rec.pkt_meta_snapshot = dict(pkt.meta)
         rec.vars_fingerprint = self._fingerprint()
         for extern in self._externs:
-            cls = type(extern)
             for klass, names in RECORDABLE_METHODS.items():
                 if isinstance(extern, klass):
                     for name in names:

@@ -9,7 +9,7 @@ logical model one per event kind).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.packet.packet import Packet
 from repro.pisa.metadata import StandardMetadata

@@ -10,7 +10,7 @@ set of tables and externs, and the cycle-level simulator in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.pisa.table import Table
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from repro.packet.parser import Parser
 from repro.resources.virtex7 import DeviceCapacity

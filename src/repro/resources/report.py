@@ -12,9 +12,8 @@ total Virtex-7 resources — the exact quantity of the paper's Table 3:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.arch.events import EventType
 from repro.packet.parser import standard_parser
 from repro.resources.model import (
     ResourceVector,
@@ -25,7 +24,6 @@ from repro.resources.model import (
     estimate_metadata_bus_widening,
     estimate_parser,
     estimate_pipeline_stage,
-    estimate_register,
     estimate_table,
 )
 from repro.resources.virtex7 import VIRTEX7_690T, DeviceCapacity

@@ -761,6 +761,18 @@ class Simulator:
         """Number of live (non-cancelled) callbacks still queued, in O(1)."""
         return self._peek()[3]
 
+    @property
+    def next_event_time_ps(self) -> Optional[int]:
+        """Timestamp of the earliest live queued event, or None when idle.
+
+        A cold-path introspection helper (O(pending) — it walks a queue
+        snapshot filtering tombstones); fault-injection monitors use it
+        to decide whether a scenario has quiesced, the hot loop never
+        calls it.
+        """
+        times = [ev[_TIME] for ev in self._peek()[5] if not ev[_CANCELLED]]
+        return min(times) if times else None
+
     # Internal state views kept for tests and debugging tools.
     @property
     def _now_ps(self) -> int:

@@ -26,7 +26,7 @@ This module makes the problem concrete and measurable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.sim.rng import SeededRng
 from repro.state.store import StateStore, make_store

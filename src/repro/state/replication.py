@@ -23,7 +23,7 @@ sync period, quantifying §4's "key design decision".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.sim.rng import SeededRng
 from repro.state.store import StateStore, make_store

@@ -13,7 +13,6 @@ main register ran).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 
 @dataclass

@@ -10,7 +10,7 @@ fixed-function baselines.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.packet.packet import Packet
 from repro.pisa.externs.pifo import PifoQueue

@@ -14,7 +14,6 @@ from typing import Callable, Optional
 from repro.packet.builder import make_udp_packet
 from repro.packet.packet import Packet
 from repro.sim.kernel import ScheduledEvent, Simulator
-from repro.sim.rng import SeededRng
 
 SendFn = Callable[[Packet], object]
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.sim.kernel import Simulator
-from repro.sim.units import SECONDS
 from repro.workloads.base import FlowSpec, SendFn, TrafficGenerator
 
 

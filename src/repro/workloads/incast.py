@@ -7,9 +7,8 @@ and AQM.  A wave schedules a synchronized burst from each sender.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List
 
-from repro.packet.packet import Packet
 from repro.sim.kernel import Simulator
 from repro.workloads.base import FlowSpec, SendFn
 

@@ -9,7 +9,7 @@ the two, so the reproduction offers this generator alongside Poisson.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.sim.kernel import Simulator
 from repro.sim.rng import SeededRng

@@ -7,7 +7,7 @@ statistics (packets carry their creation timestamp).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.packet.packet import Packet
 

@@ -4,7 +4,7 @@ import pytest
 
 from app_harness import H0_IP, H1_IP, single_switch
 
-from repro.apps.aqm import DropTailProgram, FredAqm, RedAqm
+from repro.apps.aqm import FredAqm, RedAqm
 from repro.apps.policing import FixedFunctionPolicer, TimerTokenBucketPolicer
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext

@@ -184,3 +184,77 @@ class TestLiveness:
         monitor.on_timer(ctx, Event(EventType.TIMER, 0))
         assert monitor.detection_delay_ps(10 * MICROSECONDS) == 35 * MICROSECONDS
         assert monitor.detection_delay_ps(60 * MICROSECONDS) is None
+
+
+class TestLinkFlapEventOrdering:
+    """A flapping link must order its down/up events deterministically
+    against in-flight packet events — identically on both schedulers."""
+
+    def _flap_trace(self, scheduler):
+        from repro.experiments.factories import make_sume_switch
+        from repro.net.host import Host
+        from repro.net.network import Network
+        from repro.obs import RecordingObserver, observing
+        from repro.sim.kernel import Simulator
+
+        observer = RecordingObserver()
+        with observing(observer):
+            sim = Simulator(scheduler=scheduler)
+            network = Network(sim)
+            factory = make_sume_switch()
+            s0 = network.add_switch(factory(sim, "s0", 3))
+            s1 = network.add_switch(factory(sim, "s1", 2))
+            h0 = network.add_host(Host(sim, "h0", H0_IP))
+            h1 = network.add_host(Host(sim, "h1", H1_IP))
+            network.connect(h0, 0, s0, 0, latency_ps=500_000)
+            network.connect(s0, 1, s1, 0, latency_ps=500_000)
+            network.connect(s1, 1, h1, 0, latency_ps=500_000)
+            frr = FastRerouteProgram()
+            frr.install_protected_route(H1_IP, primary=1, backup=2)
+            frr.install_route(H0_IP, 0)
+            s0.load_program(frr)
+            transit = FastRerouteProgram()
+            transit.install_routes({H1_IP: 1, H0_IP: 0})
+            s1.load_program(transit)
+            # Packets in flight straddling every link transition: odd
+            # send spacing versus flap instants forces interleavings.
+            from repro.packet.builder import make_udp_packet
+
+            for i in range(40):
+                sim.call_at(
+                    100_000 + i * 130_000,
+                    h0.send,
+                    make_udp_packet(H0_IP, H1_IP, payload_len=64),
+                )
+            link = network.link_between("s0", "s1")
+            assert link is not None
+            link.fail_at(1_500_000)
+            link.recover_at(3_100_000)
+            link.fail_at(4_200_000)
+            link.recover_at(5_500_000)
+            network.run()
+        return observer.normalized()
+
+    def test_flap_interleaves_link_and_packet_events(self):
+        trace = self._flap_trace("heap")
+        kinds = [record[2] for record in trace]
+        assert kinds.count("link_status_change") >= 4  # 2 downs + 2 ups at s0
+        assert "ingress_packet" in kinds
+        # Transitions arrive in strict down/up alternation at s0.
+        s0_links = [
+            record[5]
+            for record in trace
+            if record[2] == "link_status_change"
+            and record[0] == "publish"
+            and record[1] == "s0.bus"
+        ]
+        ups = [dict(meta)["up"] for meta in s0_links]
+        assert ups == [0, 1, 0, 1]
+
+    def test_flap_order_reproducible_on_heap(self):
+        assert self._flap_trace("heap") == self._flap_trace("heap")
+
+    def test_flap_order_identical_across_schedulers(self):
+        heap = self._flap_trace("heap")
+        wheel = self._flap_trace("wheel")
+        assert heap == wheel

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.apps.hula import (
-    EcmpLeafProgram,
-    HulaLeafProgram,
-    HulaSpineProgram,
-    UTIL_INFINITY,
-)
+from repro.apps.hula import EcmpLeafProgram, HulaLeafProgram, HulaSpineProgram
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext
 from repro.packet.builder import make_hula_probe, make_udp_packet

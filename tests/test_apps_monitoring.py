@@ -2,7 +2,7 @@
 
 import pytest
 
-from app_harness import H0_IP, H1_IP, single_switch
+from app_harness import H0_IP, H1_IP
 
 from repro.apps.flow_rate import EwmaRateEstimator, FlowRateMonitor
 from repro.apps.heavy_hitters import HeavyHitterDetector
@@ -12,7 +12,7 @@ from repro.arch.program import ProgramContext
 from repro.packet.builder import make_udp_packet
 from repro.packet.hashing import flow_hash
 from repro.pisa.metadata import StandardMetadata
-from repro.sim.units import MICROSECONDS, MILLISECONDS
+from repro.sim.units import MILLISECONDS
 
 
 class FakeCtx(ProgramContext):

@@ -2,10 +2,10 @@
 
 import pytest
 
-from app_harness import H0_IP, H1_IP, single_switch
+from app_harness import H0_IP, H1_IP
 
 from repro.apps.ndp import CONTROL_QUEUE, DATA_QUEUE, NdpProgram, TailDropProgram
-from repro.apps.netcache import CacheSlot, KvServerApp, NetCacheProgram
+from repro.apps.netcache import KvServerApp, NetCacheProgram
 from repro.arch.events import Event, EventType
 from repro.arch.program import ProgramContext
 from repro.packet.builder import make_kv_request, make_udp_packet

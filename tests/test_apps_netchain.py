@@ -1,6 +1,5 @@
 """Unit tests for the NetChain chain-node programs."""
 
-import pytest
 
 from repro.apps.netchain import (
     ChainClient,

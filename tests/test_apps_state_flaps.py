@@ -1,6 +1,5 @@
 """Edge-case tests: link flapping and repeated failovers."""
 
-import pytest
 
 from repro.apps.frr import FastRerouteProgram
 from repro.arch.events import Event, EventType

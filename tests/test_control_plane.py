@@ -6,7 +6,6 @@ from repro.control.plane import ControlPlane, ControlPlaneConfig
 from repro.pisa.externs.register import Register
 from repro.pisa.externs.sketch import CountMinSketch
 from repro.sim.kernel import Simulator
-from repro.sim.units import MICROSECONDS
 
 
 def test_operation_completes_after_duration():

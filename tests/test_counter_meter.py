@@ -4,7 +4,7 @@ import pytest
 
 from repro.pisa.externs.counter import Counter, CounterKind
 from repro.pisa.externs.meter import Meter, MeterColor
-from repro.sim.units import MILLISECONDS, SECONDS
+from repro.sim.units import SECONDS
 
 
 class TestCounter:

@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.packet.headers import (
     Ethernet,
-    EtherType,
     Header,
     HeaderField,
     HulaProbe,

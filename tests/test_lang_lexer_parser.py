@@ -2,19 +2,9 @@
 
 import pytest
 
-from repro.lang.ast_nodes import (
-    Assign,
-    BinOp,
-    Call,
-    ExprStmt,
-    Field,
-    If,
-    Name,
-    Number,
-    VarDecl,
-)
+from repro.lang.ast_nodes import Assign, BinOp, Call, ExprStmt, Field, If, VarDecl
 from repro.lang.errors import LangSyntaxError
-from repro.lang.lexer import Token, tokenize
+from repro.lang.lexer import tokenize
 from repro.lang.parser import parse
 
 MINIMAL = "program p;\n"

@@ -1,6 +1,5 @@
 """Round-trip tests for the language pretty-printer."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang.ast_nodes import ProgramAst

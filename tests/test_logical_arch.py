@@ -1,8 +1,6 @@
 """Unit tests for the logical event-driven switch (paper Figure 2)."""
 
-import pytest
 
-from repro.arch.description import LOGICAL_EVENT_DRIVEN
 from repro.arch.event_driven import LogicalEventSwitch
 from repro.arch.events import EventType
 from repro.arch.program import P4Program, handler

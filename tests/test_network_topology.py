@@ -14,7 +14,6 @@ from repro.net.topology import (
     with_ports,
 )
 from repro.packet.builder import make_udp_packet
-from repro.sim.kernel import Simulator
 
 
 class TestNetwork:

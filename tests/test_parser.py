@@ -23,7 +23,6 @@ from repro.packet.headers import (
 from repro.packet.parser import (
     ACCEPT,
     DEFAULT,
-    REJECT,
     Deparser,
     ParseError,
     Parser,

@@ -7,7 +7,6 @@ from repro.arch.description import (
     LOGICAL_EVENT_DRIVEN,
     SUME_EVENT_SWITCH,
     TOFINO_LIKE,
-    ArchitectureDescription,
     UnsupportedEventError,
 )
 from repro.arch.events import Event, EventType

@@ -4,7 +4,6 @@ import pytest
 
 from repro.packet.parser import standard_parser
 from repro.resources.model import (
-    Component,
     ResourceVector,
     SwitchBudget,
     estimate_fifo,
@@ -50,7 +49,7 @@ class TestEstimators:
 
     def test_table_kinds(self):
         exact = estimate_table(1024, 48, "exact")
-        lpm = estimate_table(1024, 32, "lpm")
+        estimate_table(1024, 32, "lpm")
         ternary = estimate_table(256, 48, "ternary")
         assert exact.bram_36kb > 0
         assert ternary.bram_36kb == 0  # TCAM emulation burns LUTs

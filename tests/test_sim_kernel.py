@@ -168,7 +168,7 @@ def test_not_reentrant():
 
 def test_pending_excludes_cancelled():
     sim = Simulator()
-    keep = sim.call_at(10, lambda: None)
+    sim.call_at(10, lambda: None)
     drop = sim.call_at(20, lambda: None)
     drop.cancel()
     assert sim.pending_events == 1

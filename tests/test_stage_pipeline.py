@@ -3,7 +3,6 @@
 import pytest
 
 from repro.packet.builder import make_udp_packet
-from repro.pisa.action import NO_ACTION
 from repro.pisa.metadata import StandardMetadata
 from repro.pisa.pipeline import Pipeline
 from repro.pisa.stage import Stage, StageAllocator

@@ -235,8 +235,8 @@ def test_registry_tracks_live_stores_only():
 
 
 def test_registry_output_is_name_sorted():
-    a = make_store(1, name="aaa-sort")
-    b = make_store(1, name="zzz-sort")
+    _a = make_store(1, name="aaa-sort")
+    _b = make_store(1, name="zzz-sort")
     names = [s.name for s in registered_stores()]
     assert names == sorted(names)
-    del a, b
+    del _a, _b

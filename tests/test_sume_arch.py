@@ -1,8 +1,7 @@
 """Unit tests for the SUME Event Switch (paper Figure 4)."""
 
-import pytest
 
-from repro.arch.description import SUME_EVENT_SWITCH, FULL_EVENT_SWITCH
+from repro.arch.description import FULL_EVENT_SWITCH
 from repro.arch.events import EventType
 from repro.arch.generator import GeneratorConfig
 from repro.arch.program import P4Program, handler

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch.description import UnsupportedEventError
-from repro.arch.events import Event, EventType
+from repro.arch.events import EventType
 from repro.arch.program import P4Program, handler
 from repro.arch.sume import SumeEventSwitch
 from repro.packet.builder import make_udp_packet

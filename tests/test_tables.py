@@ -3,7 +3,7 @@
 import pytest
 
 from repro.packet.builder import make_udp_packet
-from repro.pisa.action import DROP, FORWARD, NO_ACTION, SET_PRIORITY, TO_CPU, Action
+from repro.pisa.action import DROP, FORWARD, NO_ACTION, SET_PRIORITY, TO_CPU
 from repro.pisa.metadata import StandardMetadata
 from repro.pisa.table import ExactTable, LpmTable, TernaryTable
 

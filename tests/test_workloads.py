@@ -3,8 +3,8 @@
 import pytest
 
 from repro.sim.kernel import Simulator
-from repro.sim.units import MICROSECONDS, MILLISECONDS, SECONDS
-from repro.workloads.base import FlowSpec, TrafficGenerator
+from repro.sim.units import MILLISECONDS, SECONDS
+from repro.workloads.base import FlowSpec
 from repro.workloads.bursts import OnOffBurst
 from repro.workloads.cbr import ConstantBitRate
 from repro.workloads.incast import IncastWave

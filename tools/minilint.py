@@ -1,0 +1,200 @@
+"""A dependency-free fallback linter mirroring the repo's ruff config.
+
+CI runs ``ruff check`` (see ``[tool.ruff]`` in pyproject.toml); this
+tool approximates the same rule families with only the standard
+library, so contributors without ruff installed can still catch the
+violations the CI lint job would flag:
+
+* E401  multiple imports on one line
+* E711/E712  comparison to None/True/False with ``==``/``!=``
+* E722  bare ``except:``
+* E9    syntax errors (via ``compile``)
+* F401  unused imports (module scope; ``__init__.py`` re-exports and
+  ``__all__``-listed names are exempt, matching the per-file ignores)
+* F811  redefinition of an imported name by another import
+* F841  local variable assigned but never used (simple, single
+  assignment targets only; ``_``-prefixed names are exempt)
+
+Usage::
+
+    python tools/minilint.py src tests tools benchmarks examples
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Violation = Tuple[Path, int, str, str]
+
+
+def iter_py_files(roots: List[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def _names_used(tree: ast.AST) -> set:
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            inner = node
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                used.add(inner.id)
+    return used
+
+
+def _dunder_all(tree: ast.Module) -> set:
+    exported = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        for element in node.value.elts:
+                            if isinstance(element, ast.Constant):
+                                exported.add(element.value)
+    return exported
+
+
+def check_file(path: Path) -> List[Violation]:
+    violations: List[Violation] = []
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, "E9", f"syntax error: {exc.msg}")]
+
+    is_init = path.name == "__init__.py"
+    used = _names_used(tree)
+    exported = _dunder_all(tree)
+    # String-typed references ("docstring-level" exports, __getattr__
+    # tables) are common in tools; count docstring mentions as uses only
+    # for re-export modules.
+    imported: dict = {}
+
+    # Import accounting is module-top-level only: function-local imports
+    # have their own scope, and tracking them naively yields spurious
+    # F401/F811 reports real pyflakes would not emit.
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            if len(node.names) > 1:
+                violations.append(
+                    (path, node.lineno, "E401", "multiple imports on one line")
+                )
+            for alias in node.names:
+                binding = alias.asname or alias.name.split(".")[0]
+                if binding in imported:
+                    violations.append(
+                        (path, node.lineno, "F811", f"redefinition of {binding!r}")
+                    )
+                imported[binding] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                binding = alias.asname or alias.name
+                if binding in imported:
+                    violations.append(
+                        (path, node.lineno, "F811", f"redefinition of {binding!r}")
+                    )
+                imported[binding] = node.lineno
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant):
+                    if comparator.value is None:
+                        violations.append(
+                            (path, node.lineno, "E711", "comparison to None with ==/!=")
+                        )
+                    elif comparator.value is True or comparator.value is False:
+                        violations.append(
+                            (path, node.lineno, "E712", "comparison to True/False")
+                        )
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                violations.append((path, node.lineno, "E722", "bare except"))
+
+    for binding, lineno in sorted(imported.items(), key=lambda item: item[1]):
+        if binding in used or binding in exported or binding == "_":
+            continue
+        if is_init:
+            continue  # __init__ re-exports, matching per-file-ignores
+        violations.append((path, lineno, "F401", f"{binding!r} imported but unused"))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scope_nodes = list(_walk_scope(node))
+        # Reads come from the whole subtree: nested closures legally
+        # read enclosing locals, so only the assignment side is scoped.
+        reads = {
+            inner.id
+            for inner in ast.walk(node)
+            if isinstance(inner, ast.Name) and isinstance(inner.ctx, ast.Load)
+        }
+        # nonlocal/global assignments mutate an enclosing scope: always
+        # "used" regardless of local reads.
+        for stmt in scope_nodes:
+            if isinstance(stmt, (ast.Nonlocal, ast.Global)):
+                reads.update(stmt.names)
+        for stmt in scope_nodes:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and not target.id.startswith("_")
+                    and target.id not in reads
+                ):
+                    violations.append(
+                        (
+                            path,
+                            stmt.lineno,
+                            "F841",
+                            f"local {target.id!r} assigned but never used",
+                        )
+                    )
+    return violations
+
+
+def _walk_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    todo = list(ast.iter_child_nodes(func))
+    while todo:
+        node = todo.pop()
+        yield node
+        nested_scope = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        if isinstance(node, nested_scope):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["src", "tests", "tools", "benchmarks"]
+    all_violations: List[Violation] = []
+    files = 0
+    for path in iter_py_files(roots):
+        files += 1
+        all_violations.extend(check_file(path))
+    for path, lineno, code, message in all_violations:
+        print(f"{path}:{lineno}: {code} {message}")
+    print(f"minilint: {files} files, {len(all_violations)} violation(s)")
+    return 1 if all_violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
