@@ -64,7 +64,10 @@ class L3Router(P4Program):
 
     name = "l3fwd"
 
-    MAX_NEXT_HOPS = 64
+    # Sized for one /32 next hop per host on the largest stock fabric
+    # (k=8 fat tree → 128 hosts); the counter is a flat array, so the
+    # headroom costs a few hundred ints per switch.
+    MAX_NEXT_HOPS = 256
 
     def __init__(self) -> None:
         super().__init__()

@@ -26,6 +26,13 @@ the other scheduler backend — event order is identical)::
 Benchmark sweeps are resumable too: ``bench --resume progress.json``
 skips benchmarks an interrupted sweep already recorded.
 
+Datacenter-scale fabrics run sharded across worker processes
+(:mod:`repro.sim.shard`), with a fingerprint check against the
+single-process run::
+
+    python -m repro.cli shard --topology fattree --k 4 --shards 4
+    python -m repro.cli shard --shards 2 --mode process --compare-serial
+
 The fault-injection grid (:mod:`repro.faults`) runs seeded chaos over
 the failure-handling applications and exits nonzero on any invariant
 violation::
@@ -212,8 +219,12 @@ def run_future_work() -> None:
 # ----------------------------------------------------------------------
 # EventBus observability subcommands
 # ----------------------------------------------------------------------
-def _run_event_source(source: str) -> None:
-    """Run one event-producing experiment under the current observers."""
+def _run_event_source(source: str) -> Dict[str, List[str]]:
+    """Run one event-producing experiment under the current observers.
+
+    Returns extra titled row blocks some sources contribute beyond the
+    bus-level counters (e.g. the shard source's per-shard stats).
+    """
     if source == "microburst":
         from repro.experiments.microburst_exp import (
             run_event_driven,
@@ -231,12 +242,28 @@ def _run_event_source(source: str) -> None:
 
         for arch in ("baseline", "logical", "sume"):
             run_architecture(arch)
+    elif source == "shard":
+        from repro.experiments.shard_exp import ShardScenario, run_sharded
+
+        # Inline mode keeps every shard's buses in this process, where
+        # the ambient observers can see them.
+        result = run_sharded(
+            ShardScenario(topology="leafspine", leaf_count=2, spine_count=2,
+                          hosts_per_leaf=2),
+            shards=2,
+            mode="inline",
+        )
+        return {
+            "per-shard counters (shard)": result.stats.summary_rows()
+            + [f"behavior fingerprint {result.digest[:16]}…"]
+        }
     else:
         raise ValueError(f"unknown event source {source!r}")
+    return {}
 
 
 #: Experiments `events-stats` / `events-trace` can instrument.
-EVENT_SOURCES = ("microburst", "catalog", "figures")
+EVENT_SOURCES = ("microburst", "catalog", "figures", "shard")
 
 
 def run_events_stats(source: str = "microburst") -> None:
@@ -247,13 +274,15 @@ def run_events_stats(source: str = "microburst") -> None:
     counters = EventCounters()
     histogram = DispatchLatencyHistogram()
     with observing(counters, histogram), collecting_caches() as caches:
-        _run_event_source(source)
+        extras = _run_event_source(source)
     _print(f"EventBus counters ({source})", counters.summary_rows())
     _print(
         f"EventBus dispatch latency / staleness ({source})",
         histogram.summary_rows(),
     )
     _print(f"flow-decision cache ({source})", _flow_cache_rows(caches))
+    for title, rows in extras.items():
+        _print(title, rows)
     print(
         f"\n{len(counters.nonzero_kinds())} event type(s) observed, "
         f"{counters.total_published()} events published"
@@ -324,6 +353,7 @@ def run_bench(
     compare_to: List[str] = (),
     max_regression: float = 0.25,
     resume_path: str = "",
+    sharded_showcase: bool = False,
 ) -> int:
     """Run the perf suite, write BENCH_<label>.json, gate on regressions.
 
@@ -339,9 +369,13 @@ def run_bench(
     data = bench.collect(
         label, rounds=rounds, workers=workers, progress_path=resume_path or None
     )
+    if sharded_showcase:
+        data["sharded"] = bench.sharded_showcase()
     path = out or f"BENCH_{label}.json"
     bench.write_snapshot(data, path)
     _print(f"benchmark trajectory → {path}", bench.summary_rows(data))
+    if sharded_showcase:
+        _print("sharded showcase (k=8 fat tree)", bench.showcase_rows(data["sharded"]))
     if resume_path and os.path.exists(resume_path) and resume_path != path:
         os.remove(resume_path)  # sweep finished; progress file is spent
     failed = False
@@ -364,6 +398,89 @@ def run_bench(
         with open(step_summary, "a", encoding="utf-8") as fh:
             fh.write("\n".join(table) + "\n")
     return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# Sharded-simulation subcommand
+# ----------------------------------------------------------------------
+def run_shard(
+    topology: str = "leafspine",
+    k: int = 4,
+    leaves: int = 4,
+    spines: int = 4,
+    hosts_per_leaf: int = 2,
+    shards: int = 2,
+    mode: str = "process",
+    workload: str = "incast",
+    waves: int = 2,
+    packets: int = 4,
+    compare_serial: bool = False,
+    json_out: str = "",
+) -> int:
+    """Run one fabric across N shard processes; optionally check vs serial."""
+    import json
+
+    from repro.experiments.shard_exp import (
+        ShardScenario,
+        run_serial,
+        run_sharded,
+        scenario_partition,
+    )
+
+    scenario = ShardScenario(
+        topology=topology,
+        k=k,
+        leaf_count=leaves,
+        spine_count=spines,
+        hosts_per_leaf=hosts_per_leaf,
+        workload=workload,
+        waves=waves,
+        packets_per_sender=packets,
+    )
+    partition = scenario_partition(scenario, shards)
+    _print(f"partition of {partition.spec.name}", partition.summary_rows())
+    result = run_sharded(scenario, shards=shards, mode=mode)
+    _print(
+        f"sharded run ({workload}, {mode}, {result.wall_s * 1e3:.1f} ms)",
+        result.stats.summary_rows()
+        + [f"behavior fingerprint {result.digest}"],
+    )
+    exit_code = 0
+    serial = None
+    if compare_serial:
+        serial = run_serial(scenario)
+        match = serial.fingerprint == result.fingerprint
+        print(
+            f"\nserial reference: {serial.total_received()} packets in "
+            f"{serial.wall_s * 1e3:.1f} ms — fingerprint "
+            f"{'MATCHES' if match else 'MISMATCH'}"
+        )
+        if not match:
+            for host in sorted(serial.fingerprint):
+                if serial.fingerprint[host] != result.fingerprint.get(host):
+                    print(
+                        f"  {host}: serial={serial.fingerprint[host]} "
+                        f"sharded={result.fingerprint.get(host)}"
+                    )
+            exit_code = 1
+    if json_out:
+        record = {
+            "topology": partition.spec.name,
+            "shards": shards,
+            "mode": mode,
+            "workload": workload,
+            "wall_s": result.wall_s,
+            "digest": result.digest,
+            "stats": result.stats.as_dict(),
+        }
+        if serial is not None:
+            record["serial_wall_s"] = serial.wall_s
+            record["fingerprint_match"] = exit_code == 0
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {json_out}")
+    return exit_code
 
 
 # ----------------------------------------------------------------------
@@ -487,7 +604,7 @@ def main(argv: List[str] = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "events-stats", "events-trace", "bench",
-           "checkpoint", "resume", "chaos"],
+           "checkpoint", "resume", "chaos", "shard"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
@@ -543,6 +660,84 @@ def main(argv: List[str] = None) -> int:
         default="",
         metavar="PROGRESS_JSON",
         help="bench: progress file making an interrupted sweep resumable",
+    )
+    parser.add_argument(
+        "--sharded-showcase",
+        action="store_true",
+        help="bench: also run the k=8 fat-tree serial-vs-8-shard showcase "
+        "and record it under the snapshot's 'sharded' key",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("fattree", "leafspine"),
+        default="leafspine",
+        help="shard: fabric to build",
+    )
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=4,
+        help="shard: fat-tree arity (even, >= 2)",
+    )
+    parser.add_argument(
+        "--leaves",
+        type=int,
+        default=4,
+        help="shard: leaf-spine leaf count",
+    )
+    parser.add_argument(
+        "--spines",
+        type=int,
+        default=4,
+        help="shard: leaf-spine spine count",
+    )
+    parser.add_argument(
+        "--hosts-per-leaf",
+        type=int,
+        default=2,
+        help="shard: hosts per leaf switch",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard: number of shard simulators",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("inline", "process"),
+        default="process",
+        help="shard: worker execution mode",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("incast", "zipf"),
+        default="incast",
+        help="shard: traffic pattern",
+    )
+    parser.add_argument(
+        "--waves",
+        type=int,
+        default=2,
+        help="shard: incast waves (zipf: schedule length multiplier)",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=4,
+        help="shard: packets per sender per wave",
+    )
+    parser.add_argument(
+        "--compare-serial",
+        action="store_true",
+        help="shard: also run single-process and diff behavior fingerprints "
+        "(non-zero exit on mismatch)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default="",
+        metavar="PATH",
+        help="shard: write the run record as JSON",
     )
     parser.add_argument(
         "--plan",
@@ -607,6 +802,7 @@ def main(argv: List[str] = None) -> int:
             ("chaos", run_chaos),
             ("checkpoint", run_checkpoint),
             ("resume", run_resume),
+            ("shard", run_shard),
         ):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
         return 0
@@ -619,6 +815,22 @@ def main(argv: List[str] = None) -> int:
             compare_to=args.compare,
             max_regression=args.max_regression,
             resume_path=args.resume,
+            sharded_showcase=args.sharded_showcase,
+        )
+    if args.experiment == "shard":
+        return run_shard(
+            topology=args.topology,
+            k=args.k,
+            leaves=args.leaves,
+            spines=args.spines,
+            hosts_per_leaf=args.hosts_per_leaf,
+            shards=args.shards,
+            mode=args.mode,
+            workload=args.workload,
+            waves=args.waves,
+            packets=args.packets,
+            compare_serial=args.compare_serial,
+            json_out=args.json_out,
         )
     if args.experiment == "chaos":
         return run_chaos(

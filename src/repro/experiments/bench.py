@@ -1,8 +1,9 @@
 """Benchmark-trajectory harness: record the simulator's own speed.
 
-Runs the same two micro-benchmarks as
+Runs the kernel/switch micro-benchmarks from
 ``benchmarks/test_simulator_performance.py`` — bare-kernel event
-throughput and end-to-end packets through a SUME switch — and writes a
+throughput, end-to-end packets through a SUME switch, the flow-decision
+cache, and the sharded fat-tree engine — and writes a
 ``BENCH_<label>.json`` snapshot so the repo accumulates a perf
 trajectory over time and CI can fail on regressions.
 
@@ -159,12 +160,99 @@ def switch_cached_round() -> Tuple[float, int]:
     return wall, network.sim.events_executed
 
 
+def switch_sharded_round() -> Tuple[float, int]:
+    """One timed round of the conservative-parallel shard engine.
+
+    A k=4 fat tree (20 switches, 16 hosts) under the incast workload,
+    split into 2 shards.  Worker startup, window synchronization, and
+    boundary serialization are all inside the timed region — this round
+    tracks the *engine's* overhead trajectory, not raw switch speed.
+    Falls back to inline workers when run inside a daemonic pool
+    process (``bench --workers N``), which cannot fork children.
+    """
+    import multiprocessing
+
+    from repro.experiments.shard_exp import (
+        ShardScenario,
+        expected_packets,
+        run_sharded,
+    )
+
+    scenario = ShardScenario(topology="fattree", k=4, waves=1, packets_per_sender=2)
+    mode = "inline" if multiprocessing.current_process().daemon else "process"
+    start = perf_counter()
+    result = run_sharded(scenario, shards=2, mode=mode)
+    wall = perf_counter() - start
+    expected = expected_packets(scenario)
+    if result.total_received() != expected:
+        raise RuntimeError(
+            f"switch_sharded round delivered {result.total_received()} "
+            f"packets, expected {expected}"
+        )
+    return wall, result.stats.total("events_executed")
+
+
 #: Named benchmark rounds the harness (and the parallel fan-out) runs.
 BENCH_ROUNDS = {
     "kernel": kernel_round,
     "switch": switch_round,
     "switch_cached": switch_cached_round,
+    "switch_sharded": switch_sharded_round,
 }
+
+
+def sharded_showcase(k: int = 8, shards: int = 8, mode: str = "process") -> Dict:
+    """The ISSUE-6 acceptance run: k=8 fat tree, serial vs 8 shards.
+
+    Returns an honest record — wall times, speedup, host core count,
+    and the fingerprint verdict — for the snapshot's top-level
+    ``"sharded"`` key (``repro bench --sharded-showcase``).  Raises when
+    the sharded fingerprint diverges from the serial one; a fingerprint
+    mismatch is a correctness bug, not a slow round.  Speedup is
+    reported, not gated: it is hardware-dependent (``host_cores``
+    records how many cores the run actually had).
+    """
+    from repro.experiments.parallel import default_workers
+    from repro.experiments.shard_exp import ShardScenario, run_serial, run_sharded
+
+    scenario = ShardScenario(topology="fattree", k=k, waves=1, packets_per_sender=2)
+    serial = run_serial(scenario)
+    sharded = run_sharded(scenario, shards=shards, mode=mode)
+    if serial.fingerprint != sharded.fingerprint:
+        raise RuntimeError(
+            f"sharded fingerprint diverged from serial on fattree-k{k} "
+            f"({sharded.digest[:16]} vs {serial.digest[:16]})"
+        )
+    return {
+        "topology": f"fattree-k{k}",
+        "shards": shards,
+        "mode": mode,
+        "host_cores": default_workers(),
+        "packets": sharded.total_received(),
+        "serial_wall_s": serial.wall_s,
+        "sharded_wall_s": sharded.wall_s,
+        "speedup": serial.wall_s / sharded.wall_s if sharded.wall_s else 0.0,
+        "fingerprint_match": True,
+        "digest": sharded.digest,
+        "windows": sharded.stats.windows,
+        "boundary_packets": sharded.stats.total("boundary_tx"),
+        "stall_windows": sharded.stats.total("stall_windows"),
+    }
+
+
+def showcase_rows(entry: Dict) -> List[str]:
+    """Human-readable rows for a :func:`sharded_showcase` record."""
+    return [
+        f"{entry['topology']} × {entry['shards']} shards ({entry['mode']}, "
+        f"{entry['host_cores']} core(s) available)",
+        f"serial  {entry['serial_wall_s'] * 1e3:8.1f} ms",
+        f"sharded {entry['sharded_wall_s'] * 1e3:8.1f} ms  "
+        f"(speedup {entry['speedup']:.2f}x)",
+        f"fingerprint match: {entry['fingerprint_match']} "
+        f"({entry['packets']} packets, digest {entry['digest'][:16]}…)",
+        f"{entry['windows']} window(s), {entry['boundary_packets']} boundary "
+        f"packet(s), {entry['stall_windows']} stall(s)",
+    ]
 
 
 def _run_named_round(name: str) -> Tuple[float, int]:

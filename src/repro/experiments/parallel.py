@@ -23,8 +23,17 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
 def default_workers() -> int:
-    """Worker count used when the caller does not pick one."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used when the caller does not pick one.
+
+    Prefers the scheduling affinity mask over the raw CPU count:
+    cgroup-limited CI runners and containers report every host core via
+    ``os.cpu_count()`` but only let the process run on a few, and
+    oversubscribing the pool there just adds context-switch overhead.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux or restricted platform
+        return max(1, os.cpu_count() or 1)
 
 
 def run_points(
@@ -65,3 +74,83 @@ def run_tasks(
     call different functions or need keyword parameters.
     """
     return run_points(_apply, tasks, workers=workers)
+
+
+# ---------------------------------------------------------------------------
+# Persistent workers
+#
+# Pool.map is fire-and-forget: each point is independent and workers
+# keep no state between points.  The sharded simulator needs the
+# opposite — a worker that builds its shard once and then exchanges
+# small synchronization messages with the coordinator every window.
+# PersistentWorker wraps one such process + duplex pipe; the message
+# protocol on top of it is owned by the caller (repro.sim.shard).
+# ---------------------------------------------------------------------------
+
+
+class WorkerCrashed(RuntimeError):
+    """A persistent worker died or reported an exception."""
+
+
+class PersistentWorker:
+    """One long-lived worker process behind a duplex pipe.
+
+    ``main`` must be a module-level (picklable) function with signature
+    ``main(conn, *args)``; it owns the worker side of the pipe until it
+    returns.  The parent talks through :meth:`send` / :meth:`recv`;
+    :meth:`recv` raises :class:`WorkerCrashed` when the child dies
+    instead of blocking forever, and converts ``("error", traceback)``
+    replies into exceptions carrying the worker's traceback.
+    """
+
+    def __init__(self, main: Callable[..., None], *args: Any) -> None:
+        # fork keeps worker startup cheap (no re-import of the package);
+        # platforms without it (macOS 3.14+, Windows) fall back to spawn,
+        # which is why ``main`` must stay module-level/picklable.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=main, args=(child_conn, *args), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def send(self, message: Any) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker pipe closed: {exc}") from exc
+
+    def recv(self) -> Any:
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            code = self._process.exitcode
+            raise WorkerCrashed(
+                f"worker exited (exitcode={code}) before replying"
+            ) from exc
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise WorkerCrashed(f"worker raised:\n{reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        """Terminate the process and release the pipe; idempotent."""
+        if self._process.is_alive():
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._process.join(timeout=2.0)
+            if self._process.is_alive():  # pragma: no cover - safety net
+                self._process.terminate()
+                self._process.join(timeout=2.0)
+        self._conn.close()
+
+    def __enter__(self) -> "PersistentWorker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,268 @@
+"""Sharded datacenter scenarios: fabrics, workloads, serial references.
+
+This module is the picklable glue between the generic engine
+(:mod:`repro.sim.shard`) and concrete experiments: a pure-data
+:class:`ShardScenario`, a module-level :func:`build_shard` that worker
+processes call to realize their slice of the fabric, and
+:func:`run_serial` / :func:`run_sharded` entry points the CLI, bench,
+and tests share.
+
+Workloads are **per-host deterministic** — every host's send schedule
+depends only on the scenario (and for Zipf, its own seeded stream), not
+on which shard it landed in — so a 1-shard and an 8-shard run inject
+exactly the same traffic.
+
+The stock ``incast`` workload is also *fingerprint-safe*: one receiver
+per pod, every sender in pod p targets the receiver of pod p+1, so all
+packets contending for any queue share one destination and one length.
+Under that condition same-timestamp tie reordering (the only freedom
+the sharded schedule has) permutes arrivals of interchangeable packets,
+and the order-insensitive fingerprint is provably identical to the
+serial run's — see ``docs/SCALING.md``.  The ``zipf`` workload mixes
+destinations per queue and only promises run-to-run determinism at a
+fixed shard count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.l3fwd import L3Router
+from repro.experiments.factories import make_baseline_switch
+from repro.net.network import Network
+from repro.net.partition import Partition, partition_spec
+from repro.net.routing import ecmp_routes
+from repro.net.topology import TopologySpec, fat_tree_spec, leaf_spine_spec, realize
+from repro.packet.builder import make_udp_packet
+from repro.sim.rng import SeededRng
+from repro.sim.shard import (
+    HostRecords,
+    ShardedSimulator,
+    ShardRuntime,
+    ShardRunResult,
+    attach_recorders,
+    behavior_fingerprint,
+    fingerprint_digest,
+    wire_boundary_links,
+)
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    """A sharded experiment as plain picklable data."""
+
+    topology: str = "fattree"  # "fattree" | "leafspine"
+    k: int = 4
+    leaf_count: int = 2
+    spine_count: int = 2
+    hosts_per_leaf: int = 2
+    link_latency_ps: int = 1_000_000
+    workload: str = "incast"  # "incast" | "zipf"
+    waves: int = 2
+    packets_per_sender: int = 4
+    payload_len: int = 512
+    wave_gap_ps: int = 50_000_000
+    send_gap_ps: int = 2_000_000
+    start_ps: int = 1_000_000
+    #: generous by default so stock scenarios stay drop-free.
+    queue_capacity_bytes: int = 1 << 20
+    zipf_skew: float = 1.2
+    seed: int = 1
+    strategy: str = "auto"
+
+
+def scenario_spec(scenario: ShardScenario) -> TopologySpec:
+    """The scenario's fabric as pure data."""
+    if scenario.topology == "fattree":
+        return fat_tree_spec(
+            k=scenario.k, link_latency_ps=scenario.link_latency_ps
+        )
+    if scenario.topology == "leafspine":
+        return leaf_spine_spec(
+            leaf_count=scenario.leaf_count,
+            spine_count=scenario.spine_count,
+            hosts_per_leaf=scenario.hosts_per_leaf,
+            link_latency_ps=scenario.link_latency_ps,
+        )
+    raise ValueError(f"unknown topology {scenario.topology!r}")
+
+
+def scenario_partition(scenario: ShardScenario, shards: int) -> Partition:
+    return partition_spec(scenario_spec(scenario), shards, scenario.strategy)
+
+
+# ---------------------------------------------------------------------------
+# Workload schedules (per-host deterministic)
+# ---------------------------------------------------------------------------
+
+
+def incast_pairs(spec: TopologySpec) -> List[Tuple[str, str]]:
+    """(sender, receiver) pairs: pod p's hosts flood pod p+1's receiver.
+
+    The receiver of a pod is its first host in spec order; receivers
+    send nothing.  With one pod the traffic stays pod-local.
+    """
+    pod_of: Dict[str, int] = spec.meta["pod_of"]  # type: ignore[assignment]
+    hosts = spec.host_names()
+    receivers: Dict[int, str] = {}
+    for host in hosts:
+        receivers.setdefault(pod_of[host], host)
+    pods = sorted(receivers)
+    pairs = []
+    for host in hosts:
+        pod = pod_of[host]
+        if receivers[pod] == host:
+            continue
+        target = pods[(pods.index(pod) + 1) % len(pods)]
+        pairs.append((host, receivers[target]))
+    return pairs
+
+
+def _schedule_workload(
+    scenario: ShardScenario, spec: TopologySpec, network: Network
+) -> None:
+    """Queue every local host's sends on the network's simulator."""
+    ips = spec.host_ips()
+    sim = network.sim
+    if scenario.workload == "incast":
+        for sender, receiver in incast_pairs(spec):
+            host = network.hosts.get(sender)
+            if host is None:  # not on this shard
+                continue
+            pkt_args = dict(
+                src_ip=ips[sender],
+                dst_ip=ips[receiver],
+                payload_len=scenario.payload_len,
+            )
+            for wave in range(scenario.waves):
+                wave_t = scenario.start_ps + wave * scenario.wave_gap_ps
+                for _ in range(scenario.packets_per_sender):
+                    sim.call_at(
+                        wave_t, host.send, make_udp_packet(ts_ps=wave_t, **pkt_args)
+                    )
+        return
+    if scenario.workload == "zipf":
+        hosts = spec.host_names()
+        for sender in hosts:
+            host = network.hosts.get(sender)
+            rng = SeededRng(scenario.seed, sender)
+            candidates = [h for h in hosts if h != sender]
+            total = scenario.waves * scenario.packets_per_sender
+            for i in range(total):
+                # Draw regardless of locality so every shard layout sees
+                # the same per-host destination stream.
+                dst = candidates[
+                    rng.zipf_index(len(candidates), scenario.zipf_skew)
+                ]
+                if host is None:
+                    continue
+                t = scenario.start_ps + i * scenario.send_gap_ps
+                sim.call_at(
+                    t,
+                    host.send,
+                    make_udp_packet(
+                        src_ip=ips[sender],
+                        dst_ip=ips[dst],
+                        payload_len=scenario.payload_len,
+                        ts_ps=t,
+                    ),
+                )
+        return
+    raise ValueError(f"unknown workload {scenario.workload!r}")
+
+
+def expected_packets(scenario: ShardScenario) -> int:
+    """How many packets the workload injects in total."""
+    spec = scenario_spec(scenario)
+    per_sender = scenario.waves * scenario.packets_per_sender
+    if scenario.workload == "incast":
+        return len(incast_pairs(spec)) * per_sender
+    return len(spec.host_names()) * per_sender
+
+
+# ---------------------------------------------------------------------------
+# Shard builder + entry points
+# ---------------------------------------------------------------------------
+
+
+def build_shard(shard_id: int, scenario: ShardScenario, shards: int) -> ShardRuntime:
+    """Realize one shard of the scenario, routed and traffic-scheduled.
+
+    Module-level and driven purely by picklable data, so it runs
+    identically inline, in a forked worker, or in a spawned one.  With
+    ``shards=1`` it builds the whole fabric — the serial reference.
+    """
+    spec = scenario_spec(scenario)
+    factory = make_baseline_switch(
+        queue_capacity_bytes=scenario.queue_capacity_bytes
+    )
+    if shards == 1:
+        network = realize(spec, factory)
+        boundaries = {}
+    else:
+        partition = partition_spec(spec, shards, scenario.strategy)
+        network = realize(
+            spec, factory, only_nodes=partition.shard_nodes(shard_id)
+        )
+        boundaries = wire_boundary_links(network, partition, shard_id)
+    tables = ecmp_routes(spec)
+    for name, switch in network.switches.items():
+        program = L3Router()
+        program.install_host_routes(tables[name])
+        switch.load_program(program)
+    recorders = attach_recorders(network)
+    _schedule_workload(scenario, spec, network)
+    return ShardRuntime(
+        sim=network.sim,
+        network=network,
+        boundaries=boundaries,
+        recorders=recorders,
+    )
+
+
+@dataclass
+class SerialRunResult:
+    """The single-process reference run."""
+
+    records: HostRecords
+    fingerprint: Dict[str, Tuple[int, int, str]]
+    events: int
+    wall_s: float
+
+    @property
+    def digest(self) -> str:
+        return fingerprint_digest(self.fingerprint)
+
+    def total_received(self) -> int:
+        return sum(packets for packets, _, _ in self.fingerprint.values())
+
+
+def run_serial(scenario: ShardScenario) -> SerialRunResult:
+    """Run the whole scenario on one simulator in this process."""
+    runtime = build_shard(0, scenario, 1)
+    started = time.perf_counter()
+    events = runtime.sim.run()
+    wall_s = time.perf_counter() - started
+    records = runtime.collect()
+    return SerialRunResult(
+        records=records,
+        fingerprint=behavior_fingerprint(records),
+        events=events,
+        wall_s=wall_s,
+    )
+
+
+def run_sharded(
+    scenario: ShardScenario, shards: int, mode: str = "process"
+) -> ShardRunResult:
+    """Run the scenario split across ``shards`` simulators."""
+    partition = scenario_partition(scenario, shards)
+    coordinator = ShardedSimulator(
+        partition,
+        build_shard,
+        builder_args=(scenario, shards),
+        mode=mode,
+    )
+    return coordinator.run()

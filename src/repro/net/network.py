@@ -99,6 +99,31 @@ class Network:
                 raise TypeError(f"cannot connect node of type {type(node)}")
         return link
 
+    def attach_boundary(self, node, port: int, link: Link) -> Link:
+        """Register a link whose far end lives outside this network.
+
+        The shard engine's entry point: ``link`` is typically a
+        :class:`~repro.sim.shard.BoundaryLink` proxy already carrying
+        both endpoints, so only the local side is wired — the switch
+        transmit map or the host NIC — and no second endpoint is
+        touched.  ``node`` must already be registered here.
+        """
+        self.links.append(link)
+        if isinstance(node, SwitchBase):
+            if node.name not in self.switches:
+                raise ValueError(f"unknown switch {node.name!r}")
+            key = (node.name, port)
+            if key in self._switch_port_links:
+                raise ValueError(f"switch port {key} already connected")
+            self._switch_port_links[key] = link
+        elif isinstance(node, Host):
+            if node.name not in self.hosts:
+                raise ValueError(f"unknown host {node.name!r}")
+            node.attach_link(link)
+        else:
+            raise TypeError(f"cannot attach node of type {type(node)}")
+        return link
+
     def _node_name(self, node) -> str:
         return getattr(node, "name", repr(node))
 

@@ -1,0 +1,246 @@
+"""Deterministic topology partitioning for sharded simulation.
+
+:func:`partition_spec` splits a :class:`~repro.net.topology.TopologySpec`
+into ``shards`` disjoint node sets with explicit boundary links.  Two
+strategies, both fully deterministic (no RNG, no hash randomization):
+
+* ``"pod"`` — pods map to shards in contiguous blocks using the
+  builder's ``meta["pod_of"]`` map (fat-tree pods, leaf-spine leaves);
+  pod-less switches (fat-tree cores, leaf-spine spines) round-robin
+  across shards.  This is the minimum-cut partition for fat trees: only
+  agg↔core links cross shards.
+* ``"bfs"`` — breadth-first layering from a deterministic root (the
+  highest-degree switch, ties broken by name) chopped into contiguous,
+  near-equal chunks; keeps graph neighborhoods together on topologies
+  without pod structure.
+
+Invariants the sharded engine relies on (and the tests assert):
+
+* every node lands in exactly one shard and every shard is non-empty,
+* hosts are co-located with the switch they attach to, so every
+  boundary link is switch↔switch,
+* repeated partitions of equal specs produce identical assignments and
+  edge cuts — the partition is part of the deterministic behavior
+  contract, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology re-exports us)
+    from repro.net.topology import LinkSpec, TopologySpec
+
+#: Strategies :func:`partition_spec` understands.
+PARTITION_STRATEGIES = ("auto", "pod", "bfs")
+
+
+@dataclass
+class Partition:
+    """A deterministic split of a topology spec into shards."""
+
+    spec: "TopologySpec"
+    shards: int
+    strategy: str
+    #: node name -> shard id, covering every node of the spec.
+    assignment: Dict[str, int] = field(default_factory=dict)
+
+    def shard_nodes(self, shard_id: int) -> List[str]:
+        """Node names of one shard, in spec (realization) order."""
+        return [
+            name for name in self.spec.nodes
+            if self.assignment[name] == shard_id
+        ]
+
+    def boundary_links(self, shard_id: int) -> List["LinkSpec"]:
+        """Links with exactly one endpoint inside ``shard_id``."""
+        out = []
+        for link in self.spec.links:
+            in_a = self.assignment[link.node_a] == shard_id
+            in_b = self.assignment[link.node_b] == shard_id
+            if in_a != in_b:
+                out.append(link)
+        return out
+
+    def cut_links(self) -> List["LinkSpec"]:
+        """Every link crossing a shard boundary."""
+        return [
+            link for link in self.spec.links
+            if self.assignment[link.node_a] != self.assignment[link.node_b]
+        ]
+
+    def edge_cut(self) -> int:
+        """Number of links crossing shard boundaries."""
+        return len(self.cut_links())
+
+    def lookahead_ps(self) -> Optional[int]:
+        """The conservative lookahead: minimum boundary-link latency.
+
+        None when nothing crosses shards (single-shard partitions).
+        """
+        cut = self.cut_links()
+        return min(link.latency_ps for link in cut) if cut else None
+
+    def summary_rows(self) -> List[str]:
+        """Printable per-shard rows for the ``repro shard`` CLI."""
+        rows = [
+            f"{'shard':<6}{'switches':>9}{'hosts':>7}{'boundary links':>16}"
+        ]
+        for shard_id in range(self.shards):
+            nodes = self.shard_nodes(shard_id)
+            switches = sum(
+                1 for n in nodes if self.spec.nodes[n].kind == "switch"
+            )
+            hosts = len(nodes) - switches
+            rows.append(
+                f"{shard_id:<6}{switches:>9}{hosts:>7}"
+                f"{len(self.boundary_links(shard_id)):>16}"
+            )
+        lookahead = self.lookahead_ps()
+        rows.append(
+            f"edge cut {self.edge_cut()} link(s), lookahead "
+            f"{lookahead if lookahead is not None else '∞'} ps "
+            f"(strategy={self.strategy})"
+        )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.spec.name!r}, shards={self.shards}, "
+            f"strategy={self.strategy!r}, cut={self.edge_cut()})"
+        )
+
+
+def _adjacency(spec: "TopologySpec") -> Dict[str, List[str]]:
+    adj: Dict[str, List[str]] = {name: [] for name in spec.nodes}
+    for link in spec.links:
+        adj[link.node_a].append(link.node_b)
+        adj[link.node_b].append(link.node_a)
+    return adj
+
+
+def _attach_hosts(spec: "TopologySpec", assignment: Dict[str, int]) -> None:
+    """Co-locate every host with the switch its link attaches to."""
+    for link in spec.links:
+        a, b = spec.nodes[link.node_a], spec.nodes[link.node_b]
+        if a.kind == "host" and b.kind == "switch":
+            assignment[a.name] = assignment[b.name]
+        elif b.kind == "host" and a.kind == "switch":
+            assignment[b.name] = assignment[a.name]
+
+
+def _partition_pod(spec: "TopologySpec", shards: int) -> Dict[str, int]:
+    pod_of = spec.meta.get("pod_of")
+    if not isinstance(pod_of, dict):
+        raise ValueError(
+            f"spec {spec.name!r} has no pod metadata; use strategy='bfs'"
+        )
+    pods = sorted({p for p in pod_of.values() if p is not None})
+    if shards > len(pods):
+        raise ValueError(
+            f"cannot split {len(pods)} pod(s) into {shards} shard(s); "
+            "use strategy='bfs' for finer partitions"
+        )
+    pod_shard = {pod: pod_index * shards // len(pods) for pod_index, pod in enumerate(pods)}
+    assignment: Dict[str, int] = {}
+    podless = 0
+    for name, node in spec.nodes.items():
+        if node.kind != "switch":
+            continue
+        pod = pod_of.get(name)
+        if pod is None:
+            assignment[name] = podless % shards
+            podless += 1
+        else:
+            assignment[name] = pod_shard[pod]
+    _attach_hosts(spec, assignment)
+    return assignment
+
+
+def _bfs_order(spec: "TopologySpec") -> List[str]:
+    """Deterministic BFS discovery order over the switch graph."""
+    adj = _adjacency(spec)
+    switches = spec.switch_names()
+    degree = {name: len(adj[name]) for name in switches}
+    order: List[str] = []
+    seen = set()
+    remaining = set(switches)
+    while remaining:  # disconnected specs still get a full order
+        root = max(sorted(remaining), key=lambda n: degree[n])
+        frontier = [root]
+        seen.add(root)
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            remaining.discard(node)
+            for neighbor in sorted(adj[node]):
+                if neighbor in seen or spec.nodes[neighbor].kind != "switch":
+                    continue
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return order
+
+
+def _partition_bfs(spec: "TopologySpec", shards: int) -> Dict[str, int]:
+    order = _bfs_order(spec)
+    total = len(order)
+    assignment: Dict[str, int] = {}
+    for index, name in enumerate(order):
+        # Contiguous near-equal chunks over the BFS order: neighbors in
+        # the traversal stay in the same shard, approximating a min cut
+        # on layered fabrics.
+        assignment[name] = index * shards // total
+    _attach_hosts(spec, assignment)
+    return assignment
+
+
+def partition_spec(
+    spec: "TopologySpec", shards: int, strategy: str = "auto"
+) -> Partition:
+    """Split ``spec`` into ``shards`` deterministic shard node sets.
+
+    ``strategy="auto"`` prefers the pod partition when the builder
+    recorded pod metadata and the pod count allows it, falling back to
+    BFS chunking otherwise.
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick one of {PARTITION_STRATEGIES}"
+        )
+    switch_count = len(spec.switch_names())
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    if shards > switch_count:
+        raise ValueError(
+            f"cannot split {switch_count} switch(es) into {shards} shard(s)"
+        )
+    chosen = strategy
+    if strategy == "auto":
+        pod_of = spec.meta.get("pod_of")
+        pods = (
+            {p for p in pod_of.values() if p is not None}
+            if isinstance(pod_of, dict)
+            else set()
+        )
+        chosen = "pod" if len(pods) >= shards else "bfs"
+    if chosen == "pod":
+        assignment = _partition_pod(spec, shards)
+    else:
+        assignment = _partition_bfs(spec, shards)
+    missing = set(spec.nodes) - set(assignment)
+    if missing:
+        raise ValueError(
+            f"partition left {len(missing)} node(s) unassigned "
+            f"(e.g. {sorted(missing)[:3]}); is a host attached to a host?"
+        )
+    partition = Partition(
+        spec=spec, shards=shards, strategy=chosen, assignment=assignment
+    )
+    for shard_id in range(shards):
+        if not partition.shard_nodes(shard_id):
+            raise ValueError(
+                f"strategy {chosen!r} produced an empty shard {shard_id} "
+                f"for {spec.name!r}; reduce the shard count"
+            )
+    return partition

@@ -16,7 +16,10 @@ observers that turn that stream into numbers and artifacts:
 * :class:`CallbackProfiler` — a kernel-level tap counting executed
   simulator callbacks,
 * :class:`FaultLog` — the sim-time-ordered timeline of injected fault
-  actions (fed by :class:`~repro.faults.injector.FaultInjector`).
+  actions (fed by :class:`~repro.faults.injector.FaultInjector`),
+* :class:`ShardCounters` / :class:`ShardStats` — per-shard sync-round,
+  boundary-packet, and lookahead-stall counters filled by
+  :class:`~repro.sim.shard.ShardedSimulator` rather than by a bus.
 
 The :func:`observing` context manager attaches observers to every bus
 created inside its block, which is how the ``events-stats`` and
@@ -34,6 +37,7 @@ from repro.obs.counters import EventCounters
 from repro.obs.faultlog import FaultLog
 from repro.obs.kernel import CallbackProfiler
 from repro.obs.latency import DispatchLatencyHistogram
+from repro.obs.shard import ShardCounters, ShardStats
 from repro.obs.tracer import JsonlTraceSink, RecordingObserver, read_events_trace
 
 
@@ -62,6 +66,8 @@ __all__ = [
     "FaultLog",
     "JsonlTraceSink",
     "RecordingObserver",
+    "ShardCounters",
+    "ShardStats",
     "observing",
     "read_events_trace",
 ]

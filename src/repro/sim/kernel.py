@@ -846,6 +846,30 @@ class Simulator:
         """Execute the single next pending callback; False if queue empty."""
         return self.run(max_events=1) == 1
 
+    def run_until(self, bound_ps: int) -> int:
+        """Execute every event strictly before ``bound_ps``; land on it.
+
+        The bounded-window primitive of the conservative-parallel shard
+        engine (:mod:`repro.sim.shard`): after ``run_until(W)`` every
+        callback with ``time_ps < W`` has executed, no callback at
+        ``time_ps >= W`` has, and ``now_ps == W`` — so a later
+        ``call_at(W, ...)`` (a boundary packet delivered exactly on the
+        window edge) is still legal.  Contrast :meth:`run`, whose
+        ``until_ps`` bound is inclusive.  Returns the number of
+        callbacks executed.
+        """
+        now = self._peek()[0]
+        if bound_ps < now:
+            raise SimulationError(
+                f"cannot run until t={bound_ps}ps, now is t={now}ps"
+            )
+        if bound_ps == now:
+            return 0
+        executed = self.run(until_ps=bound_ps - 1)
+        if self._peek()[0] < bound_ps:
+            self._set_now(bound_ps)
+        return executed
+
     def reset(self) -> None:
         """Discard pending events, detach observers, rewind the clock.
 

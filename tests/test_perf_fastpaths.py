@@ -360,7 +360,12 @@ def test_bench_collect_write_read_compare(tmp_path):
     from repro.experiments import bench
 
     data = bench.collect("unit", rounds=1)
-    assert set(data["benchmarks"]) == {"kernel", "switch", "switch_cached"}
+    assert set(data["benchmarks"]) == {
+        "kernel",
+        "switch",
+        "switch_cached",
+        "switch_sharded",
+    }
     kern = data["benchmarks"]["kernel"]
     assert kern["events"] == bench.KERNEL_EVENTS
     assert kern["events_per_sec"] > 0

@@ -1,0 +1,210 @@
+"""The sharded simulation engine: windows, fingerprints, workers.
+
+Dynamic half of the sharding stack (docs/SCALING.md): bounded windows
+on the kernel, the conservative coordinator, serial-vs-sharded
+behavior-fingerprint equality, and the persistent-worker plumbing.
+"""
+
+import sys
+
+import pytest
+
+from repro.experiments.parallel import (
+    PersistentWorker,
+    WorkerCrashed,
+    default_workers,
+)
+from repro.experiments.shard_exp import (
+    ShardScenario,
+    expected_packets,
+    run_serial,
+    run_sharded,
+    scenario_partition,
+)
+from repro.sim import SimulationError, Simulator
+from repro.sim.shard import ShardedSimulator, behavior_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Kernel: run_until — the bounded-window primitive
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_is_exclusive_and_lands_on_bound():
+    sim = Simulator()
+    fired = []
+    for t in (10, 20, 30):
+        sim.call_at(t, fired.append, t)
+    assert sim.run_until(30) == 2
+    assert fired == [10, 20]
+    assert sim.now_ps == 30
+    # The event AT the bound is still pending and runs next window.
+    assert sim.run_until(31) == 1
+    assert fired == [10, 20, 30]
+
+
+def test_run_until_equal_bound_is_noop():
+    sim = Simulator()
+    sim.call_at(50, lambda: None)
+    sim.run_until(50)
+    assert sim.run_until(50) == 0
+    assert sim.now_ps == 50
+
+
+def test_run_until_rejects_past_bound():
+    sim = Simulator()
+    sim.call_at(100, lambda: None)
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.run_until(99)
+
+
+def test_run_until_allows_call_at_on_window_edge():
+    # A boundary packet delivered exactly at W must be schedulable
+    # after run_until(W) — the coordinator relies on this.
+    sim = Simulator()
+    fired = []
+    sim.call_at(10, fired.append, 10)
+    sim.run_until(40)
+    sim.call_at(40, fired.append, 40)
+    sim.run()
+    assert fired == [10, 40]
+
+
+def test_run_until_empty_queue_advances_clock():
+    sim = Simulator()
+    assert sim.run_until(1_000) == 0
+    assert sim.now_ps == 1_000
+
+
+# ---------------------------------------------------------------------------
+# Sharded == serial, by behavior fingerprint
+# ---------------------------------------------------------------------------
+
+LEAFSPINE = ShardScenario(
+    topology="leafspine",
+    leaf_count=4,
+    spine_count=2,
+    hosts_per_leaf=2,
+    waves=1,
+    packets_per_sender=2,
+)
+FATTREE = ShardScenario(topology="fattree", k=4, waves=1, packets_per_sender=2)
+
+
+def test_leafspine_two_shards_match_serial_inline():
+    serial = run_serial(LEAFSPINE)
+    sharded = run_sharded(LEAFSPINE, shards=2, mode="inline")
+    assert sharded.fingerprint == serial.fingerprint
+    assert sharded.total_received() == expected_packets(LEAFSPINE)
+    assert sharded.stats.windows > 0
+    assert sharded.stats.total("boundary_tx") > 0
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_fattree_shards_match_serial_inline(shards):
+    serial = run_serial(FATTREE)
+    sharded = run_sharded(FATTREE, shards=shards, mode="inline")
+    assert sharded.fingerprint == serial.fingerprint
+    assert sharded.total_received() == expected_packets(FATTREE)
+
+
+def test_sharded_run_is_reproducible():
+    a = run_sharded(FATTREE, shards=2, mode="inline")
+    b = run_sharded(FATTREE, shards=2, mode="inline")
+    assert a.fingerprint == b.fingerprint
+    assert a.stats.windows == b.stats.windows
+
+
+def test_zipf_workload_reproducible_across_shard_counts():
+    scenario = ShardScenario(
+        topology="leafspine",
+        leaf_count=4,
+        spine_count=2,
+        hosts_per_leaf=2,
+        workload="zipf",
+        packets_per_sender=3,
+    )
+    a = run_sharded(scenario, shards=2, mode="inline")
+    b = run_sharded(scenario, shards=2, mode="inline")
+    assert a.fingerprint == b.fingerprint
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs POSIX multiprocessing"
+)
+def test_process_mode_matches_serial():
+    serial = run_serial(LEAFSPINE)
+    sharded = run_sharded(LEAFSPINE, shards=2, mode="process")
+    assert sharded.fingerprint == serial.fingerprint
+    assert sharded.total_received() == expected_packets(LEAFSPINE)
+
+
+def test_zero_cut_partition_runs_one_unbounded_window():
+    sharded = run_sharded(LEAFSPINE, shards=1, mode="inline")
+    serial = run_serial(LEAFSPINE)
+    assert sharded.fingerprint == serial.fingerprint
+    assert sharded.stats.windows == 1
+
+
+def test_sharded_simulator_rejects_bad_mode():
+    part = scenario_partition(FATTREE, 2)
+    with pytest.raises(ValueError):
+        ShardedSimulator(part, lambda shard_id: None, mode="threads")
+
+
+def test_fingerprint_is_order_insensitive():
+    a = behavior_fingerprint({"h": [(10, 64), (20, 64)]})
+    b = behavior_fingerprint({"h": [(20, 64), (10, 64)]})
+    c = behavior_fingerprint({"h": [(10, 64), (21, 64)]})
+    assert a == b != c
+    assert a["h"][0] == 2  # packets
+    assert a["h"][1] == 128  # bytes
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_default_workers_prefers_affinity(monkeypatch):
+    import os
+
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        assert default_workers() == 3
+    monkeypatch.setattr(
+        os, "sched_getaffinity", lambda pid: (_ for _ in ()).throw(OSError()),
+        raising=False,
+    )
+    assert default_workers() >= 1
+
+
+def _echo_main(conn):
+    msg = conn.recv()
+    conn.send(("echo", msg))
+
+
+def _dying_main(conn):
+    raise SystemExit(3)
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs POSIX multiprocessing"
+)
+def test_persistent_worker_roundtrip():
+    with PersistentWorker(_echo_main) as worker:
+        worker.send(("ping",))
+        assert worker.recv() == ("echo", ("ping",))
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs POSIX multiprocessing"
+)
+def test_persistent_worker_crash_raises():
+    worker = PersistentWorker(_dying_main)
+    try:
+        with pytest.raises(WorkerCrashed):
+            worker.recv()
+    finally:
+        worker.close()

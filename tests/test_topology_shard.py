@@ -1,0 +1,239 @@
+"""Fat-tree spec builder, deterministic ECMP, and the graph partitioner.
+
+Property-style checks over `repro.net.topology.fat_tree_spec`,
+`repro.net.routing.ecmp_routes`, and `repro.net.partition` — the
+static half of the sharded-simulation stack (docs/SCALING.md).  The
+dynamic half (windows, boundary links, fingerprints) lives in
+tests/test_sharded_sim.py.
+"""
+
+import pytest
+
+from repro.experiments.factories import make_baseline_switch
+from repro.net.partition import PARTITION_STRATEGIES, partition_spec
+from repro.net.routing import ecmp_candidates, ecmp_routes
+from repro.net.topology import (
+    build_leaf_spine,
+    fat_tree_spec,
+    leaf_spine_spec,
+    realize,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Fat-tree spec: counts and structure
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def test_fat_tree_counts(k):
+    spec = fat_tree_spec(k=k)
+    assert len(spec.switch_names()) == 5 * k * k // 4
+    assert len(spec.host_names()) == k**3 // 4
+    # k^3/4 host links + k*(k/2)^2 edge-agg + k*(k/2)^2 agg-core.
+    assert len(spec.links) == 3 * k**3 // 4
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_fat_tree_degree_and_ips(k):
+    spec = fat_tree_spec(k=k)
+    degree = {name: 0 for name in spec.nodes}
+    for link in spec.links:
+        degree[link.node_a] += 1
+        degree[link.node_b] += 1
+    for name in spec.switch_names():
+        assert degree[name] == k, name
+    for name in spec.host_names():
+        assert degree[name] == 1, name
+    ips = spec.host_ips()
+    assert len(set(ips.values())) == len(ips), "host IPs must be unique"
+
+
+def test_fat_tree_pod_metadata():
+    spec = fat_tree_spec(k=4)
+    pod_of = spec.meta["pod_of"]
+    assert pod_of["edge0_0"] == 0 and pod_of["agg3_1"] == 3
+    assert pod_of["core0"] is None
+    assert pod_of["h2_1_0"] == 2
+    assert set(spec.nodes) == set(pod_of)
+
+
+@pytest.mark.parametrize("k", [1, 3, 5, 0, -2])
+def test_fat_tree_rejects_bad_arity(k):
+    with pytest.raises(ValueError):
+        fat_tree_spec(k=k)
+
+
+def test_fat_tree_rejects_bad_latency():
+    with pytest.raises(ValueError):
+        fat_tree_spec(k=4, link_latency_ps=0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"leaf_count": 0},
+        {"spine_count": 0},
+        {"hosts_per_leaf": 0},
+        {"link_latency_ps": -1},
+    ],
+)
+def test_leaf_spine_spec_rejects_bad_params(kwargs):
+    with pytest.raises(ValueError):
+        leaf_spine_spec(**kwargs)
+
+
+def test_leaf_spine_spec_matches_builder():
+    spec = leaf_spine_spec(leaf_count=3, spine_count=2, hosts_per_leaf=2)
+    sim = Simulator()
+    fabric = build_leaf_spine(
+        make_baseline_switch(),
+        leaf_count=3,
+        spine_count=2,
+        hosts_per_leaf=2,
+        sim=sim,
+    )
+    net = fabric.network
+    assert set(net.switches) == set(spec.switch_names())
+    assert set(net.hosts) == set(spec.host_names())
+    assert len(net.links) == len(spec.links)
+    for host, ip in spec.host_ips().items():
+        assert net.hosts[host].ip == ip
+
+
+def test_realize_subset_skips_boundary_links():
+    spec = fat_tree_spec(k=4)
+    part = partition_spec(spec, shards=4)
+    sim = Simulator()
+    nodes = part.shard_nodes(0)
+    net = realize(spec, make_baseline_switch(), sim=sim, only_nodes=nodes)
+    assert set(net.switches) | set(net.hosts) == set(nodes)
+    # Only fully-internal links exist; the caller wires boundary proxies.
+    internal = [
+        link
+        for link in spec.links
+        if link.node_a in set(nodes) and link.node_b in set(nodes)
+    ]
+    assert len(net.links) == len(internal)
+    assert len(internal) + len(part.boundary_links(0)) == len(
+        [
+            link
+            for link in spec.links
+            if link.node_a in set(nodes) or link.node_b in set(nodes)
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# ECMP: multiplicity and determinism
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [4, 6])
+def test_ecmp_multiplicity_inter_pod(k):
+    spec = fat_tree_spec(k=k)
+    half = k // 2
+    remote = spec.host_ips()[f"h{k - 1}_0_0"]
+    # Inter-pod traffic sees k/2 equal-cost uplinks at edge and agg.
+    edge = ecmp_candidates(spec, "edge0_0")
+    agg = ecmp_candidates(spec, "agg0_0")
+    assert len(edge[f"h{k - 1}_0_0"]) == half
+    assert len(agg[f"h{k - 1}_0_0"]) == half
+    # Intra-rack delivery has exactly one way down.
+    assert edge["h0_0_0"] == [half]
+    routes = ecmp_routes(spec)
+    assert routes["edge0_0"][remote] in edge[f"h{k - 1}_0_0"]
+
+
+def test_ecmp_routes_cover_every_switch_and_host():
+    spec = fat_tree_spec(k=4)
+    routes = ecmp_routes(spec)
+    hosts = set(spec.host_ips().values())
+    assert set(routes) == set(spec.switch_names())
+    for table in routes.values():
+        assert set(table) == hosts
+
+
+def test_ecmp_routes_deterministic_across_calls():
+    a = ecmp_routes(fat_tree_spec(k=4))
+    b = ecmp_routes(fat_tree_spec(k=4))
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Partitioner: determinism, co-location, cut structure
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["pod", "bfs"])
+def test_partition_deterministic_across_rebuilds(strategy):
+    a = partition_spec(fat_tree_spec(k=4), 4, strategy=strategy)
+    b = partition_spec(fat_tree_spec(k=4), 4, strategy=strategy)
+    assert a.assignment == b.assignment
+    assert a.edge_cut() == b.edge_cut()
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_partition_hosts_follow_their_switch(shards, strategy):
+    spec = fat_tree_spec(k=4)
+    part = partition_spec(spec, shards, strategy=strategy)
+    switch_of = {}
+    for link in spec.links:
+        if spec.nodes[link.node_a].kind == "host":
+            switch_of[link.node_a] = link.node_b
+        elif spec.nodes[link.node_b].kind == "host":
+            switch_of[link.node_b] = link.node_a
+    for host, switch in switch_of.items():
+        assert part.assignment[host] == part.assignment[switch]
+    # Consequence: every cut link is switch-switch.
+    for link in part.cut_links():
+        assert spec.nodes[link.node_a].kind == "switch"
+        assert spec.nodes[link.node_b].kind == "switch"
+
+
+def test_partition_pod_cut_is_agg_core_only():
+    spec = fat_tree_spec(k=4)
+    part = partition_spec(spec, 4, strategy="pod")
+    # Per-pod split: only agg-core links cross shards.  Of the 16, each
+    # round-robined core is co-located with one pod, so 4 stay internal.
+    assert part.edge_cut() == 4 * (4 // 2) ** 2 - 4
+    for link in part.cut_links():
+        ends = sorted((link.node_a[:3], link.node_b[:3]))
+        assert ends == ["agg", "cor"]
+    assert part.lookahead_ps() == 1_000_000
+
+
+def test_partition_single_shard_has_no_cut():
+    part = partition_spec(fat_tree_spec(k=4), 1)
+    assert part.edge_cut() == 0
+    assert part.lookahead_ps() is None
+
+
+@pytest.mark.parametrize("strategy", ["pod", "bfs"])
+def test_partition_no_empty_shards(strategy):
+    spec = leaf_spine_spec(leaf_count=4, spine_count=2)
+    part = partition_spec(spec, 2, strategy=strategy)
+    for shard in range(2):
+        assert part.shard_nodes(shard)
+
+
+def test_partition_rejects_bad_inputs():
+    spec = fat_tree_spec(k=4)
+    with pytest.raises(ValueError):
+        partition_spec(spec, 0)
+    with pytest.raises(ValueError):
+        partition_spec(spec, len(spec.switch_names()) + 1)
+    with pytest.raises(ValueError):
+        partition_spec(spec, 2, strategy="metis")
+    # pod strategy cannot make more shards than pods; bfs can.
+    with pytest.raises(ValueError):
+        partition_spec(spec, 5, strategy="pod")
+    assert partition_spec(spec, 5, strategy="bfs").shards == 5
+
+
+def test_partition_auto_prefers_pod_then_bfs():
+    spec = fat_tree_spec(k=4)
+    assert partition_spec(spec, 4).strategy == "pod"
+    assert partition_spec(spec, 5).strategy == "bfs"
