@@ -28,8 +28,13 @@ from repro.arch.program import P4Program, ProgramContext, handler
 from repro.packet.headers import Ipv4
 from repro.packet.packet import Packet
 from repro.pisa.action import Action
+from repro.pisa.compile import (
+    PipelineSpec,
+    register_const_fold,
+    register_value_fold,
+)
 from repro.pisa.externs.counter import Counter
-from repro.pisa.metadata import StandardMetadata
+from repro.pisa.metadata import DROP_PORT, StandardMetadata
 from repro.pisa.table import ExactTable, LpmTable, TernaryTable
 
 
@@ -57,6 +62,50 @@ PERMIT = Action("permit", _permit)
 DENY = Action("deny", _deny)
 ROUTE_TO = Action("route_to", _route_to, ("nh",))
 FORWARD = Action("forward", _forward, ("port", "dscp"))
+
+
+# ----------------------------------------------------------------------
+# Specialization folds (repro.pisa.compile)
+#
+# The fused bodies below are written against this program's ingress
+# spec: FORWARD's fold reads the spec's ``ip`` local and skips the
+# range checks ``Header.set`` would run, which is exact because the
+# spec guards ``ttl > 1`` before any next-hop rewrite and the dscp is
+# range-validated here at fold time.
+# ----------------------------------------------------------------------
+_DSCP_BITS = next(f.width_bits for f in Ipv4.FIELDS if f.name == "dscp")
+
+
+def _fold_route_to(params):
+    nh = params.get("nh")
+    return nh if isinstance(nh, int) and nh >= 0 else None
+
+
+def _fold_forward(params):
+    port, dscp = params.get("port"), params.get("dscp")
+    if (
+        isinstance(port, int)
+        and port >= 0
+        and isinstance(dscp, int)
+        and 0 <= dscp < (1 << _DSCP_BITS)
+    ):
+        return (port, dscp)
+    return None
+
+
+def _forward_body(v: str):
+    return [
+        f"_fp, _fd = {v}",
+        "ip.ttl = ip.ttl - 1",
+        "ip.dscp = _fd",
+        "meta.egress_spec = _fp",
+    ]
+
+
+register_const_fold(PERMIT, lambda params: [])
+register_const_fold(DENY, lambda params: [f"meta.egress_spec = {DROP_PORT}"])
+register_value_fold(ROUTE_TO, _fold_route_to, lambda v: [f"pkt.meta['l3_nh'] = {v}"])
+register_value_fold(FORWARD, _fold_forward, _forward_body)
 
 
 class L3Router(P4Program):
@@ -145,6 +194,59 @@ class L3Router(P4Program):
         nh = pkt.meta["l3_nh"]
         self.nexthops.apply((nh,)).execute(pkt, meta)
         self.tx_counter.count(nh, pkt.total_len)
+
+    # ------------------------------------------------------------------
+    # Specialization (repro.pisa.compile)
+    # ------------------------------------------------------------------
+    #: The ingress control as a compilable spec: the same walk as
+    #: :meth:`ingress`, with the three table applications written as
+    #: directives the specializer inlines against the live entries.
+    _INGRESS_SPEC = """\
+ip = None
+for _h in pkt.headers:
+    if _h.__class__ is Ipv4:
+        ip = _h
+        break
+if ip is None:
+    prog.non_ip_drops += 1
+    meta.egress_spec = DROP
+    return
+%apply acl ip.src, ip.dst, ip.protocol
+if meta.egress_spec == DROP:
+    prog.acl_drops += 1
+    return
+%lpm routes ip.dst -> nh
+if nh is None:
+    prog.unrouted_drops += 1
+    meta.egress_spec = DROP
+    return
+if ip.ttl <= 1:
+    prog.ttl_drops += 1
+    meta.egress_spec = DROP
+    return
+pkt.meta["l3_nh"] = nh
+%apply nexthops nh
+tx_count(nh, pkt.total_len)
+"""
+
+    def pipeline_spec(self, kind: EventType):
+        """The compilable ingress description for the specializer."""
+        if kind is not EventType.INGRESS_PACKET:
+            return None
+        return PipelineSpec(
+            source=self._INGRESS_SPEC,
+            tables={
+                "acl": self.acl,
+                "routes": self.routes,
+                "nexthops": self.nexthops,
+            },
+            names={
+                "Ipv4": Ipv4,
+                "prog": self,
+                "tx_count": self.tx_counter.count,
+                "DROP": DROP_PORT,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Introspection

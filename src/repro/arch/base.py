@@ -35,6 +35,8 @@ from repro.arch.events import Event, EventType
 from repro.arch.program import P4Program, ProgramContext
 from repro.packet.packet import Packet
 from repro.packet.parser import Parser, standard_parser
+from repro.pisa.compile import compile_switch
+from repro.pisa.compile import env_enabled as compile_env_enabled
 from repro.pisa.flowcache import UNCACHEABLE, FlowCache, env_enabled
 from repro.pisa.metadata import MetadataPool, StandardMetadata
 from repro.sim.kernel import Simulator
@@ -148,6 +150,11 @@ class SwitchContext(ProgramContext):
 class SwitchBase:
     """Base switch: ports, parser, traffic manager, program, accounting."""
 
+    #: Dispatches interpreted before the pipeline specializer kicks in;
+    #: roughly the packet count where the compiled walk's savings repay
+    #: the exec() cost of generating it.
+    COMPILE_WARMUP = 16
+
     def __init__(
         self,
         sim: Simulator,
@@ -160,6 +167,7 @@ class SwitchBase:
         scheduler_factory=None,
         bus: Optional[EventBus] = None,
         flow_cache: Optional[bool] = None,
+        compile: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.description = description
@@ -189,6 +197,8 @@ class SwitchBase:
         self.tm.hooks.on_underflow = self._tm_hook(EventType.BUFFER_UNDERFLOW)
         self.tm.hooks.on_transmit = self._tm_hook(EventType.PACKET_TRANSMITTED)
         self.program: Optional[P4Program] = None
+        self._shared_regs: tuple = ()
+        self._event_handlers: Dict[EventType, Callable] = {}
         self.ctx = SwitchContext(self)
         self.meta_pool = MetadataPool()
         self._tx_callback: Optional[TxCallback] = None
@@ -220,6 +230,23 @@ class SwitchBase:
         self.flow_cache: Optional[FlowCache] = (
             FlowCache(sim, name=name) if flow_cache else None
         )
+        # Compiled pipeline specialization (repro.pisa.compile): the
+        # packet-event dispatch is exec-generated against the loaded
+        # program on the first dispatch after a load.  ``compile=``
+        # overrides the REPRO_PIPELINE_COMPILE environment default (on).
+        # ``_compiled`` is the per-kind dispatch table, None while a
+        # (re)compile is pending, or False when compilation is off.
+        if compile is None:
+            compile = compile_env_enabled()
+        self.pipeline_compile = bool(compile)
+        self._compiled = None if self.pipeline_compile else False
+        # Generating the specialized code costs a couple of exec()s per
+        # switch (~0.5 ms), which only pays for itself on switches that
+        # actually process packets: interpret the first COMPILE_WARMUP
+        # dispatches, then compile.  Keeps fleet-scale topologies (a
+        # sharded fat tree compiles dozens of switches) from paying
+        # compile cost on nearly-idle nodes.
+        self._compile_countdown = self.COMPILE_WARMUP
 
     # ------------------------------------------------------------------
     # Program lifecycle
@@ -240,6 +267,17 @@ class SwitchBase:
                 f"programming model and cannot host shared_register(s): {names}"
             )
         self.program = program
+        # shared_registers() rebuilds its list per call; _set_thread runs
+        # twice per handled event, so snapshot the (load-time-fixed) set.
+        # The handler map is likewise fixed at load: _run_handler reads
+        # it directly instead of calling handler_for per event.
+        self._shared_regs = tuple(program.shared_registers())
+        self._event_handlers = program._handlers
+        # A (re)load voids any compiled dispatch; warm-up restarts and
+        # the dispatch regenerates against the new program.
+        if self.pipeline_compile:
+            self._compiled = None
+            self._compile_countdown = self.COMPILE_WARMUP
         if self.flow_cache is not None:
             # (Re)binding a program starts the memo cold and rediscovers
             # the generation-vector dependencies (tables, versioned
@@ -406,17 +444,21 @@ class SwitchBase:
 
     def _run_handler(self, event: Event) -> bool:
         """The bus's dispatcher: run the handler for a non-pipeline event."""
-        program = self.program
-        if program is None:
-            return False
-        fn = program.handler_for(event.kind)
+        fn = self._event_handlers.get(event.kind)
         if fn is None:
             return False
-        self._set_thread(event.kind.value)
+        regs = self._shared_regs
+        if not regs:
+            fn(self.ctx, event)
+            return True
+        value = event.kind.value
+        for reg in regs:
+            reg.set_thread(value)
         try:
             fn(self.ctx, event)
         finally:
-            self._set_thread(None)
+            for reg in regs:
+                reg.set_thread(None)
         return True
 
     def _dispatch_packet_event(
@@ -438,6 +480,14 @@ class SwitchBase:
             # Pipeline handlers receive (ctx, pkt, meta), never the
             # Event record itself, so with nobody watching the bus only
             # the counters matter — skip building the Event.
+            compiled = self._compiled
+            if compiled is None:
+                self._compile_countdown -= 1
+                if self._compile_countdown < 0:
+                    compiled = self._maybe_compile()
+            if compiled:
+                compiled[kind](pkt, meta)
+                return
             bus.fired[kind] += 1
             fn = program.handler_for(kind)
             if fn is None:
@@ -532,6 +582,18 @@ class SwitchBase:
             self._set_thread(None)
         cache.commit(rec, key, pkt, meta)
 
+    def _maybe_compile(self):
+        """Resolve a pending compile: specialize the dispatch for the
+        loaded program, or mark compilation off.  Runs on the first
+        dispatch after construction, a program load, or an unpickle
+        (exec-generated closures don't survive checkpoints)."""
+        if self.pipeline_compile and self.program is not None:
+            compiled = compile_switch(self)
+            self._compiled = compiled if compiled else False
+        else:
+            self._compiled = False
+        return self._compiled
+
     def _pipeline_for_kind(self, kind: EventType):
         """The :class:`~repro.pisa.pipeline.Pipeline` a packet event of
         ``kind`` traverses, for walk-elision accounting; None when the
@@ -549,13 +611,8 @@ class SwitchBase:
         return _TmEventHook(self, kind)
 
     def _set_thread(self, thread: Optional[str]) -> None:
-        program = self.program
-        if program is None:
-            return
-        regs = program.shared_registers()
-        if regs:
-            for reg in regs:
-                reg.set_thread(thread)
+        for reg in self._shared_regs:
+            reg.set_thread(thread)
 
     # ------------------------------------------------------------------
     # State introspection (checkpoint manifests and reports)
@@ -594,6 +651,17 @@ class SwitchBase:
         if isinstance(kind, str):
             kind = EventType(kind)
         return self.events_handled[kind]
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoints pickle whole-switch object graphs)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Exec-generated dispatch closures don't pickle; a restored
+        # switch recompiles lazily on its first dispatch.
+        if state.get("_compiled"):
+            state["_compiled"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Transmission

@@ -37,6 +37,12 @@ class EventType(Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Members are singletons and Enum equality is identity, so the
+    # identity-based C-level hash is consistent — and much cheaper than
+    # Enum's Python-level name hash on the counter dicts every dispatch
+    # touches (hundreds of thousands of lookups per benchmark round).
+    __hash__ = object.__hash__
+
 
 #: Events carried by a packet traversing the device.  Baseline PISA
 #: architectures expose (a subset of) these and nothing else.
@@ -70,7 +76,7 @@ PIPELINE_PACKET_EVENTS: FrozenSet[EventType] = frozenset(
 _event_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """One fired data-plane event, as delivered to a program handler.
 

@@ -53,6 +53,9 @@ class MergerStats:
 InjectFn = Callable[[List[Event]], None]
 DropFn = Callable[[Event], None]
 
+#: Enum declaration order, for sorting the live-kind set at take time.
+_KIND_ORDER = {kind: index for index, kind in enumerate(EventType)}
+
 
 class EventMerger:
     """Gathers events and attaches them to pipeline carriers."""
@@ -82,6 +85,10 @@ class EventMerger:
         self.injection_enabled = injection_enabled
         self.stats = MergerStats()
         self._pending: Dict[EventType, List[Event]] = {kind: [] for kind in EventType}
+        # Kinds with a non-empty queue: take_for_carrier walks only
+        # these (sorted back into declaration order) instead of all 13
+        # kinds — the carrier path runs once per pipeline entry.
+        self._live: set = set()
         self._pending_total = 0
         self._inject_fn: Optional[InjectFn] = None
         self._drop_fn: Optional[DropFn] = None
@@ -110,6 +117,8 @@ class EventMerger:
             self.stats.dropped += 1
             if self._drop_fn is not None:
                 self._drop_fn(lost)
+        if not queue:
+            self._live.add(event.kind)
         queue.append(event)
         self._pending_total += 1
         if self.injection_enabled and not self._check_scheduled:
@@ -138,20 +147,28 @@ class EventMerger:
             # skip the walk over every event kind.
             return []
         taken: List[Event] = []
-        for kind in EventType:
+        live = self._live
+        slots = self.slots_per_kind
+        for kind in sorted(live, key=_KIND_ORDER.__getitem__):
             queue = self._pending[kind]
-            if queue:
-                for _ in range(min(self.slots_per_kind, len(queue))):
-                    taken.append(queue.pop(0))
-        self._pending_total -= len(taken)
+            take_n = min(slots, len(queue))
+            taken += queue[:take_n]
+            del queue[:take_n]
+            if not queue:
+                live.discard(kind)
+        count = len(taken)
+        self._pending_total -= count
         now = self.sim.now_ps
+        stats = self.stats
+        stats.delivered += count
+        wait_ps = 0
         for event in taken:
-            self.stats.delivered += 1
-            self.stats.total_wait_ps += now - event.time_ps
-            if piggyback:
-                self.stats.piggybacked += 1
-            else:
-                self.stats.injected_events += 1
+            wait_ps += now - event.time_ps
+        stats.total_wait_ps += wait_ps
+        if piggyback:
+            stats.piggybacked += count
+        else:
+            stats.injected_events += count
         return taken
 
     # ------------------------------------------------------------------

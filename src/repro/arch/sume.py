@@ -106,13 +106,13 @@ class SumeEventSwitch(SwitchBase):
             self.pipeline.latency_ps, self._pipeline_exit, pkt, kind, events
         )
 
+    #: Outer header of injected empty carriers; cloned per injection so
+    #: the validating constructor runs once, not per empty packet.
+    _CARRIER_ETH = Ethernet(src=0, dst=0, ethertype=int(EtherType.EVENT_METADATA))
+
     def _inject_empty_packet(self, events: List[Event]) -> None:
         carrier = Packet(
-            headers=[
-                Ethernet(
-                    src=0, dst=0, ethertype=int(EtherType.EVENT_METADATA)
-                )
-            ],
+            headers=[self._CARRIER_ETH.copy()],
             payload_len=50,  # pad to a 64B minimum frame
             ts_created_ps=self.sim.now_ps,
         )
@@ -125,11 +125,6 @@ class SumeEventSwitch(SwitchBase):
     def _pipeline_exit(
         self, pkt: Packet, kind: Optional[EventType], events: List[Event]
     ) -> None:
-        meta = self.meta_pool.acquire(
-            ingress_port=pkt.ingress_port,
-            packet_length=pkt.total_len,
-            ingress_timestamp_ps=self.sim.now_ps,
-        )
         self.pipeline.packets_processed += 1
         # Event handlers run first (their metadata words sit ahead of
         # the packet's own headers in the physical layout), then the
@@ -137,13 +132,24 @@ class SumeEventSwitch(SwitchBase):
         # each event's staleness — the merger wait plus the pipeline
         # traversal — for the observability layer.
         if events:
+            dispatch = self.bus.dispatch
             for event in events:
-                self.bus.dispatch(event)
-        if kind is not None:
-            if pkt.recirculated and kind == EventType.INGRESS_PACKET:
-                kind = EventType.RECIRCULATED_PACKET
-            self._dispatch_packet_event(kind, pkt, meta)
-        self._steer(pkt, meta, carrier_only=kind is None)
+                dispatch(event)
+        if kind is None:
+            # Empty carrier: handlers receive only the Event records and
+            # have no way to set an egress spec, so the carrier always
+            # dies silently after delivery — skip the metadata shell and
+            # the steering walk entirely.
+            return
+        meta = self.meta_pool.acquire(
+            ingress_port=pkt.ingress_port,
+            packet_length=pkt.total_len,
+            ingress_timestamp_ps=self.sim.now_ps,
+        )
+        if pkt.recirculated and kind is EventType.INGRESS_PACKET:
+            kind = EventType.RECIRCULATED_PACKET
+        self._dispatch_packet_event(kind, pkt, meta)
+        self._steer(pkt, meta, carrier_only=False)
         if getrefcount(meta) == 2:
             # Only this frame still holds the shell (handlers kept no
             # reference), so it can be recycled.

@@ -392,6 +392,8 @@ def run_bench(
                 f"\nno regressions vs {baseline_path} "
                 f"(threshold {max_regression:.0%})"
             )
+    for warning in bench.missing_round_warnings(data, baselines):
+        print(warning)
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if step_summary and baselines:
         table = bench.delta_markdown(data, baselines, max_regression=max_regression)
@@ -492,6 +494,7 @@ def run_chaos(
     seed: int = 7,
     seed_sweep: int = 0,
     out: str = "chaos_verdicts.jsonl",
+    compile_arm: bool = False,
 ) -> int:
     """Run the fault-injection grid; nonzero exit on invariant violations."""
     from repro.faults import chaos
@@ -499,7 +502,7 @@ def run_chaos(
     plans = chaos.PLAN_NAMES if plan == "all" else (plan,)
     apps = chaos.APP_NAMES if app == "all" else (app,)
     seeds = list(range(seed, seed + seed_sweep)) if seed_sweep > 0 else [seed]
-    records = chaos.run_grid(plans, apps, seeds, out_path=out)
+    records = chaos.run_grid(plans, apps, seeds, out_path=out, compile_arm=compile_arm)
     _print(
         f"chaos grid: {len(plans)} plan(s) x {len(apps)} app(s) x "
         f"{len(seeds)} seed(s) → {out}",
@@ -763,6 +766,12 @@ def main(argv: List[str] = None) -> int:
         help="chaos: run N consecutive seeds starting at --seed",
     )
     parser.add_argument(
+        "--compile-arm",
+        action="store_true",
+        help="chaos: add a third arm (compiled pipelines, cache off) to "
+        "each cell and gate it against the interpreted reference",
+    )
+    parser.add_argument(
         "--ckpt",
         default="microburst.ckpt",
         metavar="PATH",
@@ -841,6 +850,7 @@ def main(argv: List[str] = None) -> int:
             out="chaos_verdicts.jsonl"
             if args.out == "events_trace.jsonl"
             else args.out,
+            compile_arm=args.compile_arm,
         )
     if args.experiment == "checkpoint":
         return run_checkpoint(args.ckpt, args.at_ps, args.duration_ps)

@@ -160,6 +160,50 @@ def switch_cached_round() -> Tuple[float, int]:
     return wall, network.sim.events_executed
 
 
+def switch_compiled_round() -> Tuple[float, int]:
+    """One timed round through the compiled pipeline specializer.
+
+    The same baseline-PSA / :class:`L3Router` topology as
+    :func:`switch_cached_round`, but with the flow-decision cache *off*
+    and pipeline compilation *on* — every packet takes the exec-generated
+    fused walk (inlined tables, folded actions), so this round tracks
+    the specializer's throughput with no memoization in front of it.
+    """
+    from repro.apps.l3fwd import L3Router
+    from repro.experiments.factories import make_baseline_switch
+    from repro.net.topology import build_linear
+    from repro.packet.builder import make_udp_packet
+
+    start = perf_counter()
+    network = build_linear(
+        make_baseline_switch(flow_cache=False, compile=True), switch_count=1
+    )
+    program = L3Router()
+    program.install_host_routes({H0_IP: 0, H1_IP: 1})
+    program.deny_flow(src=0x7F00_0001, src_mask=0xFFFF_FFFF, priority=5)
+    network.switches["s0"].load_program(program)
+    received: List[object] = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(SWITCH_PACKETS):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    wall = perf_counter() - start
+    if len(received) != SWITCH_PACKETS:
+        raise RuntimeError(
+            f"switch_compiled round delivered {len(received)} packets, "
+            f"expected {SWITCH_PACKETS}"
+        )
+    switch = network.switches["s0"]
+    if not switch._compiled:
+        raise RuntimeError("switch_compiled round ran without compiled dispatch")
+    return wall, network.sim.events_executed
+
+
 def switch_sharded_round() -> Tuple[float, int]:
     """One timed round of the conservative-parallel shard engine.
 
@@ -197,6 +241,7 @@ BENCH_ROUNDS = {
     "kernel": kernel_round,
     "switch": switch_round,
     "switch_cached": switch_cached_round,
+    "switch_compiled": switch_compiled_round,
     "switch_sharded": switch_sharded_round,
 }
 
@@ -331,7 +376,7 @@ def collect(
             "events": events,
             "events_per_sec": events / best,
         }
-        if name in ("switch", "switch_cached"):
+        if name in ("switch", "switch_cached", "switch_compiled"):
             entry["packets"] = SWITCH_PACKETS
             entry["pkts_per_sec"] = SWITCH_PACKETS / best
         benchmarks[name] = entry
@@ -401,6 +446,43 @@ def expand_baselines(patterns: List[str], exclude: str = "") -> List[str]:
     return paths
 
 
+def round_stats(entry: Dict) -> Tuple[float, float, int]:
+    """``(stddev_s, cov, rounds)`` of one benchmark entry's rounds.
+
+    Derived from ``wall_s_all`` so every schema-1 snapshot — including
+    ones recorded before these statistics were reported — yields them;
+    an entry without per-round walls reports zeros and its declared
+    round count.
+    """
+    walls = entry.get("wall_s_all") or []
+    rounds = entry.get("rounds", len(walls))
+    if len(walls) < 2:
+        return 0.0, 0.0, rounds
+    mean = sum(walls) / len(walls)
+    var = sum((w - mean) ** 2 for w in walls) / (len(walls) - 1)
+    std = var**0.5
+    return std, (std / mean if mean else 0.0), rounds
+
+
+def missing_round_warnings(
+    current: Dict, baselines: List[Tuple[str, Dict]]
+) -> List[str]:
+    """One warning per baseline lacking a benchmark the current snapshot
+    has.  Old snapshots predate newer rounds (pr-era files have no
+    ``switch_compiled``); the gate ignores them, but the step summary
+    should say so rather than silently shrinking coverage."""
+    cur_names = set(current.get("benchmarks", {}))
+    warnings = []
+    for label, baseline in baselines:
+        missing = sorted(cur_names - set(baseline.get("benchmarks", {})))
+        if missing:
+            warnings.append(
+                f"⚠ baseline `{label}` lacks round(s) {', '.join(missing)}; "
+                "those benchmarks are not gated against it."
+            )
+    return warnings
+
+
 def delta_markdown(
     current: Dict,
     baselines: List[Tuple[str, Dict]],
@@ -408,22 +490,27 @@ def delta_markdown(
 ) -> List[str]:
     """A per-scenario delta table in GitHub-flavored markdown.
 
-    One row per benchmark, one column per baseline snapshot; each cell
-    is the best-wall-time delta vs that baseline (positive = slower).
+    One row per benchmark — best/mean wall, round stddev and coefficient
+    of variation, round count — plus one column per baseline snapshot;
+    each baseline cell is the best-wall-time delta vs that baseline
+    (positive = slower).  Baselines lacking a benchmark get ``n/a``
+    cells and a trailing warning line instead of failing the render.
     Written into ``$GITHUB_STEP_SUMMARY`` by the CI benchmark job.
     """
     lines = [
         f"### Benchmark deltas — label `{current['label']}`, "
         f"scheduler `{current['scheduler']}`, python {current['python']}",
         "",
-        "| benchmark | best | "
+        "| benchmark | best | mean | stddev | CoV | rounds | "
         + " | ".join(label for label, _data in baselines)
         + " |",
-        "|---|---|" + "---|" * len(baselines),
+        "|---|---|---|---|---|---|" + "---|" * len(baselines),
     ]
     cur_marks = current.get("benchmarks", {})
     for name in sorted(cur_marks):
-        cur = cur_marks[name]["wall_s_min"]
+        entry = cur_marks[name]
+        cur = entry["wall_s_min"]
+        std, cov, rounds = round_stats(entry)
         cells = []
         for _label, baseline in baselines:
             base_entry = baseline.get("benchmarks", {}).get(name)
@@ -434,13 +521,21 @@ def delta_markdown(
             flag = " ⚠" if delta > max_regression else ""
             cells.append(f"{delta:+.1%}{flag}")
         lines.append(
-            f"| {name} | {cur * 1e3:.2f} ms | " + " | ".join(cells) + " |"
+            f"| {name} | {cur * 1e3:.2f} ms | "
+            f"{entry['wall_s_mean'] * 1e3:.2f} ms | "
+            f"{std * 1e3:.2f} ms | {cov:.1%} | {rounds} | "
+            + " | ".join(cells)
+            + " |"
         )
     lines.append("")
     lines.append(
         f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
         "(positive deltas are slower; ⚠ exceeds the gate)."
     )
+    warnings = missing_round_warnings(current, baselines)
+    if warnings:
+        lines.append("")
+        lines.extend(warnings)
     return lines
 
 
@@ -454,9 +549,11 @@ def summary_rows(data: Dict) -> List[str]:
         extras = ""
         if "pkts_per_sec" in entry:
             extras = f"  {entry['pkts_per_sec']:>12,.0f} pkts/s"
+        std, cov, rounds = round_stats(entry)
         rows.append(
-            f"{name:<8} best={entry['wall_s_min'] * 1e3:8.2f}ms "
+            f"{name:<15} best={entry['wall_s_min'] * 1e3:8.2f}ms "
             f"mean={entry['wall_s_mean'] * 1e3:8.2f}ms "
+            f"±{std * 1e3:6.2f}ms (CoV {cov:5.1%}, n={rounds}) "
             f"{entry['events_per_sec']:>12,.0f} ev/s{extras}"
         )
     return rows

@@ -29,6 +29,7 @@ def make_baseline_switch(
     queues_per_port: int = 1,
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
 ):
     """Factory for Figure 1 baseline PSA switches."""
 
@@ -41,6 +42,7 @@ def make_baseline_switch(
             queues_per_port=queues_per_port,
             scheduler_factory=scheduler_factory,
             flow_cache=flow_cache,
+            compile=compile,
         )
 
     return factory
@@ -51,6 +53,7 @@ def make_logical_switch(
     queues_per_port: int = 1,
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
 ):
     """Factory for Figure 2 logical event-driven switches."""
 
@@ -63,6 +66,7 @@ def make_logical_switch(
             queues_per_port=queues_per_port,
             scheduler_factory=scheduler_factory,
             flow_cache=flow_cache,
+            compile=compile,
         )
 
     return factory
@@ -73,6 +77,7 @@ def make_sume_switch(
     queues_per_port: int = 1,
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
     full_events: bool = False,
     merger_injection_enabled: bool = True,
     merger_queue_capacity: int = 64,
@@ -95,6 +100,7 @@ def make_sume_switch(
             merger_injection_enabled=merger_injection_enabled,
             merger_queue_capacity=merger_queue_capacity,
             flow_cache=flow_cache,
+            compile=compile,
         )
 
     return factory
@@ -105,6 +111,7 @@ def make_emulated_switch(
     recirc_rate_gbps: float = 100.0,
     recirc_queue_capacity: int = 128,
     flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
 ):
     """Factory for §6 Tofino-like switches with event emulation."""
 
@@ -117,6 +124,7 @@ def make_emulated_switch(
             recirc_rate_gbps=recirc_rate_gbps,
             recirc_queue_capacity=recirc_queue_capacity,
             flow_cache=flow_cache,
+            compile=compile,
         )
 
     return factory

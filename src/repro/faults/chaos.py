@@ -3,6 +3,9 @@
 Each grid cell runs its scenario **twice** — flow cache on, then off —
 with the same seed; the two behavior fingerprints must match exactly
 (the cache may only elide work, never change behavior, even mid-fault).
+With ``compile_arm`` a **third** arm runs the compiled pipelines
+(:mod:`repro.pisa.compile`) against an interpreter-pinned cache-off
+reference, extending the same exactness contract to compiled walks.
 The cache-on run carries the invariant monitors; the resulting verdict
 record is one JSON object with sorted keys, so the JSONL report is
 byte-identical across replays of the same grid and seed.
@@ -34,11 +37,15 @@ APP_NAMES: Tuple[str, ...] = tuple(sorted(SCENARIOS))
 
 
 def run_instance(
-    plan_name: str, app_name: str, seed: int, flow_cache: bool
+    plan_name: str,
+    app_name: str,
+    seed: int,
+    flow_cache: bool,
+    compile: Optional[bool] = None,
 ) -> Dict[str, object]:
     """One monitored scenario run; returns raw instance results."""
     plan = get_plan(plan_name)
-    scenario = build_scenario(app_name, seed, flow_cache=flow_cache)
+    scenario = build_scenario(app_name, seed, flow_cache=flow_cache, compile=compile)
     rng = SeededRng(seed, f"chaos/{plan_name}/{app_name}")
     log = FaultLog()
     injector = FaultInjector(scenario, plan, rng, log=log)
@@ -70,29 +77,55 @@ def run_instance(
     }
 
 
-def run_cell(plan_name: str, app_name: str, seed: int) -> Dict[str, object]:
-    """One verdict record: cache-on run, cache-off run, A/B comparison."""
+def _divergence(label: str, a: Dict[str, object], b: Dict[str, object]) -> List[str]:
+    """One violation naming the fingerprint keys two arms disagree on."""
+    fp_a, fp_b = a["fingerprint"], b["fingerprint"]
+    if fp_a == fp_b:
+        return []
+    diverged = sorted(
+        key for key in set(fp_a) | set(fp_b) if fp_a.get(key) != fp_b.get(key)
+    )
+    return [f"{label}-divergence: runs disagree on " + ", ".join(diverged)]
+
+
+def run_cell(
+    plan_name: str, app_name: str, seed: int, compile_arm: bool = False
+) -> Dict[str, object]:
+    """One verdict record: cache-on vs cache-off, optionally plus compiled.
+
+    With ``compile_arm`` the cache-off run is pinned to the interpreter
+    (the reference path) and a third arm runs compiled with the cache
+    off; its fingerprint must match the interpreted reference exactly
+    (``compile-divergence`` otherwise), covering compiled execution with
+    the same invariant monitors.
+    """
     on = run_instance(plan_name, app_name, seed, flow_cache=True)
-    off = run_instance(plan_name, app_name, seed, flow_cache=False)
+    off = run_instance(
+        plan_name,
+        app_name,
+        seed,
+        flow_cache=False,
+        compile=False if compile_arm else None,
+    )
 
     violations = list(on["violations"])
     violations.extend(f"cache-off:{message}" for message in off["violations"])
-    if on["fingerprint"] != off["fingerprint"]:
-        diverged = sorted(
-            key
-            for key in set(on["fingerprint"]) | set(off["fingerprint"])
-            if on["fingerprint"].get(key) != off["fingerprint"].get(key)
+    violations.extend(_divergence("flowcache", on, off))
+    arms = 2
+    if compile_arm:
+        compiled = run_instance(
+            plan_name, app_name, seed, flow_cache=False, compile=True
         )
-        violations.append(
-            "flowcache-divergence: cache-on and cache-off runs disagree on "
-            + ", ".join(diverged)
-        )
+        violations.extend(f"compiled:{message}" for message in compiled["violations"])
+        violations.extend(_divergence("compile", compiled, off))
+        arms = 3
 
     fingerprint_crc = zlib.crc32(repr(sorted(on["fingerprint"].items())).encode())
     return {
         "plan": plan_name,
         "app": app_name,
         "seed": seed,
+        "arms": arms,
         "ok": not violations,
         "violations": violations,
         "delivered": on["delivered"],
@@ -112,6 +145,7 @@ def run_grid(
     apps: Sequence[str],
     seeds: Iterable[int],
     out_path: Optional[str] = None,
+    compile_arm: bool = False,
 ) -> List[Dict[str, object]]:
     """Run every (plan, app, seed) cell; optionally stream JSONL to disk."""
     records: List[Dict[str, object]] = []
@@ -120,7 +154,7 @@ def run_grid(
         for plan_name in plans:
             for app_name in apps:
                 for seed in seeds:
-                    record = run_cell(plan_name, app_name, seed)
+                    record = run_cell(plan_name, app_name, seed, compile_arm=compile_arm)
                     records.append(record)
                     if out is not None:
                         out.write(json.dumps(record, sort_keys=True) + "\n")

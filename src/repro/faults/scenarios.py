@@ -133,10 +133,16 @@ def _churn_targets(network: Network) -> List[Tuple[str, object]]:
 # ----------------------------------------------------------------------
 # Builders (one per Table-2 failure-handling application)
 # ----------------------------------------------------------------------
-def build_frr(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
+def build_frr(
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
+) -> Scenario:
     """Fast re-route on the diamond: LINK_STATUS flips to backups."""
     network = _build_diamond(
-        make_sume_switch(queue_capacity_bytes=16 * 1024, flow_cache=flow_cache)
+        make_sume_switch(
+            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+        )
     )
     head = FastRerouteProgram()
     head.install_protected_route(H1_IP, primary=1, backup=2)
@@ -179,10 +185,16 @@ def build_frr(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
     )
 
 
-def build_liveness(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
+def build_liveness(
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
+) -> Scenario:
     """Data-plane liveness probing across the link the faults target."""
     network = Network()
-    factory = make_sume_switch(queue_capacity_bytes=16 * 1024, flow_cache=flow_cache)
+    factory = make_sume_switch(
+            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+        )
     s0 = network.add_switch(factory(network.sim, "s0", 3))
     s1 = network.add_switch(factory(network.sim, "s1", 2))
     monitor = network.add_host(Host(network.sim, "monitor", MONITOR_IP))
@@ -241,10 +253,16 @@ def build_liveness(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
     )
 
 
-def build_hula(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
+def build_hula(
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
+) -> Scenario:
     """HULA probes and flowlets on a 2x2 leaf-spine fabric."""
     fabric = build_leaf_spine(
-        make_sume_switch(queue_capacity_bytes=32 * 1024, flow_cache=flow_cache),
+        make_sume_switch(
+            queue_capacity_bytes=32 * 1024, flow_cache=flow_cache, compile=compile
+        ),
         leaf_count=2,
         spine_count=2,
         hosts_per_leaf=1,
@@ -308,10 +326,16 @@ def build_hula(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
     )
 
 
-def build_migration(seed: int, flow_cache: Optional[bool] = None) -> Scenario:
+def build_migration(
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
+) -> Scenario:
     """Swing-state budget migration on the diamond."""
     network = _build_diamond(
-        make_sume_switch(queue_capacity_bytes=16 * 1024, flow_cache=flow_cache)
+        make_sume_switch(
+            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+        )
     )
     head = SwingStateHeadProgram(migrate=True)
     head.install_protected_route(H1_IP, primary=1, backup=2)
@@ -365,7 +389,10 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
 
 
 def build_scenario(
-    app: str, seed: int, flow_cache: Optional[bool] = None
+    app: str,
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
 ) -> Scenario:
     """Build one app scenario by name."""
     try:
@@ -373,4 +400,4 @@ def build_scenario(
     except KeyError:
         choices = sorted(SCENARIOS)
         raise ValueError(f"unknown chaos app {app!r}; pick from {choices}") from None
-    return builder(seed, flow_cache=flow_cache)
+    return builder(seed, flow_cache=flow_cache, compile=compile)

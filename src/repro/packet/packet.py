@@ -193,6 +193,17 @@ class Packet:
         dup.generated = self.generated
         return dup
 
+    # ------------------------------------------------------------------
+    # Pickling (explicit: slotted instances have no __dict__, and the
+    # checkpoint/shard-pipe payloads should not depend on slot order)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
     def note(self, message: str) -> None:
         """Append a trace note (used by tests and debugging)."""
         self.trace.append(message)

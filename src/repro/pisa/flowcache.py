@@ -158,6 +158,9 @@ _IMPURE_META_READS = frozenset(
 #: Per-header-class compiled field getters: HeaderClass -> attrgetter.
 _FIELD_GETTERS: Dict[type, object] = {}
 
+#: C-level generation reader for the per-lookup version vector.
+_GENERATION = attrgetter("generation")
+
 
 def _field_getter(cls: type):
     getter = _FIELD_GETTERS.get(cls)
@@ -513,7 +516,7 @@ class FlowCache:
         return tuple(parts)
 
     def _generation_vector(self) -> tuple:
-        return tuple(dep.generation for dep in self._deps)
+        return tuple(map(_GENERATION, self._deps))
 
     # ------------------------------------------------------------------
     # Lookup / replay
@@ -559,8 +562,16 @@ class FlowCache:
 
     def replay(self, entry: "_Entry", pkt, meta) -> None:
         """Apply a recorded decision to ``pkt``/``meta``."""
-        for idx, field_values in entry.rewrites:
-            pkt.headers[idx].set(**field_values)
+        rewrites = entry.rewrites
+        if rewrites:
+            headers = pkt.headers
+            set_ = object.__setattr__
+            for idx, pairs in rewrites:
+                header = headers[idx]
+                # Recorded values came from a real walk, so they fit
+                # their declared widths — skip Header.set's range checks.
+                for name, value in pairs:
+                    set_(header, name, value)
         if entry.payload_len is not None:
             pkt.payload_len = entry.payload_len
         if entry.pkt_meta_writes:
@@ -572,8 +583,8 @@ class FlowCache:
             meta.enq_meta.update(entry.enq_meta)
         if entry.deq_meta:
             meta.deq_meta.update(entry.deq_meta)
-        for extern, name, args, kwargs in entry.ops:
-            getattr(extern, name)(*args, **kwargs)
+        for bound, args, kwargs in entry.ops:
+            bound(*args, **kwargs)
 
     # ------------------------------------------------------------------
     # Recording
@@ -643,11 +654,11 @@ class FlowCache:
             after = _field_getter(header.__class__)(header)
             if after != before:
                 fields = header.FIELDS
-                changed = {
-                    fields[i].name: after[i]
+                changed = tuple(
+                    (fields[i].name, after[i])
                     for i in range(len(fields))
                     if after[i] != before[i]
-                }
+                )
                 rewrites.append((idx, changed))
         entry.rewrites = tuple(rewrites)
         entry.payload_len = (
@@ -667,7 +678,12 @@ class FlowCache:
                 return
         else:
             entry.pkt_meta_writes = None
-        entry.ops = tuple(rec.ops)
+        # _unshim ran above, so getattr binds the real extern methods;
+        # pre-binding here saves a getattr per op per replayed packet.
+        entry.ops = tuple(
+            (getattr(extern, name), args, kwargs)
+            for extern, name, args, kwargs in rec.ops
+        )
         self._store(key, entry)
         stats.misses += 1
 

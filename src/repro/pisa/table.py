@@ -98,6 +98,15 @@ class Table:
         """Return the matching action or None (no default, no counters)."""
         raise NotImplementedError
 
+    def __getstate__(self):
+        # The lookup memo is per-process scratch, not table state: it
+        # depends on which packets happened to traverse (and whether a
+        # compiled walk bypassed `apply` entirely), so checkpoints must
+        # not capture it or equivalent switches pickle differently.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
     def apply(self, key: Tuple) -> ActionCall:
         """P4-style apply: returns the matched or default action."""
         cache = self._cache

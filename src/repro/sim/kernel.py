@@ -55,6 +55,17 @@ SCHEDULER_BACKENDS = ("heap", "wheel")
 #: Environment variable selecting the default scheduler backend.
 SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
+#: Environment variable toggling the batched same-timestamp drain.
+BATCH_DRAIN_ENV = "REPRO_BATCH_DRAIN"
+
+
+def batch_env_enabled(default: bool = True) -> bool:
+    """Resolve the ``REPRO_BATCH_DRAIN`` toggle (default: enabled)."""
+    raw = os.environ.get(BATCH_DRAIN_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "false", "off", "no")
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, etc.)."""
@@ -135,12 +146,23 @@ def _prio_of(event: ScheduledEvent) -> int:
     return event[_PRIO]
 
 
-def _build_heap_core(sim: "Simulator", observers: list, floor: int):
+def _build_heap_core(
+    sim: "Simulator", observers: list, floor: int, batch: bool = True
+):
     """Build the heap backend's hot-path closures.
 
     All mutable kernel state lives in this scope's cells.  The returned
     closures share those cells; the Simulator stores the closures in
     slots and mirrors the state through read-only properties.
+
+    ``batch`` enables the batched same-timestamp drain: when the popped
+    head shares its timestamp with the next queued event, the whole
+    (time, priority, seqno) run is popped off the heap in one go and
+    executed from a flat list — one clock store per run, no per-event
+    bound/limit compares, and same-time events scheduled *by* the run's
+    callbacks bisect into the unexecuted tail (the wheel backend's
+    drain-window technique) instead of round-tripping through the heap.
+    The order is byte-identical to the unbatched drain.
 
     The literal indices in the loops are the ScheduledEvent layout:
     ``0=time  1=priority  2=seqno  3=callback  4=args  5=cancelled
@@ -151,6 +173,12 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
     executed_total = 0
     cancelled = 0
     queue: List[ScheduledEvent] = []
+    # Live drain window for the batched same-timestamp drain (mirrors
+    # the wheel backend): while a run at ``drain_time`` executes,
+    # ``drain_list[drain_pos:]`` is its unexecuted tail.
+    drain_time = -1
+    drain_list: Optional[List[ScheduledEvent]] = None
+    drain_pos = 0
     # Free-list of recycled event shells.  The run loop returns an
     # executed event here only when its refcount proves the kernel holds
     # the sole reference (the caller dropped the handle), so a held
@@ -191,7 +219,23 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
             event = ScheduledEvent(
                 (time_ps, priority, s, callback, args, False, sim)
             )
-        if queue:
+        if time_ps == drain_time:
+            # Scheduling at the timestamp currently draining: bisect
+            # into the unexecuted tail of the live run by (priority,
+            # seqno) — exactly where the unbatched drain would pop it.
+            d = drain_list
+            lo = drain_pos
+            hi = len(d)
+            key = (priority, s)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                other = d[mid]
+                if (other[1], other[2]) < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            d.insert(lo, event)
+        elif queue:
             push(queue, event)
         else:
             queue.append(event)  # empty heap: skip the sift call
@@ -220,7 +264,23 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
             event = ScheduledEvent(
                 (time_ps, priority, s, callback, args, False, sim)
             )
-        if queue:
+        if time_ps == drain_time:
+            # Scheduling at the timestamp currently draining: bisect
+            # into the unexecuted tail of the live run by (priority,
+            # seqno) — exactly where the unbatched drain would pop it.
+            d = drain_list
+            lo = drain_pos
+            hi = len(d)
+            key = (priority, s)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                other = d[mid]
+                if (other[1], other[2]) < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            d.insert(lo, event)
+        elif queue:
             push(queue, event)
         else:
             queue.append(event)  # empty heap: skip the sift call
@@ -239,10 +299,14 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
         if size >= floor and cancelled > size // 2:
             queue[:] = [ev for ev in queue if not ev[5]]
             heapify(queue)
-            cancelled = 0
+            # Subtract only what the rebuild removed: tombstones sitting
+            # in a live batched-drain window are not in ``queue`` and
+            # stay counted until the run loop consumes them.
+            cancelled -= size - len(queue)
 
     def drain(bound: int, limit: int) -> int:
         nonlocal now, executed_total, cancelled
+        nonlocal drain_time, drain_list, drain_pos
         q = queue
         pop = heappop
         refs = getrefcount
@@ -267,6 +331,42 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
                     if head[5]:
                         head[6] = None
                         cancelled -= 1
+                        continue
+                    if batch and q and q[0][0] == head[0]:
+                        # Batched drain: pop the whole same-timestamp
+                        # run (heap order is already (priority, seqno))
+                        # and execute it from a flat list.  Callbacks
+                        # scheduling at this timestamp bisect into the
+                        # unexecuted tail via call_at/call_after.
+                        time_ps = head[0]
+                        run_list = [head]
+                        append_run = run_list.append
+                        while q and q[0][0] == time_ps:
+                            append_run(pop(q))
+                        now = time_ps
+                        drain_time = time_ps
+                        drain_list = run_list
+                        index = 0
+                        while index < len(run_list):
+                            head = run_list[index]
+                            index += 1
+                            drain_pos = index
+                            head[6] = None
+                            if head[5]:
+                                cancelled -= 1
+                                continue
+                            args = head[4]
+                            if args:
+                                head[3](*args)
+                            else:
+                                head[3]()
+                            executed += 1
+                            if observers:
+                                for observer in observers:
+                                    observer(head)
+                        drain_time = -1
+                        drain_list = None
+                        drain_pos = 0
                         continue
                     head[6] = None  # late cancel() is now a no-op
                     now = head[0]
@@ -297,6 +397,48 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
                 if head[0] > bound or executed >= limit:
                     push(q, head)  # bounded run: leave the head queued
                     break
+                if batch and q and q[0][0] == head[0]:
+                    # Batched drain under a bound: every run member
+                    # shares the already-checked timestamp, so only the
+                    # event limit needs testing mid-run.
+                    time_ps = head[0]
+                    run_list = [head]
+                    append_run = run_list.append
+                    while q and q[0][0] == time_ps:
+                        append_run(pop(q))
+                    now = time_ps
+                    drain_time = time_ps
+                    drain_list = run_list
+                    index = 0
+                    suspended = False
+                    while index < len(run_list):
+                        if executed >= limit:
+                            # Limit hit mid-run: the unexecuted tail
+                            # (already in (priority, seqno) order) goes
+                            # back on the heap so the next run resumes
+                            # identically.
+                            for ev in run_list[index:]:
+                                push(q, ev)
+                            suspended = True
+                            break
+                        head = run_list[index]
+                        index += 1
+                        drain_pos = index
+                        head[6] = None
+                        if head[5]:
+                            cancelled -= 1
+                            continue
+                        head[3](*head[4])
+                        executed += 1
+                        if observers:
+                            for observer in observers:
+                                observer(head)
+                    drain_time = -1
+                    drain_list = None
+                    drain_pos = 0
+                    if suspended:
+                        break
+                    continue
                 head[6] = None
                 now = head[0]
                 head[3](*head[4])
@@ -314,7 +456,19 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
 
     def peek():
         # (now, seqno, executed, pending, queued_raw, queue) snapshot for
-        # the Simulator's properties and repr.
+        # the Simulator's properties and repr.  The unexecuted tail of a
+        # live batched-drain window counts as queued: a callback asking
+        # for ``pending_events`` mid-run must see its same-time peers.
+        if drain_list is not None:
+            tail = len(drain_list) - drain_pos
+            return (
+                now,
+                seqno,
+                executed_total,
+                len(queue) + tail - cancelled,
+                len(queue) + tail,
+                queue + drain_list[drain_pos:],
+            )
         return (
             now,
             seqno,
@@ -324,16 +478,23 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
             queue,
         )
 
+    def get_now() -> int:
+        return now
+
     def set_now(time_ps: int) -> None:
         nonlocal now
         now = time_ps
 
     def reset_state() -> None:
         nonlocal now, seqno, executed_total, cancelled
+        nonlocal drain_time, drain_list, drain_pos
         for ev in queue:
             ev[6] = None  # detach so a late cancel() cannot corrupt counters
         queue.clear()
         free.clear()  # recycled shells pin old callbacks/args
+        drain_time = -1
+        drain_list = None
+        drain_pos = 0
         now = 0
         seqno = 0
         executed_total = 0
@@ -343,8 +504,13 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
         # Portable snapshot: (now, seqno, executed, live events sorted by
         # the total (time, priority, seqno) order).  Tombstones and the
         # free-list are deliberately dropped — they are performance
-        # artifacts, not simulation state.
-        events = sorted(ev for ev in queue if not ev[5])
+        # artifacts, not simulation state.  The unexecuted tail of a
+        # live drain window is included defensively, although pickling
+        # mid-run is refused at the Simulator level.
+        events = [ev for ev in queue if not ev[5]]
+        if drain_list is not None:
+            events.extend(ev for ev in drain_list[drain_pos:] if not ev[5])
+        events.sort()
         return (now, seqno, executed_total, events)
 
     def import_state(time_ps, seq, executed, events) -> None:
@@ -352,12 +518,16 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
         # imported list is (time, priority, seqno)-sorted, which is a
         # valid binary heap as-is.
         nonlocal now, seqno, executed_total, cancelled
+        nonlocal drain_time, drain_list, drain_pos
         for ev in queue:
             ev[6] = None
         queue[:] = list(events)
         for ev in queue:
             ev[6] = sim
         free.clear()
+        drain_time = -1
+        drain_list = None
+        drain_pos = 0
         now = time_ps
         seqno = seq
         executed_total = executed
@@ -369,6 +539,7 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
         note_cancel,
         drain,
         peek,
+        get_now,
         set_now,
         reset_state,
         export_state,
@@ -376,12 +547,18 @@ def _build_heap_core(sim: "Simulator", observers: list, floor: int):
     )
 
 
-def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
+def _build_wheel_core(
+    sim: "Simulator", observers: list, floor: int, batch: bool = True
+):
     """Build the calendar-queue backend's hot-path closures.
 
     Same contract and event layout as :func:`_build_heap_core`; see
-    there for the free-list and in-place-compaction invariants.
+    there for the free-list and in-place-compaction invariants.  The
+    calendar drains whole per-timestamp buckets by construction, so the
+    batched same-timestamp drain is inherent here and ``batch`` is
+    accepted only for signature parity.
     """
+    del batch  # the calendar always drains per-timestamp batches
     now = 0
     seqno = 0
     executed_total = 0
@@ -589,6 +766,9 @@ def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
             [ev for bucket in buckets.values() for ev in bucket],
         )
 
+    def get_now() -> int:
+        return now
+
     def set_now(time_ps: int) -> None:
         nonlocal now
         now = time_ps
@@ -660,6 +840,7 @@ def _build_wheel_core(sim: "Simulator", observers: list, floor: int):
         note_cancel,
         drain,
         peek,
+        get_now,
         set_now,
         reset_state,
         export_state,
@@ -700,11 +881,13 @@ class Simulator:
 
     __slots__ = (
         "scheduler",
+        "batch_drain",
         "call_at",
         "call_after",
         "_note_cancel",
         "_drain",
         "_peek",
+        "_get_now",
         "_set_now",
         "_reset_state",
         "_export_state",
@@ -714,7 +897,11 @@ class Simulator:
         "_reset_listeners",
     )
 
-    def __init__(self, scheduler: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        scheduler: Optional[str] = None,
+        batch_drain: Optional[bool] = None,
+    ) -> None:
         if scheduler is None:
             scheduler = os.environ.get(SCHEDULER_ENV) or "heap"
         if scheduler not in SCHEDULER_BACKENDS:
@@ -723,6 +910,12 @@ class Simulator:
                 f"{SCHEDULER_BACKENDS}"
             )
         self.scheduler = scheduler
+        # Batched same-timestamp drain: kwarg wins, then the
+        # REPRO_BATCH_DRAIN environment variable, default on.  The
+        # wheel backend batches by construction either way.
+        if batch_drain is None:
+            batch_drain = batch_env_enabled()
+        self.batch_drain = bool(batch_drain)
         self._running = False
         self._exec_observers: List[Callable[[ScheduledEvent], None]] = []
         self._reset_listeners: List[weakref.ref] = []
@@ -737,11 +930,14 @@ class Simulator:
             self._note_cancel,
             self._drain,
             self._peek,
+            self._get_now,
             self._set_now,
             self._reset_state,
             self._export_state,
             self._import_state,
-        ) = build(self, self._exec_observers, self.COMPACTION_FLOOR)
+        ) = build(
+            self, self._exec_observers, self.COMPACTION_FLOOR, self.batch_drain
+        )
 
     # ------------------------------------------------------------------
     # Clock
@@ -749,7 +945,7 @@ class Simulator:
     @property
     def now_ps(self) -> int:
         """The current simulated time in picoseconds."""
-        return self._peek()[0]
+        return self._get_now()
 
     @property
     def events_executed(self) -> int:
@@ -776,7 +972,7 @@ class Simulator:
     # Internal state views kept for tests and debugging tools.
     @property
     def _now_ps(self) -> int:
-        return self._peek()[0]
+        return self._get_now()
 
     @_now_ps.setter
     def _now_ps(self, time_ps: int) -> None:
@@ -838,7 +1034,7 @@ class Simulator:
             executed = self._drain(bound, limit)
         finally:
             self._running = False
-        if until_ps is not None and until_ps > self._peek()[0]:
+        if until_ps is not None and until_ps > self._get_now():
             self._set_now(until_ps)
         return executed
 
@@ -858,7 +1054,7 @@ class Simulator:
         ``until_ps`` bound is inclusive.  Returns the number of
         callbacks executed.
         """
-        now = self._peek()[0]
+        now = self._get_now()
         if bound_ps < now:
             raise SimulationError(
                 f"cannot run until t={bound_ps}ps, now is t={now}ps"
@@ -866,7 +1062,7 @@ class Simulator:
         if bound_ps == now:
             return 0
         executed = self.run(until_ps=bound_ps - 1)
-        if self._peek()[0] < bound_ps:
+        if self._get_now() < bound_ps:
             self._set_now(bound_ps)
         return executed
 
@@ -929,6 +1125,7 @@ class Simulator:
         now, seqno, executed, events = self._export_state()
         return {
             "scheduler": self.scheduler,
+            "batch_drain": self.batch_drain,
             "now_ps": now,
             "seqno": seqno,
             "events_executed": executed,
@@ -937,6 +1134,9 @@ class Simulator:
 
     def __setstate__(self, state: dict) -> None:
         self.scheduler = state["scheduler"]
+        # Checkpoints written before the batched drain carry no flag;
+        # they restore with the current environment's default.
+        self.batch_drain = bool(state.get("batch_drain", batch_env_enabled()))
         self._running = False
         self._exec_observers = []
         self._reset_listeners = []

@@ -28,7 +28,7 @@ from repro.tm.queues import PacketQueue
 from repro.tm.scheduler import FifoScheduler, PifoScheduler, Scheduler
 
 
-@dataclass
+@dataclass(slots=True)
 class TmEvent:
     """Context passed to traffic-manager event hooks."""
 
@@ -74,10 +74,19 @@ class _Port:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.busy_time_ps = 0
+        # The scheduler kind and queue fan-out are fixed at construction;
+        # deciding them per packet (isinstance + a genexpr sum) showed up
+        # in the TM's per-packet profile.
+        self.is_pifo = isinstance(scheduler, PifoScheduler)
+        self.last_queue = len(queues) - 1
+        self._single_queue = queues[0] if len(queues) == 1 else None
 
     def depth_bytes(self) -> int:
-        if isinstance(self.scheduler, PifoScheduler):
+        if self.is_pifo:
             return self.scheduler.depth_bytes
+        single = self._single_queue
+        if single is not None:
+            return single.depth_bytes
         return sum(q.depth_bytes for q in self.queues)
 
     def has_packets(self) -> bool:
@@ -195,10 +204,12 @@ class TrafficManager:
         if pkt.egress_port is None:
             raise ValueError(f"packet {pkt.pkt_id} has no egress port set")
         port_obj = self._port(pkt.egress_port)
-        queue_id = min(pkt.queue_id, len(port_obj.queues) - 1)
+        queue_id = pkt.queue_id
+        if queue_id > port_obj.last_queue:
+            queue_id = port_obj.last_queue
         queue = port_obj.queues[queue_id]
 
-        if isinstance(port_obj.scheduler, PifoScheduler):
+        if port_obj.is_pifo:
             return self._enqueue_pifo(pkt, port_obj, queue)
 
         if not queue.fits(pkt) or not self.buffer.fits(pkt):
@@ -279,7 +290,9 @@ class TrafficManager:
         self.buffer.release(pkt)
         pkt.ts_dequeued_ps = self.sim.now_ps
         self.total_dequeued += 1
-        queue_id = min(pkt.queue_id, len(port_obj.queues) - 1)
+        queue_id = pkt.queue_id
+        if queue_id > port_obj.last_queue:
+            queue_id = port_obj.last_queue
         self._fire(
             self.hooks.on_dequeue,
             pkt,
@@ -306,11 +319,14 @@ class TrafficManager:
         port_obj.busy = False
         port_obj.tx_packets += 1
         port_obj.tx_bytes += pkt.total_len
+        queue_id = pkt.queue_id
+        if queue_id > port_obj.last_queue:
+            queue_id = port_obj.last_queue
         self._fire(
             self.hooks.on_transmit,
             pkt,
             port_obj.index,
-            min(pkt.queue_id, len(port_obj.queues) - 1),
+            queue_id,
             port_obj.depth_bytes(),
             {},
         )

@@ -1,0 +1,351 @@
+"""Compiled pipeline specialization (:mod:`repro.pisa.compile`).
+
+The specializer may only ever change *speed*, never *behavior*: the
+interpreted pipeline walk is the reference, and every test here either
+demands byte-identical outcomes with compilation on vs off — including
+subprocess runs of whole experiments, so the environment toggle is
+exercised exactly the way CI and users flip it — or pokes the
+invalidation/fallback machinery that keeps the guarantee honest under
+control-plane mutation.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.l3fwd import L3Router
+from repro.arch.events import EventType
+from repro.experiments.factories import make_baseline_switch
+from repro.net.topology import build_linear
+from repro.packet.builder import make_udp_packet
+from repro.pisa.compile import PIPELINE_COMPILE_ENV, env_enabled
+from repro.pisa.table import ExactTable
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+@pytest.fixture(autouse=True)
+def _compile_on_by_default(monkeypatch):
+    # CI runs the whole suite under both REPRO_PIPELINE_COMPILE=1 and
+    # =0; this module exercises the specializer itself, so pin the
+    # default ON and let individual tests override as needed.
+    monkeypatch.setenv(PIPELINE_COMPILE_ENV, "1")
+
+
+def _fresh_l3():
+    program = L3Router()
+    program.install_host_routes({H0_IP: 0, H1_IP: 1})
+    return program
+
+
+def _drive(factory, program, count=20, flows=1):
+    network = build_linear(factory, switch_count=1)
+    switch = network.switches["s0"]
+    switch.load_program(program)
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(count):
+        src = H0_IP + (i % flows)
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(src, H1_IP, payload_len=200),
+        )
+    network.run()
+    return switch, received
+
+
+def _delivery_fingerprint(received):
+    return [
+        (p.payload_len, [(type(h).__name__, h.field_values()) for h in p.headers])
+        for p in received
+    ]
+
+
+# ----------------------------------------------------------------------
+# Env toggle / constructor plumbing
+# ----------------------------------------------------------------------
+def test_env_enabled_parsing(monkeypatch):
+    monkeypatch.delenv(PIPELINE_COMPILE_ENV, raising=False)
+    assert env_enabled() is True
+    for off in ("0", "false", "OFF", "no", ""):
+        monkeypatch.setenv(PIPELINE_COMPILE_ENV, off)
+        assert env_enabled() is False
+    monkeypatch.setenv(PIPELINE_COMPILE_ENV, "1")
+    assert env_enabled() is True
+
+
+def test_constructor_and_env_toggles(monkeypatch):
+    network = build_linear(make_baseline_switch(compile=False), switch_count=1)
+    assert network.switches["s0"]._compiled is False
+    monkeypatch.setenv(PIPELINE_COMPILE_ENV, "0")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert network.switches["s0"]._compiled is False
+    monkeypatch.setenv(PIPELINE_COMPILE_ENV, "1")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert network.switches["s0"]._compiled is None  # pending until dispatch
+
+
+def test_compile_waits_out_the_warmup_window():
+    network = build_linear(
+        make_baseline_switch(flow_cache=False, compile=True), switch_count=1
+    )
+    switch = network.switches["s0"]
+    switch.load_program(_fresh_l3())
+    h0 = network.hosts["h0"]
+    # Warm-up counts dispatches (ingress + egress per packet), so a few
+    # packets stay safely inside the window...
+    for i in range(4):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    assert switch._compiled is None  # still interpreting
+    # ...and a busy switch crosses it and compiles.
+    for i in range(type(switch).COMPILE_WARMUP + 4):
+        network.sim.call_at(
+            network.sim.now_ps + 1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    assert isinstance(switch._compiled, dict)
+
+
+def test_compiled_dispatch_is_generated_code():
+    switch, received = _drive(make_baseline_switch(flow_cache=False), _fresh_l3())
+    assert len(received) == 20
+    compiled = switch._compiled
+    assert isinstance(compiled, dict)
+    dispatch = compiled[EventType.INGRESS_PACKET]
+    source = dispatch.__repro_source__
+    # The dispatch is a flat generated function, not a generic loop.
+    assert "fired[KIND]" in source
+
+
+# ----------------------------------------------------------------------
+# Equivalence: compiled vs interpreted, in-process
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flow_cache", [True, False])
+def test_l3_walk_identical_compiled_vs_interpreted(flow_cache):
+    sw_on, recv_on = _drive(
+        make_baseline_switch(flow_cache=flow_cache, compile=True),
+        _fresh_l3(),
+        count=30,
+        flows=3,
+    )
+    sw_off, recv_off = _drive(
+        make_baseline_switch(flow_cache=flow_cache, compile=False),
+        _fresh_l3(),
+        count=30,
+        flows=3,
+    )
+    assert sw_on._compiled and sw_off._compiled is False
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+    assert sw_on.state_summary() == sw_off.state_summary()
+    # Inlined table probes keep the hit/miss counters exact.
+    for table in ("acl", "routes", "nexthops"):
+        on_t, off_t = getattr(sw_on.program, table), getattr(sw_off.program, table)
+        assert (on_t.hit_count, on_t.miss_count) == (off_t.hit_count, off_t.miss_count)
+    assert list(sw_on.program.next_hop_stats()) == list(
+        sw_off.program.next_hop_stats()
+    )
+
+
+def test_table_mutation_invalidates_compiled_walk():
+    """The generation guard: a route change is visible to the next packet."""
+
+    def run(compile):
+        network = build_linear(
+            make_baseline_switch(flow_cache=False, compile=compile), switch_count=1
+        )
+        switch = network.switches["s0"]
+        program = _fresh_l3()
+        switch.load_program(program)
+        received = []
+        network.hosts["h1"].add_sink(received.append)
+        h0 = network.hosts["h0"]
+        for i in range(24):
+            network.sim.call_at(
+                1_000 + i * 200_000,
+                h0.send,
+                make_udp_packet(H0_IP, H1_IP, payload_len=200),
+            )
+        # Mid-run control-plane mutation: remark DSCP on the H1 next hop.
+        # Timed (1 µs link latency) so it lands after the COMPILE_WARMUP
+        # window — the compiled walk is hot and must regenerate.
+        network.sim.call_at(5_000_000, program.add_next_hop, 1, 1, 13)
+        network.run()
+        return switch, _delivery_fingerprint(received)
+
+    sw_compiled, fp_compiled = run(True)
+    sw_interp, fp_interp = run(False)
+    assert sw_compiled._compiled
+    assert fp_compiled == fp_interp
+    # The mutation actually landed mid-run: later packets carry the remark.
+    dscps = {headers[1][1]["dscp"] for _len, headers in fp_compiled}
+    assert dscps == {0, 13}
+
+
+def test_unfoldable_entry_falls_back_to_interpreter():
+    """Entries the specializer can't fold must not change behavior."""
+
+    def fresh():
+        program = _fresh_l3()
+        # A negative next-hop id defeats the ROUTE_TO value fold, so the
+        # walk for this pipeline cannot specialize; dispatch falls back
+        # to the interpreted handler.
+        program.routes.insert(0x0B00_0000, 8, program.routes.lookup_value(H1_IP))
+        from repro.apps.l3fwd import ROUTE_TO
+
+        program.routes.insert(0x0C00_0000, 8, ROUTE_TO.bind(nh=-5))
+        return program
+
+    sw_on, recv_on = _drive(
+        make_baseline_switch(flow_cache=False, compile=True), fresh(), count=20
+    )
+    sw_off, recv_off = _drive(
+        make_baseline_switch(flow_cache=False, compile=False), fresh(), count=20
+    )
+    assert sw_on._compiled  # dispatch still compiled, walk interpreted
+    assert _delivery_fingerprint(recv_on) == _delivery_fingerprint(recv_off)
+    assert sw_on.state_summary() == sw_off.state_summary()
+
+
+# ----------------------------------------------------------------------
+# Pickling: compiled closures never enter checkpoints
+# ----------------------------------------------------------------------
+def test_switch_pickles_and_lazily_recompiles():
+    network = build_linear(
+        make_baseline_switch(flow_cache=False, compile=True), switch_count=1
+    )
+    switch = network.switches["s0"]
+    switch.load_program(_fresh_l3())
+    h0 = network.hosts["h0"]
+    for i in range(20):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    assert switch._compiled  # hot
+    clone = pickle.loads(pickle.dumps(switch))
+    assert clone._compiled is None  # closures dropped, recompile pending
+    assert clone.pipeline_compile is True
+    assert clone.rx_packets == switch.rx_packets
+
+
+def test_table_getstate_drops_lookup_memo():
+    table = ExactTable("t")
+    from repro.pisa.action import NO_ACTION
+
+    table.insert((1,), NO_ACTION.bind())
+    table.apply((1,))
+    table.apply((2,))
+    assert table._cache
+    clone = pickle.loads(pickle.dumps(table))
+    assert clone._cache == {}
+    assert (clone.hit_count, clone.miss_count) == (1, 1)
+    assert clone.generation == table.generation
+
+
+# ----------------------------------------------------------------------
+# Subprocess equivalence: whole experiments, env-toggled like CI
+# ----------------------------------------------------------------------
+_SCENARIO_SCRIPT = """
+import dataclasses, json, sys
+
+MS = 1_000_000_000
+scenario = sys.argv[1]
+
+if scenario == "microburst":
+    from repro.experiments.microburst_exp import run_event_driven
+    digest = dataclasses.asdict(run_event_driven(duration_ps=4 * MS, seed=7))
+elif scenario == "hula":
+    from repro.experiments.hula_exp import run_load_balance
+    digest = dataclasses.asdict(run_load_balance(duration_ps=3 * MS, seed=7))
+elif scenario == "netcache":
+    from repro.experiments.netcache_exp import run_netcache
+    digest = dataclasses.asdict(
+        run_netcache(duration_ps=8 * MS, shift_at_ps=4 * MS, seed=7)
+    )
+elif scenario == "l3fwd":
+    from repro.apps.l3fwd import L3Router
+    from repro.experiments.factories import make_baseline_switch
+    from repro.net.topology import build_linear
+    from repro.packet.builder import make_udp_packet
+
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    switch = network.switches["s0"]
+    program = L3Router()
+    program.install_host_routes({0x0A00_0001: 0, 0x0A00_0002: 1})
+    switch.load_program(program)
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    for i in range(40):
+        network.sim.call_at(
+            1_000 + i * 200_000,
+            network.hosts["h0"].send,
+            make_udp_packet(0x0A00_0001 + (i % 4), 0x0A00_0002, payload_len=200),
+        )
+    network.run()
+    digest = {
+        "delivery": [
+            (p.payload_len, [(type(h).__name__, h.field_values()) for h in p.headers])
+            for p in received
+        ],
+        "state": switch.state_summary(),
+        "next_hops": list(program.next_hop_stats()),
+    }
+elif scenario == "fattree_sharded":
+    from repro.experiments.shard_exp import ShardScenario, run_sharded
+
+    result = run_sharded(
+        ShardScenario(topology="fattree", k=4, waves=1, packets_per_sender=2),
+        shards=4,
+        mode="inline",
+    )
+    digest = {
+        "digest": result.digest,
+        "received": result.total_received(),
+    }
+else:
+    raise SystemExit(f"unknown scenario {scenario!r}")
+
+print(json.dumps(digest, sort_keys=True, default=repr))
+"""
+
+SCENARIOS = ("microburst", "hula", "netcache", "l3fwd", "fattree_sharded")
+
+
+def _run_scenario(scenario, compile_flag):
+    env = dict(os.environ)
+    env[PIPELINE_COMPILE_ENV] = compile_flag
+    env["PYTHONPATH"] = "src"
+    env["PYTHONHASHSEED"] = "0"
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCENARIO_SCRIPT, scenario],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_subprocess_fingerprints_identical_compile_on_vs_off(scenario):
+    off = _run_scenario(scenario, "0")
+    on = _run_scenario(scenario, "1")
+    assert json.loads(off)  # sanity: the digest is substantive JSON
+    assert on == off  # byte-identical stdout, not just equal objects

@@ -87,3 +87,49 @@ def test_trace_notes():
     pkt = Packet()
     pkt.note("hello")
     assert pkt.trace == ["hello"]
+
+
+def test_slots_layout_has_no_dict():
+    # The hot-path layout contract: every field lives in a slot, so
+    # attribute access never falls through to a per-instance __dict__
+    # (and typos fail loudly instead of creating stray attributes).
+    pkt = make_tcp_packet(1, 2)
+    assert not hasattr(pkt, "__dict__")
+    assert not hasattr(pkt.headers[0], "__dict__")
+    with pytest.raises(AttributeError):
+        pkt.no_such_field = 1
+    with pytest.raises(AttributeError):
+        pkt.headers[0].no_such_field = 1
+
+
+def test_packet_pickle_round_trip():
+    import pickle
+
+    pkt = make_tcp_packet(0x0A00_0001, 0x0A00_0002, payload_len=321)
+    pkt.meta["l3_nh"] = 7
+    pkt.priority = 3
+    pkt.queue_id = 2
+    pkt.ingress_port = 1
+    pkt.note("checkpointed")
+    clone = pickle.loads(pickle.dumps(pkt))
+    assert clone is not pkt
+    assert clone.__getstate__() == pkt.__getstate__()
+    assert [
+        (type(h).__name__, h.field_values()) for h in clone.headers
+    ] == [(type(h).__name__, h.field_values()) for h in pkt.headers]
+    assert clone.total_len == pkt.total_len
+    assert clone.five_tuple() == pkt.five_tuple()
+    # The restored packet is live, not a frozen snapshot.
+    clone.headers[1].set(ttl=clone.headers[1].ttl - 1)
+    assert clone.headers[1].ttl == pkt.headers[1].ttl - 1
+
+
+def test_header_pickle_round_trip():
+    import pickle
+
+    ip = Ipv4(src=1, dst=2, ttl=9, dscp=5, protocol=17)
+    clone = pickle.loads(pickle.dumps(ip))
+    assert clone.field_values() == ip.field_values()
+    assert type(clone) is Ipv4
+    clone.set(ttl=8)
+    assert ip.ttl == 9  # copies are independent

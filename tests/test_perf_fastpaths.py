@@ -364,6 +364,7 @@ def test_bench_collect_write_read_compare(tmp_path):
         "kernel",
         "switch",
         "switch_cached",
+        "switch_compiled",
         "switch_sharded",
     }
     kern = data["benchmarks"]["kernel"]

@@ -1,0 +1,119 @@
+"""cProfile the packet hot path and emit a sorted-cumtime artifact.
+
+Runs one bench round (default: the uncached ``switch`` round — the
+interpreted/compiled pipeline walk under load, see
+``repro.experiments.bench``) under :mod:`cProfile` and writes the
+profile two ways:
+
+* a text report of the top functions sorted by cumulative time (the
+  artifact CI uploads; reviewers read this to see where wall time
+  actually goes before/after a hot-path change), and
+* optionally the raw ``pstats`` dump for interactive digging
+  (``python -m pstats profile.pstats``).
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py
+    PYTHONPATH=src python tools/profile_hotpath.py --round switch_cached \
+        --out profile_cached.txt --pstats profile_cached.pstats
+    REPRO_PIPELINE_COMPILE=0 PYTHONPATH=src python tools/profile_hotpath.py
+
+Environment toggles apply as everywhere else: set
+``REPRO_PIPELINE_COMPILE=0`` / ``REPRO_FLOW_CACHE=0`` to profile the
+interpreted or uncached variants of the same round.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import io
+import pstats
+import sys
+
+
+def profile_round(round_name: str, repeats: int) -> cProfile.Profile:
+    """Profile ``repeats`` runs of one bench round; returns the profiler."""
+    from repro.experiments.bench import BENCH_ROUNDS
+
+    try:
+        round_fn = BENCH_ROUNDS[round_name]
+    except KeyError:
+        choices = ", ".join(sorted(BENCH_ROUNDS))
+        raise SystemExit(f"unknown round {round_name!r}; pick from: {choices}")
+
+    round_fn()  # warm up imports, header layouts, compiled walks
+    profiler = cProfile.Profile()
+    gc.disable()
+    try:
+        profiler.enable()
+        for _ in range(repeats):
+            round_fn()
+        profiler.disable()
+    finally:
+        gc.enable()
+    return profiler
+
+
+def report(profiler: cProfile.Profile, round_name: str, top: int) -> str:
+    """The sorted-cumtime text report for the profile."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    buffer.write(f"hot path profile: bench round {round_name!r}\n")
+    buffer.write(f"(sorted by cumulative time, top {top} functions)\n\n")
+    stats.print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--round",
+        default="switch",
+        help="bench round to profile (see repro.experiments.bench.BENCH_ROUNDS)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="profiled runs of the round after one unprofiled warm-up",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=40,
+        metavar="N",
+        help="number of functions in the text report",
+    )
+    parser.add_argument(
+        "--out",
+        default="profile_hotpath.txt",
+        metavar="PATH",
+        help="text report path ('-' = stdout only)",
+    )
+    parser.add_argument(
+        "--pstats",
+        default="",
+        metavar="PATH",
+        help="also dump the raw pstats file for interactive analysis",
+    )
+    args = parser.parse_args(argv)
+
+    profiler = profile_round(args.round, args.repeats)
+    text = report(profiler, args.round, args.top)
+    sys.stdout.write(text)
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    if args.pstats:
+        profiler.dump_stats(args.pstats)
+        print(f"wrote {args.pstats}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
