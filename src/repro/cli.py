@@ -35,10 +35,20 @@ single-process run::
 
 The fault-injection grid (:mod:`repro.faults`) runs seeded chaos over
 the failure-handling applications and exits nonzero on any invariant
-violation::
+violation; ``--forked`` amortizes scenario builds through
+``Simulator.fork()`` with byte-identical verdicts::
 
     python -m repro.cli chaos --plan linkflap --app frr --seed 7
     python -m repro.cli chaos --seed-sweep 25 --out verdicts.jsonl
+    python -m repro.cli chaos --forked --seed 7
+
+Every experiment is also a registered :class:`repro.scenarios.ScenarioSpec`,
+runnable through the multi-tenant job service (:mod:`repro.serve`)::
+
+    python -m repro.cli scenarios                  # the catalog
+    python -m repro.cli submit microburst/cms      # private in-process service
+    python -m repro.cli serve --socket /tmp/repro.sock &
+    python -m repro.cli submit chaos/frr --socket /tmp/repro.sock
 """
 
 from __future__ import annotations
@@ -136,42 +146,37 @@ def run_microburst() -> None:
     )
 
 
+#: The §3/§5 application scenarios, in the paper's presentation order
+#: (the registry's catalog order groups by module instead).
+APPLICATION_SCENARIOS = (
+    "failover/frr",
+    "failover/control-plane",
+    "liveness/probe",
+    "load-balance/ecmp",
+    "load-balance/hula",
+    "aqm/drop-tail",
+    "aqm/fred",
+    "incast/tail-drop",
+    "incast/ndp",
+    "policing/timer",
+    "flow-rate/window",
+    "flow-rate/ewma",
+    "netcache/timers",
+    "netcache/no-timers",
+    "int/aggregate",
+    "scheduling/wfq",
+    "ecn/multi-bit",
+    "ecn/single-bit",
+    "migration/swing",
+    "migration/naive",
+)
+
+
 def run_applications() -> None:
     """§3/§5 applications: one line per experiment."""
-    from repro.experiments.aqm_exp import run_aqm
-    from repro.experiments.ecn_exp import run_ecn
-    from repro.experiments.flow_rate_exp import run_flow_rate
-    from repro.experiments.frr_exp import run_failover
-    from repro.experiments.hula_exp import run_load_balance
-    from repro.experiments.int_exp import run_int
-    from repro.experiments.liveness_exp import run_liveness
-    from repro.experiments.migration_exp import run_migration
-    from repro.experiments.ndp_exp import run_incast
-    from repro.experiments.netcache_exp import run_netcache
-    from repro.experiments.policing_exp import run_policing
-    from repro.experiments.scheduling_exp import run_scheduling
+    from repro import scenarios
 
-    rows = []
-    rows.append(run_failover("frr").summary_row())
-    rows.append(run_failover("control-plane").summary_row())
-    rows.append(run_liveness().summary_row())
-    rows.append(run_load_balance("ecmp").summary_row())
-    rows.append(run_load_balance("hula").summary_row())
-    rows.append(run_aqm("drop-tail").summary_row())
-    rows.append(run_aqm("fred").summary_row())
-    rows.append(run_incast("tail-drop").summary_row())
-    rows.append(run_incast("ndp").summary_row())
-    rows.append(run_policing("timer").summary_row())
-    rows.append(run_flow_rate("window").summary_row())
-    rows.append(run_flow_rate("ewma").summary_row())
-    rows.append(run_netcache(True).summary_row())
-    rows.append(run_netcache(False).summary_row())
-    rows.append(run_int("aggregate").summary_row())
-    rows.append(run_scheduling("wfq").summary_row())
-    rows.append(run_ecn("multi-bit").summary_row())
-    rows.append(run_ecn("single-bit").summary_row())
-    rows.append(run_migration(True).summary_row())
-    rows.append(run_migration(False).summary_row())
+    rows = [scenarios.run(name).summary_row() for name in APPLICATION_SCENARIOS]
     _print("§3/§5 applications", rows)
 
 
@@ -222,48 +227,35 @@ def run_future_work() -> None:
 def _run_event_source(source: str) -> Dict[str, List[str]]:
     """Run one event-producing experiment under the current observers.
 
-    Returns extra titled row blocks some sources contribute beyond the
-    bus-level counters (e.g. the shard source's per-shard stats).
+    Sources are the scenarios registered with the ``source`` tag
+    (:mod:`repro.scenarios`); an unknown name exits with the registered
+    list rather than a traceback.  Returns extra titled row blocks some
+    sources contribute beyond the bus-level counters (e.g. the shard
+    source's per-shard stats).
     """
-    if source == "microburst":
-        from repro.experiments.microburst_exp import (
-            run_event_driven,
-            run_snappy_baseline,
-        )
+    from repro import scenarios
 
-        run_event_driven()
-        run_snappy_baseline()
-    elif source == "catalog":
-        from repro.experiments.events_exp import run_catalog_demo
-
-        run_catalog_demo()
-    elif source == "figures":
-        from repro.experiments.psa_fig_exp import run_architecture
-
-        for arch in ("baseline", "logical", "sume"):
-            run_architecture(arch)
-    elif source == "shard":
-        from repro.experiments.shard_exp import ShardScenario, run_sharded
-
-        # Inline mode keeps every shard's buses in this process, where
-        # the ambient observers can see them.
-        result = run_sharded(
-            ShardScenario(topology="leafspine", leaf_count=2, spine_count=2,
-                          hosts_per_leaf=2),
-            shards=2,
-            mode="inline",
-        )
-        return {
-            "per-shard counters (shard)": result.stats.summary_rows()
-            + [f"behavior fingerprint {result.digest[:16]}…"]
-        }
-    else:
-        raise ValueError(f"unknown event source {source!r}")
+    try:
+        spec = scenarios.get(source, tag="source")
+    except scenarios.UnknownScenario as exc:
+        listing = "\n  ".join(exc.registered)
+        raise SystemExit(
+            f"error: unknown event source {source!r}; sources:\n  {listing}"
+        ) from None
+    result = spec.run()
+    if isinstance(result, dict) and all(
+        isinstance(rows, list) and all(isinstance(row, str) for row in rows)
+        for rows in result.values()
+    ):
+        return result
     return {}
 
 
-#: Experiments `events-stats` / `events-trace` can instrument.
-EVENT_SOURCES = ("microburst", "catalog", "figures", "shard")
+def event_sources() -> List[str]:
+    """Sources `events-stats` / `events-trace` can instrument."""
+    from repro import scenarios
+
+    return scenarios.names(tag="source")
 
 
 def run_events_stats(source: str = "microburst") -> None:
@@ -394,6 +386,10 @@ def run_bench(
             )
     for warning in bench.missing_round_warnings(data, baselines):
         print(warning)
+    ungated = bench.missing_round_failures(data, baselines)
+    if ungated:
+        _print("UNGATED BENCHMARKS (no baseline covers them)", ungated)
+        failed = True
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if step_summary and baselines:
         table = bench.delta_markdown(data, baselines, max_regression=max_regression)
@@ -495,6 +491,7 @@ def run_chaos(
     seed_sweep: int = 0,
     out: str = "chaos_verdicts.jsonl",
     compile_arm: bool = False,
+    forked: bool = False,
 ) -> int:
     """Run the fault-injection grid; nonzero exit on invariant violations."""
     from repro.faults import chaos
@@ -502,13 +499,137 @@ def run_chaos(
     plans = chaos.PLAN_NAMES if plan == "all" else (plan,)
     apps = chaos.APP_NAMES if app == "all" else (app,)
     seeds = list(range(seed, seed + seed_sweep)) if seed_sweep > 0 else [seed]
-    records = chaos.run_grid(plans, apps, seeds, out_path=out, compile_arm=compile_arm)
+    records = chaos.run_grid(
+        plans, apps, seeds, out_path=out, compile_arm=compile_arm, forked=forked
+    )
     _print(
         f"chaos grid: {len(plans)} plan(s) x {len(apps)} app(s) x "
-        f"{len(seeds)} seed(s) → {out}",
+        f"{len(seeds)} seed(s)"
+        + (" [forked]" if forked else "")
+        + f" → {out}",
         chaos.summary_rows(records),
     )
     return 1 if chaos.violation_count(records) else 0
+
+
+# ----------------------------------------------------------------------
+# Scenario registry / serving subcommands
+# ----------------------------------------------------------------------
+def run_scenarios_list(argv: List[str]) -> int:
+    """List the registered scenario catalog (the service's submit surface)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli scenarios",
+        description="List registered scenarios (what `submit` accepts).",
+    )
+    parser.add_argument("filter", nargs="?", default="", help="substring filter")
+    parser.add_argument("--tag", default="", help="only scenarios with this tag")
+    args = parser.parse_args(argv)
+    from repro import scenarios
+
+    selected = scenarios.specs(args.tag or None)
+    if args.filter:
+        selected = [spec for spec in selected if args.filter in spec.name]
+    rows = []
+    for spec in selected:
+        shape = "phased" if spec.is_phased else "single"
+        tags = ",".join(spec.tags)
+        rows.append(f"{spec.name:<26} {shape:<7} [{tags}] {spec.summary}")
+    if not rows:
+        rows = ["(no scenarios match)"]
+    _print(f"{len(selected)} registered scenario(s)", rows)
+    return 0
+
+
+def _parse_params(items: List[str]) -> Dict[str, object]:
+    """``key=value`` pairs; values parse as JSON, falling back to strings."""
+    import json
+
+    params: Dict[str, object] = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def run_submit(argv: List[str]) -> int:
+    """Submit one registered scenario to the job service and print its result."""
+    from repro.serve.worker import DEFAULT_WINDOWS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli submit",
+        description="Run a registered scenario through the job service "
+        "(a private in-process service, or --socket for a running one).",
+    )
+    parser.add_argument("name", help="registered scenario name (see `scenarios`)")
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a declared scenario parameter (JSON value syntax)",
+    )
+    parser.add_argument(
+        "--socket", default="", help="submit to the service at this unix socket"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="private-service worker processes"
+    )
+    parser.add_argument(
+        "--windows",
+        type=int,
+        default=DEFAULT_WINDOWS,
+        help="telemetry windows for phased scenarios",
+    )
+    args = parser.parse_args(argv)
+    params = _parse_params(args.param)
+
+    from repro.serve.client import ServiceClient, ServiceError, submit_inline
+
+    try:
+        if args.socket:
+            with ServiceClient(args.socket) as client:
+                reply = client.expect("submit", scenario=args.name, params=params)
+                job_id = reply["job"]
+                state = client.wait(job_id)
+                result = client.request("result", job=job_id)
+                record = {
+                    "scenario": reply["scenario"],
+                    "state": state,
+                    "result": result.get("result") if result.get("ok") else None,
+                    "error": "" if result.get("ok") else result.get("error", ""),
+                    "telemetry": client.telemetry(job_id),
+                }
+        else:
+            record = submit_inline(
+                args.name, params, workers=args.workers, windows=args.windows
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for title, rows in ((record.get("result") or {}).get("rows", {}).items()):
+        _print(f"{record['scenario']}: {title}", rows)
+    windows = record.get("telemetry") or []
+    if windows:
+        last = windows[-1]
+        _print(
+            f"telemetry ({len(windows)} window(s))",
+            [
+                " ".join(f"{key}={value}" for key, value in sorted(last.items())),
+            ],
+        )
+    if record["state"] != "done":
+        print(
+            f"\njob finished in state {record['state']}: {record.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\n{record['scenario']}: done")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -599,6 +720,17 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 
 def main(argv: List[str] = None) -> int:
     """CLI entry point."""
+    # Subcommands with their own argument namespaces dispatch before the
+    # flat experiment parser sees them.
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(raw[1:])
+    if raw and raw[0] == "submit":
+        return run_submit(raw[1:])
+    if raw and raw[0] == "scenarios":
+        return run_scenarios_list(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the paper's tables, figures, and claims.",
@@ -607,14 +739,15 @@ def main(argv: List[str] = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "events-stats", "events-trace", "bench",
-           "checkpoint", "resume", "chaos", "shard"],
+           "checkpoint", "resume", "chaos", "shard",
+           "scenarios", "serve", "submit"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
         "--source",
-        choices=EVENT_SOURCES,
         default="microburst",
-        help="experiment events-stats/events-trace instrument",
+        help="registered 'source' scenario events-stats/events-trace "
+        "instrument (unknown names print the catalog)",
     )
     parser.add_argument(
         "--out",
@@ -772,6 +905,12 @@ def main(argv: List[str] = None) -> int:
         "each cell and gate it against the interpreted reference",
     )
     parser.add_argument(
+        "--forked",
+        action="store_true",
+        help="chaos: build each (app, seed, arm) once and Simulator.fork() "
+        "it per plan — identical records, O(fork) per cell",
+    )
+    parser.add_argument(
         "--ckpt",
         default="microburst.ckpt",
         metavar="PATH",
@@ -812,8 +951,14 @@ def main(argv: List[str] = None) -> int:
             ("checkpoint", run_checkpoint),
             ("resume", run_resume),
             ("shard", run_shard),
+            ("scenarios", run_scenarios_list),
+            ("submit", run_submit),
         ):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
+        print(
+            f"{'serve':<14} Run the scenario job service "
+            "(stdio or --socket; see docs/SERVING.md)"
+        )
         return 0
     if args.experiment == "bench":
         return run_bench(
@@ -851,6 +996,7 @@ def main(argv: List[str] = None) -> int:
             if args.out == "events_trace.jsonl"
             else args.out,
             compile_arm=args.compile_arm,
+            forked=args.forked,
         )
     if args.experiment == "checkpoint":
         return run_checkpoint(args.ckpt, args.at_ps, args.duration_ps)

@@ -145,3 +145,20 @@ def run_aqm(
         occupancy_samples=len(getattr(program, "occupancy_series", [])),
         peak_buffer_bytes=network.switches["s0"].tm.buffer.max_occupancy_bytes,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for scheme in ("drop-tail", "fred"):
+        register(ScenarioSpec(
+            name=f"aqm/{scheme}",
+            runner="repro.experiments.aqm_exp:run_aqm",
+            params={"scheme": scheme},
+            app="aqm", topology="dumbbell", workload="cbr",
+            tags=("experiment", "application"),
+            summary=f"{scheme} queue management fairness",
+        ))
+
+
+_register_scenarios()

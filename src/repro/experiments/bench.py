@@ -300,9 +300,25 @@ def showcase_rows(entry: Dict) -> List[str]:
     ]
 
 
+def run_round(name: str) -> Tuple[float, int]:
+    """One timed round of a named benchmark: ``(wall_seconds, events)``.
+
+    The single choke point every consumer goes through — the sweep
+    harness (:func:`collect`), the parallel fan-out, and the scenario
+    registry (``repro submit bench/<name>``).
+    """
+    try:
+        fn = BENCH_ROUNDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench round {name!r}; pick from {sorted(BENCH_ROUNDS)}"
+        ) from None
+    return fn()
+
+
 def _run_named_round(name: str) -> Tuple[float, int]:
     """Picklable worker entry for :func:`repro.experiments.parallel.run_points`."""
-    return BENCH_ROUNDS[name]()
+    return run_round(name)
 
 
 def _snapshot(label: str, benchmarks: Dict[str, Dict]) -> Dict:
@@ -483,6 +499,34 @@ def missing_round_warnings(
     return warnings
 
 
+def missing_round_failures(
+    current: Dict, baselines: List[Tuple[str, Dict]]
+) -> List[str]:
+    """Benchmarks the current snapshot has but **no** baseline covers.
+
+    A round missing from *one* old baseline is expected drift and stays
+    a warning; a round missing from *every* baseline means the gate is
+    not checking it at all — a silently ungated benchmark.  CI must
+    fail on those (``repro bench --compare`` exits nonzero), because
+    the fix is one command: re-record a baseline that includes the
+    round.  Returns one message per fully-ungated benchmark; empty when
+    there are no baselines (nothing was claimed to be gated) or every
+    current round is covered somewhere."""
+    if not baselines:
+        return []
+    cur_names = set(current.get("benchmarks", {}))
+    covered: set = set()
+    for _label, baseline in baselines:
+        covered |= set(baseline.get("benchmarks", {}))
+    return [
+        f"✗ round `{name}` is in the current snapshot but in none of the "
+        f"baselines ({', '.join(label for label, _data in baselines)}); "
+        "the regression gate never sees it — re-record a baseline that "
+        "includes it."
+        for name in sorted(cur_names - covered)
+    ]
+
+
 def delta_markdown(
     current: Dict,
     baselines: List[Tuple[str, Dict]],
@@ -557,3 +601,20 @@ def summary_rows(data: Dict) -> List[str]:
             f"{entry['events_per_sec']:>12,.0f} ev/s{extras}"
         )
     return rows
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for name in sorted(BENCH_ROUNDS):
+        register(ScenarioSpec(
+            name=f"bench/{name}",
+            runner="repro.experiments.bench:run_round",
+            params={"name": name},
+            app="bench",
+            tags=("bench",),
+            summary=f"one timed round of the {name} benchmark",
+        ))
+
+
+_register_scenarios()

@@ -127,3 +127,20 @@ def run_cms_reset(
         controller_busy_fraction=controller.utilization(duration_ps),
         reports=len(detector.reports),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for mode in ("timer", "control", "none"):
+        register(ScenarioSpec(
+            name=f"cms-reset/{mode}",
+            runner="repro.experiments.cms_exp:run_cms_reset",
+            params={"mode": mode},
+            app="cms",
+            tags=("experiment",),
+            summary=f"CMS periodic reset via {mode}",
+        ))
+
+
+_register_scenarios()

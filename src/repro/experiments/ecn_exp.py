@@ -108,3 +108,20 @@ def run_ecn(
         mean_abs_error_bytes=sum(errors) / len(errors) if errors else 0.0,
         max_true_occupancy=peak[0],
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for scheme in ("multi-bit", "single-bit"):
+        register(ScenarioSpec(
+            name=f"ecn/{scheme}",
+            runner="repro.experiments.ecn_exp:run_ecn",
+            params={"scheme": scheme, "seed": 37},
+            app="ecn", workload="cbr", seed=37,
+            tags=("experiment", "application"),
+            summary=f"{scheme} ECN congestion marking",
+        ))
+
+
+_register_scenarios()

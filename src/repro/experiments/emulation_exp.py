@@ -155,3 +155,27 @@ def sweep_event_rate(
         ]
         for arch in ("sume", "tofino-emulated")
     }
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="emulation/sweep",
+        runner="repro.experiments.emulation_exp:sweep_event_rate",
+        params={},
+        app="emulation",
+        tags=("experiment",),
+        summary="§6: native events vs Tofino-style emulation rate sweep",
+    ))
+    register(ScenarioSpec(
+        name="emulation/point",
+        runner="repro.experiments.emulation_exp:run_emulation_point",
+        params={"architecture": "sume", "event_rate_pps": 500_000.0},
+        app="emulation",
+        tags=("experiment",),
+        summary="one native-vs-emulated measurement point",
+    ))
+
+
+_register_scenarios()

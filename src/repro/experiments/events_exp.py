@@ -180,3 +180,29 @@ def run_catalog_demo(duration_ps: int = 5 * MILLISECONDS) -> CatalogResult:
 
     network.run(until_ps=duration_ps)
     return CatalogResult(seen=dict(program.seen))
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="events/catalog",
+        runner="repro.experiments.events_exp:run_catalog_demo",
+        params={"duration_ps": 5 * MILLISECONDS},
+        app="event-catalog", topology="linear",
+        duration_ps=5 * MILLISECONDS,
+        tags=("experiment", "paper"),
+        summary="Table 1 live demonstration: every event kind fires once",
+    ))
+    register(ScenarioSpec(
+        name="catalog",
+        runner="repro.experiments.events_exp:run_catalog_demo",
+        params={"duration_ps": 5 * MILLISECONDS},
+        app="event-catalog", topology="linear",
+        duration_ps=5 * MILLISECONDS,
+        tags=("source",),
+        summary="events source: the Table 1 event-catalog demo",
+    ))
+
+
+_register_scenarios()

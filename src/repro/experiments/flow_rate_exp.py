@@ -106,3 +106,20 @@ def run_flow_rate(
         cbr_measured_gbps=cbr_measured,
         stopped_flow_residual_gbps=burst_residual,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for estimator in ("window", "ewma"):
+        register(ScenarioSpec(
+            name=f"flow-rate/{estimator}",
+            runner="repro.experiments.flow_rate_exp:run_flow_rate",
+            params={"estimator": estimator},
+            app="flow-rate", workload="cbr+burst",
+            tags=("experiment", "application"),
+            summary=f"per-flow rate estimation with the {estimator} estimator",
+        ))
+
+
+_register_scenarios()

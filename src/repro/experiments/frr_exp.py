@@ -181,3 +181,20 @@ def run_failover(
         outage_ps=outage,
         reroute_delay_ps=reroute_delay,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for scheme in ("frr", "control-plane"):
+        register(ScenarioSpec(
+            name=f"failover/{scheme}",
+            runner="repro.experiments.frr_exp:run_failover",
+            params={"scheme": scheme},
+            app="frr", topology="diamond", workload="cbr",
+            tags=("experiment", "application"),
+            summary=f"link failover via {scheme} on the diamond",
+        ))
+
+
+_register_scenarios()

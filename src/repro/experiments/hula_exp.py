@@ -168,3 +168,21 @@ def run_load_balance(
         probes_sent=getattr(program, "probes_sent", 0),
         path_switches=getattr(program, "path_switches", 0),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for scheme in ("ecmp", "hula"):
+        register(ScenarioSpec(
+            name=f"load-balance/{scheme}",
+            runner="repro.experiments.hula_exp:run_load_balance",
+            params={"scheme": scheme, "seed": 3},
+            app="hula", topology="leaf-spine", workload="cbr",
+            seed=3,
+            tags=("experiment", "application"),
+            summary=f"{scheme} load balancing on a 2x2 leaf-spine fabric",
+        ))
+
+
+_register_scenarios()

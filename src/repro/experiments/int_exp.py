@@ -130,3 +130,19 @@ def run_int(
         anomalous_windows=anomalous,
         windows_reported=reported,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="int/aggregate",
+        runner="repro.experiments.int_exp:run_int",
+        params={"scheme": "aggregate"},
+        app="int", workload="cbr",
+        tags=("experiment", "application"),
+        summary="in-band network telemetry with aggregated reports",
+    ))
+
+
+_register_scenarios()

@@ -110,3 +110,22 @@ def run_liveness(
         requests_sent=prog0.requests_sent,
         control_plane_delay_ps=control_delay,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="liveness/probe",
+        runner="repro.experiments.liveness_exp:run_liveness",
+        params={"period_ps": 10 * MICROSECONDS, "misses_allowed": 3,
+                "fail_at_ps": 2 * MILLISECONDS,
+                "duration_ps": 4 * MILLISECONDS},
+        app="liveness", workload="cbr",
+        duration_ps=4 * MILLISECONDS,
+        tags=("experiment", "application"),
+        summary="data-plane liveness probing detects a dead link",
+    ))
+
+
+_register_scenarios()

@@ -122,3 +122,27 @@ def sweep_offered_load(
     return [
         run_merger_load(load, injection_enabled, duration_ps) for load in loads
     ]
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="merger/load",
+        runner="repro.experiments.merger_exp:run_merger_load",
+        params={"offered_load": 0.5, "injection_enabled": True, "seed": 9},
+        app="merger", seed=9,
+        tags=("experiment",),
+        summary="event-merger behavior at one offered load",
+    ))
+    register(ScenarioSpec(
+        name="merger/sweep",
+        runner="repro.experiments.merger_exp:sweep_offered_load",
+        params={"injection_enabled": True},
+        app="merger",
+        tags=("experiment",),
+        summary="event-merger offered-load sweep",
+    ))
+
+
+_register_scenarios()

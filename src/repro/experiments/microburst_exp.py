@@ -281,3 +281,58 @@ def state_reduction_factor(
     if event_result.state_bits == 0:
         raise ValueError("event-driven detector reports zero state")
     return snappy_result.state_bits / event_result.state_bits
+
+
+def run_detector_pair() -> dict:
+    """Both §2 detectors back to back (the `microburst` events source)."""
+    return {
+        "event-driven": run_event_driven(),
+        "snappy": run_snappy_baseline(),
+    }
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="microburst/event-driven",
+        builder="repro.experiments.microburst_exp:prepare_event_driven",
+        finisher="repro.experiments.microburst_exp:finish_event_driven",
+        params={"duration_ps": 20 * MILLISECONDS, "background_senders": 3,
+                "seed": 11},
+        app="microburst", topology="dumbbell", workload="cbr+onoff",
+        seed=11, duration_ps=20 * MILLISECONDS,
+        tags=("experiment", "paper"),
+        summary="§2 event-driven microburst detector (SUME event switch)",
+    ))
+    register(ScenarioSpec(
+        name="microburst/snappy",
+        runner="repro.experiments.microburst_exp:run_snappy_baseline",
+        params={"duration_ps": 20 * MILLISECONDS, "background_senders": 3,
+                "seed": 11, "snapshot_count": 4},
+        app="microburst", topology="dumbbell", workload="cbr+onoff",
+        seed=11, duration_ps=20 * MILLISECONDS,
+        tags=("experiment", "paper"),
+        summary="§2 Snappy baseline on a baseline PSA switch",
+    ))
+    register(ScenarioSpec(
+        name="microburst/cms",
+        runner="repro.experiments.microburst_exp:run_cms_variant",
+        params={"duration_ps": 20 * MILLISECONDS, "background_senders": 3,
+                "seed": 11, "width": 128, "depth": 2},
+        app="microburst", topology="dumbbell", workload="cbr+onoff",
+        seed=11, duration_ps=20 * MILLISECONDS,
+        tags=("experiment", "paper"),
+        summary="§2 footnote variant: occupancy in a count-min sketch",
+    ))
+    register(ScenarioSpec(
+        name="microburst",
+        runner="repro.experiments.microburst_exp:run_detector_pair",
+        params={},
+        app="microburst", topology="dumbbell", workload="cbr+onoff",
+        tags=("source",),
+        summary="events source: both §2 detectors back to back",
+    ))
+
+
+_register_scenarios()

@@ -107,3 +107,20 @@ def run_migration(
         transfers_received=transits["s2"].transfers_received,
         over_admission_bytes=max(0, delivered - BUDGET_BYTES),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for label, migrate in (("swing", True), ("naive", False)):
+        register(ScenarioSpec(
+            name=f"migration/{label}",
+            runner="repro.experiments.migration_exp:run_migration",
+            params={"migrate": migrate},
+            app="state-migration", topology="diamond",
+            tags=("experiment", "application"),
+            summary=f"state migration on failover ({label})",
+        ))
+
+
+_register_scenarios()

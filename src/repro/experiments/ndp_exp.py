@@ -111,3 +111,21 @@ def run_incast(
         trims_delivered=trims_rx,
         loss_visibility=min(1.0, visibility),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for scheme in ("tail-drop", "ndp"):
+        register(ScenarioSpec(
+            name=f"incast/{scheme}",
+            runner="repro.experiments.ndp_exp:run_incast",
+            params={"scheme": scheme, "senders": 6, "waves": 6,
+                    "packets_per_sender": 24},
+            app="ndp", topology="dumbbell", workload="incast",
+            tags=("experiment", "application"),
+            summary=f"incast under {scheme}",
+        ))
+
+
+_register_scenarios()

@@ -148,3 +148,20 @@ def run_netcache(
         admissions=program.admissions,
         evictions=program.evictions,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for label, timers in (("timers", True), ("no-timers", False)):
+        register(ScenarioSpec(
+            name=f"netcache/{label}",
+            runner="repro.experiments.netcache_exp:run_netcache",
+            params={"timers_enabled": timers},
+            app="netcache", workload="zipf",
+            tags=("experiment", "application"),
+            summary=f"NetCache hot-key caching ({label})",
+        ))
+
+
+_register_scenarios()

@@ -136,3 +136,19 @@ def run_netchain(
         ),
         tail_writes_applied=tail_program.writes_applied,
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="netchain/event-driven",
+        runner="repro.experiments.netchain_exp:run_netchain",
+        params={"scheme": "event-driven"},
+        app="netchain",
+        tags=("experiment",),
+        summary="NetChain coordination with event-driven failover",
+    ))
+
+
+_register_scenarios()

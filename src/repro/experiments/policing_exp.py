@@ -122,3 +122,19 @@ def run_policing(
             )
         )
     return PolicingResult(scheme=scheme, flows=stats)
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="policing/timer",
+        runner="repro.experiments.policing_exp:run_policing",
+        params={"scheme": "timer", "limit_gbps": 1.0},
+        app="policing", workload="cbr",
+        tags=("experiment", "application"),
+        summary="timer-refilled token-bucket rate policing",
+    ))
+
+
+_register_scenarios()

@@ -122,3 +122,36 @@ def run_architecture(
         events_suppressed=dict(switch.bus.suppressed),
         mean_event_wait_ps=wait,
     )
+
+
+def run_all_architectures(packets: int = 200) -> list:
+    """All three architectures under identical traffic (figures source)."""
+    return [
+        run_architecture(arch, packets=packets)
+        for arch in ("baseline", "logical", "sume")
+    ]
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for arch in ("baseline", "logical", "sume"):
+        register(ScenarioSpec(
+            name=f"figures/{arch}",
+            runner="repro.experiments.psa_fig_exp:run_architecture",
+            params={"architecture": arch, "packets": 200},
+            app="psa-figures", topology="linear",
+            tags=("experiment", "figure"),
+            summary=f"Figures 1/2/4: the {arch} architecture trace",
+        ))
+    register(ScenarioSpec(
+        name="figures",
+        runner="repro.experiments.psa_fig_exp:run_all_architectures",
+        params={"packets": 200},
+        app="psa-figures", topology="linear",
+        tags=("source",),
+        summary="events source: all three architectures back to back",
+    ))
+
+
+_register_scenarios()

@@ -110,3 +110,19 @@ def run_reliable_transfer(
             stats.completed_at_ps / MILLISECONDS if stats.completed_at_ps else None
         ),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="reliable/frr",
+        runner="repro.experiments.reliable_exp:run_reliable_transfer",
+        params={"scheme": "frr", "total_packets": 20_000},
+        app="reliable-transfer", topology="diamond",
+        tags=("experiment",),
+        summary="reliable transfer across a failover (long run)",
+    ))
+
+
+_register_scenarios()

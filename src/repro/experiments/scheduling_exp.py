@@ -113,3 +113,19 @@ def run_scheduling(
         light_packets=count(light_flow),
         configured_ratio=float(heavy_weight),
     )
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="scheduling/wfq",
+        runner="repro.experiments.scheduling_exp:run_scheduling",
+        params={"scheme": "wfq", "heavy_weight": 3},
+        app="scheduling", workload="cbr",
+        tags=("experiment", "application"),
+        summary="programmable weighted-fair scheduling via PIFO",
+    ))
+
+
+_register_scenarios()

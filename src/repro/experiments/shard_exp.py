@@ -266,3 +266,109 @@ def run_sharded(
         mode=mode,
     )
     return coordinator.run()
+
+
+def run_fabric(
+    topology: str = "leafspine",
+    k: int = 4,
+    leaf_count: int = 4,
+    spine_count: int = 4,
+    hosts_per_leaf: int = 2,
+    workload: str = "incast",
+    waves: int = 2,
+    packets_per_sender: int = 4,
+    seed: int = 1,
+    shards: int = 2,
+    mode: str = "process",
+    compare_serial: bool = False,
+) -> dict:
+    """One sharded fabric run from flat knobs (the registry entry point).
+
+    Returns a JSON-able record; with ``compare_serial`` the serial
+    reference runs too and a fingerprint mismatch raises, so a service
+    job fails loudly rather than reporting a wrong-but-green result.
+    """
+    scenario = ShardScenario(
+        topology=topology,
+        k=k,
+        leaf_count=leaf_count,
+        spine_count=spine_count,
+        hosts_per_leaf=hosts_per_leaf,
+        workload=workload,
+        waves=waves,
+        packets_per_sender=packets_per_sender,
+        seed=seed,
+    )
+    result = run_sharded(scenario, shards=shards, mode=mode)
+    record = {
+        "topology": scenario_spec(scenario).name,
+        "shards": shards,
+        "mode": mode,
+        "workload": workload,
+        "wall_s": result.wall_s,
+        "digest": result.digest,
+        "result": result.stats.summary_rows(),
+    }
+    if compare_serial:
+        serial = run_serial(scenario)
+        record["serial_wall_s"] = serial.wall_s
+        if serial.fingerprint != result.fingerprint:
+            raise RuntimeError(
+                f"sharded fingerprint diverged from serial on "
+                f"{record['topology']}"
+            )
+        record["fingerprint_match"] = True
+    return record
+
+
+def run_inline_demo() -> dict:
+    """The `shard` events source: a 2-shard run with in-process buses."""
+    result = run_sharded(
+        ShardScenario(
+            topology="leafspine", leaf_count=2, spine_count=2,
+            hosts_per_leaf=2,
+        ),
+        shards=2,
+        mode="inline",
+    )
+    return {
+        "per-shard counters (shard)": result.stats.summary_rows()
+        + [f"behavior fingerprint {result.digest[:16]}…"]
+    }
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="shard/leafspine",
+        runner="repro.experiments.shard_exp:run_fabric",
+        params={"topology": "leafspine", "leaf_count": 4, "spine_count": 4,
+                "hosts_per_leaf": 2, "workload": "incast", "waves": 2,
+                "packets_per_sender": 4, "seed": 1, "shards": 2,
+                "mode": "process", "compare_serial": False},
+        app="l3fwd", topology="leaf-spine", workload="incast", seed=1,
+        tags=("experiment", "shard"),
+        summary="4x4 leaf-spine incast across 2 shard processes",
+    ))
+    register(ScenarioSpec(
+        name="shard/fattree-k4",
+        runner="repro.experiments.shard_exp:run_fabric",
+        params={"topology": "fattree", "k": 4, "workload": "incast",
+                "waves": 2, "packets_per_sender": 4, "seed": 1, "shards": 4,
+                "mode": "process", "compare_serial": False},
+        app="l3fwd", topology="fat-tree", workload="incast", seed=1,
+        tags=("experiment", "shard"),
+        summary="k=4 fat-tree incast across 4 shard processes",
+    ))
+    register(ScenarioSpec(
+        name="shard",
+        runner="repro.experiments.shard_exp:run_inline_demo",
+        params={},
+        app="l3fwd", topology="leaf-spine", workload="incast",
+        tags=("source",),
+        summary="events source: 2-shard leaf-spine with in-process buses",
+    ))
+
+
+_register_scenarios()

@@ -155,3 +155,35 @@ def sweep_port_disable(
         )
         results.append(CyclePipelineSim(config).run())
     return results
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="staleness/overspeed-sweep",
+        runner="repro.experiments.staleness_exp:sweep_overspeed",
+        params={"cycles": 50_000, "seed": 1},
+        app="aggregation", seed=1,
+        tags=("experiment", "figure"),
+        summary="Figure 3: staleness vs merger overspeed sweep",
+    ))
+    register(ScenarioSpec(
+        name="staleness/naive",
+        runner="repro.experiments.staleness_exp:run_naive_single_array",
+        params={"cycles": 50_000, "num_queues": 64, "overspeed": 1.25},
+        app="aggregation",
+        tags=("experiment", "figure"),
+        summary="Figure 3: the naive single-array aggregation baseline",
+    ))
+    register(ScenarioSpec(
+        name="staleness/drain-policies",
+        runner="repro.experiments.staleness_exp:sweep_drain_policy",
+        params={},
+        app="aggregation",
+        tags=("experiment",),
+        summary="§4 future work: merger drain-policy sweep",
+    ))
+
+
+_register_scenarios()

@@ -165,3 +165,19 @@ def build_table2(run_experiments: bool = True) -> List[Table2Row]:
         )
     )
     return rows
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    register(ScenarioSpec(
+        name="table2/rows",
+        runner="repro.experiments.table2_exp:build_table2",
+        params={"run_experiments": True},
+        app="table2",
+        tags=("experiment", "paper"),
+        summary="Table 2: one live run per application class",
+    ))
+
+
+_register_scenarios()

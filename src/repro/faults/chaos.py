@@ -27,7 +27,7 @@ from repro.faults.monitors import (
     ReconvergenceMonitor,
 )
 from repro.faults.plan import BUILTIN_PLANS, get_plan
-from repro.faults.scenarios import SCENARIOS, build_scenario
+from repro.faults.scenarios import SCENARIOS, Scenario, build_scenario
 from repro.obs.faultlog import FaultLog
 from repro.sim.rng import SeededRng
 
@@ -36,17 +36,32 @@ PLAN_NAMES: Tuple[str, ...] = tuple(sorted(BUILTIN_PLANS))
 APP_NAMES: Tuple[str, ...] = tuple(sorted(SCENARIOS))
 
 
-def run_instance(
-    plan_name: str,
-    app_name: str,
-    seed: int,
-    flow_cache: bool,
-    compile: Optional[bool] = None,
+def fork_scenario(scenario: Scenario) -> Scenario:
+    """An independent copy of a freshly built scenario.
+
+    :meth:`Simulator.fork` deep-copies the kernel and the scenario graph
+    in one pickle pass, so the copy's probes, generators, and pending
+    events all point into the copy.  Forking once per grid cell turns
+    the O(build x plans) chaos grid into O(build + plans x fork): each
+    (app, seed, arm) is built once and every fault plan runs against its
+    own fork.
+    """
+    _sim, forked = scenario.network.sim.fork(state=scenario)
+    return forked
+
+
+def run_instance_on(
+    scenario: Scenario, plan_name: str, seed: int
 ) -> Dict[str, object]:
-    """One monitored scenario run; returns raw instance results."""
+    """One monitored run of an already-built (possibly forked) scenario.
+
+    The injector, rng, and monitors are created *here*, after any fork
+    point, in the exact order the standalone path creates them — so a
+    forked cell schedules the same events with the same seqnos and its
+    fingerprint is byte-identical to a from-scratch build.
+    """
     plan = get_plan(plan_name)
-    scenario = build_scenario(app_name, seed, flow_cache=flow_cache, compile=compile)
-    rng = SeededRng(seed, f"chaos/{plan_name}/{app_name}")
+    rng = SeededRng(seed, f"chaos/{plan_name}/{scenario.name}")
     log = FaultLog()
     injector = FaultInjector(scenario, plan, rng, log=log)
     conservation = PacketConservationMonitor(scenario.network)
@@ -77,6 +92,18 @@ def run_instance(
     }
 
 
+def run_instance(
+    plan_name: str,
+    app_name: str,
+    seed: int,
+    flow_cache: bool,
+    compile: Optional[bool] = None,
+) -> Dict[str, object]:
+    """Build one scenario from scratch and run it monitored."""
+    scenario = build_scenario(app_name, seed, flow_cache=flow_cache, compile=compile)
+    return run_instance_on(scenario, plan_name, seed)
+
+
 def _divergence(label: str, a: Dict[str, object], b: Dict[str, object]) -> List[str]:
     """One violation naming the fingerprint keys two arms disagree on."""
     fp_a, fp_b = a["fingerprint"], b["fingerprint"]
@@ -88,34 +115,25 @@ def _divergence(label: str, a: Dict[str, object], b: Dict[str, object]) -> List[
     return [f"{label}-divergence: runs disagree on " + ", ".join(diverged)]
 
 
-def run_cell(
-    plan_name: str, app_name: str, seed: int, compile_arm: bool = False
+def _cell_record(
+    plan_name: str,
+    app_name: str,
+    seed: int,
+    on: Dict[str, object],
+    off: Dict[str, object],
+    compiled: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """One verdict record: cache-on vs cache-off, optionally plus compiled.
+    """Assemble one verdict record from its per-arm instance results.
 
-    With ``compile_arm`` the cache-off run is pinned to the interpreter
-    (the reference path) and a third arm runs compiled with the cache
-    off; its fingerprint must match the interpreted reference exactly
-    (``compile-divergence`` otherwise), covering compiled execution with
-    the same invariant monitors.
+    Shared by the from-scratch (:func:`run_cell`) and fork-amortized
+    (:func:`run_forked_cells`) paths, so both produce byte-identical
+    records for the same cell.
     """
-    on = run_instance(plan_name, app_name, seed, flow_cache=True)
-    off = run_instance(
-        plan_name,
-        app_name,
-        seed,
-        flow_cache=False,
-        compile=False if compile_arm else None,
-    )
-
     violations = list(on["violations"])
     violations.extend(f"cache-off:{message}" for message in off["violations"])
     violations.extend(_divergence("flowcache", on, off))
     arms = 2
-    if compile_arm:
-        compiled = run_instance(
-            plan_name, app_name, seed, flow_cache=False, compile=True
-        )
+    if compiled is not None:
         violations.extend(f"compiled:{message}" for message in compiled["violations"])
         violations.extend(_divergence("compile", compiled, off))
         arms = 3
@@ -140,24 +158,120 @@ def run_cell(
     }
 
 
+def run_cell(
+    plan_name: str, app_name: str, seed: int, compile_arm: bool = False
+) -> Dict[str, object]:
+    """One verdict record: cache-on vs cache-off, optionally plus compiled.
+
+    With ``compile_arm`` the cache-off run is pinned to the interpreter
+    (the reference path) and a third arm runs compiled with the cache
+    off; its fingerprint must match the interpreted reference exactly
+    (``compile-divergence`` otherwise), covering compiled execution with
+    the same invariant monitors.
+    """
+    on = run_instance(plan_name, app_name, seed, flow_cache=True)
+    off = run_instance(
+        plan_name,
+        app_name,
+        seed,
+        flow_cache=False,
+        compile=False if compile_arm else None,
+    )
+    compiled = (
+        run_instance(plan_name, app_name, seed, flow_cache=False, compile=True)
+        if compile_arm
+        else None
+    )
+    return _cell_record(plan_name, app_name, seed, on, off, compiled)
+
+
+def run_forked_cells(
+    plans: Sequence[str],
+    apps: Sequence[str],
+    seeds: Iterable[int],
+    compile_arm: bool = False,
+) -> List[Dict[str, object]]:
+    """The grid with builds amortized by :func:`fork_scenario`.
+
+    Each (app, seed, arm) scenario is built **once** at t=0 and forked
+    per fault plan, so the per-cell cost is a pickle round-trip rather
+    than a topology build.  Because the injector and monitors are
+    created post-fork in the standalone order (see
+    :func:`run_instance_on`), each cell's record — fingerprint included
+    — is byte-identical to :func:`run_cell` for the same cell.
+
+    Records come back in :func:`run_grid` order (plan, app, seed) so the
+    two paths emit interchangeable JSONL.
+    """
+    by_cell: Dict[Tuple[str, str, int], Dict[str, object]] = {}
+    seed_list = list(seeds)
+    for app_name in apps:
+        for seed in seed_list:
+            base_on = build_scenario(app_name, seed, flow_cache=True)
+            base_off = build_scenario(
+                app_name,
+                seed,
+                flow_cache=False,
+                compile=False if compile_arm else None,
+            )
+            base_compiled = (
+                build_scenario(app_name, seed, flow_cache=False, compile=True)
+                if compile_arm
+                else None
+            )
+            for plan_name in plans:
+                on = run_instance_on(fork_scenario(base_on), plan_name, seed)
+                off = run_instance_on(fork_scenario(base_off), plan_name, seed)
+                compiled = (
+                    run_instance_on(fork_scenario(base_compiled), plan_name, seed)
+                    if compile_arm
+                    else None
+                )
+                by_cell[(plan_name, app_name, seed)] = _cell_record(
+                    plan_name, app_name, seed, on, off, compiled
+                )
+    return [
+        by_cell[(plan_name, app_name, seed)]
+        for plan_name in plans
+        for app_name in apps
+        for seed in seed_list
+    ]
+
+
 def run_grid(
     plans: Sequence[str],
     apps: Sequence[str],
     seeds: Iterable[int],
     out_path: Optional[str] = None,
     compile_arm: bool = False,
+    forked: bool = False,
 ) -> List[Dict[str, object]]:
-    """Run every (plan, app, seed) cell; optionally stream JSONL to disk."""
+    """Run every (plan, app, seed) cell; optionally stream JSONL to disk.
+
+    ``forked`` switches to the fork-amortized path — one build per
+    (app, seed, arm), one :meth:`Simulator.fork` per cell — with
+    identical records.
+    """
     records: List[Dict[str, object]] = []
     out = open(out_path, "w", encoding="utf-8") if out_path else None
     try:
-        for plan_name in plans:
-            for app_name in apps:
-                for seed in seeds:
-                    record = run_cell(plan_name, app_name, seed, compile_arm=compile_arm)
-                    records.append(record)
-                    if out is not None:
-                        out.write(json.dumps(record, sort_keys=True) + "\n")
+        if forked:
+            records.extend(
+                run_forked_cells(plans, apps, seeds, compile_arm=compile_arm)
+            )
+            if out is not None:
+                for record in records:
+                    out.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            for plan_name in plans:
+                for app_name in apps:
+                    for seed in seeds:
+                        record = run_cell(
+                            plan_name, app_name, seed, compile_arm=compile_arm
+                        )
+                        records.append(record)
+                        if out is not None:
+                            out.write(json.dumps(record, sort_keys=True) + "\n")
     finally:
         if out is not None:
             out.close()
@@ -194,3 +308,71 @@ def summary_rows(records: List[Dict[str, object]]) -> List[str]:
         + ("" if total_violations else " — all invariants held")
     )
     return rows
+
+
+def run_forked_grid(
+    plans: Sequence[str] = ("burst", "crash", "linkflap", "stall", "storm"),
+    apps: Sequence[str] = ("frr", "migration"),
+    seeds: Sequence[int] = (1,),
+    compile_arm: bool = False,
+) -> Dict[str, object]:
+    """The fork-amortized grid as a registered scenario runner.
+
+    The default knobs give the ten-variant grid (5 plans x 2 apps x 1
+    seed) whose fingerprints must match standalone ``repro chaos`` runs
+    of the same cells.  Returns a JSON-able record: summary rows, the
+    violation total, and the per-cell fingerprints.
+    """
+    records = run_forked_cells(
+        list(plans), list(apps), list(seeds), compile_arm=compile_arm
+    )
+    return {
+        "summary": summary_rows(records),
+        "violations": violation_count(records),
+        "fingerprints": {
+            f"{r['plan']}/{r['app']}/{r['seed']}": r["fingerprint"] for r in records
+        },
+    }
+
+
+def _register_scenarios() -> None:
+    from repro.scenarios import ScenarioSpec, register
+
+    for app in APP_NAMES:
+        register(
+            ScenarioSpec(
+                name=f"chaos/{app}",
+                runner="repro.faults.chaos:run_cell",
+                params={
+                    "plan_name": "linkflap",
+                    "app_name": app,
+                    "seed": 1,
+                    "compile_arm": False,
+                },
+                app=app,
+                fault_plan="linkflap",
+                seed=1,
+                tags=("chaos",),
+                summary=f"One chaos cell: {app} under a fault plan, "
+                "cache-on vs cache-off arms",
+            )
+        )
+    register(
+        ScenarioSpec(
+            name="chaos/forked-grid",
+            runner="repro.faults.chaos:run_forked_grid",
+            params={
+                "plans": ["burst", "crash", "linkflap", "stall", "storm"],
+                "apps": ["frr", "migration"],
+                "seeds": [1],
+                "compile_arm": False,
+            },
+            seed=1,
+            tags=("chaos", "forked"),
+            summary="Ten-cell chaos grid amortized by Simulator.fork "
+            "(one build per app/arm, one fork per cell)",
+        )
+    )
+
+
+_register_scenarios()

@@ -38,6 +38,36 @@ from repro.workloads.cbr import ConstantBitRate
 
 MONITOR_IP = 0x0A00_00FE
 
+
+class LenProbe:
+    """``len(getattr(obj, attr))`` as a picklable callable.
+
+    Probes ride inside the scenario when it is checkpointed or forked
+    (:meth:`Simulator.fork`), so they must pickle — and because pickle
+    preserves object identity within one graph, a forked probe observes
+    the *forked* program, never the original.  Lambdas would refuse to
+    pickle and silently pin the scenario to one process.
+    """
+
+    def __init__(self, obj: object, attr: str) -> None:
+        self.obj = obj
+        self.attr = attr
+
+    def __call__(self) -> int:
+        return len(getattr(self.obj, self.attr))
+
+
+class AttrProbe:
+    """``int(getattr(obj, attr, default))`` as a picklable callable."""
+
+    def __init__(self, obj: object, attr: str, default: int = 0) -> None:
+        self.obj = obj
+        self.attr = attr
+        self.default = default
+
+    def __call__(self) -> int:
+        return int(getattr(self.obj, self.attr, self.default))
+
 #: Control path used for churn storms: fast enough that every storm's
 #: mutations land inside the fault window of a few-millisecond run.
 CHAOS_CONTROL = ControlPlaneConfig(
@@ -179,8 +209,8 @@ def build_frr(
         control=ControlPlane(network.sim, CHAOS_CONTROL, name="chaos-control"),
         churn_targets=_churn_targets(network),
         probes={
-            "failovers": lambda: len(head.failovers),
-            "reverts": lambda: len(head.reverts),
+            "failovers": LenProbe(head, "failovers"),
+            "reverts": LenProbe(head, "reverts"),
         },
     )
 
@@ -246,9 +276,9 @@ def build_liveness(
         control=ControlPlane(network.sim, CHAOS_CONTROL, name="chaos-control"),
         churn_targets=_churn_targets(network),
         probes={
-            "detections": lambda: len(prog0.failures),
-            "recoveries": lambda: len(prog0.recoveries),
-            "peer_detections": lambda: len(prog1.failures),
+            "detections": LenProbe(prog0, "failures"),
+            "recoveries": LenProbe(prog0, "recoveries"),
+            "peer_detections": LenProbe(prog1, "failures"),
         },
     )
 
@@ -320,8 +350,8 @@ def build_hula(
         control=ControlPlane(network.sim, CHAOS_CONTROL, name="chaos-control"),
         churn_targets=_churn_targets(network),
         probes={
-            "path_switches": lambda: getattr(leaf0, "path_switches", 0),
-            "probes_sent": lambda: getattr(leaf0, "probes_sent", 0),
+            "path_switches": AttrProbe(leaf0, "path_switches"),
+            "probes_sent": AttrProbe(leaf0, "probes_sent"),
         },
     )
 
@@ -373,8 +403,8 @@ def build_migration(
         control=ControlPlane(network.sim, CHAOS_CONTROL, name="chaos-control"),
         churn_targets=_churn_targets(network),
         probes={
-            "transfers_sent": lambda: head.transfers_sent,
-            "transfers_received": lambda: transits["s2"].transfers_received,
+            "transfers_sent": AttrProbe(head, "transfers_sent"),
+            "transfers_received": AttrProbe(transits["s2"], "transfers_received"),
         },
     )
 

@@ -1,0 +1,200 @@
+"""The declarative scenario contract: :class:`ScenarioSpec`.
+
+A spec is the single artifact that stands between "what to simulate"
+and "how it runs" — the P4 move applied to this repo's own experiment
+surface.  Every entry point (the paper experiments, the chaos grid, the
+sharded fabrics, the bench rounds) describes itself as a picklable
+``ScenarioSpec`` and registers it in :mod:`repro.scenarios.registry`;
+the CLI, the multi-tenant service (:mod:`repro.serve`), and tests all
+build simulations exclusively through the spec, so any scenario can be
+listed, submitted to a worker process, preempted, or forked without
+knowing which module it came from.
+
+Two runner shapes exist:
+
+* **single-shot** — ``runner`` names a module-level callable
+  ``fn(**params) -> result`` that builds and runs to completion.
+* **phased** — ``builder`` names ``fn(**params) -> setup`` and
+  ``finisher`` names ``fn(setup) -> result``.  The setup object must be
+  picklable and expose ``network`` (with ``.sim``) and ``duration_ps``;
+  phased scenarios are the ones the service can run in telemetry
+  windows, preempt into a checkpoint, and resume or fork.
+
+Entry points are dotted strings (``"pkg.mod:callable"``), never live
+callables: a spec must survive ``pickle`` across a process boundary and
+``json`` into a protocol message without dragging its module graph
+along.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class ScenarioError(ValueError):
+    """An invalid spec: bad entry points, unknown override, etc."""
+
+
+def _load_entry(entry: str) -> Callable[..., Any]:
+    """Resolve ``"pkg.mod:callable"`` into the callable it names."""
+    module_name, _, attr = entry.partition(":")
+    if not module_name or not attr:
+        raise ScenarioError(
+            f"entry point {entry!r} is not of the form 'pkg.mod:callable'"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError:
+        raise ScenarioError(
+            f"entry point {entry!r}: {module_name} has no attribute {attr!r}"
+        ) from None
+    if not callable(fn):
+        raise ScenarioError(f"entry point {entry!r} is not callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered scenario: entry points, knobs, and metadata.
+
+    ``params`` are the keyword arguments handed to the runner (or
+    builder); they must be picklable, and for service submission they
+    should also be JSON-representable.  The remaining fields are
+    metadata: they describe the scenario for listings and admission
+    decisions but are never passed to the entry point.
+    """
+
+    name: str
+    runner: str = ""
+    builder: str = ""
+    finisher: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    app: str = ""
+    topology: str = ""
+    workload: str = ""
+    fault_plan: str = ""
+    seed: Optional[int] = None
+    duration_ps: Optional[int] = None
+    tags: Tuple[str, ...] = ()
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        phased = bool(self.builder or self.finisher)
+        if phased and not (self.builder and self.finisher):
+            raise ScenarioError(
+                f"{self.name}: phased scenarios need both builder and finisher"
+            )
+        if bool(self.runner) == phased:
+            raise ScenarioError(
+                f"{self.name}: give either runner or builder+finisher"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_phased(self) -> bool:
+        """Whether this scenario splits into build and finish phases."""
+        return bool(self.builder)
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-able summary for listings and protocol replies."""
+        return {
+            "name": self.name,
+            "entry": self.runner or f"{self.builder} -> {self.finisher}",
+            "phased": self.is_phased,
+            "params": {key: repr(value) for key, value in sorted(self.params.items())},
+            "app": self.app,
+            "topology": self.topology,
+            "workload": self.workload,
+            "fault_plan": self.fault_plan,
+            "seed": self.seed,
+            "duration_ps": self.duration_ps,
+            "tags": list(self.tags),
+            "summary": self.summary,
+        }
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_params(self, **overrides: Any) -> "ScenarioSpec":
+        """A new spec with ``overrides`` merged into ``params``.
+
+        Only knobs the scenario already declares may be overridden —
+        an unknown key is a spec error, not a silent no-op, so a typo'd
+        submission fails at admission instead of mid-run.
+        """
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise ScenarioError(
+                f"{self.name}: unknown override(s) {', '.join(unknown)}; "
+                f"declared params: {sorted(self.params) or '(none)'}"
+            )
+        merged = dict(self.params)
+        merged.update(overrides)
+        return replace(self, params=merged)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build(self) -> Any:
+        """Run the build phase of a phased scenario; returns the setup."""
+        if not self.is_phased:
+            raise ScenarioError(f"{self.name} is single-shot; call run()")
+        return _load_entry(self.builder)(**self.params)
+
+    def finish(self, setup: Any) -> Any:
+        """Run a phased scenario's finisher on ``setup``."""
+        if not self.is_phased:
+            raise ScenarioError(f"{self.name} is single-shot; call run()")
+        return _load_entry(self.finisher)(setup)
+
+    def run(self) -> Any:
+        """Build and run the scenario to completion; returns its result."""
+        if self.is_phased:
+            return self.finish(self.build())
+        return _load_entry(self.runner)(**self.params)
+
+
+def result_rows(result: Any) -> Dict[str, list]:
+    """Titled, printable row blocks for an arbitrary scenario result.
+
+    Every experiment in the repo returns one of a few shapes — an object
+    with ``summary_rows()`` / ``summary_row()``, a list of such objects,
+    a dict of titled lists, or plain data.  This normalizes them all to
+    ``{title: [row, ...]}`` so the CLI and the service stream the same
+    text a direct run would print.
+    """
+    if result is None:
+        return {}
+    if isinstance(result, dict):
+        blocks: Dict[str, list] = {}
+        for key, value in result.items():
+            if isinstance(value, list) and all(isinstance(v, str) for v in value):
+                blocks[str(key)] = value
+            else:
+                inner = result_rows(value)
+                if inner:
+                    for title, rows in inner.items():
+                        blocks[f"{key}" if title == "result" else f"{key}: {title}"] = rows
+                else:
+                    blocks[str(key)] = [repr(value)]
+        return blocks
+    if hasattr(result, "summary_rows"):
+        return {"result": list(result.summary_rows())}
+    if hasattr(result, "summary_row"):
+        return {"result": [result.summary_row()]}
+    if isinstance(result, (list, tuple)):
+        rows = []
+        for item in result:
+            if hasattr(item, "summary_row"):
+                rows.append(item.summary_row())
+            else:
+                rows.append(repr(item))
+        return {"result": rows}
+    return {"result": [repr(result)]}

@@ -1,0 +1,187 @@
+"""Clients for the job service: socket-attached and in-process.
+
+:class:`ServiceClient` is the blocking counterpart of the socket
+frontend — it writes request lines, reads reply lines, and buffers the
+``event`` pushes (telemetry, completion) that interleave with replies.
+The CLI's ``repro submit --socket`` path and the tests use it.
+
+:func:`run_inline` is the zero-daemon mode: it boots a private
+:class:`~repro.serve.service.JobService` (real worker processes, real
+admission control), submits a batch, waits for completion events, and
+tears the pool down.  ``repro submit <name>`` with no ``--socket`` goes
+through here, so every registered scenario is runnable through the
+service machinery without deploying anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import ProtocolError, decode, encode
+from repro.serve.service import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_WORKERS,
+    JobService,
+)
+from repro.serve.worker import DEFAULT_WINDOWS
+
+
+class ServiceError(RuntimeError):
+    """A refused request or a broken service connection."""
+
+
+class ServiceClient:
+    """Blocking line-protocol client over a unix socket."""
+
+    def __init__(self, path: str, timeout: float = 300.0) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+        #: Pushed events received while waiting for replies, oldest first.
+        self.events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _read_message(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        try:
+            return decode(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad line from service: {exc}") from exc
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; buffer events until the reply arrives."""
+        message = {"op": op}
+        message.update(fields)
+        self._file.write(encode(message))
+        self._file.flush()
+        while True:
+            received = self._read_message()
+            if "event" in received:
+                self.events.append(received)
+                continue
+            return received
+
+    def expect(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`request` but raises on a refused reply."""
+        reply = self.request(op, **fields)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "request refused"))
+        return reply
+
+    def wait(self, job_id: str) -> str:
+        """Block until ``job_id`` finishes; returns its final state.
+
+        Consumes the pushed event stream (this client must be the job's
+        submitter or resumer to be subscribed); telemetry events stay
+        available in :attr:`events`.
+        """
+        for event in self.events:
+            if event.get("event") == "done" and event.get("job") == job_id:
+                return str(event.get("state", "done"))
+        while True:
+            received = self._read_message()
+            if "event" not in received:
+                raise ServiceError(f"unexpected reply while waiting: {received}")
+            self.events.append(received)
+            if received["event"] == "done" and received.get("job") == job_id:
+                return str(received.get("state", "done"))
+
+    def telemetry(self, job_id: str) -> List[Dict[str, Any]]:
+        """Every buffered telemetry snapshot pushed for ``job_id``."""
+        return [
+            event["telemetry"]
+            for event in self.events
+            if event.get("event") == "telemetry" and event.get("job") == job_id
+        ]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def run_inline(
+    submissions: Sequence[Tuple[str, Dict[str, Any]]],
+    workers: int = DEFAULT_WORKERS,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    windows: int = DEFAULT_WINDOWS,
+) -> List[Dict[str, Any]]:
+    """Run ``(scenario, params)`` submissions on a private service.
+
+    Returns one record per submission, in submission order::
+
+        {"job", "scenario", "state", "result", "error", "telemetry"}
+
+    A refused submission (unknown name, bad override, full queue)
+    raises :class:`ServiceError` before anything runs.
+    """
+
+    async def _run() -> List[Dict[str, Any]]:
+        from repro.scenarios import load_all
+
+        load_all()
+        service = JobService(
+            workers=workers, queue_limit=queue_limit, windows=windows
+        )
+        await service.start()
+        try:
+            events: asyncio.Queue = asyncio.Queue()
+            job_ids: List[str] = []
+            for name, params in submissions:
+                reply = await service.handle(
+                    {"op": "submit", "scenario": name, "params": params or {}},
+                    events=events,
+                )
+                if not reply.get("ok"):
+                    raise ServiceError(reply.get("error", "submission refused"))
+                job_ids.append(reply["job"])
+            pending = set(job_ids)
+            telemetry: Dict[str, List[Dict[str, Any]]] = {
+                job_id: [] for job_id in job_ids
+            }
+            while pending:
+                event = await events.get()
+                if event.get("event") == "telemetry":
+                    telemetry[event["job"]].append(event["telemetry"])
+                elif event.get("event") == "done":
+                    pending.discard(event.get("job"))
+            records = []
+            for job_id in job_ids:
+                reply = await service.handle({"op": "status", "job": job_id})
+                record = reply["job"]
+                result = await service.handle({"op": "result", "job": job_id})
+                records.append(
+                    {
+                        "job": job_id,
+                        "scenario": record["scenario"],
+                        "state": record["state"],
+                        "result": result.get("result") if result.get("ok") else None,
+                        "error": record["error"],
+                        "telemetry": telemetry[job_id],
+                    }
+                )
+            return records
+        finally:
+            await service.close()
+
+    return asyncio.run(_run())
+
+
+def submit_inline(
+    name: str, params: Optional[Dict[str, Any]] = None, **service_knobs: Any
+) -> Dict[str, Any]:
+    """One-scenario convenience wrapper over :func:`run_inline`."""
+    (record,) = run_inline([(name, params or {})], **service_knobs)
+    return record

@@ -1,0 +1,111 @@
+"""The service wire protocol: line-delimited JSON.
+
+One request or reply per line, every line one JSON object.  Requests
+carry an ``op``; replies carry ``ok`` (with ``error`` when false);
+server-initiated pushes carry ``event`` instead of ``ok`` — telemetry
+windows and completion notices stream to the submitting client while
+other requests interleave.
+
+The protocol is deliberately plain: a shell script with a heredoc, the
+:class:`~repro.serve.client.ServiceClient`, and the CI smoke test all
+speak it over stdin/stdout or the local socket.  Scenario *names* cross
+the wire, never code — the service resolves them against its own
+:mod:`repro.scenarios` registry, so a submission is data end to end.
+
+Ops
+---
+
+``hello``
+    Capability probe; replies with protocol/service versions, the
+    worker count, and the queue limit.
+``scenarios``
+    The registered catalog (``describe()`` of every spec; ``tag``
+    filters).
+``submit``
+    ``{"op": "submit", "scenario": name, "params": {...}}`` — admission
+    happens here: unknown names, bad overrides, and a full queue are
+    refused synchronously.
+``status`` / ``jobs``
+    One job's record / every job's record.
+``result``
+    The result rows + final telemetry of a finished job.
+``cancel``
+    Dequeue a queued job; preempt a running one into an in-memory
+    checkpoint (phased scenarios) or at the next telemetry window.
+``resume``
+    Requeue a preempted job from its checkpoint.
+``shutdown``
+    Drain nothing: stop accepting, cancel queued jobs, stop workers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+#: Bumped when the message shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every state a job record can report.
+JOB_STATES = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+    "preempted",
+)
+
+#: Ops a client may send.
+REQUEST_OPS = (
+    "hello",
+    "scenarios",
+    "submit",
+    "status",
+    "jobs",
+    "result",
+    "cancel",
+    "resume",
+    "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A line that is not a valid protocol message."""
+
+
+def encode(message: Dict[str, Any]) -> str:
+    """One message as one newline-terminated JSON line (sorted keys)."""
+    return json.dumps(message, sort_keys=True) + "\n"
+
+
+def decode(line: str) -> Dict[str, Any]:
+    """Parse one line into a message dict; raises :class:`ProtocolError`."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok_reply(**fields: Any) -> Dict[str, Any]:
+    """A success reply."""
+    reply = {"ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(message: str, **fields: Any) -> Dict[str, Any]:
+    """A refusal/failure reply; ``message`` is human-readable."""
+    reply = {"ok": False, "error": message}
+    reply.update(fields)
+    return reply
+
+
+def event_message(event: str, **fields: Any) -> Dict[str, Any]:
+    """A server-initiated push (telemetry window, job completion)."""
+    message = {"event": event}
+    message.update(fields)
+    return message

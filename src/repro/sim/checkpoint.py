@@ -34,6 +34,7 @@ and prefer the same interpreter version that wrote them.
 
 from __future__ import annotations
 
+import io
 import pickle
 import sys
 from typing import Any, Dict, Optional, Tuple
@@ -47,6 +48,8 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "inspect_checkpoint",
+    "dumps_checkpoint",
+    "loads_checkpoint",
 ]
 
 #: Format marker in the header frame.
@@ -63,16 +66,10 @@ class CheckpointError(RuntimeError):
     """Raised for unreadable, foreign, or future-versioned checkpoints."""
 
 
-def save_checkpoint(
-    path: str,
-    sim: Simulator,
-    state: Any = None,
-    label: str = "",
+def _write_checkpoint(
+    fh, sim: Simulator, state: Any, label: str
 ) -> Dict[str, Any]:
-    """Write ``sim`` (and the experiment ``state`` riding along) to ``path``.
-
-    Returns the header dict that was written.
-    """
+    """Write the two-frame checkpoint format to a binary file object."""
     from repro.state.store import store_manifest
 
     header: Dict[str, Any] = {
@@ -87,10 +84,38 @@ def save_checkpoint(
         "stores": store_manifest(),
     }
     payload = {"sim": sim, "state": state}
-    with open(path, "wb") as fh:
-        pickle.dump(header, fh, protocol=_PICKLE_PROTOCOL)
-        pickle.dump(payload, fh, protocol=_PICKLE_PROTOCOL)
+    pickle.dump(header, fh, protocol=_PICKLE_PROTOCOL)
+    pickle.dump(payload, fh, protocol=_PICKLE_PROTOCOL)
     return header
+
+
+def save_checkpoint(
+    path: str,
+    sim: Simulator,
+    state: Any = None,
+    label: str = "",
+) -> Dict[str, Any]:
+    """Write ``sim`` (and the experiment ``state`` riding along) to ``path``.
+
+    Returns the header dict that was written.
+    """
+    with open(path, "wb") as fh:
+        return _write_checkpoint(fh, sim, state, label)
+
+
+def dumps_checkpoint(
+    sim: Simulator, state: Any = None, label: str = ""
+) -> bytes:
+    """The checkpoint as bytes — same two-frame format, no file.
+
+    This is the substrate of :meth:`Simulator.fork` (snapshot a live
+    experiment and restore it into a fresh instance without touching
+    disk) and of service-side preemption, where checkpoints travel over
+    a pipe rather than through the filesystem.
+    """
+    buffer = io.BytesIO()
+    _write_checkpoint(buffer, sim, state, label)
+    return buffer.getvalue()
 
 
 def _read_header(fh) -> Dict[str, Any]:
@@ -131,9 +156,28 @@ def load_checkpoint(
             payload = pickle.load(fh)
         except Exception as exc:
             raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
-    sim = payload.get("sim")
+    return _check_payload(payload, header, scheduler)
+
+
+def _check_payload(
+    payload: Any, header: Dict[str, Any], scheduler: Optional[str]
+) -> Tuple[Simulator, Any, Dict[str, Any]]:
+    sim = payload.get("sim") if isinstance(payload, dict) else None
     if not isinstance(sim, Simulator):
         raise CheckpointError("checkpoint payload holds no Simulator")
     if scheduler is not None:
         sim.set_scheduler(scheduler)
     return sim, payload.get("state"), header
+
+
+def loads_checkpoint(
+    data: bytes, scheduler: Optional[str] = None
+) -> Tuple[Simulator, Any, Dict[str, Any]]:
+    """Load a checkpoint from bytes; returns ``(sim, state, header)``."""
+    fh = io.BytesIO(data)
+    header = _read_header(fh)
+    try:
+        payload = pickle.load(fh)
+    except Exception as exc:
+        raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
+    return _check_payload(payload, header, scheduler)

@@ -1173,6 +1173,25 @@ class Simulator:
         sim, state, _header = load_checkpoint(path, scheduler=scheduler)
         return sim, state
 
+    def fork(self, state: Any = None) -> tuple:
+        """Snapshot this simulator into a fresh, independent instance.
+
+        Checkpoint-to-memory plus restore: the returned
+        ``(simulator, state)`` pair is a deep copy of this kernel and the
+        experiment object graph handed in as ``state``, sharing no
+        mutable structure with the original.  Both copies carry the same
+        clock, seqno counter, and pending-event queue, so identical
+        continuations replay the identical total order — and divergent
+        continuations (say, a different fault plan injected into each
+        fork) cannot disturb each other.  Like pickling, forking is
+        refused while the simulator is running.
+        """
+        from repro.sim.checkpoint import dumps_checkpoint, loads_checkpoint
+
+        blob = dumps_checkpoint(self, state=state, label="fork")
+        sim, new_state, _header = loads_checkpoint(blob)
+        return sim, new_state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         now, _, executed, pending, _, _ = self._peek()
         return (

@@ -1,0 +1,41 @@
+"""Module-level scenario runners for the job-service tests.
+
+Entry points must be importable by name inside worker *processes*
+(``"tests.serve_helpers:crash_once"``), so these live in a real module
+rather than inside test functions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+
+def quick(value: int = 1) -> Dict[str, int]:
+    """The fastest possible job; returns its input."""
+    return {"value": value}
+
+
+def crash_once(sentinel: str = "") -> Dict[str, object]:
+    """Kill the worker process on the first attempt, succeed on retry.
+
+    ``os._exit`` bypasses the worker's exception handling entirely — the
+    parent sees a dead process (``WorkerCrashed``), not a job traceback,
+    which is exactly the distinction the service's retry logic keys on.
+    The sentinel file records that the first attempt happened.
+    """
+    if sentinel and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as fh:
+            fh.write("first attempt\n")
+        os._exit(23)
+    return {"survived": True}
+
+
+def crash_always() -> None:
+    """Kill the worker process on every attempt."""
+    os._exit(24)
+
+
+def boom() -> None:
+    """Fail the job (not the worker) with a scripted exception."""
+    raise RuntimeError("scripted job failure")

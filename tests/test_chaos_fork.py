@@ -1,0 +1,65 @@
+"""Fork-amortized chaos grid: identical verdicts, shared builds.
+
+The acceptance contract: a chaos cell run on a :func:`fork_scenario`
+copy (one topology build per app/seed/arm, one in-memory fork per fault
+plan) produces a verdict record **byte-identical** to the from-scratch
+:func:`run_cell` path — fingerprints included — and forks of the same
+base never contaminate each other.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import (
+    fork_scenario,
+    run_cell,
+    run_forked_cells,
+    run_forked_grid,
+    run_grid,
+    run_instance_on,
+)
+from repro.faults.scenarios import build_scenario
+
+
+def _canon(record):
+    return json.dumps(record, sort_keys=True)
+
+
+@pytest.mark.parametrize("app_name", ["frr", "liveness"])
+def test_forked_cell_matches_standalone(app_name):
+    plans = ["linkflap", "crash"]
+    forked = run_forked_cells(plans, [app_name], [1])
+    standalone = [run_cell(plan, app_name, 1) for plan in plans]
+    assert [_canon(r) for r in forked] == [_canon(r) for r in standalone]
+
+
+def test_forked_grid_order_matches_run_grid(tmp_path):
+    plans = ["linkflap", "stall"]
+    apps = ["frr", "migration"]
+    straight_path = tmp_path / "straight.jsonl"
+    forked_path = tmp_path / "forked.jsonl"
+    run_grid(plans, apps, [1], out_path=str(straight_path))
+    run_grid(plans, apps, [1], out_path=str(forked_path), forked=True)
+    assert forked_path.read_text() == straight_path.read_text()
+
+
+def test_sibling_forks_are_isolated():
+    base = build_scenario("frr", 1, flow_cache=True)
+    first = run_instance_on(fork_scenario(base), "crash", 1)
+    second = run_instance_on(fork_scenario(base), "crash", 1)
+    # Same plan on two forks of one base: identical, not merely similar.
+    assert _canon(first) == _canon(second)
+    # The base itself never advanced — forks ran, the original did not.
+    assert base.network.sim.now_ps == 0
+    assert all(probe() == 0 for probe in base.probes.values())
+
+
+def test_run_forked_grid_scenario_shape():
+    result = run_forked_grid(plans=["linkflap"], apps=["frr"], seeds=[1])
+    assert result["violations"] == 0
+    assert result["summary"][-1].endswith("all invariants held")
+    assert list(result["fingerprints"]) == ["linkflap/frr/1"]
+    (fingerprint,) = result["fingerprints"].values()
+    assert _canon(run_cell("linkflap", "frr", 1))  # standalone still runs
+    assert run_cell("linkflap", "frr", 1)["fingerprint"] == fingerprint

@@ -1,0 +1,144 @@
+"""``Simulator.fork``: in-memory snapshot isolation.
+
+The satellite guarantees under test:
+
+* a fork and its parent replay **byte-identical** execution traces when
+  continued identically (fingerprint equality is what makes the forked
+  chaos grid trustworthy),
+* post-fork divergence is fully isolated — events injected into one
+  copy never leak into the other, and neither do state mutations,
+* the bytes-level helpers (``dumps_checkpoint``/``loads_checkpoint``)
+  round-trip the same format as the file-based API, so service-side
+  preemption blobs and on-disk checkpoints are interchangeable.
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    dumps_checkpoint,
+    load_checkpoint,
+    loads_checkpoint,
+)
+from repro.sim.kernel import SCHEDULER_BACKENDS, SimulationError, Simulator
+
+from tests.test_checkpoint import TraceRecorder, Ticker, _build
+
+
+def _finish_with_trace(sim: Simulator, until_ps: int) -> list:
+    recorder = TraceRecorder()
+    sim.add_execution_observer(recorder)
+    sim.run(until_ps=until_ps)
+    return recorder.records
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_identical_continuations_are_byte_identical(backend):
+    sim, tickers = _build(backend)
+    sim.run(until_ps=500)
+    sim2, tickers2 = sim.fork(state=tickers)
+
+    trace = _finish_with_trace(sim, 2_000)
+    trace2 = _finish_with_trace(sim2, 2_000)
+
+    assert trace2 == trace
+    assert sim2.now_ps == sim.now_ps
+    assert sim2.events_executed == sim.events_executed
+    for orig, forked in zip(tickers, tickers2):
+        assert forked.fired == orig.fired
+    # The strongest form: the full serialized ticker state matches.
+    assert pickle.dumps([t.fired for t in tickers2]) == pickle.dumps(
+        [t.fired for t in tickers]
+    )
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_divergent_continuations_are_isolated(backend):
+    sim, tickers = _build(backend)
+    sim.run(until_ps=500)
+    sim2, tickers2 = sim.fork(state=tickers)
+
+    # Perturb only the fork: one extra ticker and a mutated period.
+    intruder = Ticker(613, priority=2, tag="intruder")
+    intruder.start(sim2)
+    tickers2[0].period_ps = 45
+
+    sim.run(until_ps=2_000)
+    sim2.run(until_ps=2_000)
+
+    # A pristine reference confirms the parent was untouched.
+    ref_sim, ref_tickers = _build(backend)
+    ref_sim.run(until_ps=2_000)
+    for orig, ref in zip(tickers, ref_tickers):
+        assert orig.fired == ref.fired
+    # ...while the fork actually diverged.
+    assert tickers2[0].fired != tickers[0].fired
+    assert any(tag == "intruder" for _, tag in intruder.fired)
+    assert not any(
+        tag == "intruder" for t in tickers for _, tag in t.fired
+    )
+
+
+def test_fork_shares_no_mutable_structure():
+    sim, tickers = _build("heap")
+    sim.run(until_ps=200)
+    sim2, tickers2 = sim.fork(state=tickers)
+    assert sim2 is not sim
+    assert tickers2 is not tickers
+    assert all(f is not o for f, o in zip(tickers2, tickers))
+    assert all(f.fired is not o.fired for f, o in zip(tickers2, tickers))
+    # Each forked ticker drives the forked kernel, not the parent.
+    assert all(t.sim is sim2 for t in tickers2)
+    assert all(t.sim is sim for t in tickers)
+
+
+def test_fork_refused_while_running():
+    sim = Simulator()
+    failures = []
+
+    def try_fork() -> None:
+        try:
+            sim.fork()
+        except SimulationError as exc:
+            failures.append(str(exc))
+
+    sim.call_at(10, try_fork)
+    sim.run()
+    assert failures and "running" in failures[0]
+
+
+def test_bytes_helpers_round_trip_and_match_file_format(tmp_path):
+    sim, tickers = _build("heap")
+    sim.run(until_ps=300)
+    blob = dumps_checkpoint(sim, state=tickers, label="blob")
+
+    sim2, tickers2, header = loads_checkpoint(blob)
+    assert header["format"] == CHECKPOINT_MAGIC
+    assert header["label"] == "blob"
+    assert header["now_ps"] == sim.now_ps
+    assert sim2.events_executed == sim.events_executed
+
+    # The blob *is* the file format: dump it to disk, load it back.
+    path = tmp_path / "blob.ckpt"
+    path.write_bytes(blob)
+    sim3, _tickers3, header3 = load_checkpoint(str(path))
+    assert header3 == header
+    assert sim3.now_ps == sim2.now_ps
+
+    # Identical continuations from bytes restore match the parent.
+    trace = _finish_with_trace(sim, 1_500)
+    trace2 = _finish_with_trace(sim2, 1_500)
+    assert trace2 == trace
+    for orig, restored in zip(tickers, tickers2):
+        assert restored.fired == orig.fired
+
+
+def test_loads_checkpoint_rejects_garbage():
+    with pytest.raises(CheckpointError):
+        loads_checkpoint(b"definitely not a checkpoint")
+    with pytest.raises(CheckpointError, match="no Simulator"):
+        header = pickle.dumps({"format": CHECKPOINT_MAGIC, "version": 1})
+        loads_checkpoint(header + pickle.dumps({"sim": "nope"}))

@@ -426,3 +426,62 @@ def test_bench_cli_writes_snapshot_and_gates(tmp_path, capsys):
     )
     captured = capsys.readouterr().out
     assert "REGRESSIONS" in captured
+
+
+def test_bench_missing_rounds_warn_vs_fail():
+    from repro.experiments import bench
+
+    current = {"benchmarks": {"kernel": {}, "switch": {}, "switch_compiled": {}}}
+    old = ("old", {"benchmarks": {"kernel": {}, "switch": {}}})
+    newer = ("newer", {"benchmarks": {"kernel": {}, "switch_compiled": {}}})
+    # A round missing from ONE baseline is a warning...
+    warnings = bench.missing_round_warnings(current, [old, newer])
+    assert len(warnings) == 2
+    assert "switch_compiled" in warnings[0] and "switch" in warnings[1]
+    # ...but still covered by the other, so not a failure.
+    assert bench.missing_round_failures(current, [old, newer]) == []
+    # A round covered by NO baseline is ungated: a hard failure.
+    failures = bench.missing_round_failures(current, [old])
+    assert len(failures) == 1 and "switch_compiled" in failures[0]
+    # No baselines at all claims no gating — nothing to fail.
+    assert bench.missing_round_failures(current, []) == []
+
+
+def test_bench_cli_fails_on_fully_ungated_round(tmp_path, capsys):
+    from repro.cli import main
+    from repro.experiments import bench
+
+    out = tmp_path / "BENCH_cur.json"
+    assert main(["bench", "--label", "cur", "--rounds", "1", "--out", str(out)]) == 0
+    snapshot = bench.read_snapshot(str(out))
+
+    # A generous baseline (10x slower) that simply lacks one round: no
+    # timing regression is possible, but the missing round must still
+    # turn the exit code nonzero — it is gated by nothing.
+    generous = dict(snapshot)
+    generous["benchmarks"] = {
+        name: dict(entry, wall_s_min=entry["wall_s_min"] * 10.0)
+        for name, entry in snapshot["benchmarks"].items()
+        if name != "switch_sharded"
+    }
+    base_path = tmp_path / "BENCH_base.json"
+    bench.write_snapshot(generous, str(base_path))
+    out2 = tmp_path / "BENCH_cur2.json"
+    code = main(
+        [
+            "bench",
+            "--label",
+            "cur2",
+            "--rounds",
+            "1",
+            "--out",
+            str(out2),
+            "--compare",
+            str(base_path),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert "REGRESSIONS" not in captured
+    assert "UNGATED BENCHMARKS" in captured
+    assert "switch_sharded" in captured
+    assert code == 1
