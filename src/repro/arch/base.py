@@ -37,6 +37,8 @@ from repro.packet.packet import Packet
 from repro.packet.parser import Parser, standard_parser
 from repro.pisa.compile import compile_switch
 from repro.pisa.compile import env_enabled as compile_env_enabled
+from repro.pisa.fastpath import FlowFastpath
+from repro.pisa.fastpath import env_enabled as fastpath_env_enabled
 from repro.pisa.flowcache import UNCACHEABLE, FlowCache, env_enabled
 from repro.pisa.metadata import MetadataPool, StandardMetadata
 from repro.sim.kernel import Simulator
@@ -168,6 +170,7 @@ class SwitchBase:
         bus: Optional[EventBus] = None,
         flow_cache: Optional[bool] = None,
         compile: Optional[bool] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.description = description
@@ -196,6 +199,7 @@ class SwitchBase:
         self.tm.hooks.on_overflow = self._tm_hook(EventType.BUFFER_OVERFLOW)
         self.tm.hooks.on_underflow = self._tm_hook(EventType.BUFFER_UNDERFLOW)
         self.tm.hooks.on_transmit = self._tm_hook(EventType.PACKET_TRANSMITTED)
+        self.tm.fastpath_disrupt = self.fastpath_disrupt
         self.program: Optional[P4Program] = None
         self._shared_regs: tuple = ()
         self._event_handlers: Dict[EventType, Callable] = {}
@@ -240,6 +244,17 @@ class SwitchBase:
             compile = compile_env_enabled()
         self.pipeline_compile = bool(compile)
         self._compiled = None if self.pipeline_compile else False
+        # The end-to-end flow fastpath (repro.pisa.fastpath): fuses a
+        # fully cached multi-hop delivery into one kernel event.
+        # ``fastpath=`` overrides the REPRO_FLOW_FASTPATH environment
+        # default (on); only the baseline PSA datapath ever fuses, but
+        # the registry lives here so interior hops carry their own
+        # stats and fused-window watermark.
+        if fastpath is None:
+            fastpath = fastpath_env_enabled()
+        self.flow_fastpath: Optional[FlowFastpath] = (
+            FlowFastpath(sim, self, name=name) if fastpath else None
+        )
         # Generating the specialized code costs a couple of exec()s per
         # switch (~0.5 ms), which only pays for itself on switches that
         # actually process packets: interpret the first COMPILE_WARMUP
@@ -283,6 +298,11 @@ class SwitchBase:
             # the generation-vector dependencies (tables, versioned
             # route dicts) and the externs to shim during recording.
             self.flow_cache.attach(program)
+        if self.flow_fastpath is not None:
+            # Fused paths memoize this switch's cached decisions; a new
+            # program voids them (interior hops are caught by the
+            # attach-epoch in the path generation vector).
+            self.flow_fastpath.clear()
         program.on_load(self.ctx)
 
     def require_program(self) -> P4Program:
@@ -308,6 +328,7 @@ class SwitchBase:
             raise IndexError(f"port {port} out of range")
         if bool(self._link_up[port]) == up:
             return
+        self.fastpath_disrupt()
         self._link_up[port] = int(up)
         self.tm.set_port_enabled(port, up)
         if self.description.supports(EventType.LINK_STATUS):
@@ -333,11 +354,25 @@ class SwitchBase:
         Packets already accepted into the traffic manager keep draining —
         a stalled ASIC's serializers do not un-send what they queued.
         """
+        self.fastpath_disrupt()
         self.stalled = True
 
     def unstall(self) -> None:
         """Resume ingress processing and timer delivery."""
+        self.fastpath_disrupt()
         self.stalled = False
+
+    def fastpath_disrupt(self) -> None:
+        """Materialize in-flight fused deliveries crossing this switch.
+
+        Every disruption entry point (link transition, stall/unstall,
+        TM port pause, impairment attach, fault-injector checkpoint)
+        calls this before mutating state, so a fused window never
+        straddles a change it could not have seen; the packets finish
+        their journeys on the ordinary per-hop code paths."""
+        fastpath = self.flow_fastpath
+        if fastpath is not None and fastpath._active:
+            fastpath.disrupt()
 
     def control_event(self, meta: Dict[str, int]) -> None:
         """The control plane triggers a CONTROL_PLANE event."""

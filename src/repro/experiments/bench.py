@@ -132,8 +132,12 @@ def switch_cached_round() -> Tuple[float, int]:
 
     start = perf_counter()
     # The round measures the cache, so force it on regardless of the
-    # ambient REPRO_FLOW_CACHE setting.
-    network = build_linear(make_baseline_switch(flow_cache=True), switch_count=1)
+    # ambient REPRO_FLOW_CACHE setting — and pin the flow fastpath off
+    # so per-hop replay is what gets timed (switch_fastpath measures
+    # the fused path).
+    network = build_linear(
+        make_baseline_switch(flow_cache=True, fastpath=False), switch_count=1
+    )
     program = L3Router()
     program.install_host_routes({H0_IP: 0, H1_IP: 1})
     program.deny_flow(src=0x7F00_0001, src_mask=0xFFFF_FFFF, priority=5)
@@ -176,7 +180,8 @@ def switch_compiled_round() -> Tuple[float, int]:
 
     start = perf_counter()
     network = build_linear(
-        make_baseline_switch(flow_cache=False, compile=True), switch_count=1
+        make_baseline_switch(flow_cache=False, compile=True, fastpath=False),
+        switch_count=1,
     )
     program = L3Router()
     program.install_host_routes({H0_IP: 0, H1_IP: 1})
@@ -201,6 +206,60 @@ def switch_compiled_round() -> Tuple[float, int]:
     switch = network.switches["s0"]
     if not switch._compiled:
         raise RuntimeError("switch_compiled round ran without compiled dispatch")
+    return wall, network.sim.events_executed
+
+
+def switch_fastpath_round() -> Tuple[float, int]:
+    """One timed round through the end-to-end flow fastpath.
+
+    The same baseline-PSA / :class:`L3Router` topology as
+    :func:`switch_cached_round` with the flow cache *and* the flow
+    fastpath on: after the first packet records the walk and the second
+    builds the path entry, every delivery is **one** fused kernel event
+    at the precomputed arrival time instead of the per-hop event
+    cadence.  Packets are spaced wider than the end-to-end pipeline
+    window (fusing requires a quiet path — continuous line-rate streams
+    fall back by design), so this round tracks the fused path's
+    throughput for paced flows; the identical topology keeps it directly
+    comparable to ``switch_cached``.  Multi-hop fusion is covered by the
+    equivalence tests and the chaos fastpath arm.
+    """
+    from repro.apps.l3fwd import L3Router
+    from repro.experiments.factories import make_baseline_switch
+    from repro.net.topology import build_linear
+    from repro.packet.builder import make_udp_packet
+
+    start = perf_counter()
+    network = build_linear(
+        make_baseline_switch(flow_cache=True, fastpath=True), switch_count=1
+    )
+    for name in ("s0",):
+        program = L3Router()
+        program.install_host_routes({H0_IP: 0, H1_IP: 1})
+        program.deny_flow(src=0x7F00_0001, src_mask=0xFFFF_FFFF, priority=5)
+        network.switches[name].load_program(program)
+    received: List[object] = []
+    network.hosts["h1"].add_sink(received.append)
+    h0 = network.hosts["h0"]
+    for i in range(SWITCH_PACKETS):
+        network.sim.call_at(
+            1_000 + i * 8_000_000,
+            h0.send,
+            make_udp_packet(H0_IP, H1_IP, payload_len=200),
+        )
+    network.run()
+    wall = perf_counter() - start
+    if len(received) != SWITCH_PACKETS:
+        raise RuntimeError(
+            f"switch_fastpath round delivered {len(received)} packets, "
+            f"expected {SWITCH_PACKETS}"
+        )
+    fastpath = network.switches["s0"].flow_fastpath
+    if fastpath is None or fastpath.stats.fused < SWITCH_PACKETS - 2:
+        raise RuntimeError(
+            "switch_fastpath round ran without fused deliveries "
+            f"({fastpath.stats if fastpath else 'fastpath off'})"
+        )
     return wall, network.sim.events_executed
 
 
@@ -242,8 +301,51 @@ BENCH_ROUNDS = {
     "switch": switch_round,
     "switch_cached": switch_cached_round,
     "switch_compiled": switch_compiled_round,
+    "switch_fastpath": switch_fastpath_round,
     "switch_sharded": switch_sharded_round,
 }
+
+#: Iterations of the host-speed spin loop (fixed across snapshots so
+#: scores recorded on different hosts are directly comparable).
+CALIBRATION_ITERS = 1_000_000
+
+
+def host_speed_score(rounds: int = 3) -> Dict:
+    """A fixed spin-loop calibration probe of this host's speed.
+
+    Pure-Python integer loop, no allocation, no I/O: the score (loop
+    iterations per second, best of ``rounds``) tracks single-core
+    interpreter throughput — exactly what every other benchmark round
+    is bounded by.  Recorded in the snapshot so ``--compare`` can tell
+    "the code got slower" from "the host got slower" (the pr7-era
+    "degraded 1-core host" ambiguity).
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        acc = 0
+        start = perf_counter()
+        for i in range(CALIBRATION_ITERS):
+            acc += i & 7
+        wall = perf_counter() - start
+        if acc != (CALIBRATION_ITERS // 8) * 28:  # keep the loop honest
+            raise RuntimeError("calibration loop was optimized away")
+        best = min(best, wall)
+    return {
+        "iters": CALIBRATION_ITERS,
+        "rounds": rounds,
+        "wall_s_min": best,
+        "score": CALIBRATION_ITERS / best,
+    }
+
+
+def host_speed_ratio(current: Dict, baseline: Dict) -> Optional[float]:
+    """current host score / baseline host score, None when either
+    snapshot predates the calibration probe."""
+    cur = current.get("host_speed", {}).get("score")
+    base = baseline.get("host_speed", {}).get("score")
+    if not cur or not base:
+        return None
+    return cur / base
 
 
 def sharded_showcase(k: int = 8, shards: int = 8, mode: str = "process") -> Dict:
@@ -321,15 +423,20 @@ def _run_named_round(name: str) -> Tuple[float, int]:
     return run_round(name)
 
 
-def _snapshot(label: str, benchmarks: Dict[str, Dict]) -> Dict:
+def _snapshot(
+    label: str, benchmarks: Dict[str, Dict], host_speed: Optional[Dict] = None
+) -> Dict:
     """Assemble the schema-1 snapshot dict around measured benchmarks."""
-    return {
+    data = {
         "schema": 1,
         "label": label,
         "python": sys.version.split()[0],
         "scheduler": os.environ.get(SCHEDULER_ENV) or "heap",
         "benchmarks": benchmarks,
     }
+    if host_speed is not None:
+        data["host_speed"] = host_speed
+    return data
 
 
 def _load_progress(progress_path: Optional[str], label: str, rounds: int) -> Dict[str, Dict]:
@@ -376,6 +483,7 @@ def collect(
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
+    host_speed = host_speed_score()
     benchmarks: Dict[str, Dict] = _load_progress(progress_path, label, rounds)
     for name in sorted(BENCH_ROUNDS):
         if name in benchmarks:
@@ -392,13 +500,13 @@ def collect(
             "events": events,
             "events_per_sec": events / best,
         }
-        if name in ("switch", "switch_cached", "switch_compiled"):
+        if name in ("switch", "switch_cached", "switch_compiled", "switch_fastpath"):
             entry["packets"] = SWITCH_PACKETS
             entry["pkts_per_sec"] = SWITCH_PACKETS / best
         benchmarks[name] = entry
         if progress_path:
-            write_snapshot(_snapshot(label, benchmarks), progress_path)
-    return _snapshot(label, benchmarks)
+            write_snapshot(_snapshot(label, benchmarks, host_speed), progress_path)
+    return _snapshot(label, benchmarks, host_speed)
 
 
 def write_snapshot(data: Dict, path: str) -> None:
@@ -576,6 +684,17 @@ def delta_markdown(
         f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
         "(positive deltas are slower; ⚠ exceeds the gate)."
     )
+    speed_notes = []
+    for label, baseline in baselines:
+        ratio = host_speed_ratio(current, baseline)
+        if ratio is not None:
+            speed_notes.append(f"{label}: ×{ratio:.2f}")
+    if speed_notes:
+        lines.append(
+            "Host-speed ratio (this host's spin-loop score / baseline's; "
+            "< 1 means this host is slower, so positive deltas may be the "
+            "host, not the code): " + ", ".join(speed_notes) + "."
+        )
     warnings = missing_round_warnings(current, baselines)
     if warnings:
         lines.append("")
@@ -589,6 +708,12 @@ def summary_rows(data: Dict) -> List[str]:
         f"label={data['label']} scheduler={data['scheduler']} "
         f"python={data['python']}"
     ]
+    host_speed = data.get("host_speed")
+    if host_speed:
+        rows.append(
+            f"host_speed      score={host_speed['score']:,.0f} spin-iters/s "
+            f"(best of {host_speed['rounds']}, {host_speed['iters']:,} iters)"
+        )
     for name, entry in sorted(data["benchmarks"].items()):
         extras = ""
         if "pkts_per_sec" in entry:

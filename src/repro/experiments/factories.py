@@ -30,6 +30,7 @@ def make_baseline_switch(
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ):
     """Factory for Figure 1 baseline PSA switches."""
 
@@ -43,6 +44,7 @@ def make_baseline_switch(
             scheduler_factory=scheduler_factory,
             flow_cache=flow_cache,
             compile=compile,
+            fastpath=fastpath,
         )
 
     return factory
@@ -54,6 +56,7 @@ def make_logical_switch(
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ):
     """Factory for Figure 2 logical event-driven switches."""
 
@@ -67,6 +70,7 @@ def make_logical_switch(
             scheduler_factory=scheduler_factory,
             flow_cache=flow_cache,
             compile=compile,
+            fastpath=fastpath,
         )
 
     return factory
@@ -78,6 +82,7 @@ def make_sume_switch(
     scheduler_factory=None,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
     full_events: bool = False,
     merger_injection_enabled: bool = True,
     merger_queue_capacity: int = 64,
@@ -101,6 +106,7 @@ def make_sume_switch(
             merger_queue_capacity=merger_queue_capacity,
             flow_cache=flow_cache,
             compile=compile,
+            fastpath=fastpath,
         )
 
     return factory
@@ -112,6 +118,7 @@ def make_emulated_switch(
     recirc_queue_capacity: int = 128,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ):
     """Factory for §6 Tofino-like switches with event emulation."""
 
@@ -125,6 +132,7 @@ def make_emulated_switch(
             recirc_queue_capacity=recirc_queue_capacity,
             flow_cache=flow_cache,
             compile=compile,
+            fastpath=fastpath,
         )
 
     return factory

@@ -6,6 +6,11 @@ with the same seed; the two behavior fingerprints must match exactly
 With ``compile_arm`` a **third** arm runs the compiled pipelines
 (:mod:`repro.pisa.compile`) against an interpreter-pinned cache-off
 reference, extending the same exactness contract to compiled walks.
+With ``fastpath_arm`` another arm runs the flow fastpath
+(:mod:`repro.pisa.fastpath`) against a fastpath-pinned-off cache-on
+reference: fused multi-hop deliveries — including windows a fault
+interrupts mid-flight, which disruption-time materialization hands
+back to the per-hop machinery — must fingerprint identically.
 The cache-on run carries the invariant monitors; the resulting verdict
 record is one JSON object with sorted keys, so the JSONL report is
 byte-identical across replays of the same grid and seed.
@@ -70,6 +75,13 @@ def run_instance_on(
 
     injector.arm()
     scenario.network.run(until_ps=scenario.duration_ps)
+    # Settle fused in-flight windows at the cutoff: materialization
+    # retro-applies exactly the hops in the virtual past, so counters
+    # reflect the same partial progress the per-hop arms show.
+    for _name, switch in sorted(scenario.network.switches.items()):
+        disrupt = getattr(switch, "fastpath_disrupt", None)
+        if disrupt is not None:
+            disrupt()
 
     violations: List[str] = []
     violations.extend(conservation.check())
@@ -78,6 +90,7 @@ def run_instance_on(
 
     return {
         "violations": violations,
+        "fastpath": scenario.fastpath_totals(),
         "fingerprint": scenario.fingerprint(reconvergence.arrivals),
         "delivered": len(reconvergence.arrivals),
         "faults": log.count(),
@@ -98,9 +111,12 @@ def run_instance(
     seed: int,
     flow_cache: bool,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Dict[str, object]:
     """Build one scenario from scratch and run it monitored."""
-    scenario = build_scenario(app_name, seed, flow_cache=flow_cache, compile=compile)
+    scenario = build_scenario(
+        app_name, seed, flow_cache=flow_cache, compile=compile, fastpath=fastpath
+    )
     return run_instance_on(scenario, plan_name, seed)
 
 
@@ -122,6 +138,7 @@ def _cell_record(
     on: Dict[str, object],
     off: Dict[str, object],
     compiled: Optional[Dict[str, object]] = None,
+    fastpath: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble one verdict record from its per-arm instance results.
 
@@ -137,6 +154,10 @@ def _cell_record(
         violations.extend(f"compiled:{message}" for message in compiled["violations"])
         violations.extend(_divergence("compile", compiled, off))
         arms = 3
+    if fastpath is not None:
+        violations.extend(f"fastpath:{message}" for message in fastpath["violations"])
+        violations.extend(_divergence("fastpath", fastpath, on))
+        arms += 1
 
     fingerprint_crc = zlib.crc32(repr(sorted(on["fingerprint"].items())).encode())
     return {
@@ -155,21 +176,37 @@ def _cell_record(
         "cache": on["cache"],
         "conservation": on["conservation"],
         "table_updates": on["table_updates"],
+        "fastpath": (fastpath if fastpath is not None else on)["fastpath"],
     }
 
 
 def run_cell(
-    plan_name: str, app_name: str, seed: int, compile_arm: bool = False
+    plan_name: str,
+    app_name: str,
+    seed: int,
+    compile_arm: bool = False,
+    fastpath_arm: bool = False,
 ) -> Dict[str, object]:
-    """One verdict record: cache-on vs cache-off, optionally plus compiled.
+    """One verdict record: cache-on vs cache-off, plus optional arms.
 
     With ``compile_arm`` the cache-off run is pinned to the interpreter
     (the reference path) and a third arm runs compiled with the cache
     off; its fingerprint must match the interpreted reference exactly
     (``compile-divergence`` otherwise), covering compiled execution with
     the same invariant monitors.
+
+    With ``fastpath_arm`` the cache-on run pins the flow fastpath off
+    (the per-hop reference) and another arm runs with the fastpath on;
+    any mismatch — including one caused by a fault interrupting a fused
+    window — is a ``fastpath-divergence`` violation.
     """
-    on = run_instance(plan_name, app_name, seed, flow_cache=True)
+    on = run_instance(
+        plan_name,
+        app_name,
+        seed,
+        flow_cache=True,
+        fastpath=False if fastpath_arm else None,
+    )
     off = run_instance(
         plan_name,
         app_name,
@@ -182,7 +219,12 @@ def run_cell(
         if compile_arm
         else None
     )
-    return _cell_record(plan_name, app_name, seed, on, off, compiled)
+    fastpath = (
+        run_instance(plan_name, app_name, seed, flow_cache=True, fastpath=True)
+        if fastpath_arm
+        else None
+    )
+    return _cell_record(plan_name, app_name, seed, on, off, compiled, fastpath)
 
 
 def run_forked_cells(
@@ -190,6 +232,7 @@ def run_forked_cells(
     apps: Sequence[str],
     seeds: Iterable[int],
     compile_arm: bool = False,
+    fastpath_arm: bool = False,
 ) -> List[Dict[str, object]]:
     """The grid with builds amortized by :func:`fork_scenario`.
 
@@ -207,7 +250,12 @@ def run_forked_cells(
     seed_list = list(seeds)
     for app_name in apps:
         for seed in seed_list:
-            base_on = build_scenario(app_name, seed, flow_cache=True)
+            base_on = build_scenario(
+                app_name,
+                seed,
+                flow_cache=True,
+                fastpath=False if fastpath_arm else None,
+            )
             base_off = build_scenario(
                 app_name,
                 seed,
@@ -219,6 +267,11 @@ def run_forked_cells(
                 if compile_arm
                 else None
             )
+            base_fast = (
+                build_scenario(app_name, seed, flow_cache=True, fastpath=True)
+                if fastpath_arm
+                else None
+            )
             for plan_name in plans:
                 on = run_instance_on(fork_scenario(base_on), plan_name, seed)
                 off = run_instance_on(fork_scenario(base_off), plan_name, seed)
@@ -227,8 +280,13 @@ def run_forked_cells(
                     if compile_arm
                     else None
                 )
+                fastpath = (
+                    run_instance_on(fork_scenario(base_fast), plan_name, seed)
+                    if fastpath_arm
+                    else None
+                )
                 by_cell[(plan_name, app_name, seed)] = _cell_record(
-                    plan_name, app_name, seed, on, off, compiled
+                    plan_name, app_name, seed, on, off, compiled, fastpath
                 )
     return [
         by_cell[(plan_name, app_name, seed)]
@@ -245,6 +303,7 @@ def run_grid(
     out_path: Optional[str] = None,
     compile_arm: bool = False,
     forked: bool = False,
+    fastpath_arm: bool = False,
 ) -> List[Dict[str, object]]:
     """Run every (plan, app, seed) cell; optionally stream JSONL to disk.
 
@@ -257,7 +316,10 @@ def run_grid(
     try:
         if forked:
             records.extend(
-                run_forked_cells(plans, apps, seeds, compile_arm=compile_arm)
+                run_forked_cells(
+                    plans, apps, seeds, compile_arm=compile_arm,
+                    fastpath_arm=fastpath_arm,
+                )
             )
             if out is not None:
                 for record in records:
@@ -267,7 +329,11 @@ def run_grid(
                 for app_name in apps:
                     for seed in seeds:
                         record = run_cell(
-                            plan_name, app_name, seed, compile_arm=compile_arm
+                            plan_name,
+                            app_name,
+                            seed,
+                            compile_arm=compile_arm,
+                            fastpath_arm=fastpath_arm,
                         )
                         records.append(record)
                         if out is not None:
@@ -315,6 +381,7 @@ def run_forked_grid(
     apps: Sequence[str] = ("frr", "migration"),
     seeds: Sequence[int] = (1,),
     compile_arm: bool = False,
+    fastpath_arm: bool = False,
 ) -> Dict[str, object]:
     """The fork-amortized grid as a registered scenario runner.
 
@@ -324,7 +391,8 @@ def run_forked_grid(
     violation total, and the per-cell fingerprints.
     """
     records = run_forked_cells(
-        list(plans), list(apps), list(seeds), compile_arm=compile_arm
+        list(plans), list(apps), list(seeds), compile_arm=compile_arm,
+        fastpath_arm=fastpath_arm,
     )
     return {
         "summary": summary_rows(records),
@@ -348,6 +416,7 @@ def _register_scenarios() -> None:
                     "app_name": app,
                     "seed": 1,
                     "compile_arm": False,
+                    "fastpath_arm": False,
                 },
                 app=app,
                 fault_plan="linkflap",
@@ -366,6 +435,7 @@ def _register_scenarios() -> None:
                 "apps": ["frr", "migration"],
                 "seeds": [1],
                 "compile_arm": False,
+                "fastpath_arm": False,
             },
             seed=1,
             tags=("chaos", "forked"),

@@ -26,12 +26,12 @@ from repro.apps.hula import HulaLeafProgram, HulaSpineProgram
 from repro.apps.liveness import LivenessMonitor
 from repro.apps.state_migration import BudgetTransitProgram, SwingStateHeadProgram
 from repro.control.plane import ControlPlane, ControlPlaneConfig
-from repro.experiments.factories import make_sume_switch
+from repro.experiments.factories import make_baseline_switch, make_sume_switch
 from repro.experiments.frr_exp import H0_IP, H1_IP, _build_diamond
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.network import Network
-from repro.net.topology import build_leaf_spine
+from repro.net.topology import build_leaf_spine, build_linear
 from repro.sim.units import MICROSECONDS, MILLISECONDS
 from repro.workloads.base import FlowSpec
 from repro.workloads.cbr import ConstantBitRate
@@ -120,6 +120,27 @@ class Scenario:
             if switch.flow_cache is not None
         ]
 
+    def fastpath_totals(self) -> Dict[str, int]:
+        """Flow-fastpath counters summed across the scenario's switches."""
+        totals = {
+            "paths_built": 0,
+            "fused": 0,
+            "materialized": 0,
+            "fallbacks": 0,
+            "invalidations": 0,
+        }
+        for _name, switch in sorted(self.network.switches.items()):
+            fastpath = getattr(switch, "flow_fastpath", None)
+            if fastpath is None:
+                continue
+            stats = fastpath.stats
+            totals["paths_built"] += stats.paths_built
+            totals["fused"] += stats.fused
+            totals["materialized"] += stats.materialized
+            totals["fallbacks"] += stats.fallbacks_total
+            totals["invalidations"] += stats.invalidations
+        return totals
+
     # ------------------------------------------------------------------
     # Behavior fingerprint
     # ------------------------------------------------------------------
@@ -167,11 +188,15 @@ def build_frr(
     seed: int,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Scenario:
     """Fast re-route on the diamond: LINK_STATUS flips to backups."""
     network = _build_diamond(
         make_sume_switch(
-            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+            queue_capacity_bytes=16 * 1024,
+            flow_cache=flow_cache,
+            compile=compile,
+            fastpath=fastpath,
         )
     )
     head = FastRerouteProgram()
@@ -219,11 +244,15 @@ def build_liveness(
     seed: int,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Scenario:
     """Data-plane liveness probing across the link the faults target."""
     network = Network()
     factory = make_sume_switch(
-            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+            queue_capacity_bytes=16 * 1024,
+            flow_cache=flow_cache,
+            compile=compile,
+            fastpath=fastpath,
         )
     s0 = network.add_switch(factory(network.sim, "s0", 3))
     s1 = network.add_switch(factory(network.sim, "s1", 2))
@@ -287,11 +316,15 @@ def build_hula(
     seed: int,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Scenario:
     """HULA probes and flowlets on a 2x2 leaf-spine fabric."""
     fabric = build_leaf_spine(
         make_sume_switch(
-            queue_capacity_bytes=32 * 1024, flow_cache=flow_cache, compile=compile
+            queue_capacity_bytes=32 * 1024,
+            flow_cache=flow_cache,
+            compile=compile,
+            fastpath=fastpath,
         ),
         leaf_count=2,
         spine_count=2,
@@ -360,11 +393,15 @@ def build_migration(
     seed: int,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Scenario:
     """Swing-state budget migration on the diamond."""
     network = _build_diamond(
         make_sume_switch(
-            queue_capacity_bytes=16 * 1024, flow_cache=flow_cache, compile=compile
+            queue_capacity_bytes=16 * 1024,
+            flow_cache=flow_cache,
+            compile=compile,
+            fastpath=fastpath,
         )
     )
     head = SwingStateHeadProgram(migrate=True)
@@ -409,10 +446,70 @@ def build_migration(
     )
 
 
+def build_l3chain(
+    seed: int,
+    flow_cache: Optional[bool] = None,
+    compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
+) -> Scenario:
+    """Static routing on a baseline-PSA chain: the fastpath's home turf.
+
+    The other chaos apps run SUME event switches, whose receive path
+    never fuses; this scenario is the one whose cells actually exercise
+    end-to-end fusion — and, under every fault plan, disruption-time
+    materialization.  The CBR pacing keeps the inter-packet gap well
+    above the fused window so steady-state traffic fuses hop-for-hop,
+    and the burst target pauses an **on-path** egress port: a fused
+    window interrupted by the pause must materialize and queue exactly
+    like the per-hop reference.
+    """
+    network = build_linear(
+        make_baseline_switch(
+            queue_capacity_bytes=16 * 1024,
+            flow_cache=flow_cache,
+            compile=compile,
+            fastpath=fastpath,
+        ),
+        switch_count=3,
+    )
+    for name in sorted(network.switches):
+        program = StaticRouteProgram()
+        program.install_routes({H1_IP: 1, H0_IP: 0})
+        network.switches[name].load_program(program)
+
+    flow = FlowSpec(H0_IP, H1_IP, sport=4_000, dport=4_001)
+    generator = ConstantBitRate(
+        network.sim,
+        network.hosts["h0"].send,
+        flow,
+        rate_gbps=0.25,
+        payload_len=200,
+        name="chaos-l3chain",
+    )
+    generator.start(at_ps=200 * MICROSECONDS)
+
+    return Scenario(
+        name="l3chain",
+        network=network,
+        duration_ps=4 * MILLISECONDS,
+        sink=network.hosts["h1"],
+        default_link=("s1", "s2"),
+        default_switch="s1",
+        burst=("s1", 1),
+        control=ControlPlane(network.sim, CHAOS_CONTROL, name="chaos-control"),
+        churn_targets=_churn_targets(network),
+        probes={
+            "s0_updates": AttrProbe(network.switches["s0"].program, "control_updates"),
+            "routed": LenProbe(network.switches["s2"].program, "routes"),
+        },
+    )
+
+
 #: The app grid the chaos harness iterates.
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "frr": build_frr,
     "hula": build_hula,
+    "l3chain": build_l3chain,
     "liveness": build_liveness,
     "migration": build_migration,
 }
@@ -423,6 +520,7 @@ def build_scenario(
     seed: int,
     flow_cache: Optional[bool] = None,
     compile: Optional[bool] = None,
+    fastpath: Optional[bool] = None,
 ) -> Scenario:
     """Build one app scenario by name."""
     try:
@@ -430,4 +528,4 @@ def build_scenario(
     except KeyError:
         choices = sorted(SCENARIOS)
         raise ValueError(f"unknown chaos app {app!r}; pick from {choices}") from None
-    return builder(seed, flow_cache=flow_cache, compile=compile)
+    return builder(seed, flow_cache=flow_cache, compile=compile, fastpath=fastpath)

@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from operator import attrgetter
 from typing import Dict, Iterator, List, Tuple
 
+from repro.packet.headers import field_getter
 from repro.pisa.externs.counter import Counter
 from repro.pisa.externs.meter import Meter
 from repro.pisa.externs.pifo import PifoQueue
@@ -155,25 +156,11 @@ _IMPURE_META_READS = frozenset(
     }
 )
 
-#: Per-header-class compiled field getters: HeaderClass -> attrgetter.
-_FIELD_GETTERS: Dict[type, object] = {}
-
 #: C-level generation reader for the per-lookup version vector.
 _GENERATION = attrgetter("generation")
 
-
-def _field_getter(cls: type):
-    getter = _FIELD_GETTERS.get(cls)
-    if getter is None:
-        names = tuple(f.name for f in cls.FIELDS)
-        if len(names) == 1:
-            # attrgetter with one name returns a scalar; normalize.
-            single = attrgetter(names[0])
-            getter = lambda h, _g=single: (_g(h),)  # noqa: E731
-        else:
-            getter = attrgetter(*names)
-        _FIELD_GETTERS[cls] = getter
-    return getter
+#: Canonical flat-field readers now live with the header layouts.
+_field_getter = field_getter
 
 
 class VersionedDict(dict):
@@ -423,6 +410,7 @@ class FlowCache:
         "_program",
         "_registered",
         "name",
+        "attach_epoch",
         "__weakref__",
     )
 
@@ -438,6 +426,7 @@ class FlowCache:
         self._externs: List[object] = []
         self._program = None
         self._registered = False
+        self.attach_epoch = 0
         for collector in _COLLECTORS:
             collector.append(self)
 
@@ -448,6 +437,9 @@ class FlowCache:
         """Bind to a loaded program: discover versioned deps and externs."""
         self._program = program
         self._entries.clear()
+        # Bumped so path-level consumers (the flow fastpath) can tell a
+        # re-attach from a coincidentally equal fresh generation vector.
+        self.attach_epoch += 1
         deps: List[object] = []
         externs: List[object] = []
         if program is not None:
@@ -494,6 +486,7 @@ class FlowCache:
         self._externs = []
         self._program = None
         self._registered = False
+        self.attach_epoch = 0
         program = state["program"]
         if program is not None:
             self.attach(program)

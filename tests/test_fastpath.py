@@ -1,0 +1,420 @@
+"""End-to-end flow fastpath (:mod:`repro.pisa.fastpath`).
+
+Fusing a multi-hop delivery into one kernel event may only ever change
+*speed*, never *behavior*: the per-hop machinery is the reference, and
+every test here either demands byte-identical end state with the
+fastpath on vs off — including runs where a fault interrupts a fused
+window mid-flight and the delivery must materialize back into the
+per-hop machinery — or pokes the guard machinery (generation vectors,
+quiescence, negative entries) that keeps the guarantee honest.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.l3fwd import L3Router
+from repro.experiments.factories import make_baseline_switch
+from repro.faults.injector import Degradation
+from repro.net.topology import build_linear
+from repro.packet.builder import make_udp_packet
+from repro.pisa.fastpath import FLOW_FASTPATH_ENV, FlowFastpath, env_enabled
+from repro.sim.rng import SeededRng
+
+H0_IP = 0x0A00_0001
+H1_IP = 0x0A00_0002
+
+
+@pytest.fixture(autouse=True)
+def _fastpath_on_by_default(monkeypatch):
+    # CI runs the whole suite under both REPRO_FLOW_FASTPATH=1 and =0;
+    # this module exercises the fastpath itself, so pin the default ON
+    # and let individual tests override as needed.
+    monkeypatch.setenv(FLOW_FASTPATH_ENV, "1")
+
+
+def _fresh_l3():
+    program = L3Router()
+    program.install_host_routes({H0_IP: 0, H1_IP: 1})
+    return program
+
+
+def _build_chain(fastpath, switch_count=3):
+    network = build_linear(
+        make_baseline_switch(flow_cache=True, fastpath=fastpath),
+        switch_count=switch_count,
+    )
+    for name in sorted(network.switches):
+        network.switches[name].load_program(_fresh_l3())
+    received = []
+    network.hosts["h1"].add_sink(
+        lambda p: received.append((network.sim.now_ps, p.total_len))
+    )
+    return network, received
+
+
+def _send_n(network, count, spacing_ps=8_000_000, flows=1):
+    h0 = network.hosts["h0"]
+    for i in range(count):
+        src = H0_IP + 16 * (i % flows)
+        network.sim.call_at(
+            1_000 + i * spacing_ps,
+            h0.send,
+            make_udp_packet(src, H1_IP, payload_len=200),
+        )
+
+
+def _switch_state(sw):
+    return (
+        sw.rx_packets,
+        tuple(sorted((k.name, v) for k, v in sw.bus.fired.items())),
+        tuple(sorted((k.name, v) for k, v in sw.bus.handled.items())),
+        tuple(sorted((k.name, v) for k, v in sw.bus.suppressed.items())),
+        repr(sw.flow_cache.stats),
+        sw.tm.total_enqueued,
+        sw.tm.total_dequeued,
+        sw.tm.drops_overflow,
+        sw.stalled_rx_drops,
+        sw.tm.buffer.admitted_packets,
+        sw.tm.buffer.max_occupancy_bytes,
+        tuple(
+            (p.tx_packets, p.tx_bytes, p.busy_time_ps, p.busy, p.enabled)
+            for p in sw.tm.ports
+        ),
+        tuple(tuple(sorted(row.items())) for row in sw.state_summary()),
+        sw.ingress_pipeline.packets_processed,
+        sw.egress_pipeline.packets_processed,
+    )
+
+
+def _network_state(network, received):
+    state = {"arrivals": tuple(received)}
+    for name in sorted(network.switches):
+        state[name] = _switch_state(network.switches[name])
+    state["links"] = tuple(
+        tuple(sorted(l.conservation_ledger().items())) for l in network.links
+    )
+    state["hosts"] = tuple(
+        (hn, h.received_packets, h.received_bytes, h.sent_packets)
+        for hn, h in sorted(network.hosts.items())
+    )
+    return state
+
+
+def _fastpath_totals(network):
+    totals = {}
+    for name in sorted(network.switches):
+        fastpath = network.switches[name].flow_fastpath
+        if fastpath is None:
+            continue
+        for key, value in fastpath.stats.as_dict().items():
+            if isinstance(value, int):
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Env toggle / constructor plumbing
+# ----------------------------------------------------------------------
+def test_env_enabled_parsing(monkeypatch):
+    monkeypatch.delenv(FLOW_FASTPATH_ENV, raising=False)
+    assert env_enabled() is True
+    for off in ("0", "false", "OFF", "no", ""):
+        monkeypatch.setenv(FLOW_FASTPATH_ENV, off)
+        assert env_enabled() is False
+    monkeypatch.setenv(FLOW_FASTPATH_ENV, "1")
+    assert env_enabled() is True
+
+
+def test_constructor_and_env_toggles(monkeypatch):
+    network = build_linear(make_baseline_switch(fastpath=False), switch_count=1)
+    assert network.switches["s0"].flow_fastpath is None
+    monkeypatch.setenv(FLOW_FASTPATH_ENV, "0")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert network.switches["s0"].flow_fastpath is None
+    monkeypatch.setenv(FLOW_FASTPATH_ENV, "1")
+    network = build_linear(make_baseline_switch(), switch_count=1)
+    assert isinstance(network.switches["s0"].flow_fastpath, FlowFastpath)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: fused vs per-hop, in-process
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flows", [1, 3])
+def test_multi_hop_state_identical_fused_vs_per_hop(flows):
+    net_on, recv_on = _build_chain(True)
+    _send_n(net_on, 30, flows=flows)
+    net_on.run()
+    net_off, recv_off = _build_chain(False)
+    _send_n(net_off, 30, flows=flows)
+    net_off.run()
+    totals = _fastpath_totals(net_on)
+    assert totals["fused"] > 0  # the fastpath actually engaged
+    assert _network_state(net_on, recv_on) == _network_state(net_off, recv_off)
+
+
+def test_fused_window_collapses_kernel_events():
+    net_on, recv_on = _build_chain(True)
+    _send_n(net_on, 30)
+    net_on.run()
+    net_off, recv_off = _build_chain(False)
+    _send_n(net_off, 30)
+    net_off.run()
+    assert len(recv_on) == len(recv_off) == 30
+    # One fused event replaces the per-hop delivery/dequeue cascade.
+    assert net_on.sim.events_executed < net_off.sim.events_executed / 2
+
+
+def test_cold_cache_warms_then_fuses():
+    network, received = _build_chain(True)
+    _send_n(network, 4)
+    network.run()
+    entry = network.switches["s0"].flow_fastpath
+    # Packet 1 misses the cold flow cache (transient, not a negative
+    # entry); packets 2-4 fuse against the recorded decisions.
+    assert entry.stats.paths_built == 1
+    assert entry.stats.fused == 3
+    assert entry.stats.fuse_rate == 1.0  # cold misses are not fallbacks
+
+
+def test_observer_attach_falls_back_with_reason():
+    network, received = _build_chain(True)
+    _send_n(network, 8)
+    seen = []
+
+    class Tap:
+        def on_publish(self, bus, event, admitted):
+            seen.append(event)
+
+        def on_dispatch(self, bus, event, latency_ps, handled):
+            pass
+
+    # A bus observer needs per-hop event visibility: every fuse attempt
+    # on the observed switch must fall back, tagged "observer".
+    network.switches["s0"].bus.add_observer(Tap())
+    network.run()
+    entry = network.switches["s0"].flow_fastpath
+    assert entry.stats.fused == 0
+    assert entry.stats.fallbacks.get("observer", 0) >= 1
+    assert len(received) == 8
+
+
+# ----------------------------------------------------------------------
+# Invalidation guards
+# ----------------------------------------------------------------------
+def test_link_flap_invalidates_and_stays_exact():
+    def run(fastpath):
+        network, received = _build_chain(fastpath)
+        _send_n(network, 12)
+        link = network._switch_port_links[("s1", 1)]
+        network.sim.call_at(30_000_000, link.set_up, False)
+        network.sim.call_at(34_000_000, link.set_up, True)
+        network.run()
+        return network, received
+
+    net_on, recv_on = run(True)
+    net_off, recv_off = run(False)
+    assert _network_state(net_on, recv_on) == _network_state(net_off, recv_off)
+    assert _fastpath_totals(net_on)["invalidations"] >= 1
+
+
+def test_route_change_between_windows_invalidates():
+    def run(fastpath):
+        network, received = _build_chain(fastpath)
+        _send_n(network, 12)
+        program = network.switches["s1"].program
+        # A real control-plane write (DSCP remark on the next hop),
+        # timed into the gap between fused windows.
+        network.sim.call_at(40_000_500, program.add_next_hop, 1, 1, 13)
+        network.run()
+        return network, received
+
+    net_on, recv_on = run(True)
+    net_off, recv_off = run(False)
+    assert _network_state(net_on, recv_on) == _network_state(net_off, recv_off)
+    assert _fastpath_totals(net_on)["invalidations"] >= 1
+
+
+def test_program_reload_clears_paths():
+    network, received = _build_chain(True)
+    _send_n(network, 6)
+    network.run()
+    fastpath = network.switches["s0"].flow_fastpath
+    assert fastpath._paths
+    network.switches["s0"].load_program(_fresh_l3())
+    assert not fastpath._paths
+
+
+# ----------------------------------------------------------------------
+# Disruption-time materialization: faults mid-fused-window
+# ----------------------------------------------------------------------
+# Offsets (ps) from the victim packet's send time, chosen to land the
+# fault in each stage of the 3-hop fused window: s0 ingress pipe,
+# s0 serializing, s1 egress pipe, and the s1->s2 wire.
+_OFFSETS = (20_000, 100_000, 1_560_000, 2_000_000)
+
+
+def _run_faulted(fastpath, fault, offset):
+    network, received = _build_chain(fastpath)
+    _send_n(network, 12)
+    t = 1_000 + 5 * 8_000_000 + offset
+    sim = network.sim
+    s1 = network.switches["s1"]
+    mid_link = network._switch_port_links[("s1", 1)]
+    if fault == "flap":
+        sim.call_at(t, mid_link.set_up, False)
+        sim.call_at(t + 1_000_000, mid_link.set_up, True)
+    elif fault == "stall":
+        sim.call_at(t, s1.stall)
+        sim.call_at(t + 2_000_000, s1.unstall)
+    elif fault == "impair":
+        degradation = Degradation(SeededRng(7), 0.5, 0.2, 50_000)
+        sim.call_at(t, mid_link.set_impairment, degradation)
+        sim.call_at(t + 24_000_000, mid_link.set_impairment, None)
+    elif fault == "pause":
+        sim.call_at(t, s1.tm.set_port_enabled, 1, False)
+        sim.call_at(t + 2_000_000, s1.tm.set_port_enabled, 1, True)
+    network.run()
+    return _network_state(network, received), _fastpath_totals(network)
+
+
+@pytest.mark.parametrize("fault", ["flap", "stall", "impair", "pause"])
+def test_disruption_materializes_byte_identically(fault):
+    materialized = 0
+    for offset in _OFFSETS:
+        ref, _ = _run_faulted(False, fault, offset)
+        fused, totals = _run_faulted(True, fault, offset)
+        assert fused == ref, f"{fault}@{offset} diverged"
+        materialized += totals["materialized"]
+    # At least one offset per fault lands inside a fused window.
+    assert materialized >= 1
+
+
+# ----------------------------------------------------------------------
+# Pickling / fork cold start
+# ----------------------------------------------------------------------
+def test_switch_pickles_and_restarts_cold():
+    network = build_linear(
+        make_baseline_switch(flow_cache=True, fastpath=True), switch_count=3
+    )
+    for name in sorted(network.switches):
+        network.switches[name].load_program(_fresh_l3())
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    _send_n(network, 8)
+    network.run()
+    switch = network.switches["s0"]
+    assert switch.flow_fastpath._paths  # warm
+    clone = pickle.loads(pickle.dumps(switch))
+    assert isinstance(clone.flow_fastpath, FlowFastpath)
+    assert clone.flow_fastpath._paths == {}  # cold: rebuilt on demand
+    assert clone.flow_fastpath._active == []
+    assert clone.rx_packets == switch.rx_packets
+
+
+# ----------------------------------------------------------------------
+# Chaos arm: fused + materialized deliveries under fault injection
+# ----------------------------------------------------------------------
+def test_chaos_fastpath_arm_cell_holds():
+    from repro.faults.chaos import run_cell
+
+    record = run_cell("linkflap", "l3chain", 1, fastpath_arm=True)
+    assert record["ok"], record["violations"]
+    assert record["arms"] == 3
+    assert record["fastpath"]["fused"] > 0
+
+
+# ----------------------------------------------------------------------
+# Subprocess equivalence: whole experiments, env-toggled like CI
+# ----------------------------------------------------------------------
+_SCENARIO_SCRIPT = """
+import dataclasses, json, sys
+
+MS = 1_000_000_000
+scenario = sys.argv[1]
+
+if scenario == "microburst":
+    from repro.experiments.microburst_exp import run_event_driven
+    digest = dataclasses.asdict(run_event_driven(duration_ps=4 * MS, seed=7))
+elif scenario == "hula":
+    from repro.experiments.hula_exp import run_load_balance
+    digest = dataclasses.asdict(run_load_balance(duration_ps=3 * MS, seed=7))
+elif scenario == "netcache":
+    from repro.experiments.netcache_exp import run_netcache
+    digest = dataclasses.asdict(
+        run_netcache(duration_ps=8 * MS, shift_at_ps=4 * MS, seed=7)
+    )
+elif scenario == "l3chain":
+    from repro.apps.l3fwd import L3Router
+    from repro.experiments.factories import make_baseline_switch
+    from repro.net.topology import build_linear
+    from repro.packet.builder import make_udp_packet
+
+    network = build_linear(make_baseline_switch(), switch_count=3)
+    for name in sorted(network.switches):
+        program = L3Router()
+        program.install_host_routes({0x0A00_0001: 0, 0x0A00_0002: 1})
+        network.switches[name].load_program(program)
+    received = []
+    network.hosts["h1"].add_sink(received.append)
+    for i in range(40):
+        network.sim.call_at(
+            1_000 + i * 8_000_000,
+            network.hosts["h0"].send,
+            make_udp_packet(0x0A00_0001 + 16 * (i % 4), 0x0A00_0002, payload_len=200),
+        )
+    network.run()
+    digest = {
+        "delivery": [
+            (p.payload_len, [(type(h).__name__, h.field_values()) for h in p.headers])
+            for p in received
+        ],
+        "state": [sw.state_summary() for _n, sw in sorted(network.switches.items())],
+    }
+elif scenario == "fattree_sharded":
+    from repro.experiments.shard_exp import ShardScenario, run_sharded
+
+    result = run_sharded(
+        ShardScenario(topology="fattree", k=4, waves=1, packets_per_sender=2),
+        shards=4,
+        mode="inline",
+    )
+    digest = {
+        "digest": result.digest,
+        "received": result.total_received(),
+    }
+else:
+    raise SystemExit(f"unknown scenario {scenario!r}")
+
+print(json.dumps(digest, sort_keys=True, default=repr))
+"""
+
+SCENARIOS = ("microburst", "hula", "netcache", "l3chain", "fattree_sharded")
+
+
+def _run_scenario(scenario, fastpath_flag):
+    env = dict(os.environ)
+    env[FLOW_FASTPATH_ENV] = fastpath_flag
+    env["PYTHONPATH"] = "src"
+    env["PYTHONHASHSEED"] = "0"
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCENARIO_SCRIPT, scenario],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_subprocess_fingerprints_identical_fastpath_on_vs_off(scenario):
+    off = _run_scenario(scenario, "0")
+    on = _run_scenario(scenario, "1")
+    assert json.loads(off)  # sanity: the digest is substantive JSON
+    assert on == off  # byte-identical stdout, not just equal objects

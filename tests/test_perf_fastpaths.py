@@ -365,8 +365,10 @@ def test_bench_collect_write_read_compare(tmp_path):
         "switch",
         "switch_cached",
         "switch_compiled",
+        "switch_fastpath",
         "switch_sharded",
     }
+    assert data["host_speed"]["score"] > 0
     kern = data["benchmarks"]["kernel"]
     assert kern["events"] == bench.KERNEL_EVENTS
     assert kern["events_per_sec"] > 0
