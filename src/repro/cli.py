@@ -49,6 +49,15 @@ runnable through the multi-tenant job service (:mod:`repro.serve`)::
     python -m repro.cli submit microburst/cms      # private in-process service
     python -m repro.cli serve --socket /tmp/repro.sock &
     python -m repro.cli submit chaos/frr --socket /tmp/repro.sock
+
+The search harness (:mod:`repro.search`) sweeps/optimizes any
+registered scenario's declared knobs and writes a deterministic
+``SEARCH_<label>.json`` artifact (see docs/SEARCH.md)::
+
+    python -m repro.cli search --scenario aqm/fred --objective fairness \
+        --domain blaster_gbps=range:4:9:5 --strategy evolve --budget 24
+    python -m repro.cli search --report SEARCH_local.json
+    python -m repro.cli search --compare OLD.json NEW.json
 """
 
 from __future__ import annotations
@@ -397,13 +406,16 @@ def run_bench(
     max_regression: float = 0.25,
     resume_path: str = "",
     sharded_showcase: bool = False,
+    host_normalize: bool = False,
 ) -> int:
     """Run the perf suite, write BENCH_<label>.json, gate on regressions.
 
     ``--compare`` entries may be globs (``BENCH_pr*.json``), so the CI
     gate picks up new trajectory snapshots without workflow edits.  When
     ``$GITHUB_STEP_SUMMARY`` is set, a per-scenario delta table is
-    appended there.
+    appended there.  ``--host-normalize`` corrects wall times by the
+    snapshots' host-speed calibration scores before gating, and the
+    table then shows raw *and* normalized deltas.
     """
     import os
 
@@ -426,24 +438,37 @@ def run_bench(
     for baseline_path in bench.expand_baselines(list(compare_to), exclude=path):
         baseline = bench.read_snapshot(baseline_path)
         baselines.append((baseline_path, baseline))
-        problems = bench.compare(baseline, data, max_regression=max_regression)
+        problems = bench.compare(
+            baseline,
+            data,
+            max_regression=max_regression,
+            host_normalize=host_normalize,
+        )
         if problems:
             _print(f"REGRESSIONS vs {baseline_path}", problems)
             failed = True
         else:
+            gate = "host-normalized" if host_normalize else "raw"
             print(
                 f"\nno regressions vs {baseline_path} "
-                f"(threshold {max_regression:.0%})"
+                f"(threshold {max_regression:.0%}, {gate} walls)"
             )
     for warning in bench.missing_round_warnings(data, baselines):
         print(warning)
+    for note in bench.skipped_round_notes(data, baselines):
+        print(note)
     ungated = bench.missing_round_failures(data, baselines)
     if ungated:
         _print("UNGATED BENCHMARKS (no baseline covers them)", ungated)
         failed = True
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if step_summary and baselines:
-        table = bench.delta_markdown(data, baselines, max_regression=max_regression)
+        table = bench.delta_markdown(
+            data,
+            baselines,
+            max_regression=max_regression,
+            normalize=host_normalize,
+        )
         with open(step_summary, "a", encoding="utf-8") as fh:
             fh.write("\n".join(table) + "\n")
     return 1 if failed else 0
@@ -686,6 +711,215 @@ def run_submit(argv: List[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# Search subcommand
+# ----------------------------------------------------------------------
+def run_search_cli(argv: List[str]) -> int:
+    """Run a parameter search over a registered scenario (see docs/SEARCH.md)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli search",
+        description="Sweep/optimize a registered scenario's parameters "
+        "(grid, random, or evolutionary) and write a SEARCH_<label>.json "
+        "artifact; or report on / compare existing artifacts.",
+    )
+    parser.add_argument(
+        "--scenario", default="", help="registered scenario to search"
+    )
+    parser.add_argument(
+        "--objective",
+        default="",
+        help="expression over the result's metrics (e.g. 'fairness' or "
+        "'fairness - 0.1 * aqm_drops')",
+    )
+    parser.add_argument(
+        "--minimize",
+        action="store_true",
+        help="minimize the objective (default: maximize)",
+    )
+    parser.add_argument(
+        "--domain",
+        action="append",
+        default=[],
+        metavar="KEY=SPEC",
+        help="a knob to explore: choice:a,b,c | range:lo:hi[:steps] | "
+        "irange:lo:hi[:steps] | log:lo:hi[:steps] (repeatable)",
+    )
+    parser.add_argument(
+        "--fixed",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="a knob pinned to one value for every trial (repeatable)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("grid", "random", "evolve"),
+        default="grid",
+        help="how to explore the domains",
+    )
+    parser.add_argument("--budget", type=int, default=16, help="max trials")
+    parser.add_argument("--seed", type=int, default=7, help="search seed")
+    parser.add_argument(
+        "--population", type=int, default=8, help="evolve: population size"
+    )
+    parser.add_argument(
+        "--generations", type=int, default=4, help="evolve: generation count"
+    )
+    parser.add_argument(
+        "--tournament", type=int, default=2, help="evolve: tournament size"
+    )
+    parser.add_argument(
+        "--mutation", type=float, default=0.3, help="evolve: per-gene mutation rate"
+    )
+    parser.add_argument(
+        "--crossover", type=float, default=0.5, help="evolve: crossover rate"
+    )
+    parser.add_argument(
+        "--label", default="local", help="artifact label (SEARCH_<label>.json)"
+    )
+    parser.add_argument(
+        "--out", default="", metavar="PATH", help="artifact output path"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="trial worker processes (0/1 = inline)",
+    )
+    parser.add_argument(
+        "--omit-host",
+        action="store_true",
+        help="omit the measured 'host' section so the artifact is a pure "
+        "function of the spec (CI byte-compares this form)",
+    )
+    parser.add_argument(
+        "--spec",
+        default="",
+        metavar="JSON_PATH",
+        help="load the whole SearchSpec from a JSON file instead of flags",
+    )
+    parser.add_argument(
+        "--via-service",
+        action="store_true",
+        help="submit the search as a search/run job on a private service "
+        "instead of running in-process",
+    )
+    parser.add_argument(
+        "--report",
+        default="",
+        metavar="SEARCH_JSON",
+        help="print the leaderboard + frontier of an existing artifact and exit",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("OLD_JSON", "NEW_JSON"),
+        help="diff two artifacts (non-zero exit on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.0,
+        help="compare: allowed relative worsening of the best objective",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="report/run: leaderboard rows"
+    )
+    args = parser.parse_args(argv)
+
+    from repro import search
+
+    if args.compare:
+        old = search.read_artifact(args.compare[0])
+        new = search.read_artifact(args.compare[1])
+        lines, problems = search.compare(
+            old, new, max_regression=args.max_regression
+        )
+        _print(f"search compare: {args.compare[0]} -> {args.compare[1]}", lines)
+        if problems:
+            _print("SEARCH REGRESSIONS", problems)
+            return 1
+        print("\nno search regressions")
+        return 0
+    if args.report:
+        data = search.read_artifact(args.report)
+        _print("leaderboard", search.leaderboard(data, top=args.top))
+        _print("frontier", search.ascii_frontier(data))
+        return 0
+
+    try:
+        if args.spec:
+            import json
+
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                spec = search.SearchSpec.from_dict(json.load(fh))
+        else:
+            if not args.scenario or not args.objective or not args.domain:
+                parser.error(
+                    "--scenario, --objective, and at least one --domain are "
+                    "required (or --spec / --report / --compare)"
+                )
+            domains = {}
+            for item in args.domain:
+                key, sep, value = item.partition("=")
+                if not sep or not key:
+                    parser.error(f"--domain needs KEY=SPEC, got {item!r}")
+                domains[key] = search.parse_domain(value)
+            spec = search.SearchSpec(
+                scenario=args.scenario,
+                objective=args.objective,
+                domains=domains,
+                fixed=_parse_params(args.fixed),
+                mode="min" if args.minimize else "max",
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                label=args.label,
+                population=args.population,
+                generations=args.generations,
+                tournament=args.tournament,
+                mutation=args.mutation,
+                crossover=args.crossover,
+            )
+        spec.validate()
+    except search.SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.via_service:
+        from repro.serve.client import ServiceError, submit_inline
+
+        try:
+            record = submit_inline("search/run", {"search": spec.to_dict()})
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if record["state"] != "done":
+            print(
+                f"error: search job finished in state {record['state']}: "
+                f"{record.get('error', '')}",
+                file=sys.stderr,
+            )
+            return 1
+        data = record["result"]["value"]
+    else:
+        data = search.run_search(
+            spec, workers=args.workers, host=not args.omit_host
+        )
+    path = args.out or f"SEARCH_{spec.label}.json"
+    search.write_artifact(data, path)
+    _print(f"search artifact → {path}", search.leaderboard(data, top=args.top))
+    _print("frontier", search.ascii_frontier(data))
+    from repro.obs import SearchStats
+
+    _print("search stats", SearchStats.from_artifact(data).summary_rows())
+    if data.get("best") is None:
+        print("\nerror: no trial produced a valid objective", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Checkpoint / resume subcommands
 # ----------------------------------------------------------------------
 def _header_rows(header: Dict) -> List[str]:
@@ -784,6 +1018,8 @@ def main(argv: List[str] = None) -> int:
         return run_submit(raw[1:])
     if raw and raw[0] == "scenarios":
         return run_scenarios_list(raw[1:])
+    if raw and raw[0] == "search":
+        return run_search_cli(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the paper's tables, figures, and claims.",
@@ -793,7 +1029,7 @@ def main(argv: List[str] = None) -> int:
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "events-stats", "events-trace", "bench",
            "checkpoint", "resume", "chaos", "shard",
-           "scenarios", "serve", "submit"],
+           "scenarios", "search", "serve", "submit"],
         help="experiment to run ('all' for everything, 'list' to enumerate)",
     )
     parser.add_argument(
@@ -855,6 +1091,13 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="bench: also run the k=8 fat-tree serial-vs-8-shard showcase "
         "and record it under the snapshot's 'sharded' key",
+    )
+    parser.add_argument(
+        "--host-normalize",
+        action="store_true",
+        help="bench: correct wall times by the snapshots' host-speed "
+        "calibration scores before gating (the delta table then shows "
+        "raw and normalized deltas)",
     )
     parser.add_argument(
         "--topology",
@@ -1012,6 +1255,7 @@ def main(argv: List[str] = None) -> int:
             ("resume", run_resume),
             ("shard", run_shard),
             ("scenarios", run_scenarios_list),
+            ("search", run_search_cli),
             ("submit", run_submit),
         ):
             print(f"{name:<14} {fn.__doc__.splitlines()[0]}")
@@ -1030,6 +1274,7 @@ def main(argv: List[str] = None) -> int:
             max_regression=args.max_regression,
             resume_path=args.resume,
             sharded_showcase=args.sharded_showcase,
+            host_normalize=args.host_normalize,
         )
     if args.experiment == "shard":
         return run_shard(

@@ -150,11 +150,21 @@ def run_aqm(
 def _register_scenarios() -> None:
     from repro.scenarios import ScenarioSpec, register
 
+    # Every numeric knob of run_aqm is declared (at its default) so
+    # sweeps and searches (repro.search) can range over them; declared
+    # params are the admission contract for with_params overrides.
     for scheme in ("drop-tail", "fred"):
         register(ScenarioSpec(
             name=f"aqm/{scheme}",
             runner="repro.experiments.aqm_exp:run_aqm",
-            params={"scheme": scheme},
+            params={
+                "scheme": scheme,
+                "duration_ps": 20 * MILLISECONDS,
+                "polite_senders": 3,
+                "polite_gbps": 2.5,
+                "blaster_gbps": 9.0,
+                "seed": 17,
+            },
             app="aqm", topology="dumbbell", workload="cbr",
             tags=("experiment", "application"),
             summary=f"{scheme} queue management fairness",

@@ -526,7 +526,10 @@ def read_snapshot(path: str) -> Dict:
 
 
 def compare(
-    baseline: Dict, current: Dict, max_regression: float = 0.25
+    baseline: Dict,
+    current: Dict,
+    max_regression: float = 0.25,
+    host_normalize: bool = False,
 ) -> List[str]:
     """Regressions of ``current`` against ``baseline``.
 
@@ -534,19 +537,37 @@ def compare(
     more than ``max_regression`` (0.25 == 25% slower); empty list means
     the gate passes.  Benchmarks present in only one snapshot are
     ignored — the trajectory may gain benchmarks over time.
+
+    With ``host_normalize``, wall times are first corrected by the
+    snapshots' spin-loop calibration scores (:func:`host_speed_ratio`):
+    a run on a host measuring 0.8× the baseline host's speed has its
+    walls deflated by 0.8 before gating, so "the runner was slow today"
+    stops tripping the gate while genuine code regressions still do.
+    Messages then report both the raw and the normalized comparison.
+    Snapshots without a calibration score fall back to the raw gate.
     """
     problems: List[str] = []
     base_marks = baseline.get("benchmarks", {})
     cur_marks = current.get("benchmarks", {})
+    ratio = host_speed_ratio(current, baseline) if host_normalize else None
     for name in sorted(set(base_marks) & set(cur_marks)):
         base = base_marks[name]["wall_s_min"]
         cur = cur_marks[name]["wall_s_min"]
+        gated = cur * ratio if ratio is not None else cur
         allowed = base * (1.0 + max_regression)
-        if cur > allowed:
-            problems.append(
-                f"{name}: {cur:.4f}s vs baseline {base:.4f}s "
-                f"({cur / base:.2f}x, allowed {1.0 + max_regression:.2f}x)"
-            )
+        if gated > allowed:
+            if ratio is not None:
+                problems.append(
+                    f"{name}: {cur:.4f}s raw / {gated:.4f}s host-normalized "
+                    f"(×{ratio:.2f}) vs baseline {base:.4f}s "
+                    f"({gated / base:.2f}x normalized, "
+                    f"allowed {1.0 + max_regression:.2f}x)"
+                )
+            else:
+                problems.append(
+                    f"{name}: {cur:.4f}s vs baseline {base:.4f}s "
+                    f"({cur / base:.2f}x, allowed {1.0 + max_regression:.2f}x)"
+                )
     return problems
 
 
@@ -635,19 +656,48 @@ def missing_round_failures(
     ]
 
 
+def skipped_round_notes(
+    current: Dict, baselines: List[Tuple[str, Dict]]
+) -> List[str]:
+    """Rounds a baseline has but the **current** snapshot lacks.
+
+    The delta table iterates the current snapshot's benchmarks, so a
+    round that exists only in a baseline — say the current run was
+    resumed from a partial progress file, or a benchmark was renamed —
+    would silently vanish from the summary.  These notes make that
+    coverage gap explicit instead; one note per baseline with skipped
+    rounds, naming them."""
+    cur_names = set(current.get("benchmarks", {}))
+    notes = []
+    for label, baseline in baselines:
+        skipped = sorted(set(baseline.get("benchmarks", {})) - cur_names)
+        if skipped:
+            notes.append(
+                f"⚠ baseline `{label}` has round(s) {', '.join(skipped)} "
+                "that the current snapshot did not run; they are absent "
+                "from the table above, not compared."
+            )
+    return notes
+
+
 def delta_markdown(
     current: Dict,
     baselines: List[Tuple[str, Dict]],
     max_regression: float = 0.25,
+    normalize: bool = False,
 ) -> List[str]:
     """A per-scenario delta table in GitHub-flavored markdown.
 
     One row per benchmark — best/mean wall, round stddev and coefficient
     of variation, round count — plus one column per baseline snapshot;
     each baseline cell is the best-wall-time delta vs that baseline
-    (positive = slower).  Baselines lacking a benchmark get ``n/a``
-    cells and a trailing warning line instead of failing the render.
-    Written into ``$GITHUB_STEP_SUMMARY`` by the CI benchmark job.
+    (positive = slower).  With ``normalize``, cells show the raw delta
+    *and* the host-speed-normalized delta (``raw / norm``) and the ⚠
+    gate flag follows the normalized number — matching what
+    :func:`compare` gates on.  Baselines lacking a benchmark get ``n/a``
+    cells and a trailing warning line instead of failing the render;
+    rounds only a baseline has are listed below the table.  Written
+    into ``$GITHUB_STEP_SUMMARY`` by the CI benchmark job.
     """
     lines = [
         f"### Benchmark deltas — label `{current['label']}`, "
@@ -659,19 +709,30 @@ def delta_markdown(
         "|---|---|---|---|---|---|" + "---|" * len(baselines),
     ]
     cur_marks = current.get("benchmarks", {})
+    ratios = {
+        label: (host_speed_ratio(current, baseline) if normalize else None)
+        for label, baseline in baselines
+    }
     for name in sorted(cur_marks):
         entry = cur_marks[name]
         cur = entry["wall_s_min"]
         std, cov, rounds = round_stats(entry)
         cells = []
-        for _label, baseline in baselines:
+        for label, baseline in baselines:
             base_entry = baseline.get("benchmarks", {}).get(name)
             if base_entry is None:
                 cells.append("n/a")
                 continue
-            delta = cur / base_entry["wall_s_min"] - 1.0
-            flag = " ⚠" if delta > max_regression else ""
-            cells.append(f"{delta:+.1%}{flag}")
+            base = base_entry["wall_s_min"]
+            delta = cur / base - 1.0
+            ratio = ratios[label]
+            if ratio is not None:
+                norm_delta = cur * ratio / base - 1.0
+                flag = " ⚠" if norm_delta > max_regression else ""
+                cells.append(f"{delta:+.1%} / {norm_delta:+.1%}{flag}")
+            else:
+                flag = " ⚠" if delta > max_regression else ""
+                cells.append(f"{delta:+.1%}{flag}")
         lines.append(
             f"| {name} | {cur * 1e3:.2f} ms | "
             f"{entry['wall_s_mean'] * 1e3:.2f} ms | "
@@ -680,10 +741,17 @@ def delta_markdown(
             + " |"
         )
     lines.append("")
-    lines.append(
-        f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
-        "(positive deltas are slower; ⚠ exceeds the gate)."
-    )
+    if normalize:
+        lines.append(
+            f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
+            "(cells are raw / host-speed-normalized deltas; positive is "
+            "slower, ⚠ means the **normalized** delta exceeds the gate)."
+        )
+    else:
+        lines.append(
+            f"Gate: ≤ {max_regression:.0%} regression vs every baseline "
+            "(positive deltas are slower; ⚠ exceeds the gate)."
+        )
     speed_notes = []
     for label, baseline in baselines:
         ratio = host_speed_ratio(current, baseline)
@@ -696,9 +764,11 @@ def delta_markdown(
             "host, not the code): " + ", ".join(speed_notes) + "."
         )
     warnings = missing_round_warnings(current, baselines)
-    if warnings:
+    skipped = skipped_round_notes(current, baselines)
+    if warnings or skipped:
         lines.append("")
         lines.extend(warnings)
+        lines.extend(skipped)
     return lines
 
 

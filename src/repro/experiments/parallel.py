@@ -17,7 +17,7 @@ no pool is spawned, which also keeps the serial path debuggable.
 
 from __future__ import annotations
 
-import multiprocessing
+import multiprocessing.connection
 import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -118,6 +118,17 @@ class PersistentWorker:
         self._process.start()
         child_conn.close()
 
+    @property
+    def connection(self):
+        """The parent end of the duplex pipe, for multiplexed waits.
+
+        Callers juggling several workers hand these to :func:`wait_any`
+        (``multiprocessing.connection.wait`` underneath) and then call
+        :meth:`recv` on whichever workers are ready — no polling, no
+        blocking on a single slow worker.
+        """
+        return self._conn
+
     def send(self, message: Any) -> None:
         try:
             self._conn.send(message)
@@ -154,3 +165,21 @@ class PersistentWorker:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def wait_any(
+    workers: Sequence["PersistentWorker"], timeout: Optional[float] = None
+) -> List["PersistentWorker"]:
+    """Workers with a reply (or a death) ready to :meth:`~PersistentWorker.recv`.
+
+    Blocks until at least one of ``workers`` has something on its pipe —
+    including EOF from a crashed child, which the subsequent ``recv``
+    converts into :class:`WorkerCrashed`.  Order follows the input
+    sequence, not readiness order, so callers draining replies stay
+    deterministic.
+    """
+    ready = multiprocessing.connection.wait(
+        [worker.connection for worker in workers], timeout=timeout
+    )
+    ready_set = set(ready)
+    return [worker for worker in workers if worker.connection in ready_set]

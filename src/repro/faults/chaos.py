@@ -55,9 +55,7 @@ def fork_scenario(scenario: Scenario) -> Scenario:
     return forked
 
 
-def run_instance_on(
-    scenario: Scenario, plan_name: str, seed: int
-) -> Dict[str, object]:
+def run_instance_on(scenario: Scenario, plan_name: str, seed: int) -> Dict[str, object]:
     """One monitored run of an already-built (possibly forked) scenario.
 
     The injector, rng, and monitors are created *here*, after any fork

@@ -19,7 +19,9 @@ observers that turn that stream into numbers and artifacts:
   actions (fed by :class:`~repro.faults.injector.FaultInjector`),
 * :class:`ShardCounters` / :class:`ShardStats` — per-shard sync-round,
   boundary-packet, and lookahead-stall counters filled by
-  :class:`~repro.sim.shard.ShardedSimulator` rather than by a bus.
+  :class:`~repro.sim.shard.ShardedSimulator` rather than by a bus,
+* :class:`SearchStats` — trial/build/retry rollup of one
+  :mod:`repro.search` artifact.
 
 The :func:`observing` context manager attaches observers to every bus
 created inside its block, which is how the ``events-stats`` and
@@ -37,6 +39,7 @@ from repro.obs.counters import EventCounters
 from repro.obs.faultlog import FaultLog
 from repro.obs.kernel import CallbackProfiler
 from repro.obs.latency import DispatchLatencyHistogram
+from repro.obs.search import SearchStats
 from repro.obs.shard import ShardCounters, ShardStats
 from repro.obs.tracer import JsonlTraceSink, RecordingObserver, read_events_trace
 
@@ -66,6 +69,7 @@ __all__ = [
     "FaultLog",
     "JsonlTraceSink",
     "RecordingObserver",
+    "SearchStats",
     "ShardCounters",
     "ShardStats",
     "observing",

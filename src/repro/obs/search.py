@@ -1,0 +1,61 @@
+"""Aggregate statistics over one search run.
+
+:class:`SearchStats` is filled by summarizing a finished search
+artifact rather than observed live on a bus — per-trial event counters
+already arrive through :class:`~repro.obs.counters.EventCounters`
+inside each worker; this rolls a whole artifact up into the handful of
+numbers a progress line or service telemetry row wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+
+@dataclass
+class SearchStats:
+    """Trial-level rollup of one search artifact."""
+
+    trials: int = 0
+    failed: int = 0
+    fresh_builds: int = 0
+    forked: int = 0
+    crash_retries: int = 0
+
+    @classmethod
+    def from_artifact(cls, data: Dict[str, Any]) -> "SearchStats":
+        """Summarize a ``SEARCH_*.json`` dict (host section optional)."""
+        trials = data.get("trials", [])
+        host = data.get("host") or {}
+        return cls(
+            trials=len(trials),
+            failed=sum(1 for t in trials if t.get("objective") is None),
+            fresh_builds=int(host.get("fresh_builds", 0)),
+            forked=int(host.get("forked", 0)),
+            crash_retries=int(host.get("crash_retries", 0)),
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "trials": self.trials,
+            "failed": self.failed,
+            "fresh_builds": self.fresh_builds,
+            "forked": self.forked,
+            "crash_retries": self.crash_retries,
+        }
+
+    def summary_rows(self) -> List[str]:
+        """Printable rows matching the other obs summaries."""
+        ok = self.trials - self.failed
+        rows = [
+            f"trials: {self.trials} ({ok} ok, {self.failed} failed)",
+        ]
+        if self.fresh_builds or self.forked:
+            rows.append(
+                f"builds: {self.fresh_builds} fresh, {self.forked} forked "
+                "(setup cache hits)"
+            )
+        if self.crash_retries:
+            rows.append(f"worker crash retries: {self.crash_retries}")
+        return rows

@@ -304,7 +304,9 @@ class _PathEntry:
 
     __slots__ = ("hops", "host", "host_port", "d_end")
 
-    def __init__(self, hops: Tuple[_Hop, ...], host: Host, host_port: int, d_end: int) -> None:
+    def __init__(
+        self, hops: Tuple[_Hop, ...], host: Host, host_port: int, d_end: int
+    ) -> None:
         self.hops = hops
         self.host = host
         self.host_port = host_port

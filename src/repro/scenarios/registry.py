@@ -44,6 +44,7 @@ SCENARIO_MODULES = (
     "repro.experiments.shard_exp",
     "repro.experiments.bench",
     "repro.faults.chaos",
+    "repro.search.runner",
 )
 
 
@@ -108,24 +109,16 @@ def get(name: str, tag: Optional[str] = None) -> ScenarioSpec:
 def names(tag: Optional[str] = None) -> List[str]:
     """Registered names in catalog (registration) order."""
     load_all()
-    return [
-        spec.name
-        for spec in _REGISTRY.values()
-        if tag is None or tag in spec.tags
-    ]
+    return [spec.name for spec in _REGISTRY.values() if tag is None or tag in spec.tags]
 
 
 def specs(tag: Optional[str] = None) -> List[ScenarioSpec]:
     """Registered specs in catalog order."""
     load_all()
-    return [
-        spec for spec in _REGISTRY.values() if tag is None or tag in spec.tags
-    ]
+    return [spec for spec in _REGISTRY.values() if tag is None or tag in spec.tags]
 
 
-def resolve(
-    spec_or_name: Union[str, ScenarioSpec], **overrides: Any
-) -> ScenarioSpec:
+def resolve(spec_or_name: Union[str, ScenarioSpec], **overrides: Any) -> ScenarioSpec:
     """A runnable spec from a name or spec, with overrides applied."""
     if isinstance(spec_or_name, ScenarioSpec):
         spec = spec_or_name

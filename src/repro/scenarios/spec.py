@@ -90,9 +90,7 @@ class ScenarioSpec:
                 f"{self.name}: phased scenarios need both builder and finisher"
             )
         if bool(self.runner) == phased:
-            raise ScenarioError(
-                f"{self.name}: give either runner or builder+finisher"
-            )
+            raise ScenarioError(f"{self.name}: give either runner or builder+finisher")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,7 +179,8 @@ def result_rows(result: Any) -> Dict[str, list]:
                 inner = result_rows(value)
                 if inner:
                     for title, rows in inner.items():
-                        blocks[f"{key}" if title == "result" else f"{key}: {title}"] = rows
+                        name = f"{key}" if title == "result" else f"{key}: {title}"
+                        blocks[name] = rows
                 else:
                     blocks[str(key)] = [repr(value)]
         return blocks

@@ -1,0 +1,63 @@
+"""Parameter search & sweep harness over registered scenarios.
+
+The what-if layer the paper's cheap event-driven model earns: a
+declarative :class:`SearchSpec` names a registered scenario, typed
+parameter domains, and an objective expression; three strategies (grid,
+random, evolutionary) explore it on the persistent worker pool with
+``Simulator.fork`` amortization, and the result lands as a schema'd,
+deterministic ``SEARCH_<label>.json`` artifact.  See ``docs/SEARCH.md``.
+"""
+
+from repro.search.objective import (
+    ObjectiveError,
+    evaluate,
+    extract_metrics,
+    sanitize_metrics,
+)
+from repro.search.report import ascii_frontier, compare, leaderboard
+from repro.search.runner import (
+    read_artifact,
+    run_search,
+    run_search_job,
+    trial_fingerprint,
+    write_artifact,
+)
+from repro.search.spec import (
+    ChoiceDomain,
+    RangeDomain,
+    SearchError,
+    SearchSpec,
+    domain_from_dict,
+    parse_domain,
+)
+from repro.search.strategies import (
+    EvolveStrategy,
+    GridStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "ChoiceDomain",
+    "EvolveStrategy",
+    "GridStrategy",
+    "ObjectiveError",
+    "RandomStrategy",
+    "RangeDomain",
+    "SearchError",
+    "SearchSpec",
+    "ascii_frontier",
+    "compare",
+    "domain_from_dict",
+    "evaluate",
+    "extract_metrics",
+    "leaderboard",
+    "make_strategy",
+    "parse_domain",
+    "read_artifact",
+    "run_search",
+    "run_search_job",
+    "sanitize_metrics",
+    "trial_fingerprint",
+    "write_artifact",
+]

@@ -1,0 +1,270 @@
+"""Objective evaluation over scenario results.
+
+A scenario returns whatever shape its experiment always returned — a
+dataclass (``AqmResult``), a dict of results, a plain number.
+:func:`extract_metrics` flattens any of these into a flat
+``{name: number}`` dict (dotted paths for nesting, ``.len`` for list
+sizes), and :func:`evaluate` runs the :class:`SearchSpec`'s objective
+expression over those names with a whitelisted AST — no attribute
+access, no subscripts, no arbitrary calls — so a search artifact can
+record the exact expression that ranked its trials without ever
+``eval``-ing untrusted structure.
+
+Edge cases are explicit, not silent: a name the metrics don't contain
+raises :class:`ObjectiveError` listing what *is* available, and a
+non-finite result (NaN/inf — e.g. Jain fairness over an empty flow set)
+is an invalid trial, never a winning one.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Mapping
+
+#: Functions an objective expression may call.
+FUNCTIONS: Dict[str, Any] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "exp": math.exp,
+}
+
+#: How deep :func:`extract_metrics` follows nested containers.
+MAX_DEPTH = 4
+
+
+class ObjectiveError(ValueError):
+    """A malformed expression or a metric the result does not carry."""
+
+
+# ---------------------------------------------------------------------------
+# Metric extraction
+# ---------------------------------------------------------------------------
+def _walk(value: Any, prefix: str, out: Dict[str, float], depth: int) -> None:
+    if isinstance(value, bool):
+        out[prefix] = int(value)
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = value
+        return
+    if depth >= MAX_DEPTH:
+        return
+    if is_dataclass(value) and not isinstance(value, type):
+        for spec in fields(value):
+            name = f"{prefix}.{spec.name}" if prefix else spec.name
+            _walk(getattr(value, spec.name), name, out, depth + 1)
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            _walk(item, name, out, depth + 1)
+        return
+    if isinstance(value, (list, tuple)):
+        if prefix:
+            out[f"{prefix}.len"] = len(value)
+        return
+
+
+def extract_metrics(result: Any) -> Dict[str, float]:
+    """Flatten a scenario result into ``{dotted.name: number}``.
+
+    Dataclass fields, mapping entries, and nested combinations thereof
+    all contribute; lists contribute only their length (``name.len``) —
+    per-element metrics would make the namespace depend on run length.
+    Non-numeric leaves are skipped.  A bare number becomes ``{"value":
+    n}`` so even trivial runners are searchable.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(result, bool) or isinstance(result, (int, float)):
+        return {"value": int(result) if isinstance(result, bool) else result}
+    _walk(result, "", out, 0)
+    return out
+
+
+def sanitize_metrics(metrics: Dict[str, float]) -> Dict[str, Any]:
+    """Metrics with non-finite values replaced by strings.
+
+    ``SEARCH_*.json`` artifacts are strict JSON (``allow_nan=False``);
+    a NaN or infinity survives as ``"nan"`` / ``"inf"`` / ``"-inf"`` so
+    the trial record still shows *why* its objective was invalid.
+    """
+    safe: Dict[str, Any] = {}
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, float) and not math.isfinite(value):
+            if math.isnan(value):
+                safe[name] = "nan"
+            else:
+                safe[name] = "inf" if value > 0 else "-inf"
+        else:
+            safe[name] = value
+    return safe
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.USub,
+    ast.UAdd,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+    ast.Call,
+    ast.Compare,
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.BoolOp,
+    ast.And,
+    ast.Or,
+    ast.IfExp,
+)
+
+
+def compile_objective(expression: str) -> ast.Expression:
+    """Parse and whitelist-check an objective expression.
+
+    Raises :class:`ObjectiveError` on syntax errors, non-numeric
+    constants, and any construct outside the arithmetic/compare/call
+    whitelist — checked once at admission so a bad expression never
+    reaches a worker.
+    """
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ObjectiveError(f"objective {expression!r}: {exc.msg}") from None
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise ObjectiveError(
+                f"objective {expression!r}: {type(node).__name__} is not allowed"
+            )
+        if isinstance(node, ast.Constant) and not isinstance(
+            node.value, (int, float, bool)
+        ):
+            raise ObjectiveError(
+                f"objective {expression!r}: only numeric constants are allowed"
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.func.id not in FUNCTIONS:
+                raise ObjectiveError(
+                    f"objective {expression!r}: only "
+                    f"{sorted(FUNCTIONS)} may be called"
+                )
+            if node.keywords:
+                raise ObjectiveError(
+                    f"objective {expression!r}: keyword arguments are not allowed"
+                )
+    return tree
+
+
+def _eval_node(node: ast.AST, metrics: Dict[str, float], expression: str) -> Any:
+    if isinstance(node, ast.Expression):
+        return _eval_node(node.body, metrics, expression)
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in metrics:
+            return metrics[node.id]
+        if node.id in FUNCTIONS:
+            return FUNCTIONS[node.id]
+        available = ", ".join(sorted(metrics)) or "(none)"
+        raise ObjectiveError(
+            f"objective {expression!r}: no metric {node.id!r}; "
+            f"available: {available}"
+        )
+    if isinstance(node, ast.BinOp):
+        left = _eval_node(node.left, metrics, expression)
+        right = _eval_node(node.right, metrics, expression)
+        ops = {
+            ast.Add: lambda: left + right,
+            ast.Sub: lambda: left - right,
+            ast.Mult: lambda: left * right,
+            ast.Div: lambda: left / right,
+            ast.FloorDiv: lambda: left // right,
+            ast.Mod: lambda: left % right,
+            ast.Pow: lambda: left**right,
+        }
+        try:
+            return ops[type(node.op)]()
+        except ZeroDivisionError:
+            raise ObjectiveError(
+                f"objective {expression!r}: division by zero"
+            ) from None
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval_node(node.operand, metrics, expression)
+        return -operand if isinstance(node.op, ast.USub) else +operand
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, metrics, expression)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _eval_node(comparator, metrics, expression)
+            checks = {
+                ast.Eq: left == right,
+                ast.NotEq: left != right,
+                ast.Lt: left < right,
+                ast.LtE: left <= right,
+                ast.Gt: left > right,
+                ast.GtE: left >= right,
+            }
+            if not checks[type(op)]:
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.BoolOp):
+        values = [_eval_node(item, metrics, expression) for item in node.values]
+        return all(values) if isinstance(node.op, ast.And) else any(values)
+    if isinstance(node, ast.IfExp):
+        test = _eval_node(node.test, metrics, expression)
+        branch = node.body if test else node.orelse
+        return _eval_node(branch, metrics, expression)
+    if isinstance(node, ast.Call):
+        fn = _eval_node(node.func, metrics, expression)
+        args = [_eval_node(arg, metrics, expression) for arg in node.args]
+        try:
+            return fn(*args)
+        except ValueError as exc:
+            raise ObjectiveError(f"objective {expression!r}: {exc}") from None
+    raise ObjectiveError(
+        f"objective {expression!r}: {type(node).__name__} is not allowed"
+    )
+
+
+def evaluate(expression: str, metrics: Dict[str, float]) -> float:
+    """The objective value of one trial's metrics.
+
+    Raises :class:`ObjectiveError` when the expression references a
+    metric the trial does not carry or produces a non-finite / non-
+    numeric value — callers record the message on the trial instead of
+    crashing the search.
+    """
+    tree = compile_objective(expression)
+    value = _eval_node(tree, metrics, expression)
+    if isinstance(value, bool):
+        value = int(value)
+    if not isinstance(value, (int, float)):
+        raise ObjectiveError(
+            f"objective {expression!r} produced {type(value).__name__}, not a number"
+        )
+    if not math.isfinite(value):
+        raise ObjectiveError(
+            f"objective {expression!r} produced a non-finite value ({value!r})"
+        )
+    return float(value)

@@ -1,0 +1,183 @@
+"""Text reports over ``SEARCH_*.json`` artifacts.
+
+Everything here is pure formatting over the artifact dict — no
+simulation, no file I/O — so the CLI, CI step summaries, and tests all
+render the same rows.  Three views:
+
+* :func:`leaderboard` — the top trials ranked by objective (mode-aware,
+  ties to the earlier trial, failed trials listed last),
+* :func:`ascii_frontier` — the running-best objective over trial index
+  as a fixed-size ASCII chart,
+* :func:`compare` — old-vs-new artifact diff: best-objective delta with
+  a relative regression gate, frontier length, and best-params changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Denominator floor for relative deltas (an old best of exactly 0.0
+#: must not turn every change into an infinite regression).
+SCALE_FLOOR = 1e-12
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return repr(value)
+
+
+def _rank_key(trial: Dict[str, Any], mode: str) -> Tuple:
+    objective = trial.get("objective")
+    if objective is None:
+        return (1, 0.0, trial["index"])
+    value = -objective if mode == "max" else objective
+    return (0, value, trial["index"])
+
+
+def leaderboard(data: Dict[str, Any], top: int = 10) -> List[str]:
+    """The ``top`` trials of an artifact, best first, as printable rows."""
+    mode = data.get("search", {}).get("mode", "max")
+    trials = sorted(data.get("trials", []), key=lambda t: _rank_key(t, mode))
+    lines = [
+        f"search {data.get('label', '?')}: "
+        f"{data.get('search', {}).get('scenario', '?')} "
+        f"[{data.get('search', {}).get('strategy', '?')}] "
+        f"{mode} {data.get('search', {}).get('objective', '?')!r}",
+        f"{'rank':>4} {'trial':>5} {'gen':>3} {'objective':>14}  params",
+    ]
+    for rank, trial in enumerate(trials[:top], start=1):
+        objective = trial.get("objective")
+        shown = f"{objective:.6g}" if objective is not None else "failed"
+        params = ", ".join(
+            f"{key}={_fmt(value)}" for key, value in trial["params"].items()
+        )
+        lines.append(
+            f"{rank:>4} {trial['index']:>5} {trial['generation']:>3} "
+            f"{shown:>14}  {params}"
+        )
+    failed = sum(1 for t in data.get("trials", []) if t.get("objective") is None)
+    if failed:
+        lines.append(f"({failed} trial(s) failed; see artifact for errors)")
+    if data.get("truncated"):
+        lines.append("(strategy truncated by budget)")
+    return lines
+
+
+def ascii_frontier(
+    data: Dict[str, Any], width: int = 60, height: int = 10
+) -> List[str]:
+    """Running-best objective vs trial index as an ASCII step chart.
+
+    The frontier list already records only improvements; the chart
+    holds each level until the next improvement, so flat stretches show
+    exactly where the search stalled.
+    """
+    frontier = data.get("frontier", [])
+    total = len(data.get("trials", []))
+    if not frontier or total == 0:
+        return ["(no successful trials; nothing to chart)"]
+    values: List[float] = []
+    level: Optional[float] = None
+    position = 0
+    for point in frontier + [{"index": total, "objective": None}]:
+        while position < min(point["index"], total):
+            values.append(level if level is not None else frontier[0]["objective"])
+            position += 1
+        if point["objective"] is not None:
+            level = point["objective"]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    columns = [
+        values[min(len(values) - 1, int(i * len(values) / width))]
+        for i in range(min(width, len(values)) or 1)
+    ]
+    lines: List[str] = []
+    for row in range(height, -1, -1):
+        threshold = lo + span * row / height
+        cells = "".join("#" if value >= threshold else " " for value in columns)
+        if row == height:
+            label = f"{hi:>12.5g}"
+        elif row == 0:
+            label = f"{lo:>12.5g}"
+        else:
+            label = " " * 12
+        lines.append(f"{label} |{cells}")
+    lines.append(" " * 12 + "+" + "-" * len(columns))
+    lines.append(
+        " " * 13 + f"trial 0 .. {total - 1}  "
+        f"(best {hi:.6g} @ trial {frontier[-1]['index']})"
+    )
+    return lines
+
+
+def compare(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_regression: float = 0.0,
+) -> Tuple[List[str], List[str]]:
+    """Diff two search artifacts; returns ``(report_lines, problems)``.
+
+    ``problems`` is non-empty when the new best objective is worse than
+    the old by more than ``max_regression`` *relative to the old best*
+    (mode-aware: "worse" means lower under ``max``, higher under
+    ``min``).  Everything else — improvements, frontier shape, best-
+    parameter drift, fingerprint match — is reported, not gated.
+    """
+    lines: List[str] = []
+    problems: List[str] = []
+    old_spec, new_spec = old.get("search", {}), new.get("search", {})
+    for key in ("scenario", "objective", "mode"):
+        if old_spec.get(key) != new_spec.get(key):
+            problems.append(
+                f"artifacts disagree on {key}: "
+                f"{old_spec.get(key)!r} vs {new_spec.get(key)!r} — "
+                "comparing them is meaningless"
+            )
+    if problems:
+        return lines, problems
+
+    mode = new_spec.get("mode", "max")
+    old_best, new_best = old.get("best"), new.get("best")
+    if old_best is None or new_best is None:
+        side = "old" if old_best is None else "new"
+        problems.append(f"{side} artifact has no successful trial to compare")
+        return lines, problems
+
+    old_obj, new_obj = old_best["objective"], new_best["objective"]
+    delta = new_obj - old_obj
+    worse_by = -delta if mode == "max" else delta
+    scale = max(abs(old_obj), SCALE_FLOOR)
+    lines.append(
+        f"best objective: {old_obj:.6g} -> {new_obj:.6g} "
+        f"({'+' if delta >= 0 else ''}{delta:.6g}, "
+        f"{worse_by / scale:+.1%} {'worse' if worse_by > 0 else 'better-or-equal'})"
+    )
+    if worse_by / scale > max_regression:
+        problems.append(
+            f"best objective regressed {worse_by / scale:.1%} "
+            f"(> {max_regression:.1%} allowed): {old_obj:.6g} -> {new_obj:.6g}"
+        )
+
+    lines.append(
+        f"frontier: {len(old.get('frontier', []))} improvement(s) over "
+        f"{len(old.get('trials', []))} trial(s) -> "
+        f"{len(new.get('frontier', []))} over {len(new.get('trials', []))}"
+    )
+    if old_best.get("fingerprint") == new_best.get("fingerprint"):
+        lines.append("best trial fingerprints match (identical params + metrics)")
+    else:
+        changed = [
+            f"{key}: {_fmt(old_best['params'].get(key))} -> "
+            f"{_fmt(new_best['params'].get(key))}"
+            for key in sorted(set(old_best["params"]) | set(new_best["params"]))
+            if old_best["params"].get(key) != new_best["params"].get(key)
+        ]
+        if changed:
+            lines.append("best params changed: " + "; ".join(changed))
+        else:
+            lines.append(
+                "best params identical but metrics differ "
+                "(fingerprint mismatch — check determinism)"
+            )
+    return lines, problems

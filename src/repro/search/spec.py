@@ -1,0 +1,357 @@
+"""Declarative search specifications over registered scenarios.
+
+A :class:`SearchSpec` is to scenario *space* what a
+:class:`~repro.scenarios.spec.ScenarioSpec` is to one scenario: a
+picklable, JSON-able description of *what to explore* — which registered
+scenario, which typed parameter domains (:class:`RangeDomain`,
+:class:`ChoiceDomain`), what objective expression to optimize over the
+result's metrics, which strategy (grid / random / evolve), and a trial
+budget plus seed that make the whole search reproducible.
+
+Domains only range over knobs the target scenario *declares* — an
+undeclared key is rejected at admission (:meth:`SearchSpec.validate`),
+mirroring ``ScenarioSpec.with_params``, so a typo'd sweep fails before
+any trial runs.  Everything in a spec round-trips through
+:meth:`SearchSpec.to_dict` / :meth:`SearchSpec.from_dict`, which is how
+a search crosses the service wire (``repro submit search/run``) and how
+``SEARCH_*.json`` artifacts record exactly what produced them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Strategies :mod:`repro.search.strategies` implements.
+STRATEGIES = ("grid", "random", "evolve")
+
+#: Objective directions.
+MODES = ("max", "min")
+
+
+class SearchError(ValueError):
+    """An invalid search spec: bad domain, unknown knob, bad strategy."""
+
+
+# ---------------------------------------------------------------------------
+# Parameter domains
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChoiceDomain:
+    """A finite set of JSON-able values, tried in declaration order."""
+
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SearchError("choice domain needs at least one value")
+
+    def grid_points(self) -> List[Any]:
+        """Every value, in declaration order."""
+        return list(self.values)
+
+    def sample(self, rng) -> Any:
+        """One uniformly chosen value."""
+        return self.values[rng.randint(0, len(self.values) - 1)]
+
+    def mutate(self, value: Any, rng) -> Any:
+        """A fresh uniform draw (choices have no neighbourhood)."""
+        return self.sample(rng)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "choice", "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class RangeDomain:
+    """A numeric interval, linear or log-scaled, float or integer.
+
+    ``steps`` is the grid resolution (endpoints included); random
+    sampling draws uniformly (in log space when ``log``), and mutation
+    perturbs locally by ``MUTATION_SPAN`` of the interval, clamped.
+    """
+
+    low: float
+    high: float
+    steps: int = 5
+    log: bool = False
+    integer: bool = False
+
+    #: Fraction of the (possibly log) span a mutation may move a value.
+    MUTATION_SPAN = 0.25
+
+    def __post_init__(self) -> None:
+        if not (self.low < self.high):
+            raise SearchError(
+                f"range domain needs low < high, got [{self.low}, {self.high}]"
+            )
+        if self.steps < 2:
+            raise SearchError(f"range domain needs steps >= 2, got {self.steps}")
+        if self.log and self.low <= 0:
+            raise SearchError(f"log-scaled domain needs low > 0, got {self.low}")
+
+    # -- helpers --------------------------------------------------------
+    def _cast(self, value: float) -> Any:
+        if self.integer:
+            return max(int(self.low), min(int(self.high), round(value)))
+        return float(value)
+
+    def _lerp(self, t: float) -> float:
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return math.exp(lo + (hi - lo) * t)
+        return self.low + (self.high - self.low) * t
+
+    # -- the domain protocol -------------------------------------------
+    def grid_points(self) -> List[Any]:
+        """``steps`` evenly spaced points (log-evenly when ``log``).
+
+        Integer domains deduplicate after rounding, preserving order, so
+        a 5-step grid over [1, 3] yields ``[1, 2, 3]`` rather than
+        repeats.
+        """
+        points: List[Any] = []
+        for index in range(self.steps):
+            value = self._cast(self._lerp(index / (self.steps - 1)))
+            if value not in points:
+                points.append(value)
+        return points
+
+    def sample(self, rng) -> Any:
+        """One uniform draw from the interval."""
+        return self._cast(self._lerp(rng.random()))
+
+    def mutate(self, value: Any, rng) -> Any:
+        """A local perturbation of ``value``, clamped to the interval."""
+        offset = (rng.random() * 2.0 - 1.0) * self.MUTATION_SPAN
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            at = math.log(max(float(value), self.low)) + offset * (hi - lo)
+            moved = math.exp(min(hi, max(lo, at)))
+        else:
+            moved = min(
+                self.high,
+                max(self.low, float(value) + offset * (self.high - self.low)),
+            )
+        return self._cast(moved)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "range",
+            "low": self.low,
+            "high": self.high,
+            "steps": self.steps,
+            "log": self.log,
+            "integer": self.integer,
+        }
+
+
+def domain_from_dict(data: Dict[str, Any]) -> Any:
+    """Rebuild a domain from its :meth:`to_dict` form."""
+    kind = data.get("kind")
+    if kind == "choice":
+        return ChoiceDomain(values=tuple(data.get("values", ())))
+    if kind == "range":
+        return RangeDomain(
+            low=float(data["low"]),
+            high=float(data["high"]),
+            steps=int(data.get("steps", 5)),
+            log=bool(data.get("log", False)),
+            integer=bool(data.get("integer", False)),
+        )
+    raise SearchError(f"unknown domain kind {kind!r}")
+
+
+def parse_domain(text: str) -> Any:
+    """Parse the CLI's compact domain syntax into a domain object.
+
+    Forms (all values JSON-parsed, falling back to strings)::
+
+        choice:a,b,c          # finite set
+        range:lo:hi[:steps]   # linear float interval
+        irange:lo:hi[:steps]  # integer interval
+        log:lo:hi[:steps]     # log-scaled float interval
+    """
+    import json
+
+    kind, _, rest = text.partition(":")
+    if kind == "choice":
+        values = []
+        for item in rest.split(","):
+            try:
+                values.append(json.loads(item))
+            except json.JSONDecodeError:
+                values.append(item)
+        return ChoiceDomain(values=tuple(values))
+    if kind in ("range", "irange", "log"):
+        parts = rest.split(":")
+        if len(parts) not in (2, 3):
+            raise SearchError(
+                f"domain {text!r} needs lo:hi or lo:hi:steps after {kind!r}"
+            )
+        try:
+            low, high = float(parts[0]), float(parts[1])
+            steps = int(parts[2]) if len(parts) == 3 else 5
+        except ValueError as exc:
+            raise SearchError(f"domain {text!r}: {exc}") from None
+        return RangeDomain(
+            low=low,
+            high=high,
+            steps=steps,
+            log=kind == "log",
+            integer=kind == "irange",
+        )
+    raise SearchError(
+        f"domain {text!r}: unknown kind {kind!r} "
+        "(choice:…, range:lo:hi[:steps], irange:…, log:…)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The search spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchSpec:
+    """One declarative search: scenario, domains, objective, strategy.
+
+    ``fixed`` are overrides applied to every trial unchanged (e.g. a
+    shortened ``duration_ps``); ``domains`` are the knobs a strategy
+    explores.  ``budget`` caps the total trial count for every strategy;
+    ``seed`` makes random sampling and the evolutionary loop fully
+    deterministic.  The GA knobs (``population`` … ``crossover``) are
+    ignored by grid/random.
+    """
+
+    scenario: str
+    objective: str
+    domains: Dict[str, Any] = field(default_factory=dict)
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    mode: str = "max"
+    strategy: str = "grid"
+    budget: int = 16
+    seed: int = 7
+    label: str = "local"
+    population: int = 8
+    generations: int = 4
+    tournament: int = 2
+    mutation: float = 0.3
+    crossover: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise SearchError("search needs a target scenario name")
+        if not self.objective:
+            raise SearchError("search needs an objective expression")
+        if self.mode not in MODES:
+            raise SearchError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.strategy not in STRATEGIES:
+            raise SearchError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if not self.domains:
+            raise SearchError("search needs at least one parameter domain")
+        if self.budget < 1:
+            raise SearchError(f"budget must be positive, got {self.budget}")
+        if self.population < 2:
+            raise SearchError(f"population must be at least 2, got {self.population}")
+        if self.generations < 1:
+            raise SearchError(f"generations must be positive, got {self.generations}")
+        if self.tournament < 1:
+            raise SearchError(
+                f"tournament size must be positive, got {self.tournament}"
+            )
+        for name, rate in (("mutation", self.mutation), ("crossover", self.crossover)):
+            if not 0.0 <= rate <= 1.0:
+                raise SearchError(f"{name} rate must be in [0, 1], got {rate}")
+        overlap = sorted(set(self.domains) & set(self.fixed))
+        if overlap:
+            raise SearchError(
+                f"knob(s) {', '.join(overlap)} appear in both domains and fixed"
+            )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "SearchSpec":
+        """Check the spec against the scenario registry; returns self.
+
+        Raises :class:`~repro.scenarios.registry.UnknownScenario` for an
+        unregistered scenario and :class:`SearchError` for knobs the
+        scenario does not declare — the same admission contract
+        ``ScenarioSpec.with_params`` enforces, applied before any trial
+        runs (or crosses the service wire).
+        """
+        from repro import scenarios
+
+        base = scenarios.get(self.scenario)
+        unknown = sorted((set(self.domains) | set(self.fixed)) - set(base.params))
+        if unknown:
+            raise SearchError(
+                f"{self.scenario}: undeclared knob(s) {', '.join(unknown)}; "
+                f"declared params: {sorted(base.params)}"
+            )
+        return self
+
+    def sorted_domains(self) -> List[Tuple[str, Any]]:
+        """``(name, domain)`` pairs in name order — the canonical
+        iteration order every strategy uses."""
+        return sorted(self.domains.items())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able form that :meth:`from_dict` rebuilds exactly."""
+        return {
+            "scenario": self.scenario,
+            "objective": self.objective,
+            "domains": {
+                name: domain.to_dict() for name, domain in self.sorted_domains()
+            },
+            "fixed": dict(sorted(self.fixed.items())),
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "seed": self.seed,
+            "label": self.label,
+            "population": self.population,
+            "generations": self.generations,
+            "tournament": self.tournament,
+            "mutation": self.mutation,
+            "crossover": self.crossover,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON); unknown keys are rejected so typos fail loudly."""
+        if not isinstance(data, dict):
+            raise SearchError(
+                f"search spec must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "scenario",
+            "objective",
+            "domains",
+            "fixed",
+            "mode",
+            "strategy",
+            "budget",
+            "seed",
+            "label",
+            "population",
+            "generations",
+            "tournament",
+            "mutation",
+            "crossover",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SearchError(f"unknown search spec key(s): {', '.join(unknown)}")
+        domains_raw = data.get("domains") or {}
+        if not isinstance(domains_raw, dict):
+            raise SearchError("domains must be an object of name -> domain")
+        domains = {
+            name: domain_from_dict(domain) for name, domain in domains_raw.items()
+        }
+        kwargs = {key: value for key, value in data.items() if key != "domains"}
+        return cls(domains=domains, **kwargs)

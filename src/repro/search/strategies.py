@@ -1,0 +1,214 @@
+"""Search strategies: exhaustive grid, seeded random, evolutionary.
+
+Every strategy speaks the same ask/tell protocol the runner drives:
+:meth:`ask` proposes the next batch of parameter assignments (empty
+when the strategy is done or the budget is spent), the runner evaluates
+them — in parallel, in proposal order — and :meth:`tell` feeds the
+scored batch back.  Grid and random propose everything in one batch;
+the evolutionary loop proposes one generation at a time, selecting,
+crossing, and mutating from the previous generation's scores (the
+psim ``ga.py`` shape).
+
+Determinism is the contract: every random draw comes from a
+:class:`~repro.sim.rng.SeededRng` stream derived from the spec's seed
+and a *structural* name (generation, slot, gene), never from iteration
+timing or dict order — so the same :class:`SearchSpec` always proposes
+the identical trial sequence, and ties always break toward the earlier
+trial.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.search.spec import SearchError, SearchSpec
+from repro.sim.rng import SeededRng
+
+#: ``(params, objective, trial_index)`` — what the runner tells back.
+Scored = Tuple[Dict[str, Any], Optional[float], int]
+
+
+def _score_key(objective: Optional[float], order: int, mode: str) -> Tuple:
+    """A sort key where *larger is better* and ties prefer lower order.
+
+    Invalid trials (``objective is None``) lose to every valid one; among
+    themselves they also tie-break by order, so even a fully failed
+    search ranks deterministically.
+    """
+    if objective is None:
+        return (0, 0.0, -order)
+    value = objective if mode == "max" else -objective
+    return (1, value, -order)
+
+
+def best_scored(scored: List[Scored], mode: str) -> Optional[Scored]:
+    """The winning entry of a scored list (None when empty)."""
+    if not scored:
+        return None
+    return max(scored, key=lambda item: _score_key(item[1], item[2], mode))
+
+
+class GridStrategy:
+    """Exhaustive cartesian product of every domain's grid points.
+
+    Domains iterate in name order with the last name varying fastest
+    (``itertools.product``); the product is truncated to the budget,
+    and :attr:`truncated` records that the grid did not fit.
+    """
+
+    def __init__(self, spec: SearchSpec) -> None:
+        self.spec = spec
+        self.truncated = False
+        self._asked = False
+
+    def ask(self) -> List[Dict[str, Any]]:
+        if self._asked:
+            return []
+        self._asked = True
+        names = [name for name, _domain in self.spec.sorted_domains()]
+        axes = [domain.grid_points() for _name, domain in self.spec.sorted_domains()]
+        batch: List[Dict[str, Any]] = []
+        for combo in itertools.product(*axes):
+            if len(batch) >= self.spec.budget:
+                self.truncated = True
+                break
+            batch.append(dict(zip(names, combo)))
+        return batch
+
+    def tell(self, scored: List[Scored]) -> None:
+        pass
+
+
+class RandomStrategy:
+    """``budget`` independent uniform samples from the domains."""
+
+    def __init__(self, spec: SearchSpec) -> None:
+        self.spec = spec
+        self.truncated = False
+        self._asked = False
+        self._rng = SeededRng(spec.seed, f"search/{spec.scenario}/random")
+
+    def ask(self) -> List[Dict[str, Any]]:
+        if self._asked:
+            return []
+        self._asked = True
+        batch: List[Dict[str, Any]] = []
+        for index in range(self.spec.budget):
+            rng = self._rng.child(f"trial/{index}")
+            batch.append(
+                {
+                    name: domain.sample(rng.child(name))
+                    for name, domain in self.spec.sorted_domains()
+                }
+            )
+        return batch
+
+    def tell(self, scored: List[Scored]) -> None:
+        pass
+
+
+class EvolveStrategy:
+    """Generational GA: tournament select, uniform crossover, mutate.
+
+    Generation 0 is a random sample.  Each later generation keeps the
+    best-so-far individual unchanged (elitism, slot 0) and fills the
+    remaining slots from tournament winners of the *previous*
+    generation — crossed with probability ``crossover``, then each gene
+    mutated with probability ``mutation`` via the domain's local
+    ``mutate``.  Invalid trials lose every tournament; equal scores
+    prefer the earlier trial.  Stops after ``generations`` rounds or
+    when the budget is spent, whichever comes first.
+    """
+
+    def __init__(self, spec: SearchSpec) -> None:
+        self.spec = spec
+        self.truncated = False
+        self.generation = 0
+        self._spent = 0
+        self._previous: List[Scored] = []
+        self._best: Optional[Scored] = None
+        self._rng = SeededRng(spec.seed, f"search/{spec.scenario}/evolve")
+
+    # -- internals ------------------------------------------------------
+    def _population_size(self) -> int:
+        return min(self.spec.population, self.spec.budget)
+
+    def _tournament(self, rng: SeededRng) -> Dict[str, Any]:
+        size = len(self._previous)
+        picks = [rng.randint(0, size - 1) for _ in range(self.spec.tournament)]
+        winner = max(
+            picks,
+            key=lambda i: _score_key(
+                self._previous[i][1], self._previous[i][2], self.spec.mode
+            ),
+        )
+        return dict(self._previous[winner][0])
+
+    def _offspring(self, rng: SeededRng) -> Dict[str, Any]:
+        if rng.random() < self.spec.crossover:
+            left = self._tournament(rng.child("t1"))
+            right = self._tournament(rng.child("t2"))
+            mix = rng.child("mix")
+            child = {
+                name: left[name] if mix.random() < 0.5 else right[name]
+                for name, _domain in self.spec.sorted_domains()
+            }
+        else:
+            child = self._tournament(rng.child("t1"))
+        for name, domain in self.spec.sorted_domains():
+            gene = rng.child(f"gene/{name}")
+            if gene.random() < self.spec.mutation:
+                child[name] = domain.mutate(child[name], gene)
+        return child
+
+    # -- ask/tell -------------------------------------------------------
+    def ask(self) -> List[Dict[str, Any]]:
+        remaining = self.spec.budget - self._spent
+        if remaining <= 0 or self.generation >= self.spec.generations:
+            if remaining <= 0 and self.generation < self.spec.generations:
+                self.truncated = True
+            return []
+        size = min(self._population_size(), remaining)
+        batch: List[Dict[str, Any]] = []
+        if self.generation == 0:
+            for slot in range(size):
+                rng = self._rng.child(f"g0/s{slot}")
+                batch.append(
+                    {
+                        name: domain.sample(rng.child(name))
+                        for name, domain in self.spec.sorted_domains()
+                    }
+                )
+        else:
+            if self._best is not None:
+                batch.append(dict(self._best[0]))
+            while len(batch) < size:
+                rng = self._rng.child(f"g{self.generation}/s{len(batch)}")
+                batch.append(self._offspring(rng))
+        self._spent += len(batch)
+        return batch
+
+    def tell(self, scored: List[Scored]) -> None:
+        if not scored:
+            return
+        self._previous = list(scored)
+        contender = best_scored(
+            ([self._best] if self._best is not None else []) + list(scored),
+            self.spec.mode,
+        )
+        self._best = contender
+        self.generation += 1
+
+
+def make_strategy(spec: SearchSpec):
+    """The strategy object for ``spec.strategy``."""
+    strategies = {
+        "grid": GridStrategy,
+        "random": RandomStrategy,
+        "evolve": EvolveStrategy,
+    }
+    try:
+        return strategies[spec.strategy](spec)
+    except KeyError:
+        raise SearchError(f"unknown strategy {spec.strategy!r}") from None

@@ -86,7 +86,9 @@ def decode(line: str) -> Dict[str, Any]:
     except json.JSONDecodeError as exc:
         raise ProtocolError(f"not JSON: {exc}") from exc
     if not isinstance(message, dict):
-        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
     return message
 
 

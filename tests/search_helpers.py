@@ -1,0 +1,56 @@
+"""Module-level scenario runners for the search-harness tests.
+
+Entry points must be importable by name inside worker *processes*
+(``"tests.search_helpers:landscape"``), so these live in a real module
+rather than inside test functions.  They are deliberately simulation-
+free: search mechanics (strategies, determinism, crash retry, objective
+edge cases) are what is under test, not the simulator.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+
+def landscape(x: float = 0.0, y: int = 0, style: str = "bowl") -> Dict[str, float]:
+    """A cheap deterministic objective landscape with a known optimum.
+
+    ``score`` peaks at 10.0 for ``(x=3, y=2)`` and falls off
+    quadratically; ``cost`` is its negation so min-mode searches have a
+    target too.  ``style`` exists to give searches a categorical knob.
+    """
+    score = 10.0 - (x - 3.0) ** 2 - (y - 2) ** 2
+    if style == "ridge":
+        score -= 1.0
+    return {"score": score, "cost": -score, "x_seen": float(x)}
+
+
+def flat(x: float = 0.0) -> Dict[str, float]:
+    """Every point scores the same — exercises tie-break stability."""
+    return {"score": 1.0, "x_seen": float(x)}
+
+
+def nan_metric(x: float = 0.0) -> Dict[str, float]:
+    """A metric that is NaN for x >= 0 (an invalid, never-winning trial)."""
+    return {"score": float("nan") if x >= 0 else -x}
+
+
+def sparse_metric(x: float = 0.0) -> Dict[str, float]:
+    """A result that simply lacks the metric objectives usually want."""
+    return {"other": x}
+
+
+def crash_worker(x: float = 0.0, sentinel: str = "") -> Dict[str, float]:
+    """Kill the worker process on the first trial ever run, then behave.
+
+    ``os._exit`` bypasses the worker loop's exception handling — the
+    parent sees a dead process (``WorkerCrashed``), not a trial
+    traceback, which is exactly the path the search pool's respawn +
+    retry logic keys on.  The sentinel file records the first attempt.
+    """
+    if sentinel and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as fh:
+            fh.write("first attempt\n")
+        os._exit(23)
+    return {"score": x}
